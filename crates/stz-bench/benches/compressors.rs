@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks: compression / decompression throughput of
+//! all five codecs on a fixed 64³ turbulence workload (the per-codec
+//! columns behind Table 3's wall-clock numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use stz_bench::Codec;
+use stz_field::{Dims, Field};
+
+fn workload() -> (Field<f32>, f64) {
+    let f = stz_data::synth::miranda_like(Dims::d3(64, 64, 64), 42);
+    let (lo, hi) = f.value_range();
+    let eb = 1e-3 * (hi - lo);
+    (f, eb)
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let (field, eb) = workload();
+    let mut g = c.benchmark_group("compress_64cubed");
+    g.throughput(Throughput::Bytes(field.nbytes() as u64));
+    g.sample_size(10);
+    for codec in Codec::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(codec.name()), &codec, |b, &codec| {
+            b.iter(|| black_box(codec.compress(black_box(&field), eb)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let (field, eb) = workload();
+    let mut g = c.benchmark_group("decompress_64cubed");
+    g.throughput(Throughput::Bytes(field.nbytes() as u64));
+    g.sample_size(10);
+    for codec in Codec::all() {
+        let bytes = codec.compress(&field, eb);
+        g.bench_with_input(BenchmarkId::from_parameter(codec.name()), &codec, |b, &codec| {
+            b.iter(|| black_box(codec.decompress::<f32>(black_box(&bytes)).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let (field, eb) = workload();
+    let mut g = c.benchmark_group("parallel_compress_64cubed");
+    g.throughput(Throughput::Bytes(field.nbytes() as u64));
+    g.sample_size(10);
+    for codec in [Codec::Stz, Codec::Sz3] {
+        g.bench_with_input(BenchmarkId::from_parameter(codec.name()), &codec, |b, &codec| {
+            b.iter(|| black_box(codec.compress_parallel(black_box(&field), eb, 8)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress, bench_parallel);
+criterion_main!(benches);

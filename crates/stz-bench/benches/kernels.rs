@@ -1,0 +1,179 @@
+//! Criterion micro-benchmarks of the computational kernels: interpolation
+//! prediction (slow vs fast path), quantization, Huffman coding, the CDF 9/7
+//! wavelet, the ZFP block transform, and lattice gather/scatter.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use stz_codec::{huffman, LinearQuantizer};
+use stz_core::kernels::{predict_point, StencilOffsets};
+use stz_field::{Dims, Field, SubLattice};
+use stz_sz3::InterpKind;
+
+fn bench_prediction(c: &mut Criterion) {
+    let dims = Dims::d3(64, 64, 64);
+    let buf: Vec<f64> = (0..dims.len()).map(|i| ((i as f64) * 0.001).sin()).collect();
+    let active = [0usize, 1, 2];
+    let mut g = c.benchmark_group("predict_tricubic");
+    g.throughput(Throughput::Elements(28 * 28 * 28));
+
+    g.bench_function("general_path", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for z in (5..60).step_by(2) {
+                for y in (5..60).step_by(2) {
+                    for x in (5..60).step_by(2) {
+                        acc += predict_point(
+                            black_box(&buf),
+                            dims,
+                            [z, y, x],
+                            &active,
+                            1,
+                            InterpKind::Cubic,
+                        );
+                    }
+                }
+            }
+            black_box(acc)
+        });
+    });
+
+    let st = StencilOffsets::new(dims, &active, InterpKind::Cubic);
+    g.bench_function("interior_fast_path", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for z in (5..60).step_by(2) {
+                for y in (5..60).step_by(2) {
+                    let row = (z * 64 + y) * 64;
+                    for x in (5..60).step_by(2) {
+                        acc += st.predict_interior(black_box(&buf), row + x);
+                    }
+                }
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn bench_quantizer(c: &mut Criterion) {
+    let quant = LinearQuantizer::new(1e-3, 1 << 15);
+    let values: Vec<(f64, f64)> = (0..10_000)
+        .map(|i| {
+            let x = i as f64 * 0.001;
+            (x.sin(), x.sin() + (i % 7) as f64 * 1e-4)
+        })
+        .collect();
+    let mut g = c.benchmark_group("quantizer");
+    g.throughput(Throughput::Elements(values.len() as u64));
+    g.bench_function("quantize", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            for &(actual, pred) in &values {
+                if let stz_codec::QuantOutcome::Code { symbol, .. } =
+                    quant.quantize(black_box(actual), black_box(pred))
+                {
+                    n = n.wrapping_add(symbol);
+                }
+            }
+            black_box(n)
+        });
+    });
+    g.finish();
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    // Realistic quantization-code distribution: sharply peaked at 1.
+    let symbols: Vec<u32> = (0..262_144u64)
+        .map(|i| {
+            let h = stz_data::synth::noise::hash64(i);
+            match h % 100 {
+                0..=79 => 1,
+                80..=94 => (h % 8) as u32 + 2,
+                _ => (h % 64) as u32 + 2,
+            }
+        })
+        .collect();
+    let block = huffman::encode_block(&symbols);
+    let mut g = c.benchmark_group("huffman_256k_symbols");
+    g.throughput(Throughput::Elements(symbols.len() as u64));
+    g.sample_size(20);
+    g.bench_function("encode", |b| {
+        b.iter(|| black_box(huffman::encode_block(black_box(&symbols))));
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(huffman::decode_block(black_box(&block)).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_wavelet(c: &mut Criterion) {
+    let dims = Dims::d3(64, 64, 64);
+    let data: Vec<f64> = (0..dims.len()).map(|i| ((i as f64) * 0.002).cos()).collect();
+    let mut g = c.benchmark_group("cdf97_64cubed");
+    g.throughput(Throughput::Elements(dims.len() as u64));
+    g.sample_size(20);
+    g.bench_function("forward_3level", |b| {
+        b.iter(|| {
+            let mut x = data.clone();
+            stz_sperr::wavelet::fwd_nd(&mut x, dims, 3);
+            black_box(x)
+        });
+    });
+    g.finish();
+}
+
+fn bench_zfp_transform(c: &mut Criterion) {
+    let blocks: Vec<[i64; 64]> = (0..1000)
+        .map(|k| {
+            let mut b = [0i64; 64];
+            for (i, v) in b.iter_mut().enumerate() {
+                *v = ((k * 64 + i) as i64).wrapping_mul(2654435761) % 1_000_000;
+            }
+            b
+        })
+        .collect();
+    let mut g = c.benchmark_group("zfp_transform");
+    g.throughput(Throughput::Elements(64_000));
+    g.bench_function("fwd_xform_3d", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for blk in &blocks {
+                let mut x = *blk;
+                stz_zfp::transform::fwd_xform(&mut x, 3);
+                acc = acc.wrapping_add(x[0]);
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let field = Field::from_fn(Dims::d3(64, 64, 64), |z, y, x| (z + y + x) as f32);
+    let lat = SubLattice::new(field.dims(), [1, 0, 1], 2).unwrap();
+    let mut g = c.benchmark_group("sublattice");
+    g.throughput(Throughput::Elements(lat.len() as u64));
+    g.bench_function("gather_stride2", |b| {
+        b.iter(|| black_box(lat.gather(black_box(&field))));
+    });
+    let block = lat.gather(&field);
+    g.bench_function("scatter_stride2", |b| {
+        let mut out = Field::zeros(field.dims());
+        b.iter(|| {
+            lat.scatter(black_box(&block), &mut out);
+            black_box(out.get(1, 0, 1))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prediction,
+    bench_quantizer,
+    bench_huffman,
+    bench_wavelet,
+    bench_zfp_transform,
+    bench_partition
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of the streaming decompression modes: the
+//! progressive and random-access costs behind Fig. 13 and Table 4.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use stz_core::{StzArchive, StzCompressor, StzConfig};
+use stz_field::{Dims, Field, Region};
+
+fn archive() -> (Field<f32>, StzArchive<f32>) {
+    let f = stz_data::synth::miranda_like(Dims::d3(64, 64, 64), 42);
+    let (lo, hi) = f.value_range();
+    let eb = 1e-3 * ((hi - lo));
+    let a = StzCompressor::new(StzConfig::three_level(eb)).compress(&f).unwrap();
+    (f, a)
+}
+
+fn bench_progressive(c: &mut Criterion) {
+    let (f, a) = archive();
+    let mut g = c.benchmark_group("progressive_decompress");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(f.nbytes() as u64));
+    for level in 1..=3u8 {
+        g.bench_function(format!("level_{level}"), |b| {
+            b.iter(|| black_box(a.decompress_level(black_box(level)).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_random_access(c: &mut Criterion) {
+    let (_, a) = archive();
+    let dims = Dims::d3(64, 64, 64);
+    let cases = [
+        ("full", Region::full(dims)),
+        ("box_16cubed", Region::d3(24..40, 24..40, 24..40)),
+        ("slice_z32", Region::slice_z(dims, 32)),
+    ];
+    let mut g = c.benchmark_group("random_access");
+    g.sample_size(20);
+    for (name, region) in cases {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(a.decompress_region(black_box(&region)).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_decompress(c: &mut Criterion) {
+    let (f, a) = archive();
+    let mut g = c.benchmark_group("full_decompress");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(f.nbytes() as u64));
+    g.bench_function("serial", |b| {
+        b.iter(|| black_box(a.decompress().unwrap()));
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| black_box(a.decompress_parallel().unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_progressive, bench_random_access, bench_parallel_decompress);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 11: rate-distortion of STZ and the four baselines on all four
+//! datasets. Top-right is better; the paper's qualitative orderings to
+//! check: Ours ≈ SZ3 ≫ MGARD-X > ZFP everywhere; SPERR strongest on
+//! Magnetic Reconnection / Miranda, weaker on Nyx.
+
+use stz_bench::{cli, run_quality, Codec};
+use stz_data::Dataset;
+
+const REL_EBS: [f64; 6] = [2e-2, 1e-2, 5e-3, 2e-3, 1e-3, 5e-4];
+
+fn main() {
+    let opts = cli::from_env();
+    println!("# Figure 11: rate-distortion on four datasets");
+    println!("dataset,codec,rel_eb,cr,psnr_db,ssim");
+    for dataset in Dataset::all() {
+        let dims = dataset.scaled_dims(opts.scale);
+        let field = dataset.generate(dims, opts.seed);
+        for codec in Codec::all() {
+            for rel in REL_EBS {
+                let (bytes, psnr, ssim, cr) = run_quality(codec, &field, rel);
+                let _ = bytes;
+                println!(
+                    "{},{},{rel:.0e},{cr:.1},{psnr:.2},{ssim:.3}",
+                    dataset.name(),
+                    codec.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 1: visual similarity of the original WarpX field and its 2×
+//! downsampled version (the paper reports SSIM = 0.96, motivating
+//! resolution-progressive decompression).
+//!
+//! The downsample is compared after nearest-neighbour upsampling back to
+//! the original grid, i.e. exactly what a viewer of the coarse preview
+//! sees.
+
+use stz_bench::cli;
+use stz_data::{metrics, Dataset};
+use stz_field::{Dims, Field};
+
+fn main() {
+    let opts = cli::from_env();
+    let dims = Dataset::WarpX.scaled_dims(opts.scale);
+    let field = match Dataset::WarpX.generate(dims, opts.seed) {
+        stz_data::DatasetField::F64(f) => f,
+        _ => unreachable!(),
+    };
+
+    println!("# Figure 1: original vs 2x-downsampled WarpX");
+    println!("# dims: {dims} (paper: 256x256x2048 vs 128x128x1024)");
+    println!("stride,coarse_points,size_fraction,ssim,psnr_db");
+    for stride in [2usize, 4] {
+        let coarse = field.downsample(stride);
+        let upsampled = nearest_upsample(&coarse, dims, stride);
+        let ssim = metrics::ssim(&field, &upsampled);
+        let psnr = metrics::psnr(&field, &upsampled);
+        println!(
+            "{},{},{:.4},{:.3},{:.1}",
+            stride,
+            coarse.len(),
+            coarse.len() as f64 / field.len() as f64,
+            ssim,
+            psnr
+        );
+    }
+}
+
+fn nearest_upsample(coarse: &Field<f64>, full: Dims, stride: usize) -> Field<f64> {
+    let cd = coarse.dims();
+    Field::from_fn(full, |z, y, x| {
+        coarse.get(
+            (z / stride).min(cd.nz() - 1),
+            (y / stride).min(cd.ny() - 1),
+            (x / stride).min(cd.nx() - 1),
+        )
+    })
+}

@@ -1,0 +1,41 @@
+//! Table 1: feature matrix of the five compressors, with measured speed and
+//! quality classes on a common workload.
+//!
+//! ```text
+//! cargo run --release -p stz-bench --bin table1_features [--scale N]
+//! ```
+
+use stz_bench::{cli, timing, Codec};
+use stz_data::Dataset;
+
+fn main() {
+    let opts = cli::from_env();
+    let dims = Dataset::Nyx.scaled_dims(opts.scale);
+    let field = match Dataset::Nyx.generate(dims, opts.seed) {
+        stz_data::DatasetField::F32(f) => f,
+        _ => unreachable!(),
+    };
+    let (lo, hi) = field.value_range();
+    let eb = 1e-3 * (hi - lo);
+
+    println!("# Table 1: Features of different compressors");
+    println!("# workload: Nyx-like {dims}, relative eb 1e-3");
+    println!("codec,progressive,random_access,comp_time_s,decomp_time_s,psnr_db,cr");
+    for codec in [Codec::Sz3, Codec::Sperr, Codec::MgardX, Codec::Zfp, Codec::Stz] {
+        let (ct, bytes) = timing::time_best(opts.reps, || codec.compress(&field, eb));
+        let (dt, recon) =
+            timing::time_best(opts.reps, || codec.decompress::<f32>(&bytes).expect("decompress"));
+        let psnr = stz_data::metrics::psnr(&field, &recon);
+        let cr = field.nbytes() as f64 / bytes.len() as f64;
+        println!(
+            "{},{},{},{:.3},{:.3},{:.1},{:.1}",
+            codec.name(),
+            if codec.supports_progressive() { "yes" } else { "no" },
+            if codec.supports_random_access() { "yes" } else { "no" },
+            ct,
+            dt,
+            psnr,
+            cr
+        );
+    }
+}

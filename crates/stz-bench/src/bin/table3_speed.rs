@@ -1,0 +1,76 @@
+//! Table 3: compression and decompression times (seconds) for all five
+//! compressors on all four datasets, serial and OMP (8 threads by default).
+//!
+//! Pass `--stats` to additionally print the §4.4 dependency statistics that
+//! explain the parallel-efficiency gap between STZ and SZ3. Error bounds
+//! are matched across codecs (same absolute bound, as in the paper's
+//! setup).
+
+use stz_bench::{cli, timing, Codec};
+use stz_core::stats;
+use stz_data::{Dataset, DatasetField};
+use stz_field::Field;
+
+fn main() {
+    let opts = cli::from_env();
+    let want_stats = opts.rest.iter().any(|a| a == "--stats");
+    let rel_eb = 1e-3;
+
+    println!("# Table 3: compression/decompression times (s), serial and OMP({})", opts.threads);
+    println!("dataset,codec,mode,comp_s,decomp_s,cr");
+    for dataset in Dataset::all() {
+        let dims = dataset.scaled_dims(opts.scale);
+        let field = dataset.generate(dims, opts.seed);
+        for codec in Codec::all() {
+            match &field {
+                DatasetField::F32(f) => run::<f32>(codec, dataset.name(), f, rel_eb, &opts),
+                DatasetField::F64(f) => run::<f64>(codec, dataset.name(), f, rel_eb, &opts),
+            }
+        }
+    }
+
+    if want_stats {
+        println!();
+        println!("# §4.4 dependency statistics (3-level STZ vs SZ3)");
+        println!("dataset,stz_root_fraction,stz_independent_fraction,sz3_dependency_fraction");
+        for dataset in Dataset::all() {
+            let dims = dataset.scaled_dims(opts.scale);
+            let s = stats::dependency_stats(dims, 3);
+            println!(
+                "{},{:.4},{:.4},{:.4}",
+                dataset.name(),
+                s.root_fraction,
+                s.independent_fraction,
+                stats::sz3_dependency_fraction(dims)
+            );
+        }
+    }
+}
+
+fn run<T: stz_field::Scalar>(
+    codec: Codec,
+    dataset: &str,
+    field: &Field<T>,
+    rel_eb: f64,
+    opts: &stz_bench::cli::Options,
+) {
+    let (lo, hi) = field.value_range();
+    let eb = rel_eb * (hi - lo);
+
+    let (ct, bytes) = timing::time_best(opts.reps, || codec.compress(field, eb));
+    let (dt, _recon) =
+        timing::time_best(opts.reps, || codec.decompress::<T>(&bytes).expect("decompress"));
+    let cr = field.nbytes() as f64 / bytes.len() as f64;
+    println!("{dataset},{},serial,{ct:.3},{dt:.3},{cr:.1}", codec.name());
+
+    let (ct_p, bytes_p) =
+        timing::time_best(opts.reps, || codec.compress_parallel(field, eb, opts.threads));
+    let (dt_p, _recon) = timing::time_best(opts.reps, || {
+        codec.decompress_parallel::<T>(&bytes_p, opts.threads).expect("decompress")
+    });
+    let cr_p = field.nbytes() as f64 / bytes_p.len() as f64;
+    // Mark CR drops from chunked parallel compression (the paper's
+    // asterisks on SZ3's OMP rows).
+    let marker = if cr_p < cr * 0.99 { "*" } else { "" };
+    println!("{dataset},{},omp{marker},{ct_p:.3},{dt_p:.3},{cr_p:.1}", codec.name());
+}

@@ -1,0 +1,87 @@
+//! Minimal flag parsing shared by the harness binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--scale N` — divide each paper axis by `N` (default 8; `1` runs the
+//!   full Table-2 sizes);
+//! * `--seed S` — workload seed (default 2025);
+//! * `--reps R` — timing repetitions (default 1 for long runs);
+//! * `--threads T` — parallel worker count (default 8, the paper's OMP
+//!   setting).
+
+/// Parsed common options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    pub scale: usize,
+    pub seed: u64,
+    pub reps: usize,
+    pub threads: usize,
+    /// Leftover (binary-specific) flags.
+    pub rest: Vec<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { scale: 8, seed: 2025, reps: 1, threads: crate::OMP_THREADS, rest: Vec::new() }
+    }
+}
+
+/// Parse `std::env::args`-style arguments (first element = program name).
+pub fn parse(args: impl IntoIterator<Item = String>) -> Options {
+    let mut opts = Options::default();
+    let mut it = args.into_iter().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} requires a positive integer"))
+        };
+        match arg.as_str() {
+            "--scale" => opts.scale = grab("--scale").max(1),
+            "--seed" => opts.seed = grab("--seed") as u64,
+            "--reps" => opts.reps = grab("--reps").max(1),
+            "--threads" => opts.threads = grab("--threads").max(1),
+            other => opts.rest.push(other.to_string()),
+        }
+    }
+    opts
+}
+
+/// Parse from the process environment.
+pub fn from_env() -> Options {
+    parse(std::env::args())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        std::iter::once("prog".to_string())
+            .chain(s.iter().map(|s| s.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(args(&[]));
+        assert_eq!(o.scale, 8);
+        assert_eq!(o.threads, 8);
+        assert_eq!(o.reps, 1);
+    }
+
+    #[test]
+    fn overrides_and_rest() {
+        let o = parse(args(&["--scale", "4", "--seed", "7", "--stats", "--threads", "2"]));
+        assert_eq!(o.scale, 4);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.threads, 2);
+        assert_eq!(o.rest, vec!["--stats".to_string()]);
+    }
+
+    #[test]
+    fn scale_clamps_to_one() {
+        let o = parse(args(&["--scale", "0"]));
+        assert_eq!(o.scale, 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Wall-clock measurement helpers for the harness binaries.
+
+use std::time::Instant;
+
+/// Time one invocation of `f`, returning `(seconds, result)`.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t = Instant::now();
+    let r = f();
+    (t.elapsed().as_secs_f64(), r)
+}
+
+/// Run `f` up to `reps` times (at least once) and return the best (minimum)
+/// wall-clock seconds together with the last result — the usual
+/// noise-robust estimator for short benchmark sections.
+pub fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let reps = reps.max(1);
+    let (mut best, mut out) = time_once(&mut f);
+    for _ in 1..reps {
+        let (t, r) = time_once(&mut f);
+        if t < best {
+            best = t;
+        }
+        out = r;
+    }
+    (best, out)
+}
+
+/// Throughput in MB/s for `bytes` processed in `seconds`.
+pub fn throughput_mbs(bytes: usize, seconds: f64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0) / seconds.max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_measures() {
+        let (t, v) = time_once(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(t >= 0.0);
+        assert!(v > 0);
+    }
+
+    #[test]
+    fn time_best_not_worse_than_single() {
+        let mut count = 0;
+        let (t, _) = time_best(3, || {
+            count += 1;
+        });
+        assert_eq!(count, 3);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let t = throughput_mbs(2 * 1024 * 1024, 1.0);
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+}

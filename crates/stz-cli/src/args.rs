@@ -1,0 +1,148 @@
+//! Flag parsing for the `stz` CLI (no external dependencies).
+
+use std::collections::HashMap;
+use stz_field::{Dims, Region};
+
+pub const USAGE: &str = "\
+USAGE:
+  stz compress   -i <raw> -o <archive> -d <Z>x<Y>x<X> -t <f32|f64> -e <bound>
+                 [--rel] [--levels <2..4>] [--linear] [--no-adaptive]
+  stz decompress -i <archive> -o <raw>
+  stz preview    -i <archive> -o <raw> -l <level>
+  stz roi        -i <archive> -o <raw> -r <z0:z1,y0:y1,x0:x1>
+  stz info       -i <archive>
+
+Raw files are flat little-endian arrays in C order (x fastest).";
+
+/// Parsed command line: subcommand + flag map.
+#[derive(Debug)]
+pub struct Parsed {
+    pub command: String,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Which flags take a value, per the USAGE above.
+const VALUED: &[&str] = &["-i", "-o", "-d", "-t", "-e", "-l", "-r", "--levels"];
+
+pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+    let command = argv.get(1).ok_or("missing subcommand")?.clone();
+    let mut flags = HashMap::new();
+    let mut switches = Vec::new();
+    let mut it = argv[2..].iter();
+    while let Some(a) = it.next() {
+        if VALUED.contains(&a.as_str()) {
+            let v = it.next().ok_or_else(|| format!("flag {a} requires a value"))?;
+            flags.insert(a.clone(), v.clone());
+        } else if a.starts_with('-') {
+            switches.push(a.clone());
+        } else {
+            return Err(format!("unexpected argument {a}"));
+        }
+    }
+    Ok(Parsed { command, flags, switches })
+}
+
+impl Parsed {
+    pub fn required(&self, flag: &str) -> Result<&str, String> {
+        self.flags
+            .get(flag)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag {flag}"))
+    }
+
+    pub fn optional(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+/// Parse `ZxYxX` (or `YxX`, or `X`) into dims.
+pub fn parse_dims(s: &str) -> Result<Dims, String> {
+    let parts: Vec<usize> = s
+        .split('x')
+        .map(|p| p.parse().map_err(|_| format!("bad extent {p:?} in dims {s:?}")))
+        .collect::<Result<_, _>>()?;
+    match parts[..] {
+        [x] if x > 0 => Ok(Dims::d1(x)),
+        [y, x] if y > 0 && x > 0 => Ok(Dims::d2(y, x)),
+        [z, y, x] if z > 0 && y > 0 && x > 0 => Ok(Dims::d3(z, y, x)),
+        _ => Err(format!("dims {s:?} must be 1–3 positive extents separated by 'x'")),
+    }
+}
+
+/// Parse `z0:z1,y0:y1,x0:x1` into a region (missing leading axes default to
+/// the full `0:1` plane, mirroring [`Dims`]'s normalization).
+pub fn parse_region(s: &str) -> Result<Region, String> {
+    let ranges: Vec<(usize, usize)> = s
+        .split(',')
+        .map(|r| {
+            let (a, b) = r
+                .split_once(':')
+                .ok_or_else(|| format!("bad range {r:?} (want start:end)"))?;
+            let a: usize = a.parse().map_err(|_| format!("bad range start {a:?}"))?;
+            let b: usize = b.parse().map_err(|_| format!("bad range end {b:?}"))?;
+            if a >= b {
+                return Err(format!("empty range {r:?}"));
+            }
+            Ok((a, b))
+        })
+        .collect::<Result<_, _>>()?;
+    match ranges[..] {
+        [(x0, x1)] => Ok(Region::d3(0..1, 0..1, x0..x1)),
+        [(y0, y1), (x0, x1)] => Ok(Region::d3(0..1, y0..y1, x0..x1)),
+        [(z0, z1), (y0, y1), (x0, x1)] => Ok(Region::d3(z0..z1, y0..y1, x0..x1)),
+        _ => Err(format!("region {s:?} must have 1–3 ranges")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        std::iter::once("stz").chain(s.iter().copied()).map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_compress_line() {
+        let p = parse(&argv(&[
+            "compress", "-i", "a.f32", "-o", "a.stz", "-d", "8x8x8", "-t", "f32", "-e", "1e-3",
+            "--rel",
+        ]))
+        .unwrap();
+        assert_eq!(p.command, "compress");
+        assert_eq!(p.required("-i").unwrap(), "a.f32");
+        assert_eq!(p.required("-e").unwrap(), "1e-3");
+        assert!(p.switch("--rel"));
+        assert!(!p.switch("--linear"));
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(parse(&argv(&["compress", "-i"])).is_err());
+        assert!(parse(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn dims_forms() {
+        assert_eq!(parse_dims("100").unwrap(), Dims::d1(100));
+        assert_eq!(parse_dims("4x5").unwrap(), Dims::d2(4, 5));
+        assert_eq!(parse_dims("4x5x6").unwrap(), Dims::d3(4, 5, 6));
+        assert!(parse_dims("0x5").is_err());
+        assert!(parse_dims("4x5x6x7").is_err());
+        assert!(parse_dims("abc").is_err());
+    }
+
+    #[test]
+    fn region_forms() {
+        assert_eq!(parse_region("2:4").unwrap(), Region::d3(0..1, 0..1, 2..4));
+        assert_eq!(parse_region("1:2,3:9").unwrap(), Region::d3(0..1, 1..2, 3..9));
+        assert_eq!(parse_region("0:1,2:3,4:5").unwrap(), Region::d3(0..1, 2..3, 4..5));
+        assert!(parse_region("3:3").is_err());
+        assert!(parse_region("5").is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Subcommand implementations.
+
+use crate::args::{self, Parsed};
+use std::path::Path;
+use stz_core::{InterpKind, StzArchive, StzCompressor, StzConfig};
+use stz_data::io::{read_raw, write_raw};
+use stz_field::{Field, Scalar};
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let p = args::parse(argv)?;
+    match p.command.as_str() {
+        "compress" => compress(&p),
+        "decompress" => decompress(&p),
+        "preview" => preview(&p),
+        "roi" => roi(&p),
+        "info" => info(&p),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn build_config(p: &Parsed) -> Result<StzConfig, String> {
+    let eb: f64 = p
+        .required("-e")?
+        .parse()
+        .map_err(|_| "error bound -e must be a number".to_string())?;
+    if !(eb > 0.0 && eb.is_finite()) {
+        return Err("error bound must be positive and finite".into());
+    }
+    let mut cfg = if p.switch("--rel") {
+        StzConfig::three_level_relative(eb)
+    } else {
+        StzConfig::three_level(eb)
+    };
+    if let Some(l) = p.optional("--levels") {
+        let levels: u8 = l.parse().map_err(|_| "--levels must be 2..=4".to_string())?;
+        if !(2..=4).contains(&levels) {
+            return Err("--levels must be 2..=4".into());
+        }
+        cfg = cfg.with_levels(levels);
+    }
+    if p.switch("--linear") {
+        cfg = cfg.with_interp(InterpKind::Linear);
+    }
+    if p.switch("--no-adaptive") {
+        cfg = cfg.with_adaptive(false);
+    }
+    Ok(cfg)
+}
+
+fn compress(p: &Parsed) -> Result<(), String> {
+    let dims = args::parse_dims(p.required("-d")?)?;
+    let cfg = build_config(p)?;
+    let input = Path::new(p.required("-i")?);
+    let output = Path::new(p.required("-o")?);
+    match p.required("-t")? {
+        "f32" => compress_typed::<f32>(input, output, dims, cfg),
+        "f64" => compress_typed::<f64>(input, output, dims, cfg),
+        t => Err(format!("unknown element type {t:?} (want f32 or f64)")),
+    }
+}
+
+fn compress_typed<T: Scalar>(
+    input: &Path,
+    output: &Path,
+    dims: stz_field::Dims,
+    cfg: StzConfig,
+) -> Result<(), String> {
+    let field: Field<T> = read_raw(input, dims).map_err(|e| e.to_string())?;
+    let archive = StzCompressor::new(cfg).compress(&field).map_err(|e| e.to_string())?;
+    let cr = archive.compression_ratio();
+    let len = archive.compressed_len();
+    std::fs::write(output, archive.into_bytes()).map_err(|e| e.to_string())?;
+    eprintln!("{} -> {} ({len} bytes, CR {cr:.1}x)", input.display(), output.display());
+    Ok(())
+}
+
+/// Load an archive and dispatch on its element type.
+fn with_archive<R>(
+    path: &Path,
+    f32_case: impl FnOnce(StzArchive<f32>) -> Result<R, String>,
+    f64_case: impl FnOnce(StzArchive<f64>) -> Result<R, String>,
+) -> Result<R, String> {
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    match StzArchive::<f32>::from_bytes(bytes.clone()) {
+        Ok(a) => f32_case(a),
+        Err(_) => f64_case(StzArchive::<f64>::from_bytes(bytes).map_err(|e| e.to_string())?),
+    }
+}
+
+fn decompress(p: &Parsed) -> Result<(), String> {
+    let input = Path::new(p.required("-i")?);
+    let output = Path::new(p.required("-o")?).to_path_buf();
+    with_archive(
+        input,
+        |a| {
+            let f = a.decompress().map_err(|e| e.to_string())?;
+            write_raw(&output, &f).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} ({} f32 values)", output.display(), f.len());
+            Ok(())
+        },
+        |a| {
+            let f = a.decompress().map_err(|e| e.to_string())?;
+            write_raw(&output, &f).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} ({} f64 values)", output.display(), f.len());
+            Ok(())
+        },
+    )
+}
+
+fn preview(p: &Parsed) -> Result<(), String> {
+    let input = Path::new(p.required("-i")?);
+    let output = Path::new(p.required("-o")?).to_path_buf();
+    let level: u8 = p
+        .required("-l")?
+        .parse()
+        .map_err(|_| "-l must be a level number".to_string())?;
+    with_archive(
+        input,
+        |a| {
+            let f = a.decompress_level(level).map_err(|e| e.to_string())?;
+            write_raw(&output, &f).map_err(|e| e.to_string())?;
+            eprintln!("level {level} preview: {} -> {}", f.dims(), output.display());
+            Ok(())
+        },
+        |a| {
+            let f = a.decompress_level(level).map_err(|e| e.to_string())?;
+            write_raw(&output, &f).map_err(|e| e.to_string())?;
+            eprintln!("level {level} preview: {} -> {}", f.dims(), output.display());
+            Ok(())
+        },
+    )
+}
+
+fn roi(p: &Parsed) -> Result<(), String> {
+    let input = Path::new(p.required("-i")?);
+    let output = Path::new(p.required("-o")?).to_path_buf();
+    let region = args::parse_region(p.required("-r")?)?;
+    with_archive(
+        input,
+        |a| {
+            let f = a.decompress_region(&region).map_err(|e| e.to_string())?;
+            write_raw(&output, &f).map_err(|e| e.to_string())?;
+            eprintln!("ROI {region:?}: {} values -> {}", f.len(), output.display());
+            Ok(())
+        },
+        |a| {
+            let f = a.decompress_region(&region).map_err(|e| e.to_string())?;
+            write_raw(&output, &f).map_err(|e| e.to_string())?;
+            eprintln!("ROI {region:?}: {} values -> {}", f.len(), output.display());
+            Ok(())
+        },
+    )
+}
+
+fn info(p: &Parsed) -> Result<(), String> {
+    let input = Path::new(p.required("-i")?);
+    with_archive(
+        input,
+        |a| {
+            print_info("f32", 4, &a);
+            Ok(())
+        },
+        |a| {
+            print_info("f64", 8, &a);
+            Ok(())
+        },
+    )
+}
+
+fn print_info<T: Scalar>(type_name: &str, bytes_per: usize, a: &StzArchive<T>) {
+    let h = a.header();
+    println!("dims:            {}", h.dims);
+    println!("element type:    {type_name}");
+    println!("levels:          {}", h.levels);
+    println!("interpolation:   {:?}", h.interp);
+    println!("adaptive bounds: {} (ratio {})", h.adaptive, h.adaptive_ratio);
+    println!("error bound:     {:.3e} (absolute, finest level)", h.eb_finest);
+    println!("compressed:      {} bytes", a.compressed_len());
+    println!("uncompressed:    {} bytes", h.dims.len() * bytes_per);
+    println!("ratio:           {:.1}x", a.compression_ratio());
+    for k in 1..=h.levels {
+        println!(
+            "  level {k}: preview {} — cumulative {} bytes",
+            a.plan().preview_dims(k),
+            a.bytes_through_level(k)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stz_field::Dims;
+
+    fn dir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("stz_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn argv(s: &[String]) -> Vec<String> {
+        std::iter::once("stz".to_string()).chain(s.iter().cloned()).collect()
+    }
+
+    #[test]
+    fn compress_decompress_cycle() {
+        let d = dir();
+        let raw = d.join("in.f32");
+        let stz = d.join("in.stz");
+        let out = d.join("out.f32");
+        let dims = Dims::d3(16, 16, 16);
+        let field = stz_data::synth::miranda_like(dims, 5);
+        write_raw(&raw, &field).unwrap();
+
+        run(&argv(&[
+            "compress".into(),
+            "-i".into(), raw.display().to_string(),
+            "-o".into(), stz.display().to_string(),
+            "-d".into(), "16x16x16".into(),
+            "-t".into(), "f32".into(),
+            "-e".into(), "1e-3".into(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "decompress".into(),
+            "-i".into(), stz.display().to_string(),
+            "-o".into(), out.display().to_string(),
+        ]))
+        .unwrap();
+
+        let restored: Field<f32> = read_raw(&out, dims).unwrap();
+        let err = stz_data::metrics::max_abs_error(&field, &restored);
+        assert!(err <= 1e-3);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn preview_and_roi_commands() {
+        let d = dir();
+        let raw = d.join("a.f32");
+        let stz = d.join("a.stz");
+        let dims = Dims::d3(16, 16, 16);
+        let field = stz_data::synth::miranda_like(dims, 6);
+        write_raw(&raw, &field).unwrap();
+        run(&argv(&[
+            "compress".into(),
+            "-i".into(), raw.display().to_string(),
+            "-o".into(), stz.display().to_string(),
+            "-d".into(), "16x16x16".into(),
+            "-t".into(), "f32".into(),
+            "-e".into(), "1e-2".into(),
+            "--levels".into(), "2".into(),
+        ]))
+        .unwrap();
+
+        let prev = d.join("p.f32");
+        run(&argv(&[
+            "preview".into(),
+            "-i".into(), stz.display().to_string(),
+            "-o".into(), prev.display().to_string(),
+            "-l".into(), "1".into(),
+        ]))
+        .unwrap();
+        let p: Field<f32> = read_raw(&prev, Dims::d3(8, 8, 8)).unwrap();
+        assert_eq!(p.dims().as_array(), [8, 8, 8]);
+
+        let roi_out = d.join("r.f32");
+        run(&argv(&[
+            "roi".into(),
+            "-i".into(), stz.display().to_string(),
+            "-o".into(), roi_out.display().to_string(),
+            "-r".into(), "2:6,0:16,4:8".into(),
+        ]))
+        .unwrap();
+        let r: Field<f32> = read_raw(&roi_out, Dims::d3(4, 16, 4)).unwrap();
+        assert_eq!(r.len(), 4 * 16 * 4);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        assert!(run(&argv(&["frobnicate".into()])).is_err());
+        assert!(run(&argv(&["compress".into()])).is_err());
+        assert!(run(&argv(&[
+            "compress".into(),
+            "-i".into(), "/nonexistent".into(),
+            "-o".into(), "/tmp/x".into(),
+            "-d".into(), "4x4x4".into(),
+            "-t".into(), "f32".into(),
+            "-e".into(), "-1".into(),
+        ]))
+        .is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! `stz` — command-line interface to the STZ streaming lossy compressor.
+//!
+//! Operates on flat little-endian binary arrays (the interchange format of
+//! the SZ/ZFP ecosystems). Subcommands:
+//!
+//! ```text
+//! stz compress   -i data.f32 -o data.stz -d 512x512x512 -t f32 -e 1e-3 [--rel] [--levels 3]
+//! stz decompress -i data.stz -o out.f32
+//! stz preview    -i data.stz -o coarse.f32 -l 1
+//! stz roi        -i data.stz -o roi.f32 -r z0:z1,y0:y1,x0:x1
+//! stz info       -i data.stz
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Entropy-coding substrate shared by every compressor in the STZ workspace.
+//!
+//! The STZ paper's pipeline (§2.1) is *predict → quantize → Huffman encode*;
+//! this crate implements the last two stages plus the low-level plumbing:
+//!
+//! * [`bits`] — MSB-first bit writer/reader over byte buffers.
+//! * [`huffman`] — canonical, length-limited Huffman coding with a compact
+//!   serialized table, used for the quantization-code streams of STZ, SZ3 and
+//!   MGARD.
+//! * [`quantizer`] — the linear error-bounded quantizer with an
+//!   unpredictable-value escape path (bit-exact outliers).
+//! * [`varint`] / [`byteio`] / [`rle`] — integer and byte-level serialization
+//!   helpers for archive headers and tables.
+//!
+//! All decoding paths return [`CodecError`] on malformed input; they never
+//! panic on untrusted bytes.
+
+pub mod bits;
+pub mod byteio;
+pub mod error;
+pub mod huffman;
+pub mod quantizer;
+pub mod rle;
+pub mod varint;
+
+pub use bits::{BitReader, BitWriter};
+pub use byteio::{ByteReader, ByteWriter};
+pub use error::CodecError;
+pub use huffman::{HuffmanDecoder, HuffmanEncoder};
+pub use quantizer::{LinearQuantizer, QuantOutcome, ESCAPE_SYMBOL};
+
+/// Result alias for decoding paths.
+pub type Result<T> = std::result::Result<T, CodecError>;

@@ -1,0 +1,200 @@
+//! Linear error-bounded quantization with an unpredictable-value escape.
+//!
+//! This is the loss-introduction stage of the SZ-family pipeline (paper
+//! §2.1 step 2): the difference between the predicted and actual value is
+//! mapped to an integer code `q = round(diff / (2·eb))`, so that the
+//! reconstruction `pred + 2·eb·q` is within `eb` of the original.
+//! Differences whose code would exceed the quantizer radius — or whose
+//! reconstruction fails the bound due to floating-point rounding — are
+//! *escaped*: the symbol [`ESCAPE_SYMBOL`] is emitted and the exact value is
+//! stored losslessly on a side channel.
+
+/// Symbol emitted for unpredictable (escaped) values.
+///
+/// Code symbols are `zigzag(q) + 1`, so 0 is free for the escape marker and
+/// small-magnitude codes stay small (good for Huffman).
+pub const ESCAPE_SYMBOL: u32 = 0;
+
+/// Outcome of quantizing one value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuantOutcome {
+    /// The value was representable: `symbol` to encode and the reconstructed
+    /// value the decompressor will see (which the compressor must use for any
+    /// further predictions).
+    Code { symbol: u32, reconstructed: f64 },
+    /// The value must be stored exactly.
+    Escape,
+}
+
+/// Error-bounded linear quantizer.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearQuantizer {
+    eb: f64,
+    /// Maximum |q| representable before escaping.
+    radius: i64,
+}
+
+impl LinearQuantizer {
+    /// Create a quantizer for absolute error bound `eb > 0`.
+    ///
+    /// `radius` bounds the symbol alphabet (the reference SZ3 uses 2^15 by
+    /// default); larger radii trade Huffman-table size for fewer escapes.
+    pub fn new(eb: f64, radius: i64) -> Self {
+        assert!(eb > 0.0 && eb.is_finite(), "error bound must be positive and finite");
+        assert!(radius > 0);
+        LinearQuantizer { eb, radius }
+    }
+
+    /// Quantizer with the SZ3 default radius of 2^15.
+    pub fn with_default_radius(eb: f64) -> Self {
+        LinearQuantizer::new(eb, 1 << 15)
+    }
+
+    #[inline]
+    pub fn error_bound(&self) -> f64 {
+        self.eb
+    }
+
+    #[inline]
+    pub fn radius(&self) -> i64 {
+        self.radius
+    }
+
+    /// Quantize `actual` against `pred`.
+    #[inline]
+    pub fn quantize(&self, actual: f64, pred: f64) -> QuantOutcome {
+        if !actual.is_finite() || !pred.is_finite() {
+            return QuantOutcome::Escape;
+        }
+        let diff = actual - pred;
+        let q = (diff / (2.0 * self.eb)).round();
+        if q.abs() > self.radius as f64 {
+            return QuantOutcome::Escape;
+        }
+        let q = q as i64;
+        let reconstructed = pred + 2.0 * self.eb * q as f64;
+        // Floating-point guard: the bound must hold on the actual arithmetic
+        // the decompressor performs.
+        if (reconstructed - actual).abs() > self.eb {
+            return QuantOutcome::Escape;
+        }
+        QuantOutcome::Code { symbol: Self::symbol_of(q), reconstructed }
+    }
+
+    /// Reconstruct a value from a non-escape symbol.
+    #[inline]
+    pub fn reconstruct(&self, symbol: u32, pred: f64) -> f64 {
+        debug_assert_ne!(symbol, ESCAPE_SYMBOL);
+        pred + 2.0 * self.eb * Self::code_of(symbol) as f64
+    }
+
+    /// Map a signed code to its stream symbol (`zigzag + 1`).
+    #[inline]
+    pub fn symbol_of(q: i64) -> u32 {
+        (crate::varint::zigzag(q) + 1) as u32
+    }
+
+    /// Inverse of [`LinearQuantizer::symbol_of`].
+    #[inline]
+    pub fn code_of(symbol: u32) -> i64 {
+        debug_assert_ne!(symbol, ESCAPE_SYMBOL);
+        crate::varint::unzigzag(symbol as u64 - 1)
+    }
+
+    /// Upper bound (exclusive) of the symbol alphabet this quantizer emits.
+    pub fn alphabet_size(&self) -> usize {
+        // zigzag(±radius) + 1 = 2*radius + 1 at most.
+        2 * self.radius as usize + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_diff_gives_symbol_one() {
+        let q = LinearQuantizer::new(0.1, 1 << 15);
+        match q.quantize(5.0, 5.0) {
+            QuantOutcome::Code { symbol, reconstructed } => {
+                assert_eq!(symbol, LinearQuantizer::symbol_of(0));
+                assert_eq!(reconstructed, 5.0);
+            }
+            _ => panic!("escape unexpected"),
+        }
+    }
+
+    #[test]
+    fn bound_holds_over_range() {
+        let eb = 1e-3;
+        let q = LinearQuantizer::new(eb, 1 << 15);
+        let pred = 1.0;
+        let mut checked = 0;
+        for i in -2000..2000 {
+            let actual = pred + i as f64 * 3.7e-4;
+            if let QuantOutcome::Code { symbol, reconstructed } = q.quantize(actual, pred) {
+                assert!((reconstructed - actual).abs() <= eb);
+                assert_eq!(q.reconstruct(symbol, pred), reconstructed);
+                checked += 1;
+            }
+        }
+        assert!(checked > 3900, "almost all values should be codable");
+    }
+
+    #[test]
+    fn escape_on_radius_overflow() {
+        let q = LinearQuantizer::new(1e-6, 8);
+        assert_eq!(q.quantize(1.0, 0.0), QuantOutcome::Escape);
+        // Just inside the radius codes fine.
+        assert!(matches!(q.quantize(8.0 * 2e-6, 0.0), QuantOutcome::Code { .. }));
+    }
+
+    #[test]
+    fn escape_on_nonfinite() {
+        let q = LinearQuantizer::new(0.1, 1 << 15);
+        assert_eq!(q.quantize(f64::NAN, 0.0), QuantOutcome::Escape);
+        assert_eq!(q.quantize(f64::INFINITY, 0.0), QuantOutcome::Escape);
+        assert_eq!(q.quantize(0.0, f64::NAN), QuantOutcome::Escape);
+    }
+
+    #[test]
+    fn symbol_mapping_roundtrip() {
+        for code in [-100i64, -1, 0, 1, 2, 77, 32768, -32768] {
+            let s = LinearQuantizer::symbol_of(code);
+            assert_ne!(s, ESCAPE_SYMBOL);
+            assert_eq!(LinearQuantizer::code_of(s), code);
+        }
+    }
+
+    #[test]
+    fn small_codes_get_small_symbols() {
+        assert_eq!(LinearQuantizer::symbol_of(0), 1);
+        assert_eq!(LinearQuantizer::symbol_of(-1), 2);
+        assert_eq!(LinearQuantizer::symbol_of(1), 3);
+    }
+
+    #[test]
+    fn reconstruction_matches_compressor_view() {
+        // The reconstructed value returned at compression time must equal the
+        // decompressor's arithmetic exactly — this is what prevents error
+        // propagation across hierarchy levels.
+        let q = LinearQuantizer::new(0.05, 1 << 15);
+        let pred = std::f64::consts::PI;
+        let actual = 3.3;
+        if let QuantOutcome::Code { symbol, reconstructed } = q.quantize(actual, pred) {
+            assert_eq!(q.reconstruct(symbol, pred).to_bits(), reconstructed.to_bits());
+        } else {
+            panic!("should be codable");
+        }
+    }
+
+    #[test]
+    fn alphabet_is_bounded() {
+        let q = LinearQuantizer::new(0.1, 4);
+        for i in -400..400 {
+            if let QuantOutcome::Code { symbol, .. } = q.quantize(i as f64 * 0.01, 0.0) {
+                assert!((symbol as usize) < q.alphabet_size());
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Byte-oriented run-length encoding.
+//!
+//! Used for significance maps and sign planes in the transform-based
+//! baselines (ZFP/SPERR analogues), where long zero runs dominate.
+
+use crate::byteio::{ByteReader, ByteWriter};
+use crate::Result;
+
+/// Run-length encode `data` as `(byte, run_len)` pairs with varint run
+/// lengths.
+pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(data.len() / 4 + 16);
+    w.put_uvarint(data.len() as u64);
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        w.put_u8(b);
+        w.put_uvarint(run as u64);
+        i += run;
+    }
+    w.finish()
+}
+
+/// Inverse of [`encode`].
+pub fn decode(data: &[u8]) -> Result<Vec<u8>> {
+    let mut r = ByteReader::new(data);
+    let total = r.get_uvarint()? as usize;
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let b = r.get_u8()?;
+        let run = r.get_uvarint()? as usize;
+        if run == 0 || out.len() + run > total {
+            return Err(crate::CodecError::corrupt("invalid RLE run"));
+        }
+        out.resize(out.len() + run, b);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn all_same() {
+        let data = vec![7u8; 100_000];
+        let enc = encode(&data);
+        assert!(enc.len() < 16);
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn alternating_worst_case() {
+        let data: Vec<u8> = (0..1000).map(|i| (i % 2) as u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn mixed_runs() {
+        let mut data = Vec::new();
+        for (i, run) in [(1u8, 5usize), (0, 300), (255, 1), (0, 2), (9, 129)].iter().enumerate() {
+            let _ = i;
+            data.extend(std::iter::repeat_n(run.0, run.1));
+        }
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_fails() {
+        let data = vec![3u8; 50];
+        let enc = encode(&data);
+        assert!(decode(&enc[..enc.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn zero_run_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_uvarint(5);
+        w.put_u8(1);
+        w.put_uvarint(0); // invalid zero run
+        let bytes = w.finish();
+        assert!(decode(&bytes).is_err());
+    }
+}

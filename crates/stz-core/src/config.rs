@@ -1,0 +1,145 @@
+//! STZ compressor configuration.
+
+use stz_field::{Field, Scalar};
+use stz_sz3::{ErrorBound, InterpKind};
+
+/// Default ratio between consecutive level error bounds (paper §3.1,
+/// prediction optimization 5: `eb_l2 = 2.5 × eb_l1`).
+pub const DEFAULT_ADAPTIVE_RATIO: f64 = 2.5;
+
+/// Configuration of the STZ streaming compressor.
+///
+/// The error bound `eb` is the *user-facing* point-wise bound: it applies to
+/// the finest level, which dominates the data (87.5% in 3-D). With
+/// `adaptive` enabled, each coarser level is compressed `adaptive_ratio`
+/// times more precisely, both because coarser-level errors propagate into
+/// finer-level predictions and because the coarse levels serve as standalone
+/// progressive previews (paper §3.1, optimization 5).
+#[derive(Debug, Clone, Copy)]
+pub struct StzConfig {
+    /// Error bound at the finest level.
+    pub eb: ErrorBound,
+    /// Number of hierarchy levels (2–4; the paper evaluates 2 and 3 and
+    /// proposes 4 for ≥4096³ grids).
+    pub levels: u8,
+    /// Interpolation order of the hierarchical prediction.
+    pub interp: InterpKind,
+    /// Whether coarser levels use tighter error bounds.
+    pub adaptive: bool,
+    /// Ratio between consecutive level bounds when `adaptive` is set.
+    pub adaptive_ratio: f64,
+    /// Quantizer radius (maximum |code| before escaping).
+    pub radius: i64,
+}
+
+impl StzConfig {
+    /// The paper's default: 3-level partition, cubic interpolation, adaptive
+    /// error bounds.
+    pub fn three_level(eb: f64) -> Self {
+        StzConfig {
+            eb: ErrorBound::Absolute(eb),
+            levels: 3,
+            interp: InterpKind::Cubic,
+            adaptive: true,
+            adaptive_ratio: DEFAULT_ADAPTIVE_RATIO,
+            radius: 1 << 15,
+        }
+    }
+
+    /// The 2-level variant of §3.1.
+    pub fn two_level(eb: f64) -> Self {
+        StzConfig { levels: 2, ..StzConfig::three_level(eb) }
+    }
+
+    /// Value-range-relative error bound variant.
+    pub fn three_level_relative(rel: f64) -> Self {
+        StzConfig { eb: ErrorBound::Relative(rel), ..StzConfig::three_level(0.0_f64.max(1.0)) }
+    }
+
+    pub fn with_levels(mut self, levels: u8) -> Self {
+        assert!((2..=4).contains(&levels), "STZ supports 2–4 levels");
+        self.levels = levels;
+        self
+    }
+
+    pub fn with_interp(mut self, interp: InterpKind) -> Self {
+        self.interp = interp;
+        self
+    }
+
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    pub fn with_radius(mut self, radius: i64) -> Self {
+        assert!(radius > 0);
+        self.radius = radius;
+        self
+    }
+
+    /// Resolve the per-level absolute error bounds for a concrete field.
+    /// Index 0 is level 1 (coarsest); the last entry is the finest level and
+    /// equals the user bound.
+    pub fn level_ebs<T: Scalar>(&self, field: &Field<T>) -> Vec<f64> {
+        let eb = self.eb.absolute_for(field);
+        self.level_ebs_from_absolute(eb)
+    }
+
+    /// Same as [`StzConfig::level_ebs`] given an already-resolved bound.
+    pub fn level_ebs_from_absolute(&self, eb: f64) -> Vec<f64> {
+        assert!(eb > 0.0 && eb.is_finite(), "error bound must be positive");
+        let ratio = if self.adaptive { self.adaptive_ratio } else { 1.0 };
+        (0..self.levels)
+            .map(|k| {
+                let depth = (self.levels - 1 - k) as i32;
+                eb / ratio.powi(depth)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stz_field::Dims;
+
+    #[test]
+    fn three_level_defaults() {
+        let c = StzConfig::three_level(0.01);
+        assert_eq!(c.levels, 3);
+        assert_eq!(c.interp, InterpKind::Cubic);
+        assert!(c.adaptive);
+    }
+
+    #[test]
+    fn adaptive_ebs_scale_by_ratio() {
+        let c = StzConfig::three_level(1.0);
+        let ebs = c.level_ebs_from_absolute(1.0);
+        assert_eq!(ebs.len(), 3);
+        assert!((ebs[2] - 1.0).abs() < 1e-15);
+        assert!((ebs[1] - 1.0 / 2.5).abs() < 1e-15);
+        assert!((ebs[0] - 1.0 / 6.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_adaptive_ebs_uniform() {
+        let c = StzConfig::three_level(0.5).with_adaptive(false);
+        let ebs = c.level_ebs_from_absolute(0.5);
+        assert!(ebs.iter().all(|&e| (e - 0.5).abs() < 1e-15));
+    }
+
+    #[test]
+    fn relative_bound_resolves_against_range() {
+        let f = Field::from_fn(Dims::d1(3), |_, _, x| x as f32 * 10.0); // range 20
+        let c = StzConfig::three_level_relative(1e-2);
+        let ebs = c.level_ebs(&f);
+        assert!((ebs[2] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn five_levels_rejected() {
+        let _ = StzConfig::three_level(0.1).with_levels(5);
+    }
+}

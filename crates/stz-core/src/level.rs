@@ -1,0 +1,317 @@
+//! Hierarchy geometry: which sub-lattice belongs to which level (paper §3.2).
+//!
+//! For an `L`-level hierarchy over a d-dimensional grid:
+//!
+//! * **Level 1** is the offset-origin sub-lattice with stride `2^(L-1)`
+//!   (stride 4 for the paper's 3-level scheme: sub-block *A*, 1/64 of a 3-D
+//!   grid).
+//! * **Level k** (`k ≥ 2`) has *unit* `u = 2^(L-k)` and stride `2u`; its
+//!   sub-blocks sit at offsets `u · (o)` for every nonzero binary offset
+//!   `o ∈ {0,1}^d`. Together with all coarser levels they tile the lattice of
+//!   stride `u` exactly.
+//!
+//! Every geometric fact the compressor, the progressive decoder and the
+//! random-access decoder need is derived from `Dims` + `levels` alone, so
+//! the two sides can never disagree.
+
+use stz_field::{partition::offset_from_bits, Dims, SubLattice};
+
+/// One sub-block of one hierarchy level.
+///
+/// Each block has two coordinate systems:
+///
+/// * **parent coordinates** — positions in the original grid
+///   ([`BlockSpec::lattice`]); used to gather original values and to place
+///   final reconstructions.
+/// * **grid coordinates** — positions in the level's *working grid*, the
+///   stride-`unit` coarsening of the parent ([`BlockSpec::grid_lattice`]).
+///   In grid coordinates every level looks like a stride-2 refinement with
+///   prediction unit 1, so prediction kernels always run on a compact,
+///   cache-friendly grid (this realizes the locality advantage over SZ3
+///   discussed in paper §4.4).
+#[derive(Debug, Clone)]
+pub struct BlockSpec {
+    /// The raw offset bit pattern `zyx` (canonical block id within a level;
+    /// stable even when other blocks are empty).
+    pub bits: usize,
+    /// Offset of the sub-lattice in parent coordinates.
+    pub offset: [usize; 3],
+    /// Prediction unit in parent coordinates: targets are `unit` away (per
+    /// active axis) from their coarse sources.
+    pub unit: usize,
+    /// Axes along which this block is displaced from the coarse lattice
+    /// (the paper's 1-, 2-, or 3-Manhattan-unit cases of Fig. 7).
+    pub active_axes: Vec<usize>,
+    /// The sub-lattice in parent coordinates.
+    pub lattice: SubLattice,
+    /// The same sub-lattice in working-grid coordinates (offset ∈ {0,1}³,
+    /// stride 2 over the level's working grid).
+    pub grid_lattice: SubLattice,
+}
+
+/// One hierarchy level.
+#[derive(Debug, Clone)]
+pub struct LevelSpec {
+    /// 1-based level index.
+    pub index: u8,
+    /// Sampling stride of this level's sub-lattices in parent coordinates.
+    pub stride: usize,
+    /// Prediction unit (0 for level 1, which is SZ3-compressed instead).
+    pub unit: usize,
+    /// Dims of this level's working grid: the stride-`unit` coarsening of
+    /// the parent grid, which is fully known once this level is decoded.
+    pub grid_dims: Dims,
+    /// Dims of the previous level's working grid (stride `2·unit`); its
+    /// points sit at the even positions of this level's working grid.
+    pub prev_grid_dims: Dims,
+    /// Non-empty sub-blocks, in canonical `bits` order.
+    pub blocks: Vec<BlockSpec>,
+}
+
+impl LevelSpec {
+    /// Total number of points on this level.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.lattice.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// The complete hierarchy plan for a grid.
+#[derive(Debug, Clone)]
+pub struct LevelPlan {
+    pub dims: Dims,
+    pub levels: Vec<LevelSpec>,
+}
+
+impl LevelPlan {
+    /// Build the `num_levels`-level plan for `dims`.
+    pub fn new(dims: Dims, num_levels: u8) -> Self {
+        assert!((2..=4).contains(&num_levels), "STZ supports 2–4 levels");
+        let ndim = dims.ndim();
+        let mut levels = Vec::with_capacity(num_levels as usize);
+
+        // Level 1: origin sub-lattice at the coarsest stride.
+        let stride1 = 1usize << (num_levels - 1);
+        let l1 = SubLattice::new(dims, [0, 0, 0], stride1)
+            .expect("origin sub-lattice is never empty");
+        let l1_grid_dims = dims.coarsened(stride1);
+        levels.push(LevelSpec {
+            index: 1,
+            stride: stride1,
+            unit: 0,
+            grid_dims: l1_grid_dims,
+            prev_grid_dims: l1_grid_dims,
+            blocks: vec![BlockSpec {
+                bits: 0,
+                offset: [0, 0, 0],
+                unit: 0,
+                active_axes: Vec::new(),
+                lattice: l1,
+                grid_lattice: SubLattice::new(l1_grid_dims, [0, 0, 0], 1)
+                    .expect("origin sub-lattice is never empty"),
+            }],
+        });
+
+        // Levels 2..=L.
+        for k in 2..=num_levels {
+            let unit = 1usize << (num_levels - k);
+            let stride = 2 * unit;
+            let grid_dims = dims.coarsened(unit);
+            let prev_grid_dims = dims.coarsened(stride);
+            let mut blocks = Vec::new();
+            for bits in 1..(1usize << ndim) {
+                let o = offset_from_bits(ndim, bits);
+                let offset = [o[0] * unit, o[1] * unit, o[2] * unit];
+                if let Some(lattice) = SubLattice::new(dims, offset, stride) {
+                    let grid_lattice = SubLattice::new(grid_dims, o, 2)
+                        .expect("grid lattice empty while parent lattice is not");
+                    debug_assert_eq!(
+                        grid_lattice.dims().as_array(),
+                        lattice.dims().as_array(),
+                        "grid/parent lattice extent mismatch"
+                    );
+                    let active_axes =
+                        (0..3).filter(|&d| o[d] == 1).collect::<Vec<_>>();
+                    blocks.push(BlockSpec {
+                        bits,
+                        offset,
+                        unit,
+                        active_axes,
+                        lattice,
+                        grid_lattice,
+                    });
+                }
+            }
+            levels.push(LevelSpec { index: k, stride, unit, grid_dims, prev_grid_dims, blocks });
+        }
+
+        LevelPlan { dims, levels }
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> u8 {
+        self.levels.len() as u8
+    }
+
+    /// The level-1 sub-lattice (sub-block *A*).
+    pub fn level1(&self) -> &SubLattice {
+        &self.levels[0].blocks[0].lattice
+    }
+
+    /// Dims of the coarse preview available after decoding levels `1..=k`:
+    /// the stride-`2^(L-k)` origin lattice.
+    pub fn preview_dims(&self, k: u8) -> Dims {
+        assert!((1..=self.num_levels()).contains(&k));
+        let stride = 1usize << (self.num_levels() - k);
+        self.dims.coarsened(stride)
+    }
+
+    /// Fraction of all points on levels `1..=k` (e.g. 1/64 ≈ 1.6% for level 1
+    /// of a 3-level 3-D hierarchy, as quoted throughout the paper).
+    pub fn cumulative_fraction(&self, k: u8) -> f64 {
+        let pts: usize = self.levels[..k as usize].iter().map(|l| l.len()).sum();
+        pts as f64 / self.dims.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn three_level_3d_block_counts() {
+        let plan = LevelPlan::new(Dims::d3(16, 16, 16), 3);
+        assert_eq!(plan.levels.len(), 3);
+        assert_eq!(plan.levels[0].blocks.len(), 1);
+        assert_eq!(plan.levels[1].blocks.len(), 7);
+        assert_eq!(plan.levels[2].blocks.len(), 7);
+        assert_eq!(plan.levels[0].stride, 4);
+        assert_eq!(plan.levels[1].stride, 4);
+        assert_eq!(plan.levels[1].unit, 2);
+        assert_eq!(plan.levels[2].stride, 2);
+        assert_eq!(plan.levels[2].unit, 1);
+    }
+
+    #[test]
+    fn two_level_2d_block_counts() {
+        let plan = LevelPlan::new(Dims::d2(8, 8), 2);
+        assert_eq!(plan.levels[0].blocks.len(), 1);
+        assert_eq!(plan.levels[1].blocks.len(), 3);
+        assert_eq!(plan.levels[0].stride, 2);
+    }
+
+    #[test]
+    fn levels_tile_grid_exactly() {
+        for dims in [
+            Dims::d3(16, 16, 16),
+            Dims::d3(13, 10, 7),
+            Dims::d2(9, 14),
+            Dims::d1(21),
+            Dims::d3(5, 5, 5),
+        ] {
+            for num_levels in 2..=3u8 {
+                let plan = LevelPlan::new(dims, num_levels);
+                let mut seen = HashSet::new();
+                for level in &plan.levels {
+                    for block in &level.blocks {
+                        block.lattice.for_each_point(|_, z, y, x| {
+                            assert!(
+                                seen.insert((z, y, x)),
+                                "{dims} L{} block {:?} repeats ({z},{y},{x})",
+                                level.index,
+                                block.offset
+                            );
+                        });
+                    }
+                }
+                assert_eq!(seen.len(), dims.len(), "{dims} {num_levels}-level coverage");
+            }
+        }
+    }
+
+    #[test]
+    fn level_fractions_match_paper() {
+        // 3-level 3-D: level 1 = 1/64 ≈ 1.6% (paper §3.2); levels 1+2 = 1/8.
+        let plan = LevelPlan::new(Dims::d3(64, 64, 64), 3);
+        assert!((plan.cumulative_fraction(1) - 1.0 / 64.0).abs() < 1e-12);
+        assert!((plan.cumulative_fraction(2) - 1.0 / 8.0).abs() < 1e-12);
+        assert!((plan.cumulative_fraction(3) - 1.0).abs() < 1e-12);
+        // 2-level: level 1 = 1/8 = 12.5% (paper §3.2).
+        let plan2 = LevelPlan::new(Dims::d3(64, 64, 64), 2);
+        assert!((plan2.cumulative_fraction(1) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn active_axes_match_offsets() {
+        let plan = LevelPlan::new(Dims::d3(16, 16, 16), 3);
+        for block in &plan.levels[1].blocks {
+            let expect: Vec<usize> =
+                (0..3).filter(|&d| block.offset[d] != 0).collect();
+            assert_eq!(block.active_axes, expect);
+            // Level-2 offsets are multiples of unit=2.
+            assert!(block.offset.iter().all(|&o| o % 2 == 0));
+        }
+    }
+
+    #[test]
+    fn preview_dims_at_each_level() {
+        let plan = LevelPlan::new(Dims::d3(17, 9, 33), 3);
+        assert_eq!(plan.preview_dims(1).as_array(), [5, 3, 9]);
+        assert_eq!(plan.preview_dims(2).as_array(), [9, 5, 17]);
+        assert_eq!(plan.preview_dims(3).as_array(), [17, 9, 33]);
+    }
+
+    #[test]
+    fn grid_and_parent_lattices_agree() {
+        // Every block's grid-coordinate lattice must have identical extents
+        // to its parent-coordinate lattice, and map point-for-point:
+        // parent = unit * grid.
+        for dims in [Dims::d3(16, 16, 16), Dims::d3(11, 6, 9), Dims::d2(7, 10)] {
+            let plan = LevelPlan::new(dims, 3);
+            for level in plan.levels.iter().skip(1) {
+                for block in &level.blocks {
+                    assert_eq!(
+                        block.grid_lattice.dims().as_array(),
+                        block.lattice.dims().as_array()
+                    );
+                    let u = block.unit;
+                    let (bz, by, bx) = (0, 0, 0);
+                    let parent = block.lattice.to_parent(bz, by, bx);
+                    let grid = block.grid_lattice.to_parent(bz, by, bx);
+                    assert_eq!(parent, (grid.0 * u, grid.1 * u, grid.2 * u));
+                }
+                assert_eq!(level.grid_dims, plan.dims.coarsened(level.unit));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_dims_chain() {
+        let plan = LevelPlan::new(Dims::d3(16, 16, 16), 3);
+        // Level 2 works in the stride-2 grid, refined from the stride-4 grid.
+        assert_eq!(plan.levels[1].grid_dims.as_array(), [8, 8, 8]);
+        assert_eq!(plan.levels[1].prev_grid_dims.as_array(), [4, 4, 4]);
+        assert_eq!(plan.levels[2].grid_dims.as_array(), [16, 16, 16]);
+        assert_eq!(plan.levels[2].prev_grid_dims.as_array(), [8, 8, 8]);
+    }
+
+    #[test]
+    fn four_level_plan_supported() {
+        let plan = LevelPlan::new(Dims::d3(32, 32, 32), 4);
+        assert_eq!(plan.levels[0].stride, 8);
+        assert_eq!(plan.num_levels(), 4);
+        let mut seen = HashSet::new();
+        for level in &plan.levels {
+            for block in &level.blocks {
+                block.lattice.for_each_point(|_, z, y, x| {
+                    assert!(seen.insert((z, y, x)));
+                });
+            }
+        }
+        assert_eq!(seen.len(), 32 * 32 * 32);
+    }
+}

@@ -1,0 +1,523 @@
+//! Random-access decompression of regions of interest (paper §3.3, Table 4).
+//!
+//! Reconstructing an ROI needs:
+//!
+//! 1. **Level 1** — always decoded in full (the SZ3 stream is monolithic),
+//!    but it is only ~1.6% of the data in the 3-level 3-D scheme.
+//! 2. **Decode** — for every finer level, only the sub-blocks whose lattice
+//!    intersects the (stencil-dilated) ROI are entropy-decoded. A 2-D slice
+//!    of a 3-D grid touches only the sub-blocks matching its z-parity — 3 of
+//!    7 at the finest level, the paper's ≈57% decode saving. A 3-D box
+//!    intersects all sub-blocks, so decode is not reduced (also as in the
+//!    paper).
+//! 3. **Predict** — only the points inside the dilated ROI are predicted and
+//!    reconstructed: cost proportional to the ROI, not the dataset (the
+//!    paper's ≈98.4% prediction saving).
+//!
+//! Every stage is timed separately so the benchmark harness can regenerate
+//! Table 4's breakdown.
+
+use crate::archive::StzArchive;
+use crate::compressor::{decode_level1, parse_block_payload, upscatter, PayloadMeta};
+use crate::kernels::predict_point;
+use crate::level::LevelPlan;
+use std::time::Instant;
+use stz_codec::{huffman, CodecError, LinearQuantizer, Result, ESCAPE_SYMBOL};
+use stz_field::{Field, Region, Scalar};
+use stz_sz3::quant::reconstruct_scalar;
+
+/// Per-stage wall-clock breakdown of one random-access decompression,
+/// mirroring the columns of the paper's Table 4.
+#[derive(Debug, Clone, Default)]
+pub struct AccessBreakdown {
+    /// Seconds decompressing the level-1 SZ3 stream ("L1 SZ3").
+    pub l1_sz3: f64,
+    /// Per finer level (index 0 = level 2): stage timings.
+    pub levels: Vec<LevelTimes>,
+    /// Total seconds.
+    pub total: f64,
+}
+
+/// Stage timings for one finer level.
+#[derive(Debug, Clone, Default)]
+pub struct LevelTimes {
+    /// 2-based level index.
+    pub level: u8,
+    /// Seconds entropy-decoding sub-block streams ("L* dec.").
+    pub decode: f64,
+    /// Seconds predicting + applying residuals for ROI points ("L* pre.").
+    pub predict: f64,
+    /// Seconds assembling working grids ("L* rec.").
+    pub reconstruct: f64,
+    /// Sub-blocks whose streams were (partially) decoded.
+    pub decoded_blocks: usize,
+    /// Sub-blocks skipped entirely (no intersection with the ROI).
+    pub skipped_blocks: usize,
+    /// Huffman chunks entropy-decoded within visited sub-blocks.
+    pub decoded_chunks: usize,
+    /// Huffman chunks skipped within visited sub-blocks — the paper's
+    /// "random-access Huffman decoding" future-work item, realized via
+    /// per-chunk escape counts in the stream.
+    pub skipped_chunks: usize,
+}
+
+impl AccessBreakdown {
+    /// Total seconds spent entropy-decoding across all levels.
+    pub fn decode_total(&self) -> f64 {
+        self.levels.iter().map(|l| l.decode).sum()
+    }
+
+    /// Total seconds spent predicting across all levels.
+    pub fn predict_total(&self) -> f64 {
+        self.levels.iter().map(|l| l.predict).sum()
+    }
+}
+
+/// Shrink a region to the coarse (stride-2 origin) lattice, rounding
+/// outwards: every even point of `r` maps to the result.
+fn halve_region(r: &Region) -> Region {
+    Region {
+        z0: r.z0 / 2,
+        z1: r.z1.div_ceil(2),
+        y0: r.y0 / 2,
+        y1: r.y1.div_ceil(2),
+        x0: r.x0 / 2,
+        x1: r.x1.div_ceil(2),
+    }
+}
+
+/// The per-level needed regions (in each level's working-grid coordinates):
+/// index `k-1` is the region of level `k`'s grid that must be reconstructed.
+pub(crate) fn needed_regions(plan: &LevelPlan, region: &Region) -> Vec<Region> {
+    let nlev = plan.num_levels() as usize;
+    let mut needed = vec![region.clone(); nlev];
+    for k in (0..nlev - 1).rev() {
+        // The level-(k+2) prediction stencil reaches ±3 grid units around
+        // its targets; those sources live at even coordinates of level
+        // (k+2)'s grid, i.e. on level (k+1)'s grid at half coordinates.
+        let finer = &needed[k + 1];
+        let dilated = finer.dilate(3, plan.levels[k + 1].grid_dims);
+        needed[k] = halve_region(&dilated);
+    }
+    needed
+}
+
+/// Random-access decompression of `region` with stage timings.
+pub(crate) fn decompress_region<T: Scalar>(
+    archive: &StzArchive<T>,
+    region: &Region,
+) -> Result<(Field<T>, AccessBreakdown)> {
+    if !region.fits_in(archive.dims()) {
+        return Err(CodecError::corrupt(format!(
+            "region {region:?} outside grid {}",
+            archive.dims()
+        )));
+    }
+    let start = Instant::now();
+    let plan = archive.plan();
+    let needed = needed_regions(&plan, region);
+    let ebs = archive.header().level_ebs();
+    let interp = archive.header().interp;
+    let mut breakdown = AccessBreakdown::default();
+
+    // Level 1: always decoded in full.
+    let t = Instant::now();
+    let mut grid = decode_level1(archive, &plan)?;
+    breakdown.l1_sz3 = t.elapsed().as_secs_f64();
+
+    for level in &plan.levels[1..] {
+        let li = level.index as usize - 1;
+        let quant = LinearQuantizer::new(ebs[li], archive.header().radius);
+        let mut times = LevelTimes { level: level.index, ..Default::default() };
+
+        // Reconstruct: assemble the next working grid from the coarser one.
+        let t = Instant::now();
+        let mut next = Field::<f64>::zeros(level.grid_dims);
+        upscatter(&grid, &mut next);
+        times.reconstruct += t.elapsed().as_secs_f64();
+
+        for (i, block) in level.blocks.iter().enumerate() {
+            // Which of this block's points fall inside the needed region?
+            let target = match needed[li]
+                .project_to_sublattice(block.grid_lattice.offset(), 2)
+            {
+                Some(t) => t,
+                None => {
+                    times.skipped_blocks += 1;
+                    continue;
+                }
+            };
+
+            // Decode only the Huffman chunks the target sub-box touches;
+            // per-chunk escape counts keep the outlier cursor aligned across
+            // skipped chunks (random-access Huffman decoding).
+            let t = Instant::now();
+            let (meta, outliers) = parse_block_payload::<T>(
+                archive.block_bytes(level.index, i),
+                block.lattice.len(),
+            )?;
+            let sparse =
+                SparseSymbols::decode_for(&meta, block.lattice.dims(), &target)?;
+            times.decode += t.elapsed().as_secs_f64();
+            times.decoded_blocks += 1;
+            times.decoded_chunks += sparse.decoded_chunks;
+            times.skipped_chunks += meta.chunks.len() - sparse.decoded_chunks;
+
+            // Predict only the needed points.
+            let t = Instant::now();
+            predict_region::<T>(
+                &sparse,
+                &outliers,
+                block,
+                &target,
+                &quant,
+                interp,
+                &mut next,
+            );
+            times.predict += t.elapsed().as_secs_f64();
+        }
+
+        breakdown.levels.push(times);
+        grid = next;
+    }
+
+    // Final extraction of the ROI from the full-resolution working grid.
+    let t = Instant::now();
+    let roi_grid = grid.extract_region(region);
+    let out = Field::from_vec(
+        roi_grid.dims(),
+        roi_grid.as_slice().iter().map(|&v| T::from_f64(v)).collect(),
+    );
+    if let Some(last) = breakdown.levels.last_mut() {
+        last.reconstruct += t.elapsed().as_secs_f64();
+    }
+    breakdown.total = start.elapsed().as_secs_f64();
+    Ok((out, breakdown))
+}
+
+/// Selectively decoded symbols of one sub-block: only the Huffman chunks
+/// intersecting the target sub-box are materialized.
+struct SparseSymbols {
+    chunk_size: usize,
+    /// Decoded chunks by id; `None` for skipped chunks.
+    decoded: Vec<Option<Vec<u32>>>,
+    /// Global outlier rank at the start of each chunk (prefix sums of the
+    /// per-chunk escape counts).
+    escape_prefix: Vec<usize>,
+    /// Escape positions (block-local indices) within each decoded chunk.
+    escape_positions: Vec<Vec<u32>>,
+    decoded_chunks: usize,
+}
+
+impl SparseSymbols {
+    /// Decode exactly the chunks containing any point of `target` (C-order
+    /// indices over a block of `bdims`).
+    fn decode_for(
+        meta: &PayloadMeta<'_>,
+        bdims: stz_field::Dims,
+        target: &Region,
+    ) -> Result<SparseSymbols> {
+        let (by, bx) = (bdims.ny(), bdims.nx());
+        let nchunks = meta.chunks.len();
+        let mut wanted = vec![false; nchunks];
+        for z in target.z0..target.z1 {
+            for y in target.y0..target.y1 {
+                let row = (z * by + y) * bx;
+                let first = (row + target.x0) / meta.chunk_size;
+                let last = (row + target.x1 - 1) / meta.chunk_size;
+                for c in first..=last.min(nchunks - 1) {
+                    wanted[c] = true;
+                }
+            }
+        }
+        let mut escape_prefix = Vec::with_capacity(nchunks);
+        let mut acc = 0usize;
+        for &e in &meta.chunk_escapes {
+            escape_prefix.push(acc);
+            acc += e;
+        }
+        let mut decoded = Vec::with_capacity(nchunks);
+        let mut escape_positions = Vec::with_capacity(nchunks);
+        let mut decoded_chunks = 0;
+        for (c, &want) in wanted.iter().enumerate() {
+            if !want {
+                decoded.push(None);
+                escape_positions.push(Vec::new());
+                continue;
+            }
+            let symbols = huffman::decode_block(meta.chunks[c])?;
+            if symbols.len() != meta.len_of(c) {
+                return Err(CodecError::corrupt("chunk symbol count mismatch"));
+            }
+            let base = c * meta.chunk_size;
+            let positions: Vec<u32> = symbols
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s == ESCAPE_SYMBOL)
+                .map(|(j, _)| (base + j) as u32)
+                .collect();
+            if positions.len() != meta.chunk_escapes[c] {
+                return Err(CodecError::corrupt("chunk escape count mismatch"));
+            }
+            decoded.push(Some(symbols));
+            escape_positions.push(positions);
+            decoded_chunks += 1;
+        }
+        Ok(SparseSymbols {
+            chunk_size: meta.chunk_size,
+            decoded,
+            escape_prefix,
+            escape_positions,
+            decoded_chunks,
+        })
+    }
+
+    /// Symbol at block-local index `idx` (its chunk must be decoded).
+    #[inline]
+    fn symbol(&self, idx: usize) -> u32 {
+        let c = idx / self.chunk_size;
+        self.decoded[c].as_ref().expect("chunk was decoded")[idx % self.chunk_size]
+    }
+
+    /// Global outlier rank of the escape at block-local index `idx`.
+    fn outlier_rank(&self, idx: usize) -> usize {
+        let c = idx / self.chunk_size;
+        let within = self.escape_positions[c]
+            .binary_search(&(idx as u32))
+            .expect("escape symbol must be catalogued");
+        self.escape_prefix[c] + within
+    }
+}
+
+/// Reconstruct the `target` sub-box of one block directly into the working
+/// grid. `target` is in block-local coordinates.
+fn predict_region<T: Scalar>(
+    sparse: &SparseSymbols,
+    outliers: &[T],
+    block: &crate::level::BlockSpec,
+    target: &Region,
+    quant: &LinearQuantizer,
+    interp: stz_sz3::InterpKind,
+    next: &mut Field<f64>,
+) {
+    let bdims = block.lattice.dims();
+    let (by, bx) = (bdims.ny(), bdims.nx());
+    let gdims = next.dims();
+    let active = &block.active_axes[..];
+    for z in target.z0..target.z1 {
+        for y in target.y0..target.y1 {
+            let row = (z * by + y) * bx;
+            for x in target.x0..target.x1 {
+                let idx = row + x;
+                let (gz, gy, gx) = block.grid_lattice.to_parent(z, y, x);
+                let symbol = sparse.symbol(idx);
+                let value = if symbol == ESCAPE_SYMBOL {
+                    outliers[sparse.outlier_rank(idx)].to_f64()
+                } else {
+                    // Prediction sources are even-coordinate grid points,
+                    // already present in `next`.
+                    let pred = {
+                        let gbuf = next.as_slice();
+                        predict_point(gbuf, gdims, [gz, gy, gx], active, 1, interp)
+                    };
+                    reconstruct_scalar::<T>(quant, symbol, pred)
+                };
+                let gidx = gdims.index(gz, gy, gx);
+                next.as_mut_slice()[gidx] = value;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StzCompressor, StzConfig};
+    use stz_field::Dims;
+
+    fn field(dims: Dims) -> Field<f32> {
+        Field::from_fn(dims, |z, y, x| {
+            ((z as f32) * 0.17).sin() * ((y as f32) * 0.23).cos()
+                + ((x as f32) * 0.11).sin()
+                + 0.01 * (z + y) as f32
+        })
+    }
+
+    fn archive(dims: Dims, eb: f64) -> (Field<f32>, StzArchive<f32>) {
+        let f = field(dims);
+        let a = StzCompressor::new(StzConfig::three_level(eb)).compress(&f).unwrap();
+        (f, a)
+    }
+
+    #[test]
+    fn roi_matches_full_decompression() {
+        let (_, a) = archive(Dims::d3(24, 24, 24), 1e-3);
+        let full = a.decompress().unwrap();
+        for region in [
+            Region::d3(3..9, 5..12, 7..20),
+            Region::d3(0..1, 0..24, 0..24), // 2-D slice at z = 0
+            Region::d3(11..12, 0..24, 0..24), // 2-D slice at odd z
+            Region::d3(0..24, 0..24, 0..24), // everything
+            Region::d3(23..24, 23..24, 23..24), // single corner point
+        ] {
+            let roi = a.decompress_region(&region).unwrap();
+            let expect = full.extract_region(&region);
+            assert_eq!(roi, expect, "region {region:?}");
+        }
+    }
+
+    #[test]
+    fn roi_error_bounded() {
+        let (f, a) = archive(Dims::d3(20, 22, 26), 1e-2);
+        let region = Region::d3(2..10, 3..15, 4..22);
+        let roi = a.decompress_region(&region).unwrap();
+        let orig = f.extract_region(&region);
+        let err = orig
+            .as_slice()
+            .iter()
+            .zip(roi.as_slice())
+            .map(|(&o, &r)| ((o as f64) - (r as f64)).abs())
+            .fold(0.0, f64::max);
+        assert!(err <= 1e-2);
+    }
+
+    #[test]
+    fn slice_skips_blocks_box_does_not() {
+        let (_, a) = archive(Dims::d3(32, 32, 32), 1e-3);
+        // Even-z slice: level-3 blocks with oz = 1 are not needed -> 3 of 7.
+        let (_, bd) = a
+            .decompress_region_with_breakdown(&Region::slice_z(Dims::d3(32, 32, 32), 8))
+            .unwrap();
+        let l3 = &bd.levels[1];
+        assert_eq!(l3.decoded_blocks, 3, "even slice decodes 3 of 7 level-3 blocks");
+        assert_eq!(l3.skipped_blocks, 4);
+        // Interior 3-D box: every level-3 block intersects.
+        let (_, bd) = a
+            .decompress_region_with_breakdown(&Region::d3(8..20, 8..20, 8..20))
+            .unwrap();
+        assert_eq!(bd.levels[1].decoded_blocks, 7);
+        assert_eq!(bd.levels[1].skipped_blocks, 0);
+    }
+
+    #[test]
+    fn odd_slice_uses_oz1_blocks() {
+        let (_, a) = archive(Dims::d3(32, 32, 32), 1e-3);
+        let full = a.decompress().unwrap();
+        let region = Region::slice_z(Dims::d3(32, 32, 32), 9);
+        let (roi, bd) = a.decompress_region_with_breakdown(&region).unwrap();
+        assert_eq!(roi, full.extract_region(&region));
+        // Odd-z slice needs the 4 blocks with oz = 1 at level 3.
+        assert_eq!(bd.levels[1].decoded_blocks, 4);
+    }
+
+    #[test]
+    fn needed_regions_cover_stencils() {
+        let plan = LevelPlan::new(Dims::d3(32, 32, 32), 3);
+        let region = Region::d3(10..12, 10..12, 10..12);
+        let needed = needed_regions(&plan, &region);
+        // Finest level: the region itself.
+        assert_eq!(needed[2], region);
+        // Level-2 grid (16^3): region/2 dilated by stencil reach.
+        assert!(needed[1].contains(5, 5, 5));
+        assert!(needed[1].z0 <= 4 && needed[1].z1 >= 7);
+        // Level-1 grid (8^3) must cover the level-2 stencil sources.
+        assert!(needed[0].z1 <= 8);
+    }
+
+    #[test]
+    fn region_outside_grid_rejected() {
+        let (_, a) = archive(Dims::d3(16, 16, 16), 1e-3);
+        assert!(a.decompress_region(&Region::d3(0..17, 0..4, 0..4)).is_err());
+    }
+
+    #[test]
+    fn roi_with_outliers_in_and_out() {
+        // Escaped values inside and outside the ROI must not desynchronize
+        // the outlier cursor.
+        let mut f = field(Dims::d3(16, 16, 16));
+        f.set(1, 1, 1, 1e30); // outside ROI (level-3 point)
+        f.set(9, 9, 9, -1e30); // inside ROI (level-3 point)
+        f.set(5, 9, 9, 2e30); // inside ROI
+        let a = StzCompressor::new(StzConfig::three_level(1e-3)).compress(&f).unwrap();
+        let region = Region::d3(4..12, 6..12, 6..12);
+        let roi = a.decompress_region(&region).unwrap();
+        assert_eq!(roi.get(9 - 4, 9 - 6, 9 - 6), -1e30);
+        assert_eq!(roi.get(5 - 4, 9 - 6, 9 - 6), 2e30);
+        let full = a.decompress().unwrap();
+        assert_eq!(roi, full.extract_region(&region));
+    }
+
+    #[test]
+    fn two_level_archive_roi() {
+        let f = field(Dims::d3(18, 18, 18));
+        let a = StzCompressor::new(StzConfig::two_level(1e-3)).compress(&f).unwrap();
+        let region = Region::d3(5..10, 0..18, 2..9);
+        let roi = a.decompress_region(&region).unwrap();
+        assert_eq!(roi, a.decompress().unwrap().extract_region(&region));
+    }
+
+    #[test]
+    fn chunk_skipping_with_scattered_escapes() {
+        // Escapes inside skipped chunks must not desynchronize outlier ranks
+        // of escapes inside decoded chunks (random-access Huffman decoding).
+        let mut f = field(Dims::d3(24, 24, 24));
+        // Outliers spread across the whole volume (different level-3 blocks
+        // and chunk positions).
+        for (i, &(z, y, x)) in [(1, 1, 1), (3, 5, 7), (9, 9, 9), (15, 3, 21), (23, 23, 23)]
+            .iter()
+            .enumerate()
+        {
+            f.set(z, y, x, 1e30 + i as f32 * 1e28);
+        }
+        let a = StzCompressor::new(
+            // Tiny radius forces extra escapes everywhere.
+            StzConfig::three_level(1e-4).with_radius(16),
+        )
+        .compress(&f)
+        .unwrap();
+        let full = a.decompress().unwrap();
+        for region in [
+            Region::d3(8..12, 8..12, 8..12),
+            Region::slice_z(Dims::d3(24, 24, 24), 9),
+            Region::d3(20..24, 20..24, 20..24),
+            Region::d3(0..24, 0..24, 0..24),
+        ] {
+            let roi = a.decompress_region(&region).unwrap();
+            assert_eq!(roi, full.extract_region(&region), "{region:?}");
+        }
+    }
+
+    #[test]
+    fn small_roi_skips_chunks_in_large_blocks() {
+        // On a block large enough to span multiple Huffman chunks, a small
+        // ROI must entropy-decode only a subset of them.
+        let f = field(Dims::d3(96, 96, 96));
+        let a = StzCompressor::new(StzConfig::three_level(1e-2)).compress(&f).unwrap();
+        let region = Region::d3(0..4, 0..4, 0..4);
+        let (_, bd) = a.decompress_region_with_breakdown(&region).unwrap();
+        let finest = bd.levels.last().unwrap();
+        assert!(
+            finest.skipped_chunks > 0,
+            "expected chunk skipping: decoded {} skipped {}",
+            finest.decoded_chunks,
+            finest.skipped_chunks
+        );
+        // And correctness still holds.
+        let full = a.decompress().unwrap();
+        assert_eq!(a.decompress_region(&region).unwrap(), full.extract_region(&region));
+    }
+
+    #[test]
+    fn breakdown_totals_are_consistent() {
+        let (_, a) = archive(Dims::d3(24, 24, 24), 1e-3);
+        let (_, bd) = a
+            .decompress_region_with_breakdown(&Region::d3(0..6, 0..6, 0..6))
+            .unwrap();
+        assert!(bd.total > 0.0);
+        assert!(bd.l1_sz3 > 0.0);
+        assert_eq!(bd.levels.len(), 2);
+        let sum = bd.l1_sz3 + bd.decode_total() + bd.predict_total()
+            + bd.levels.iter().map(|l| l.reconstruct).sum::<f64>();
+        assert!(sum <= bd.total * 1.5, "stage sum {sum} vs total {}", bd.total);
+    }
+}

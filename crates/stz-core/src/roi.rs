@@ -1,0 +1,240 @@
+//! ROI selection module (paper §3.3, Fig. 10).
+//!
+//! Identifies regions of interest in a (typically coarse, progressively
+//! decompressed) field, to be fetched at full resolution via random-access
+//! decompression. Two thresholding modes are provided, as in the paper:
+//!
+//! * **range thresholding** — selects tiles whose value *range* exceeds a
+//!   threshold; suited to interface-tracking in fluid simulations.
+//! * **max-value thresholding** — selects tiles whose *maximum* exceeds a
+//!   threshold; suited to over-density halos in cosmology (the paper's Nyx
+//!   example uses threshold 81.66).
+//!
+//! Both support absolute thresholds and top-`x`% selection.
+
+use stz_field::{Dims, Field, Region, Scalar};
+
+/// Statistic a tile is scored by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoiStat {
+    /// `max - min` of the tile.
+    Range,
+    /// Maximum value of the tile.
+    MaxValue,
+}
+
+/// Selection criterion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoiCriterion {
+    /// Select tiles whose statistic exceeds the threshold.
+    Threshold(RoiStat, f64),
+    /// Select the top `percent` (0–100] of tiles by the statistic.
+    TopPercent(RoiStat, f64),
+}
+
+/// A scored tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredTile {
+    pub region: Region,
+    pub score: f64,
+}
+
+/// Split `dims` into tiles of at most `tile` points per axis and score each
+/// by `stat`.
+pub fn score_tiles<T: Scalar>(field: &Field<T>, tile: [usize; 3], stat: RoiStat) -> Vec<ScoredTile> {
+    assert!(tile.iter().all(|&t| t > 0), "tile extents must be positive");
+    let dims = field.dims();
+    let mut out = Vec::new();
+    let mut z0 = 0;
+    while z0 < dims.nz() {
+        let z1 = (z0 + tile[0]).min(dims.nz());
+        let mut y0 = 0;
+        while y0 < dims.ny() {
+            let y1 = (y0 + tile[1]).min(dims.ny());
+            let mut x0 = 0;
+            while x0 < dims.nx() {
+                let x1 = (x0 + tile[2]).min(dims.nx());
+                let region = Region::d3(z0..z1, y0..y1, x0..x1);
+                let (lo, hi) = tile_range(field, &region);
+                let score = match stat {
+                    RoiStat::Range => hi - lo,
+                    RoiStat::MaxValue => hi,
+                };
+                out.push(ScoredTile { region, score });
+                x0 = x1;
+            }
+            y0 = y1;
+        }
+        z0 = z1;
+    }
+    out
+}
+
+fn tile_range<T: Scalar>(field: &Field<T>, r: &Region) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for z in r.z0..r.z1 {
+        for y in r.y0..r.y1 {
+            for x in r.x0..r.x1 {
+                let v = field.get(z, y, x).to_f64();
+                if v.is_nan() {
+                    continue;
+                }
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+    }
+    if lo > hi {
+        (0.0, 0.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Select ROI tiles of a field according to `criterion`.
+pub fn select_regions<T: Scalar>(
+    field: &Field<T>,
+    tile: [usize; 3],
+    criterion: RoiCriterion,
+) -> Vec<Region> {
+    match criterion {
+        RoiCriterion::Threshold(stat, threshold) => score_tiles(field, tile, stat)
+            .into_iter()
+            .filter(|t| t.score > threshold)
+            .map(|t| t.region)
+            .collect(),
+        RoiCriterion::TopPercent(stat, percent) => {
+            assert!(percent > 0.0 && percent <= 100.0, "percent must be in (0, 100]");
+            let mut tiles = score_tiles(field, tile, stat);
+            tiles.sort_by(|a, b| b.score.total_cmp(&a.score));
+            let keep = ((tiles.len() as f64 * percent / 100.0).ceil() as usize).max(1);
+            tiles.truncate(keep);
+            tiles.into_iter().map(|t| t.region).collect()
+        }
+    }
+}
+
+/// Select whole 2-D z-slices of a 3-D field whose statistic exceeds the
+/// threshold — the slice-granular variant described in §3.3.
+pub fn select_slices_z<T: Scalar>(field: &Field<T>, stat: RoiStat, threshold: f64) -> Vec<usize> {
+    let dims = field.dims();
+    assert_eq!(dims.ndim(), 3, "slice selection requires a 3-D field");
+    (0..dims.nz())
+        .filter(|&z| {
+            let r = Region::slice_z(dims, z);
+            let (lo, hi) = tile_range(field, &r);
+            let score = match stat {
+                RoiStat::Range => hi - lo,
+                RoiStat::MaxValue => hi,
+            };
+            score > threshold
+        })
+        .collect()
+}
+
+/// Fraction of the grid covered by `regions` (assumed disjoint).
+pub fn coverage_fraction(regions: &[Region], dims: Dims) -> f64 {
+    regions.iter().map(Region::len).sum::<usize>() as f64 / dims.len() as f64
+}
+
+/// Scale a region selected on a stride-`s` coarse preview back to
+/// full-resolution coordinates (clamped to `full_dims`) — the glue between
+/// progressive preview and random-access fetch in the paper's workflow.
+pub fn upscale_region(region: &Region, stride: usize, full_dims: Dims) -> Region {
+    Region {
+        z0: region.z0 * stride,
+        z1: (region.z1 * stride).min(full_dims.nz()),
+        y0: region.y0 * stride,
+        y1: (region.y1 * stride).min(full_dims.ny()),
+        x0: region.x0 * stride,
+        x1: (region.x1 * stride).min(full_dims.nx()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A mostly flat field with a bright "halo" blob and a sharp interface.
+    fn test_field() -> Field<f32> {
+        Field::from_fn(Dims::d3(16, 16, 16), |z, y, x| {
+            let halo = if (8..11).contains(&z) && (8..11).contains(&y) && (8..11).contains(&x) {
+                100.0
+            } else {
+                0.0
+            };
+            let interface = if y == 4 { 10.0 } else { 0.0 };
+            1.0 + halo + interface
+        })
+    }
+
+    #[test]
+    fn max_threshold_finds_halo() {
+        let f = test_field();
+        let rois = select_regions(&f, [4, 4, 4], RoiCriterion::Threshold(RoiStat::MaxValue, 81.66));
+        assert!(!rois.is_empty());
+        for r in &rois {
+            assert!(r.contains(8, 8, 8) || r.contains(10, 10, 10) || r.contains(8, 10, 9));
+        }
+        // Every halo cell must be covered by some ROI.
+        for z in 8..11 {
+            for y in 8..11 {
+                for x in 8..11 {
+                    assert!(rois.iter().any(|r| r.contains(z, y, x)), "({z},{y},{x}) uncovered");
+                }
+            }
+        }
+        // ROI should be a small fraction of the domain.
+        assert!(coverage_fraction(&rois, f.dims()) < 0.3);
+    }
+
+    #[test]
+    fn range_threshold_finds_interface() {
+        let f = test_field();
+        let rois = select_regions(&f, [4, 4, 4], RoiCriterion::Threshold(RoiStat::Range, 5.0));
+        // Interface at y = 4 spans tiles at y-tile index 1.
+        assert!(rois.iter().any(|r| r.contains(0, 4, 0)));
+    }
+
+    #[test]
+    fn top_percent_selects_best() {
+        let f = test_field();
+        let rois = select_regions(&f, [4, 4, 4], RoiCriterion::TopPercent(RoiStat::MaxValue, 5.0));
+        // 64 tiles -> top 5% = ceil(3.2) = 4 tiles.
+        assert_eq!(rois.len(), 4);
+        assert!(rois.iter().any(|r| r.contains(9, 9, 9)));
+    }
+
+    #[test]
+    fn slice_selection() {
+        let f = test_field();
+        let slices = select_slices_z(&f, RoiStat::MaxValue, 50.0);
+        assert_eq!(slices, vec![8, 9, 10]);
+    }
+
+    #[test]
+    fn tiles_tile_the_grid() {
+        let f = test_field();
+        let tiles = score_tiles(&f, [5, 6, 7], RoiStat::Range);
+        let total: usize = tiles.iter().map(|t| t.region.len()).sum();
+        assert_eq!(total, f.dims().len());
+    }
+
+    #[test]
+    fn upscale_region_maps_and_clamps() {
+        let full = Dims::d3(17, 17, 17);
+        let r = Region::d3(3..5, 0..2, 4..5); // on a stride-4 preview (5^3)
+        let up = upscale_region(&r, 4, full);
+        assert_eq!(up, Region::d3(12..17, 0..8, 16..17));
+    }
+
+    #[test]
+    fn nan_tiles_are_ignored_in_scoring() {
+        let mut f = test_field();
+        f.set(0, 0, 0, f32::NAN);
+        let tiles = score_tiles(&f, [16, 16, 16], RoiStat::MaxValue);
+        assert_eq!(tiles.len(), 1);
+        assert!((tiles[0].score - 101.0).abs() < 1e-6);
+    }
+}

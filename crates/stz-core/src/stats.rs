@@ -1,0 +1,105 @@
+//! Dependency and locality statistics backing the §4.4 discussion.
+//!
+//! The paper argues STZ beats SZ3 on speed for three structural reasons:
+//! multi-dimensional prediction, better cache behaviour, and — quantified
+//! here — radically less data dependency: no point depends on any point of
+//! the finest level (87.5% of a 3-D grid), whereas SZ3's in-place
+//! interpolation makes at least half the points prediction sources.
+
+use crate::level::LevelPlan;
+use stz_field::Dims;
+
+/// Structural dependency statistics of an STZ hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DependencyStats {
+    /// Total grid points.
+    pub total_points: usize,
+    /// Points per level (index 0 = level 1).
+    pub level_points: Vec<usize>,
+    /// Fraction of points that are prediction *sources* for some other point
+    /// (everything except the finest level).
+    pub dependency_fraction: f64,
+    /// Fraction of points with no dependents — these never need to be
+    /// reconstructed during compression for other points' sake and can be
+    /// processed fully in parallel (87.5% for 3-level 3-D, §4.4).
+    pub independent_fraction: f64,
+    /// Fraction of the dataset every point ultimately depends on: the
+    /// coarsest level (1.6% for 3-level 3-D, §2.3).
+    pub root_fraction: f64,
+}
+
+/// Compute dependency statistics for a grid and level count.
+pub fn dependency_stats(dims: Dims, levels: u8) -> DependencyStats {
+    let plan = LevelPlan::new(dims, levels);
+    let level_points: Vec<usize> = plan.levels.iter().map(|l| l.len()).collect();
+    let total = dims.len();
+    let finest = *level_points.last().expect("at least two levels");
+    let sources: usize = total - finest;
+    DependencyStats {
+        total_points: total,
+        dependency_fraction: sources as f64 / total as f64,
+        independent_fraction: finest as f64 / total as f64,
+        root_fraction: level_points[0] as f64 / total as f64,
+        level_points,
+    }
+}
+
+/// Comparable statistic for the SZ3 baseline: in SZ3's multi-level in-place
+/// interpolation every non-finest-pass point is a prediction source — at
+/// least half the data — and sources span the whole array (long-range
+/// strided access), not a compact coarse grid.
+pub fn sz3_dependency_fraction(dims: Dims) -> f64 {
+    // SZ3 interpolates dimension-by-dimension within each level, so points
+    // predicted in the z- and y-passes become sources for the x-pass of the
+    // same level. Only the very last pass's targets (odd-x points at stride
+    // 1 — half the grid) have no dependents.
+    let [nz, ny, nx] = dims.as_array();
+    let final_pass_targets = nz * ny * (nx / 2);
+    1.0 - final_pass_targets as f64 / dims.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_level_3d_matches_paper_numbers() {
+        let s = dependency_stats(Dims::d3(64, 64, 64), 3);
+        // §4.4: 87.5% of the data has no dependents.
+        assert!((s.independent_fraction - 0.875).abs() < 1e-9);
+        // §2.3: all data depends on only 1.6% of the dataset.
+        assert!((s.root_fraction - 1.0 / 64.0).abs() < 1e-9);
+        assert!((s.dependency_fraction - 0.125).abs() < 1e-9);
+        assert_eq!(s.level_points.iter().sum::<usize>(), 64 * 64 * 64);
+    }
+
+    #[test]
+    fn two_level_3d() {
+        let s = dependency_stats(Dims::d3(64, 64, 64), 2);
+        // 2-level: level 1 is 12.5% (§3.2).
+        assert!((s.root_fraction - 0.125).abs() < 1e-9);
+        assert!((s.independent_fraction - 0.875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sz3_has_more_dependency() {
+        let dims = Dims::d3(64, 64, 64);
+        let stz = dependency_stats(dims, 3);
+        let sz3 = sz3_dependency_fraction(dims);
+        assert!(
+            sz3 > stz.dependency_fraction,
+            "SZ3 {sz3} should exceed STZ {}",
+            stz.dependency_fraction
+        );
+        // §4.4: "at least half of the data points are used to predict others".
+        assert!(sz3 >= 0.5);
+    }
+
+    #[test]
+    fn odd_dims_fractions_sane() {
+        let s = dependency_stats(Dims::d3(65, 63, 61), 3);
+        assert!(s.independent_fraction > 0.8 && s.independent_fraction < 0.9);
+        let total: usize = s.level_points.iter().sum();
+        assert_eq!(total, s.total_points);
+    }
+}

@@ -1,0 +1,70 @@
+//! Raw binary field I/O (the flat little-endian dumps used by the SZ/ZFP
+//! ecosystems and by this repo's CLI).
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use stz_field::{Dims, Field, Scalar};
+
+/// Read a flat little-endian array of `dims.len()` scalars from `path`.
+pub fn read_raw<T: Scalar>(path: &Path, dims: Dims) -> io::Result<Field<T>> {
+    let expected = dims.len() * T::BYTES;
+    let mut file = fs::File::open(path)?;
+    let mut bytes = Vec::with_capacity(expected);
+    file.read_to_end(&mut bytes)?;
+    if bytes.len() != expected {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{} holds {} bytes, dims {dims} require {expected}",
+                path.display(),
+                bytes.len()
+            ),
+        ));
+    }
+    let data: Vec<T> = bytes.chunks_exact(T::BYTES).map(T::read_exact).collect();
+    Ok(Field::from_vec(dims, data))
+}
+
+/// Write a field as a flat little-endian array.
+pub fn write_raw<T: Scalar>(path: &Path, field: &Field<T>) -> io::Result<()> {
+    let mut bytes = Vec::with_capacity(field.nbytes());
+    for &v in field.as_slice() {
+        v.write_exact(&mut bytes);
+    }
+    let mut file = fs::File::create(path)?;
+    file.write_all(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f32_and_f64() {
+        let dir = std::env::temp_dir().join("stz_io_test");
+        fs::create_dir_all(&dir).unwrap();
+
+        let f32_field = Field::from_fn(Dims::d3(4, 5, 6), |z, y, x| (z * 30 + y * 6 + x) as f32);
+        let p32 = dir.join("a.f32");
+        write_raw(&p32, &f32_field).unwrap();
+        assert_eq!(read_raw::<f32>(&p32, f32_field.dims()).unwrap(), f32_field);
+
+        let f64_field = Field::from_fn(Dims::d2(7, 3), |_, y, x| (y as f64).powf(x as f64 + 0.5));
+        let p64 = dir.join("b.f64");
+        write_raw(&p64, &f64_field).unwrap();
+        assert_eq!(read_raw::<f64>(&p64, f64_field.dims()).unwrap(), f64_field);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_size_rejected() {
+        let dir = std::env::temp_dir().join("stz_io_test2");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("short.f32");
+        fs::write(&p, [0u8; 10]).unwrap();
+        assert!(read_raw::<f32>(&p, Dims::d1(100)).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic scientific datasets and quality metrics for the STZ evaluation.
+//!
+//! The paper evaluates on four simulation snapshots (Table 2): Nyx
+//! (cosmology, FP32, 512³), WarpX (accelerator physics, FP64, 256²×2048),
+//! Magnetic Reconnection (plasma physics, FP32, 512³) and Miranda
+//! (turbulence, FP32, 1024³). Those snapshots are not redistributable, so
+//! this crate provides **deterministic synthetic analogues** with the same
+//! statistical character — the spectral content and feature morphology that
+//! drive compressor behaviour (see DESIGN.md §2 for the substitution
+//! rationale):
+//!
+//! * [`synth::nyx_like`] — lognormal density field with over-density halos;
+//! * [`synth::warpx_like`] — FP64 laser-wakefield wave packets in an
+//!   elongated domain;
+//! * [`synth::magrec_like`] — current sheets with tearing-mode islands;
+//! * [`synth::miranda_like`] — Rayleigh–Taylor mixing layers with
+//!   multi-octave turbulence.
+//!
+//! [`metrics`] implements the paper's quality measures: PSNR (value-range
+//! normalized), SSIM (windowed, as in §4.2's image-space comparisons),
+//! maximum point-wise error, and compression-ratio accounting.
+
+pub mod catalog;
+pub mod io;
+pub mod metrics;
+pub mod synth;
+
+pub use catalog::{Dataset, DatasetField};

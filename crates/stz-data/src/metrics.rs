@@ -1,0 +1,246 @@
+//! Quality metrics used throughout the paper's evaluation.
+
+use stz_field::{Field, Scalar};
+
+/// Mean squared error between an original and a reconstruction.
+pub fn mse<T: Scalar>(orig: &Field<T>, recon: &Field<T>) -> f64 {
+    assert_eq!(orig.dims(), recon.dims(), "field shapes differ");
+    let n = orig.len() as f64;
+    orig.as_slice()
+        .iter()
+        .zip(recon.as_slice())
+        .map(|(&a, &b)| {
+            let d = a.to_f64() - b.to_f64();
+            d * d
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// Maximum point-wise absolute error (the quantity the error bound
+/// guarantees).
+pub fn max_abs_error<T: Scalar>(orig: &Field<T>, recon: &Field<T>) -> f64 {
+    assert_eq!(orig.dims(), recon.dims(), "field shapes differ");
+    orig.as_slice()
+        .iter()
+        .zip(recon.as_slice())
+        .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Peak signal-to-noise ratio in dB, normalized by the original's value
+/// range (the convention of the SZ/ZFP literature and the paper's Figs. 5
+/// and 11): `PSNR = 20·log10(range) − 10·log10(MSE)`.
+pub fn psnr<T: Scalar>(orig: &Field<T>, recon: &Field<T>) -> f64 {
+    let (lo, hi) = orig.value_range();
+    let range = hi - lo;
+    let m = mse(orig, recon);
+    if m == 0.0 {
+        f64::INFINITY
+    } else if range == 0.0 {
+        0.0
+    } else {
+        20.0 * range.log10() - 10.0 * m.log10()
+    }
+}
+
+/// Compression ratio: original bytes / compressed bytes.
+pub fn compression_ratio<T: Scalar>(orig: &Field<T>, compressed_len: usize) -> f64 {
+    orig.nbytes() as f64 / compressed_len as f64
+}
+
+/// Bit rate: compressed bits per scalar value.
+pub fn bitrate<T: Scalar>(orig: &Field<T>, compressed_len: usize) -> f64 {
+    compressed_len as f64 * 8.0 / orig.len() as f64
+}
+
+/// Windowed structural similarity (SSIM), the perceptual metric of the
+/// paper's visual comparisons (Figs. 3, 12, 13).
+///
+/// Uses box windows of up to 8 points per axis with stride 4 (dense enough
+/// for stable statistics on volumetric data) and the standard constants
+/// `C1 = (0.01·L)²`, `C2 = (0.03·L)²` with `L` the original's value range.
+/// Works on 2-D slices and full 3-D volumes alike.
+pub fn ssim<T: Scalar>(orig: &Field<T>, recon: &Field<T>) -> f64 {
+    assert_eq!(orig.dims(), recon.dims(), "field shapes differ");
+    let dims = orig.dims();
+    let (lo, hi) = orig.value_range();
+    let range = (hi - lo).max(f64::MIN_POSITIVE);
+    let c1 = (0.01 * range).powi(2);
+    let c2 = (0.03 * range).powi(2);
+
+    let win = 8usize;
+    let stride = 4usize;
+    let wz = win.min(dims.nz());
+    let wy = win.min(dims.ny());
+    let wx = win.min(dims.nx());
+
+    let mut total = 0.0;
+    let mut count = 0usize;
+    let mut z0 = 0;
+    loop {
+        let mut y0 = 0;
+        loop {
+            let mut x0 = 0;
+            loop {
+                total += window_ssim(orig, recon, [z0, y0, x0], [wz, wy, wx], c1, c2);
+                count += 1;
+                if x0 + wx >= dims.nx() {
+                    break;
+                }
+                x0 = (x0 + stride).min(dims.nx() - wx);
+            }
+            if y0 + wy >= dims.ny() {
+                break;
+            }
+            y0 = (y0 + stride).min(dims.ny() - wy);
+        }
+        if z0 + wz >= dims.nz() {
+            break;
+        }
+        z0 = (z0 + stride).min(dims.nz() - wz);
+    }
+    total / count as f64
+}
+
+fn window_ssim<T: Scalar>(
+    a: &Field<T>,
+    b: &Field<T>,
+    origin: [usize; 3],
+    win: [usize; 3],
+    c1: f64,
+    c2: f64,
+) -> f64 {
+    let n = (win[0] * win[1] * win[2]) as f64;
+    let (mut sa, mut sb) = (0.0, 0.0);
+    for z in origin[0]..origin[0] + win[0] {
+        for y in origin[1]..origin[1] + win[1] {
+            for x in origin[2]..origin[2] + win[2] {
+                sa += a.get(z, y, x).to_f64();
+                sb += b.get(z, y, x).to_f64();
+            }
+        }
+    }
+    let (ma, mb) = (sa / n, sb / n);
+    let (mut va, mut vb, mut cov) = (0.0, 0.0, 0.0);
+    for z in origin[0]..origin[0] + win[0] {
+        for y in origin[1]..origin[1] + win[1] {
+            for x in origin[2]..origin[2] + win[2] {
+                let da = a.get(z, y, x).to_f64() - ma;
+                let db = b.get(z, y, x).to_f64() - mb;
+                va += da * da;
+                vb += db * db;
+                cov += da * db;
+            }
+        }
+    }
+    va /= n;
+    vb /= n;
+    cov /= n;
+    ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
+        / ((ma * ma + mb * mb + c1) * (va + vb + c2))
+}
+
+/// PSNR/SSIM/CR summary for benchmark tables.
+#[derive(Debug, Clone, Copy)]
+pub struct QualitySummary {
+    pub psnr: f64,
+    pub ssim: f64,
+    pub max_err: f64,
+    pub compression_ratio: f64,
+    pub bitrate: f64,
+}
+
+/// Compute the full quality summary for a (original, reconstruction,
+/// compressed size) triple.
+pub fn summarize<T: Scalar>(
+    orig: &Field<T>,
+    recon: &Field<T>,
+    compressed_len: usize,
+) -> QualitySummary {
+    QualitySummary {
+        psnr: psnr(orig, recon),
+        ssim: ssim(orig, recon),
+        max_err: max_abs_error(orig, recon),
+        compression_ratio: compression_ratio(orig, compressed_len),
+        bitrate: bitrate(orig, compressed_len),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stz_field::Dims;
+
+    fn base() -> Field<f32> {
+        Field::from_fn(Dims::d3(16, 16, 16), |z, y, x| {
+            ((z as f32) * 0.3).sin() + ((y as f32) * 0.2).cos() + x as f32 * 0.05
+        })
+    }
+
+    #[test]
+    fn identical_fields_are_perfect() {
+        let f = base();
+        assert_eq!(mse(&f, &f), 0.0);
+        assert_eq!(max_abs_error(&f, &f), 0.0);
+        assert!(psnr(&f, &f).is_infinite());
+        assert!((ssim(&f, &f) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let f = base();
+        let mk = |amp: f32| {
+            Field::from_fn(f.dims(), |z, y, x| {
+                let s = ((z * 131 + y * 17 + x) % 7) as f32 / 7.0 - 0.5;
+                f.get(z, y, x) + amp * s
+            })
+        };
+        let small = psnr(&f, &mk(0.001));
+        let large = psnr(&f, &mk(0.1));
+        assert!(small > large + 20.0, "small {small} large {large}");
+    }
+
+    #[test]
+    fn ssim_penalizes_structure_loss() {
+        let f = base();
+        // Heavy blur = structure loss.
+        let blurred = Field::from_fn(f.dims(), |_, _, _| 0.5f32);
+        let s = ssim(&f, &blurred);
+        assert!(s < 0.7, "blurred SSIM {s}");
+        // Small noise keeps SSIM high.
+        let noisy = Field::from_fn(f.dims(), |z, y, x| {
+            f.get(z, y, x) + (((z + y + x) % 3) as f32 - 1.0) * 1e-4
+        });
+        assert!(ssim(&f, &noisy) > 0.99);
+    }
+
+    #[test]
+    fn ssim_on_2d_slice() {
+        let f = Field::from_fn(Dims::d2(32, 32), |_, y, x| ((y * x) as f32).sqrt());
+        assert!((ssim(&f, &f) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_err_and_mse_consistent() {
+        let f = base();
+        let shifted = f.map(|v| v + 0.25);
+        assert!((max_abs_error(&f, &shifted) - 0.25).abs() < 1e-6);
+        assert!((mse(&f, &shifted) - 0.0625).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cr_and_bitrate() {
+        let f = base();
+        assert!((compression_ratio(&f, f.nbytes() / 8) - 8.0).abs() < 1e-12);
+        assert!((bitrate(&f, f.nbytes()) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psnr_matches_hand_computation() {
+        // range = 1, mse = 0.01 -> psnr = -10·log10(0.01) = 20.
+        let a = Field::from_vec(Dims::d1(2), vec![0.0f32, 1.0]);
+        let b = Field::from_vec(Dims::d1(2), vec![0.1f32, 1.1]);
+        assert!((psnr(&a, &b) - 20.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,90 @@
+//! Magnetic-reconnection-like plasma field (FP32).
+//!
+//! The Magnetic Reconnection dataset (Guo et al., PRL 2014; paper Figs. 11,
+//! 12) captures relativistic reconnection in a Harris current sheet: an
+//! anti-parallel magnetic field reversing across thin sheets, broken up by
+//! tearing-mode plasmoids (magnetic islands), with sharp gradients at the
+//! sheets and broadband fluctuations from the reconnection outflows.
+
+use super::noise::fbm;
+use stz_field::{Dims, Field};
+
+/// Generate a Magnetic-Reconnection-like FP32 field (the reconnecting
+/// in-plane field component).
+pub fn magrec_like(dims: Dims, seed: u64) -> Field<f32> {
+    let (nz, ny, nx) = (dims.nz() as f64, dims.ny() as f64, dims.nx() as f64);
+    let scale = 20.0 / nx.max(ny).max(nz);
+    // Two Harris sheets (periodic-like double sheet, as in the standard
+    // reconnection setup).
+    let y1 = ny * 0.25;
+    let y2 = ny * 0.75;
+    let lambda = (ny / 32.0).max(1.0); // sheet half-thickness
+    let k_island = 2.0 * std::f64::consts::PI / (nx / 3.0).max(4.0);
+
+    Field::from_fn(dims, |z, y, x| {
+        let (zf, yf, xf) = (z as f64, y as f64, x as f64);
+        // Double Harris sheet: B reverses at each sheet.
+        let b0 = ((yf - y1) / lambda).tanh() - ((yf - y2) / lambda).tanh() - 1.0;
+        // Tearing islands: perturbation localized at the sheets.
+        let sech2 = |u: f64| {
+            let c = u.cosh();
+            1.0 / (c * c)
+        };
+        let island = 0.35
+            * (k_island * xf + 0.3 * zf * scale).cos()
+            * (sech2((yf - y1) / (2.0 * lambda)) + sech2((yf - y2) / (2.0 * lambda)));
+        // Reconnection-driven turbulence, stronger near the sheets.
+        let sheet_weight =
+            sech2((yf - y1) / (4.0 * lambda)) + sech2((yf - y2) / (4.0 * lambda));
+        let turb = (0.02 + 0.15 * sheet_weight)
+            * fbm(
+                seed,
+                zf * scale * 2.0,
+                yf * scale * 2.0,
+                xf * scale * 2.0,
+                4,
+                0.55,
+            );
+        (b0 + island + turb) as f32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = magrec_like(Dims::d3(16, 32, 32), 3);
+        assert_eq!(a, magrec_like(Dims::d3(16, 32, 32), 3));
+    }
+
+    #[test]
+    fn field_reverses_across_sheet() {
+        let f = magrec_like(Dims::d3(8, 64, 64), 1);
+        // Below the first sheet (y < 16) the field ~ -1... above it ~ +1
+        // until the second sheet. Compare signs well away from sheets.
+        let below = f.get(4, 2, 32);
+        let mid = f.get(4, 32, 32);
+        let above = f.get(4, 62, 32);
+        assert!(below < 0.0, "below {below}");
+        assert!(mid > 0.0, "mid {mid}");
+        assert!(above < 0.0, "above {above}");
+    }
+
+    #[test]
+    fn gradients_sharp_at_sheets() {
+        let f = magrec_like(Dims::d3(8, 64, 64), 2);
+        // |d/dy| near a sheet (y=16) much larger than at mid-channel.
+        let g_sheet = (f.get(4, 17, 20) - f.get(4, 15, 20)).abs();
+        let g_mid = (f.get(4, 33, 20) - f.get(4, 31, 20)).abs();
+        assert!(g_sheet > 3.0 * g_mid, "sheet {g_sheet} vs mid {g_mid}");
+    }
+
+    #[test]
+    fn bounded_amplitude() {
+        let f = magrec_like(Dims::d3(16, 48, 48), 6);
+        let (lo, hi) = f.value_range();
+        assert!(lo > -2.5 && hi < 2.5, "range [{lo}, {hi}]");
+    }
+}

@@ -1,0 +1,94 @@
+//! Miranda-like turbulence field (FP32).
+//!
+//! The Miranda dataset (paper Fig. 13, Table 4) is a density snapshot of a
+//! Rayleigh–Taylor mixing simulation: two fluids of different density
+//! separated by an unstable interface that develops multi-scale turbulent
+//! structure. The generator layers a perturbed tanh interface with
+//! multi-octave fBm "turbulence" whose intensity peaks inside the mixing
+//! zone — smooth large-scale structure with broadband small-scale detail,
+//! exactly the regime where wavelet and interpolation compressors diverge.
+
+use super::noise::fbm;
+use stz_field::{Dims, Field};
+
+/// Generate a Miranda-like FP32 density field.
+pub fn miranda_like(dims: Dims, seed: u64) -> Field<f32> {
+    let (nz, ny, nx) = (dims.nz() as f64, dims.ny() as f64, dims.nx() as f64);
+    let scale = 16.0 / nx.max(ny).max(nz);
+    // Densities of the two fluids.
+    let (rho_heavy, rho_light) = (3.0, 1.0);
+    let interface_width = (nz / 24.0).max(1.0);
+
+    Field::from_fn(dims, |z, y, x| {
+        let (zf, yf, xf) = (z as f64, y as f64, x as f64);
+        // Perturbed interface height: long-wavelength bubbles and spikes.
+        let perturb = 0.18
+            * nz
+            * fbm(seed, 0.0, yf * scale * 0.8, xf * scale * 0.8, 3, 0.6);
+        let height = nz * 0.5 + perturb;
+        let s = ((zf - height) / interface_width).tanh();
+        let base = 0.5 * (rho_heavy + rho_light) + 0.5 * (rho_heavy - rho_light) * s;
+        // Turbulence concentrated in the mixing layer.
+        let mix = (1.0 - s * s).max(0.0);
+        let turb = 0.35
+            * mix
+            * fbm(
+                seed.wrapping_add(1),
+                zf * scale * 3.0,
+                yf * scale * 3.0,
+                xf * scale * 3.0,
+                5,
+                0.55,
+            );
+        // Weak background acoustics everywhere.
+        let acoustic = 0.02 * fbm(seed.wrapping_add(2), zf * scale, yf * scale, xf * scale, 2, 0.5);
+        (base + turb + acoustic) as f32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = miranda_like(Dims::d3(16, 16, 16), 9);
+        assert_eq!(a, miranda_like(Dims::d3(16, 16, 16), 9));
+    }
+
+    #[test]
+    fn two_fluid_layers() {
+        let f = miranda_like(Dims::d3(48, 32, 32), 2);
+        // Bottom is light fluid (~1), top is heavy (~3).
+        let bottom = f.get(2, 16, 16);
+        let top = f.get(45, 16, 16);
+        assert!(bottom < 1.6, "bottom {bottom}");
+        assert!(top > 2.4, "top {top}");
+    }
+
+    #[test]
+    fn turbulence_concentrated_at_interface() {
+        let f = miranda_like(Dims::d3(64, 32, 32), 4);
+        // Local variance near the mid-plane exceeds variance near the walls.
+        let var_z = |z0: usize| {
+            let mut vals = Vec::new();
+            for z in z0..z0 + 4 {
+                for y in 0..32 {
+                    for x in 0..32 {
+                        vals.push(f.get(z, y, x) as f64);
+                    }
+                }
+            }
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64
+        };
+        assert!(var_z(30) > var_z(2), "mid {} wall {}", var_z(30), var_z(2));
+    }
+
+    #[test]
+    fn density_range_physical() {
+        let f = miranda_like(Dims::d3(32, 32, 32), 11);
+        let (lo, hi) = f.value_range();
+        assert!(lo > 0.3 && hi < 4.0, "range [{lo}, {hi}]");
+    }
+}

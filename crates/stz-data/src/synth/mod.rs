@@ -1,0 +1,13 @@
+//! Synthetic dataset generators (analogues of the paper's Table 2).
+
+pub mod noise;
+
+mod magrec;
+mod miranda;
+mod nyx;
+mod warpx;
+
+pub use magrec::magrec_like;
+pub use miranda::miranda_like;
+pub use nyx::nyx_like;
+pub use warpx::warpx_like;

@@ -1,0 +1,132 @@
+//! Deterministic lattice value noise and fractal Brownian motion.
+//!
+//! All generators in this crate are built on a splitmix-style integer hash,
+//! so a `(dims, seed)` pair always produces the identical field on every
+//! platform — benchmark workloads are exactly reproducible.
+
+/// SplitMix64 finalizer: decorrelates lattice coordinates + seed.
+#[inline]
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash a 3-D lattice point to a uniform value in `[-1, 1]`.
+#[inline]
+pub fn lattice_value(seed: u64, z: i64, y: i64, x: i64) -> f64 {
+    let h = hash64(
+        seed ^ hash64(z as u64).wrapping_mul(3)
+            ^ hash64(y as u64).wrapping_mul(5)
+            ^ hash64(x as u64).wrapping_mul(7),
+    );
+    (h >> 11) as f64 / ((1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+/// Quintic smoothstep (C² continuous — keeps noise derivatives smooth).
+#[inline]
+fn fade(t: f64) -> f64 {
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+/// Smooth value noise at a continuous 3-D position, in `[-1, 1]`.
+pub fn value_noise(seed: u64, z: f64, y: f64, x: f64) -> f64 {
+    let (z0, y0, x0) = (z.floor(), y.floor(), x.floor());
+    let (fz, fy, fx) = (fade(z - z0), fade(y - y0), fade(x - x0));
+    let (iz, iy, ix) = (z0 as i64, y0 as i64, x0 as i64);
+    let mut acc = 0.0;
+    for dz in 0..2i64 {
+        let wz = if dz == 1 { fz } else { 1.0 - fz };
+        for dy in 0..2i64 {
+            let wy = if dy == 1 { fy } else { 1.0 - fy };
+            for dx in 0..2i64 {
+                let wx = if dx == 1 { fx } else { 1.0 - fx };
+                acc += wz * wy * wx * lattice_value(seed, iz + dz, iy + dy, ix + dx);
+            }
+        }
+    }
+    acc
+}
+
+/// Fractal Brownian motion: `octaves` layers of value noise with lacunarity
+/// 2 and the given `persistence`, normalized to roughly `[-1, 1]`.
+pub fn fbm(seed: u64, z: f64, y: f64, x: f64, octaves: u32, persistence: f64) -> f64 {
+    let mut amp = 1.0;
+    let mut freq = 1.0;
+    let mut acc = 0.0;
+    let mut norm = 0.0;
+    for o in 0..octaves {
+        acc += amp * value_noise(seed.wrapping_add(o as u64 * 0x5bd1_e995), z * freq, y * freq, x * freq);
+        norm += amp;
+        amp *= persistence;
+        freq *= 2.0;
+    }
+    acc / norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_spread() {
+        assert_eq!(hash64(42), hash64(42));
+        assert_ne!(hash64(42), hash64(43));
+        // Low bits should differ across consecutive inputs.
+        let a = hash64(1) & 0xFFFF;
+        let b = hash64(2) & 0xFFFF;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lattice_values_in_range() {
+        for i in 0..1000i64 {
+            let v = lattice_value(7, i, i * 3, i * 5);
+            assert!((-1.0..=1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn value_noise_interpolates_lattice() {
+        // At integer positions, noise equals the lattice value.
+        let v = value_noise(9, 3.0, 4.0, 5.0);
+        assert!((v - lattice_value(9, 3, 4, 5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_noise_is_continuous() {
+        // Small steps produce small changes.
+        let mut prev = value_noise(1, 0.0, 0.0, 0.0);
+        for i in 1..200 {
+            let v = value_noise(1, 0.0, 0.0, i as f64 * 0.01);
+            assert!((v - prev).abs() < 0.1, "jump at {i}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn fbm_in_range_and_rougher_with_octaves() {
+        let mut vals1 = Vec::new();
+        let mut vals5 = Vec::new();
+        for i in 0..500 {
+            let t = i as f64 * 0.05;
+            vals1.push(fbm(3, t, t * 0.7, t * 1.3, 1, 0.5));
+            vals5.push(fbm(3, t, t * 0.7, t * 1.3, 5, 0.5));
+        }
+        assert!(vals1.iter().all(|v| v.abs() <= 1.0 + 1e-9));
+        assert!(vals5.iter().all(|v| v.abs() <= 1.0 + 1e-9));
+        // More octaves -> more small-scale variation.
+        let tv = |vs: &[f64]| -> f64 {
+            vs.windows(2).map(|w| (w[1] - w[0]).abs()).sum()
+        };
+        assert!(tv(&vals5) > tv(&vals1));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = value_noise(1, 1.5, 2.5, 3.5);
+        let b = value_noise(2, 1.5, 2.5, 3.5);
+        assert_ne!(a, b);
+    }
+}

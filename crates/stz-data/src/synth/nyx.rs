@@ -1,0 +1,103 @@
+//! Nyx-like cosmology field: lognormal baryon density with halos.
+//!
+//! The Nyx "baryon density" field the paper uses (Figs. 3, 5, 10, 11) is a
+//! lognormal-distributed density with a vast dynamic range: a smooth cosmic
+//! web plus compact over-density halos reaching thousands of times the mean
+//! (halo threshold 81.66 in §3.3). This generator reproduces that
+//! morphology: `exp(σ·fbm)` background with deterministic NFW-ish halo
+//! spikes sprinkled by a hashed Poisson process.
+
+use super::noise::{fbm, hash64};
+use stz_field::{Dims, Field};
+
+/// Halo influence radius in grid units.
+const HALO_RADIUS: f64 = 8.0;
+
+/// Generate a Nyx-like FP32 density field.
+pub fn nyx_like(dims: Dims, seed: u64) -> Field<f32> {
+    let scale = 24.0 / dims.nx().max(dims.ny()).max(dims.nz()) as f64;
+    // Lognormal cosmic web background.
+    let mut field = Field::from_fn(dims, |z, y, x| {
+        let web = fbm(seed, z as f64 * scale, y as f64 * scale, x as f64 * scale, 5, 0.55);
+        (1.8 * web).exp() as f32
+    });
+
+    // Deterministic halo catalogue: ~1 halo per 16³ region, added locally so
+    // generation stays O(points + halos·radius³).
+    let n_halos = (dims.len() / 32_768).clamp(2, 8_192);
+    for i in 0..n_halos {
+        let h = hash64(seed ^ (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let hz = (h & 0xFFFF) as f64 / 65536.0 * dims.nz() as f64;
+        let hy = ((h >> 16) & 0xFFFF) as f64 / 65536.0 * dims.ny() as f64;
+        let hx = ((h >> 32) & 0xFFFF) as f64 / 65536.0 * dims.nx() as f64;
+        // Halo mass spectrum: many small, few large.
+        let m = 100.0 * 2.0f64.powi(((h >> 48) % 6) as i32);
+        let r_core = 1.0 + ((h >> 52) % 4) as f64;
+        let lo = |c: f64, n: usize| ((c - HALO_RADIUS).max(0.0) as usize).min(n - 1);
+        let hi = |c: f64, n: usize| ((c + HALO_RADIUS) as usize + 1).min(n);
+        for z in lo(hz, dims.nz())..hi(hz, dims.nz()) {
+            for y in lo(hy, dims.ny())..hi(hy, dims.ny()) {
+                for x in lo(hx, dims.nx())..hi(hx, dims.nx()) {
+                    let r2 = (z as f64 - hz).powi(2)
+                        + (y as f64 - hy).powi(2)
+                        + (x as f64 - hx).powi(2);
+                    if r2 < HALO_RADIUS * HALO_RADIUS {
+                        let r = r2.sqrt().max(0.5);
+                        // Truncated NFW-like profile, tapered to 0 at the rim.
+                        let taper = 1.0 - r / HALO_RADIUS;
+                        let add = m / (r * (1.0 + r / r_core).powi(2)) * taper;
+                        let v = field.get(z, y, x);
+                        field.set(z, y, x, v + add as f32);
+                    }
+                }
+            }
+        }
+    }
+    field
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = nyx_like(Dims::d3(16, 16, 16), 42);
+        let b = nyx_like(Dims::d3(16, 16, 16), 42);
+        assert_eq!(a, b);
+        let c = nyx_like(Dims::d3(16, 16, 16), 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn positive_with_large_dynamic_range() {
+        let f = nyx_like(Dims::d3(32, 32, 32), 7);
+        let (lo, hi) = f.value_range();
+        assert!(lo > 0.0, "density must be positive, got {lo}");
+        assert!(hi / lo > 100.0, "dynamic range {}", hi / lo);
+    }
+
+    #[test]
+    fn has_halos_above_threshold() {
+        // The paper's halo threshold: some points exceed 81.66, but only a
+        // small fraction (ROI extraction story, Fig. 10).
+        let f = nyx_like(Dims::d3(48, 48, 48), 1);
+        let above = f.as_slice().iter().filter(|&&v| v > 81.66).count();
+        assert!(above > 0, "no halos generated");
+        assert!(
+            (above as f64) < 0.05 * f.len() as f64,
+            "halos cover {above}/{} points",
+            f.len()
+        );
+    }
+
+    #[test]
+    fn mean_near_unity_background() {
+        let f = nyx_like(Dims::d3(32, 32, 32), 3);
+        // Median is a robust proxy for the background level.
+        let mut v: Vec<f32> = f.as_slice().to_vec();
+        v.sort_by(f32::total_cmp);
+        let median = v[v.len() / 2] as f64;
+        assert!((0.2..5.0).contains(&median), "median {median}");
+    }
+}

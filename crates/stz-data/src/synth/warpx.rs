@@ -1,0 +1,96 @@
+//! WarpX-like laser-wakefield field (FP64, elongated domain).
+//!
+//! The WarpX dataset (2022 Gordon Bell winner; paper Figs. 1, 11, 12) is an
+//! electric-field snapshot of a laser-plasma accelerator: a short intense
+//! laser pulse and its trailing plasma wakefield oscillations inside a long
+//! propagation axis, near-vacuum elsewhere. The generator reproduces the
+//! structure the compressors see: a Gaussian-enveloped carrier wave packet,
+//! periodic wake buckets behind it, and a weak broadband plasma noise floor.
+
+use super::noise::fbm;
+use stz_field::{Dims, Field};
+
+/// Generate a WarpX-like FP64 field. The long axis is `x` (use e.g.
+/// `Dims::d3(256, 256, 2048)` scaled down for the paper's shape).
+pub fn warpx_like(dims: Dims, seed: u64) -> Field<f64> {
+    let (nz, ny, nx) = (dims.nz() as f64, dims.ny() as f64, dims.nx() as f64);
+    // Pulse center along x, transverse center of the channel.
+    let x0 = nx * 0.7;
+    let (zc, yc) = (nz / 2.0, ny / 2.0);
+    let w_trans = (ny.min(nz.max(2.0)) / 6.0).max(1.5); // transverse waist
+    let l_pulse = nx / 24.0; // pulse length
+    let k_laser = 2.0 * std::f64::consts::PI / (nx / 128.0).max(4.0);
+    let k_wake = k_laser / 12.0;
+    let noise_scale = 12.0 / nx;
+
+    Field::from_fn(dims, |z, y, x| {
+        let (zf, yf, xf) = (z as f64, y as f64, x as f64);
+        let r2t = ((zf - zc) / w_trans).powi(2) + ((yf - yc) / w_trans).powi(2);
+        let trans = (-r2t).exp();
+        // Laser pulse: carrier under a Gaussian envelope.
+        let pulse_env = (-((xf - x0) / l_pulse).powi(2)).exp();
+        let laser = 3.2e10 * pulse_env * (k_laser * xf).sin();
+        // Wakefield buckets trailing the pulse (x < x0).
+        let behind = if xf < x0 {
+            let decay = (-(x0 - xf) / (nx * 0.45)).exp();
+            6.0e9 * decay * (k_wake * (x0 - xf)).sin()
+        } else {
+            0.0
+        };
+        let plasma_noise = 2.0e8
+            * fbm(
+                seed,
+                zf * noise_scale * 8.0,
+                yf * noise_scale * 8.0,
+                xf * noise_scale,
+                4,
+                0.5,
+            );
+        trans * (laser + behind) + plasma_noise * trans.sqrt()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Field<f64> {
+        warpx_like(Dims::d3(24, 24, 160), 5)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(small(), warpx_like(Dims::d3(24, 24, 160), 5));
+    }
+
+    #[test]
+    fn pulse_dominates_field() {
+        let f = small();
+        let (lo, hi) = f.value_range();
+        let amp = hi.max(-lo);
+        assert!(amp > 1e10, "laser amplitude {amp}");
+        // Field near the transverse boundary is orders weaker.
+        let edge = f.get(0, 0, 112).abs();
+        assert!(edge < amp * 1e-3, "edge {edge} vs amp {amp}");
+    }
+
+    #[test]
+    fn oscillatory_along_x() {
+        let f = small();
+        // Count sign changes along the axis through the pulse.
+        let (z, y) = (12, 12);
+        let mut changes = 0;
+        for x in 1..160 {
+            if (f.get(z, y, x) > 0.0) != (f.get(z, y, x - 1) > 0.0) {
+                changes += 1;
+            }
+        }
+        assert!(changes > 10, "only {changes} sign changes");
+    }
+
+    #[test]
+    fn elongated_default_shape_supported() {
+        let f = warpx_like(Dims::d3(8, 8, 256), 1);
+        assert_eq!(f.dims().as_array(), [8, 8, 256]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Grid extents for 1-, 2-, and 3-dimensional fields.
+
+use std::fmt;
+
+/// Extents of a dense grid, ordered `(z, y, x)` with `x` fastest-varying.
+///
+/// 2-D grids are represented with `nz == 1` and 1-D grids with
+/// `nz == ny == 1`; [`Dims::ndim`] reports the logical dimensionality that
+/// was requested at construction, which compressors use to select 1-D/2-D/3-D
+/// code paths (e.g. 4 vs 8 partition sub-blocks).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dims {
+    nz: usize,
+    ny: usize,
+    nx: usize,
+    ndim: u8,
+}
+
+impl Dims {
+    /// A 1-D grid of `nx` points.
+    pub fn d1(nx: usize) -> Self {
+        assert!(nx > 0, "dims must be non-empty");
+        Dims { nz: 1, ny: 1, nx, ndim: 1 }
+    }
+
+    /// A 2-D grid of `ny * nx` points.
+    pub fn d2(ny: usize, nx: usize) -> Self {
+        assert!(ny > 0 && nx > 0, "dims must be non-empty");
+        Dims { nz: 1, ny, nx, ndim: 2 }
+    }
+
+    /// A 3-D grid of `nz * ny * nx` points.
+    pub fn d3(nz: usize, ny: usize, nx: usize) -> Self {
+        assert!(nz > 0 && ny > 0 && nx > 0, "dims must be non-empty");
+        Dims { nz, ny, nx, ndim: 3 }
+    }
+
+    /// Construct from a logical dimensionality and extents array `[nz,ny,nx]`.
+    pub fn from_parts(ndim: u8, nz: usize, ny: usize, nx: usize) -> Self {
+        match ndim {
+            1 => {
+                assert!(nz == 1 && ny == 1, "1-D dims must have nz == ny == 1");
+                Dims::d1(nx)
+            }
+            2 => {
+                assert!(nz == 1, "2-D dims must have nz == 1");
+                Dims::d2(ny, nx)
+            }
+            3 => Dims::d3(nz, ny, nx),
+            _ => panic!("unsupported dimensionality {ndim}"),
+        }
+    }
+
+    /// Logical dimensionality (1, 2 or 3).
+    #[inline]
+    pub fn ndim(&self) -> u8 {
+        self.ndim
+    }
+
+    #[inline]
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Total number of grid points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nz * self.ny * self.nx
+    }
+
+    /// A grid is never empty by construction, but the method is provided for
+    /// API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Linear index of `(z, y, x)` in C order.
+    #[inline(always)]
+    pub fn index(&self, z: usize, y: usize, x: usize) -> usize {
+        debug_assert!(z < self.nz && y < self.ny && x < self.nx);
+        (z * self.ny + y) * self.nx + x
+    }
+
+    /// Inverse of [`Dims::index`].
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        debug_assert!(idx < self.len());
+        let x = idx % self.nx;
+        let rest = idx / self.nx;
+        let y = rest % self.ny;
+        let z = rest / self.ny;
+        (z, y, x)
+    }
+
+    /// Extents as an array `[nz, ny, nx]`.
+    #[inline]
+    pub fn as_array(&self) -> [usize; 3] {
+        [self.nz, self.ny, self.nx]
+    }
+
+    /// Whether `(z, y, x)` lies inside the grid.
+    #[inline]
+    pub fn contains(&self, z: usize, y: usize, x: usize) -> bool {
+        z < self.nz && y < self.ny && x < self.nx
+    }
+
+    /// Dims of the sub-lattice obtained by sampling this grid with `stride`
+    /// starting at `offset = (oz, oy, ox)` — i.e. `ceil((n - o) / stride)`
+    /// per axis. Returns `None` if the sub-lattice would be empty.
+    pub fn strided(&self, offset: [usize; 3], stride: usize) -> Option<Dims> {
+        assert!(stride > 0);
+        let ext = |n: usize, o: usize| {
+            if o >= n {
+                None
+            } else {
+                Some((n - o).div_ceil(stride))
+            }
+        };
+        let nz = ext(self.nz, offset[0])?;
+        let ny = ext(self.ny, offset[1])?;
+        let nx = ext(self.nx, offset[2])?;
+        Some(Dims { nz, ny, nx, ndim: self.ndim })
+    }
+
+    /// The coarse dims produced by stride-`s` sampling at offset 0 (the
+    /// resolution of a progressive preview at that level).
+    pub fn coarsened(&self, stride: usize) -> Dims {
+        self.strided([0, 0, 0], stride)
+            .expect("offset-0 sub-lattice is never empty")
+    }
+}
+
+impl fmt::Debug for Dims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ndim {
+            1 => write!(f, "Dims1({})", self.nx),
+            2 => write!(f, "Dims2({}x{})", self.ny, self.nx),
+            _ => write!(f, "Dims3({}x{}x{})", self.nz, self.ny, self.nx),
+        }
+    }
+}
+
+impl fmt::Display for Dims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ndim {
+            1 => write!(f, "{}", self.nx),
+            2 => write!(f, "{}x{}", self.ny, self.nx),
+            _ => write!(f, "{}x{}x{}", self.nz, self.ny, self.nx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip_3d() {
+        let d = Dims::d3(3, 5, 7);
+        for z in 0..3 {
+            for y in 0..5 {
+                for x in 0..7 {
+                    let idx = d.index(z, y, x);
+                    assert_eq!(d.coords(idx), (z, y, x));
+                }
+            }
+        }
+        assert_eq!(d.len(), 105);
+    }
+
+    #[test]
+    fn index_is_c_order() {
+        let d = Dims::d3(2, 3, 4);
+        assert_eq!(d.index(0, 0, 0), 0);
+        assert_eq!(d.index(0, 0, 1), 1);
+        assert_eq!(d.index(0, 1, 0), 4);
+        assert_eq!(d.index(1, 0, 0), 12);
+    }
+
+    #[test]
+    fn lower_dims_normalize() {
+        let d2 = Dims::d2(4, 6);
+        assert_eq!(d2.nz(), 1);
+        assert_eq!(d2.ndim(), 2);
+        assert_eq!(d2.len(), 24);
+        let d1 = Dims::d1(9);
+        assert_eq!((d1.nz(), d1.ny()), (1, 1));
+        assert_eq!(d1.ndim(), 1);
+    }
+
+    #[test]
+    fn strided_extents() {
+        let d = Dims::d3(5, 5, 5);
+        // stride-2 at offset 0 -> ceil(5/2) = 3 per axis
+        assert_eq!(d.strided([0, 0, 0], 2).unwrap().as_array(), [3, 3, 3]);
+        // stride-2 at offset 1 -> ceil(4/2) = 2 per axis
+        assert_eq!(d.strided([1, 1, 1], 2).unwrap().as_array(), [2, 2, 2]);
+        // offset beyond extent -> empty
+        assert!(d.strided([5, 0, 0], 2).is_none());
+    }
+
+    #[test]
+    fn strided_counts_partition_everything() {
+        // All stride-2 sub-lattices together must cover every point exactly once.
+        for &(nz, ny, nx) in &[(5usize, 6usize, 7usize), (1, 1, 9), (4, 4, 4), (3, 1, 1)] {
+            let d = Dims::d3(nz.max(1), ny.max(1), nx.max(1));
+            let mut total = 0;
+            for oz in 0..2 {
+                for oy in 0..2 {
+                    for ox in 0..2 {
+                        if let Some(s) = d.strided([oz, oy, ox], 2) {
+                            total += s.len();
+                        }
+                    }
+                }
+            }
+            assert_eq!(total, d.len());
+        }
+    }
+
+    #[test]
+    fn coarsened_matches_offset_zero() {
+        let d = Dims::d3(9, 10, 11);
+        assert_eq!(d.coarsened(2).as_array(), [5, 5, 6]);
+        assert_eq!(d.coarsened(4).as_array(), [3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_dims_panic() {
+        let _ = Dims::d3(0, 1, 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Owned dense grids of scalars.
+
+use crate::{Dims, Region, Scalar};
+
+/// An owned dense grid of scalar values in C order (`x` fastest).
+///
+/// `Field` is the unit of compression and decompression throughout the
+/// workspace: compressors take `&Field<T>` and decompressors return
+/// `Field<T>`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Field<T: Scalar> {
+    dims: Dims,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Field<T> {
+    /// Wrap existing data; `data.len()` must equal `dims.len()`.
+    pub fn from_vec(dims: Dims, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            dims.len(),
+            "data length {} does not match dims {dims}",
+            data.len()
+        );
+        Field { dims, data }
+    }
+
+    /// A zero-filled field.
+    pub fn zeros(dims: Dims) -> Self {
+        Field { dims, data: vec![T::default(); dims.len()] }
+    }
+
+    /// Build a field by evaluating `f(z, y, x)` at every grid point.
+    pub fn from_fn(dims: Dims, mut f: impl FnMut(usize, usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(dims.len());
+        for z in 0..dims.nz() {
+            for y in 0..dims.ny() {
+                for x in 0..dims.nx() {
+                    data.push(f(z, y, x));
+                }
+            }
+        }
+        Field { dims, data }
+    }
+
+    #[inline]
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume the field, returning its backing storage.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    #[inline(always)]
+    pub fn get(&self, z: usize, y: usize, x: usize) -> T {
+        self.data[self.dims.index(z, y, x)]
+    }
+
+    #[inline(always)]
+    pub fn set(&mut self, z: usize, y: usize, x: usize, v: T) {
+        let idx = self.dims.index(z, y, x);
+        self.data[idx] = v;
+    }
+
+    /// Number of bytes of the uncompressed representation; the numerator of
+    /// every compression-ratio computation in the benchmark harness.
+    pub fn nbytes(&self) -> usize {
+        self.len() * T::BYTES
+    }
+
+    /// Minimum and maximum value. NaNs are ignored; returns `(0, 0)` if the
+    /// field is all-NaN.
+    pub fn value_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.data {
+            let v = v.to_f64();
+            if v.is_nan() {
+                continue;
+            }
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        if lo > hi {
+            (0.0, 0.0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Extract the sub-field covered by `region` (which must lie inside the
+    /// grid) as a new dense field.
+    pub fn extract_region(&self, region: &Region) -> Field<T> {
+        assert!(region.fits_in(self.dims), "region {region:?} outside {:?}", self.dims);
+        let rd = region.dims(self.dims.ndim());
+        let mut out = Vec::with_capacity(rd.len());
+        for z in region.z0..region.z1 {
+            for y in region.y0..region.y1 {
+                let base = self.dims.index(z, y, region.x0);
+                out.extend_from_slice(&self.data[base..base + (region.x1 - region.x0)]);
+            }
+        }
+        Field::from_vec(rd, out)
+    }
+
+    /// Stride-`s` downsample starting at the origin — the "coarse
+    /// representation" used for progressive previews (paper Fig. 1).
+    pub fn downsample(&self, stride: usize) -> Field<T> {
+        let cd = self.dims.coarsened(stride);
+        let mut out = Vec::with_capacity(cd.len());
+        for z in (0..self.dims.nz()).step_by(stride) {
+            for y in (0..self.dims.ny()).step_by(stride) {
+                for x in (0..self.dims.nx()).step_by(stride) {
+                    out.push(self.get(z, y, x));
+                }
+            }
+        }
+        Field::from_vec(cd, out)
+    }
+
+    /// Extract the 2-D slice at `z = z_index` from a 3-D field.
+    pub fn slice_z(&self, z_index: usize) -> Field<T> {
+        assert!(self.dims.ndim() == 3, "slice_z requires a 3-D field");
+        assert!(z_index < self.dims.nz());
+        let n = self.dims.ny() * self.dims.nx();
+        let base = self.dims.index(z_index, 0, 0);
+        Field::from_vec(
+            Dims::d2(self.dims.ny(), self.dims.nx()),
+            self.data[base..base + n].to_vec(),
+        )
+    }
+
+    /// Map every element through `f`, producing a new field.
+    pub fn map(&self, mut f: impl FnMut(T) -> T) -> Field<T> {
+        Field {
+            dims: self.dims,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+impl Field<f32> {
+    /// Convert to f64 (exact).
+    pub fn widen(&self) -> Field<f64> {
+        Field {
+            dims: self.dims,
+            data: self.data.iter().map(|&v| v as f64).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(dims: Dims) -> Field<f32> {
+        Field::from_fn(dims, |z, y, x| (z * 100 + y * 10 + x) as f32)
+    }
+
+    #[test]
+    fn from_fn_matches_get() {
+        let f = ramp(Dims::d3(3, 4, 5));
+        assert_eq!(f.get(0, 0, 0), 0.0);
+        assert_eq!(f.get(2, 3, 4), 234.0);
+        assert_eq!(f.len(), 60);
+        assert_eq!(f.nbytes(), 240);
+    }
+
+    #[test]
+    fn value_range_ignores_nan() {
+        let mut f = ramp(Dims::d2(2, 3));
+        f.set(0, 0, 0, f32::NAN);
+        let (lo, hi) = f.value_range();
+        assert_eq!(lo, 1.0);
+        assert_eq!(hi, 12.0);
+    }
+
+    #[test]
+    fn extract_region_matches_get() {
+        let f = ramp(Dims::d3(4, 4, 4));
+        let r = Region::d3(1..3, 0..2, 2..4);
+        let sub = f.extract_region(&r);
+        assert_eq!(sub.dims().as_array(), [2, 2, 2]);
+        for z in 0..2 {
+            for y in 0..2 {
+                for x in 0..2 {
+                    assert_eq!(sub.get(z, y, x), f.get(z + 1, y, x + 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn downsample_picks_even_points() {
+        let f = ramp(Dims::d3(5, 5, 5));
+        let c = f.downsample(2);
+        assert_eq!(c.dims().as_array(), [3, 3, 3]);
+        assert_eq!(c.get(1, 1, 1), f.get(2, 2, 2));
+        assert_eq!(c.get(2, 2, 2), f.get(4, 4, 4));
+    }
+
+    #[test]
+    fn slice_z_extracts_plane() {
+        let f = ramp(Dims::d3(3, 2, 2));
+        let s = f.slice_z(1);
+        assert_eq!(s.dims().as_array(), [1, 2, 2]);
+        assert_eq!(s.get(0, 1, 1), f.get(1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Field::from_vec(Dims::d2(2, 2), vec![0.0f32; 3]);
+    }
+}

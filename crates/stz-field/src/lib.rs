@@ -1,0 +1,33 @@
+//! N-dimensional scientific field containers and lattice partitioning.
+//!
+//! This crate is the data-model substrate shared by every compressor in the
+//! STZ workspace. It provides:
+//!
+//! * [`Dims`] — 1/2/3-dimensional grid extents with `(z, y, x)` ordering and
+//!   `x` fastest-varying (C order), matching the layout of the scientific
+//!   datasets evaluated in the STZ paper.
+//! * [`Scalar`] — the floating-point element abstraction (`f32`/`f64`) with
+//!   bit-exact (de)serialization used for outlier storage.
+//! * [`Field`] — an owned dense grid of scalars.
+//! * [`Region`] — half-open axis-aligned boxes for region-of-interest access.
+//! * [`SubLattice`] — strided interleaved sub-grids (offset + stride), the
+//!   geometric core of STZ's hierarchical partition (§3.1 of the paper).
+//! * [`partition`] — stride-2/stride-4 partitioning and exact reassembly.
+//!
+//! The partition machinery is lossless and purely index-based: partitioning a
+//! field into sub-lattices and scattering them back reproduces the original
+//! field bit-for-bit, for any (including odd) dimensions.
+
+pub mod dims;
+pub mod field;
+pub mod partition;
+pub mod region;
+pub mod scalar;
+pub mod sublattice;
+
+pub use dims::Dims;
+pub use field::Field;
+pub use partition::{partition_stride2, reassemble_stride2, sublattices_stride2};
+pub use region::Region;
+pub use scalar::Scalar;
+pub use sublattice::SubLattice;

@@ -1,0 +1,146 @@
+//! Stride-2 partitioning and exact reassembly (paper §3.1, Fig. 4).
+//!
+//! A d-dimensional grid is split into `2^d` interleaved sub-lattices by
+//! stride-2 sampling at each binary offset. Offsets are enumerated in a
+//! canonical order (bit pattern `zyx`), so block 0 is always the
+//! offset-`(0,…,0)` "sub-block a" that serves as the coarse level.
+
+use crate::{Dims, Field, Scalar, SubLattice};
+
+/// All non-empty stride-`2` sub-lattices of `dims`, in canonical offset order.
+///
+/// For a 3-D grid the order is offsets
+/// `(0,0,0), (0,0,1), (0,1,0), (0,1,1), (1,0,0), (1,0,1), (1,1,0), (1,1,1)`
+/// (bit pattern `zyx`), i.e. sub-blocks `a, b, c, d(f?), …` of the paper's
+/// Fig. 7 with `a` first. For 2-D grids only the 4 offsets with `oz = 0`
+/// appear; for 1-D, 2 offsets.
+pub fn sublattices_stride2(dims: Dims) -> Vec<SubLattice> {
+    let ndim = dims.ndim();
+    let nblocks = 1usize << ndim;
+    let mut out = Vec::with_capacity(nblocks);
+    for bits in 0..nblocks {
+        let offset = offset_from_bits(ndim, bits);
+        if let Some(sl) = SubLattice::new(dims, offset, 2) {
+            out.push(sl);
+        }
+    }
+    out
+}
+
+/// Decode a canonical block index into a `(oz, oy, ox)` offset.
+///
+/// The lowest bit is the x offset, then y, then z, so indices enumerate
+/// offsets in the same order for every dimensionality.
+pub fn offset_from_bits(ndim: u8, bits: usize) -> [usize; 3] {
+    debug_assert!(bits < (1 << ndim));
+    let ox = bits & 1;
+    let oy = (bits >> 1) & 1;
+    let oz = (bits >> 2) & 1;
+    match ndim {
+        1 => [0, 0, ox],
+        2 => [0, oy, ox],
+        _ => [oz, oy, ox],
+    }
+}
+
+/// Number of nonzero components in a binary offset — the Manhattan distance
+/// to sub-block `a`, which selects the interpolation kernel (paper Fig. 7).
+pub fn offset_rank(offset: [usize; 3]) -> u8 {
+    (offset[0] + offset[1] + offset[2]) as u8
+}
+
+/// Partition a field into its stride-2 sub-blocks (dense copies), canonical
+/// order.
+pub fn partition_stride2<T: Scalar>(field: &Field<T>) -> Vec<(SubLattice, Field<T>)> {
+    sublattices_stride2(field.dims())
+        .into_iter()
+        .map(|sl| {
+            let block = sl.gather(field);
+            (sl, block)
+        })
+        .collect()
+}
+
+/// Reassemble a field from its stride-2 sub-blocks. Inverse of
+/// [`partition_stride2`]; blocks may be supplied in any order.
+pub fn reassemble_stride2<T: Scalar>(
+    dims: Dims,
+    blocks: &[(SubLattice, Field<T>)],
+) -> Field<T> {
+    let mut out = Field::zeros(dims);
+    let mut covered = 0usize;
+    for (sl, block) in blocks {
+        assert_eq!(sl.parent_dims(), dims, "sub-lattice belongs to another grid");
+        sl.scatter(block, &mut out);
+        covered += block.len();
+    }
+    assert_eq!(covered, dims.len(), "blocks do not cover the grid exactly");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(dims: Dims) -> Field<f32> {
+        Field::from_fn(dims, |z, y, x| (z * 961 + y * 31 + x) as f32)
+    }
+
+    #[test]
+    fn canonical_block_zero_is_origin() {
+        for dims in [Dims::d1(9), Dims::d2(5, 6), Dims::d3(4, 5, 6)] {
+            let subs = sublattices_stride2(dims);
+            assert_eq!(subs[0].offset(), [0, 0, 0]);
+            assert_eq!(subs.len(), 1 << dims.ndim());
+        }
+    }
+
+    #[test]
+    fn partition_reassemble_identity_3d() {
+        for dims in [
+            Dims::d3(8, 8, 8),
+            Dims::d3(7, 6, 5),
+            Dims::d3(1, 1, 2), // degenerate: some empty sub-lattices? nz=1 means oz=1 empty
+            Dims::d3(2, 3, 9),
+        ] {
+            let f = ramp(dims);
+            let parts = partition_stride2(&f);
+            let back = reassemble_stride2(dims, &parts);
+            assert_eq!(f, back, "roundtrip failed for {dims}");
+        }
+    }
+
+    #[test]
+    fn partition_reassemble_identity_2d_1d() {
+        for dims in [Dims::d2(5, 7), Dims::d2(2, 2), Dims::d1(13), Dims::d1(1)] {
+            let f = ramp(dims);
+            let parts = partition_stride2(&f);
+            let back = reassemble_stride2(dims, &parts);
+            assert_eq!(f, back);
+        }
+    }
+
+    #[test]
+    fn offset_rank_counts_bits() {
+        assert_eq!(offset_rank([0, 0, 0]), 0);
+        assert_eq!(offset_rank([0, 0, 1]), 1);
+        assert_eq!(offset_rank([1, 1, 0]), 2);
+        assert_eq!(offset_rank([1, 1, 1]), 3);
+    }
+
+    #[test]
+    fn block_sizes_sum_to_total() {
+        let dims = Dims::d3(9, 10, 11);
+        let parts = partition_stride2(&ramp(dims));
+        let total: usize = parts.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(total, dims.len());
+    }
+
+    #[test]
+    fn degenerate_dims_skip_empty_blocks() {
+        // nz = 1: the four oz = 1 sub-lattices are empty and skipped.
+        let dims = Dims::d3(1, 4, 4);
+        let subs = sublattices_stride2(dims);
+        assert_eq!(subs.len(), 4);
+    }
+}

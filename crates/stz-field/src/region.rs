@@ -1,0 +1,211 @@
+//! Half-open axis-aligned boxes for region-of-interest access.
+
+use crate::Dims;
+use std::ops::Range;
+
+/// A half-open box `[z0, z1) x [y0, y1) x [x0, x1)`.
+///
+/// Regions express the targets of random-access decompression: a 3-D ROI box,
+/// a 2-D slice (`z1 == z0 + 1`), or a 1-D ray. For 2-D fields, use
+/// `z0 = 0, z1 = 1`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Region {
+    pub z0: usize,
+    pub z1: usize,
+    pub y0: usize,
+    pub y1: usize,
+    pub x0: usize,
+    pub x1: usize,
+}
+
+impl Region {
+    /// 3-D box from per-axis ranges.
+    pub fn d3(z: Range<usize>, y: Range<usize>, x: Range<usize>) -> Self {
+        let r = Region { z0: z.start, z1: z.end, y0: y.start, y1: y.end, x0: x.start, x1: x.end };
+        assert!(r.z0 < r.z1 && r.y0 < r.y1 && r.x0 < r.x1, "region must be non-empty: {r:?}");
+        r
+    }
+
+    /// 2-D box (z fixed to the single plane 0).
+    pub fn d2(y: Range<usize>, x: Range<usize>) -> Self {
+        Region::d3(0..1, y, x)
+    }
+
+    /// 1-D interval.
+    pub fn d1(x: Range<usize>) -> Self {
+        Region::d3(0..1, 0..1, x)
+    }
+
+    /// The full extent of `dims`.
+    pub fn full(dims: Dims) -> Self {
+        Region::d3(0..dims.nz(), 0..dims.ny(), 0..dims.nx())
+    }
+
+    /// The 2-D slice of a 3-D grid at `z = z_index`.
+    pub fn slice_z(dims: Dims, z_index: usize) -> Self {
+        assert!(z_index < dims.nz());
+        Region::d3(z_index..z_index + 1, 0..dims.ny(), 0..dims.nx())
+    }
+
+    /// Number of points covered.
+    pub fn len(&self) -> usize {
+        (self.z1 - self.z0) * (self.y1 - self.y0) * (self.x1 - self.x0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // non-emptiness is a construction invariant
+    }
+
+    /// Extents of the region as standalone grid dims with dimensionality
+    /// `ndim` (so an extracted ROI keeps the parent's logical rank).
+    pub fn dims(&self, ndim: u8) -> Dims {
+        Dims::from_parts(
+            ndim.max(if self.z1 - self.z0 > 1 { 3 } else { ndim }),
+            self.z1 - self.z0,
+            self.y1 - self.y0,
+            self.x1 - self.x0,
+        )
+    }
+
+    /// Whether the region lies fully inside `dims`.
+    pub fn fits_in(&self, dims: Dims) -> bool {
+        self.z1 <= dims.nz() && self.y1 <= dims.ny() && self.x1 <= dims.nx()
+    }
+
+    /// Whether the point is covered.
+    #[inline]
+    pub fn contains(&self, z: usize, y: usize, x: usize) -> bool {
+        z >= self.z0 && z < self.z1 && y >= self.y0 && y < self.y1 && x >= self.x0 && x < self.x1
+    }
+
+    /// Intersect with another region; `None` if disjoint.
+    pub fn intersect(&self, other: &Region) -> Option<Region> {
+        let z0 = self.z0.max(other.z0);
+        let z1 = self.z1.min(other.z1);
+        let y0 = self.y0.max(other.y0);
+        let y1 = self.y1.min(other.y1);
+        let x0 = self.x0.max(other.x0);
+        let x1 = self.x1.min(other.x1);
+        if z0 < z1 && y0 < y1 && x0 < x1 {
+            Some(Region { z0, z1, y0, y1, x0, x1 })
+        } else {
+            None
+        }
+    }
+
+    /// Grow the region by `pad` points on every side, clamped to `dims` —
+    /// used to cover interpolation stencil support around an ROI.
+    pub fn dilate(&self, pad: usize, dims: Dims) -> Region {
+        Region {
+            z0: self.z0.saturating_sub(pad),
+            z1: (self.z1 + pad).min(dims.nz()),
+            y0: self.y0.saturating_sub(pad),
+            y1: (self.y1 + pad).min(dims.ny()),
+            x0: self.x0.saturating_sub(pad),
+            x1: (self.x1 + pad).min(dims.nx()),
+        }
+    }
+
+    /// Map the region into the coordinate system of the sub-lattice with
+    /// `offset`/`stride`: the set of sub-lattice points whose original
+    /// coordinates fall inside `self`. `None` if no lattice point is covered.
+    pub fn project_to_sublattice(&self, offset: [usize; 3], stride: usize) -> Option<Region> {
+        let proj = |lo: usize, hi: usize, o: usize| -> Option<(usize, usize)> {
+            // smallest k with o + k*stride >= lo
+            let k0 = lo.saturating_sub(o).div_ceil(stride);
+            // largest k with o + k*stride < hi
+            if o >= hi {
+                return None;
+            }
+            let k1 = (hi - 1 - o) / stride;
+            if k0 > k1 {
+                None
+            } else {
+                Some((k0, k1 + 1))
+            }
+        };
+        let (z0, z1) = proj(self.z0, self.z1, offset[0])?;
+        let (y0, y1) = proj(self.y0, self.y1, offset[1])?;
+        let (x0, x1) = proj(self.x0, self.x1, offset[2])?;
+        Some(Region { z0, z1, y0, y1, x0, x1 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_contains() {
+        let r = Region::d3(1..3, 2..5, 0..4);
+        assert_eq!(r.len(), 2 * 3 * 4);
+        assert!(r.contains(1, 2, 0));
+        assert!(r.contains(2, 4, 3));
+        assert!(!r.contains(3, 2, 0));
+        assert!(!r.contains(1, 5, 0));
+    }
+
+    #[test]
+    fn full_covers_dims() {
+        let d = Dims::d3(4, 5, 6);
+        let r = Region::full(d);
+        assert_eq!(r.len(), d.len());
+        assert!(r.fits_in(d));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_none() {
+        let a = Region::d3(0..2, 0..2, 0..2);
+        let b = Region::d3(2..4, 0..2, 0..2);
+        assert!(a.intersect(&b).is_none());
+        let c = Region::d3(1..3, 1..3, 1..3);
+        assert_eq!(a.intersect(&c), Some(Region::d3(1..2, 1..2, 1..2)));
+    }
+
+    #[test]
+    fn dilate_clamps() {
+        let d = Dims::d3(4, 4, 4);
+        let r = Region::d3(0..2, 1..3, 3..4).dilate(2, d);
+        assert_eq!(r, Region::d3(0..4, 0..4, 1..4));
+    }
+
+    #[test]
+    fn project_to_sublattice_basic() {
+        // Points 0..8, sub-lattice offset 1 stride 2 -> original coords 1,3,5,7
+        let r = Region::d1(2..6); // covers 3 and 5 -> sub-lattice indices 1,2
+        let p = r.project_to_sublattice([0, 0, 1], 2).unwrap();
+        assert_eq!((p.x0, p.x1), (1, 3));
+        // No covered point:
+        let r2 = Region::d1(2..3);
+        assert!(r2.project_to_sublattice([0, 0, 1], 2).is_none());
+    }
+
+    #[test]
+    fn project_roundtrip_all_points() {
+        // Every point of every stride-2 sub-lattice inside the region projects in.
+        let r = Region::d3(1..5, 0..3, 2..7);
+        for oz in 0..2usize {
+            for oy in 0..2usize {
+                for ox in 0..2usize {
+                    if let Some(p) = r.project_to_sublattice([oz, oy, ox], 2) {
+                        for z in p.z0..p.z1 {
+                            for y in p.y0..p.y1 {
+                                for x in p.x0..p.x1 {
+                                    assert!(r.contains(oz + 2 * z, oy + 2 * y, ox + 2 * x));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slice_region() {
+        let d = Dims::d3(8, 8, 8);
+        let s = Region::slice_z(d, 3);
+        assert_eq!(s.len(), 64);
+        assert_eq!(s.dims(3).as_array(), [1, 8, 8]);
+    }
+}

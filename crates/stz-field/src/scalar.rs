@@ -1,0 +1,120 @@
+//! Floating-point element abstraction.
+
+use std::fmt::{Debug, Display};
+
+/// Scalar element type of a [`crate::Field`]: `f32` or `f64`.
+///
+/// Compressors are generic over `Scalar`. The trait deliberately exposes only
+/// what error-bounded compression needs: lossless widening to `f64` for
+/// prediction arithmetic, and bit-exact byte (de)serialization for the
+/// unpredictable-value escape path.
+pub trait Scalar:
+    Copy + PartialOrd + Debug + Display + Default + Send + Sync + 'static
+{
+    /// Number of bytes in the exact binary representation.
+    const BYTES: usize;
+    /// Tag distinguishing element types in archive headers (0 = f32, 1 = f64).
+    const TYPE_TAG: u8;
+
+    fn to_f64(self) -> f64;
+    fn from_f64(v: f64) -> Self;
+    /// Serialize the exact bit pattern (little-endian).
+    fn write_exact(self, out: &mut Vec<u8>);
+    /// Deserialize the exact bit pattern; `bytes.len()` must be `>= BYTES`.
+    fn read_exact(bytes: &[u8]) -> Self;
+
+    #[inline]
+    fn abs64(self) -> f64 {
+        self.to_f64().abs()
+    }
+}
+
+impl Scalar for f32 {
+    const BYTES: usize = 4;
+    const TYPE_TAG: u8 = 0;
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    #[inline]
+    fn write_exact(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_exact(bytes: &[u8]) -> Self {
+        f32::from_le_bytes(bytes[..4].try_into().expect("need 4 bytes"))
+    }
+}
+
+impl Scalar for f64 {
+    const BYTES: usize = 8;
+    const TYPE_TAG: u8 = 1;
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    #[inline]
+    fn write_exact(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_exact(bytes: &[u8]) -> Self {
+        f64::from_le_bytes(bytes[..8].try_into().expect("need 8 bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_exact_roundtrip() {
+        let vals = [0.0f32, -0.0, 1.5, f32::MIN_POSITIVE, f32::MAX, -123.456, f32::NAN];
+        for &v in &vals {
+            let mut buf = Vec::new();
+            v.write_exact(&mut buf);
+            assert_eq!(buf.len(), 4);
+            let back = f32::read_exact(&buf);
+            assert_eq!(v.to_bits(), back.to_bits(), "bit-exact roundtrip for {v}");
+        }
+    }
+
+    #[test]
+    fn f64_exact_roundtrip() {
+        let vals = [0.0f64, -0.0, 1.5e300, f64::MIN_POSITIVE, -9.87654321e-200, f64::NAN];
+        for &v in &vals {
+            let mut buf = Vec::new();
+            v.write_exact(&mut buf);
+            assert_eq!(buf.len(), 8);
+            let back = f64::read_exact(&buf);
+            assert_eq!(v.to_bits(), back.to_bits());
+        }
+    }
+
+    #[test]
+    fn widening_is_lossless_for_f32() {
+        let v = 0.1f32;
+        assert_eq!(f32::from_f64(v.to_f64()).to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn type_tags_distinct() {
+        assert_ne!(f32::TYPE_TAG, f64::TYPE_TAG);
+    }
+}

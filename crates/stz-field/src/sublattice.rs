@@ -1,0 +1,197 @@
+//! Strided interleaved sub-grids: the geometry of STZ's hierarchical partition.
+
+use crate::{Dims, Field, Scalar};
+
+/// A sub-lattice of a parent grid: the points `offset + k * stride` along
+/// each axis.
+///
+/// A `SubLattice` is a pure index mapping; it owns no data. [`gather`] copies
+/// its points out of a parent field into a dense field, [`scatter`] writes a
+/// dense field back into the parent positions — the two halves of the
+/// partition/reassembly round-trip.
+///
+/// [`gather`]: SubLattice::gather
+/// [`scatter`]: SubLattice::scatter
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubLattice {
+    parent: Dims,
+    offset: [usize; 3],
+    stride: usize,
+    dims: Dims,
+}
+
+impl SubLattice {
+    /// Create the sub-lattice of `parent` at `offset` with `stride`.
+    /// Returns `None` if the sub-lattice contains no points.
+    pub fn new(parent: Dims, offset: [usize; 3], stride: usize) -> Option<Self> {
+        let dims = parent.strided(offset, stride)?;
+        Some(SubLattice { parent, offset, stride, dims })
+    }
+
+    /// Dense extents of this sub-lattice.
+    #[inline]
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    #[inline]
+    pub fn parent_dims(&self) -> Dims {
+        self.parent
+    }
+
+    #[inline]
+    pub fn offset(&self) -> [usize; 3] {
+        self.offset
+    }
+
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Parent coordinates of sub-lattice point `(z, y, x)`.
+    #[inline(always)]
+    pub fn to_parent(&self, z: usize, y: usize, x: usize) -> (usize, usize, usize) {
+        (
+            self.offset[0] + z * self.stride,
+            self.offset[1] + y * self.stride,
+            self.offset[2] + x * self.stride,
+        )
+    }
+
+    /// Copy this sub-lattice's points out of `parent` into a dense field.
+    pub fn gather<T: Scalar>(&self, parent: &Field<T>) -> Field<T> {
+        assert_eq!(parent.dims(), self.parent);
+        let src = parent.as_slice();
+        let mut out = Vec::with_capacity(self.len());
+        let [oz, oy, ox] = self.offset;
+        let s = self.stride;
+        let (pny, pnx) = (self.parent.ny(), self.parent.nx());
+        for z in 0..self.dims.nz() {
+            let pz = oz + z * s;
+            for y in 0..self.dims.ny() {
+                let py = oy + y * s;
+                let row = (pz * pny + py) * pnx + ox;
+                // Strided copy along x.
+                let mut idx = row;
+                for _ in 0..self.dims.nx() {
+                    out.push(src[idx]);
+                    idx += s;
+                }
+            }
+        }
+        Field::from_vec(self.dims, out)
+    }
+
+    /// Write a dense field of this sub-lattice's shape back into the parent.
+    pub fn scatter<T: Scalar>(&self, block: &Field<T>, parent: &mut Field<T>) {
+        assert_eq!(parent.dims(), self.parent);
+        assert_eq!(block.dims().as_array(), self.dims.as_array());
+        let src = block.as_slice();
+        let dst = parent.as_mut_slice();
+        let [oz, oy, ox] = self.offset;
+        let s = self.stride;
+        let (pny, pnx) = (self.parent.ny(), self.parent.nx());
+        let mut i = 0;
+        for z in 0..self.dims.nz() {
+            let pz = oz + z * s;
+            for y in 0..self.dims.ny() {
+                let py = oy + y * s;
+                let row = (pz * pny + py) * pnx + ox;
+                let mut idx = row;
+                for _ in 0..self.dims.nx() {
+                    dst[idx] = src[i];
+                    i += 1;
+                    idx += s;
+                }
+            }
+        }
+    }
+
+    /// Visit every point as `(sub_index, parent_z, parent_y, parent_x)`.
+    pub fn for_each_point(&self, mut f: impl FnMut(usize, usize, usize, usize)) {
+        let mut i = 0;
+        let [oz, oy, ox] = self.offset;
+        let s = self.stride;
+        for z in 0..self.dims.nz() {
+            for y in 0..self.dims.ny() {
+                for x in 0..self.dims.nx() {
+                    f(i, oz + z * s, oy + y * s, ox + x * s);
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(dims: Dims) -> Field<f64> {
+        Field::from_fn(dims, |z, y, x| (z * 10000 + y * 100 + x) as f64)
+    }
+
+    #[test]
+    fn gather_picks_strided_points() {
+        let parent = ramp(Dims::d3(5, 5, 5));
+        let sl = SubLattice::new(parent.dims(), [1, 0, 1], 2).unwrap();
+        assert_eq!(sl.dims().as_array(), [2, 3, 2]);
+        let g = sl.gather(&parent);
+        assert_eq!(g.get(0, 0, 0), parent.get(1, 0, 1));
+        assert_eq!(g.get(1, 2, 1), parent.get(3, 4, 3));
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let parent = ramp(Dims::d3(7, 6, 5));
+        let mut rebuilt = Field::zeros(parent.dims());
+        for oz in 0..2 {
+            for oy in 0..2 {
+                for ox in 0..2 {
+                    if let Some(sl) = SubLattice::new(parent.dims(), [oz, oy, ox], 2) {
+                        let block = sl.gather(&parent);
+                        sl.scatter(&block, &mut rebuilt);
+                    }
+                }
+            }
+        }
+        assert_eq!(parent, rebuilt);
+    }
+
+    #[test]
+    fn to_parent_mapping() {
+        let sl = SubLattice::new(Dims::d3(8, 8, 8), [0, 1, 0], 4).unwrap();
+        assert_eq!(sl.to_parent(1, 1, 0), (4, 5, 0));
+    }
+
+    #[test]
+    fn empty_sublattice_is_none() {
+        assert!(SubLattice::new(Dims::d3(2, 2, 2), [2, 0, 0], 2).is_none());
+        assert!(SubLattice::new(Dims::d2(3, 3), [1, 0, 0], 2).is_none());
+    }
+
+    #[test]
+    fn for_each_point_covers_len() {
+        let sl = SubLattice::new(Dims::d3(5, 4, 3), [1, 1, 1], 2).unwrap();
+        let mut count = 0;
+        sl.for_each_point(|i, z, y, x| {
+            assert_eq!(i, count);
+            assert!(z < 5 && y < 4 && x < 3);
+            assert_eq!(z % 2, 1);
+            count += 1;
+        });
+        assert_eq!(count, sl.len());
+    }
+}

@@ -1,0 +1,389 @@
+//! MGARD-style compression driver: deep hierarchy, multilinear prediction,
+//! one Huffman stream.
+
+use crate::hierarchy::{detail_lattices, grid_dims, num_levels, predict_multilinear};
+use stz_codec::{huffman, ByteReader, ByteWriter, CodecError, LinearQuantizer, Result, ESCAPE_SYMBOL};
+use stz_field::{Dims, Field, Scalar, SubLattice};
+
+/// Magic bytes of an MGARD-style archive.
+pub const MAGIC: [u8; 4] = *b"MGR1";
+/// Format version.
+pub const VERSION: u8 = 1;
+
+/// Configuration: absolute error bound.
+#[derive(Debug, Clone, Copy)]
+pub struct MgardConfig {
+    pub eb: f64,
+    /// Quantizer radius.
+    pub radius: i64,
+}
+
+impl MgardConfig {
+    pub fn new(eb: f64) -> Self {
+        assert!(eb > 0.0 && eb.is_finite());
+        MgardConfig { eb, radius: 1 << 15 }
+    }
+}
+
+/// Compress a field.
+pub fn compress<T: Scalar>(field: &Field<T>, config: &MgardConfig) -> Vec<u8> {
+    let dims = field.dims();
+    let levels = num_levels(dims);
+    let quant = LinearQuantizer::new(config.eb, config.radius);
+
+    let mut symbols: Vec<u32> = Vec::with_capacity(dims.len());
+    let mut outliers: Vec<T> = Vec::new();
+
+    // Coarsest level: Lorenzo-style previous-point prediction along the
+    // traversal, against reconstructed values.
+    let coarsest = grid_dims(dims, levels, 1);
+    let l1_orig: Field<T> = SubLattice::new(dims, [0, 0, 0], 1usize << (levels - 1))
+        .expect("origin lattice")
+        .gather(field);
+    let mut grid = Field::<f64>::zeros(coarsest);
+    {
+        let src = l1_orig.as_slice();
+        let dst = grid.as_mut_slice();
+        let mut prev = 0.0f64;
+        for (i, &v) in src.iter().enumerate() {
+            let actual = v.to_f64();
+            match quantize_scalar::<T>(&quant, actual, prev) {
+                Some((symbol, recon)) => {
+                    symbols.push(symbol);
+                    dst[i] = recon;
+                }
+                None => {
+                    symbols.push(ESCAPE_SYMBOL);
+                    outliers.push(src[i]);
+                    dst[i] = actual;
+                }
+            }
+            prev = dst[i];
+        }
+    }
+
+    // Finer levels: multilinear prediction from the reconstructed coarser
+    // grid, refined level by level.
+    for k in 2..=levels {
+        let gd = grid_dims(dims, levels, k);
+        let mut next = Field::<f64>::zeros(gd);
+        SubLattice::new(gd, [0, 0, 0], 2)
+            .expect("origin lattice")
+            .scatter(&grid, &mut next);
+        let stride = 1usize << (levels - k);
+        for (lat, active) in detail_lattices(gd) {
+            let [oz, oy, ox] = lat.offset();
+            let ld = lat.dims();
+            for z in 0..ld.nz() {
+                for y in 0..ld.ny() {
+                    for x in 0..ld.nx() {
+                        let (gz, gy, gx) = (oz + 2 * z, oy + 2 * y, ox + 2 * x);
+                        let pred =
+                            predict_multilinear(next.as_slice(), gd, [gz, gy, gx], &active);
+                        let actual =
+                            field.get(gz * stride, gy * stride, gx * stride).to_f64();
+                        let gidx = gd.index(gz, gy, gx);
+                        match quantize_scalar::<T>(&quant, actual, pred) {
+                            Some((symbol, recon)) => {
+                                symbols.push(symbol);
+                                next.as_mut_slice()[gidx] = recon;
+                            }
+                            None => {
+                                symbols.push(ESCAPE_SYMBOL);
+                                outliers
+                                    .push(field.get(gz * stride, gy * stride, gx * stride));
+                                next.as_mut_slice()[gidx] = actual;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grid = next;
+    }
+
+    let mut w = ByteWriter::with_capacity(symbols.len() / 2 + 64);
+    w.put_raw(&MAGIC);
+    w.put_u8(VERSION);
+    w.put_u8(T::TYPE_TAG);
+    w.put_u8(dims.ndim());
+    let [nz, ny, nx] = dims.as_array();
+    w.put_uvarint(nz as u64);
+    w.put_uvarint(ny as u64);
+    w.put_uvarint(nx as u64);
+    w.put_f64(config.eb);
+    w.put_uvarint(config.radius as u64);
+    w.put_u8(levels);
+    w.put_block(&huffman::encode_block(&symbols));
+    w.put_uvarint(outliers.len() as u64);
+    let mut raw = Vec::with_capacity(outliers.len() * T::BYTES);
+    for &v in &outliers {
+        v.write_exact(&mut raw);
+    }
+    w.put_raw(&raw);
+    w.finish()
+}
+
+#[inline]
+fn quantize_scalar<T: Scalar>(
+    quant: &LinearQuantizer,
+    actual: f64,
+    pred: f64,
+) -> Option<(u32, f64)> {
+    match quant.quantize(actual, pred) {
+        stz_codec::QuantOutcome::Code { symbol, reconstructed } => {
+            let rounded = T::from_f64(reconstructed).to_f64();
+            if (rounded - actual).abs() > quant.error_bound() {
+                None
+            } else {
+                Some((symbol, rounded))
+            }
+        }
+        stz_codec::QuantOutcome::Escape => None,
+    }
+}
+
+/// Decompress the full field.
+pub fn decompress<T: Scalar>(bytes: &[u8]) -> Result<Field<T>> {
+    decompress_impl::<T>(bytes, u8::MAX)
+}
+
+/// Resolution-progressive decompression: reconstruct only levels `1..=k`
+/// (the stride-`2^(levels-k)` preview). `k` is clamped to the hierarchy
+/// depth.
+pub fn decompress_level<T: Scalar>(bytes: &[u8], k: u8) -> Result<Field<T>> {
+    if k == 0 {
+        return Err(CodecError::corrupt("level must be >= 1"));
+    }
+    decompress_impl::<T>(bytes, k)
+}
+
+fn decompress_impl<T: Scalar>(bytes: &[u8], upto: u8) -> Result<Field<T>> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_raw(4)? != MAGIC {
+        return Err(CodecError::corrupt("bad MGARD magic"));
+    }
+    let version = r.get_u8()?;
+    if version != VERSION {
+        return Err(CodecError::unsupported(format!("MGARD format version {version}")));
+    }
+    if r.get_u8()? != T::TYPE_TAG {
+        return Err(CodecError::corrupt("MGARD element type mismatch"));
+    }
+    let ndim = r.get_u8()?;
+    if !(1..=3).contains(&ndim) {
+        return Err(CodecError::corrupt("invalid ndim"));
+    }
+    let nz = r.get_uvarint()? as usize;
+    let ny = r.get_uvarint()? as usize;
+    let nx = r.get_uvarint()? as usize;
+    if nz == 0 || ny == 0 || nx == 0 || nz.saturating_mul(ny).saturating_mul(nx) > (1 << 40) {
+        return Err(CodecError::corrupt("invalid dims"));
+    }
+    let dims = Dims::from_parts(ndim, nz, ny, nx);
+    let eb = r.get_f64()?;
+    if !(eb > 0.0 && eb.is_finite()) {
+        return Err(CodecError::corrupt("invalid error bound"));
+    }
+    let radius = r.get_uvarint()?;
+    if radius == 0 || radius > i64::MAX as u64 {
+        return Err(CodecError::corrupt("invalid radius"));
+    }
+    let levels = r.get_u8()?;
+    if levels == 0 || levels != num_levels(dims) {
+        return Err(CodecError::corrupt("level count mismatch"));
+    }
+    let upto = upto.min(levels);
+    let quant = LinearQuantizer::new(eb, radius as i64);
+
+    let symbols = huffman::decode_block(r.get_block()?)?;
+    if symbols.len() != dims.len() {
+        return Err(CodecError::corrupt("symbol count mismatch"));
+    }
+    let n_out = r.get_uvarint()? as usize;
+    let escapes = symbols.iter().filter(|&&s| s == ESCAPE_SYMBOL).count();
+    if n_out != escapes {
+        return Err(CodecError::corrupt("outlier count mismatch"));
+    }
+    let raw = r.get_raw(n_out * T::BYTES)?;
+    let outliers: Vec<T> = raw.chunks_exact(T::BYTES).map(T::read_exact).collect();
+
+    let mut sym_pos = 0usize;
+    let mut out_pos = 0usize;
+
+    // Coarsest level.
+    let coarsest = grid_dims(dims, levels, 1);
+    let mut grid = Field::<f64>::zeros(coarsest);
+    {
+        let dst = grid.as_mut_slice();
+        let mut prev = 0.0f64;
+        for v in dst.iter_mut() {
+            let s = symbols[sym_pos];
+            sym_pos += 1;
+            *v = if s == ESCAPE_SYMBOL {
+                let o = outliers[out_pos].to_f64();
+                out_pos += 1;
+                o
+            } else {
+                T::from_f64(quant.reconstruct(s, prev)).to_f64()
+            };
+            prev = *v;
+        }
+    }
+
+    for k in 2..=upto {
+        let gd = grid_dims(dims, levels, k);
+        let mut next = Field::<f64>::zeros(gd);
+        SubLattice::new(gd, [0, 0, 0], 2)
+            .expect("origin lattice")
+            .scatter(&grid, &mut next);
+        for (lat, active) in detail_lattices(gd) {
+            let [oz, oy, ox] = lat.offset();
+            let ld = lat.dims();
+            for z in 0..ld.nz() {
+                for y in 0..ld.ny() {
+                    for x in 0..ld.nx() {
+                        let (gz, gy, gx) = (oz + 2 * z, oy + 2 * y, ox + 2 * x);
+                        let gidx = gd.index(gz, gy, gx);
+                        let s = symbols[sym_pos];
+                        sym_pos += 1;
+                        next.as_mut_slice()[gidx] = if s == ESCAPE_SYMBOL {
+                            let o = outliers[out_pos].to_f64();
+                            out_pos += 1;
+                            o
+                        } else {
+                            let pred = predict_multilinear(
+                                next.as_slice(),
+                                gd,
+                                [gz, gy, gx],
+                                &active,
+                            );
+                            T::from_f64(quant.reconstruct(s, pred)).to_f64()
+                        };
+                    }
+                }
+            }
+        }
+        grid = next;
+    }
+
+    Ok(Field::from_vec(
+        grid.dims(),
+        grid.as_slice().iter().map(|&v| T::from_f64(v)).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth(dims: Dims) -> Field<f32> {
+        Field::from_fn(dims, |z, y, x| {
+            ((z as f32) * 0.2).sin() * 2.0 + ((y as f32) * 0.17).cos() + ((x as f32) * 0.23).sin()
+        })
+    }
+
+    fn max_err(a: &Field<f32>, b: &Field<f32>) -> f64 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| ((x as f64) - (y as f64)).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn roundtrip_error_bounded() {
+        let f = smooth(Dims::d3(20, 24, 28));
+        for eb in [1e-1, 1e-2, 1e-3] {
+            let bytes = compress(&f, &MgardConfig::new(eb));
+            let back: Field<f32> = decompress(&bytes).unwrap();
+            assert_eq!(back.dims(), f.dims());
+            assert!(max_err(&f, &back) <= eb, "eb {eb}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_odd_dims_f64_lower_rank() {
+        let f = Field::from_fn(Dims::d3(13, 9, 11), |z, y, x| {
+            ((z + y * 2 + x * 3) as f64 * 0.05).sin() * 100.0
+        });
+        let bytes = compress(&f, &MgardConfig::new(0.01));
+        let back: Field<f64> = decompress(&bytes).unwrap();
+        let err = f
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err <= 0.01);
+        for dims in [Dims::d2(17, 23), Dims::d1(100)] {
+            let f = smooth(dims);
+            let bytes = compress(&f, &MgardConfig::new(1e-2));
+            let back: Field<f32> = decompress(&bytes).unwrap();
+            assert!(max_err(&f, &back) <= 1e-2, "dims {dims}");
+        }
+    }
+
+    #[test]
+    fn compresses_smooth_data() {
+        let f = smooth(Dims::d3(32, 32, 32));
+        let bytes = compress(&f, &MgardConfig::new(1e-3));
+        let cr = f.nbytes() as f64 / bytes.len() as f64;
+        assert!(cr > 4.0, "CR {cr}");
+    }
+
+    #[test]
+    fn progressive_levels_shrink() {
+        let f = smooth(Dims::d3(33, 33, 33));
+        let bytes = compress(&f, &MgardConfig::new(1e-3));
+        let full: Field<f32> = decompress(&bytes).unwrap();
+        let levels = num_levels(f.dims());
+        let mut prev_len = 0usize;
+        for k in 1..=levels {
+            let p: Field<f32> = decompress_level(&bytes, k).unwrap();
+            assert_eq!(p.dims(), f.dims().coarsened(1usize << (levels - k)));
+            assert!(p.len() > prev_len);
+            prev_len = p.len();
+            // Preview equals the matching downsample of the full recon.
+            assert_eq!(p, full.downsample(1usize << (levels - k)), "level {k}");
+        }
+    }
+
+    #[test]
+    fn outliers_roundtrip() {
+        let mut f = smooth(Dims::d3(12, 12, 12));
+        f.set(3, 3, 3, 1e30);
+        f.set(11, 0, 7, f32::NAN);
+        let bytes = compress(&f, &MgardConfig::new(1e-3));
+        let back: Field<f32> = decompress(&bytes).unwrap();
+        assert_eq!(back.get(3, 3, 3), 1e30);
+        assert!(back.get(11, 0, 7).is_nan());
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let f = smooth(Dims::d3(10, 10, 10));
+        let bytes = compress(&f, &MgardConfig::new(1e-3));
+        for cut in (0..bytes.len()).step_by(7) {
+            let _ = decompress::<f32>(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let f = smooth(Dims::d3(8, 8, 8));
+        let bytes = compress(&f, &MgardConfig::new(1e-3));
+        assert!(decompress::<f64>(&bytes).is_err());
+    }
+
+    #[test]
+    fn linear_prediction_worse_than_nothing_is_false() {
+        // Sanity: MGARD-like must beat raw storage comfortably but, by
+        // design, its linear prediction trails cubic predictors; we only
+        // assert the former here (the cross-compressor comparison lives in
+        // the benchmark harness).
+        let f = smooth(Dims::d3(24, 24, 24));
+        let bytes = compress(&f, &MgardConfig::new(1e-3));
+        assert!(bytes.len() < f.nbytes() / 3);
+    }
+}

@@ -1,0 +1,110 @@
+//! Multigrid hierarchy geometry and multilinear nodal prediction.
+
+use stz_field::{partition::offset_from_bits, Dims, SubLattice};
+
+/// Number of hierarchy levels for a grid: coarsen by 2 until the largest
+/// extent drops to ≤ 4 (deep hierarchies are MGARD's signature), capped at 8.
+pub fn num_levels(dims: Dims) -> u8 {
+    let max_ext = dims.as_array().into_iter().max().unwrap();
+    let mut l = 1u8;
+    let mut e = max_ext;
+    while e > 4 && l < 8 {
+        e = e.div_ceil(2);
+        l += 1;
+    }
+    l
+}
+
+/// Working-grid extents at level `k` (1 = coarsest) of an `levels`-deep
+/// hierarchy: the stride-`2^(levels-k)` coarsening.
+pub fn grid_dims(dims: Dims, levels: u8, k: u8) -> Dims {
+    debug_assert!(k >= 1 && k <= levels);
+    dims.coarsened(1usize << (levels - k))
+}
+
+/// The odd-offset sub-lattices of a working grid — the points refined at
+/// this level, in canonical offset order.
+pub fn detail_lattices(grid: Dims) -> Vec<(SubLattice, Vec<usize>)> {
+    let ndim = grid.ndim();
+    let mut out = Vec::new();
+    for bits in 1..(1usize << ndim) {
+        let o = offset_from_bits(ndim, bits);
+        if let Some(lat) = SubLattice::new(grid, o, 2) {
+            let active: Vec<usize> = (0..3).filter(|&d| o[d] == 1).collect();
+            out.push((lat, active));
+        }
+    }
+    out
+}
+
+/// Multilinear prediction of grid point `p` from the even (coarse) lattice
+/// of the same working grid; high corners clamp at the boundary.
+#[inline]
+pub fn predict_multilinear(buf: &[f64], grid: Dims, p: [usize; 3], active: &[usize]) -> f64 {
+    let n = grid.as_array();
+    let k = active.len();
+    let mut sum = 0.0;
+    for bits in 0..(1usize << k) {
+        let mut c = p;
+        for (j, &d) in active.iter().enumerate() {
+            c[d] = if bits >> j & 1 == 1 && p[d] + 1 < n[d] { p[d] + 1 } else { p[d] - 1 };
+        }
+        sum += buf[grid.index(c[0], c[1], c[2])];
+    }
+    sum / (1usize << k) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_depth() {
+        assert_eq!(num_levels(Dims::d3(4, 4, 4)), 1);
+        assert_eq!(num_levels(Dims::d3(8, 8, 8)), 2);
+        assert_eq!(num_levels(Dims::d3(64, 64, 64)), 5);
+        assert_eq!(num_levels(Dims::d3(512, 512, 512)), 8);
+        assert_eq!(num_levels(Dims::d1(1000)), 8);
+    }
+
+    #[test]
+    fn grid_dims_chain() {
+        let dims = Dims::d3(33, 17, 9);
+        let l = num_levels(dims);
+        assert_eq!(grid_dims(dims, l, l), dims);
+        let coarsest = grid_dims(dims, l, 1);
+        assert!(coarsest.as_array().iter().all(|&n| n <= 5));
+    }
+
+    #[test]
+    fn detail_lattices_tile_refinement() {
+        let grid = Dims::d3(9, 8, 7);
+        let lats = detail_lattices(grid);
+        let even = SubLattice::new(grid, [0, 0, 0], 2).unwrap();
+        let total: usize = lats.iter().map(|(l, _)| l.len()).sum();
+        assert_eq!(total + even.len(), grid.len());
+    }
+
+    #[test]
+    fn multilinear_exact_on_linear_field() {
+        let grid = Dims::d3(9, 9, 9);
+        let mut buf = vec![0.0; grid.len()];
+        for z in 0..9 {
+            for y in 0..9 {
+                for x in 0..9 {
+                    buf[grid.index(z, y, x)] = z as f64 + 2.0 * y as f64 + 3.0 * x as f64;
+                }
+            }
+        }
+        for (lat, active) in detail_lattices(grid) {
+            lat.for_each_point(|_, z, y, x| {
+                let p = predict_multilinear(&buf, grid, [z, y, x], &active);
+                let want = z as f64 + 2.0 * y as f64 + 3.0 * x as f64;
+                // Interior points are exact; boundary clamp can deviate.
+                if z + 1 < 9 && y + 1 < 9 && x + 1 < 9 {
+                    assert!((p - want).abs() < 1e-12, "({z},{y},{x}): {p} vs {want}");
+                }
+            });
+        }
+    }
+}

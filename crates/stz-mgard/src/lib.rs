@@ -1,0 +1,22 @@
+//! MGARD-style multigrid lossy compressor (baseline).
+//!
+//! Reimplements the structure of MGARD(-X) (Ainsworth et al.; Gong et al.,
+//! SoftwareX 2023), the paper's resolution-progressive baseline: a deep
+//! multigrid hierarchy in which each level's nodal values are predicted by
+//! **multilinear interpolation** from the next coarser grid and only the
+//! multilevel coefficients (residuals) are quantized and entropy-coded.
+//!
+//! Substitutions relative to the reference MGARD (documented in DESIGN.md):
+//! the L2 projection ("correction" solve) is omitted — we use the
+//! interpolation-wavelet decomposition, and quantize against reconstructed
+//! coarse values so the absolute error bound holds point-wise by
+//! construction. What is preserved is exactly what the paper's evaluation
+//! depends on: resolution-progressive decoding, a deep hierarchy with
+//! full-grid passes, linear-order prediction (hence rate-distortion below
+//! the cubic predictors of SZ3/STZ, as in paper Fig. 11), and a monolithic
+//! code stream (no random access, paper Table 1).
+
+pub mod compressor;
+pub mod hierarchy;
+
+pub use compressor::{compress, decompress, decompress_level, MgardConfig};

@@ -1,0 +1,235 @@
+//! Bit-plane significance/refinement coder for wavelet coefficients.
+//!
+//! A simplified set-partitioning coder in the SPIHT/SPECK family, as used
+//! by SPERR: coefficients are quantized to sign+magnitude integers and
+//! coded plane by plane. Each plane has
+//!
+//! * a **significance pass** — Elias-γ coded gaps between newly significant
+//!   coefficients, each followed by its sign bit; and
+//! * a **refinement pass** — one raw bit per previously significant
+//!   coefficient (in discovery order).
+//!
+//! Decoding a prefix of the planes yields a valid lower-precision
+//! reconstruction, which is what makes the stream precision-progressive.
+
+use stz_codec::{BitReader, BitWriter, CodecError, Result};
+
+/// Write `v >= 1` in Elias-γ: `⌊log2 v⌋` zeros, then `v`'s binary digits.
+#[inline]
+pub fn put_gamma(w: &mut BitWriter, v: u64) {
+    debug_assert!(v >= 1);
+    let bits = 64 - v.leading_zeros();
+    w.put(0, bits - 1);
+    w.put_wide(v, bits);
+}
+
+/// Read an Elias-γ coded integer.
+#[inline]
+pub fn get_gamma(r: &mut BitReader<'_>) -> Result<u64> {
+    let mut zeros = 0u32;
+    while !r.get_bit()? {
+        zeros += 1;
+        if zeros > 63 {
+            return Err(CodecError::corrupt("gamma code too long"));
+        }
+    }
+    let rest = if zeros == 0 { 0 } else { r.get_wide(zeros)? };
+    Ok((1u64 << zeros) | rest)
+}
+
+/// Encode magnitude planes `kmin..kmax` (top-down) of `magnitudes` with
+/// `signs` (true = negative). Returns the number of coefficients that
+/// became significant.
+pub fn encode(
+    magnitudes: &[u64],
+    signs: &[bool],
+    kmax: u32,
+    kmin: u32,
+    w: &mut BitWriter,
+) -> usize {
+    debug_assert_eq!(magnitudes.len(), signs.len());
+    let n = magnitudes.len();
+    let mut significant = vec![false; n];
+    let mut sig_list: Vec<u32> = Vec::new();
+    for k in (kmin..kmax).rev() {
+        // Refinement pass over coefficients significant before this plane.
+        let old_len = sig_list.len();
+        for &i in &sig_list[..old_len] {
+            w.put_bit((magnitudes[i as usize] >> k) & 1 == 1);
+        }
+        // Significance pass: γ-coded gaps to newly significant coefficients.
+        let mut last: i64 = -1;
+        for (i, &m) in magnitudes.iter().enumerate() {
+            if !significant[i] && (m >> k) != 0 {
+                put_gamma(w, (i as i64 - last) as u64);
+                w.put_bit(signs[i]);
+                significant[i] = true;
+                sig_list.push(i as u32);
+                last = i as i64;
+            }
+        }
+        // Terminator: gap past the end.
+        put_gamma(w, (n as i64 - last) as u64);
+    }
+    sig_list.len()
+}
+
+/// Decode planes `kmin..kmax` into magnitude/sign arrays of length `n`.
+/// Decoding fewer planes than were encoded (larger `kmin`) is valid and
+/// yields a coarser reconstruction, provided the caller knows the plane
+/// boundaries — here we decode exactly the planes requested and expect the
+/// stream to contain at least those.
+pub fn decode(
+    n: usize,
+    kmax: u32,
+    kmin: u32,
+    r: &mut BitReader<'_>,
+) -> Result<(Vec<u64>, Vec<bool>)> {
+    let mut magnitudes = vec![0u64; n];
+    let mut signs = vec![false; n];
+    let mut significant = vec![false; n];
+    let mut sig_list: Vec<u32> = Vec::new();
+    for k in (kmin..kmax).rev() {
+        let old_len = sig_list.len();
+        for idx in 0..old_len {
+            let i = sig_list[idx] as usize;
+            if r.get_bit()? {
+                magnitudes[i] |= 1u64 << k;
+            }
+        }
+        let mut pos: i64 = -1;
+        loop {
+            let gap = get_gamma(r)? as i64;
+            pos += gap;
+            if pos >= n as i64 {
+                if pos > n as i64 {
+                    return Err(CodecError::corrupt("significance gap past terminator"));
+                }
+                break;
+            }
+            let i = pos as usize;
+            if significant[i] {
+                return Err(CodecError::corrupt("coefficient declared significant twice"));
+            }
+            signs[i] = r.get_bit()?;
+            magnitudes[i] |= 1u64 << k;
+            significant[i] = true;
+            sig_list.push(i as u32);
+        }
+    }
+    Ok((magnitudes, signs))
+}
+
+/// Mid-tread reconstruction offset: decoded magnitudes are truncated at
+/// `kmin`; adding half the last-coded step halves the worst-case error.
+pub fn dequant_magnitude(m: u64, kmin: u32) -> f64 {
+    if m == 0 {
+        0.0
+    } else {
+        m as f64 + if kmin > 0 { (1u64 << (kmin - 1)) as f64 } else { 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_roundtrip() {
+        let mut w = BitWriter::new();
+        let vals = [1u64, 2, 3, 4, 7, 8, 100, 1000, u32::MAX as u64];
+        for &v in &vals {
+            put_gamma(&mut w, v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &vals {
+            assert_eq!(get_gamma(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn gamma_is_compact_for_small_values() {
+        let mut w = BitWriter::new();
+        put_gamma(&mut w, 1);
+        assert_eq!(w.bit_len(), 1);
+        let mut w = BitWriter::new();
+        put_gamma(&mut w, 2);
+        assert_eq!(w.bit_len(), 3);
+    }
+
+    fn roundtrip(mags: &[u64], signs: &[bool], kmax: u32, kmin: u32) -> (Vec<u64>, Vec<bool>) {
+        let mut w = BitWriter::new();
+        encode(mags, signs, kmax, kmin, &mut w);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        decode(mags.len(), kmax, kmin, &mut r).unwrap()
+    }
+
+    #[test]
+    fn lossless_at_kmin_zero() {
+        let mags = vec![0u64, 5, 1000, 0, 1, 0, 0, 255, 12];
+        let signs = vec![false, true, false, false, true, false, false, false, true];
+        let (m, s) = roundtrip(&mags, &signs, 12, 0);
+        assert_eq!(m, mags);
+        // Signs only meaningful for nonzero magnitudes.
+        for i in 0..mags.len() {
+            if mags[i] != 0 {
+                assert_eq!(s[i], signs[i], "sign of {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_planes_keep_top_bits() {
+        let mags = vec![0b1101_0110u64, 0b100, 0b1000_0000, 1];
+        let signs = vec![false; 4];
+        let kmin = 4;
+        let (m, _) = roundtrip(&mags, &signs, 10, kmin);
+        for (got, want) in m.iter().zip(&mags) {
+            assert_eq!(*got, want & !((1u64 << kmin) - 1));
+        }
+    }
+
+    #[test]
+    fn sparse_stream_is_small() {
+        let mut mags = vec![0u64; 10_000];
+        mags[17] = 1 << 20;
+        mags[5000] = 3 << 19;
+        let signs = vec![false; 10_000];
+        let mut w = BitWriter::new();
+        encode(&mags, &signs, 22, 0, &mut w);
+        // 22 planes × terminator + a few positions: far below 1 bit/coeff.
+        assert!(w.bit_len() < 2000, "{} bits", w.bit_len());
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let (m, _) = decode(10_000, 22, 0, &mut r).unwrap();
+        assert_eq!(m, mags);
+    }
+
+    #[test]
+    fn empty_and_all_zero() {
+        let (m, _) = roundtrip(&[], &[], 10, 0);
+        assert!(m.is_empty());
+        let (m, _) = roundtrip(&[0, 0, 0], &[false; 3], 10, 0);
+        assert_eq!(m, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn dequant_adds_half_step() {
+        assert_eq!(dequant_magnitude(0, 5), 0.0);
+        assert_eq!(dequant_magnitude(32, 5), 32.0 + 16.0);
+        assert_eq!(dequant_magnitude(7, 0), 7.0);
+    }
+
+    #[test]
+    fn corrupt_stream_errors() {
+        let mags = vec![1u64 << 8; 64];
+        let signs = vec![false; 64];
+        let mut w = BitWriter::new();
+        encode(&mags, &signs, 10, 0, &mut w);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes[..2]);
+        assert!(decode(64, 10, 0, &mut r).is_err());
+    }
+}

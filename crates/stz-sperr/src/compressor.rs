@@ -1,0 +1,413 @@
+//! SPERR-style archive: wavelet + bit-plane coding + outlier correction.
+
+use crate::coder;
+use crate::wavelet;
+use stz_codec::{BitReader, BitWriter, ByteReader, ByteWriter, CodecError, Result};
+use stz_field::{Dims, Field, Scalar};
+
+/// Magic bytes of a SPERR-style archive.
+pub const MAGIC: [u8; 4] = *b"SPR1";
+/// Format version.
+pub const VERSION: u8 = 1;
+
+/// Quantization fraction bits for coefficient integerization.
+const PBITS: i32 = 40;
+
+/// Configuration: absolute error tolerance.
+#[derive(Debug, Clone, Copy)]
+pub struct SperrConfig {
+    pub tolerance: f64,
+}
+
+impl SperrConfig {
+    pub fn new(tolerance: f64) -> Self {
+        assert!(tolerance > 0.0 && tolerance.is_finite());
+        SperrConfig { tolerance }
+    }
+}
+
+/// Compress a field. The returned archive reconstructs every point to
+/// within `tolerance` (enforced by the correction pass).
+pub fn compress<T: Scalar>(field: &Field<T>, config: &SperrConfig) -> Vec<u8> {
+    let dims = field.dims();
+    let tol = config.tolerance;
+
+    // Lift to f64, quarantining non-finite values.
+    let mut buf: Vec<f64> = Vec::with_capacity(dims.len());
+    let mut nonfinite: Vec<(usize, T)> = Vec::new();
+    for (i, &v) in field.as_slice().iter().enumerate() {
+        let f = v.to_f64();
+        if f.is_finite() {
+            buf.push(f);
+        } else {
+            nonfinite.push((i, v));
+            buf.push(0.0);
+        }
+    }
+    let orig = buf.clone();
+
+    let levels = wavelet::num_levels(dims);
+    wavelet::fwd_nd(&mut buf, dims, levels);
+
+    let max_abs = buf.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    let mut w = ByteWriter::with_capacity(dims.len() / 2 + 64);
+    w.put_raw(&MAGIC);
+    w.put_u8(VERSION);
+    w.put_u8(T::TYPE_TAG);
+    w.put_u8(dims.ndim());
+    let [nz, ny, nx] = dims.as_array();
+    w.put_uvarint(nz as u64);
+    w.put_uvarint(ny as u64);
+    w.put_uvarint(nx as u64);
+    w.put_f64(tol);
+    w.put_u8(levels);
+
+    let mut recon = vec![0.0f64; dims.len()];
+    if max_abs == 0.0 {
+        w.put_u8(0); // zero-coefficient field
+    } else {
+        w.put_u8(1);
+        let emax = max_abs.log2().floor() as i32;
+        let scale = ((PBITS - 1 - emax) as f64).exp2();
+        let (kmax, kmin) = plane_range(tol, scale);
+        w.put_ivarint(emax as i64);
+        w.put_u8(kmax as u8);
+        w.put_u8(kmin as u8);
+
+        let mut mags = Vec::with_capacity(buf.len());
+        let mut signs = Vec::with_capacity(buf.len());
+        for &c in &buf {
+            mags.push((c.abs() * scale).round() as u64);
+            signs.push(c < 0.0);
+        }
+        let mut bw = BitWriter::with_capacity(dims.len() / 2);
+        coder::encode(&mags, &signs, kmax, kmin, &mut bw);
+        w.put_block(&bw.finish());
+
+        // Encoder-side reconstruction mirrors the decoder exactly.
+        let mask = if kmin == 0 { u64::MAX } else { !((1u64 << kmin) - 1) };
+        for (i, r) in recon.iter_mut().enumerate() {
+            let m = coder::dequant_magnitude(mags[i] & mask, kmin);
+            *r = if signs[i] { -m } else { m } / scale;
+        }
+        wavelet::inv_nd(&mut recon, dims, levels);
+    }
+
+    // Correction pass: quantized residuals wherever the bound is violated.
+    let mut corrections: Vec<(usize, i64)> = Vec::new();
+    for (i, (&o, r)) in orig.iter().zip(recon.iter()).enumerate() {
+        let r_t = T::from_f64(*r).to_f64();
+        let err = o - r_t;
+        if err.abs() > tol {
+            let c = (err / tol).round() as i64;
+            corrections.push((i, c));
+        }
+    }
+    w.put_uvarint(corrections.len() as u64);
+    let mut prev = 0usize;
+    for &(idx, c) in &corrections {
+        w.put_uvarint((idx - prev) as u64);
+        w.put_ivarint(c);
+        prev = idx;
+    }
+
+    w.put_uvarint(nonfinite.len() as u64);
+    let mut prev = 0usize;
+    for &(idx, v) in &nonfinite {
+        w.put_uvarint((idx - prev) as u64);
+        let mut raw = Vec::with_capacity(T::BYTES);
+        v.write_exact(&mut raw);
+        w.put_raw(&raw);
+        prev = idx;
+    }
+    w.finish()
+}
+
+/// Plane range `(kmax, kmin)` for a tolerance at a given coefficient scale.
+fn plane_range(tol: f64, scale: f64) -> (u32, u32) {
+    let kmax = (PBITS + 2) as u32;
+    let tol_scaled = tol * scale;
+    let kmin = if tol_scaled <= 2.0 {
+        0
+    } else {
+        (tol_scaled.log2().floor() as i32 - 1).clamp(0, kmax as i32) as u32
+    };
+    (kmax, kmin)
+}
+
+struct Parsed<'a> {
+    dims: Dims,
+    tol: f64,
+    levels: u8,
+    /// `None` for an all-zero coefficient field.
+    coded: Option<(i32, u32, u32, &'a [u8])>,
+    corrections: Vec<(usize, i64)>,
+    nonfinite_raw: Vec<(usize, Vec<u8>)>,
+}
+
+fn parse<T: Scalar>(bytes: &[u8]) -> Result<Parsed<'_>> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_raw(4)? != MAGIC {
+        return Err(CodecError::corrupt("bad SPERR magic"));
+    }
+    let version = r.get_u8()?;
+    if version != VERSION {
+        return Err(CodecError::unsupported(format!("SPERR format version {version}")));
+    }
+    if r.get_u8()? != T::TYPE_TAG {
+        return Err(CodecError::corrupt("SPERR element type mismatch"));
+    }
+    let ndim = r.get_u8()?;
+    if !(1..=3).contains(&ndim) {
+        return Err(CodecError::corrupt("invalid ndim"));
+    }
+    let nz = r.get_uvarint()? as usize;
+    let ny = r.get_uvarint()? as usize;
+    let nx = r.get_uvarint()? as usize;
+    if nz == 0 || ny == 0 || nx == 0 || nz.saturating_mul(ny).saturating_mul(nx) > (1 << 40) {
+        return Err(CodecError::corrupt("invalid dims"));
+    }
+    let dims = Dims::from_parts(ndim, nz, ny, nx);
+    let tol = r.get_f64()?;
+    if !(tol > 0.0 && tol.is_finite()) {
+        return Err(CodecError::corrupt("invalid tolerance"));
+    }
+    let levels = r.get_u8()?;
+    if levels > 8 {
+        return Err(CodecError::corrupt("invalid level count"));
+    }
+    let coded = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let emax = r.get_ivarint()?;
+            if !(-16000..=16000).contains(&emax) {
+                return Err(CodecError::corrupt("invalid emax"));
+            }
+            let kmax = r.get_u8()? as u32;
+            let kmin = r.get_u8()? as u32;
+            if kmin > kmax || kmax > 64 {
+                return Err(CodecError::corrupt("invalid plane range"));
+            }
+            let payload = r.get_block()?;
+            Some((emax as i32, kmax, kmin, payload))
+        }
+        f => return Err(CodecError::corrupt(format!("invalid coded flag {f}"))),
+    };
+    let ncorr = r.get_uvarint()?;
+    if ncorr > dims.len() as u64 {
+        return Err(CodecError::corrupt("too many corrections"));
+    }
+    let mut corrections = Vec::with_capacity(ncorr as usize);
+    let mut idx = 0usize;
+    for i in 0..ncorr {
+        let delta = r.get_uvarint()? as usize;
+        idx = if i == 0 { delta } else { idx + delta };
+        if idx >= dims.len() {
+            return Err(CodecError::corrupt("correction index out of range"));
+        }
+        corrections.push((idx, r.get_ivarint()?));
+    }
+    let nnf = r.get_uvarint()?;
+    if nnf > dims.len() as u64 {
+        return Err(CodecError::corrupt("too many outliers"));
+    }
+    let mut nonfinite_raw = Vec::with_capacity(nnf as usize);
+    let mut idx = 0usize;
+    for i in 0..nnf {
+        let delta = r.get_uvarint()? as usize;
+        idx = if i == 0 { delta } else { idx + delta };
+        if idx >= dims.len() {
+            return Err(CodecError::corrupt("outlier index out of range"));
+        }
+        nonfinite_raw.push((idx, r.get_raw(T::BYTES)?.to_vec()));
+    }
+    Ok(Parsed { dims, tol, levels, coded, corrections, nonfinite_raw })
+}
+
+/// Decompress the full field at full precision.
+pub fn decompress<T: Scalar>(bytes: &[u8]) -> Result<Field<T>> {
+    decompress_impl::<T>(bytes, 0, true)
+}
+
+/// Precision-progressive preview: decode `skip_planes` fewer bit-planes
+/// (coarser quality, faster, reads a prefix of the coefficient stream) and
+/// skip corrections. `skip_planes = 0` plus corrections equals full
+/// decompression.
+pub fn decompress_preview<T: Scalar>(bytes: &[u8], skip_planes: u32) -> Result<Field<T>> {
+    decompress_impl::<T>(bytes, skip_planes, false)
+}
+
+fn decompress_impl<T: Scalar>(
+    bytes: &[u8],
+    skip_planes: u32,
+    apply_corrections: bool,
+) -> Result<Field<T>> {
+    let p = parse::<T>(bytes)?;
+    let mut recon = vec![0.0f64; p.dims.len()];
+    if let Some((emax, kmax, kmin, payload)) = p.coded {
+        let scale = ((PBITS - 1 - emax) as f64).exp2();
+        let kmin_eff = (kmin + skip_planes).min(kmax);
+        let mut br = BitReader::new(payload);
+        let (mags, signs) = coder::decode(p.dims.len(), kmax, kmin_eff, &mut br)?;
+        for (i, r) in recon.iter_mut().enumerate() {
+            let m = coder::dequant_magnitude(mags[i], kmin_eff);
+            *r = if signs[i] { -m } else { m } / scale;
+        }
+        wavelet::inv_nd(&mut recon, p.dims, p.levels);
+    }
+    if apply_corrections {
+        for &(idx, c) in &p.corrections {
+            let r_t = T::from_f64(recon[idx]).to_f64();
+            recon[idx] = r_t + c as f64 * p.tol;
+        }
+    }
+    for &(idx, ref raw) in &p.nonfinite_raw {
+        recon[idx] = T::read_exact(raw).to_f64();
+    }
+    Ok(Field::from_vec(
+        p.dims,
+        recon.into_iter().map(T::from_f64).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth(dims: Dims) -> Field<f32> {
+        Field::from_fn(dims, |z, y, x| {
+            ((z as f32) * 0.2).sin() * 3.0
+                + ((y as f32) * 0.15).cos() * 2.0
+                + ((x as f32) * 0.1).sin()
+        })
+    }
+
+    fn max_err(a: &Field<f32>, b: &Field<f32>) -> f64 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| ((x as f64) - (y as f64)).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn roundtrip_within_tolerance() {
+        let f = smooth(Dims::d3(24, 20, 28));
+        for tol in [1e-1, 1e-2, 1e-3, 1e-4] {
+            let bytes = compress(&f, &SperrConfig::new(tol));
+            let back: Field<f32> = decompress(&bytes).unwrap();
+            assert_eq!(back.dims(), f.dims());
+            let err = max_err(&f, &back);
+            assert!(err <= tol * (1.0 + 1e-6), "tol {tol}: err {err}");
+        }
+    }
+
+    #[test]
+    fn compresses_smooth_data_well() {
+        let f = smooth(Dims::d3(32, 32, 32));
+        let bytes = compress(&f, &SperrConfig::new(1e-3));
+        let cr = f.nbytes() as f64 / bytes.len() as f64;
+        assert!(cr > 8.0, "CR {cr}");
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        let f = Field::from_fn(Dims::d3(16, 16, 16), |z, y, x| {
+            ((z as f64) * 0.31).sin() * 1e5 + ((y + x) as f64) * 7.0
+        });
+        let tol = 0.5;
+        let bytes = compress(&f, &SperrConfig::new(tol));
+        let back: Field<f64> = decompress(&bytes).unwrap();
+        let err = f
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err <= tol * (1.0 + 1e-9), "err {err}");
+    }
+
+    #[test]
+    fn roundtrip_odd_dims_and_low_rank() {
+        for dims in [Dims::d3(11, 7, 9), Dims::d2(30, 17), Dims::d1(65), Dims::d1(2)] {
+            let f = smooth(dims);
+            let bytes = compress(&f, &SperrConfig::new(1e-2));
+            let back: Field<f32> = decompress(&bytes).unwrap();
+            assert!(max_err(&f, &back) <= 1e-2 * (1.0 + 1e-6), "dims {dims}");
+        }
+    }
+
+    #[test]
+    fn zero_field_is_tiny_and_exact() {
+        let f = Field::<f32>::zeros(Dims::d3(16, 16, 16));
+        let bytes = compress(&f, &SperrConfig::new(1e-3));
+        assert!(bytes.len() < 64, "{} bytes", bytes.len());
+        let back: Field<f32> = decompress(&bytes).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn nonfinite_values_roundtrip_exactly() {
+        let mut f = smooth(Dims::d3(10, 10, 10));
+        f.set(3, 4, 5, f32::NAN);
+        f.set(0, 0, 0, f32::NEG_INFINITY);
+        let bytes = compress(&f, &SperrConfig::new(1e-3));
+        let back: Field<f32> = decompress(&bytes).unwrap();
+        assert!(back.get(3, 4, 5).is_nan());
+        assert_eq!(back.get(0, 0, 0), f32::NEG_INFINITY);
+        // Finite points still bounded.
+        let err = f
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .filter(|(&a, _)| a.is_finite())
+            .map(|(&a, &b)| ((a as f64) - (b as f64)).abs())
+            .fold(0.0, f64::max);
+        assert!(err <= 1e-3 * (1.0 + 1e-6));
+    }
+
+    #[test]
+    fn preview_is_coarser_but_cheap() {
+        let f = smooth(Dims::d3(24, 24, 24));
+        let tol = 1e-4;
+        let bytes = compress(&f, &SperrConfig::new(tol));
+        let full: Field<f32> = decompress(&bytes).unwrap();
+        let preview: Field<f32> = decompress_preview(&bytes, 6).unwrap();
+        let err_full = max_err(&f, &full);
+        let err_prev = max_err(&f, &preview);
+        assert!(err_prev > err_full, "preview {err_prev} vs full {err_full}");
+        // But the preview is still a recognizable approximation.
+        assert!(err_prev < 1.0);
+    }
+
+    #[test]
+    fn preview_zero_skip_without_corrections_close_to_full() {
+        let f = smooth(Dims::d3(16, 16, 16));
+        let bytes = compress(&f, &SperrConfig::new(1e-3));
+        let p: Field<f32> = decompress_preview(&bytes, 0).unwrap();
+        // Corrections only fix outliers; most points identical.
+        let close = f
+            .as_slice()
+            .iter()
+            .zip(p.as_slice())
+            .filter(|(&a, &b)| ((a as f64) - (b as f64)).abs() <= 1e-3)
+            .count();
+        assert!(close as f64 > 0.99 * f.len() as f64);
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let f = smooth(Dims::d3(12, 12, 12));
+        let bytes = compress(&f, &SperrConfig::new(1e-3));
+        for cut in (0..bytes.len()).step_by(9) {
+            let _ = decompress::<f32>(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let f = smooth(Dims::d3(8, 8, 8));
+        let bytes = compress(&f, &SperrConfig::new(1e-3));
+        assert!(decompress::<f64>(&bytes).is_err());
+    }
+}

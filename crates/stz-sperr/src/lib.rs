@@ -1,0 +1,22 @@
+//! SPERR-style wavelet lossy compressor (baseline).
+//!
+//! Reimplements the structure of SPERR (Li, Lindstrom & Clyne, IPDPS'23),
+//! the paper's high-quality / low-speed / progressive baseline:
+//!
+//! 1. a multi-level CDF 9/7 discrete wavelet transform decorrelates the
+//!    field globally ([`wavelet`]) — global support is why SPERR captures
+//!    "widespread high-frequency components" better than local predictors
+//!    (paper §4.2), and its cost is why SPERR is up to 37× slower (§4.3);
+//! 2. coefficients are coded bit-plane by bit-plane with a set-partitioning
+//!    style significance/refinement scheme ([`coder`]), giving
+//!    precision-progressive decoding;
+//! 3. an **outlier correction pass** ([`compressor`]) stores quantized
+//!    corrections for any point whose reconstruction error exceeds the
+//!    requested tolerance — SPERR's mechanism for converting a wavelet
+//!    coder into a strict error-bounded compressor.
+
+pub mod coder;
+pub mod compressor;
+pub mod wavelet;
+
+pub use compressor::{compress, decompress, decompress_preview, SperrConfig};

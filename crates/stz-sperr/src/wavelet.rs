@@ -1,0 +1,341 @@
+//! Multi-level CDF 9/7 discrete wavelet transform via lifting.
+//!
+//! The 1-D transform follows the Daubechies–Sweldens lifting factorization
+//! with whole-point symmetric boundary extension; the N-D transform applies
+//! it separably along every axis, recursing on the low-pass corner. This is
+//! the same transform SPERR (and JPEG 2000's lossy path) uses.
+
+use stz_field::Dims;
+
+/// Lifting coefficients of the CDF 9/7 factorization.
+pub const ALPHA: f64 = -1.586_134_342_059_924;
+pub const BETA: f64 = -0.052_980_118_572_961;
+pub const GAMMA: f64 = 0.882_911_075_530_934;
+pub const DELTA: f64 = 0.443_506_852_043_971;
+/// Low-pass scaling factor.
+pub const ZETA: f64 = 1.149_604_398_860_241;
+
+/// One forward lifting level on `x[0..n]`, leaving low-pass coefficients in
+/// the front `ceil(n/2)` slots and high-pass in the back.
+pub fn fwd_1d(x: &mut [f64], scratch: &mut Vec<f64>) {
+    let n = x.len();
+    if n < 2 {
+        return;
+    }
+    lift(x, ALPHA);
+    update(x, BETA);
+    lift(x, GAMMA);
+    update(x, DELTA);
+    // Scale and deinterleave: evens (low) to the front, odds (high) behind.
+    scratch.clear();
+    scratch.resize(n, 0.0);
+    let ne = n.div_ceil(2);
+    for i in 0..n {
+        if i % 2 == 0 {
+            scratch[i / 2] = x[i] * ZETA;
+        } else {
+            scratch[ne + i / 2] = x[i] / ZETA;
+        }
+    }
+    x.copy_from_slice(scratch);
+}
+
+/// Inverse of [`fwd_1d`].
+pub fn inv_1d(x: &mut [f64], scratch: &mut Vec<f64>) {
+    let n = x.len();
+    if n < 2 {
+        return;
+    }
+    let ne = n.div_ceil(2);
+    scratch.clear();
+    scratch.resize(n, 0.0);
+    for i in 0..n {
+        if i % 2 == 0 {
+            scratch[i] = x[i / 2] / ZETA;
+        } else {
+            scratch[i] = x[ne + i / 2] * ZETA;
+        }
+    }
+    x.copy_from_slice(scratch);
+    update(x, -DELTA);
+    lift(x, -GAMMA);
+    update(x, -BETA);
+    lift(x, -ALPHA);
+}
+
+/// Predict step: odd samples gain `a * (left even + right even)`, with
+/// symmetric extension past the ends.
+#[inline]
+fn lift(x: &mut [f64], a: f64) {
+    let n = x.len();
+    let mut i = 1;
+    while i < n {
+        let left = x[i - 1];
+        let right = if i + 1 < n { x[i + 1] } else { x[i - 1] };
+        x[i] += a * (left + right);
+        i += 2;
+    }
+}
+
+/// Update step: even samples gain `a * (left odd + right odd)`, with
+/// symmetric extension past the ends.
+#[inline]
+fn update(x: &mut [f64], a: f64) {
+    let n = x.len();
+    let mut i = 0;
+    while i < n {
+        let left = if i > 0 { x[i - 1] } else if n > 1 { x[1] } else { x[0] };
+        let right = if i + 1 < n { x[i + 1] } else { left };
+        x[i] += a * (left + right);
+        i += 2;
+    }
+}
+
+/// Number of transform levels for a grid: halve until the smallest
+/// transformable extent would drop below 8, capped at 5 (SPERR's policy).
+pub fn num_levels(dims: Dims) -> u8 {
+    let min_ext = dims
+        .as_array()
+        .into_iter()
+        .filter(|&n| n > 1)
+        .min()
+        .unwrap_or(1);
+    let mut l = 0u8;
+    let mut e = min_ext;
+    while e >= 16 && l < 5 {
+        e = e.div_ceil(2);
+        l += 1;
+    }
+    l.max(u8::from(min_ext >= 8))
+}
+
+/// Extents of the low-pass corner after `levels` transform levels.
+pub fn band_dims(dims: Dims, levels: u8) -> Dims {
+    let mut d = dims.as_array();
+    for _ in 0..levels {
+        for v in d.iter_mut() {
+            if *v > 1 {
+                *v = v.div_ceil(2);
+            }
+        }
+    }
+    Dims::from_parts(dims.ndim(), d[0], d[1], d[2])
+}
+
+/// Forward N-D transform: `levels` rounds of separable 1-D transforms on
+/// the shrinking low-pass corner of `data` (C-order, extents `dims`).
+pub fn fwd_nd(data: &mut [f64], dims: Dims, levels: u8) {
+    let mut cur = dims.as_array();
+    let mut line = Vec::new();
+    let mut scratch = Vec::new();
+    for _ in 0..levels {
+        transform_axes(data, dims, cur, &mut line, &mut scratch, true);
+        for v in cur.iter_mut() {
+            if *v > 1 {
+                *v = v.div_ceil(2);
+            }
+        }
+    }
+}
+
+/// Inverse of [`fwd_nd`].
+pub fn inv_nd(data: &mut [f64], dims: Dims, levels: u8) {
+    // Recompute the corner extents at each level, then undo deepest-first.
+    let mut stack = Vec::with_capacity(levels as usize);
+    let mut cur = dims.as_array();
+    for _ in 0..levels {
+        stack.push(cur);
+        for v in cur.iter_mut() {
+            if *v > 1 {
+                *v = v.div_ceil(2);
+            }
+        }
+    }
+    let mut line = Vec::new();
+    let mut scratch = Vec::new();
+    for ext in stack.into_iter().rev() {
+        transform_axes(data, dims, ext, &mut line, &mut scratch, false);
+    }
+}
+
+/// Apply the 1-D transform along x, y, z (or inverse along z, y, x) of the
+/// `ext` sub-box of `data`.
+fn transform_axes(
+    data: &mut [f64],
+    dims: Dims,
+    ext: [usize; 3],
+    line: &mut Vec<f64>,
+    scratch: &mut Vec<f64>,
+    forward: bool,
+) {
+    let (ny, nx) = (dims.ny(), dims.nx());
+    let idx = |z: usize, y: usize, x: usize| (z * ny + y) * nx + x;
+    let [ez, ey, ex] = ext;
+
+    let axes: [u8; 3] = if forward { [2, 1, 0] } else { [0, 1, 2] };
+    for axis in axes {
+        match axis {
+            2 if ex > 1 => {
+                for z in 0..ez {
+                    for y in 0..ey {
+                        line.clear();
+                        line.extend((0..ex).map(|x| data[idx(z, y, x)]));
+                        if forward {
+                            fwd_1d(line, scratch);
+                        } else {
+                            inv_1d(line, scratch);
+                        }
+                        for (x, &v) in line.iter().enumerate() {
+                            data[idx(z, y, x)] = v;
+                        }
+                    }
+                }
+            }
+            1 if ey > 1 => {
+                for z in 0..ez {
+                    for x in 0..ex {
+                        line.clear();
+                        line.extend((0..ey).map(|y| data[idx(z, y, x)]));
+                        if forward {
+                            fwd_1d(line, scratch);
+                        } else {
+                            inv_1d(line, scratch);
+                        }
+                        for (y, &v) in line.iter().enumerate() {
+                            data[idx(z, y, x)] = v;
+                        }
+                    }
+                }
+            }
+            0 if ez > 1 => {
+                for y in 0..ey {
+                    for x in 0..ex {
+                        line.clear();
+                        line.extend((0..ez).map(|z| data[idx(z, y, x)]));
+                        if forward {
+                            fwd_1d(line, scratch);
+                        } else {
+                            inv_1d(line, scratch);
+                        }
+                        for (z, &v) in line.iter().enumerate() {
+                            data[idx(z, y, x)] = v;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str) {
+        let max = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max <= tol, "{what}: max diff {max}");
+    }
+
+    #[test]
+    fn fwd_inv_1d_perfect_reconstruction() {
+        let mut scratch = Vec::new();
+        for n in [2usize, 3, 4, 5, 8, 9, 16, 17, 100, 101] {
+            let orig: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.7).sin() * 10.0).collect();
+            let mut x = orig.clone();
+            fwd_1d(&mut x, &mut scratch);
+            inv_1d(&mut x, &mut scratch);
+            assert_close(&x, &orig, 1e-9, &format!("n={n}"));
+        }
+    }
+
+    #[test]
+    fn constant_signal_has_zero_detail() {
+        let mut scratch = Vec::new();
+        let mut x = vec![5.0; 16];
+        fwd_1d(&mut x, &mut scratch);
+        // High-pass half must vanish for constants (vanishing moments).
+        for &d in &x[8..] {
+            assert!(d.abs() < 1e-9, "detail {d}");
+        }
+        // Low-pass is uniform (a scaled constant).
+        for &s in &x[..8] {
+            assert!((s - x[0]).abs() < 1e-9, "lowpass {s} vs {}", x[0]);
+            assert!(s > 5.0, "low-pass DC gain should exceed 1 (zeta)");
+        }
+    }
+
+    #[test]
+    fn linear_signal_has_zero_detail() {
+        // CDF 9/7 has 4 vanishing moments; linears must vanish in detail
+        // away from boundaries.
+        let mut scratch = Vec::new();
+        let mut x: Vec<f64> = (0..32).map(|i| 3.0 + 2.0 * i as f64).collect();
+        fwd_1d(&mut x, &mut scratch);
+        for &d in &x[18..30] {
+            assert!(d.abs() < 1e-9, "interior detail {d}");
+        }
+    }
+
+    #[test]
+    fn fwd_inv_nd_perfect_reconstruction() {
+        for (dims, levels) in [
+            (Dims::d3(16, 16, 16), 2u8),
+            (Dims::d3(17, 13, 21), 2),
+            (Dims::d2(33, 20), 3),
+            (Dims::d1(64), 3),
+            (Dims::d3(8, 8, 8), 1),
+        ] {
+            let orig: Vec<f64> = (0..dims.len())
+                .map(|i| ((i as f64) * 0.13).sin() + ((i as f64) * 0.031).cos() * 3.0)
+                .collect();
+            let mut x = orig.clone();
+            fwd_nd(&mut x, dims, levels);
+            inv_nd(&mut x, dims, levels);
+            assert_close(&x, &orig, 1e-8, &format!("{dims} L{levels}"));
+        }
+    }
+
+    #[test]
+    fn energy_concentrates_in_low_band() {
+        let dims = Dims::d2(32, 32);
+        let mut x: Vec<f64> = (0..dims.len())
+            .map(|i| {
+                let (y, xx) = (i / 32, i % 32);
+                ((y as f64) * 0.2).sin() + ((xx as f64) * 0.15).cos()
+            })
+            .collect();
+        let total: f64 = x.iter().map(|v| v * v).sum();
+        fwd_nd(&mut x, dims, 2);
+        let band = band_dims(dims, 2);
+        let mut low = 0.0;
+        for y in 0..band.ny() {
+            for x_ in 0..band.nx() {
+                low += x[y * 32 + x_] * x[y * 32 + x_];
+            }
+        }
+        assert!(low > 0.9 * total, "low-band energy {low} of {total}");
+    }
+
+    #[test]
+    fn num_levels_policy() {
+        assert_eq!(num_levels(Dims::d3(512, 512, 512)), 5);
+        assert_eq!(num_levels(Dims::d3(64, 64, 64)), 3);
+        assert_eq!(num_levels(Dims::d3(16, 16, 16)), 1);
+        assert_eq!(num_levels(Dims::d3(8, 8, 8)), 1);
+        assert_eq!(num_levels(Dims::d3(4, 4, 4)), 0);
+        // 2-D field: the nz = 1 axis does not limit depth.
+        assert_eq!(num_levels(Dims::d2(256, 256)), 5);
+    }
+
+    #[test]
+    fn band_dims_shrink() {
+        assert_eq!(band_dims(Dims::d3(16, 16, 16), 2).as_array(), [4, 4, 4]);
+        assert_eq!(band_dims(Dims::d3(17, 9, 5), 1).as_array(), [9, 5, 3]);
+        assert_eq!(band_dims(Dims::d2(20, 12), 2).as_array(), [1, 5, 3]);
+    }
+}

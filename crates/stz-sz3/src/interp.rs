@@ -1,0 +1,251 @@
+//! 1-D interpolation kernels and the multi-level traversal plan.
+//!
+//! SZ3's predictor walks the grid coarse-to-fine: at each level with spacing
+//! `s`, the lattice of spacing `2s` is known and the points at odd multiples
+//! of `s` are predicted **dimension by dimension** (first `z`, then `y`, then
+//! `x`), so each pass can use points refined by the previous passes of the
+//! same level. The traversal is deterministic and identical at compression
+//! and decompression time; the quantization-code stream is emitted in exactly
+//! this order.
+
+use crate::config::InterpKind;
+use stz_field::Dims;
+
+/// Weights of the 4-point cubic spline interpolant at the midpoint
+/// (not-a-knot boundary conditions; paper Eq. 6).
+pub const CUBIC_W: [f64; 4] = [-1.0 / 16.0, 9.0 / 16.0, 9.0 / 16.0, -1.0 / 16.0];
+
+/// Midpoint cubic interpolation from 4 equally spaced points.
+#[inline(always)]
+pub fn cubic4(a0: f64, a1: f64, a2: f64, a3: f64) -> f64 {
+    CUBIC_W[0] * a0 + CUBIC_W[1] * a1 + CUBIC_W[2] * a2 + CUBIC_W[3] * a3
+}
+
+/// Midpoint linear interpolation.
+#[inline(always)]
+pub fn linear2(a: f64, b: f64) -> f64 {
+    0.5 * (a + b)
+}
+
+/// Predict the value at position `t` (an odd multiple of the level stride)
+/// along one axis of length `n`, from the reconstructed `line` at spacing
+/// `2*s` around it. `at` fetches the value at an absolute axis position.
+///
+/// Interior points use the full stencil; near the boundary the kernel
+/// degrades gracefully: cubic → linear → copy of the left neighbour,
+/// matching the reference SZ3 boundary handling.
+#[inline]
+pub fn predict_1d(at: impl Fn(usize) -> f64, t: usize, s: usize, n: usize, kind: InterpKind) -> f64 {
+    debug_assert!(t >= s);
+    let has_right = t + s < n;
+    if !has_right {
+        // Only the left neighbour exists.
+        return at(t - s);
+    }
+    match kind {
+        InterpKind::Linear => linear2(at(t - s), at(t + s)),
+        InterpKind::Cubic => {
+            let has_left2 = t >= 3 * s;
+            let has_right2 = t + 3 * s < n;
+            if has_left2 && has_right2 {
+                cubic4(at(t - 3 * s), at(t - s), at(t + s), at(t + 3 * s))
+            } else {
+                linear2(at(t - s), at(t + s))
+            }
+        }
+    }
+}
+
+/// Number of refinement levels for a grid: the smallest `L` with
+/// `2^L >= max_extent`, so the level-`L` known lattice is the single corner
+/// point.
+pub fn num_levels(dims: Dims) -> u32 {
+    let m = dims.as_array().into_iter().max().unwrap();
+    let mut l = 0u32;
+    while (1usize << l) < m {
+        l += 1;
+    }
+    l
+}
+
+/// One dimension-pass of one level of the traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pass {
+    /// Level stride `s`: targets are odd multiples of `s` along `axis`.
+    pub stride: usize,
+    /// Axis being refined: 0 = z, 1 = y, 2 = x.
+    pub axis: usize,
+    /// Lattice spacing along each axis for source points: axes already
+    /// refined at this level have spacing `s`, the rest `2s`.
+    pub spacing: [usize; 3],
+}
+
+/// The complete coarse-to-fine traversal plan for `dims`.
+///
+/// Visiting passes in order and, within each pass, target points in C order,
+/// defines the canonical quantization-code ordering.
+pub fn plan(dims: Dims) -> Vec<Pass> {
+    let levels = num_levels(dims);
+    let [nz, ny, nx] = dims.as_array();
+    let n = [nz, ny, nx];
+    let mut passes = Vec::new();
+    for level in (1..=levels).rev() {
+        let s = 1usize << (level - 1);
+        for axis in 0..3 {
+            // Skip degenerate axes (extent too small to have targets).
+            if n[axis] <= s {
+                continue;
+            }
+            let mut spacing = [0usize; 3];
+            for (d, sp) in spacing.iter_mut().enumerate() {
+                *sp = if d < axis { s } else { 2 * s };
+            }
+            spacing[axis] = 2 * s; // source spacing along the refined axis
+            passes.push(Pass { stride: s, axis, spacing });
+        }
+    }
+    passes
+}
+
+/// Visit every target point of `pass` in C order as `(z, y, x)`.
+pub fn for_each_target(dims: Dims, pass: &Pass, mut f: impl FnMut(usize, usize, usize)) {
+    let [nz, ny, nx] = dims.as_array();
+    let s = pass.stride;
+    // Iteration ranges: the refined axis walks odd multiples of s; other axes
+    // walk their current lattice spacing.
+    let range = |axis: usize, _n: usize| -> (usize, usize) {
+        if axis == pass.axis {
+            (s, 2 * s) // start at s, step 2s -> odd multiples of s
+        } else {
+            (0, pass.spacing[axis])
+        }
+    };
+    let (z0, zs) = range(0, nz);
+    let (y0, ys) = range(1, ny);
+    let (x0, xs) = range(2, nx);
+    let mut z = z0;
+    while z < nz {
+        let mut y = y0;
+        while y < ny {
+            let mut x = x0;
+            while x < nx {
+                f(z, y, x);
+                x += xs;
+            }
+            y += ys;
+        }
+        z += zs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cubic_weights_sum_to_one() {
+        assert!((CUBIC_W.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cubic_reproduces_cubic_polynomials() {
+        // Exact for polynomials up to degree 3 at the midpoint of a uniform grid.
+        let p = |x: f64| 2.0 - x + 0.5 * x * x + 0.25 * x * x * x;
+        let pred = cubic4(p(-3.0), p(-1.0), p(1.0), p(3.0));
+        assert!((pred - p(0.0)).abs() < 1e-12, "pred {pred} vs {}", p(0.0));
+    }
+
+    #[test]
+    fn linear_reproduces_affine() {
+        let p = |x: f64| 7.0 - 3.0 * x;
+        assert!((linear2(p(-1.0), p(1.0)) - p(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn num_levels_bounds() {
+        assert_eq!(num_levels(Dims::d1(1)), 0);
+        assert_eq!(num_levels(Dims::d1(2)), 1);
+        assert_eq!(num_levels(Dims::d1(3)), 2);
+        assert_eq!(num_levels(Dims::d3(8, 8, 8)), 3);
+        assert_eq!(num_levels(Dims::d3(9, 4, 4)), 4);
+    }
+
+    #[test]
+    fn plan_covers_every_point_once() {
+        // Union of all pass targets + the corner = the whole grid, disjoint.
+        for dims in [
+            Dims::d3(8, 8, 8),
+            Dims::d3(7, 5, 9),
+            Dims::d2(6, 11),
+            Dims::d1(17),
+            Dims::d3(2, 2, 2),
+            Dims::d3(1, 1, 1),
+        ] {
+            let mut seen = HashSet::new();
+            seen.insert((0usize, 0usize, 0usize));
+            for pass in plan(dims) {
+                for_each_target(dims, &pass, |z, y, x| {
+                    assert!(seen.insert((z, y, x)), "duplicate target {z},{y},{x} in {dims}");
+                });
+            }
+            assert_eq!(seen.len(), dims.len(), "coverage for {dims}");
+        }
+    }
+
+    #[test]
+    fn sources_precede_targets() {
+        // Every stencil source of a pass must be either the corner or a
+        // target of an earlier pass (i.e. already reconstructed).
+        let dims = Dims::d3(9, 6, 7);
+        let mut known: HashSet<(usize, usize, usize)> = HashSet::new();
+        known.insert((0, 0, 0));
+        for pass in plan(dims) {
+            let mut new_points = Vec::new();
+            for_each_target(dims, &pass, |z, y, x| {
+                let s = pass.stride;
+                let n = dims.as_array()[pass.axis];
+                let t = [z, y, x][pass.axis];
+                // All in-range stencil positions must be known.
+                for offset in [-3i64, -1, 1, 3] {
+                    let pos = t as i64 + offset * s as i64;
+                    if pos >= 0 && (pos as usize) < n {
+                        let mut c = [z, y, x];
+                        c[pass.axis] = pos as usize;
+                        assert!(
+                            known.contains(&(c[0], c[1], c[2])),
+                            "stencil source {c:?} of target {:?} unknown",
+                            (z, y, x)
+                        );
+                    }
+                }
+                new_points.push((z, y, x));
+            });
+            known.extend(new_points);
+        }
+    }
+
+    #[test]
+    fn predict_1d_boundary_fallbacks() {
+        let line = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let at = |i: usize| line[i];
+        // t=1, s=1, n=5: cubic needs t-3 (out) -> linear fallback
+        let p = predict_1d(at, 1, 1, 5, InterpKind::Cubic);
+        assert!((p - linear2(10.0, 30.0)).abs() < 1e-12);
+        // t=3, s=1, n=5: cubic needs t+3=6 (out) -> linear
+        let p = predict_1d(at, 3, 1, 5, InterpKind::Cubic);
+        assert!((p - linear2(30.0, 50.0)).abs() < 1e-12);
+        // t=4 with n=5, s=1: right neighbour out -> copy left
+        let p = predict_1d(at, 4, 1, 5, InterpKind::Cubic);
+        assert!((p - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_1d_interior_cubic() {
+        let vals: Vec<f64> = (0..9).map(|i| (i as f64).powi(2)).collect();
+        let at = |i: usize| vals[i];
+        // t=4, s=1, n=9: full stencil 1,3,5,7
+        let p = predict_1d(at, 4, 1, 9, InterpKind::Cubic);
+        assert!((p - cubic4(1.0, 9.0, 25.0, 49.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,31 @@
+//! SZ3-style error-bounded lossy compressor.
+//!
+//! This crate reimplements the interpolation variant of SZ3 (Zhao et al.,
+//! ICDE'21; Liang et al.) that the STZ paper uses both as its strongest
+//! non-streaming baseline and as the substrate that compresses STZ's
+//! coarsest hierarchy level (§3.1–3.2).
+//!
+//! The pipeline is the classic three stages (paper §2.1):
+//!
+//! 1. **Predict** — multi-level 1-D cubic-spline interpolation: starting from
+//!    the single corner point, each level halves the grid spacing and
+//!    predicts the new points dimension-by-dimension from the already
+//!    reconstructed lattice ([`interp`]).
+//! 2. **Quantize** — linear error-bounded quantization with bit-exact escape
+//!    for unpredictable values ([`stz_codec::LinearQuantizer`]).
+//! 3. **Encode** — canonical Huffman over the quantization codes.
+//!
+//! Compression operates on the *reconstructed* values (prediction sources are
+//! always what the decompressor will see), so the absolute error bound holds
+//! point-wise by construction; [`quant::quantize_scalar`] additionally rounds
+//! reconstructions through the field's scalar type so `f32` archives are
+//! bit-reproducible.
+
+pub mod compressor;
+pub mod config;
+pub mod interp;
+pub mod quant;
+pub mod stream;
+
+pub use compressor::{compress, compress_full, compress_with_stats, decompress, CompressStats};
+pub use config::{ErrorBound, InterpKind, Sz3Config};

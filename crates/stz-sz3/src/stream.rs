@@ -1,0 +1,209 @@
+//! Archive header and payload serialization.
+
+use crate::config::InterpKind;
+use stz_codec::{ByteReader, ByteWriter, CodecError, Result};
+use stz_field::{Dims, Scalar};
+
+/// Magic bytes of an SZ3-style archive.
+pub const MAGIC: [u8; 4] = *b"SZ3R";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// Sanity cap on the number of points a header may declare, to bound
+/// allocations when reading untrusted data (2^40 points ≈ 8 TB of f64).
+pub const MAX_POINTS: u64 = 1 << 40;
+
+/// Decoded archive header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Header {
+    pub dims: Dims,
+    pub type_tag: u8,
+    pub eb: f64,
+    pub radius: i64,
+    pub interp: InterpKind,
+}
+
+/// Serialize the header.
+pub fn write_header(w: &mut ByteWriter, h: &Header) {
+    w.put_raw(&MAGIC);
+    w.put_u8(VERSION);
+    w.put_u8(h.type_tag);
+    w.put_u8(h.dims.ndim());
+    let [nz, ny, nx] = h.dims.as_array();
+    w.put_uvarint(nz as u64);
+    w.put_uvarint(ny as u64);
+    w.put_uvarint(nx as u64);
+    w.put_f64(h.eb);
+    w.put_uvarint(h.radius as u64);
+    w.put_u8(match h.interp {
+        InterpKind::Linear => 0,
+        InterpKind::Cubic => 1,
+    });
+}
+
+/// Parse and validate the header.
+pub fn read_header(r: &mut ByteReader<'_>) -> Result<Header> {
+    let magic = r.get_raw(4)?;
+    if magic != MAGIC {
+        return Err(CodecError::corrupt("bad SZ3 magic"));
+    }
+    let version = r.get_u8()?;
+    if version != VERSION {
+        return Err(CodecError::unsupported(format!("SZ3 format version {version}")));
+    }
+    let type_tag = r.get_u8()?;
+    if type_tag > 1 {
+        return Err(CodecError::unsupported(format!("element type tag {type_tag}")));
+    }
+    let ndim = r.get_u8()?;
+    if !(1..=3).contains(&ndim) {
+        return Err(CodecError::corrupt(format!("invalid ndim {ndim}")));
+    }
+    let nz = r.get_uvarint()?;
+    let ny = r.get_uvarint()?;
+    let nx = r.get_uvarint()?;
+    if nz == 0 || ny == 0 || nx == 0 || nz.saturating_mul(ny).saturating_mul(nx) > MAX_POINTS {
+        return Err(CodecError::corrupt(format!("invalid dims {nz}x{ny}x{nx}")));
+    }
+    if (ndim < 3 && nz != 1) || (ndim < 2 && ny != 1) {
+        return Err(CodecError::corrupt("dims inconsistent with ndim"));
+    }
+    let eb = r.get_f64()?;
+    if !(eb > 0.0 && eb.is_finite()) {
+        return Err(CodecError::corrupt(format!("invalid error bound {eb}")));
+    }
+    let radius = r.get_uvarint()?;
+    if radius == 0 || radius > i64::MAX as u64 {
+        return Err(CodecError::corrupt("invalid quantizer radius"));
+    }
+    let interp = match r.get_u8()? {
+        0 => InterpKind::Linear,
+        1 => InterpKind::Cubic,
+        k => return Err(CodecError::unsupported(format!("interp kind {k}"))),
+    };
+    Ok(Header {
+        dims: Dims::from_parts(ndim, nz as usize, ny as usize, nx as usize),
+        type_tag,
+        eb,
+        radius: radius as i64,
+        interp,
+    })
+}
+
+/// Serialize the escaped (bit-exact) values.
+pub fn write_outliers<T: Scalar>(w: &mut ByteWriter, outliers: &[T]) {
+    w.put_uvarint(outliers.len() as u64);
+    let mut raw = Vec::with_capacity(outliers.len() * T::BYTES);
+    for &v in outliers {
+        v.write_exact(&mut raw);
+    }
+    w.put_raw(&raw);
+}
+
+/// Deserialize the escaped values.
+pub fn read_outliers<T: Scalar>(r: &mut ByteReader<'_>) -> Result<Vec<T>> {
+    let n = r.get_uvarint()?;
+    if n.saturating_mul(T::BYTES as u64) > r.remaining() as u64 {
+        return Err(CodecError::UnexpectedEof { context: "outlier values" });
+    }
+    let raw = r.get_raw(n as usize * T::BYTES)?;
+    Ok(raw.chunks_exact(T::BYTES).map(T::read_exact).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> Header {
+        Header {
+            dims: Dims::d3(5, 6, 7),
+            type_tag: 0,
+            eb: 1e-3,
+            radius: 1 << 15,
+            interp: InterpKind::Cubic,
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = sample_header();
+        let mut w = ByteWriter::new();
+        write_header(&mut w, &h);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(read_header(&mut r).unwrap(), h);
+    }
+
+    #[test]
+    fn header_roundtrip_2d() {
+        let h = Header { dims: Dims::d2(6, 7), ..sample_header() };
+        let mut w = ByteWriter::new();
+        write_header(&mut w, &h);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        let back = read_header(&mut r).unwrap();
+        assert_eq!(back.dims.ndim(), 2);
+        assert_eq!(back.dims.as_array(), [1, 6, 7]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut w = ByteWriter::new();
+        write_header(&mut w, &sample_header());
+        let mut bytes = w.finish();
+        bytes[0] = b'X';
+        assert!(read_header(&mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut w = ByteWriter::new();
+        write_header(&mut w, &sample_header());
+        let mut bytes = w.finish();
+        bytes[4] = 99;
+        assert!(matches!(
+            read_header(&mut ByteReader::new(&bytes)),
+            Err(CodecError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_dims_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_raw(&MAGIC);
+        w.put_u8(VERSION);
+        w.put_u8(0);
+        w.put_u8(3);
+        w.put_uvarint(u32::MAX as u64);
+        w.put_uvarint(u32::MAX as u64);
+        w.put_uvarint(u32::MAX as u64);
+        w.put_f64(0.1);
+        w.put_uvarint(8);
+        w.put_u8(1);
+        let bytes = w.finish();
+        assert!(read_header(&mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn outliers_roundtrip_f32() {
+        let vals = vec![1.5f32, -2.25, f32::MAX, 0.0];
+        let mut w = ByteWriter::new();
+        write_outliers(&mut w, &vals);
+        let bytes = w.finish();
+        let back: Vec<f32> = read_outliers(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn outliers_truncated_is_eof() {
+        let vals = vec![1.0f64; 10];
+        let mut w = ByteWriter::new();
+        write_outliers(&mut w, &vals);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes[..bytes.len() - 1]);
+        assert!(matches!(
+            read_outliers::<f64>(&mut r),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+    }
+}

@@ -1,0 +1,185 @@
+//! ZFP's embedded bit-plane coder (verbatim + unary group testing).
+//!
+//! Coefficients (negabinary, sequency-ordered) are coded one bit-plane at a
+//! time from the most significant plane down to a tolerance-derived cutoff
+//! `kmin`. Within a plane, the bits of the first `n` coefficients (those
+//! already significant in earlier planes) are written verbatim; the
+//! remainder is run-length coded: a group bit announces whether any
+//! remaining coefficient has a 1, followed by a unary walk to it. The bit
+//! of the very last coefficient is implicit when the walk reaches it.
+//!
+//! This is a faithful port of `encode_ints`/`decode_ints` from the
+//! reference ZFP, minus the fixed-rate bit budget (we only need the
+//! fixed-accuracy mode the paper evaluates).
+
+use stz_codec::{BitReader, BitWriter, Result};
+
+/// Encode all planes `kmin..intprec` (top-down) of `coeffs`.
+/// `coeffs.len()` must be ≤ 64.
+pub fn encode_planes(coeffs: &[u64], intprec: u32, kmin: u32, w: &mut BitWriter) {
+    let size = coeffs.len();
+    debug_assert!(size <= 64);
+    debug_assert!(kmin <= intprec && intprec <= 64);
+    let mut n = 0usize;
+    for k in (kmin..intprec).rev() {
+        // Extract plane k into a mask: bit i = bit k of coefficient i.
+        let mut x: u64 = 0;
+        for (i, &c) in coeffs.iter().enumerate() {
+            x |= ((c >> k) & 1) << i;
+        }
+        // Verbatim bits of already-significant coefficients.
+        for i in 0..n {
+            w.put_bit((x >> i) & 1 == 1);
+        }
+        x = if n >= 64 { 0 } else { x >> n };
+        // Unary run-length walk over the rest.
+        let mut nn = n;
+        while nn < size {
+            let group = x != 0;
+            w.put_bit(group);
+            if !group {
+                break;
+            }
+            while nn < size - 1 {
+                let bit = x & 1;
+                w.put_bit(bit == 1);
+                if bit == 1 {
+                    break;
+                }
+                x >>= 1;
+                nn += 1;
+            }
+            // Consume the found (or implicit last) 1.
+            x >>= 1;
+            nn += 1;
+        }
+        n = nn;
+    }
+}
+
+/// Decode planes `kmin..intprec` into `coeffs` (must be zero-initialized,
+/// same length as at encode time).
+pub fn decode_planes(coeffs: &mut [u64], intprec: u32, kmin: u32, r: &mut BitReader<'_>) -> Result<()> {
+    let size = coeffs.len();
+    debug_assert!(size <= 64);
+    let mut n = 0usize;
+    for k in (kmin..intprec).rev() {
+        let mut x: u64 = 0;
+        for i in 0..n {
+            if r.get_bit()? {
+                x |= 1 << i;
+            }
+        }
+        let mut nn = n;
+        while nn < size {
+            if !r.get_bit()? {
+                break;
+            }
+            while nn < size - 1 {
+                if r.get_bit()? {
+                    break;
+                }
+                nn += 1;
+            }
+            x |= 1 << nn;
+            nn += 1;
+        }
+        n = nn;
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c |= ((x >> i) & 1) << k;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(coeffs: &[u64], intprec: u32, kmin: u32) -> Vec<u64> {
+        let mut w = BitWriter::new();
+        encode_planes(coeffs, intprec, kmin, &mut w);
+        let bytes = w.finish();
+        let mut out = vec![0u64; coeffs.len()];
+        let mut r = BitReader::new(&bytes);
+        decode_planes(&mut out, intprec, kmin, &mut r).unwrap();
+        out
+    }
+
+    #[test]
+    fn lossless_when_kmin_zero() {
+        let coeffs: Vec<u64> = vec![0, 1, 5, 1000, 0, 0xFFFF, 3, 0, 0, 42];
+        assert_eq!(roundtrip(&coeffs, 20, 0), coeffs);
+    }
+
+    #[test]
+    fn all_zero_block_is_cheap() {
+        let coeffs = vec![0u64; 64];
+        let mut w = BitWriter::new();
+        encode_planes(&coeffs, 38, 0, &mut w);
+        // One group bit per plane.
+        assert_eq!(w.bit_len(), 38);
+        assert_eq!(roundtrip(&coeffs, 38, 0), coeffs);
+    }
+
+    #[test]
+    fn truncation_drops_low_planes_only() {
+        let coeffs: Vec<u64> = vec![0b1011_0110, 0b100, 0b1, 0];
+        let kmin = 3;
+        let out = roundtrip(&coeffs, 16, kmin);
+        for (o, c) in out.iter().zip(&coeffs) {
+            assert_eq!(*o, c & !((1u64 << kmin) - 1), "plane truncation mask");
+        }
+    }
+
+    #[test]
+    fn full_64_coefficients() {
+        let coeffs: Vec<u64> = (0..64u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 30)
+            .collect();
+        assert_eq!(roundtrip(&coeffs, 36, 0), coeffs);
+    }
+
+    #[test]
+    fn single_coefficient() {
+        let coeffs = vec![0xABCDu64];
+        assert_eq!(roundtrip(&coeffs, 16, 0), coeffs);
+    }
+
+    #[test]
+    fn implicit_last_bit_case() {
+        // Only the last coefficient significant: exercises the implicit-1
+        // path of the unary walk.
+        let mut coeffs = vec![0u64; 16];
+        coeffs[15] = 1 << 7;
+        assert_eq!(roundtrip(&coeffs, 10, 0), coeffs);
+    }
+
+    #[test]
+    fn sparse_heads_compress_well() {
+        // Energy concentrated in the first coefficients (post-transform
+        // shape): the stream should be much smaller than raw.
+        let mut coeffs = vec![0u64; 64];
+        coeffs[0] = 0xFFFF_FFFF;
+        coeffs[1] = 0xFFFF;
+        coeffs[2] = 0xFF;
+        let mut w = BitWriter::new();
+        encode_planes(&coeffs, 38, 0, &mut w);
+        assert!(w.bit_len() < 64 * 10, "got {} bits", w.bit_len());
+        assert_eq!(roundtrip(&coeffs, 38, 0), coeffs);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let coeffs: Vec<u64> = vec![123456, 789, 0, 1];
+        let mut w = BitWriter::new();
+        encode_planes(&coeffs, 30, 0, &mut w);
+        let bytes = w.finish();
+        let cut = &bytes[..bytes.len() / 2];
+        let mut out = vec![0u64; 4];
+        let mut r = BitReader::new(cut);
+        // Either errors or terminates; must not panic. (Zero-padding can
+        // let short prefixes decode as all-insignificant planes.)
+        let _ = decode_planes(&mut out, 30, 0, &mut r);
+    }
+}

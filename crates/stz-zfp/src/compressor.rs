@@ -1,0 +1,451 @@
+//! ZFP-style archive: fixed-accuracy compression with per-block random
+//! access.
+
+use crate::bitplane::{decode_planes, encode_planes};
+use crate::block::{
+    block_origin, blocks_in_region, gather_block, num_blocks, scatter_block,
+};
+use crate::transform::{fwd_xform, int_to_uint, inv_xform, sequency_order, uint_to_int, BS};
+use stz_codec::{BitReader, BitWriter, ByteReader, ByteWriter, CodecError, Result};
+use stz_field::{Dims, Field, Region, Scalar};
+
+/// Magic bytes of a ZFP-style archive.
+pub const MAGIC: [u8; 4] = *b"ZFPR";
+/// Format version.
+pub const VERSION: u8 = 1;
+
+/// Extra low bit-planes kept beyond the tolerance cutoff, absorbing the
+/// worst-case range expansion of the inverse lifting transform and its
+/// round-off (the zfp lifting pair is not bit-exact).
+const GUARD_PLANES: i32 = 5;
+
+/// Fixed-accuracy configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ZfpConfig {
+    /// Absolute error tolerance.
+    pub tolerance: f64,
+}
+
+impl ZfpConfig {
+    pub fn new(tolerance: f64) -> Self {
+        assert!(tolerance > 0.0 && tolerance.is_finite());
+        ZfpConfig { tolerance }
+    }
+}
+
+/// Quantization fraction bits and plane count per scalar type.
+fn precision<T: Scalar>() -> (i32, u32) {
+    match T::BYTES {
+        4 => (30, 38),
+        _ => (52, 60),
+    }
+}
+
+/// Compress a field; returns the self-contained archive.
+pub fn compress<T: Scalar>(field: &Field<T>, config: &ZfpConfig) -> Vec<u8> {
+    let dims = field.dims();
+    let ndim = dims.ndim();
+    let (pbits, intprec) = precision::<T>();
+    let perm = sequency_order(ndim);
+    let bsize = BS.pow(ndim as u32);
+    let nb = num_blocks(dims);
+
+    let mut bw = BitWriter::with_capacity(dims.len());
+    let mut offsets: Vec<u64> = Vec::with_capacity(nb);
+    let mut fblock = vec![0.0f64; bsize];
+    let mut iblock = vec![0i64; bsize];
+    let mut coeffs = vec![0u64; bsize];
+
+    for b in 0..nb {
+        offsets.push(bw.bit_len());
+        gather_block(field, b, &mut fblock);
+        encode_one_block::<T>(
+            &fblock,
+            &mut iblock,
+            &mut coeffs,
+            &perm,
+            pbits,
+            intprec,
+            config.tolerance,
+            ndim,
+            &mut bw,
+        );
+    }
+    let payload = bw.finish();
+
+    let mut w = ByteWriter::with_capacity(payload.len() + 16 + 2 * nb);
+    w.put_raw(&MAGIC);
+    w.put_u8(VERSION);
+    w.put_u8(T::TYPE_TAG);
+    w.put_u8(ndim);
+    let [nz, ny, nx] = dims.as_array();
+    w.put_uvarint(nz as u64);
+    w.put_uvarint(ny as u64);
+    w.put_uvarint(nx as u64);
+    w.put_f64(config.tolerance);
+    // Per-block bit offsets (delta-coded): the random-access index.
+    w.put_uvarint(nb as u64);
+    let mut prev = 0u64;
+    for &o in &offsets {
+        w.put_uvarint(o - prev);
+        prev = o;
+    }
+    w.put_block(&payload);
+    w.finish()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_one_block<T: Scalar>(
+    fblock: &[f64],
+    iblock: &mut [i64],
+    coeffs: &mut [u64],
+    perm: &[usize],
+    pbits: i32,
+    intprec: u32,
+    tolerance: f64,
+    ndim: u8,
+    bw: &mut BitWriter,
+) {
+    // Non-finite values cannot survive block-floating-point: store raw.
+    if fblock.iter().any(|v| !v.is_finite()) {
+        bw.put_bit(true); // nonzero
+        bw.put_bit(true); // raw
+        for &v in fblock {
+            let bits = T::from_f64(v);
+            let mut raw = Vec::with_capacity(T::BYTES);
+            bits.write_exact(&mut raw);
+            for &byte in &raw {
+                bw.put(byte as u64, 8);
+            }
+        }
+        return;
+    }
+    let max_abs = fblock.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        bw.put_bit(false); // zero block
+        return;
+    }
+    bw.put_bit(true);
+    bw.put_bit(false); // not raw
+
+    let emax = max_abs.log2().floor() as i32;
+    bw.put(biased_emax(emax), 16);
+    let scale = ((pbits - 1 - emax) as f64).exp2();
+    for (i, &v) in fblock.iter().enumerate() {
+        iblock[i] = (v * scale).round() as i64;
+    }
+    fwd_xform(iblock, ndim);
+    for (rank, &idx) in perm.iter().enumerate() {
+        coeffs[rank] = int_to_uint(iblock[idx]);
+    }
+    let kmin = kmin_for(tolerance, scale, intprec);
+    encode_planes(coeffs, intprec, kmin, bw);
+}
+
+fn biased_emax(emax: i32) -> u64 {
+    (emax + 16384) as u64
+}
+
+fn unbias_emax(bits: u64) -> i32 {
+    bits as i32 - 16384
+}
+
+/// Plane cutoff: discard planes whose contribution is safely below the
+/// tolerance, keeping [`GUARD_PLANES`] extra to cover transform gain.
+fn kmin_for(tolerance: f64, scale: f64, intprec: u32) -> u32 {
+    let tol_scaled = tolerance * scale;
+    if tol_scaled <= 1.0 {
+        return 0;
+    }
+    let k = tol_scaled.log2().floor() as i32 - GUARD_PLANES;
+    k.clamp(0, intprec as i32) as u32
+}
+
+fn decode_one_block<T: Scalar>(
+    fblock: &mut [f64],
+    iblock: &mut [i64],
+    coeffs: &mut [u64],
+    perm: &[usize],
+    pbits: i32,
+    intprec: u32,
+    tolerance: f64,
+    ndim: u8,
+    br: &mut BitReader<'_>,
+) -> Result<()> {
+    if !br.get_bit()? {
+        fblock.fill(0.0);
+        return Ok(());
+    }
+    if br.get_bit()? {
+        // Raw block.
+        let mut raw = vec![0u8; T::BYTES];
+        for v in fblock.iter_mut() {
+            for byte in raw.iter_mut() {
+                *byte = br.get(8)? as u8;
+            }
+            *v = T::read_exact(&raw).to_f64();
+        }
+        return Ok(());
+    }
+    let emax = unbias_emax(br.get(16)?);
+    if !(-16000..=16000).contains(&emax) {
+        return Err(CodecError::corrupt(format!("invalid block exponent {emax}")));
+    }
+    let scale = ((pbits - 1 - emax) as f64).exp2();
+    let kmin = kmin_for(tolerance, scale, intprec);
+    coeffs.fill(0);
+    decode_planes(coeffs, intprec, kmin, br)?;
+    for (rank, &idx) in perm.iter().enumerate() {
+        iblock[idx] = uint_to_int(coeffs[rank]);
+    }
+    inv_xform(iblock, ndim);
+    for (i, v) in fblock.iter_mut().enumerate() {
+        *v = iblock[i] as f64 / scale;
+    }
+    Ok(())
+}
+
+struct ParsedArchive<'a> {
+    dims: Dims,
+    tolerance: f64,
+    offsets: Vec<u64>,
+    payload: &'a [u8],
+}
+
+fn parse_archive<T: Scalar>(bytes: &[u8]) -> Result<ParsedArchive<'_>> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.get_raw(4)?;
+    if magic != MAGIC {
+        return Err(CodecError::corrupt("bad ZFP magic"));
+    }
+    let version = r.get_u8()?;
+    if version != VERSION {
+        return Err(CodecError::unsupported(format!("ZFP format version {version}")));
+    }
+    let type_tag = r.get_u8()?;
+    if type_tag != T::TYPE_TAG {
+        return Err(CodecError::corrupt("ZFP element type mismatch"));
+    }
+    let ndim = r.get_u8()?;
+    if !(1..=3).contains(&ndim) {
+        return Err(CodecError::corrupt("invalid ndim"));
+    }
+    let nz = r.get_uvarint()? as usize;
+    let ny = r.get_uvarint()? as usize;
+    let nx = r.get_uvarint()? as usize;
+    if nz == 0 || ny == 0 || nx == 0 || nz.saturating_mul(ny).saturating_mul(nx) > (1 << 40) {
+        return Err(CodecError::corrupt("invalid dims"));
+    }
+    let dims = Dims::from_parts(ndim, nz, ny, nx);
+    let tolerance = r.get_f64()?;
+    if !(tolerance > 0.0 && tolerance.is_finite()) {
+        return Err(CodecError::corrupt("invalid tolerance"));
+    }
+    let nb = r.get_uvarint()? as usize;
+    if nb != num_blocks(dims) {
+        return Err(CodecError::corrupt("block count mismatch"));
+    }
+    let mut offsets = Vec::with_capacity(nb);
+    let mut acc = 0u64;
+    for _ in 0..nb {
+        acc = acc
+            .checked_add(r.get_uvarint()?)
+            .ok_or_else(|| CodecError::corrupt("offset overflow"))?;
+        offsets.push(acc);
+    }
+    let payload = r.get_block()?;
+    Ok(ParsedArchive { dims, tolerance, offsets, payload })
+}
+
+/// Decompress the full field.
+pub fn decompress<T: Scalar>(bytes: &[u8]) -> Result<Field<T>> {
+    let a = parse_archive::<T>(bytes)?;
+    let mut out = Field::zeros(a.dims);
+    decode_blocks(&a, &(0..a.offsets.len()).collect::<Vec<_>>(), &mut out)?;
+    Ok(out)
+}
+
+/// Random-access decompression: decode only the blocks intersecting
+/// `region` and return the region's values as a dense field.
+pub fn decompress_region<T: Scalar>(bytes: &[u8], region: &Region) -> Result<Field<T>> {
+    let a = parse_archive::<T>(bytes)?;
+    if !region.fits_in(a.dims) {
+        return Err(CodecError::corrupt("region outside grid"));
+    }
+    let wanted = blocks_in_region(a.dims, region);
+    let mut full = Field::zeros(a.dims);
+    decode_blocks(&a, &wanted, &mut full)?;
+    Ok(full.extract_region(region))
+}
+
+fn decode_blocks<T: Scalar>(
+    a: &ParsedArchive<'_>,
+    blocks: &[usize],
+    out: &mut Field<T>,
+) -> Result<()> {
+    let ndim = a.dims.ndim();
+    let (pbits, intprec) = precision::<T>();
+    let perm = sequency_order(ndim);
+    let bsize = BS.pow(ndim as u32);
+    let mut fblock = vec![0.0f64; bsize];
+    let mut iblock = vec![0i64; bsize];
+    let mut coeffs = vec![0u64; bsize];
+    for &b in blocks {
+        let bit_off = a.offsets[b];
+        let byte_off = (bit_off / 8) as usize;
+        if byte_off >= a.payload.len() && bsize > 0 {
+            return Err(CodecError::UnexpectedEof { context: "zfp block payload" });
+        }
+        let mut br = BitReader::new(&a.payload[byte_off..]);
+        let skip = (bit_off % 8) as u32;
+        if skip > 0 {
+            br.get(skip)?;
+        }
+        decode_one_block::<T>(
+            &mut fblock,
+            &mut iblock,
+            &mut coeffs,
+            &perm,
+            pbits,
+            intprec,
+            a.tolerance,
+            ndim,
+            &mut br,
+        )?;
+        let _ = block_origin(a.dims, b);
+        scatter_block(out, b, &fblock);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth(dims: Dims) -> Field<f32> {
+        Field::from_fn(dims, |z, y, x| {
+            ((z as f32) * 0.3).sin() + ((y as f32) * 0.2).cos() * ((x as f32) * 0.25).sin() + 2.0
+        })
+    }
+
+    fn max_err(a: &Field<f32>, b: &Field<f32>) -> f64 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| ((x as f64) - (y as f64)).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn roundtrip_within_tolerance() {
+        let f = smooth(Dims::d3(17, 19, 23));
+        for tol in [1e-1, 1e-2, 1e-3, 1e-5] {
+            let bytes = compress(&f, &ZfpConfig::new(tol));
+            let back: Field<f32> = decompress(&bytes).unwrap();
+            assert_eq!(back.dims(), f.dims());
+            let err = max_err(&f, &back);
+            assert!(err <= tol, "tol {tol}: err {err}");
+        }
+    }
+
+    #[test]
+    fn compresses_smooth_data() {
+        let f = smooth(Dims::d3(32, 32, 32));
+        let bytes = compress(&f, &ZfpConfig::new(1e-3));
+        let cr = f.nbytes() as f64 / bytes.len() as f64;
+        assert!(cr > 3.0, "CR {cr}");
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        let f = Field::from_fn(Dims::d3(9, 9, 9), |z, y, x| {
+            ((z + y + x) as f64 * 0.1).sin() * 1e8
+        });
+        let tol = 1.0;
+        let bytes = compress(&f, &ZfpConfig::new(tol));
+        let back: Field<f64> = decompress(&bytes).unwrap();
+        let err = f
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err <= tol, "err {err}");
+    }
+
+    #[test]
+    fn roundtrip_2d_1d() {
+        for dims in [Dims::d2(13, 21), Dims::d1(50), Dims::d1(3)] {
+            let f = smooth(dims);
+            let bytes = compress(&f, &ZfpConfig::new(1e-3));
+            let back: Field<f32> = decompress(&bytes).unwrap();
+            assert!(max_err(&f, &back) <= 1e-3, "dims {dims}");
+        }
+    }
+
+    #[test]
+    fn zero_field_is_tiny() {
+        let f = Field::<f32>::zeros(Dims::d3(16, 16, 16));
+        let bytes = compress(&f, &ZfpConfig::new(1e-3));
+        assert!(bytes.len() < 150, "zero field took {} bytes", bytes.len());
+        let back: Field<f32> = decompress(&bytes).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn nan_blocks_roundtrip_raw() {
+        let mut f = smooth(Dims::d3(8, 8, 8));
+        f.set(1, 2, 3, f32::NAN);
+        f.set(1, 2, 2, f32::INFINITY);
+        let bytes = compress(&f, &ZfpConfig::new(1e-3));
+        let back: Field<f32> = decompress(&bytes).unwrap();
+        assert!(back.get(1, 2, 3).is_nan());
+        assert_eq!(back.get(1, 2, 2), f32::INFINITY);
+        // The rest of that block is bit-exact (raw fallback).
+        assert_eq!(back.get(1, 2, 1), f.get(1, 2, 1));
+    }
+
+    #[test]
+    fn region_decode_matches_full() {
+        let f = smooth(Dims::d3(20, 20, 20));
+        let bytes = compress(&f, &ZfpConfig::new(1e-4));
+        let full: Field<f32> = decompress(&bytes).unwrap();
+        for region in [
+            Region::d3(0..4, 0..4, 0..4),
+            Region::d3(3..11, 7..13, 2..19),
+            Region::slice_z(Dims::d3(20, 20, 20), 10),
+        ] {
+            let roi: Field<f32> = decompress_region(&bytes, &region).unwrap();
+            assert_eq!(roi, full.extract_region(&region), "{region:?}");
+        }
+    }
+
+    #[test]
+    fn block_artifacts_exist_at_high_tolerance() {
+        // ZFP's block independence means block-boundary discontinuities at
+        // aggressive tolerances — the paper's Fig. 12 artifact story. We just
+        // check the error is nonzero but bounded.
+        let f = smooth(Dims::d3(16, 16, 16));
+        let tol = 0.5;
+        let bytes = compress(&f, &ZfpConfig::new(tol));
+        let back: Field<f32> = decompress(&bytes).unwrap();
+        let err = max_err(&f, &back);
+        assert!(err > 0.0 && err <= tol);
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let f = smooth(Dims::d3(12, 12, 12));
+        let bytes = compress(&f, &ZfpConfig::new(1e-3));
+        for cut in (0..bytes.len()).step_by(11) {
+            let _ = decompress::<f32>(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let f = smooth(Dims::d3(8, 8, 8));
+        let bytes = compress(&f, &ZfpConfig::new(1e-3));
+        assert!(decompress::<f64>(&bytes).is_err());
+    }
+}

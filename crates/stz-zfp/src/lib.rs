@@ -1,0 +1,22 @@
+//! ZFP-style block-transform lossy compressor (baseline).
+//!
+//! Reimplements the structure of ZFP (Lindstrom, TVCG 2014), the paper's
+//! high-speed / low-quality / random-access baseline:
+//!
+//! 1. the grid is split into `4^d` **blocks**, each padded and processed
+//!    independently ([`block`]) — this is what gives ZFP random access and
+//!    what costs it cross-block spatial correlation (paper §2.3, Table 1);
+//! 2. each block is aligned to a common exponent (block-floating-point) and
+//!    decorrelated with ZFP's integer lifting transform ([`transform`]);
+//! 3. coefficients are reordered by total sequency and coded plane-by-plane
+//!    with ZFP's verbatim + unary group-testing scheme ([`bitplane`]).
+//!
+//! The archive records a per-block bit offset, so any block — and hence any
+//! region — can be decoded independently ([`compressor::decompress_region`]).
+
+pub mod bitplane;
+pub mod block;
+pub mod compressor;
+pub mod transform;
+
+pub use compressor::{compress, decompress, decompress_region, ZfpConfig};

@@ -1,0 +1,42 @@
+//! Quickstart: compress a scientific field with STZ, decompress it, and
+//! verify the error bound.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use stz::data::{metrics, synth};
+use stz::prelude::*;
+
+fn main() {
+    // A turbulence-like 64³ field (a miniature of the paper's Miranda
+    // dataset).
+    let dims = Dims::d3(64, 64, 64);
+    let field: Field<f32> = synth::miranda_like(dims, 2025);
+    println!("original: {dims} = {} bytes", field.nbytes());
+
+    // Compress with the paper's default configuration: 3-level hierarchy,
+    // cubic interpolation, adaptive error bounds. The bound is point-wise
+    // absolute.
+    let eb = 1e-3;
+    let compressor = StzCompressor::new(StzConfig::three_level(eb));
+    let archive = compressor.compress(&field).expect("compression");
+    println!(
+        "compressed: {} bytes (CR {:.1}x)",
+        archive.compressed_len(),
+        archive.compression_ratio()
+    );
+
+    // Full decompression.
+    let restored = archive.decompress().expect("decompression");
+    let max_err = metrics::max_abs_error(&field, &restored);
+    let psnr = metrics::psnr(&field, &restored);
+    println!("max error: {max_err:.2e} (bound {eb:.0e}) — PSNR {psnr:.1} dB");
+    assert!(max_err <= eb);
+
+    // The archive is just bytes: write it anywhere, parse it back later.
+    let bytes = archive.into_bytes();
+    let reparsed = StzArchive::<f32>::from_bytes(bytes).expect("parse");
+    assert_eq!(reparsed.decompress().expect("decompression"), restored);
+    println!("archive round-trips through raw bytes ✓");
+}

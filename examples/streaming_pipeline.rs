@@ -1,0 +1,68 @@
+//! End-to-end streaming pipeline on an elongated FP64 accelerator field:
+//! parallel in-situ compression, then a consumer that previews, selects,
+//! and fetches — without ever materializing the full decompressed data.
+//!
+//! ```text
+//! cargo run --release --example streaming_pipeline
+//! ```
+
+use stz::data::{metrics, synth};
+use stz::prelude::*;
+
+fn main() {
+    // WarpX-like FP64 field: a laser pulse in a long channel.
+    let dims = Dims::d3(32, 32, 256);
+    let field: Field<f64> = synth::warpx_like(dims, 9);
+
+    // In-situ compression would run alongside the simulation: use the
+    // parallel path (bit-identical to serial).
+    let archive = StzCompressor::new(StzConfig::three_level_relative(1e-4))
+        .compress_parallel(&field)
+        .expect("compression");
+    println!(
+        "in-situ: {} compressed to {} bytes (CR {:.0}x)",
+        dims,
+        archive.compressed_len(),
+        archive.compression_ratio()
+    );
+
+    // Consumer step 1: coarse preview to locate the pulse along x.
+    let preview = archive.decompress_level(1).expect("preview");
+    let pd = preview.dims();
+    let mut best_x = 0;
+    let mut best_amp = f64::NEG_INFINITY;
+    for x in 0..pd.nx() {
+        let mut amp: f64 = 0.0;
+        for z in 0..pd.nz() {
+            for y in 0..pd.ny() {
+                amp = amp.max(preview.get(z, y, x).abs());
+            }
+        }
+        if amp > best_amp {
+            best_amp = amp;
+            best_x = x;
+        }
+    }
+    let scale = dims.nx() / pd.nx();
+    println!(
+        "preview ({} points) localizes the pulse near x = {}",
+        preview.len(),
+        best_x * scale
+    );
+
+    // Consumer step 2: fetch a window around the pulse at full resolution.
+    let x0 = (best_x * scale).saturating_sub(24);
+    let x1 = (best_x * scale + 24).min(dims.nx());
+    let window = Region::d3(0..dims.nz(), 0..dims.ny(), x0..x1);
+    let pulse = archive.decompress_region(&window).expect("window");
+    println!("fetched pulse window {}..{} = {} points", x0, x1, pulse.len());
+
+    // Verify: the window matches the full reconstruction, which obeys the
+    // relative error bound.
+    let full = archive.decompress().expect("full");
+    assert_eq!(pulse, full.extract_region(&window));
+    let (lo, hi) = field.value_range();
+    let eb = 1e-4 * (hi - lo);
+    assert!(metrics::max_abs_error(&field, &full) <= eb);
+    println!("window matches full reconstruction; bound {eb:.2e} holds ✓");
+}

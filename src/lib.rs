@@ -1,0 +1,42 @@
+//! # STZ — Streaming Lossy Compression for Scientific Data
+//!
+//! Umbrella crate re-exporting the whole STZ workspace: the streaming
+//! compressor itself ([`core`]), the four baseline compressors evaluated in
+//! the paper, the field/codec substrates, and the synthetic dataset
+//! generators and quality metrics used by the benchmark harness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use stz::prelude::*;
+//!
+//! // A small synthetic 3-D field.
+//! let field: Field<f32> = stz::data::synth::miranda_like(Dims::d3(32, 32, 32), 7);
+//!
+//! // Compress with the 3-level streaming configuration.
+//! let config = StzConfig::three_level(1e-2);
+//! let archive = StzCompressor::new(config).compress(&field).unwrap();
+//!
+//! // Full decompression honours the error bound...
+//! let restored = archive.decompress().unwrap();
+//! assert!(stz::data::metrics::max_abs_error(&field, &restored) <= 1e-2 + 1e-12);
+//!
+//! // ...and a coarse preview needs only level 1 (1/64 of the data in 3-D).
+//! let preview = archive.decompress_level(1).unwrap();
+//! assert_eq!(preview.dims(), field.dims().coarsened(4));
+//! ```
+
+pub use stz_codec as codec;
+pub use stz_core as core;
+pub use stz_data as data;
+pub use stz_field as field;
+pub use stz_mgard as mgard;
+pub use stz_sperr as sperr;
+pub use stz_sz3 as sz3;
+pub use stz_zfp as zfp;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use stz_core::{StzArchive, StzCompressor, StzConfig};
+    pub use stz_field::{Dims, Field, Region, Scalar};
+}

@@ -1,0 +1,131 @@
+//! Failure injection: corrupted, truncated, or foreign archives must be
+//! rejected with an error — never a panic, hang, or huge allocation.
+
+use stz::data::synth;
+use stz::prelude::*;
+
+fn sample_archives() -> Vec<(&'static str, Vec<u8>)> {
+    let f = synth::miranda_like(Dims::d3(14, 13, 12), 21);
+    vec![
+        (
+            "stz",
+            StzCompressor::new(StzConfig::three_level(1e-3))
+                .compress(&f)
+                .unwrap()
+                .into_bytes(),
+        ),
+        ("sz3", stz::sz3::compress(&f, &stz::sz3::Sz3Config::absolute(1e-3))),
+        ("sperr", stz::sperr::compress(&f, &stz::sperr::SperrConfig::new(1e-3))),
+        ("zfp", stz::zfp::compress(&f, &stz::zfp::ZfpConfig::new(1e-3))),
+        ("mgard", stz::mgard::compress(&f, &stz::mgard::MgardConfig::new(1e-3))),
+    ]
+}
+
+fn try_decode(name: &str, bytes: &[u8]) {
+    // Must return (Ok or Err) without panicking.
+    match name {
+        "stz" => {
+            if let Ok(a) = StzArchive::<f32>::from_bytes(bytes.to_vec()) {
+                let _ = a.decompress();
+                let _ = a.decompress_level(1);
+                let _ = a.decompress_region(&Region::d3(0..2, 0..2, 0..2));
+            }
+        }
+        "sz3" => {
+            let _ = stz::sz3::decompress::<f32>(bytes);
+        }
+        "sperr" => {
+            let _ = stz::sperr::decompress::<f32>(bytes);
+        }
+        "zfp" => {
+            let _ = stz::zfp::decompress::<f32>(bytes);
+        }
+        "mgard" => {
+            let _ = stz::mgard::decompress::<f32>(bytes);
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn truncation_sweep_never_panics() {
+    for (name, bytes) in sample_archives() {
+        let step = (bytes.len() / 97).max(1);
+        for cut in (0..bytes.len()).step_by(step) {
+            try_decode(name, &bytes[..cut]);
+        }
+    }
+}
+
+#[test]
+fn single_byte_corruption_never_panics() {
+    for (name, bytes) in sample_archives() {
+        let step = (bytes.len() / 211).max(1);
+        for pos in (0..bytes.len()).step_by(step) {
+            let mut corrupted = bytes.clone();
+            corrupted[pos] ^= 0xA5;
+            try_decode(name, &corrupted);
+        }
+    }
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    // Deterministic pseudo-random buffers of various lengths.
+    for len in [0usize, 1, 3, 16, 64, 333, 4096] {
+        let garbage: Vec<u8> = (0..len)
+            .map(|i| (stz::data::synth::noise::hash64(i as u64 ^ 0xDEAD) & 0xFF) as u8)
+            .collect();
+        for name in ["stz", "sz3", "sperr", "zfp", "mgard"] {
+            try_decode(name, &garbage);
+        }
+    }
+}
+
+#[test]
+fn header_bomb_dims_rejected_without_allocation() {
+    // A forged header claiming absurd dims must be rejected before any
+    // proportional allocation happens (the MAX_POINTS cap).
+    let f = synth::miranda_like(Dims::d3(8, 8, 8), 2);
+    let bytes = StzCompressor::new(StzConfig::three_level(1e-3))
+        .compress(&f)
+        .unwrap()
+        .into_bytes();
+    // dims live right after magic+version+type+ndim = byte 7 onwards as
+    // uvarints; overwrite with huge varints.
+    let mut forged = bytes.clone();
+    forged[7] = 0xFF;
+    forged[8] = 0xFF;
+    forged[9] = 0xFF;
+    let r = StzArchive::<f32>::from_bytes(forged);
+    assert!(r.is_err());
+}
+
+#[test]
+fn swapped_level_blocks_detected() {
+    // Swapping two sub-block streams corrupts geometry-dependent counts;
+    // decompression must fail or at worst produce a field (never panic).
+    let f = synth::miranda_like(Dims::d3(16, 16, 16), 3);
+    let a = StzCompressor::new(StzConfig::three_level(1e-3)).compress(&f).unwrap();
+    let b2 = a.block_bytes(2, 0).to_vec();
+    let b3 = a.block_bytes(3, 0).to_vec();
+    if b2.len() != b3.len() {
+        // Reconstruct raw bytes with the two streams exchanged: lengths are
+        // varint-prefixed, so a swap with different lengths shifts framing
+        // and must be caught by the parser or payload validation.
+        let raw = a.as_bytes();
+        let pos2 = raw.windows(b2.len()).position(|w| w == b2).unwrap();
+        let pos3 = raw.windows(b3.len()).position(|w| w == b3).unwrap();
+        let mut swapped = raw.to_vec();
+        // Overwrite block-2's bytes with a prefix of block-3's (same len).
+        let n = b2.len().min(b3.len());
+        let (a_range, b_range) = (pos2..pos2 + n, pos3..pos3 + n);
+        let tmp: Vec<u8> = swapped[a_range.clone()].to_vec();
+        let from_b: Vec<u8> = swapped[b_range.clone()].to_vec();
+        swapped[a_range].copy_from_slice(&from_b);
+        swapped[b_range].copy_from_slice(&tmp);
+        if let Ok(parsed) = StzArchive::<f32>::from_bytes(swapped) {
+            let _ = parsed.decompress();
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Cross-crate integration: every compressor honours its error bound on
+//! every (miniaturized) evaluation dataset, in both element types.
+
+use stz::data::{metrics, Dataset, DatasetField};
+use stz::prelude::*;
+
+const REL_EB: f64 = 1e-3;
+
+fn check_f32(name: &str, codec: &str, field: &Field<f32>, bytes: &[u8], recon: &Field<f32>, eb: f64) {
+    assert_eq!(recon.dims(), field.dims(), "{name}/{codec} dims");
+    let err = metrics::max_abs_error(field, recon);
+    assert!(err <= eb * (1.0 + 1e-6), "{name}/{codec}: err {err} > eb {eb}");
+    assert!(
+        bytes.len() < field.nbytes(),
+        "{name}/{codec}: no compression ({} bytes)",
+        bytes.len()
+    );
+}
+
+fn all_fields() -> Vec<(Dataset, DatasetField)> {
+    Dataset::all()
+        .into_iter()
+        .map(|d| {
+            let dims = d.scaled_dims(16);
+            (d, d.generate(dims, 77))
+        })
+        .collect()
+}
+
+#[test]
+fn stz_bounds_on_all_datasets() {
+    for (d, field) in all_fields() {
+        match field {
+            DatasetField::F32(f) => {
+                let (lo, hi) = f.value_range();
+                let eb = REL_EB * (hi - lo);
+                let a = StzCompressor::new(StzConfig::three_level(eb)).compress(&f).unwrap();
+                let r = a.decompress().unwrap();
+                check_f32(d.name(), "STZ", &f, a.as_bytes(), &r, eb);
+            }
+            DatasetField::F64(f) => {
+                let (lo, hi) = f.value_range();
+                let eb = REL_EB * (hi - lo);
+                let a = StzCompressor::new(StzConfig::three_level(eb)).compress(&f).unwrap();
+                let r = a.decompress().unwrap();
+                let err = metrics::max_abs_error(&f, &r);
+                assert!(err <= eb, "{}: err {err}", d.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn sz3_bounds_on_all_datasets() {
+    for (d, field) in all_fields() {
+        if let DatasetField::F32(f) = field {
+            let (lo, hi) = f.value_range();
+            let eb = REL_EB * (hi - lo);
+            let bytes = stz::sz3::compress(&f, &stz::sz3::Sz3Config::absolute(eb));
+            let r: Field<f32> = stz::sz3::decompress(&bytes).unwrap();
+            check_f32(d.name(), "SZ3", &f, &bytes, &r, eb);
+        }
+    }
+}
+
+#[test]
+fn sperr_bounds_on_all_datasets() {
+    for (d, field) in all_fields() {
+        if let DatasetField::F32(f) = field {
+            let (lo, hi) = f.value_range();
+            let eb = REL_EB * (hi - lo);
+            let bytes = stz::sperr::compress(&f, &stz::sperr::SperrConfig::new(eb));
+            let r: Field<f32> = stz::sperr::decompress(&bytes).unwrap();
+            check_f32(d.name(), "SPERR", &f, &bytes, &r, eb);
+        }
+    }
+}
+
+#[test]
+fn zfp_bounds_on_all_datasets() {
+    for (d, field) in all_fields() {
+        if let DatasetField::F32(f) = field {
+            let (lo, hi) = f.value_range();
+            let eb = REL_EB * (hi - lo);
+            let bytes = stz::zfp::compress(&f, &stz::zfp::ZfpConfig::new(eb));
+            let r: Field<f32> = stz::zfp::decompress(&bytes).unwrap();
+            check_f32(d.name(), "ZFP", &f, &bytes, &r, eb);
+        }
+    }
+}
+
+#[test]
+fn mgard_bounds_on_all_datasets() {
+    for (d, field) in all_fields() {
+        if let DatasetField::F32(f) = field {
+            let (lo, hi) = f.value_range();
+            let eb = REL_EB * (hi - lo);
+            let bytes = stz::mgard::compress(&f, &stz::mgard::MgardConfig::new(eb));
+            let r: Field<f32> = stz::mgard::decompress(&bytes).unwrap();
+            check_f32(d.name(), "MGARD", &f, &bytes, &r, eb);
+        }
+    }
+}
+
+#[test]
+fn warpx_f64_roundtrips_through_every_codec() {
+    let f = stz::data::synth::warpx_like(Dims::d3(16, 16, 96), 5);
+    let (lo, hi) = f.value_range();
+    let eb = REL_EB * (hi - lo);
+    let pairs: Vec<(&str, Vec<u8>, Field<f64>)> = vec![
+        (
+            "STZ",
+            StzCompressor::new(StzConfig::three_level(eb)).compress(&f).unwrap().into_bytes(),
+            StzCompressor::new(StzConfig::three_level(eb))
+                .compress(&f)
+                .unwrap()
+                .decompress()
+                .unwrap(),
+        ),
+        ("SZ3", stz::sz3::compress(&f, &stz::sz3::Sz3Config::absolute(eb)), {
+            let b = stz::sz3::compress(&f, &stz::sz3::Sz3Config::absolute(eb));
+            stz::sz3::decompress(&b).unwrap()
+        }),
+        ("SPERR", stz::sperr::compress(&f, &stz::sperr::SperrConfig::new(eb)), {
+            let b = stz::sperr::compress(&f, &stz::sperr::SperrConfig::new(eb));
+            stz::sperr::decompress(&b).unwrap()
+        }),
+        ("ZFP", stz::zfp::compress(&f, &stz::zfp::ZfpConfig::new(eb)), {
+            let b = stz::zfp::compress(&f, &stz::zfp::ZfpConfig::new(eb));
+            stz::zfp::decompress(&b).unwrap()
+        }),
+        ("MGARD", stz::mgard::compress(&f, &stz::mgard::MgardConfig::new(eb)), {
+            let b = stz::mgard::compress(&f, &stz::mgard::MgardConfig::new(eb));
+            stz::mgard::decompress(&b).unwrap()
+        }),
+    ];
+    for (name, bytes, recon) in pairs {
+        let err = metrics::max_abs_error(&f, &recon);
+        assert!(err <= eb * (1.0 + 1e-9), "{name}: err {err} > {eb}");
+        assert!(bytes.len() < f.nbytes(), "{name} did not compress");
+    }
+}
+
+#[test]
+fn archives_are_mutually_unreadable() {
+    // Every codec must reject the other codecs' archives cleanly.
+    let f = stz::data::synth::miranda_like(Dims::d3(12, 12, 12), 1);
+    let stz_bytes =
+        StzCompressor::new(StzConfig::three_level(1e-3)).compress(&f).unwrap().into_bytes();
+    let sz3_bytes = stz::sz3::compress(&f, &stz::sz3::Sz3Config::absolute(1e-3));
+    let zfp_bytes = stz::zfp::compress(&f, &stz::zfp::ZfpConfig::new(1e-3));
+    assert!(stz::sz3::decompress::<f32>(&stz_bytes).is_err());
+    assert!(stz::zfp::decompress::<f32>(&sz3_bytes).is_err());
+    assert!(stz::sperr::decompress::<f32>(&zfp_bytes).is_err());
+    assert!(stz::mgard::decompress::<f32>(&stz_bytes).is_err());
+    assert!(StzArchive::<f32>::from_bytes(sz3_bytes).is_err());
+}
