@@ -9,7 +9,7 @@ use stz_field::{Dims, Field, Region};
 fn archive() -> (Field<f32>, StzArchive<f32>) {
     let f = stz_data::synth::miranda_like(Dims::d3(64, 64, 64), 42);
     let (lo, hi) = f.value_range();
-    let eb = 1e-3 * ((hi - lo));
+    let eb = 1e-3 * (hi - lo);
     let a = StzCompressor::new(StzConfig::three_level(eb)).compress(&f).unwrap();
     (f, a)
 }

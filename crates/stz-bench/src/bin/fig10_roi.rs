@@ -22,9 +22,8 @@ fn main() {
     };
     let (lo, hi) = field.value_range();
     let eb = 1e-3 * (hi - lo);
-    let archive = StzCompressor::new(StzConfig::three_level(eb))
-        .compress(&field)
-        .expect("compress");
+    let archive =
+        StzCompressor::new(StzConfig::three_level(eb)).compress(&field).expect("compress");
 
     // Step 1: coarse preview from levels 1–2 (1/8 of the points).
     let preview = archive.decompress_level(2).expect("preview");

@@ -23,8 +23,10 @@ fn main() {
     });
     let archive = StzArchive::<f32>::from_bytes(bytes).expect("parse");
 
-    println!("# Figure 13: progressive decompression of Miranda (CR {:.0}, eb {eb:.2e})",
-        archive.compression_ratio());
+    println!(
+        "# Figure 13: progressive decompression of Miranda (CR {:.0}, eb {eb:.2e})",
+        archive.compression_ratio()
+    );
     println!("resolution,points,decomp_time_s,bytes_read,ssim_vs_downsample");
     for level in 1..=archive.num_levels() {
         let (t, preview) = timing::time_best(opts.reps, || {

@@ -23,10 +23,7 @@ fn main() {
     // comparison stays matched-CR, which is what Fig. 3 is about. Running
     // with --scale 1 approaches the paper's regime.
     let (lo, hi) = field.value_range();
-    let ref_bytes = stz_sz3::compress(
-        &field,
-        &stz_sz3::Sz3Config::absolute(2e-4 * (hi - lo)),
-    );
+    let ref_bytes = stz_sz3::compress(&field, &stz_sz3::Sz3Config::absolute(2e-4 * (hi - lo)));
     let target_cr = field.nbytes() as f64 / ref_bytes.len() as f64;
 
     println!("# Figure 3: Partition vs SZ3 vs STZ on Nyx at matched CR (~{target_cr:.0})");

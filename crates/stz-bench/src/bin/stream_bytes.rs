@@ -1,0 +1,108 @@
+//! Bytes-read-vs-query measurement for the disk-backed stz-stream container.
+//!
+//! The out-of-core claim behind the paper's streaming features is that a
+//! progressive preview or ROI fetch should *touch* only a fraction of the
+//! archive bytes, not merely decode a fraction. This harness packs a
+//! synthetic field into a container file, then serves progressive previews
+//! and ROI queries through a byte-counting [`stz_stream::CountingSource`],
+//! reporting exactly how many bytes each query pulled off disk — and
+//! verifying every disk-backed result is bit-identical to the in-memory
+//! decompression path.
+//!
+//! ```text
+//! cargo run --release -p stz-bench --bin stream_bytes [-- --scale 8 --seed 2025]
+//! ```
+
+use std::time::Instant;
+use stz_bench::cli;
+use stz_core::{StzCompressor, StzConfig};
+use stz_field::{Dims, Region};
+use stz_stream::{pack_to_file, ContainerReader, CountingSource, FileSource};
+
+fn main() {
+    let opts = cli::parse(std::env::args());
+    let n = (256 / opts.scale).max(16);
+    let dims = Dims::d3(n, n, n);
+    let field = stz_data::synth::miranda_like(dims, opts.seed);
+    let (lo, hi) = field.value_range();
+    let eb = 1e-3 * (hi - lo);
+    let archive =
+        StzCompressor::new(StzConfig::three_level(eb)).compress(&field).expect("compression");
+    let payload = archive.compressed_len();
+
+    let path =
+        std::env::temp_dir().join(format!("stz_stream_bytes_{}_{n}.stzc", std::process::id()));
+    pack_to_file(&path, &[("field", &archive)]).expect("pack container");
+    let file_len = std::fs::metadata(&path).expect("stat container").len();
+
+    let source = CountingSource::new(FileSource::open(&path).expect("open container"));
+    let reader = ContainerReader::open(source).expect("parse container");
+    let open_bytes = reader.source().bytes_read();
+    let entry = reader.entry::<f32>(0).expect("typed entry");
+
+    println!("# stream_bytes: {dims} f32, eb {eb:.3e}");
+    println!(
+        "# container {} bytes ({} payload + index), open cost {} bytes in {} reads",
+        file_len,
+        payload,
+        open_bytes,
+        reader.source().read_calls()
+    );
+    println!(
+        "{:<22} {:>12} {:>10} {:>8} {:>10}",
+        "query", "bytes_read", "of_payload", "reads", "ms"
+    );
+
+    let report = |name: &str, bytes: u64, reads: u64, secs: f64| {
+        println!(
+            "{name:<22} {bytes:>12} {:>9.1}% {reads:>8} {:>10.2}",
+            100.0 * bytes as f64 / payload as f64,
+            secs * 1e3
+        );
+    };
+
+    // Progressive previews: level k should cost ~bytes_through_level(k).
+    for k in 1..=archive.num_levels() {
+        reader.source().reset();
+        let t = Instant::now();
+        let preview = entry.decompress_level(k).expect("disk preview");
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            preview,
+            archive.decompress_level(k).expect("memory preview"),
+            "disk preview must be bit-identical to in-memory"
+        );
+        report(
+            &format!("preview level {k}"),
+            reader.source().bytes_read(),
+            reader.source().read_calls(),
+            secs,
+        );
+    }
+
+    // ROI queries of increasing size, plus a 2-D slice.
+    let quarter = n / 4;
+    let rois = [
+        ("roi 8x8x8 corner", Region::d3(0..8.min(n), 0..8.min(n), 0..8.min(n))),
+        (
+            "roi center box",
+            Region::d3(quarter..n - quarter, quarter..n - quarter, quarter..n - quarter),
+        ),
+        ("roi z-slice", Region::slice_z(dims, n / 2)),
+        ("roi full volume", Region::full(dims)),
+    ];
+    for (name, region) in rois {
+        reader.source().reset();
+        let t = Instant::now();
+        let roi = entry.decompress_region(&region).expect("disk ROI");
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            roi,
+            archive.decompress_region(&region).expect("memory ROI"),
+            "disk ROI must be bit-identical to in-memory"
+        );
+        report(name, reader.source().bytes_read(), reader.source().read_calls(), secs);
+    }
+
+    let _ = std::fs::remove_file(&path);
+}

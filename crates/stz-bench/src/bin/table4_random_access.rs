@@ -20,9 +20,8 @@ fn main() {
     };
     let (lo, hi) = field.value_range();
     let eb = 1e-3 * (hi - lo);
-    let archive: StzArchive<f32> = StzCompressor::new(StzConfig::three_level(eb))
-        .compress(&field)
-        .expect("compress");
+    let archive: StzArchive<f32> =
+        StzCompressor::new(StzConfig::three_level(eb)).compress(&field).expect("compress");
 
     let box_edge = (100 / opts.scale).clamp(4, dims.nz().min(dims.ny()).min(dims.nx()));
     let b0z = (dims.nz() - box_edge) / 2;
@@ -30,21 +29,22 @@ fn main() {
     let b0x = (dims.nx() - box_edge) / 2;
     let cases = [
         ("All", Region::full(dims)),
-        (
-            "Box",
-            Region::d3(b0z..b0z + box_edge, b0y..b0y + box_edge, b0x..b0x + box_edge),
-        ),
+        ("Box", Region::d3(b0z..b0z + box_edge, b0y..b0y + box_edge, b0x..b0x + box_edge)),
         ("Slice", Region::slice_z(dims, dims.nz() / 2)),
     ];
 
     println!("# Table 4: random-access decompression time breakdown (s)");
-    println!("# Miranda-like {dims}, CR {:.0}; box {box_edge}^3; slice 1x{}x{}",
-        archive.compression_ratio(), dims.ny(), dims.nx());
-    println!("case,l1_sz3,l2_dec,l2_pre,l2_rec,l3_dec,l3_pre,l3_rec,sum,decoded_blocks,skipped_blocks");
+    println!(
+        "# Miranda-like {dims}, CR {:.0}; box {box_edge}^3; slice 1x{}x{}",
+        archive.compression_ratio(),
+        dims.ny(),
+        dims.nx()
+    );
+    println!(
+        "case,l1_sz3,l2_dec,l2_pre,l2_rec,l3_dec,l3_pre,l3_rec,sum,decoded_blocks,skipped_blocks"
+    );
     for (name, region) in cases {
-        let (_, bd) = archive
-            .decompress_region_with_breakdown(&region)
-            .expect("random access");
+        let (_, bd) = archive.decompress_region_with_breakdown(&region).expect("random access");
         let l2 = &bd.levels[0];
         let l3 = &bd.levels[1];
         println!(

@@ -57,9 +57,7 @@ mod tests {
     use super::*;
 
     fn args(s: &[&str]) -> Vec<String> {
-        std::iter::once("prog".to_string())
-            .chain(s.iter().map(|s| s.to_string()))
-            .collect()
+        std::iter::once("prog".to_string()).chain(s.iter().map(|s| s.to_string())).collect()
     }
 
     #[test]

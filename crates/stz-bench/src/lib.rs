@@ -114,11 +114,14 @@ impl Codec {
     /// serial). The baselines parallelize by slab decomposition, as their
     /// reference OMP implementations do — which is exactly why SZ3's OMP
     /// mode loses compression ratio (Table 3's asterisks).
-    pub fn compress_parallel<T: Scalar>(&self, field: &Field<T>, eb: f64, threads: usize) -> Vec<u8> {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("thread pool");
+    pub fn compress_parallel<T: Scalar>(
+        &self,
+        field: &Field<T>,
+        eb: f64,
+        threads: usize,
+    ) -> Vec<u8> {
+        let pool =
+            rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool");
         match self {
             Codec::Stz => pool.install(|| {
                 StzCompressor::new(StzConfig::three_level(eb))
@@ -163,13 +166,12 @@ impl Codec {
                 _ => unreachable!(),
             };
         }
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("thread pool");
+        let pool =
+            rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool");
         match self {
-            Codec::Stz => pool
-                .install(|| StzArchive::<T>::from_bytes(bytes.to_vec())?.decompress_parallel()),
+            Codec::Stz => {
+                pool.install(|| StzArchive::<T>::from_bytes(bytes.to_vec())?.decompress_parallel())
+            }
             Codec::Sz3 => pool.install(|| {
                 slab::decompress_slabs(bytes, true, |b| stz_sz3::decompress(b))
                     .or_else(|_| stz_sz3::decompress(bytes))

@@ -24,10 +24,7 @@ pub fn compress_slabs<T: Scalar>(
 ) -> Vec<u8> {
     let dims = field.dims();
     let regions = slab_regions(dims, nslabs);
-    let blocks: Vec<Vec<u8>> = regions
-        .par_iter()
-        .map(|r| f(&field.extract_region(r)))
-        .collect();
+    let blocks: Vec<Vec<u8>> = regions.par_iter().map(|r| f(&field.extract_region(r))).collect();
 
     let mut w = ByteWriter::new();
     w.put_raw(&MAGIC);
@@ -168,11 +165,9 @@ mod tests {
     fn roundtrip_with_sz3() {
         let f = field();
         let eb = 1e-3;
-        let bytes = compress_slabs(&f, 4, |s| {
-            stz_sz3::compress(s, &stz_sz3::Sz3Config::absolute(eb))
-        });
-        let back: Field<f32> =
-            decompress_slabs(&bytes, true, stz_sz3::decompress).unwrap();
+        let bytes =
+            compress_slabs(&f, 4, |s| stz_sz3::compress(s, &stz_sz3::Sz3Config::absolute(eb)));
+        let back: Field<f32> = decompress_slabs(&bytes, true, stz_sz3::decompress).unwrap();
         assert_eq!(back.dims(), f.dims());
         let err = stz_data::metrics::max_abs_error(&f, &back);
         assert!(err <= eb);
@@ -184,21 +179,13 @@ mod tests {
         let f = stz_data::synth::miranda_like(Dims::d3(32, 32, 32), 5);
         let eb = 1e-3;
         let whole = stz_sz3::compress(&f, &stz_sz3::Sz3Config::absolute(eb));
-        let slabbed = compress_slabs(&f, 8, |s| {
-            stz_sz3::compress(s, &stz_sz3::Sz3Config::absolute(eb))
-        });
-        assert!(
-            slabbed.len() > whole.len(),
-            "slabbed {} vs whole {}",
-            slabbed.len(),
-            whole.len()
-        );
+        let slabbed =
+            compress_slabs(&f, 8, |s| stz_sz3::compress(s, &stz_sz3::Sz3Config::absolute(eb)));
+        assert!(slabbed.len() > whole.len(), "slabbed {} vs whole {}", slabbed.len(), whole.len());
     }
 
     #[test]
     fn garbage_rejected() {
-        assert!(
-            decompress_slabs::<f32>(b"garbage", false, stz_sz3::decompress).is_err()
-        );
+        assert!(decompress_slabs::<f32>(b"garbage", false, stz_sz3::decompress).is_err());
     }
 }

@@ -8,11 +8,20 @@ USAGE:
   stz compress   -i <raw> -o <archive> -d <Z>x<Y>x<X> -t <f32|f64> -e <bound>
                  [--rel] [--levels <2..4>] [--linear] [--no-adaptive]
   stz decompress -i <archive> -o <raw>
-  stz preview    -i <archive> -o <raw> -l <level>
+  stz preview    -i <archive|container> -o <raw> -l <level> [--entry <name>]
   stz roi        -i <archive> -o <raw> -r <z0:z1,y0:y1,x0:x1>
   stz info       -i <archive>
 
-Raw files are flat little-endian arrays in C order (x fastest).";
+  stz pack       -i <raw>[,<raw>...] -o <container> -d <Z>x<Y>x<X> -t <f32|f64>
+                 -e <bound> [--rel] [--levels <2..4>] [--linear] [--no-adaptive]
+                 [--name <entry>]
+  stz inspect    -i <container>
+  stz extract    -i <archive|container> -o <raw> -r <z0:z1,y0:y1,x0:x1>
+                 [--entry <name>]
+
+Raw files are flat little-endian arrays in C order (x fastest).
+Containers (.stzc) hold one entry per input file, named by file stem; preview
+and extract read only the byte ranges the query needs.";
 
 /// Parsed command line: subcommand + flag map.
 #[derive(Debug)]
@@ -23,7 +32,8 @@ pub struct Parsed {
 }
 
 /// Which flags take a value, per the USAGE above.
-const VALUED: &[&str] = &["-i", "-o", "-d", "-t", "-e", "-l", "-r", "--levels"];
+const VALUED: &[&str] =
+    &["-i", "-o", "-d", "-t", "-e", "-l", "-r", "--levels", "--entry", "--name"];
 
 pub fn parse(argv: &[String]) -> Result<Parsed, String> {
     let command = argv.get(1).ok_or("missing subcommand")?.clone();
@@ -80,9 +90,8 @@ pub fn parse_region(s: &str) -> Result<Region, String> {
     let ranges: Vec<(usize, usize)> = s
         .split(',')
         .map(|r| {
-            let (a, b) = r
-                .split_once(':')
-                .ok_or_else(|| format!("bad range {r:?} (want start:end)"))?;
+            let (a, b) =
+                r.split_once(':').ok_or_else(|| format!("bad range {r:?} (want start:end)"))?;
             let a: usize = a.parse().map_err(|_| format!("bad range start {a:?}"))?;
             let b: usize = b.parse().map_err(|_| format!("bad range end {b:?}"))?;
             if a >= b {

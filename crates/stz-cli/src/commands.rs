@@ -5,6 +5,7 @@ use std::path::Path;
 use stz_core::{InterpKind, StzArchive, StzCompressor, StzConfig};
 use stz_data::io::{read_raw, write_raw};
 use stz_field::{Field, Scalar};
+use stz_stream::{ContainerReader, ContainerWriter, EntryReader, FileSource};
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let p = args::parse(argv)?;
@@ -14,15 +15,28 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "preview" => preview(&p),
         "roi" => roi(&p),
         "info" => info(&p),
+        "pack" => pack(&p),
+        "inspect" => inspect(&p),
+        "extract" => extract(&p),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
 
+/// Whether `path` holds an stz-stream container (vs. a bare archive).
+fn is_container(path: &Path) -> bool {
+    let mut prefix = [0u8; 4];
+    match std::fs::File::open(path) {
+        Ok(mut f) => {
+            use std::io::Read;
+            f.read_exact(&mut prefix).is_ok() && stz_stream::is_container_prefix(&prefix)
+        }
+        Err(_) => false,
+    }
+}
+
 fn build_config(p: &Parsed) -> Result<StzConfig, String> {
-    let eb: f64 = p
-        .required("-e")?
-        .parse()
-        .map_err(|_| "error bound -e must be a number".to_string())?;
+    let eb: f64 =
+        p.required("-e")?.parse().map_err(|_| "error bound -e must be a number".to_string())?;
     if !(eb > 0.0 && eb.is_finite()) {
         return Err("error bound must be positive and finite".into());
     }
@@ -107,13 +121,60 @@ fn decompress(p: &Parsed) -> Result<(), String> {
     )
 }
 
+/// Open a container and dispatch on the selected entry's element type.
+fn with_container_entry<R>(
+    path: &Path,
+    entry: Option<&str>,
+    f32_case: impl FnOnce(EntryReader<'_, f32, FileSource>) -> Result<R, String>,
+    f64_case: impl FnOnce(EntryReader<'_, f64, FileSource>) -> Result<R, String>,
+) -> Result<R, String> {
+    let reader = ContainerReader::open_path(path).map_err(|e| e.to_string())?;
+    let index = match entry {
+        Some(name) => reader
+            .find(name)
+            .ok_or_else(|| format!("no entry named {name:?} in {}", path.display()))?,
+        None => 0,
+    };
+    let meta =
+        reader.entry_meta(index).ok_or_else(|| format!("{} has no entries", path.display()))?;
+    if meta.type_tag() == 0 {
+        f32_case(reader.entry::<f32>(index).map_err(|e| e.to_string())?)
+    } else {
+        f64_case(reader.entry::<f64>(index).map_err(|e| e.to_string())?)
+    }
+}
+
+fn preview_entry<T: Scalar>(
+    e: EntryReader<'_, T, FileSource>,
+    output: &Path,
+    level: u8,
+) -> Result<(), String> {
+    let f = e.decompress_level(level).map_err(|err| err.to_string())?;
+    write_raw(output, &f).map_err(|err| err.to_string())?;
+    eprintln!(
+        "level {level} preview of {:?}: {} -> {} ({} of {} payload bytes read)",
+        e.name(),
+        f.dims(),
+        output.display(),
+        stz_core::SectionSource::bytes_through_level(&e, level),
+        e.compressed_len()
+    );
+    Ok(())
+}
+
 fn preview(p: &Parsed) -> Result<(), String> {
     let input = Path::new(p.required("-i")?);
     let output = Path::new(p.required("-o")?).to_path_buf();
-    let level: u8 = p
-        .required("-l")?
-        .parse()
-        .map_err(|_| "-l must be a level number".to_string())?;
+    let level: u8 =
+        p.required("-l")?.parse().map_err(|_| "-l must be a level number".to_string())?;
+    if is_container(input) {
+        return with_container_entry(
+            input,
+            p.optional("--entry"),
+            |e| preview_entry(e, &output, level),
+            |e| preview_entry(e, &output, level),
+        );
+    }
     with_archive(
         input,
         |a| {
@@ -187,6 +248,115 @@ fn print_info<T: Scalar>(type_name: &str, bytes_per: usize, a: &StzArchive<T>) {
     }
 }
 
+fn pack(p: &Parsed) -> Result<(), String> {
+    let dims = args::parse_dims(p.required("-d")?)?;
+    let cfg = build_config(p)?;
+    let inputs: Vec<&str> = p.required("-i")?.split(',').filter(|s| !s.is_empty()).collect();
+    if inputs.is_empty() {
+        return Err("pack needs at least one input file".into());
+    }
+    if p.optional("--name").is_some() && inputs.len() > 1 {
+        return Err("--name applies to a single input; multiple inputs are named by stem".into());
+    }
+    let output = Path::new(p.required("-o")?);
+    match p.required("-t")? {
+        "f32" => pack_typed::<f32>(&inputs, output, dims, cfg, p.optional("--name")),
+        "f64" => pack_typed::<f64>(&inputs, output, dims, cfg, p.optional("--name")),
+        t => Err(format!("unknown element type {t:?} (want f32 or f64)")),
+    }
+}
+
+fn pack_typed<T: Scalar>(
+    inputs: &[&str],
+    output: &Path,
+    dims: stz_field::Dims,
+    cfg: StzConfig,
+    name_override: Option<&str>,
+) -> Result<(), String> {
+    let file = std::fs::File::create(output).map_err(|e| e.to_string())?;
+    let mut writer =
+        ContainerWriter::new(std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+    for input in inputs {
+        let input = Path::new(input);
+        let name = match name_override {
+            Some(n) => n.to_string(),
+            None => input
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .ok_or_else(|| format!("cannot derive entry name from {}", input.display()))?,
+        };
+        // One archive resident at a time: compress, add, drop.
+        let field: Field<T> = read_raw(input, dims).map_err(|e| e.to_string())?;
+        let archive = StzCompressor::new(cfg).compress(&field).map_err(|e| e.to_string())?;
+        eprintln!(
+            "packed {} as {name:?} ({} bytes, CR {:.1}x)",
+            input.display(),
+            archive.compressed_len(),
+            archive.compression_ratio()
+        );
+        writer.add_archive(&name, &archive).map_err(|e| e.to_string())?;
+    }
+    let n = writer.entry_count();
+    writer.finish().map_err(|e| e.to_string())?;
+    eprintln!("wrote {} ({n} entries)", output.display());
+    Ok(())
+}
+
+fn inspect(p: &Parsed) -> Result<(), String> {
+    let input = Path::new(p.required("-i")?);
+    if !is_container(input) {
+        // Bare archives keep working: inspect falls through to `info`.
+        return info(p);
+    }
+    let reader = ContainerReader::open_path(input).map_err(|e| e.to_string())?;
+    println!("container:       {}", input.display());
+    println!("entries:         {}", reader.entry_count());
+    for (i, meta) in reader.entries().enumerate() {
+        let h = meta.header();
+        println!("[{i}] {:?}", meta.name());
+        println!("    dims:        {}", h.dims);
+        println!("    type:        {}", if meta.type_tag() == 0 { "f32" } else { "f64" });
+        println!("    levels:      {} ({:?} interpolation)", h.levels, h.interp);
+        println!("    error bound: {:.3e} (absolute, finest level)", h.eb_finest);
+        println!("    compressed:  {} bytes", meta.compressed_len());
+        for k in 1..=h.levels {
+            println!(
+                "      level {k}: cumulative {} bytes ({:.1}% of payload)",
+                meta.bytes_through_level(k),
+                100.0 * meta.bytes_through_level(k) as f64 / meta.compressed_len() as f64
+            );
+        }
+    }
+    Ok(())
+}
+
+fn extract_entry<T: Scalar>(
+    e: EntryReader<'_, T, FileSource>,
+    output: &Path,
+    region: &stz_field::Region,
+) -> Result<(), String> {
+    let f = e.decompress_region(region).map_err(|err| err.to_string())?;
+    write_raw(output, &f).map_err(|err| err.to_string())?;
+    eprintln!("ROI {region:?} of {:?}: {} values -> {}", e.name(), f.len(), output.display());
+    Ok(())
+}
+
+fn extract(p: &Parsed) -> Result<(), String> {
+    let input = Path::new(p.required("-i")?);
+    if !is_container(input) {
+        // Bare archives keep working: extract behaves like `roi`.
+        return roi(p);
+    }
+    let output = Path::new(p.required("-o")?).to_path_buf();
+    let region = args::parse_region(p.required("-r")?)?;
+    with_container_entry(
+        input,
+        p.optional("--entry"),
+        |e| extract_entry(e, &output, &region),
+        |e| extract_entry(e, &output, &region),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,17 +384,24 @@ mod tests {
 
         run(&argv(&[
             "compress".into(),
-            "-i".into(), raw.display().to_string(),
-            "-o".into(), stz.display().to_string(),
-            "-d".into(), "16x16x16".into(),
-            "-t".into(), "f32".into(),
-            "-e".into(), "1e-3".into(),
+            "-i".into(),
+            raw.display().to_string(),
+            "-o".into(),
+            stz.display().to_string(),
+            "-d".into(),
+            "16x16x16".into(),
+            "-t".into(),
+            "f32".into(),
+            "-e".into(),
+            "1e-3".into(),
         ]))
         .unwrap();
         run(&argv(&[
             "decompress".into(),
-            "-i".into(), stz.display().to_string(),
-            "-o".into(), out.display().to_string(),
+            "-i".into(),
+            stz.display().to_string(),
+            "-o".into(),
+            out.display().to_string(),
         ]))
         .unwrap();
 
@@ -244,21 +421,30 @@ mod tests {
         write_raw(&raw, &field).unwrap();
         run(&argv(&[
             "compress".into(),
-            "-i".into(), raw.display().to_string(),
-            "-o".into(), stz.display().to_string(),
-            "-d".into(), "16x16x16".into(),
-            "-t".into(), "f32".into(),
-            "-e".into(), "1e-2".into(),
-            "--levels".into(), "2".into(),
+            "-i".into(),
+            raw.display().to_string(),
+            "-o".into(),
+            stz.display().to_string(),
+            "-d".into(),
+            "16x16x16".into(),
+            "-t".into(),
+            "f32".into(),
+            "-e".into(),
+            "1e-2".into(),
+            "--levels".into(),
+            "2".into(),
         ]))
         .unwrap();
 
         let prev = d.join("p.f32");
         run(&argv(&[
             "preview".into(),
-            "-i".into(), stz.display().to_string(),
-            "-o".into(), prev.display().to_string(),
-            "-l".into(), "1".into(),
+            "-i".into(),
+            stz.display().to_string(),
+            "-o".into(),
+            prev.display().to_string(),
+            "-l".into(),
+            "1".into(),
         ]))
         .unwrap();
         let p: Field<f32> = read_raw(&prev, Dims::d3(8, 8, 8)).unwrap();
@@ -267,13 +453,82 @@ mod tests {
         let roi_out = d.join("r.f32");
         run(&argv(&[
             "roi".into(),
-            "-i".into(), stz.display().to_string(),
-            "-o".into(), roi_out.display().to_string(),
-            "-r".into(), "2:6,0:16,4:8".into(),
+            "-i".into(),
+            stz.display().to_string(),
+            "-o".into(),
+            roi_out.display().to_string(),
+            "-r".into(),
+            "2:6,0:16,4:8".into(),
         ]))
         .unwrap();
         let r: Field<f32> = read_raw(&roi_out, Dims::d3(4, 16, 4)).unwrap();
         assert_eq!(r.len(), 4 * 16 * 4);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn pack_inspect_extract_preview_cycle() {
+        let d = dir();
+        let dims = Dims::d3(16, 16, 16);
+        let (raw_a, raw_b) = (d.join("step0.f32"), d.join("step1.f32"));
+        let fa = stz_data::synth::miranda_like(dims, 7);
+        let fb = stz_data::synth::miranda_like(dims, 8);
+        write_raw(&raw_a, &fa).unwrap();
+        write_raw(&raw_b, &fb).unwrap();
+
+        let container = d.join("steps.stzc");
+        run(&argv(&[
+            "pack".into(),
+            "-i".into(),
+            format!("{},{}", raw_a.display(), raw_b.display()),
+            "-o".into(),
+            container.display().to_string(),
+            "-d".into(),
+            "16x16x16".into(),
+            "-t".into(),
+            "f32".into(),
+            "-e".into(),
+            "1e-3".into(),
+        ]))
+        .unwrap();
+        run(&argv(&["inspect".into(), "-i".into(), container.display().to_string()])).unwrap();
+
+        // extract --region from the named second entry.
+        let roi_out = d.join("roi.f32");
+        run(&argv(&[
+            "extract".into(),
+            "-i".into(),
+            container.display().to_string(),
+            "-o".into(),
+            roi_out.display().to_string(),
+            "-r".into(),
+            "2:6,0:16,4:8".into(),
+            "--entry".into(),
+            "step1".into(),
+        ]))
+        .unwrap();
+        let roi: Field<f32> = read_raw(&roi_out, Dims::d3(4, 16, 4)).unwrap();
+        let expect = StzCompressor::new(StzConfig::three_level(1e-3))
+            .compress(&fb)
+            .unwrap()
+            .decompress_region(&stz_field::Region::d3(2..6, 0..16, 4..8))
+            .unwrap();
+        assert_eq!(roi, expect, "container extract must match in-memory ROI");
+
+        // preview --level from a container.
+        let prev = d.join("p.f32");
+        run(&argv(&[
+            "preview".into(),
+            "-i".into(),
+            container.display().to_string(),
+            "-o".into(),
+            prev.display().to_string(),
+            "-l".into(),
+            "1".into(),
+        ]))
+        .unwrap();
+        let p: Field<f32> = read_raw(&prev, Dims::d3(4, 4, 4)).unwrap();
+        assert_eq!(p.dims().as_array(), [4, 4, 4]);
         let _ = std::fs::remove_dir_all(&d);
     }
 
@@ -283,11 +538,16 @@ mod tests {
         assert!(run(&argv(&["compress".into()])).is_err());
         assert!(run(&argv(&[
             "compress".into(),
-            "-i".into(), "/nonexistent".into(),
-            "-o".into(), "/tmp/x".into(),
-            "-d".into(), "4x4x4".into(),
-            "-t".into(), "f32".into(),
-            "-e".into(), "-1".into(),
+            "-i".into(),
+            "/nonexistent".into(),
+            "-o".into(),
+            "/tmp/x".into(),
+            "-d".into(),
+            "4x4x4".into(),
+            "-t".into(),
+            "f32".into(),
+            "-e".into(),
+            "-1".into(),
         ]))
         .is_err());
     }

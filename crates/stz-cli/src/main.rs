@@ -9,7 +9,15 @@
 //! stz preview    -i data.stz -o coarse.f32 -l 1
 //! stz roi        -i data.stz -o roi.f32 -r z0:z1,y0:y1,x0:x1
 //! stz info       -i data.stz
+//!
+//! stz pack       -i t0.f32,t1.f32 -o steps.stzc -d 512x512x512 -t f32 -e 1e-3
+//! stz inspect    -i steps.stzc
+//! stz extract    -i steps.stzc -o roi.f32 -r z0:z1,y0:y1,x0:x1 [--entry t1]
+//! stz preview    -i steps.stzc -o coarse.f32 -l 1 [--entry t0]
 //! ```
+//!
+//! `pack` writes the stz-stream on-disk container; `extract` and `preview`
+//! on a container read only the byte ranges the query needs.
 
 mod args;
 mod commands;

@@ -208,14 +208,8 @@ mod tests {
     #[test]
     fn multi_bit_fields_roundtrip() {
         let mut w = BitWriter::new();
-        let fields: &[(u64, u32)] = &[
-            (0b101, 3),
-            (0xFFFF, 16),
-            (0, 1),
-            (0x1234_5678_9ABC, 48),
-            (1, 1),
-            (0x7F, 7),
-        ];
+        let fields: &[(u64, u32)] =
+            &[(0b101, 3), (0xFFFF, 16), (0, 1), (0x1234_5678_9ABC, 48), (1, 1), (0x7F, 7)];
         for &(v, n) in fields {
             w.put(v, n);
         }

@@ -153,8 +153,8 @@ impl HuffmanDecoder {
         }
         // Kraft inequality check: the table must be decodable.
         let mut kraft: u64 = 0;
-        for len in 1..=MAX_CODE_LEN as usize {
-            kraft += (count[len] as u64) << (MAX_CODE_LEN as usize - len);
+        for (len, &c) in count.iter().enumerate().skip(1) {
+            kraft += (c as u64) << (MAX_CODE_LEN as usize - len);
         }
         if kraft > 1u64 << MAX_CODE_LEN {
             return Err(CodecError::corrupt("huffman table violates Kraft inequality"));
@@ -252,12 +252,8 @@ impl HuffmanDecoder {
 
 /// Compute optimal (then length-limited) code lengths from frequencies.
 fn code_lengths(freqs: &[u64], limit: u32) -> Vec<u8> {
-    let nonzero: Vec<usize> = freqs
-        .iter()
-        .enumerate()
-        .filter(|(_, &f)| f > 0)
-        .map(|(s, _)| s)
-        .collect();
+    let nonzero: Vec<usize> =
+        freqs.iter().enumerate().filter(|(_, &f)| f > 0).map(|(s, _)| s).collect();
     let mut lengths = vec![0u8; freqs.len()];
     match nonzero.len() {
         0 => return lengths,
@@ -291,11 +287,8 @@ fn code_lengths(freqs: &[u64], limit: u32) -> Vec<u8> {
     let n = nonzero.len();
     // parent[i] for all 2n-1 tree nodes; leaves are 0..n.
     let mut parent = vec![u32::MAX; 2 * n - 1];
-    let mut heap: BinaryHeap<Item> = nonzero
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| Item { freq: freqs[s], node: i as u32 })
-        .collect();
+    let mut heap: BinaryHeap<Item> =
+        nonzero.iter().enumerate().map(|(i, &s)| Item { freq: freqs[s], node: i as u32 }).collect();
     let mut next = n as u32;
     while heap.len() > 1 {
         let a = heap.pop().unwrap();

@@ -92,9 +92,9 @@ impl AblationVariant {
     /// of the main compressor.
     fn stz_config(&self, eb: f64) -> Option<StzConfig> {
         match self {
-            AblationVariant::MultiDimQt => Some(
-                StzConfig::two_level(eb).with_interp(InterpKind::Linear).with_adaptive(false),
-            ),
+            AblationVariant::MultiDimQt => {
+                Some(StzConfig::two_level(eb).with_interp(InterpKind::Linear).with_adaptive(false))
+            }
             AblationVariant::CubicMultiQt => Some(StzConfig::two_level(eb).with_adaptive(false)),
             AblationVariant::CubicMultiQtAdaptive => Some(StzConfig::two_level(eb)),
             AblationVariant::ThreeLevelAll => Some(StzConfig::three_level(eb)),
@@ -298,10 +298,7 @@ pub fn decompress_variant<T: Scalar>(bytes: &[u8]) -> Result<Field<T>> {
                 }
                 block.grid_lattice.scatter(&Field::from_vec(bdims, vals), &mut grid);
             }
-            Ok(Field::from_vec(
-                dims,
-                grid.as_slice().iter().map(|&v| T::from_f64(v)).collect(),
-            ))
+            Ok(Field::from_vec(dims, grid.as_slice().iter().map(|&v| T::from_f64(v)).collect()))
         }
         _ => unreachable!("configuration variants use the STZ container"),
     }
@@ -317,8 +314,8 @@ mod tests {
         // prediction residuals incompressible by a second SZ3 pass (the
         // paper's argument for the quantize-only optimization 3).
         Field::from_fn(Dims::d3(20, 20, 20), |z, y, x| {
-            let r2 = (z as f32 - 10.0).powi(2) + (y as f32 - 10.0).powi(2)
-                + (x as f32 - 10.0).powi(2);
+            let r2 =
+                (z as f32 - 10.0).powi(2) + (y as f32 - 10.0).powi(2) + (x as f32 - 10.0).powi(2);
             let smooth = (-r2 / 30.0).exp() * 50.0 + ((x + y) as f32 * 0.3).sin();
             let h = (z * 73_856_093) ^ (y * 19_349_663) ^ (x * 83_492_791);
             let noise = ((h % 1000) as f32 / 1000.0 - 0.5) * 2.0;
@@ -364,9 +361,7 @@ mod tests {
             .into_iter()
             .map(|v| (v, compress_variant(&f, v, eb).unwrap().len()))
             .collect();
-        let size_of = |v: AblationVariant| {
-            sizes.iter().find(|(s, _)| *s == v).unwrap().1
-        };
+        let size_of = |v: AblationVariant| sizes.iter().find(|(s, _)| *s == v).unwrap().1;
         // The quantize-only step must beat SZ3-on-residuals.
         assert!(
             size_of(AblationVariant::MultiDimQt) < size_of(AblationVariant::MultiDimInterp),

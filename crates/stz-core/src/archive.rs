@@ -193,6 +193,21 @@ impl<T: Scalar> StzArchive<T> {
         &self.bytes[self.l1_range.clone()]
     }
 
+    /// Byte range of the level-1 SZ3 stream within [`StzArchive::as_bytes`].
+    ///
+    /// Together with [`StzArchive::block_range`] this exposes the archive's
+    /// section layout, so container writers can index (and checksum) every
+    /// independently fetchable byte range without re-parsing the stream.
+    pub fn l1_range(&self) -> Range<usize> {
+        self.l1_range.clone()
+    }
+
+    /// Byte range of the `i`-th sub-block stream of `level` within
+    /// [`StzArchive::as_bytes`] (2-based levels, canonical block order).
+    pub fn block_range(&self, level: u8, i: usize) -> Range<usize> {
+        self.block_ranges[level as usize - 2][i].clone()
+    }
+
     /// The `i`-th sub-block stream of `level` (2-based levels, canonical
     /// block order matching [`LevelPlan`]).
     pub fn block_bytes(&self, level: u8, i: usize) -> &[u8] {
@@ -214,28 +229,25 @@ impl<T: Scalar> StzArchive<T> {
         }
         let mut total = self.l1_range.len();
         for level in 2..=k {
-            total += self.block_ranges[level as usize - 2]
-                .iter()
-                .map(|r| r.len())
-                .sum::<usize>();
+            total += self.block_ranges[level as usize - 2].iter().map(|r| r.len()).sum::<usize>();
         }
         total
     }
 
     /// Full decompression (serial). See [`crate::compressor`].
     pub fn decompress(&self) -> Result<Field<T>> {
-        crate::compressor::decompress_impl(self, self.header.levels, false)
+        crate::compressor::decompress_impl::<T, Self>(self, self.header.levels, false)
     }
 
     /// Full decompression using the rayon thread pool.
     pub fn decompress_parallel(&self) -> Result<Field<T>> {
-        crate::compressor::decompress_impl(self, self.header.levels, true)
+        crate::compressor::decompress_impl::<T, Self>(self, self.header.levels, true)
     }
 
     /// Progressive decompression to hierarchy level `k` (1 = coarsest): the
     /// stride-`2^(levels-k)` preview of the field.
     pub fn decompress_level(&self, k: u8) -> Result<Field<T>> {
-        crate::compressor::decompress_impl(self, k, false)
+        crate::compressor::decompress_impl::<T, Self>(self, k, false)
     }
 
     /// Incremental progressive decoder.
@@ -245,7 +257,7 @@ impl<T: Scalar> StzArchive<T> {
 
     /// Random-access decompression of `region` at full resolution.
     pub fn decompress_region(&self, region: &Region) -> Result<Field<T>> {
-        crate::random_access::decompress_region(self, region).map(|(f, _)| f)
+        crate::random_access::decompress_region::<T, Self>(self, region).map(|(f, _)| f)
     }
 
     /// Random-access decompression with the per-stage time breakdown of the
@@ -254,7 +266,7 @@ impl<T: Scalar> StzArchive<T> {
         &self,
         region: &Region,
     ) -> Result<(Field<T>, crate::random_access::AccessBreakdown)> {
-        crate::random_access::decompress_region(self, region)
+        crate::random_access::decompress_region::<T, Self>(self, region)
     }
 }
 

@@ -16,8 +16,11 @@ use crate::archive::{build_bytes, ArchiveHeader, StzArchive};
 use crate::config::StzConfig;
 use crate::kernels::predict_point;
 use crate::level::{BlockSpec, LevelPlan};
+use crate::source::SectionSource;
 use rayon::prelude::*;
-use stz_codec::{huffman, ByteReader, ByteWriter, CodecError, LinearQuantizer, Result, ESCAPE_SYMBOL};
+use stz_codec::{
+    huffman, ByteReader, ByteWriter, CodecError, LinearQuantizer, Result, ESCAPE_SYMBOL,
+};
 use stz_field::{Field, Scalar, SubLattice};
 use stz_sz3::quant::{quantize_scalar, reconstruct_scalar, ScalarQuant};
 use stz_sz3::{ErrorBound, Sz3Config};
@@ -56,11 +59,7 @@ impl StzCompressor {
         self.compress_impl(field, true)
     }
 
-    fn compress_impl<T: Scalar>(
-        &self,
-        field: &Field<T>,
-        parallel: bool,
-    ) -> Result<StzArchive<T>> {
+    fn compress_impl<T: Scalar>(&self, field: &Field<T>, parallel: bool) -> Result<StzArchive<T>> {
         let cfg = &self.config;
         let dims = field.dims();
         let plan = LevelPlan::new(dims, cfg.levels);
@@ -72,11 +71,8 @@ impl StzCompressor {
 
         // Level 1: SZ3 on sub-block A.
         let a_field: Field<T> = plan.level1().gather(field);
-        let sz3_cfg = Sz3Config {
-            eb: ErrorBound::Absolute(ebs[0]),
-            radius: cfg.radius,
-            interp: cfg.interp,
-        };
+        let sz3_cfg =
+            Sz3Config { eb: ErrorBound::Absolute(ebs[0]), radius: cfg.radius, interp: cfg.interp };
         let (l1_bytes, _stats, a_recon) = stz_sz3::compress_full(&a_field, &sz3_cfg);
         let mut grid = Field::from_vec(plan.levels[0].grid_dims, a_recon);
 
@@ -89,8 +85,7 @@ impl StzCompressor {
 
             let process = |block: &BlockSpec| -> (Vec<u8>, Field<f64>) {
                 let orig: Field<T> = block.lattice.gather(field);
-                let payload =
-                    quantize_block(&orig, &next, block, &quant, cfg.interp, parallel);
+                let payload = quantize_block(&orig, &next, block, &quant, cfg.interp, parallel);
                 let bytes = encode_block_payload(&payload, parallel);
                 let recon_field = Field::from_vec(block.lattice.dims(), payload.recon);
                 (bytes, recon_field)
@@ -127,8 +122,8 @@ impl StzCompressor {
 /// Scatter the coarse working grid into the even positions of the next
 /// (2× finer) working grid.
 pub(crate) fn upscatter(coarse: &Field<f64>, next: &mut Field<f64>) {
-    let even = SubLattice::new(next.dims(), [0, 0, 0], 2)
-        .expect("origin sub-lattice is never empty");
+    let even =
+        SubLattice::new(next.dims(), [0, 0, 0], 2).expect("origin sub-lattice is never empty");
     debug_assert_eq!(even.dims().as_array(), coarse.dims().as_array());
     even.scatter(coarse, next);
 }
@@ -243,7 +238,11 @@ struct RowWalk<'a> {
 }
 
 impl<'a> RowWalker<'a> {
-    fn new(gdims: stz_field::Dims, block: &'a BlockSpec, interp: stz_sz3::InterpKind) -> RowWalker<'a> {
+    fn new(
+        gdims: stz_field::Dims,
+        block: &'a BlockSpec,
+        interp: stz_sz3::InterpKind,
+    ) -> RowWalker<'a> {
         RowWalker {
             stencil: crate::kernels::StencilOffsets::new(gdims, &block.active_axes, interp),
             block,
@@ -314,7 +313,10 @@ fn chunk_count(n: usize) -> usize {
 /// Serialize a sub-block stream: Huffman-coded symbol chunks (each prefixed
 /// by its escape count, enabling random-access chunk decoding) + bit-exact
 /// outliers.
-pub(crate) fn encode_block_payload<T: Scalar>(payload: &BlockPayload<T>, parallel: bool) -> Vec<u8> {
+pub(crate) fn encode_block_payload<T: Scalar>(
+    payload: &BlockPayload<T>,
+    parallel: bool,
+) -> Vec<u8> {
     let n = payload.symbols.len();
     let nchunks = chunk_count(n);
     let size = n.div_ceil(nchunks).max(1);
@@ -395,10 +397,7 @@ pub(crate) fn parse_block_payload<'a, T: Scalar>(
     if outliers.len() != chunk_escapes.iter().sum::<usize>() {
         return Err(CodecError::corrupt("outlier count does not match chunk escape counts"));
     }
-    Ok((
-        PayloadMeta { chunks, chunk_escapes, chunk_size, total: expected_points },
-        outliers,
-    ))
+    Ok((PayloadMeta { chunks, chunk_escapes, chunk_size, total: expected_points }, outliers))
 }
 
 /// Deserialize a whole sub-block stream, validating symbol and outlier
@@ -448,8 +447,7 @@ pub(crate) fn reconstruct_block<T: Scalar>(
     let bdims = block.lattice.dims();
     let (nz, by, bx) = (bdims.nz(), bdims.ny(), bdims.nx());
     if !parallel || nz < 2 {
-        let recon =
-            reconstruct_chunk(symbols, outliers, grid, block, quant, interp, 0..nz, 0);
+        let recon = reconstruct_chunk(symbols, outliers, grid, block, quant, interp, 0..nz, 0);
         return Field::from_vec(bdims, recon);
     }
     let chunk = slab_size(nz);
@@ -463,10 +461,8 @@ pub(crate) fn reconstruct_block<T: Scalar>(
         let z1 = (z0 + chunk).min(nz);
         ranges.push(z0..z1);
         escape_offsets.push(escapes_so_far);
-        escapes_so_far += symbols[z0 * plane..z1 * plane]
-            .iter()
-            .filter(|&&s| s == ESCAPE_SYMBOL)
-            .count();
+        escapes_so_far +=
+            symbols[z0 * plane..z1 * plane].iter().filter(|&&s| s == ESCAPE_SYMBOL).count();
         z0 = z1;
     }
     let parts: Vec<Vec<f64>> = ranges
@@ -520,21 +516,24 @@ fn reconstruct_chunk<T: Scalar>(
 
 /// Decompress levels `1..=upto` of an archive, returning the corresponding
 /// preview field (`upto == levels` gives the full-resolution field).
-pub(crate) fn decompress_impl<T: Scalar>(
-    archive: &StzArchive<T>,
+///
+/// Generic over [`SectionSource`], so the same driver serves resident
+/// archives and out-of-core containers; only levels `1..=upto` are fetched.
+pub(crate) fn decompress_impl<T: Scalar, S: SectionSource + ?Sized>(
+    source: &S,
     upto: u8,
     parallel: bool,
 ) -> Result<Field<T>> {
-    if !(1..=archive.num_levels()).contains(&upto) {
+    if !(1..=source.num_levels()).contains(&upto) {
         return Err(CodecError::corrupt(format!(
             "requested level {upto} of a {}-level archive",
-            archive.num_levels()
+            source.num_levels()
         )));
     }
-    let plan = archive.plan();
-    let mut grid = decode_level1(archive, &plan)?;
+    let plan = source.plan();
+    let mut grid = decode_level1::<T, S>(source, &plan)?;
     for level in &plan.levels[1..upto as usize] {
-        grid = decode_level_grid(archive, &plan, level.index, &grid, parallel)?;
+        grid = decode_level_grid::<T, S>(source, &plan, level.index, &grid, parallel)?;
     }
     let data: Vec<T> = if parallel {
         grid.as_slice().par_iter().map(|&v| T::from_f64(v)).collect()
@@ -545,11 +544,22 @@ pub(crate) fn decompress_impl<T: Scalar>(
 }
 
 /// Decode level 1 (the SZ3 stream) into its working grid.
-pub(crate) fn decode_level1<T: Scalar>(
-    archive: &StzArchive<T>,
+///
+/// Also the element-type gate for every decode path: a source whose header
+/// advertises a different scalar type than `T` is rejected here, before any
+/// payload is interpreted.
+pub(crate) fn decode_level1<T: Scalar, S: SectionSource + ?Sized>(
+    source: &S,
     plan: &LevelPlan,
 ) -> Result<Field<f64>> {
-    let a: Field<T> = stz_sz3::decompress(archive.l1_bytes())?;
+    if source.header().type_tag != T::TYPE_TAG {
+        return Err(CodecError::corrupt(format!(
+            "archive element type tag {} does not match requested type",
+            source.header().type_tag
+        )));
+    }
+    let l1 = source.l1_bytes()?;
+    let a: Field<T> = stz_sz3::decompress(&l1)?;
     let expect = plan.levels[0].grid_dims;
     if a.dims().as_array() != expect.as_array() {
         return Err(CodecError::corrupt(format!(
@@ -561,28 +571,25 @@ pub(crate) fn decode_level1<T: Scalar>(
 }
 
 /// Decode one finer level, given the previous level's working grid.
-pub(crate) fn decode_level_grid<T: Scalar>(
-    archive: &StzArchive<T>,
+pub(crate) fn decode_level_grid<T: Scalar, S: SectionSource + ?Sized>(
+    source: &S,
     plan: &LevelPlan,
     level_index: u8,
     prev_grid: &Field<f64>,
     parallel: bool,
 ) -> Result<Field<f64>> {
     let level = &plan.levels[level_index as usize - 1];
-    let ebs = archive.header().level_ebs();
-    let quant = LinearQuantizer::new(ebs[level_index as usize - 1], archive.header().radius);
-    let interp = archive.header().interp;
+    let ebs = source.header().level_ebs();
+    let quant = LinearQuantizer::new(ebs[level_index as usize - 1], source.header().radius);
+    let interp = source.header().interp;
 
     let mut next = Field::<f64>::zeros(level.grid_dims);
     upscatter(prev_grid, &mut next);
 
     let decode_one = |(i, block): (usize, &BlockSpec)| -> Result<Field<f64>> {
-        let bytes = archive.block_bytes(level_index, i);
-        let (symbols, outliers) =
-            decode_block_payload::<T>(bytes, block.lattice.len(), parallel)?;
-        Ok(reconstruct_block(
-            &symbols, &outliers, &next, block, &quant, interp, parallel,
-        ))
+        let bytes = source.block_bytes(level_index, i)?;
+        let (symbols, outliers) = decode_block_payload::<T>(&bytes, block.lattice.len(), parallel)?;
+        Ok(reconstruct_block(&symbols, &outliers, &next, block, &quant, interp, parallel))
     };
     let results: Vec<Result<Field<f64>>> = if parallel {
         level.blocks.par_iter().enumerate().map(decode_one).collect()
@@ -637,9 +644,8 @@ mod tests {
     #[test]
     fn roundtrip_four_level() {
         let f = wavy(Dims::d3(33, 31, 35));
-        let archive = StzCompressor::new(StzConfig::three_level(1e-2).with_levels(4))
-            .compress(&f)
-            .unwrap();
+        let archive =
+            StzCompressor::new(StzConfig::three_level(1e-2).with_levels(4)).compress(&f).unwrap();
         let back = archive.decompress().unwrap();
         assert!(max_err(&f, &back) <= 1e-2);
     }
@@ -648,8 +654,7 @@ mod tests {
     fn roundtrip_2d_and_1d() {
         for dims in [Dims::d2(30, 26), Dims::d1(100)] {
             let f = wavy(dims);
-            let archive =
-                StzCompressor::new(StzConfig::three_level(1e-3)).compress(&f).unwrap();
+            let archive = StzCompressor::new(StzConfig::three_level(1e-3)).compress(&f).unwrap();
             let back = archive.decompress().unwrap();
             assert!(max_err(&f, &back) <= 1e-3, "dims {dims}");
         }
@@ -659,8 +664,7 @@ mod tests {
     fn roundtrip_odd_dims() {
         for dims in [Dims::d3(7, 9, 11), Dims::d3(5, 4, 6), Dims::d3(4, 4, 4), Dims::d3(1, 1, 1)] {
             let f = wavy(dims);
-            let archive =
-                StzCompressor::new(StzConfig::three_level(1e-2)).compress(&f).unwrap();
+            let archive = StzCompressor::new(StzConfig::three_level(1e-2)).compress(&f).unwrap();
             let back = archive.decompress().unwrap();
             assert!(max_err(&f, &back) <= 1e-2, "dims {dims}");
         }
@@ -731,8 +735,7 @@ mod tests {
     fn adaptive_improves_or_matches_quality_at_fixed_size() {
         // Sanity: with adaptive bounds, level-1 error is tighter.
         let f = wavy(Dims::d3(24, 24, 24));
-        let adaptive =
-            StzCompressor::new(StzConfig::three_level(1e-2)).compress(&f).unwrap();
+        let adaptive = StzCompressor::new(StzConfig::three_level(1e-2)).compress(&f).unwrap();
         let flat = StzCompressor::new(StzConfig::three_level(1e-2).with_adaptive(false))
             .compress(&f)
             .unwrap();
@@ -780,11 +783,7 @@ mod tests {
     fn compression_beats_raw_on_smooth_data() {
         let f = wavy(Dims::d3(32, 32, 32));
         let archive = StzCompressor::new(StzConfig::three_level(1e-3)).compress(&f).unwrap();
-        assert!(
-            archive.compression_ratio() > 4.0,
-            "CR {} too low",
-            archive.compression_ratio()
-        );
+        assert!(archive.compression_ratio() > 4.0, "CR {} too low", archive.compression_ratio());
     }
 
     #[test]

@@ -120,11 +120,7 @@ impl StencilOffsets {
     pub fn new(gdims: Dims, active: &[usize], kind: InterpKind) -> Self {
         let k = active.len();
         debug_assert!((1..=3).contains(&k));
-        let strides = [
-            (gdims.ny() * gdims.nx()) as isize,
-            gdims.nx() as isize,
-            1isize,
-        ];
+        let strides = [(gdims.ny() * gdims.nx()) as isize, gdims.nx() as isize, 1isize];
         let mut inner = [0isize; 8];
         let mut outer = [0isize; 8];
         for bits in 0..(1usize << k) {
@@ -183,7 +179,13 @@ impl StencilOffsets {
     /// The sub-range `[xa, xb)` of block-local x indices whose grid
     /// x-coordinate `ox + 2·x` is interior (all of `0..bx` when the x axis
     /// is not active).
-    pub fn interior_x_range(&self, x_active: bool, ox: usize, gnx: usize, bx: usize) -> (usize, usize) {
+    pub fn interior_x_range(
+        &self,
+        x_active: bool,
+        ox: usize,
+        gnx: usize,
+        bx: usize,
+    ) -> (usize, usize) {
         if !x_active {
             return (0, bx);
         }
@@ -300,7 +302,7 @@ mod tests {
     fn tricubic_k3_exact_on_trilinear() {
         let dims = Dims::d3(17, 17, 17);
         let f = |z: f64, y: f64, x: f64| 1.0 + x + 2.0 * y + 3.0 * z + x * y * z;
-        let buf = grid(dims, &f);
+        let buf = grid(dims, f);
         let p = predict_point(&buf, dims, [7, 7, 7], &[0, 1, 2], 1, InterpKind::Cubic);
         assert!((p - f(7.0, 7.0, 7.0)).abs() < 1e-10);
     }
@@ -361,14 +363,17 @@ mod tests {
                             // Only test points with correct parity semantics:
                             // active coords odd, inactive even (as in real use).
                             let ok = (0..3).all(|d| {
-                                if active.contains(&d) { p[d] % 2 == 1 } else { p[d] % 2 == 0 }
+                                if active.contains(&d) {
+                                    p[d] % 2 == 1
+                                } else {
+                                    p[d] % 2 == 0
+                                }
                             });
                             if !ok {
                                 continue;
                             }
                             let slow = predict_point(&buf, dims, p, &active, 1, kind);
-                            let fast =
-                                st.predict_interior(&buf, dims.index(z, y, x));
+                            let fast = st.predict_interior(&buf, dims.index(z, y, x));
                             assert!(
                                 (slow - fast).abs() < 1e-15,
                                 "{kind:?} {active:?} at {p:?}: {slow} vs {fast}"

@@ -95,8 +95,8 @@ impl LevelPlan {
 
         // Level 1: origin sub-lattice at the coarsest stride.
         let stride1 = 1usize << (num_levels - 1);
-        let l1 = SubLattice::new(dims, [0, 0, 0], stride1)
-            .expect("origin sub-lattice is never empty");
+        let l1 =
+            SubLattice::new(dims, [0, 0, 0], stride1).expect("origin sub-lattice is never empty");
         let l1_grid_dims = dims.coarsened(stride1);
         levels.push(LevelSpec {
             index: 1,
@@ -133,8 +133,7 @@ impl LevelPlan {
                         lattice.dims().as_array(),
                         "grid/parent lattice extent mismatch"
                     );
-                    let active_axes =
-                        (0..3).filter(|&d| o[d] == 1).collect::<Vec<_>>();
+                    let active_axes = (0..3).filter(|&d| o[d] == 1).collect::<Vec<_>>();
                     blocks.push(BlockSpec {
                         bits,
                         offset,
@@ -249,8 +248,7 @@ mod tests {
     fn active_axes_match_offsets() {
         let plan = LevelPlan::new(Dims::d3(16, 16, 16), 3);
         for block in &plan.levels[1].blocks {
-            let expect: Vec<usize> =
-                (0..3).filter(|&d| block.offset[d] != 0).collect();
+            let expect: Vec<usize> = (0..3).filter(|&d| block.offset[d] != 0).collect();
             assert_eq!(block.active_axes, expect);
             // Level-2 offsets are multiples of unit=2.
             assert!(block.offset.iter().all(|&o| o % 2 == 0));

@@ -53,6 +53,7 @@ pub mod level;
 pub mod progressive;
 pub mod random_access;
 pub mod roi;
+pub mod source;
 pub mod stats;
 
 pub use archive::StzArchive;
@@ -60,4 +61,5 @@ pub use compressor::StzCompressor;
 pub use config::StzConfig;
 pub use progressive::ProgressiveDecoder;
 pub use random_access::AccessBreakdown;
+pub use source::SectionSource;
 pub use stz_sz3::{ErrorBound, InterpKind};

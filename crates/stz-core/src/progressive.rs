@@ -7,27 +7,34 @@
 
 use crate::archive::StzArchive;
 use crate::compressor::{decode_level1, decode_level_grid};
+use crate::source::SectionSource;
+use std::marker::PhantomData;
 use stz_codec::Result;
 use stz_field::{Dims, Field, Scalar};
 
-/// Stateful coarse-to-fine decoder over an [`StzArchive`].
-pub struct ProgressiveDecoder<'a, T: Scalar> {
-    archive: &'a StzArchive<T>,
+/// Stateful coarse-to-fine decoder over any [`SectionSource`] (an
+/// [`StzArchive`] by default, or an out-of-core container entry). Each
+/// refinement step fetches only that level's sub-block streams.
+pub struct ProgressiveDecoder<'a, T: Scalar, S: SectionSource + ?Sized = StzArchive<T>> {
+    source: &'a S,
     plan: crate::level::LevelPlan,
     grid: Option<Field<f64>>,
     /// Levels decoded so far (0 = none yet).
     decoded: u8,
     parallel: bool,
+    _marker: PhantomData<fn() -> T>,
 }
 
-impl<'a, T: Scalar> ProgressiveDecoder<'a, T> {
-    pub(crate) fn new(archive: &'a StzArchive<T>) -> Self {
+impl<'a, T: Scalar, S: SectionSource + ?Sized> ProgressiveDecoder<'a, T, S> {
+    /// Start a progressive walk over `source` (nothing is read yet).
+    pub fn new(source: &'a S) -> Self {
         ProgressiveDecoder {
-            archive,
-            plan: archive.plan(),
+            source,
+            plan: source.plan(),
             grid: None,
             decoded: 0,
             parallel: false,
+            _marker: PhantomData,
         }
     }
 
@@ -44,7 +51,7 @@ impl<'a, T: Scalar> ProgressiveDecoder<'a, T> {
 
     /// Whether the full resolution has been reached.
     pub fn is_complete(&self) -> bool {
-        self.decoded == self.archive.num_levels()
+        self.decoded == self.source.num_levels()
     }
 
     /// Dims of the preview the next call to [`ProgressiveDecoder::next_level`]
@@ -62,8 +69,8 @@ impl<'a, T: Scalar> ProgressiveDecoder<'a, T> {
         if self.is_complete() {
             0
         } else {
-            self.archive.bytes_through_level(self.decoded + 1)
-                - self.archive.bytes_through_level(self.decoded)
+            self.source.bytes_through_level(self.decoded + 1)
+                - self.source.bytes_through_level(self.decoded)
         }
     }
 
@@ -74,9 +81,9 @@ impl<'a, T: Scalar> ProgressiveDecoder<'a, T> {
             return Ok(None);
         }
         let next_grid = match self.grid.take() {
-            None => decode_level1(self.archive, &self.plan)?,
-            Some(prev) => decode_level_grid(
-                self.archive,
+            None => decode_level1::<T, S>(self.source, &self.plan)?,
+            Some(prev) => decode_level_grid::<T, S>(
+                self.source,
                 &self.plan,
                 self.decoded + 1,
                 &prev,

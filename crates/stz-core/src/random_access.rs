@@ -17,10 +17,10 @@
 //! Every stage is timed separately so the benchmark harness can regenerate
 //! Table 4's breakdown.
 
-use crate::archive::StzArchive;
 use crate::compressor::{decode_level1, parse_block_payload, upscatter, PayloadMeta};
 use crate::kernels::predict_point;
 use crate::level::LevelPlan;
+use crate::source::SectionSource;
 use std::time::Instant;
 use stz_codec::{huffman, CodecError, LinearQuantizer, Result, ESCAPE_SYMBOL};
 use stz_field::{Field, Region, Scalar};
@@ -103,31 +103,33 @@ pub(crate) fn needed_regions(plan: &LevelPlan, region: &Region) -> Vec<Region> {
 }
 
 /// Random-access decompression of `region` with stage timings.
-pub(crate) fn decompress_region<T: Scalar>(
-    archive: &StzArchive<T>,
+///
+/// Generic over [`SectionSource`]: only the level-1 stream and the
+/// sub-blocks whose lattice intersects the stencil-dilated region are
+/// fetched, so an out-of-core source reads a fraction of the archive.
+pub(crate) fn decompress_region<T: Scalar, S: SectionSource + ?Sized>(
+    source: &S,
     region: &Region,
 ) -> Result<(Field<T>, AccessBreakdown)> {
-    if !region.fits_in(archive.dims()) {
-        return Err(CodecError::corrupt(format!(
-            "region {region:?} outside grid {}",
-            archive.dims()
-        )));
+    let dims = source.header().dims;
+    if !region.fits_in(dims) {
+        return Err(CodecError::corrupt(format!("region {region:?} outside grid {dims}")));
     }
     let start = Instant::now();
-    let plan = archive.plan();
+    let plan = source.plan();
     let needed = needed_regions(&plan, region);
-    let ebs = archive.header().level_ebs();
-    let interp = archive.header().interp;
+    let ebs = source.header().level_ebs();
+    let interp = source.header().interp;
     let mut breakdown = AccessBreakdown::default();
 
     // Level 1: always decoded in full.
     let t = Instant::now();
-    let mut grid = decode_level1(archive, &plan)?;
+    let mut grid = decode_level1::<T, S>(source, &plan)?;
     breakdown.l1_sz3 = t.elapsed().as_secs_f64();
 
     for level in &plan.levels[1..] {
         let li = level.index as usize - 1;
-        let quant = LinearQuantizer::new(ebs[li], archive.header().radius);
+        let quant = LinearQuantizer::new(ebs[li], source.header().radius);
         let mut times = LevelTimes { level: level.index, ..Default::default() };
 
         // Reconstruct: assemble the next working grid from the coarser one.
@@ -138,9 +140,7 @@ pub(crate) fn decompress_region<T: Scalar>(
 
         for (i, block) in level.blocks.iter().enumerate() {
             // Which of this block's points fall inside the needed region?
-            let target = match needed[li]
-                .project_to_sublattice(block.grid_lattice.offset(), 2)
-            {
+            let target = match needed[li].project_to_sublattice(block.grid_lattice.offset(), 2) {
                 Some(t) => t,
                 None => {
                     times.skipped_blocks += 1;
@@ -152,12 +152,9 @@ pub(crate) fn decompress_region<T: Scalar>(
             // per-chunk escape counts keep the outlier cursor aligned across
             // skipped chunks (random-access Huffman decoding).
             let t = Instant::now();
-            let (meta, outliers) = parse_block_payload::<T>(
-                archive.block_bytes(level.index, i),
-                block.lattice.len(),
-            )?;
-            let sparse =
-                SparseSymbols::decode_for(&meta, block.lattice.dims(), &target)?;
+            let block_bytes = source.block_bytes(level.index, i)?;
+            let (meta, outliers) = parse_block_payload::<T>(&block_bytes, block.lattice.len())?;
+            let sparse = SparseSymbols::decode_for(&meta, block.lattice.dims(), &target)?;
             times.decode += t.elapsed().as_secs_f64();
             times.decoded_blocks += 1;
             times.decoded_chunks += sparse.decoded_chunks;
@@ -165,15 +162,7 @@ pub(crate) fn decompress_region<T: Scalar>(
 
             // Predict only the needed points.
             let t = Instant::now();
-            predict_region::<T>(
-                &sparse,
-                &outliers,
-                block,
-                &target,
-                &quant,
-                interp,
-                &mut next,
-            );
+            predict_region::<T>(&sparse, &outliers, block, &target, &quant, interp, &mut next);
             times.predict += t.elapsed().as_secs_f64();
         }
 
@@ -225,8 +214,8 @@ impl SparseSymbols {
                 let row = (z * by + y) * bx;
                 let first = (row + target.x0) / meta.chunk_size;
                 let last = (row + target.x1 - 1) / meta.chunk_size;
-                for c in first..=last.min(nchunks - 1) {
-                    wanted[c] = true;
+                for w in &mut wanted[first..=last.min(nchunks - 1)] {
+                    *w = true;
                 }
             }
         }
@@ -332,7 +321,7 @@ fn predict_region<T: Scalar>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{StzCompressor, StzConfig};
+    use crate::{StzArchive, StzCompressor, StzConfig};
     use stz_field::Dims;
 
     fn field(dims: Dims) -> Field<f32> {
@@ -355,9 +344,9 @@ mod tests {
         let full = a.decompress().unwrap();
         for region in [
             Region::d3(3..9, 5..12, 7..20),
-            Region::d3(0..1, 0..24, 0..24), // 2-D slice at z = 0
-            Region::d3(11..12, 0..24, 0..24), // 2-D slice at odd z
-            Region::d3(0..24, 0..24, 0..24), // everything
+            Region::d3(0..1, 0..24, 0..24),     // 2-D slice at z = 0
+            Region::d3(11..12, 0..24, 0..24),   // 2-D slice at odd z
+            Region::d3(0..24, 0..24, 0..24),    // everything
             Region::d3(23..24, 23..24, 23..24), // single corner point
         ] {
             let roi = a.decompress_region(&region).unwrap();
@@ -385,16 +374,13 @@ mod tests {
     fn slice_skips_blocks_box_does_not() {
         let (_, a) = archive(Dims::d3(32, 32, 32), 1e-3);
         // Even-z slice: level-3 blocks with oz = 1 are not needed -> 3 of 7.
-        let (_, bd) = a
-            .decompress_region_with_breakdown(&Region::slice_z(Dims::d3(32, 32, 32), 8))
-            .unwrap();
+        let (_, bd) =
+            a.decompress_region_with_breakdown(&Region::slice_z(Dims::d3(32, 32, 32), 8)).unwrap();
         let l3 = &bd.levels[1];
         assert_eq!(l3.decoded_blocks, 3, "even slice decodes 3 of 7 level-3 blocks");
         assert_eq!(l3.skipped_blocks, 4);
         // Interior 3-D box: every level-3 block intersects.
-        let (_, bd) = a
-            .decompress_region_with_breakdown(&Region::d3(8..20, 8..20, 8..20))
-            .unwrap();
+        let (_, bd) = a.decompress_region_with_breakdown(&Region::d3(8..20, 8..20, 8..20)).unwrap();
         assert_eq!(bd.levels[1].decoded_blocks, 7);
         assert_eq!(bd.levels[1].skipped_blocks, 0);
     }
@@ -463,9 +449,8 @@ mod tests {
         let mut f = field(Dims::d3(24, 24, 24));
         // Outliers spread across the whole volume (different level-3 blocks
         // and chunk positions).
-        for (i, &(z, y, x)) in [(1, 1, 1), (3, 5, 7), (9, 9, 9), (15, 3, 21), (23, 23, 23)]
-            .iter()
-            .enumerate()
+        for (i, &(z, y, x)) in
+            [(1, 1, 1), (3, 5, 7), (9, 9, 9), (15, 3, 21), (23, 23, 23)].iter().enumerate()
         {
             f.set(z, y, x, 1e30 + i as f32 * 1e28);
         }
@@ -510,13 +495,13 @@ mod tests {
     #[test]
     fn breakdown_totals_are_consistent() {
         let (_, a) = archive(Dims::d3(24, 24, 24), 1e-3);
-        let (_, bd) = a
-            .decompress_region_with_breakdown(&Region::d3(0..6, 0..6, 0..6))
-            .unwrap();
+        let (_, bd) = a.decompress_region_with_breakdown(&Region::d3(0..6, 0..6, 0..6)).unwrap();
         assert!(bd.total > 0.0);
         assert!(bd.l1_sz3 > 0.0);
         assert_eq!(bd.levels.len(), 2);
-        let sum = bd.l1_sz3 + bd.decode_total() + bd.predict_total()
+        let sum = bd.l1_sz3
+            + bd.decode_total()
+            + bd.predict_total()
             + bd.levels.iter().map(|l| l.reconstruct).sum::<f64>();
         assert!(sum <= bd.total * 1.5, "stage sum {sum} vs total {}", bd.total);
     }

@@ -41,7 +41,11 @@ pub struct ScoredTile {
 
 /// Split `dims` into tiles of at most `tile` points per axis and score each
 /// by `stat`.
-pub fn score_tiles<T: Scalar>(field: &Field<T>, tile: [usize; 3], stat: RoiStat) -> Vec<ScoredTile> {
+pub fn score_tiles<T: Scalar>(
+    field: &Field<T>,
+    tile: [usize; 3],
+    stat: RoiStat,
+) -> Vec<ScoredTile> {
     assert!(tile.iter().all(|&t| t > 0), "tile extents must be positive");
     let dims = field.dims();
     let mut out = Vec::new();

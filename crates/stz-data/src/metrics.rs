@@ -137,8 +137,7 @@ fn window_ssim<T: Scalar>(
     va /= n;
     vb /= n;
     cov /= n;
-    ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
-        / ((ma * ma + mb * mb + c1) * (va + vb + c2))
+    ((2.0 * ma * mb + c1) * (2.0 * cov + c2)) / ((ma * ma + mb * mb + c1) * (va + vb + c2))
 }
 
 /// PSNR/SSIM/CR summary for benchmark tables.

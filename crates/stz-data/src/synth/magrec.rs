@@ -34,17 +34,9 @@ pub fn magrec_like(dims: Dims, seed: u64) -> Field<f32> {
             * (k_island * xf + 0.3 * zf * scale).cos()
             * (sech2((yf - y1) / (2.0 * lambda)) + sech2((yf - y2) / (2.0 * lambda)));
         // Reconnection-driven turbulence, stronger near the sheets.
-        let sheet_weight =
-            sech2((yf - y1) / (4.0 * lambda)) + sech2((yf - y2) / (4.0 * lambda));
+        let sheet_weight = sech2((yf - y1) / (4.0 * lambda)) + sech2((yf - y2) / (4.0 * lambda));
         let turb = (0.02 + 0.15 * sheet_weight)
-            * fbm(
-                seed,
-                zf * scale * 2.0,
-                yf * scale * 2.0,
-                xf * scale * 2.0,
-                4,
-                0.55,
-            );
+            * fbm(seed, zf * scale * 2.0, yf * scale * 2.0, xf * scale * 2.0, 4, 0.55);
         (b0 + island + turb) as f32
     })
 }

@@ -22,9 +22,7 @@ pub fn miranda_like(dims: Dims, seed: u64) -> Field<f32> {
     Field::from_fn(dims, |z, y, x| {
         let (zf, yf, xf) = (z as f64, y as f64, x as f64);
         // Perturbed interface height: long-wavelength bubbles and spikes.
-        let perturb = 0.18
-            * nz
-            * fbm(seed, 0.0, yf * scale * 0.8, xf * scale * 0.8, 3, 0.6);
+        let perturb = 0.18 * nz * fbm(seed, 0.0, yf * scale * 0.8, xf * scale * 0.8, 3, 0.6);
         let height = nz * 0.5 + perturb;
         let s = ((zf - height) / interface_width).tanh();
         let base = 0.5 * (rho_heavy + rho_light) + 0.5 * (rho_heavy - rho_light) * s;

@@ -57,7 +57,8 @@ pub fn fbm(seed: u64, z: f64, y: f64, x: f64, octaves: u32, persistence: f64) ->
     let mut acc = 0.0;
     let mut norm = 0.0;
     for o in 0..octaves {
-        acc += amp * value_noise(seed.wrapping_add(o as u64 * 0x5bd1_e995), z * freq, y * freq, x * freq);
+        acc += amp
+            * value_noise(seed.wrapping_add(o as u64 * 0x5bd1_e995), z * freq, y * freq, x * freq);
         norm += amp;
         amp *= persistence;
         freq *= 2.0;
@@ -117,9 +118,7 @@ mod tests {
         assert!(vals1.iter().all(|v| v.abs() <= 1.0 + 1e-9));
         assert!(vals5.iter().all(|v| v.abs() <= 1.0 + 1e-9));
         // More octaves -> more small-scale variation.
-        let tv = |vs: &[f64]| -> f64 {
-            vs.windows(2).map(|w| (w[1] - w[0]).abs()).sum()
-        };
+        let tv = |vs: &[f64]| -> f64 { vs.windows(2).map(|w| (w[1] - w[0]).abs()).sum() };
         assert!(tv(&vals5) > tv(&vals1));
     }
 

@@ -38,9 +38,8 @@ pub fn nyx_like(dims: Dims, seed: u64) -> Field<f32> {
         for z in lo(hz, dims.nz())..hi(hz, dims.nz()) {
             for y in lo(hy, dims.ny())..hi(hy, dims.ny()) {
                 for x in lo(hx, dims.nx())..hi(hx, dims.nx()) {
-                    let r2 = (z as f64 - hz).powi(2)
-                        + (y as f64 - hy).powi(2)
-                        + (x as f64 - hx).powi(2);
+                    let r2 =
+                        (z as f64 - hz).powi(2) + (y as f64 - hy).powi(2) + (x as f64 - hx).powi(2);
                     if r2 < HALO_RADIUS * HALO_RADIUS {
                         let r = r2.sqrt().max(0.5);
                         // Truncated NFW-like profile, tapered to 0 at the rim.
@@ -84,11 +83,7 @@ mod tests {
         let f = nyx_like(Dims::d3(48, 48, 48), 1);
         let above = f.as_slice().iter().filter(|&&v| v > 81.66).count();
         assert!(above > 0, "no halos generated");
-        assert!(
-            (above as f64) < 0.05 * f.len() as f64,
-            "halos cover {above}/{} points",
-            f.len()
-        );
+        assert!((above as f64) < 0.05 * f.len() as f64, "halos cover {above}/{} points", f.len());
     }
 
     #[test]

@@ -38,14 +38,7 @@ pub fn warpx_like(dims: Dims, seed: u64) -> Field<f64> {
             0.0
         };
         let plasma_noise = 2.0e8
-            * fbm(
-                seed,
-                zf * noise_scale * 8.0,
-                yf * noise_scale * 8.0,
-                xf * noise_scale,
-                4,
-                0.5,
-            );
+            * fbm(seed, zf * noise_scale * 8.0, yf * noise_scale * 8.0, xf * noise_scale, 4, 0.5);
         trans * (laser + behind) + plasma_noise * trans.sqrt()
     })
 }

@@ -136,8 +136,7 @@ impl Dims {
     /// The coarse dims produced by stride-`s` sampling at offset 0 (the
     /// resolution of a progressive preview at that level).
     pub fn coarsened(&self, stride: usize) -> Dims {
-        self.strided([0, 0, 0], stride)
-            .expect("offset-0 sub-lattice is never empty")
+        self.strided([0, 0, 0], stride).expect("offset-0 sub-lattice is never empty")
     }
 }
 

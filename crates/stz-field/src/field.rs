@@ -16,12 +16,7 @@ pub struct Field<T: Scalar> {
 impl<T: Scalar> Field<T> {
     /// Wrap existing data; `data.len()` must equal `dims.len()`.
     pub fn from_vec(dims: Dims, data: Vec<T>) -> Self {
-        assert_eq!(
-            data.len(),
-            dims.len(),
-            "data length {} does not match dims {dims}",
-            data.len()
-        );
+        assert_eq!(data.len(), dims.len(), "data length {} does not match dims {dims}", data.len());
         Field { dims, data }
     }
 
@@ -158,20 +153,14 @@ impl<T: Scalar> Field<T> {
 
     /// Map every element through `f`, producing a new field.
     pub fn map(&self, mut f: impl FnMut(T) -> T) -> Field<T> {
-        Field {
-            dims: self.dims,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Field { dims: self.dims, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 }
 
 impl Field<f32> {
     /// Convert to f64 (exact).
     pub fn widen(&self) -> Field<f64> {
-        Field {
-            dims: self.dims,
-            data: self.data.iter().map(|&v| v as f64).collect(),
-        }
+        Field { dims: self.dims, data: self.data.iter().map(|&v| v as f64).collect() }
     }
 }
 

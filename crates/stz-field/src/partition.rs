@@ -63,10 +63,7 @@ pub fn partition_stride2<T: Scalar>(field: &Field<T>) -> Vec<(SubLattice, Field<
 
 /// Reassemble a field from its stride-2 sub-blocks. Inverse of
 /// [`partition_stride2`]; blocks may be supplied in any order.
-pub fn reassemble_stride2<T: Scalar>(
-    dims: Dims,
-    blocks: &[(SubLattice, Field<T>)],
-) -> Field<T> {
+pub fn reassemble_stride2<T: Scalar>(dims: Dims, blocks: &[(SubLattice, Field<T>)]) -> Field<T> {
     let mut out = Field::zeros(dims);
     let mut covered = 0usize;
     for (sl, block) in blocks {

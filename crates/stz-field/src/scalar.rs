@@ -8,9 +8,7 @@ use std::fmt::{Debug, Display};
 /// what error-bounded compression needs: lossless widening to `f64` for
 /// prediction arithmetic, and bit-exact byte (de)serialization for the
 /// unpredictable-value escape path.
-pub trait Scalar:
-    Copy + PartialOrd + Debug + Display + Default + Send + Sync + 'static
-{
+pub trait Scalar: Copy + PartialOrd + Debug + Display + Default + Send + Sync + 'static {
     /// Number of bytes in the exact binary representation.
     const BYTES: usize;
     /// Tag distinguishing element types in archive headers (0 = f32, 1 = f64).

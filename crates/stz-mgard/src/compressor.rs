@@ -2,7 +2,9 @@
 //! one Huffman stream.
 
 use crate::hierarchy::{detail_lattices, grid_dims, num_levels, predict_multilinear};
-use stz_codec::{huffman, ByteReader, ByteWriter, CodecError, LinearQuantizer, Result, ESCAPE_SYMBOL};
+use stz_codec::{
+    huffman, ByteReader, ByteWriter, CodecError, LinearQuantizer, Result, ESCAPE_SYMBOL,
+};
 use stz_field::{Dims, Field, Scalar, SubLattice};
 
 /// Magic bytes of an MGARD-style archive.
@@ -67,9 +69,7 @@ pub fn compress<T: Scalar>(field: &Field<T>, config: &MgardConfig) -> Vec<u8> {
     for k in 2..=levels {
         let gd = grid_dims(dims, levels, k);
         let mut next = Field::<f64>::zeros(gd);
-        SubLattice::new(gd, [0, 0, 0], 2)
-            .expect("origin lattice")
-            .scatter(&grid, &mut next);
+        SubLattice::new(gd, [0, 0, 0], 2).expect("origin lattice").scatter(&grid, &mut next);
         let stride = 1usize << (levels - k);
         for (lat, active) in detail_lattices(gd) {
             let [oz, oy, ox] = lat.offset();
@@ -78,10 +78,8 @@ pub fn compress<T: Scalar>(field: &Field<T>, config: &MgardConfig) -> Vec<u8> {
                 for y in 0..ld.ny() {
                     for x in 0..ld.nx() {
                         let (gz, gy, gx) = (oz + 2 * z, oy + 2 * y, ox + 2 * x);
-                        let pred =
-                            predict_multilinear(next.as_slice(), gd, [gz, gy, gx], &active);
-                        let actual =
-                            field.get(gz * stride, gy * stride, gx * stride).to_f64();
+                        let pred = predict_multilinear(next.as_slice(), gd, [gz, gy, gx], &active);
+                        let actual = field.get(gz * stride, gy * stride, gx * stride).to_f64();
                         let gidx = gd.index(gz, gy, gx);
                         match quantize_scalar::<T>(&quant, actual, pred) {
                             Some((symbol, recon)) => {
@@ -90,8 +88,7 @@ pub fn compress<T: Scalar>(field: &Field<T>, config: &MgardConfig) -> Vec<u8> {
                             }
                             None => {
                                 symbols.push(ESCAPE_SYMBOL);
-                                outliers
-                                    .push(field.get(gz * stride, gy * stride, gx * stride));
+                                outliers.push(field.get(gz * stride, gy * stride, gx * stride));
                                 next.as_mut_slice()[gidx] = actual;
                             }
                         }
@@ -234,9 +231,7 @@ fn decompress_impl<T: Scalar>(bytes: &[u8], upto: u8) -> Result<Field<T>> {
     for k in 2..=upto {
         let gd = grid_dims(dims, levels, k);
         let mut next = Field::<f64>::zeros(gd);
-        SubLattice::new(gd, [0, 0, 0], 2)
-            .expect("origin lattice")
-            .scatter(&grid, &mut next);
+        SubLattice::new(gd, [0, 0, 0], 2).expect("origin lattice").scatter(&grid, &mut next);
         for (lat, active) in detail_lattices(gd) {
             let [oz, oy, ox] = lat.offset();
             let ld = lat.dims();
@@ -252,12 +247,8 @@ fn decompress_impl<T: Scalar>(bytes: &[u8], upto: u8) -> Result<Field<T>> {
                             out_pos += 1;
                             o
                         } else {
-                            let pred = predict_multilinear(
-                                next.as_slice(),
-                                gd,
-                                [gz, gy, gx],
-                                &active,
-                            );
+                            let pred =
+                                predict_multilinear(next.as_slice(), gd, [gz, gy, gx], &active);
                             T::from_f64(quant.reconstruct(s, pred)).to_f64()
                         };
                     }
@@ -267,10 +258,7 @@ fn decompress_impl<T: Scalar>(bytes: &[u8], upto: u8) -> Result<Field<T>> {
         grid = next;
     }
 
-    Ok(Field::from_vec(
-        grid.dims(),
-        grid.as_slice().iter().map(|&v| T::from_f64(v)).collect(),
-    ))
+    Ok(Field::from_vec(grid.dims(), grid.as_slice().iter().map(|&v| T::from_f64(v)).collect()))
 }
 
 #[cfg(test)]

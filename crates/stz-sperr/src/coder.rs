@@ -91,8 +91,8 @@ pub fn decode(
     let mut sig_list: Vec<u32> = Vec::new();
     for k in (kmin..kmax).rev() {
         let old_len = sig_list.len();
-        for idx in 0..old_len {
-            let i = sig_list[idx] as usize;
+        for &s in &sig_list[..old_len] {
+            let i = s as usize;
             if r.get_bit()? {
                 magnitudes[i] |= 1u64 << k;
             }

@@ -264,10 +264,7 @@ fn decompress_impl<T: Scalar>(
     for &(idx, ref raw) in &p.nonfinite_raw {
         recon[idx] = T::read_exact(raw).to_f64();
     }
-    Ok(Field::from_vec(
-        p.dims,
-        recon.into_iter().map(T::from_f64).collect(),
-    ))
+    Ok(Field::from_vec(p.dims, recon.into_iter().map(T::from_f64).collect()))
 }
 
 #[cfg(test)]

@@ -84,7 +84,13 @@ fn update(x: &mut [f64], a: f64) {
     let n = x.len();
     let mut i = 0;
     while i < n {
-        let left = if i > 0 { x[i - 1] } else if n > 1 { x[1] } else { x[0] };
+        let left = if i > 0 {
+            x[i - 1]
+        } else if n > 1 {
+            x[1]
+        } else {
+            x[0]
+        };
         let right = if i + 1 < n { x[i + 1] } else { left };
         x[i] += a * (left + right);
         i += 2;
@@ -94,12 +100,7 @@ fn update(x: &mut [f64], a: f64) {
 /// Number of transform levels for a grid: halve until the smallest
 /// transformable extent would drop below 8, capped at 5 (SPERR's policy).
 pub fn num_levels(dims: Dims) -> u8 {
-    let min_ext = dims
-        .as_array()
-        .into_iter()
-        .filter(|&n| n > 1)
-        .min()
-        .unwrap_or(1);
+    let min_ext = dims.as_array().into_iter().filter(|&n| n > 1).min().unwrap_or(1);
     let mut l = 0u8;
     let mut e = min_ext;
     while e >= 16 && l < 5 {
@@ -233,11 +234,7 @@ mod tests {
     use super::*;
 
     fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str) {
-        let max = a
-            .iter()
-            .zip(b)
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0f64, f64::max);
+        let max = a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
         assert!(max <= tol, "{what}: max diff {max}");
     }
 

@@ -1,0 +1,199 @@
+//! Positioned-read byte sources backing a container reader.
+//!
+//! A [`ByteSource`] is the minimal random-access contract the reader needs:
+//! total length plus exact reads at absolute offsets, callable concurrently
+//! (`&self`, `Sync`) so parallel decodes can fetch blocks simultaneously.
+//! Three implementations cover the practical spectrum:
+//!
+//! * [`FileSource`] — an on-disk container, served by `pread`-style
+//!   positioned reads (no shared cursor, no locking on Unix);
+//! * [`MemorySource`] — an in-memory container (tests, network buffers);
+//! * [`CountingSource`] — a transparent wrapper that tallies read traffic,
+//!   used by the benchmark harness and tests to *prove* out-of-core queries
+//!   touch only a fraction of the file.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Random access over a container's bytes.
+pub trait ByteSource: Send + Sync {
+    /// Total size in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fill `buf` exactly from the bytes starting at `offset`.
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+}
+
+/// A container file on disk.
+#[derive(Debug)]
+pub struct FileSource {
+    #[cfg(unix)]
+    file: File,
+    #[cfg(not(unix))]
+    file: std::sync::Mutex<File>,
+    len: u64,
+}
+
+impl FileSource {
+    /// Open `path` for positioned reads.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        #[cfg(not(unix))]
+        let file = std::sync::Mutex::new(file);
+        Ok(FileSource { file, len })
+    }
+}
+
+impl ByteSource for FileSource {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    #[cfg(unix)]
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, offset)
+    }
+
+    #[cfg(not(unix))]
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = self.file.lock().expect("file lock poisoned");
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(buf)
+    }
+}
+
+/// A container held in memory.
+#[derive(Debug, Clone)]
+pub struct MemorySource {
+    bytes: Vec<u8>,
+}
+
+impl MemorySource {
+    pub fn new(bytes: Vec<u8>) -> Self {
+        MemorySource { bytes }
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl ByteSource for MemorySource {
+    fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let start = usize::try_from(offset)
+            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "offset beyond buffer"))?;
+        let end = start
+            .checked_add(buf.len())
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "read beyond buffer"))?;
+        buf.copy_from_slice(&self.bytes[start..end]);
+        Ok(())
+    }
+}
+
+/// Wraps any source and tallies read traffic.
+#[derive(Debug)]
+pub struct CountingSource<S> {
+    inner: S,
+    bytes_read: AtomicU64,
+    read_calls: AtomicU64,
+}
+
+impl<S: ByteSource> CountingSource<S> {
+    pub fn new(inner: S) -> Self {
+        CountingSource { inner, bytes_read: AtomicU64::new(0), read_calls: AtomicU64::new(0) }
+    }
+
+    /// Total bytes fetched since construction (or the last reset).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Number of positioned-read calls.
+    pub fn read_calls(&self) -> u64 {
+        self.read_calls.load(Ordering::Relaxed)
+    }
+
+    /// Zero both counters (e.g. after `ContainerReader::open`, to measure a
+    /// single query's traffic).
+    pub fn reset(&self) {
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.read_calls.store(0, Ordering::Relaxed);
+    }
+
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: ByteSource> ByteSource for CountingSource<S> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.inner.read_exact_at(offset, buf)?;
+        self.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.read_calls.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_source_bounds() {
+        let src = MemorySource::new(vec![1, 2, 3, 4, 5]);
+        let mut buf = [0u8; 3];
+        src.read_exact_at(1, &mut buf).unwrap();
+        assert_eq!(buf, [2, 3, 4]);
+        assert!(src.read_exact_at(3, &mut buf).is_err());
+        assert!(src.read_exact_at(u64::MAX, &mut buf).is_err());
+        assert_eq!(src.len(), 5);
+    }
+
+    #[test]
+    fn counting_source_tallies() {
+        let src = CountingSource::new(MemorySource::new(vec![0u8; 100]));
+        let mut buf = [0u8; 10];
+        src.read_exact_at(0, &mut buf).unwrap();
+        src.read_exact_at(50, &mut buf).unwrap();
+        assert_eq!(src.bytes_read(), 20);
+        assert_eq!(src.read_calls(), 2);
+        src.reset();
+        assert_eq!(src.bytes_read(), 0);
+    }
+
+    #[test]
+    fn file_source_roundtrip() {
+        let path = std::env::temp_dir().join(format!("stz_stream_fs_{}.bin", std::process::id()));
+        std::fs::write(&path, (0u8..=255).collect::<Vec<u8>>()).unwrap();
+        let src = FileSource::open(&path).unwrap();
+        assert_eq!(src.len(), 256);
+        let mut buf = [0u8; 4];
+        src.read_exact_at(10, &mut buf).unwrap();
+        assert_eq!(buf, [10, 11, 12, 13]);
+        assert!(src.read_exact_at(254, &mut buf).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

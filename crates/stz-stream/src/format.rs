@@ -1,0 +1,313 @@
+//! The on-disk container layout.
+//!
+//! ```text
+//! ┌────────────────────────────────────────────────────────────────────┐
+//! │ 0x00  magic "STZC" │ version u8 │ reserved [u8; 3]                 │ 8 B
+//! ├────────────────────────────────────────────────────────────────────┤
+//! │ entry payloads, back to back                                       │
+//! │   each payload = the raw bytes of one STZ archive                  │
+//! │   (header · level-1 SZ3 stream · per-level sub-block streams)      │
+//! ├────────────────────────────────────────────────────────────────────┤
+//! │ footer: uvarint entry_count, then per entry                        │
+//! │   name (length-prefixed)                                           │
+//! │   archive parameters (type, dims, levels, interp, bounds, radius)  │
+//! │   payload  {off, len, crc32}                                       │
+//! │   level-1  {off, len, crc32}                                       │
+//! │   per finer level: nblocks × {off, len, crc32}                     │
+//! ├────────────────────────────────────────────────────────────────────┤
+//! │ trailer (fixed 24 B at EOF):                                       │
+//! │   footer_off u64 │ footer_len u64 │ footer_crc32 u32 │ "STZE"      │
+//! └────────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Design notes, in the tradition of seekable production bitstreams:
+//!
+//! * **Footer-at-end** lets the writer stream payloads forward with bounded
+//!   memory — offsets are only known after writing, and a reader finds the
+//!   index with two small reads (trailer, then footer) regardless of file
+//!   size.
+//! * **All archive parameters are duplicated into the footer**, so serving
+//!   metadata queries (`inspect`) or planning a region fetch touches zero
+//!   payload bytes.
+//! * **Per-section CRCs** (not one whole-file checksum) mean a reader that
+//!   fetches 2% of the file verifies exactly that 2%.
+//! * Offsets are absolute file positions; varint-encoded (the footer for a
+//!   4-entry, 3-level container is ~600 bytes).
+
+use crate::error::{Result, StreamError};
+use stz_codec::{ByteReader, ByteWriter};
+use stz_core::archive::ArchiveHeader;
+use stz_core::level::LevelPlan;
+use stz_core::InterpKind;
+use stz_field::Dims;
+
+/// Magic bytes opening a container file.
+pub const CONTAINER_MAGIC: [u8; 4] = *b"STZC";
+/// Magic bytes closing the trailer.
+pub const TRAILER_MAGIC: [u8; 4] = *b"STZE";
+/// Current container format version.
+pub const CONTAINER_VERSION: u8 = 1;
+/// Size of the fixed file header.
+pub const HEADER_LEN: u64 = 8;
+/// Size of the fixed trailer at EOF.
+pub const TRAILER_LEN: u64 = 24;
+/// Upper bound on entries per container (index-bomb guard).
+pub const MAX_ENTRIES: u64 = 1 << 20;
+/// Upper bound on entry-name length in bytes.
+pub const MAX_NAME_LEN: u64 = 4096;
+
+/// Location + integrity of one independently fetchable byte range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionLoc {
+    /// Absolute file offset.
+    pub off: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// CRC-32 of the section bytes.
+    pub crc: u32,
+}
+
+/// One archive's index record in the footer.
+#[derive(Debug, Clone)]
+pub struct EntryRecord {
+    /// Entry name (e.g. a field name or time-step label).
+    pub name: String,
+    /// The archive's parameters, reconstructed without touching the payload.
+    pub header: ArchiveHeader,
+    /// The whole archive payload.
+    pub payload: SectionLoc,
+    /// The level-1 SZ3 stream.
+    pub l1: SectionLoc,
+    /// Finer-level sub-block streams: `blocks[k - 2][i]` for level `k`,
+    /// block `i` (canonical order, matching `LevelPlan`).
+    pub blocks: Vec<Vec<SectionLoc>>,
+}
+
+impl EntryRecord {
+    /// Compressed payload bytes needed for levels `1..=k` (the progressive
+    /// I/O cost of this entry).
+    pub fn bytes_through_level(&self, k: u8) -> u64 {
+        if k == 0 {
+            return 0;
+        }
+        let mut total = self.l1.len;
+        for level in 2..=k {
+            if let Some(blocks) = self.blocks.get(level as usize - 2) {
+                total += blocks.iter().map(|b| b.len).sum::<u64>();
+            }
+        }
+        total
+    }
+}
+
+fn interp_code(interp: InterpKind) -> u8 {
+    match interp {
+        InterpKind::Linear => 0,
+        InterpKind::Cubic => 1,
+    }
+}
+
+fn put_section(w: &mut ByteWriter, s: &SectionLoc) {
+    w.put_uvarint(s.off);
+    w.put_uvarint(s.len);
+    w.put_u32(s.crc);
+}
+
+/// Serialize the footer (without trailer).
+pub fn encode_footer(entries: &[EntryRecord]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(64 + entries.len() * 160);
+    w.put_uvarint(entries.len() as u64);
+    for e in entries {
+        w.put_block(e.name.as_bytes());
+        let h = &e.header;
+        w.put_u8(h.type_tag);
+        w.put_u8(h.dims.ndim());
+        let [nz, ny, nx] = h.dims.as_array();
+        w.put_uvarint(nz as u64);
+        w.put_uvarint(ny as u64);
+        w.put_uvarint(nx as u64);
+        w.put_u8(h.levels);
+        w.put_u8(interp_code(h.interp));
+        w.put_u8(h.adaptive as u8);
+        w.put_f64(h.adaptive_ratio);
+        w.put_f64(h.eb_finest);
+        w.put_uvarint(h.radius as u64);
+        put_section(&mut w, &e.payload);
+        put_section(&mut w, &e.l1);
+        for level_blocks in &e.blocks {
+            w.put_uvarint(level_blocks.len() as u64);
+            for b in level_blocks {
+                put_section(&mut w, b);
+            }
+        }
+    }
+    w.finish()
+}
+
+fn get_section(r: &mut ByteReader<'_>) -> Result<SectionLoc> {
+    Ok(SectionLoc { off: r.get_uvarint()?, len: r.get_uvarint()?, crc: r.get_u32()? })
+}
+
+/// Check a section lies inside `[lo, hi)`.
+fn check_bounds(s: &SectionLoc, lo: u64, hi: u64, what: &str) -> Result<()> {
+    let end = s
+        .off
+        .checked_add(s.len)
+        .ok_or_else(|| StreamError::corrupt(format!("{what} section offset overflow")))?;
+    if s.off < lo || end > hi {
+        return Err(StreamError::corrupt(format!(
+            "{what} section {}..{end} outside {lo}..{hi}",
+            s.off
+        )));
+    }
+    Ok(())
+}
+
+/// Parse and validate a footer against the container's file length.
+///
+/// Validation mirrors `StzArchive::from_bytes`: every count, range and
+/// parameter is cross-checked against the geometry implied by
+/// `dims` + `levels`, so a forged index can never direct reads outside the
+/// file or allocate disproportionately.
+pub fn parse_footer(bytes: &[u8], file_len: u64) -> Result<Vec<EntryRecord>> {
+    let payload_end = file_len.saturating_sub(TRAILER_LEN);
+    let mut r = ByteReader::new(bytes);
+    let count = r.get_uvarint()?;
+    if count > MAX_ENTRIES {
+        return Err(StreamError::corrupt(format!("container claims {count} entries")));
+    }
+    let mut entries = Vec::with_capacity(count.min(1024) as usize);
+    for _ in 0..count {
+        let name_bytes = r.get_block()?;
+        if name_bytes.len() as u64 > MAX_NAME_LEN {
+            return Err(StreamError::corrupt("entry name too long"));
+        }
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| StreamError::corrupt("entry name is not UTF-8"))?
+            .to_string();
+
+        let type_tag = r.get_u8()?;
+        if type_tag > 1 {
+            return Err(StreamError::unsupported(format!("element type tag {type_tag}")));
+        }
+        let ndim = r.get_u8()?;
+        if !(1..=3).contains(&ndim) {
+            return Err(StreamError::corrupt(format!("invalid ndim {ndim}")));
+        }
+        let nz = r.get_uvarint()?;
+        let ny = r.get_uvarint()?;
+        let nx = r.get_uvarint()?;
+        if nz == 0
+            || ny == 0
+            || nx == 0
+            || nz.saturating_mul(ny).saturating_mul(nx) > stz_sz3::stream::MAX_POINTS
+        {
+            return Err(StreamError::corrupt(format!("invalid dims {nz}x{ny}x{nx}")));
+        }
+        if (ndim < 3 && nz != 1) || (ndim < 2 && ny != 1) {
+            return Err(StreamError::corrupt("dims inconsistent with ndim"));
+        }
+        let levels = r.get_u8()?;
+        if !(2..=4).contains(&levels) {
+            return Err(StreamError::corrupt(format!("invalid level count {levels}")));
+        }
+        let interp = match r.get_u8()? {
+            0 => InterpKind::Linear,
+            1 => InterpKind::Cubic,
+            k => return Err(StreamError::unsupported(format!("interp kind {k}"))),
+        };
+        let adaptive = match r.get_u8()? {
+            0 => false,
+            1 => true,
+            k => return Err(StreamError::corrupt(format!("invalid adaptive flag {k}"))),
+        };
+        let adaptive_ratio = r.get_f64()?;
+        if !(adaptive_ratio >= 1.0 && adaptive_ratio.is_finite()) {
+            return Err(StreamError::corrupt(format!("invalid adaptive ratio {adaptive_ratio}")));
+        }
+        let eb_finest = r.get_f64()?;
+        if !(eb_finest > 0.0 && eb_finest.is_finite()) {
+            return Err(StreamError::corrupt(format!("invalid error bound {eb_finest}")));
+        }
+        let radius = r.get_uvarint()?;
+        if radius == 0 || radius > i64::MAX as u64 {
+            return Err(StreamError::corrupt("invalid quantizer radius"));
+        }
+
+        let header = ArchiveHeader {
+            dims: Dims::from_parts(ndim, nz as usize, ny as usize, nx as usize),
+            type_tag,
+            levels,
+            interp,
+            adaptive,
+            adaptive_ratio,
+            eb_finest,
+            radius: radius as i64,
+        };
+
+        let payload = get_section(&mut r)?;
+        check_bounds(&payload, HEADER_LEN, payload_end, "payload")?;
+        let payload_hi = payload.off + payload.len;
+        let l1 = get_section(&mut r)?;
+        check_bounds(&l1, payload.off, payload_hi, "level-1")?;
+
+        let plan = LevelPlan::new(header.dims, levels);
+        let mut blocks = Vec::with_capacity(levels as usize - 1);
+        for k in 2..=levels {
+            let n = r.get_uvarint()?;
+            if n > 8 {
+                return Err(StreamError::corrupt(format!("level with {n} blocks")));
+            }
+            let expect = plan.levels[k as usize - 1].blocks.len();
+            if n as usize != expect {
+                return Err(StreamError::corrupt(format!(
+                    "level {k} has {n} blocks, geometry requires {expect}"
+                )));
+            }
+            let mut level_blocks = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let b = get_section(&mut r)?;
+                check_bounds(&b, payload.off, payload_hi, "sub-block")?;
+                level_blocks.push(b);
+            }
+            blocks.push(level_blocks);
+        }
+        entries.push(EntryRecord { name, header, payload, l1, blocks });
+    }
+    if r.remaining() != 0 {
+        return Err(StreamError::corrupt("trailing bytes after footer entries"));
+    }
+    Ok(entries)
+}
+
+/// Serialize the fixed 24-byte trailer.
+pub fn encode_trailer(footer_off: u64, footer_len: u64, footer_crc: u32) -> [u8; 24] {
+    let mut t = [0u8; 24];
+    t[0..8].copy_from_slice(&footer_off.to_le_bytes());
+    t[8..16].copy_from_slice(&footer_len.to_le_bytes());
+    t[16..20].copy_from_slice(&footer_crc.to_le_bytes());
+    t[20..24].copy_from_slice(&TRAILER_MAGIC);
+    t
+}
+
+/// Parse the trailer; returns `(footer_off, footer_len, footer_crc)`.
+pub fn parse_trailer(t: &[u8; 24], file_len: u64) -> Result<(u64, u64, u32)> {
+    if t[20..24] != TRAILER_MAGIC {
+        return Err(StreamError::corrupt("bad container trailer magic"));
+    }
+    let footer_off = u64::from_le_bytes(t[0..8].try_into().expect("8 bytes"));
+    let footer_len = u64::from_le_bytes(t[8..16].try_into().expect("8 bytes"));
+    let footer_crc = u32::from_le_bytes(t[16..20].try_into().expect("4 bytes"));
+    let end = footer_off
+        .checked_add(footer_len)
+        .ok_or_else(|| StreamError::corrupt("footer range overflow"))?;
+    let payload_end = file_len
+        .checked_sub(TRAILER_LEN)
+        .ok_or_else(|| StreamError::corrupt("file too short for a trailer"))?;
+    if footer_off < HEADER_LEN || end != payload_end {
+        return Err(StreamError::corrupt(format!(
+            "footer range {footer_off}..{end} inconsistent with file length {file_len}"
+        )));
+    }
+    Ok((footer_off, footer_len, footer_crc))
+}

@@ -1,0 +1,280 @@
+//! Out-of-core container reader.
+
+use crate::byte_source::{ByteSource, FileSource};
+use crate::crc::crc32;
+use crate::error::{to_codec, Result, StreamError};
+use crate::format::{
+    parse_footer, parse_trailer, EntryRecord, SectionLoc, CONTAINER_MAGIC, CONTAINER_VERSION,
+    HEADER_LEN, TRAILER_LEN,
+};
+use std::borrow::Cow;
+use std::marker::PhantomData;
+use std::path::Path;
+use stz_codec::CodecError;
+use stz_core::archive::ArchiveHeader;
+use stz_core::random_access::AccessBreakdown;
+use stz_core::{ProgressiveDecoder, SectionSource, StzArchive};
+use stz_field::{Dims, Field, Region, Scalar};
+
+/// A container opened over any [`ByteSource`].
+///
+/// Opening reads two small ranges — the fixed trailer, then the footer index
+/// — and *nothing else*: payload bytes are fetched lazily, per section, by
+/// the queries served through [`EntryReader`]. Every fetched section is
+/// CRC-verified before it is decoded.
+#[derive(Debug)]
+pub struct ContainerReader<S: ByteSource> {
+    source: S,
+    entries: Vec<EntryRecord>,
+}
+
+impl ContainerReader<FileSource> {
+    /// Open a container file from disk.
+    pub fn open_path(path: impl AsRef<Path>) -> Result<Self> {
+        ContainerReader::open(FileSource::open(path)?)
+    }
+}
+
+impl<S: ByteSource> ContainerReader<S> {
+    /// Open a container over `source`: validate the header, locate and
+    /// verify the footer, and parse the entry index.
+    pub fn open(source: S) -> Result<Self> {
+        let file_len = source.len();
+        if file_len < HEADER_LEN + TRAILER_LEN {
+            return Err(StreamError::corrupt(format!(
+                "file of {file_len} bytes is too short to be a container"
+            )));
+        }
+        let mut header = [0u8; HEADER_LEN as usize];
+        source.read_exact_at(0, &mut header)?;
+        if header[0..4] != CONTAINER_MAGIC {
+            return Err(StreamError::corrupt("bad container magic"));
+        }
+        if header[4] != CONTAINER_VERSION {
+            return Err(StreamError::unsupported(format!(
+                "container format version {}",
+                header[4]
+            )));
+        }
+        let mut trailer = [0u8; TRAILER_LEN as usize];
+        source.read_exact_at(file_len - TRAILER_LEN, &mut trailer)?;
+        let (footer_off, footer_len, footer_crc) = parse_trailer(&trailer, file_len)?;
+        let mut footer = vec![0u8; footer_len as usize];
+        source.read_exact_at(footer_off, &mut footer)?;
+        if crc32(&footer) != footer_crc {
+            return Err(StreamError::corrupt("footer checksum mismatch"));
+        }
+        let entries = parse_footer(&footer, file_len)?;
+        Ok(ContainerReader { source, entries })
+    }
+
+    /// Number of entries.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Metadata of every entry, in container order.
+    pub fn entries(&self) -> impl Iterator<Item = EntryMeta<'_>> {
+        self.entries.iter().map(EntryMeta::new)
+    }
+
+    /// Metadata of entry `index`.
+    pub fn entry_meta(&self, index: usize) -> Option<EntryMeta<'_>> {
+        self.entries.get(index).map(EntryMeta::new)
+    }
+
+    /// Index of the entry named `name`.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.name == name)
+    }
+
+    /// A typed reader over entry `index`; fails if the entry's element type
+    /// is not `T`.
+    pub fn entry<T: Scalar>(&self, index: usize) -> Result<EntryReader<'_, T, S>> {
+        let record = self.entries.get(index).ok_or_else(|| {
+            StreamError::corrupt(format!(
+                "entry index {index} out of range ({} entries)",
+                self.entries.len()
+            ))
+        })?;
+        if record.header.type_tag != T::TYPE_TAG {
+            return Err(StreamError::corrupt(format!(
+                "entry {:?} element type tag {} does not match requested type",
+                record.name, record.header.type_tag
+            )));
+        }
+        Ok(EntryReader { source: &self.source, record, _marker: PhantomData })
+    }
+
+    /// A typed reader over the entry named `name`.
+    pub fn entry_by_name<T: Scalar>(&self, name: &str) -> Result<EntryReader<'_, T, S>> {
+        let index = self
+            .find(name)
+            .ok_or_else(|| StreamError::corrupt(format!("no entry named {name:?}")))?;
+        self.entry(index)
+    }
+
+    /// The underlying byte source (e.g. to inspect a
+    /// [`CountingSource`](crate::byte_source::CountingSource)'s tallies).
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// Consume the reader, returning the source.
+    pub fn into_source(self) -> S {
+        self.source
+    }
+}
+
+/// Metadata view of one entry (no payload reads).
+#[derive(Debug, Clone, Copy)]
+pub struct EntryMeta<'a> {
+    record: &'a EntryRecord,
+}
+
+impl<'a> EntryMeta<'a> {
+    fn new(record: &'a EntryRecord) -> Self {
+        EntryMeta { record }
+    }
+
+    pub fn name(&self) -> &'a str {
+        &self.record.name
+    }
+
+    pub fn header(&self) -> &'a ArchiveHeader {
+        &self.record.header
+    }
+
+    pub fn dims(&self) -> Dims {
+        self.record.header.dims
+    }
+
+    /// Element type tag (0 = `f32`, 1 = `f64`).
+    pub fn type_tag(&self) -> u8 {
+        self.record.header.type_tag
+    }
+
+    /// Compressed payload size in bytes.
+    pub fn compressed_len(&self) -> u64 {
+        self.record.payload.len
+    }
+
+    /// Compressed bytes needed to preview through level `k`.
+    pub fn bytes_through_level(&self, k: u8) -> u64 {
+        self.record.bytes_through_level(k)
+    }
+}
+
+/// Typed, lazily fetching view of one container entry.
+///
+/// Implements [`SectionSource`], so `stz-core`'s full, progressive and
+/// random-access decompression drivers run against it directly — each
+/// [`SectionSource::block_bytes`] call becomes one positioned read of
+/// exactly that sub-block's range, CRC-verified. The drivers already skip
+/// blocks a query does not need, so the skipped bytes are never read from
+/// the source at all.
+#[derive(Debug)]
+pub struct EntryReader<'a, T: Scalar, S: ByteSource> {
+    source: &'a S,
+    record: &'a EntryRecord,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Scalar, S: ByteSource> EntryReader<'_, T, S> {
+    /// Fetch and CRC-verify one indexed section.
+    fn fetch(&self, loc: &SectionLoc, what: &str) -> Result<Vec<u8>> {
+        let len = usize::try_from(loc.len)
+            .map_err(|_| StreamError::corrupt(format!("{what} section too large")))?;
+        let mut buf = vec![0u8; len];
+        self.source.read_exact_at(loc.off, &mut buf)?;
+        if crc32(&buf) != loc.crc {
+            return Err(StreamError::corrupt(format!(
+                "{what} checksum mismatch at {}..{}",
+                loc.off,
+                loc.off + loc.len
+            )));
+        }
+        Ok(buf)
+    }
+
+    /// Entry name.
+    pub fn name(&self) -> &str {
+        &self.record.name
+    }
+
+    /// Grid extents of the encoded field.
+    pub fn dims(&self) -> Dims {
+        self.record.header.dims
+    }
+
+    /// Compressed payload size in bytes.
+    pub fn compressed_len(&self) -> u64 {
+        self.record.payload.len
+    }
+
+    /// Full decompression (reads the whole payload, section by section).
+    pub fn decompress(&self) -> Result<Field<T>> {
+        stz_core::source::decompress::<T, Self>(self, false).map_err(StreamError::Codec)
+    }
+
+    /// Full decompression using the thread pool.
+    pub fn decompress_parallel(&self) -> Result<Field<T>> {
+        stz_core::source::decompress::<T, Self>(self, true).map_err(StreamError::Codec)
+    }
+
+    /// Progressive preview through level `k`, reading only levels `1..=k`.
+    pub fn decompress_level(&self, k: u8) -> Result<Field<T>> {
+        stz_core::source::decompress_level::<T, Self>(self, k).map_err(StreamError::Codec)
+    }
+
+    /// Random-access decompression of `region`, reading only the level-1
+    /// stream plus intersecting sub-blocks.
+    pub fn decompress_region(&self, region: &Region) -> Result<Field<T>> {
+        self.decompress_region_with_breakdown(region).map(|(f, _)| f)
+    }
+
+    /// Random-access decompression with per-stage timings.
+    pub fn decompress_region_with_breakdown(
+        &self,
+        region: &Region,
+    ) -> Result<(Field<T>, AccessBreakdown)> {
+        stz_core::source::decompress_region::<T, Self>(self, region).map_err(StreamError::Codec)
+    }
+
+    /// Incremental coarse-to-fine decoder over this entry.
+    pub fn progressive(&self) -> ProgressiveDecoder<'_, T, Self> {
+        ProgressiveDecoder::new(self)
+    }
+
+    /// Fetch the whole payload and rebuild the resident [`StzArchive`]
+    /// (verified against the entry's whole-payload checksum).
+    pub fn read_archive(&self) -> Result<StzArchive<T>> {
+        let bytes = self.fetch(&self.record.payload, "payload")?;
+        StzArchive::from_bytes(bytes).map_err(StreamError::Codec)
+    }
+}
+
+impl<T: Scalar, S: ByteSource> SectionSource for EntryReader<'_, T, S> {
+    fn header(&self) -> &ArchiveHeader {
+        &self.record.header
+    }
+
+    fn l1_bytes(&self) -> stz_codec::Result<Cow<'_, [u8]>> {
+        self.fetch(&self.record.l1, "level-1").map(Cow::Owned).map_err(to_codec)
+    }
+
+    fn block_bytes(&self, level: u8, i: usize) -> stz_codec::Result<Cow<'_, [u8]>> {
+        let loc = (level as usize)
+            .checked_sub(2)
+            .and_then(|k| self.record.blocks.get(k))
+            .and_then(|blocks| blocks.get(i))
+            .ok_or_else(|| {
+                CodecError::corrupt(format!("no sub-block {i} at level {level} in index"))
+            })?;
+        self.fetch(loc, "sub-block").map(Cow::Owned).map_err(to_codec)
+    }
+
+    fn bytes_through_level(&self, k: u8) -> usize {
+        self.record.bytes_through_level(k) as usize
+    }
+}

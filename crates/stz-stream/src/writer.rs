@@ -1,0 +1,131 @@
+//! Incremental container writer.
+
+use crate::crc::{crc32, Crc32};
+use crate::error::Result;
+use crate::format::{
+    encode_footer, encode_trailer, EntryRecord, SectionLoc, CONTAINER_MAGIC, CONTAINER_VERSION,
+};
+use std::io::Write;
+use std::path::Path;
+use stz_core::StzArchive;
+use stz_field::Scalar;
+
+/// Chunk size for streaming payload bytes to the sink.
+const COPY_CHUNK: usize = 64 * 1024;
+
+/// Streams STZ archives into a container with bounded memory.
+///
+/// Entries are written strictly forward — payload bytes go to the sink in
+/// [`COPY_CHUNK`]-sized pieces and are never buffered whole — while the
+/// writer accumulates only the per-entry index records (a few hundred bytes
+/// each). Packing a long time-step sequence therefore needs memory
+/// proportional to *one* archive (the one currently being added), not the
+/// dataset: compress a step, [`add_archive`](ContainerWriter::add_archive)
+/// it, drop it, repeat.
+///
+/// [`finish`](ContainerWriter::finish) writes the footer index and trailer;
+/// a container without a trailer (writer crashed mid-stream) is rejected by
+/// the reader.
+#[derive(Debug)]
+pub struct ContainerWriter<W: Write> {
+    out: W,
+    /// Absolute offset of the next byte to be written.
+    pos: u64,
+    entries: Vec<EntryRecord>,
+}
+
+impl<W: Write> ContainerWriter<W> {
+    /// Start a container on `out` (writes the 8-byte file header).
+    pub fn new(mut out: W) -> Result<Self> {
+        out.write_all(&CONTAINER_MAGIC)?;
+        out.write_all(&[CONTAINER_VERSION, 0, 0, 0])?;
+        Ok(ContainerWriter { out, pos: crate::format::HEADER_LEN, entries: Vec::new() })
+    }
+
+    /// Number of entries added so far.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Append one archive as entry `name`.
+    ///
+    /// The archive's section layout (level-1 stream, per-level sub-block
+    /// streams) is indexed and checksummed from its existing layout
+    /// accessors; the payload bytes are copied through verbatim, so a
+    /// container entry decompresses bit-identically to the archive it came
+    /// from.
+    pub fn add_archive<T: Scalar>(&mut self, name: &str, archive: &StzArchive<T>) -> Result<()> {
+        let bytes = archive.as_bytes();
+        let base = self.pos;
+
+        // Index every independently fetchable section, relative to `base`.
+        let abs = |r: std::ops::Range<usize>| -> SectionLoc {
+            SectionLoc {
+                off: base + r.start as u64,
+                len: (r.end - r.start) as u64,
+                crc: crc32(&bytes[r]),
+            }
+        };
+        let l1 = abs(archive.l1_range());
+        let plan = archive.plan();
+        let mut blocks = Vec::with_capacity(archive.num_levels() as usize - 1);
+        for level in &plan.levels[1..] {
+            let level_blocks: Vec<SectionLoc> =
+                (0..level.blocks.len()).map(|i| abs(archive.block_range(level.index, i))).collect();
+            blocks.push(level_blocks);
+        }
+
+        // Stream the payload out in bounded chunks.
+        let mut payload_crc = Crc32::new();
+        for chunk in bytes.chunks(COPY_CHUNK) {
+            payload_crc.update(chunk);
+            self.out.write_all(chunk)?;
+        }
+        self.pos += bytes.len() as u64;
+
+        self.entries.push(EntryRecord {
+            name: name.to_string(),
+            header: archive.header().clone(),
+            payload: SectionLoc { off: base, len: bytes.len() as u64, crc: payload_crc.finish() },
+            l1,
+            blocks,
+        });
+        Ok(())
+    }
+
+    /// Write the footer and trailer, returning the sink.
+    pub fn finish(mut self) -> Result<W> {
+        let footer = encode_footer(&self.entries);
+        let footer_off = self.pos;
+        self.out.write_all(&footer)?;
+        let trailer = encode_trailer(footer_off, footer.len() as u64, crc32(&footer));
+        self.out.write_all(&trailer)?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Pack archives into a container file at `path` (single-shot convenience;
+/// for bounded-memory packing of many entries, drive a [`ContainerWriter`]
+/// directly and drop each archive after adding it).
+pub fn pack_to_file<T: Scalar>(
+    path: impl AsRef<Path>,
+    entries: &[(&str, &StzArchive<T>)],
+) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = ContainerWriter::new(std::io::BufWriter::new(file))?;
+    for (name, archive) in entries {
+        w.add_archive(name, archive)?;
+    }
+    w.finish()?;
+    Ok(())
+}
+
+/// Pack archives into an in-memory container image.
+pub fn pack_to_vec<T: Scalar>(entries: &[(&str, &StzArchive<T>)]) -> Result<Vec<u8>> {
+    let mut w = ContainerWriter::new(Vec::new())?;
+    for (name, archive) in entries {
+        w.add_archive(name, archive)?;
+    }
+    w.finish()
+}

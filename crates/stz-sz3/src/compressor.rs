@@ -73,13 +73,8 @@ pub fn compress_full<T: Scalar>(
     }
 
     let mut w = ByteWriter::with_capacity(symbols.len() / 2 + 64);
-    let header = Header {
-        dims,
-        type_tag: T::TYPE_TAG,
-        eb,
-        radius: config.radius,
-        interp: config.interp,
-    };
+    let header =
+        Header { dims, type_tag: T::TYPE_TAG, eb, radius: config.radius, interp: config.interp };
     stream::write_header(&mut w, &header);
     let code_block = huffman::encode_block(&symbols);
     let code_bytes = code_block.len();
@@ -286,12 +281,7 @@ mod tests {
         let f = smooth_3d(32);
         let cubic = compress(&f, &Sz3Config::absolute(1e-3));
         let linear = compress(&f, &Sz3Config::absolute(1e-3).with_interp(InterpKind::Linear));
-        assert!(
-            cubic.len() < linear.len(),
-            "cubic {} vs linear {}",
-            cubic.len(),
-            linear.len()
-        );
+        assert!(cubic.len() < linear.len(), "cubic {} vs linear {}", cubic.len(), linear.len());
     }
 
     #[test]
@@ -324,7 +314,10 @@ mod tests {
     fn relative_bound_respects_range() {
         let f = smooth_3d(16).map(|v| v * 1000.0);
         let rel = 1e-4;
-        let bytes = compress(&f, &Sz3Config { eb: ErrorBound::Relative(rel), ..Sz3Config::absolute(0.0_f64.max(1.0)) });
+        let bytes = compress(
+            &f,
+            &Sz3Config { eb: ErrorBound::Relative(rel), ..Sz3Config::absolute(0.0_f64.max(1.0)) },
+        );
         let back: Field<f32> = decompress(&bytes).unwrap();
         let (lo, hi) = f.value_range();
         assert!(max_err(&f, &back) <= rel * (hi - lo) * (1.0 + 1e-9));

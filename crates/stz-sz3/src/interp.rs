@@ -35,7 +35,13 @@ pub fn linear2(a: f64, b: f64) -> f64 {
 /// degrades gracefully: cubic → linear → copy of the left neighbour,
 /// matching the reference SZ3 boundary handling.
 #[inline]
-pub fn predict_1d(at: impl Fn(usize) -> f64, t: usize, s: usize, n: usize, kind: InterpKind) -> f64 {
+pub fn predict_1d(
+    at: impl Fn(usize) -> f64,
+    t: usize,
+    s: usize,
+    n: usize,
+    kind: InterpKind,
+) -> f64 {
     debug_assert!(t >= s);
     let has_right = t + s < n;
     if !has_right {

@@ -201,9 +201,6 @@ mod tests {
         write_outliers(&mut w, &vals);
         let bytes = w.finish();
         let mut r = ByteReader::new(&bytes[..bytes.len() - 1]);
-        assert!(matches!(
-            read_outliers::<f64>(&mut r),
-            Err(CodecError::UnexpectedEof { .. })
-        ));
+        assert!(matches!(read_outliers::<f64>(&mut r), Err(CodecError::UnexpectedEof { .. })));
     }
 }

@@ -59,7 +59,12 @@ pub fn encode_planes(coeffs: &[u64], intprec: u32, kmin: u32, w: &mut BitWriter)
 
 /// Decode planes `kmin..intprec` into `coeffs` (must be zero-initialized,
 /// same length as at encode time).
-pub fn decode_planes(coeffs: &mut [u64], intprec: u32, kmin: u32, r: &mut BitReader<'_>) -> Result<()> {
+pub fn decode_planes(
+    coeffs: &mut [u64],
+    intprec: u32,
+    kmin: u32,
+    r: &mut BitReader<'_>,
+) -> Result<()> {
     let size = coeffs.len();
     debug_assert!(size <= 64);
     let mut n = 0usize;
@@ -134,9 +139,8 @@ mod tests {
 
     #[test]
     fn full_64_coefficients() {
-        let coeffs: Vec<u64> = (0..64u64)
-            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 30)
-            .collect();
+        let coeffs: Vec<u64> =
+            (0..64u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 30).collect();
         assert_eq!(roundtrip(&coeffs, 36, 0), coeffs);
     }
 

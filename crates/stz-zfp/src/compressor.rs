@@ -2,9 +2,7 @@
 //! access.
 
 use crate::bitplane::{decode_planes, encode_planes};
-use crate::block::{
-    block_origin, blocks_in_region, gather_block, num_blocks, scatter_block,
-};
+use crate::block::{block_origin, blocks_in_region, gather_block, num_blocks, scatter_block};
 use crate::transform::{fwd_xform, int_to_uint, inv_xform, sequency_order, uint_to_int, BS};
 use stz_codec::{BitReader, BitWriter, ByteReader, ByteWriter, CodecError, Result};
 use stz_field::{Dims, Field, Region, Scalar};
@@ -161,6 +159,7 @@ fn kmin_for(tolerance: f64, scale: f64, intprec: u32) -> u32 {
     k.clamp(0, intprec as i32) as u32
 }
 
+#[allow(clippy::too_many_arguments)]
 fn decode_one_block<T: Scalar>(
     fblock: &mut [f64],
     iblock: &mut [i64],
@@ -358,9 +357,7 @@ mod tests {
 
     #[test]
     fn roundtrip_f64() {
-        let f = Field::from_fn(Dims::d3(9, 9, 9), |z, y, x| {
-            ((z + y + x) as f64 * 0.1).sin() * 1e8
-        });
+        let f = Field::from_fn(Dims::d3(9, 9, 9), |z, y, x| ((z + y + x) as f64 * 0.1).sin() * 1e8);
         let tol = 1.0;
         let bytes = compress(&f, &ZfpConfig::new(tol));
         let back: Field<f64> = decompress(&bytes).unwrap();

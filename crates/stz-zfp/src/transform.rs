@@ -141,12 +141,8 @@ pub fn inv_xform(block: &mut [i64], ndim: u8) {
 
 #[inline]
 fn lift_axis(block: &mut [i64], base: usize, stride: usize) {
-    let mut v = [
-        block[base],
-        block[base + stride],
-        block[base + 2 * stride],
-        block[base + 3 * stride],
-    ];
+    let mut v =
+        [block[base], block[base + stride], block[base + 2 * stride], block[base + 3 * stride]];
     fwd_lift4(&mut v);
     block[base] = v[0];
     block[base + stride] = v[1];
@@ -156,12 +152,8 @@ fn lift_axis(block: &mut [i64], base: usize, stride: usize) {
 
 #[inline]
 fn unlift_axis(block: &mut [i64], base: usize, stride: usize) {
-    let mut v = [
-        block[base],
-        block[base + stride],
-        block[base + 2 * stride],
-        block[base + 3 * stride],
-    ];
+    let mut v =
+        [block[base], block[base + stride], block[base + 2 * stride], block[base + 3 * stride]];
     inv_lift4(&mut v);
     block[base] = v[0];
     block[base + stride] = v[1];

@@ -21,32 +21,54 @@ fn main() {
     );
 
     // STZ (this crate).
-    run("STZ", &field, eb, |f, e| {
-        StzCompressor::new(StzConfig::three_level(e))
-            .compress(f)
-            .expect("compress")
-            .into_bytes()
-    }, |b| StzArchive::<f32>::from_bytes(b.to_vec()).and_then(|a| a.decompress()));
+    run(
+        "STZ",
+        &field,
+        eb,
+        |f, e| {
+            StzCompressor::new(StzConfig::three_level(e))
+                .compress(f)
+                .expect("compress")
+                .into_bytes()
+        },
+        |b| StzArchive::<f32>::from_bytes(b.to_vec()).and_then(|a| a.decompress()),
+    );
 
     // SZ3-style baseline.
-    run("SZ3", &field, eb, |f, e| {
-        stz::sz3::compress(f, &stz::sz3::Sz3Config::absolute(e))
-    }, stz::sz3::decompress);
+    run(
+        "SZ3",
+        &field,
+        eb,
+        |f, e| stz::sz3::compress(f, &stz::sz3::Sz3Config::absolute(e)),
+        stz::sz3::decompress,
+    );
 
     // SPERR-style baseline.
-    run("SPERR", &field, eb, |f, e| {
-        stz::sperr::compress(f, &stz::sperr::SperrConfig::new(e))
-    }, stz::sperr::decompress);
+    run(
+        "SPERR",
+        &field,
+        eb,
+        |f, e| stz::sperr::compress(f, &stz::sperr::SperrConfig::new(e)),
+        stz::sperr::decompress,
+    );
 
     // ZFP-style baseline.
-    run("ZFP", &field, eb, |f, e| {
-        stz::zfp::compress(f, &stz::zfp::ZfpConfig::new(e))
-    }, stz::zfp::decompress);
+    run(
+        "ZFP",
+        &field,
+        eb,
+        |f, e| stz::zfp::compress(f, &stz::zfp::ZfpConfig::new(e)),
+        stz::zfp::decompress,
+    );
 
     // MGARD-style baseline.
-    run("MGARD", &field, eb, |f, e| {
-        stz::mgard::compress(f, &stz::mgard::MgardConfig::new(e))
-    }, stz::mgard::decompress);
+    run(
+        "MGARD",
+        &field,
+        eb,
+        |f, e| stz::mgard::compress(f, &stz::mgard::MgardConfig::new(e)),
+        stz::mgard::decompress,
+    );
 }
 
 fn run(

@@ -13,9 +13,8 @@ fn main() {
     let dims = Dims::d3(96, 96, 96);
     let field: Field<f32> = synth::miranda_like(dims, 7);
 
-    let archive = StzCompressor::new(StzConfig::three_level(5e-3))
-        .compress(&field)
-        .expect("compression");
+    let archive =
+        StzCompressor::new(StzConfig::three_level(5e-3)).compress(&field).expect("compression");
     println!(
         "archive: {} bytes for {} (CR {:.1}x)",
         archive.compressed_len(),

@@ -14,9 +14,8 @@ fn main() {
     // A cosmology-like field: quiet background plus a few dense halos.
     let dims = Dims::d3(64, 64, 64);
     let field: Field<f32> = synth::nyx_like(dims, 11);
-    let archive = StzCompressor::new(StzConfig::three_level(1e-2))
-        .compress(&field)
-        .expect("compression");
+    let archive =
+        StzCompressor::new(StzConfig::three_level(1e-2)).compress(&field).expect("compression");
 
     // 1. Coarse preview (levels 1–2 = 1/8 of the points).
     let preview = archive.decompress_level(2).expect("preview");
@@ -36,9 +35,8 @@ fn main() {
     let mut peak = f32::NEG_INFINITY;
     for tile in &tiles {
         let region = roi::upscale_region(&tile.dilate(1, preview.dims()), stride, dims);
-        let (roi_field, breakdown) = archive
-            .decompress_region_with_breakdown(&region)
-            .expect("random access");
+        let (roi_field, breakdown) =
+            archive.decompress_region_with_breakdown(&region).expect("random access");
         fetched_points += roi_field.len();
         let (_, hi) = roi_field.value_range();
         peak = peak.max(hi as f32);

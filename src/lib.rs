@@ -32,11 +32,12 @@ pub use stz_data as data;
 pub use stz_field as field;
 pub use stz_mgard as mgard;
 pub use stz_sperr as sperr;
+pub use stz_stream as stream;
 pub use stz_sz3 as sz3;
 pub use stz_zfp as zfp;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use stz_core::{StzArchive, StzCompressor, StzConfig};
+    pub use stz_core::{SectionSource, StzArchive, StzCompressor, StzConfig};
     pub use stz_field::{Dims, Field, Region, Scalar};
 }

@@ -1,0 +1,247 @@
+//! Integration tests for the stz-stream out-of-core container:
+//!
+//! * disk-backed decompression (full / progressive / ROI) is bit-identical
+//!   to the in-memory `StzArchive` path;
+//! * sub-volume ROI and preview queries read strictly fewer bytes than the
+//!   archive, measured through a byte-counting source;
+//! * corrupt containers — bad magic, flipped payload or footer bytes,
+//!   truncations — yield errors, never panics.
+
+use stz::data::synth;
+use stz::prelude::*;
+use stz::stream::{format, pack_to_vec, ContainerReader, CountingSource, FileSource, MemorySource};
+
+fn f32_archive(dims: Dims, seed: u64) -> (Field<f32>, StzArchive<f32>) {
+    let f = synth::miranda_like(dims, seed);
+    let a = StzCompressor::new(StzConfig::three_level(1e-3)).compress(&f).unwrap();
+    (f, a)
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("stz_container_test_{}_{tag}.stzc", std::process::id()))
+}
+
+#[test]
+fn disk_roundtrip_matches_memory_path() {
+    let dims = Dims::d3(24, 20, 28);
+    let (_, a0) = f32_archive(dims, 11);
+    let (_, a1) = f32_archive(dims, 12);
+    let path = temp_path("roundtrip");
+    stz::stream::pack_to_file(&path, &[("t0", &a0), ("t1", &a1)]).unwrap();
+
+    let reader = ContainerReader::open_path(&path).unwrap();
+    assert_eq!(reader.entry_count(), 2);
+    for (i, a) in [&a0, &a1].into_iter().enumerate() {
+        let entry = reader.entry::<f32>(i).unwrap();
+        // Full decompression.
+        assert_eq!(entry.decompress().unwrap(), a.decompress().unwrap());
+        // Every progressive level.
+        for k in 1..=a.num_levels() {
+            assert_eq!(
+                entry.decompress_level(k).unwrap(),
+                a.decompress_level(k).unwrap(),
+                "entry {i} level {k}"
+            );
+        }
+        // Incremental progressive decoder.
+        let mut disk = entry.progressive();
+        let mut mem = a.progressive();
+        while let Some(dp) = disk.next_level().unwrap() {
+            assert_eq!(dp, mem.next_level().unwrap().unwrap());
+            assert_eq!(disk.next_bytes(), mem.next_bytes());
+        }
+        // Regions of every flavor.
+        for region in [
+            Region::d3(3..9, 5..12, 7..20),
+            Region::slice_z(dims, 8),
+            Region::slice_z(dims, 9),
+            Region::full(dims),
+            Region::d3(23..24, 19..20, 27..28),
+        ] {
+            assert_eq!(
+                entry.decompress_region(&region).unwrap(),
+                a.decompress_region(&region).unwrap(),
+                "entry {i} region {region:?}"
+            );
+        }
+        // Payload round-trips bit-identically.
+        assert_eq!(entry.read_archive().unwrap().as_bytes(), a.as_bytes());
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn f64_entries_roundtrip() {
+    let dims = Dims::d3(18, 18, 18);
+    let f: Field<f64> = synth::warpx_like(dims, 5);
+    let a = StzCompressor::new(StzConfig::three_level_relative(1e-5)).compress(&f).unwrap();
+    let image = pack_to_vec(&[("w", &a)]).unwrap();
+    let reader = ContainerReader::open(MemorySource::new(image)).unwrap();
+    let entry = reader.entry_by_name::<f64>("w").unwrap();
+    assert_eq!(entry.decompress().unwrap(), a.decompress().unwrap());
+    let region = Region::d3(4..10, 0..18, 2..9);
+    assert_eq!(entry.decompress_region(&region).unwrap(), a.decompress_region(&region).unwrap());
+}
+
+/// The acceptance bar for the out-of-core subsystem: disk-backed
+/// `decompress_region` must read strictly fewer bytes than the full archive
+/// for sub-volume ROIs, with bit-identical output.
+#[test]
+fn roi_reads_strictly_fewer_bytes_than_archive() {
+    let dims = Dims::d3(32, 32, 32);
+    let (_, a) = f32_archive(dims, 21);
+    let archive_len = a.compressed_len() as u64;
+    let path = temp_path("counting");
+    stz::stream::pack_to_file(&path, &[("field", &a)]).unwrap();
+
+    let reader =
+        ContainerReader::open(CountingSource::new(FileSource::open(&path).unwrap())).unwrap();
+    let entry = reader.entry::<f32>(0).unwrap();
+
+    for region in [
+        Region::d3(0..8, 0..8, 0..8),
+        Region::d3(10..22, 10..22, 10..22),
+        Region::slice_z(dims, 15),
+        Region::slice_z(dims, 16),
+        Region::d3(0..1, 0..1, 0..32),
+    ] {
+        reader.source().reset();
+        let roi = entry.decompress_region(&region).unwrap();
+        let bytes = reader.source().bytes_read();
+        assert!(
+            bytes < archive_len,
+            "region {region:?} read {bytes} bytes, archive is {archive_len}"
+        );
+        assert_eq!(roi, a.decompress_region(&region).unwrap(), "region {region:?}");
+    }
+
+    // 2-D slices additionally skip whole sub-blocks by parity: well under
+    // the full archive, not just "strictly fewer".
+    reader.source().reset();
+    entry.decompress_region(&Region::slice_z(dims, 16)).unwrap();
+    assert!(
+        reader.source().bytes_read() < archive_len * 3 / 4,
+        "slice read {} of {archive_len} bytes — parity skipping not engaged",
+        reader.source().bytes_read()
+    );
+
+    // Progressive previews cost ~bytes_through_level, far below the archive.
+    reader.source().reset();
+    let p1 = entry.decompress_level(1).unwrap();
+    let preview_bytes = reader.source().bytes_read();
+    assert_eq!(p1, a.decompress_level(1).unwrap());
+    assert!(
+        preview_bytes < archive_len / 8,
+        "level-1 preview read {preview_bytes} of {archive_len} bytes"
+    );
+    assert!(preview_bytes >= a.bytes_through_level(1) as u64);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bad_magic_rejected() {
+    let (_, a) = f32_archive(Dims::d3(12, 12, 12), 3);
+    let mut image = pack_to_vec(&[("x", &a)]).unwrap();
+    image[0] ^= 0xFF;
+    assert!(ContainerReader::open(MemorySource::new(image)).is_err());
+
+    // A bare archive is not a container either.
+    assert!(ContainerReader::open(MemorySource::new(a.as_bytes().to_vec())).is_err());
+}
+
+#[test]
+fn unsupported_version_rejected() {
+    let (_, a) = f32_archive(Dims::d3(12, 12, 12), 3);
+    let mut image = pack_to_vec(&[("x", &a)]).unwrap();
+    image[4] = 99;
+    assert!(ContainerReader::open(MemorySource::new(image)).is_err());
+}
+
+#[test]
+fn bad_trailer_magic_rejected() {
+    let (_, a) = f32_archive(Dims::d3(12, 12, 12), 3);
+    let mut image = pack_to_vec(&[("x", &a)]).unwrap();
+    let n = image.len();
+    image[n - 1] ^= 0xA5;
+    assert!(ContainerReader::open(MemorySource::new(image)).is_err());
+}
+
+#[test]
+fn payload_corruption_caught_by_checksums() {
+    let (_, a) = f32_archive(Dims::d3(14, 13, 12), 9);
+    let image = pack_to_vec(&[("x", &a)]).unwrap();
+    // Payload spans HEADER_LEN..footer_off (one entry, written first).
+    let trailer: [u8; 24] = image[image.len() - 24..].try_into().unwrap();
+    let (footer_off, _, _) = format::parse_trailer(&trailer, image.len() as u64).unwrap();
+    let payload = format::HEADER_LEN as usize..footer_off as usize;
+
+    let expected = a.decompress().unwrap();
+    let mut section_flips = 0usize;
+    let step = (payload.len() / 151).max(1);
+    for pos in payload.clone().step_by(step) {
+        let mut corrupted = image.clone();
+        corrupted[pos] ^= 0xA5;
+        // The index is intact, so the container still opens…
+        let reader = ContainerReader::open(MemorySource::new(corrupted)).unwrap();
+        let entry = reader.entry::<f32>(0).unwrap();
+        // …but the whole-payload checksum always catches the flip…
+        assert!(
+            entry.read_archive().is_err(),
+            "flip at payload byte {pos} not caught by the payload checksum"
+        );
+        // …and section-based decompression either hits a section CRC (flip
+        // inside an indexed section) or is untouched by construction (flip
+        // in the embedded archive's header/framing bytes, which the
+        // footer-driven reader never fetches).
+        match entry.decompress() {
+            Err(_) => section_flips += 1,
+            Ok(field) => assert_eq!(
+                field, expected,
+                "flip at payload byte {pos} silently changed the output"
+            ),
+        }
+    }
+    assert!(section_flips > 0, "sweep never hit an indexed section");
+}
+
+#[test]
+fn footer_corruption_rejected() {
+    let (_, a) = f32_archive(Dims::d3(14, 13, 12), 9);
+    let image = pack_to_vec(&[("x", &a)]).unwrap();
+    let trailer: [u8; 24] = image[image.len() - 24..].try_into().unwrap();
+    let (footer_off, footer_len, _) = format::parse_trailer(&trailer, image.len() as u64).unwrap();
+    for pos in footer_off..footer_off + footer_len {
+        let mut corrupted = image.clone();
+        corrupted[pos as usize] ^= 0x5A;
+        assert!(
+            ContainerReader::open(MemorySource::new(corrupted)).is_err(),
+            "footer flip at {pos} went undetected"
+        );
+    }
+}
+
+#[test]
+fn truncation_never_panics() {
+    let (_, a) = f32_archive(Dims::d3(14, 13, 12), 9);
+    let image = pack_to_vec(&[("x", &a)]).unwrap();
+    // Every truncation point near the tail (trailer + footer), stepped
+    // sweep elsewhere: all must error (the trailer is gone), never panic.
+    let tail_start = image.len().saturating_sub(128);
+    let step = (image.len() / 97).max(1);
+    let cuts = (0..image.len()).step_by(step).chain(tail_start..image.len());
+    for cut in cuts {
+        assert!(
+            ContainerReader::open(MemorySource::new(image[..cut].to_vec())).is_err(),
+            "truncation to {cut} bytes did not error"
+        );
+    }
+}
+
+#[test]
+fn empty_container_roundtrips() {
+    let image = pack_to_vec::<f32>(&[]).unwrap();
+    let reader = ContainerReader::open(MemorySource::new(image)).unwrap();
+    assert_eq!(reader.entry_count(), 0);
+    assert!(reader.entry::<f32>(0).is_err());
+}

@@ -9,10 +9,7 @@ fn sample_archives() -> Vec<(&'static str, Vec<u8>)> {
     vec![
         (
             "stz",
-            StzCompressor::new(StzConfig::three_level(1e-3))
-                .compress(&f)
-                .unwrap()
-                .into_bytes(),
+            StzCompressor::new(StzConfig::three_level(1e-3)).compress(&f).unwrap().into_bytes(),
         ),
         ("sz3", stz::sz3::compress(&f, &stz::sz3::Sz3Config::absolute(1e-3))),
         ("sperr", stz::sperr::compress(&f, &stz::sperr::SperrConfig::new(1e-3))),
@@ -87,10 +84,7 @@ fn header_bomb_dims_rejected_without_allocation() {
     // A forged header claiming absurd dims must be rejected before any
     // proportional allocation happens (the MAX_POINTS cap).
     let f = synth::miranda_like(Dims::d3(8, 8, 8), 2);
-    let bytes = StzCompressor::new(StzConfig::three_level(1e-3))
-        .compress(&f)
-        .unwrap()
-        .into_bytes();
+    let bytes = StzCompressor::new(StzConfig::three_level(1e-3)).compress(&f).unwrap().into_bytes();
     // dims live right after magic+version+type+ndim = byte 7 onwards as
     // uvarints; overwrite with huge varints.
     let mut forged = bytes.clone();
@@ -99,6 +93,71 @@ fn header_bomb_dims_rejected_without_allocation() {
     forged[9] = 0xFF;
     let r = StzArchive::<f32>::from_bytes(forged);
     assert!(r.is_err());
+}
+
+#[test]
+fn from_bytes_truncation_exhaustive() {
+    // Parsing catalogues every section without touching entropy-coded
+    // payloads, so sweeping *every* prefix is cheap — and none may panic.
+    // Anything shorter than the full stream must be rejected (the parser
+    // demands zero trailing bytes and complete framing).
+    let f = synth::miranda_like(Dims::d3(10, 11, 12), 31);
+    let bytes = StzCompressor::new(StzConfig::three_level(1e-3)).compress(&f).unwrap().into_bytes();
+    for cut in 0..bytes.len() {
+        assert!(
+            StzArchive::<f32>::from_bytes(bytes[..cut].to_vec()).is_err(),
+            "prefix of {cut} bytes parsed as a complete archive"
+        );
+    }
+    assert!(StzArchive::<f32>::from_bytes(bytes).is_ok());
+}
+
+#[test]
+fn forged_section_lengths_rejected() {
+    // A forged length prefix on the level-1 stream shifts all downstream
+    // framing; the parser must catch it (range validation), never panic or
+    // over-allocate.
+    let f = synth::miranda_like(Dims::d3(12, 12, 12), 17);
+    let a = StzCompressor::new(StzConfig::three_level(1e-3)).compress(&f).unwrap();
+    let bytes = a.as_bytes();
+    let l1 = a.l1_range();
+
+    // The varint length prefix ends one byte before the stream: setting its
+    // continuation bit splices the payload into the length itself.
+    let mut forged = bytes.to_vec();
+    forged[l1.start - 1] |= 0x80;
+    assert!(StzArchive::<f32>::from_bytes(forged).is_err());
+
+    // An absurdly long varint (all continuation bits) must be rejected too.
+    let mut forged = bytes.to_vec();
+    for k in 1..=2usize.min(l1.start) {
+        forged[l1.start - k] = 0xFF;
+    }
+    assert!(StzArchive::<f32>::from_bytes(forged).is_err());
+
+    // Same attack on a finer-level sub-block stream.
+    let b = a.block_range(2, 0);
+    let mut forged = bytes.to_vec();
+    forged[b.start - 1] |= 0x80;
+    assert!(StzArchive::<f32>::from_bytes(forged).is_err());
+}
+
+#[test]
+fn header_field_corruption_sweep_never_panics() {
+    // Flip every byte of the structural header region (everything before
+    // the level-1 stream) through several masks: parse + decode attempts
+    // must stay total.
+    let f = synth::miranda_like(Dims::d3(12, 12, 12), 23);
+    let a = StzCompressor::new(StzConfig::three_level(1e-3)).compress(&f).unwrap();
+    let bytes = a.as_bytes();
+    let header_len = a.l1_range().start;
+    for pos in 0..header_len {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut corrupted = bytes.to_vec();
+            corrupted[pos] ^= mask;
+            try_decode("stz", &corrupted);
+        }
+    }
 }
 
 #[test]

@@ -6,15 +6,18 @@ use stz::prelude::*;
 
 const REL_EB: f64 = 1e-3;
 
-fn check_f32(name: &str, codec: &str, field: &Field<f32>, bytes: &[u8], recon: &Field<f32>, eb: f64) {
+fn check_f32(
+    name: &str,
+    codec: &str,
+    field: &Field<f32>,
+    bytes: &[u8],
+    recon: &Field<f32>,
+    eb: f64,
+) {
     assert_eq!(recon.dims(), field.dims(), "{name}/{codec} dims");
     let err = metrics::max_abs_error(field, recon);
     assert!(err <= eb * (1.0 + 1e-6), "{name}/{codec}: err {err} > eb {eb}");
-    assert!(
-        bytes.len() < field.nbytes(),
-        "{name}/{codec}: no compression ({} bytes)",
-        bytes.len()
-    );
+    assert!(bytes.len() < field.nbytes(), "{name}/{codec}: no compression ({} bytes)", bytes.len());
 }
 
 fn all_fields() -> Vec<(Dataset, DatasetField)> {

@@ -61,11 +61,8 @@ fn preview_then_fetch_workflow() {
     let dims = Dims::d3(48, 48, 48);
     let (_, a) = archive(dims, 1e-2, 8);
     let preview = a.decompress_level(2).unwrap();
-    let tiles = roi::select_regions(
-        &preview,
-        [3, 3, 3],
-        RoiCriterion::TopPercent(RoiStat::MaxValue, 5.0),
-    );
+    let tiles =
+        roi::select_regions(&preview, [3, 3, 3], RoiCriterion::TopPercent(RoiStat::MaxValue, 5.0));
     assert!(!tiles.is_empty());
     let full = a.decompress().unwrap();
     for tile in tiles {
@@ -106,12 +103,9 @@ fn progressive_bytes_fraction_matches_hierarchy() {
 fn slice_access_decodes_fewer_blocks_than_box() {
     let (_, a) = archive(Dims::d3(48, 48, 48), 1e-2, 10);
     let dims = Dims::d3(48, 48, 48);
-    let (_, slice_bd) = a
-        .decompress_region_with_breakdown(&Region::slice_z(dims, 24))
-        .unwrap();
-    let (_, box_bd) = a
-        .decompress_region_with_breakdown(&Region::d3(12..36, 12..36, 12..36))
-        .unwrap();
+    let (_, slice_bd) = a.decompress_region_with_breakdown(&Region::slice_z(dims, 24)).unwrap();
+    let (_, box_bd) =
+        a.decompress_region_with_breakdown(&Region::d3(12..36, 12..36, 12..36)).unwrap();
     let finest_slice = slice_bd.levels.last().unwrap();
     let finest_box = box_bd.levels.last().unwrap();
     assert!(finest_slice.decoded_blocks < finest_box.decoded_blocks);
