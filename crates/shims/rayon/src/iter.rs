@@ -1,0 +1,210 @@
+//! Parallel iterators over the work-stealing pool.
+//!
+//! The adaptor set mirrors the slice of `rayon::iter` this workspace uses:
+//! [`IntoParallelIterator::into_par_iter`] /
+//! [`IntoParallelRefIterator::par_iter`] produce a [`ParIter`], whose
+//! `zip` / `enumerate` restructure the (cheap) item stream and whose `map`
+//! defers the (expensive) per-item function to a [`ParMap`]. Terminal
+//! operations drive the pool: the item stream is materialized sequentially,
+//! split into chunks, and the deferred function runs on the workers, with
+//! results reassembled in input order (see [`crate::pool`] for the
+//! determinism guarantees).
+
+use crate::pool::run_chunks;
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type produced.
+    type Iter;
+    /// The element type.
+    type Item: Send;
+    /// Convert `self` into a parallel iterator over the pool.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I
+where
+    I::Item: Send,
+{
+    type Iter = ParIter<I::IntoIter>;
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::IntoIter> {
+        ParIter { base: self.into_iter() }
+    }
+}
+
+/// Borrowing conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The parallel iterator type produced.
+    type Iter;
+    /// The element type (a reference into `self`).
+    type Item: Send;
+    /// A parallel iterator over borrowed elements of `self`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+    <&'data C as IntoIterator>::Item: Send,
+{
+    type Iter = ParIter<<&'data C as IntoIterator>::IntoIter>;
+    type Item = <&'data C as IntoIterator>::Item;
+    fn par_iter(&'data self) -> Self::Iter {
+        ParIter { base: self.into_iter() }
+    }
+}
+
+/// A parallel iterator before its deferred per-item function: the item
+/// stream itself is cheap (references, ranges, indices) and is materialized
+/// sequentially; parallelism applies to the function given to
+/// [`ParIter::map`].
+#[derive(Debug)]
+pub struct ParIter<I: Iterator> {
+    base: I,
+}
+
+impl<I: Iterator> ParIter<I>
+where
+    I::Item: Send,
+{
+    /// Defer `f` for parallel execution over the pool.
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        R: Send,
+        F: Fn(I::Item) -> R + Sync,
+    {
+        ParMap { base: self.base, f }
+    }
+
+    /// Pair each item with its index (order-preserving, like
+    /// `rayon`'s indexed `enumerate`).
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter { base: self.base.enumerate() }
+    }
+
+    /// Zip with another parallel iterator, pairing items positionally.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>>
+    where
+        J::Item: Send,
+    {
+        ParIter { base: self.base.zip(other.base) }
+    }
+
+    /// Reduce the items with `+` on the pool.
+    ///
+    /// Partial sums are taken over chunks whose boundaries depend only on
+    /// the item count, then folded in order — so the result is identical at
+    /// every thread count (for floating-point sums too, whose association
+    /// is fixed by the layout, though it may differ from a strictly
+    /// left-to-right sequential fold).
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<I::Item> + std::iter::Sum<S>,
+    {
+        let items: Vec<I::Item> = self.base.collect();
+        run_chunks(items, |chunk| chunk.into_iter().sum::<S>()).into_iter().sum()
+    }
+
+    /// Collect the items without a deferred function (sequential: there is
+    /// no per-item work to distribute).
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.base.collect()
+    }
+}
+
+/// A parallel iterator with its deferred per-item function; terminal
+/// operations execute the function on the pool's workers.
+#[derive(Debug)]
+pub struct ParMap<I: Iterator, F> {
+    base: I,
+    f: F,
+}
+
+impl<I: Iterator, F> ParMap<I, F>
+where
+    I::Item: Send,
+{
+    /// Apply the deferred function to every item on the pool and collect
+    /// the results **in input order** (bit-identical to sequential
+    /// execution).
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(I::Item) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let items: Vec<I::Item> = self.base.collect();
+        let f = self.f;
+        run_chunks(items, |chunk| chunk.into_iter().map(&f).collect::<Vec<R>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadPoolBuilder;
+
+    fn with_pool<R>(n: usize, op: impl FnOnce() -> R) -> R {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap().install(op)
+    }
+
+    #[test]
+    fn map_collect_is_ordered_and_complete() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let expect: Vec<u64> = v.iter().map(|&x| x.wrapping_mul(2654435761)).collect();
+        for n in [1, 2, 4, 8] {
+            let got: Vec<u64> =
+                with_pool(n, || v.par_iter().map(|&x| x.wrapping_mul(2654435761)).collect());
+            assert_eq!(got, expect, "width {n}");
+        }
+    }
+
+    #[test]
+    fn zip_enumerate_match_std() {
+        let a: Vec<i32> = (0..500).collect();
+        let b: Vec<i32> = (500..1000).collect();
+        let got: Vec<i32> = with_pool(4, || {
+            a.clone().into_par_iter().zip(b.clone().into_par_iter()).map(|(x, y)| x + y).collect()
+        });
+        let expect: Vec<i32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        assert_eq!(got, expect);
+
+        let got: Vec<usize> =
+            with_pool(4, || a.par_iter().enumerate().map(|(i, &x)| i + x as usize).collect());
+        let expect: Vec<usize> = a.iter().enumerate().map(|(i, &x)| i + x as usize).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sum_matches_sequential_for_integers() {
+        let v: Vec<i64> = (0..100_000).collect();
+        for n in [1, 3, 8] {
+            let got: i64 = with_pool(n, || v.clone().into_par_iter().sum());
+            assert_eq!(got, v.iter().sum::<i64>(), "width {n}");
+        }
+    }
+
+    #[test]
+    fn float_sum_is_identical_across_widths() {
+        let v: Vec<f64> = (0..10_001).map(|i| (i as f64) * 0.377 - 1000.0).collect();
+        let at_1: f64 = with_pool(1, || v.clone().into_par_iter().sum());
+        for n in [2, 4, 8] {
+            let at_n: f64 = with_pool(n, || v.clone().into_par_iter().sum());
+            assert_eq!(at_1.to_bits(), at_n.to_bits(), "width {n}");
+        }
+    }
+
+    #[test]
+    fn collect_into_non_vec_containers() {
+        let v = vec![3u32, 1, 2];
+        let got: std::collections::BTreeSet<u32> =
+            with_pool(4, || v.par_iter().map(|&x| x * 10).collect());
+        assert_eq!(got.into_iter().collect::<Vec<_>>(), vec![10, 20, 30]);
+    }
+}

@@ -1,110 +1,35 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline work-stealing thread pool with a `rayon`-compatible surface.
 //!
-//! The build environment has no registry access, so this shim provides the
-//! exact API surface the workspace uses — `par_iter` / `into_par_iter`
-//! adapters, `current_num_threads`, and `ThreadPoolBuilder` — with
-//! **sequential** execution. The conversion traits simply hand back the
-//! standard iterators, so every adaptor (`map`, `zip`, `enumerate`,
-//! `collect`, …) is the `std` implementation and results are trivially
-//! identical to what work-stealing execution would produce.
+//! The build environment has no registry access, so this crate provides the
+//! API surface the workspace uses — `par_iter` / `into_par_iter` adaptors,
+//! [`current_num_threads`], and [`ThreadPoolBuilder`] — implemented as a
+//! **real multi-threaded runtime**: scoped `std::thread` workers with
+//! per-worker deques and work stealing (see [`pool`] for the execution
+//! model). Swapping in the real rayon remains a `Cargo.toml` change, not a
+//! code change.
 //!
-//! The workspace's parallel entry points are all *bit-deterministic by
-//! construction* (they collect per-item results and combine them in order),
-//! so swapping in the real rayon later is a Cargo.toml change, not a code
-//! change.
+//! Two guarantees the workspace builds on:
+//!
+//! * **Ordered, bit-identical results.** Chunk boundaries depend only on
+//!   input length; chunk results are reassembled in input order. Parallel
+//!   `collect` is byte-for-byte identical to sequential execution at every
+//!   thread count.
+//! * **Honored thread counts.** `ThreadPoolBuilder::num_threads(n)` +
+//!   [`ThreadPool::install`] runs enclosed parallel operations on `n`
+//!   workers; outside any `install`, the `STZ_THREADS` environment variable
+//!   (or the machine's available parallelism) decides.
+
+#![warn(missing_docs)]
+
+pub mod iter;
+pub mod pool;
+
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
 
 /// The conversion traits, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
 }
-
-pub mod iter {
-    /// `into_par_iter()` — sequential stand-in returning the std iterator.
-    pub trait IntoParallelIterator {
-        type Iter: Iterator<Item = Self::Item>;
-        type Item;
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
-        type Item = I::Item;
-        fn into_par_iter(self) -> I::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    /// `par_iter()` — sequential stand-in returning the std `&self` iterator.
-    pub trait IntoParallelRefIterator<'data> {
-        type Iter: Iterator<Item = Self::Item>;
-        type Item;
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
-    where
-        &'data C: IntoIterator,
-    {
-        type Iter = <&'data C as IntoIterator>::IntoIter;
-        type Item = <&'data C as IntoIterator>::Item;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-}
-
-/// Number of threads the "pool" would use (hardware parallelism).
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-/// Builder mirroring `rayon::ThreadPoolBuilder`.
-#[derive(Debug, Default)]
-pub struct ThreadPoolBuilder {
-    num_threads: usize,
-}
-
-impl ThreadPoolBuilder {
-    pub fn new() -> Self {
-        ThreadPoolBuilder::default()
-    }
-
-    pub fn num_threads(mut self, n: usize) -> Self {
-        self.num_threads = n;
-        self
-    }
-
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { _num_threads: self.num_threads })
-    }
-}
-
-/// A "pool" whose `install` runs the closure on the calling thread.
-#[derive(Debug)]
-pub struct ThreadPool {
-    _num_threads: usize,
-}
-
-impl ThreadPool {
-    pub fn install<OP, R>(&self, op: OP) -> R
-    where
-        OP: FnOnce() -> R,
-    {
-        op()
-    }
-}
-
-/// Error type mirroring `rayon::ThreadPoolBuildError` (never produced here).
-#[derive(Debug)]
-pub struct ThreadPoolBuildError;
-
-impl std::fmt::Display for ThreadPoolBuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "failed to build thread pool")
-    }
-}
-
-impl std::error::Error for ThreadPoolBuildError {}
 
 #[cfg(test)]
 mod tests {
@@ -120,9 +45,10 @@ mod tests {
     }
 
     #[test]
-    fn pool_installs_inline() {
+    fn pool_installs_with_requested_width() {
         let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         assert_eq!(pool.install(|| 7), 7);
+        assert_eq!(pool.install(super::current_num_threads), 4);
         assert!(super::current_num_threads() >= 1);
     }
 }

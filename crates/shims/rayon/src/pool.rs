@@ -1,0 +1,419 @@
+//! The work-stealing execution engine.
+//!
+//! ## Execution model
+//!
+//! A parallel operation (`run_chunks`, the crate-internal primitive
+//! behind every iterator adaptor) splits its input into up to
+//! [`MAX_TASKS`] contiguous chunks, seeds them round-robin into one deque
+//! per worker, and runs the workers as **scoped `std::thread`s**
+//! ([`std::thread::scope`]), so tasks may borrow from the caller's stack
+//! without `unsafe` lifetime erasure. Each worker pops from the *front* of
+//! its own deque and, when empty, steals from the *back* of a sibling's —
+//! the classic owner-LIFO/thief-FIFO discipline that keeps stolen work
+//! coarse. The calling thread participates as the last worker, so a pool of
+//! `n` threads spawns only `n - 1`.
+//!
+//! ## Determinism
+//!
+//! Chunk boundaries depend only on the input length (never on the thread
+//! count or timing), every chunk result is tagged with its sequence number,
+//! and results are reassembled in order after the scope joins. Parallel
+//! `collect` is therefore **bit-identical** to sequential execution, and
+//! parallel reductions are bit-identical across *all* thread counts —
+//! including floating-point sums, whose association is fixed by the
+//! length-only chunk layout.
+//!
+//! ## Thread-count resolution
+//!
+//! `current_num_threads` resolves, in order: the enclosing
+//! [`ThreadPool::install`] scope → the `STZ_THREADS` environment variable →
+//! [`std::thread::available_parallelism`]. Workers inherit their pool's
+//! count, so nested code observes the correct width.
+//!
+//! ## Nesting
+//!
+//! A parallel operation started *inside* a worker runs sequentially on that
+//! worker (its siblings already saturate the pool); this keeps the engine
+//! free of unbounded thread explosion while the outermost operation still
+//! uses every thread.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Upper bound on tasks per parallel operation. Fixed (not a function of
+/// the thread count) so chunk boundaries — and therefore reduction
+/// association — are identical at every pool width.
+pub const MAX_TASKS: usize = 64;
+
+/// Default worker count: `STZ_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("STZ_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
+thread_local! {
+    /// Thread-count override established by `ThreadPool::install` (and
+    /// inherited by workers for the duration of a parallel operation).
+    static CONTEXT: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Whether this thread is currently executing pool tasks (nested
+    /// parallel operations run sequentially).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    CONTEXT.with(|c| c.get()).unwrap_or_else(default_threads)
+}
+
+fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// RAII restore of the per-thread execution context.
+struct ContextGuard {
+    prev_threads: Option<usize>,
+    prev_worker: bool,
+}
+
+fn enter_context(threads: Option<usize>, worker: bool) -> ContextGuard {
+    let prev_threads = CONTEXT.with(|c| c.replace(threads));
+    let prev_worker = IN_WORKER.with(|w| w.replace(worker));
+    ContextGuard { prev_threads, prev_worker }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CONTEXT.with(|c| c.set(self.prev_threads));
+        IN_WORKER.with(|w| w.set(self.prev_worker));
+    }
+}
+
+/// Lock a mutex, recovering from poisoning (a panicking sibling must not
+/// turn into a second, unrelated panic here — the first panic is already
+/// being propagated by the scope).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One seeded unit of work: a contiguous run of input items.
+struct Chunk<T> {
+    seq: usize,
+    items: Vec<T>,
+}
+
+/// Split `items` into contiguous chunks; layout depends on `len` only.
+/// Single pass: each item is moved exactly once into its chunk.
+fn split_chunks<T>(items: Vec<T>) -> Vec<Chunk<T>> {
+    let len = items.len();
+    let tasks = len.clamp(1, MAX_TASKS);
+    let chunk_len = len.div_ceil(tasks);
+    let mut chunks = Vec::with_capacity(tasks);
+    let mut it = items.into_iter();
+    for seq in 0.. {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(Chunk { seq, items: chunk });
+    }
+    chunks
+}
+
+/// Pop from our own deque's front, or steal from the back of a sibling's.
+fn pop_or_steal<T>(deques: &[Mutex<VecDeque<Chunk<T>>>], me: usize) -> Option<Chunk<T>> {
+    if let Some(job) = lock_unpoisoned(&deques[me]).pop_front() {
+        return Some(job);
+    }
+    let n = deques.len();
+    for step in 1..n {
+        if let Some(job) = lock_unpoisoned(&deques[(me + step) % n]).pop_back() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+/// Run `chunk_fn` over contiguous chunks of `items` on the pool, returning
+/// the per-chunk results **in input order**.
+///
+/// This is the single execution primitive behind every parallel-iterator
+/// adaptor: `collect` maps each chunk through the element function, `sum`
+/// reduces each chunk and folds the partials in order. Chunk boundaries are
+/// a function of `items.len()` alone, so results are deterministic at every
+/// thread count.
+///
+/// A panic from `chunk_fn` aborts outstanding chunks and is re-raised on
+/// the calling thread with its original payload once all workers have
+/// stopped.
+pub(crate) fn run_chunks<T, R, F>(items: Vec<T>, chunk_fn: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(Vec<T>) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunks = split_chunks(items);
+    let threads = current_num_threads().max(1);
+    if in_worker() || threads <= 1 || chunks.len() <= 1 {
+        // Same chunk layout as the parallel path, processed in order on the
+        // current thread — bit-identical results by construction.
+        return chunks.into_iter().map(|c| chunk_fn(c.items)).collect();
+    }
+
+    let workers = threads.min(chunks.len());
+    let deques: Vec<Mutex<VecDeque<Chunk<T>>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let total = chunks.len();
+    for chunk in chunks {
+        lock_unpoisoned(&deques[chunk.seq % workers]).push_back(chunk);
+    }
+
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(total));
+    let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+
+    let worker_loop = |me: usize| {
+        let _ctx = enter_context(Some(threads), true);
+        while !abort.load(Ordering::Relaxed) {
+            let Some(chunk) = pop_or_steal(&deques, me) else { break };
+            match catch_unwind(AssertUnwindSafe(|| chunk_fn(chunk.items))) {
+                Ok(r) => lock_unpoisoned(&results).push((chunk.seq, r)),
+                Err(payload) => {
+                    let mut slot = lock_unpoisoned(&panic_slot);
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    abort.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+    };
+
+    std::thread::scope(|scope| {
+        // n-1 spawned workers; the calling thread serves as worker n-1.
+        for me in 0..workers - 1 {
+            std::thread::Builder::new()
+                .name(format!("stz-pool-{me}"))
+                .spawn_scoped(scope, move || worker_loop(me))
+                .expect("spawning a pool worker cannot fail");
+        }
+        worker_loop(workers - 1);
+    });
+
+    if let Some(payload) = lock_unpoisoned(&panic_slot).take() {
+        resume_unwind(payload);
+    }
+    let mut tagged = results.into_inner().unwrap_or_else(|p| p.into_inner());
+    debug_assert_eq!(tagged.len(), total);
+    tagged.sort_unstable_by_key(|&(seq, _)| seq);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool with the default thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker count. `0` (the default) resolves to `STZ_THREADS`
+    /// or the machine's available parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool handle (infallible in this implementation; the
+    /// `Result` mirrors rayon's signature).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { default_threads() } else { self.num_threads };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A handle fixing the thread count for parallel operations run under
+/// [`ThreadPool::install`].
+///
+/// Workers are scoped to each parallel operation (spawned on demand,
+/// joined before the operation returns) rather than parked persistently,
+/// so a `ThreadPool` holds no OS resources between operations and tasks
+/// may borrow stack data freely.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count governing every parallel
+    /// operation it performs.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let _ctx = enter_context(Some(self.num_threads), in_worker());
+        op()
+    }
+
+    /// The worker count parallel operations under this pool will use.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError` (never produced by
+/// this implementation).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    fn with_pool<R>(n: usize, op: impl FnOnce() -> R) -> R {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap().install(op)
+    }
+
+    #[test]
+    fn ordered_results_at_every_width() {
+        let items: Vec<usize> = (0..1000).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * 3).collect();
+        for n in [1, 2, 3, 4, 8] {
+            let got = with_pool(n, || {
+                run_chunks(items.clone(), |chunk| {
+                    chunk.into_iter().map(|x| x * 3).collect::<Vec<_>>()
+                })
+            });
+            assert_eq!(got.into_iter().flatten().collect::<Vec<_>>(), expect, "width {n}");
+        }
+    }
+
+    #[test]
+    fn chunk_layout_is_length_only() {
+        // The chunk count must not depend on the thread count.
+        for n in [1, 2, 8] {
+            let lens = with_pool(n, || run_chunks(vec![1u8; 128], |chunk| chunk.len()));
+            assert_eq!(lens.len(), MAX_TASKS, "width {n}");
+            assert!(lens.iter().all(|&l| l == 2), "width {n}");
+        }
+        assert_eq!(split_chunks(vec![0u8; 5]).len(), 5);
+        assert_eq!(split_chunks::<u8>(Vec::new()).len(), 0);
+    }
+
+    #[test]
+    fn work_actually_runs_on_multiple_threads() {
+        let ids = Mutex::new(HashSet::new());
+        with_pool(4, || {
+            run_chunks((0..256).collect::<Vec<_>>(), |chunk| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                // Hold the chunk long enough for siblings to get scheduled.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                chunk.len()
+            })
+        });
+        // On a single-core machine the OS may still serialize onto fewer
+        // threads, but more than one worker must have participated when
+        // parallelism is available.
+        let observed = ids.lock().unwrap().len();
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if cores > 1 {
+            assert!(observed > 1, "only {observed} worker(s) touched the work");
+        }
+    }
+
+    #[test]
+    fn install_scopes_the_thread_count() {
+        assert!(current_num_threads() >= 1);
+        with_pool(3, || {
+            assert_eq!(current_num_threads(), 3);
+            with_pool(5, || assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn workers_inherit_the_pool_width() {
+        let widths =
+            with_pool(4, || run_chunks((0..64).collect::<Vec<_>>(), |_| current_num_threads()));
+        assert!(widths.into_iter().all(|w| w == 4));
+    }
+
+    #[test]
+    fn nested_operations_run_sequentially_not_exponentially() {
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        with_pool(4, || {
+            run_chunks((0..64).collect::<Vec<usize>>(), |outer| {
+                // A nested parallel operation from inside a worker.
+                run_chunks(outer, |inner| {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    inner.len()
+                })
+                .into_iter()
+                .sum::<usize>()
+            })
+        });
+        // At most the pool width may ever be live at once: nesting must not
+        // multiply workers.
+        assert!(peak.load(Ordering::SeqCst) <= 4, "peak {}", peak.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_payload() {
+        let result = std::panic::catch_unwind(|| {
+            with_pool(4, || {
+                run_chunks((0..64).collect::<Vec<usize>>(), |chunk| {
+                    if chunk.contains(&17) {
+                        panic!("boom from a worker");
+                    }
+                    chunk.len()
+                })
+            })
+        });
+        let payload = result.expect_err("worker panic must propagate to the caller");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "boom from a worker", "original panic payload must be preserved");
+        // The pool must remain usable after a propagated panic.
+        let ok = with_pool(4, || run_chunks(vec![1, 2, 3], |c| c.len()));
+        assert_eq!(ok.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn builder_zero_resolves_to_default() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+        assert_eq!(
+            ThreadPoolBuilder::new().num_threads(7).build().unwrap().current_num_threads(),
+            7
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Thread-scaling harness for the multi-threaded compression runtime.
+//!
+//! Runs STZ compression, full decompression, and pipelined container
+//! packing on the bench field at 1/2/4/8 worker threads (capped at
+//! `--threads`), reporting wall-clock time and speedup over the 1-thread
+//! run — and **verifying that every width produces byte-identical
+//! output**, the pool's core guarantee (ordered collect, length-only chunk
+//! layout; see `crates/shims/rayon`).
+//!
+//! ```text
+//! cargo run --release -p stz-bench --bin thread_scaling [-- --scale 8 --reps 3 --threads 8]
+//! ```
+//!
+//! With `--check`, the harness exits non-zero unless 4-thread compression
+//! reaches >1.5x speedup — skipped (with a notice) when the machine
+//! exposes fewer than 4 cores, where the speedup is physically
+//! unattainable; byte-identity is always enforced.
+
+use stz_bench::{cli, timing};
+use stz_core::{StzCompressor, StzConfig};
+use stz_field::{Dims, Field};
+use stz_stream::pack_pipelined;
+
+/// Pipeline depth (entries) for the pipelined-pack measurement.
+const PACK_ENTRIES: usize = 8;
+
+fn main() {
+    let opts = cli::from_env();
+    let check = opts.rest.iter().any(|a| a == "--check");
+    let n = (256 / opts.scale).max(16);
+    let dims = Dims::d3(n, n, n);
+    let field = stz_data::synth::miranda_like(dims, opts.seed);
+    let (lo, hi) = field.value_range();
+    let eb = 1e-3 * (hi - lo);
+    let compressor = StzCompressor::new(StzConfig::three_level(eb));
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    // Serial references every width must reproduce byte-for-byte.
+    let serial_archive = compressor.compress(&field).expect("serial compression");
+    let serial_field = serial_archive.decompress().expect("serial decompression");
+    let serial_image = pipelined_pack(&compressor, &field, 1);
+
+    let widths: Vec<usize> = [1usize, 2, 4, 8].into_iter().filter(|&w| w <= opts.threads).collect();
+    println!("# thread_scaling: {dims} f32, eb {eb:.3e}, reps {}, {cores} core(s)", opts.reps);
+    println!(
+        "{:<8} {:>12} {:>9} {:>12} {:>9} {:>12} {:>9}",
+        "threads", "comp_s", "speedup", "decomp_s", "speedup", "pack_s", "speedup"
+    );
+
+    let mut baseline: Option<(f64, f64, f64)> = None;
+    let mut comp_speedup_at_4 = None;
+    for &w in &widths {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(w).build().expect("pool");
+
+        let (comp_s, archive) =
+            timing::time_best(opts.reps, || pool.install(|| compressor.compress_parallel(&field)));
+        let archive = archive.expect("compression cannot fail on a valid field");
+        let (decomp_s, restored) =
+            timing::time_best(opts.reps, || pool.install(|| archive.decompress_parallel()));
+        let restored = restored.expect("decompression of a fresh archive cannot fail");
+        let (pack_s, image) =
+            timing::time_best(opts.reps, || pipelined_pack(&compressor, &field, w));
+
+        assert_eq!(
+            archive.as_bytes(),
+            serial_archive.as_bytes(),
+            "archive must be byte-identical to serial at width {w}"
+        );
+        assert_eq!(restored, serial_field, "decompression must match serial at width {w}");
+        assert_eq!(image, serial_image, "container must be byte-identical at width {w}");
+
+        let (c1, d1, p1) = *baseline.get_or_insert((comp_s, decomp_s, pack_s));
+        let speedup = |t: f64, base: f64| if t > 0.0 { base / t } else { 0.0 };
+        if w == 4 {
+            comp_speedup_at_4 = Some(speedup(comp_s, c1));
+        }
+        println!(
+            "{:<8} {:>12.4} {:>8.2}x {:>12.4} {:>8.2}x {:>12.4} {:>8.2}x",
+            w,
+            comp_s,
+            speedup(comp_s, c1),
+            decomp_s,
+            speedup(decomp_s, d1),
+            pack_s,
+            speedup(pack_s, p1)
+        );
+    }
+    println!("# all widths byte-identical: archives, decompressions, containers");
+
+    if check {
+        match comp_speedup_at_4 {
+            _ if cores < 4 => {
+                println!(
+                    "# --check: speedup gate skipped ({cores} core(s) < 4); \
+                     byte-identity verified above"
+                );
+            }
+            Some(s) if s > 1.5 => {
+                println!("# --check: 4-thread compression speedup {s:.2}x > 1.5x")
+            }
+            Some(s) => {
+                eprintln!("--check FAILED: 4-thread compression speedup {s:.2}x <= 1.5x");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("--check FAILED: no 4-thread run (raise --threads to at least 4)");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Pack [`PACK_ENTRIES`] shifted copies of the field through the pipelined
+/// writer at the given width, returning the container image.
+fn pipelined_pack(compressor: &StzCompressor, field: &Field<f32>, threads: usize) -> Vec<u8> {
+    pack_pipelined(Vec::new(), (0..PACK_ENTRIES).collect::<Vec<usize>>(), threads, |i| {
+        let shifted = Field::from_vec(
+            field.dims(),
+            field.as_slice().iter().map(|&v| v + i as f32 * 0.125).collect(),
+        );
+        Ok((format!("step{i:03}"), compressor.compress(&shifted)?))
+    })
+    .expect("pipelined pack of synthetic entries cannot fail")
+}

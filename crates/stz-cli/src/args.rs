@@ -7,21 +7,26 @@ pub const USAGE: &str = "\
 USAGE:
   stz compress   -i <raw> -o <archive> -d <Z>x<Y>x<X> -t <f32|f64> -e <bound>
                  [--rel] [--levels <2..4>] [--linear] [--no-adaptive]
-  stz decompress -i <archive> -o <raw>
+                 [--threads <N>]
+  stz decompress -i <archive> -o <raw> [--threads <N>]
   stz preview    -i <archive|container> -o <raw> -l <level> [--entry <name>]
   stz roi        -i <archive> -o <raw> -r <z0:z1,y0:y1,x0:x1>
   stz info       -i <archive>
 
   stz pack       -i <raw>[,<raw>...] -o <container> -d <Z>x<Y>x<X> -t <f32|f64>
                  -e <bound> [--rel] [--levels <2..4>] [--linear] [--no-adaptive]
-                 [--name <entry>]
+                 [--name <entry>] [--threads <N>]
   stz inspect    -i <container>
   stz extract    -i <archive|container> -o <raw> -r <z0:z1,y0:y1,x0:x1>
                  [--entry <name>]
 
 Raw files are flat little-endian arrays in C order (x fastest).
 Containers (.stzc) hold one entry per input file, named by file stem; preview
-and extract read only the byte ranges the query needs.";
+and extract read only the byte ranges the query needs.
+--threads 0 (the default) uses STZ_THREADS or all cores; output bytes are
+identical at every thread count. pack parallelizes across entries, so its
+effective width is capped at the input count (one input parallelizes
+internally instead).";
 
 /// Parsed command line: subcommand + flag map.
 #[derive(Debug)]
@@ -33,7 +38,7 @@ pub struct Parsed {
 
 /// Which flags take a value, per the USAGE above.
 const VALUED: &[&str] =
-    &["-i", "-o", "-d", "-t", "-e", "-l", "-r", "--levels", "--entry", "--name"];
+    &["-i", "-o", "-d", "-t", "-e", "-l", "-r", "--levels", "--entry", "--name", "--threads"];
 
 pub fn parse(argv: &[String]) -> Result<Parsed, String> {
     let command = argv.get(1).ok_or("missing subcommand")?.clone();
@@ -67,6 +72,15 @@ impl Parsed {
 
     pub fn switch(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
+    }
+
+    /// Worker-thread count from `--threads` (`0` = auto: `STZ_THREADS` or
+    /// all cores).
+    pub fn threads(&self) -> Result<usize, String> {
+        match self.optional("--threads") {
+            None => Ok(0),
+            Some(v) => v.parse().map_err(|_| "--threads must be a non-negative integer".into()),
+        }
     }
 }
 
@@ -134,6 +148,16 @@ mod tests {
     fn missing_value_is_error() {
         assert!(parse(&argv(&["compress", "-i"])).is_err());
         assert!(parse(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn threads_flag_parses_with_auto_default() {
+        let p = parse(&argv(&["compress", "--threads", "4"])).unwrap();
+        assert_eq!(p.threads().unwrap(), 4);
+        let p = parse(&argv(&["compress"])).unwrap();
+        assert_eq!(p.threads().unwrap(), 0);
+        let p = parse(&argv(&["compress", "--threads", "many"])).unwrap();
+        assert!(p.threads().is_err());
     }
 
     #[test]

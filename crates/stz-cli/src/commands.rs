@@ -5,7 +5,16 @@ use std::path::Path;
 use stz_core::{InterpKind, StzArchive, StzCompressor, StzConfig};
 use stz_data::io::{read_raw, write_raw};
 use stz_field::{Field, Scalar};
-use stz_stream::{ContainerReader, ContainerWriter, EntryReader, FileSource};
+use stz_stream::{pack_pipelined, ContainerReader, EntryReader, FileSource};
+
+/// Build the thread pool a subcommand will run under (`0` = auto:
+/// `STZ_THREADS` or all cores). Archive bytes are identical at every width.
+fn thread_pool(threads: usize) -> Result<rayon::ThreadPool, String> {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|e| format!("cannot build thread pool: {e}"))
+}
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let p = args::parse(argv)?;
@@ -64,11 +73,12 @@ fn build_config(p: &Parsed) -> Result<StzConfig, String> {
 fn compress(p: &Parsed) -> Result<(), String> {
     let dims = args::parse_dims(p.required("-d")?)?;
     let cfg = build_config(p)?;
+    let threads = p.threads()?;
     let input = Path::new(p.required("-i")?);
     let output = Path::new(p.required("-o")?);
     match p.required("-t")? {
-        "f32" => compress_typed::<f32>(input, output, dims, cfg),
-        "f64" => compress_typed::<f64>(input, output, dims, cfg),
+        "f32" => compress_typed::<f32>(input, output, dims, cfg, threads),
+        "f64" => compress_typed::<f64>(input, output, dims, cfg, threads),
         t => Err(format!("unknown element type {t:?} (want f32 or f64)")),
     }
 }
@@ -78,9 +88,16 @@ fn compress_typed<T: Scalar>(
     output: &Path,
     dims: stz_field::Dims,
     cfg: StzConfig,
+    threads: usize,
 ) -> Result<(), String> {
     let field: Field<T> = read_raw(input, dims).map_err(|e| e.to_string())?;
-    let archive = StzCompressor::new(cfg).compress(&field).map_err(|e| e.to_string())?;
+    let compressor = StzCompressor::new(cfg);
+    let archive = if threads == 1 {
+        compressor.compress(&field)
+    } else {
+        thread_pool(threads)?.install(|| compressor.compress_parallel(&field))
+    }
+    .map_err(|e| e.to_string())?;
     let cr = archive.compression_ratio();
     let len = archive.compressed_len();
     std::fs::write(output, archive.into_bytes()).map_err(|e| e.to_string())?;
@@ -104,16 +121,20 @@ fn with_archive<R>(
 fn decompress(p: &Parsed) -> Result<(), String> {
     let input = Path::new(p.required("-i")?);
     let output = Path::new(p.required("-o")?).to_path_buf();
+    let pool = thread_pool(p.threads()?)?;
+    let serial = p.threads()? == 1;
     with_archive(
         input,
         |a| {
-            let f = a.decompress().map_err(|e| e.to_string())?;
+            let f = if serial { a.decompress() } else { pool.install(|| a.decompress_parallel()) }
+                .map_err(|e| e.to_string())?;
             write_raw(&output, &f).map_err(|e| e.to_string())?;
             eprintln!("wrote {} ({} f32 values)", output.display(), f.len());
             Ok(())
         },
         |a| {
-            let f = a.decompress().map_err(|e| e.to_string())?;
+            let f = if serial { a.decompress() } else { pool.install(|| a.decompress_parallel()) }
+                .map_err(|e| e.to_string())?;
             write_raw(&output, &f).map_err(|e| e.to_string())?;
             eprintln!("wrote {} ({} f64 values)", output.display(), f.len());
             Ok(())
@@ -251,6 +272,7 @@ fn print_info<T: Scalar>(type_name: &str, bytes_per: usize, a: &StzArchive<T>) {
 fn pack(p: &Parsed) -> Result<(), String> {
     let dims = args::parse_dims(p.required("-d")?)?;
     let cfg = build_config(p)?;
+    let threads = p.threads()?;
     let inputs: Vec<&str> = p.required("-i")?.split(',').filter(|s| !s.is_empty()).collect();
     if inputs.is_empty() {
         return Err("pack needs at least one input file".into());
@@ -260,8 +282,8 @@ fn pack(p: &Parsed) -> Result<(), String> {
     }
     let output = Path::new(p.required("-o")?);
     match p.required("-t")? {
-        "f32" => pack_typed::<f32>(&inputs, output, dims, cfg, p.optional("--name")),
-        "f64" => pack_typed::<f64>(&inputs, output, dims, cfg, p.optional("--name")),
+        "f32" => pack_typed::<f32>(&inputs, output, dims, cfg, p.optional("--name"), threads),
+        "f64" => pack_typed::<f64>(&inputs, output, dims, cfg, p.optional("--name"), threads),
         t => Err(format!("unknown element type {t:?} (want f32 or f64)")),
     }
 }
@@ -272,32 +294,57 @@ fn pack_typed<T: Scalar>(
     dims: stz_field::Dims,
     cfg: StzConfig,
     name_override: Option<&str>,
+    threads: usize,
 ) -> Result<(), String> {
-    let file = std::fs::File::create(output).map_err(|e| e.to_string())?;
-    let mut writer =
-        ContainerWriter::new(std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
-    for input in inputs {
-        let input = Path::new(input);
-        let name = match name_override {
-            Some(n) => n.to_string(),
-            None => input
-                .file_stem()
-                .map(|s| s.to_string_lossy().into_owned())
-                .ok_or_else(|| format!("cannot derive entry name from {}", input.display()))?,
+    // Derive every entry name up front, before any compression work, so
+    // naming problems surface as plain CLI errors.
+    let jobs: Vec<(String, &Path)> = inputs
+        .iter()
+        .map(|input| {
+            let input = Path::new(input);
+            let name = match name_override {
+                Some(n) => n.to_string(),
+                None => input
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .ok_or_else(|| format!("cannot derive entry name from {}", input.display()))?,
+            };
+            Ok((name, input))
+        })
+        .collect::<Result<_, String>>()?;
+    let pool = thread_pool(threads)?;
+    // Entry-level parallelism: workers compress time steps serially while
+    // the writer thread appends finished entries in order. A single entry
+    // has no sibling entries to overlap with, so it parallelizes
+    // *internally* over the pool instead.
+    let entry_workers = if threads == 1 { 1 } else { pool.current_num_threads() };
+    let single_entry = jobs.len() == 1;
+    let compress_entry =
+        |(name, input): (String, &Path)| -> stz_stream::Result<(String, StzArchive<T>)> {
+            // An unreadable input is an I/O failure, not stream corruption.
+            let field: Field<T> = read_raw(input, dims)?;
+            let compressor = StzCompressor::new(cfg);
+            let archive = if entry_workers > 1 && single_entry {
+                pool.install(|| compressor.compress_parallel(&field))?
+            } else {
+                compressor.compress(&field)?
+            };
+            // Runs on a worker thread, so lines may interleave out of entry
+            // order; say "compressed", which is true at this point — whether
+            // every entry reached the container is confirmed by the final
+            // "wrote … (N entries)" line.
+            eprintln!(
+                "compressed {} as {name:?} ({} bytes, CR {:.1}x)",
+                input.display(),
+                archive.compressed_len(),
+                archive.compression_ratio()
+            );
+            Ok((name, archive))
         };
-        // One archive resident at a time: compress, add, drop.
-        let field: Field<T> = read_raw(input, dims).map_err(|e| e.to_string())?;
-        let archive = StzCompressor::new(cfg).compress(&field).map_err(|e| e.to_string())?;
-        eprintln!(
-            "packed {} as {name:?} ({} bytes, CR {:.1}x)",
-            input.display(),
-            archive.compressed_len(),
-            archive.compression_ratio()
-        );
-        writer.add_archive(&name, &archive).map_err(|e| e.to_string())?;
-    }
-    let n = writer.entry_count();
-    writer.finish().map_err(|e| e.to_string())?;
+    let file = std::fs::File::create(output).map_err(|e| e.to_string())?;
+    let n = jobs.len();
+    pack_pipelined(std::io::BufWriter::new(file), jobs, entry_workers, compress_entry)
+        .map_err(|e| e.to_string())?;
     eprintln!("wrote {} ({n} entries)", output.display());
     Ok(())
 }
@@ -529,6 +576,62 @@ mod tests {
         .unwrap();
         let p: Field<f32> = read_raw(&prev, Dims::d3(4, 4, 4)).unwrap();
         assert_eq!(p.dims().as_array(), [4, 4, 4]);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn threads_flag_produces_identical_outputs() {
+        let d = dir();
+        let dims = Dims::d3(16, 16, 16);
+        let (raw_a, raw_b) = (d.join("s0.f32"), d.join("s1.f32"));
+        write_raw(&raw_a, &stz_data::synth::miranda_like(dims, 21)).unwrap();
+        write_raw(&raw_b, &stz_data::synth::miranda_like(dims, 22)).unwrap();
+
+        let compress_with = |threads: &str, out: &std::path::Path| {
+            run(&argv(&[
+                "compress".into(),
+                "-i".into(),
+                raw_a.display().to_string(),
+                "-o".into(),
+                out.display().to_string(),
+                "-d".into(),
+                "16x16x16".into(),
+                "-t".into(),
+                "f32".into(),
+                "-e".into(),
+                "1e-3".into(),
+                "--threads".into(),
+                threads.into(),
+            ]))
+            .unwrap();
+        };
+        let (one, four) = (d.join("t1.stz"), d.join("t4.stz"));
+        compress_with("1", &one);
+        compress_with("4", &four);
+        assert_eq!(std::fs::read(&one).unwrap(), std::fs::read(&four).unwrap());
+
+        let pack_with = |threads: &str, out: &std::path::Path| {
+            run(&argv(&[
+                "pack".into(),
+                "-i".into(),
+                format!("{},{}", raw_a.display(), raw_b.display()),
+                "-o".into(),
+                out.display().to_string(),
+                "-d".into(),
+                "16x16x16".into(),
+                "-t".into(),
+                "f32".into(),
+                "-e".into(),
+                "1e-3".into(),
+                "--threads".into(),
+                threads.into(),
+            ]))
+            .unwrap();
+        };
+        let (c1, c4) = (d.join("c1.stzc"), d.join("c4.stzc"));
+        pack_with("1", &c1);
+        pack_with("4", &c4);
+        assert_eq!(std::fs::read(&c1).unwrap(), std::fs::read(&c4).unwrap());
         let _ = std::fs::remove_dir_all(&d);
     }
 

@@ -535,10 +535,25 @@ pub(crate) fn decompress_impl<T: Scalar, S: SectionSource + ?Sized>(
     for level in &plan.levels[1..upto as usize] {
         grid = decode_level_grid::<T, S>(source, &plan, level.index, &grid, parallel)?;
     }
-    let data: Vec<T> = if parallel {
-        grid.as_slice().par_iter().map(|&v| T::from_f64(v)).collect()
+    // Chunk by index range rather than par_iter over elements: the cast is
+    // trivial per element, so materializing per-element work items would
+    // cost more memory than the parallelism saves on large grids.
+    let buf = grid.as_slice();
+    let data: Vec<T> = if parallel && buf.len() > 1 {
+        let chunk = buf.len().div_ceil(64);
+        let ranges: Vec<std::ops::Range<usize>> =
+            (0..buf.len()).step_by(chunk).map(|s| s..(s + chunk).min(buf.len())).collect();
+        let parts: Vec<Vec<T>> = ranges
+            .into_par_iter()
+            .map(|r| buf[r].iter().map(|&v| T::from_f64(v)).collect())
+            .collect();
+        let mut data = Vec::with_capacity(buf.len());
+        for p in parts {
+            data.extend(p);
+        }
+        data
     } else {
-        grid.as_slice().iter().map(|&v| T::from_f64(v)).collect()
+        buf.iter().map(|&v| T::from_f64(v)).collect()
     };
     Ok(Field::from_vec(grid.dims(), data))
 }

@@ -79,10 +79,12 @@ pub struct MemorySource {
 }
 
 impl MemorySource {
+    /// Wrap an in-memory container image.
     pub fn new(bytes: Vec<u8>) -> Self {
         MemorySource { bytes }
     }
 
+    /// The underlying image bytes.
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
     }
@@ -114,6 +116,7 @@ pub struct CountingSource<S> {
 }
 
 impl<S: ByteSource> CountingSource<S> {
+    /// Wrap `inner`, starting both counters at zero.
     pub fn new(inner: S) -> Self {
         CountingSource { inner, bytes_read: AtomicU64::new(0), read_calls: AtomicU64::new(0) }
     }
@@ -135,10 +138,12 @@ impl<S: ByteSource> CountingSource<S> {
         self.read_calls.store(0, Ordering::Relaxed);
     }
 
+    /// Unwrap, discarding the counters.
     pub fn into_inner(self) -> S {
         self.inner
     }
 
+    /// The wrapped source.
     pub fn inner(&self) -> &S {
         &self.inner
     }

@@ -36,10 +36,12 @@ impl Default for Crc32 {
 }
 
 impl Crc32 {
+    /// Fresh state (equivalent to having hashed zero bytes).
     pub fn new() -> Self {
         Crc32 { state: 0xFFFF_FFFF }
     }
 
+    /// Fold `bytes` into the running checksum.
     pub fn update(&mut self, bytes: &[u8]) {
         let mut c = self.state;
         for &b in bytes {
@@ -48,6 +50,8 @@ impl Crc32 {
         self.state = c;
     }
 
+    /// The CRC-32 of everything folded in so far (does not consume the
+    /// state; more bytes may still be added).
     pub fn finish(&self) -> u32 {
         self.state ^ 0xFFFF_FFFF
     }

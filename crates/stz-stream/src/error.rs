@@ -24,10 +24,12 @@ pub enum StreamError {
 }
 
 impl StreamError {
+    /// Build a [`StreamError::Corrupt`].
     pub fn corrupt(msg: impl Into<String>) -> Self {
         StreamError::Corrupt(msg.into())
     }
 
+    /// Build a [`StreamError::Unsupported`].
     pub fn unsupported(msg: impl Into<String>) -> Self {
         StreamError::Unsupported(msg.into())
     }

@@ -9,13 +9,18 @@
 //!   fields of a time-step sequence) incrementally, with bounded memory,
 //!   into a versioned format — magic + header, concatenated payloads, a
 //!   footer index of every independently fetchable section (with per-section
-//!   CRC-32), and a fixed trailer (see [`format`] for the layout).
+//!   CRC-32), and a fixed trailer (see [`mod@format`] for the layout,
+//!   `docs/FORMAT.md` for the normative spec).
 //! * [`ContainerReader`] opens any [`ByteSource`] — a file
 //!   ([`FileSource`]), a memory buffer ([`MemorySource`]), or an
 //!   instrumented wrapper ([`CountingSource`]) — with two small reads, then
 //!   serves `decompress`, `decompress_level`, `decompress_region` and
 //!   progressive refinement through typed [`EntryReader`]s that fetch *only*
 //!   the byte ranges a query needs.
+//! * [`pack_pipelined`] overlaps compression and writing: entries compress
+//!   on worker threads while the writer appends them in order, producing
+//!   bytes identical to a sequential pack with memory bounded by a sliding
+//!   window.
 //!
 //! The heavy lifting is shared with the in-memory path: `stz-core`'s decode
 //! drivers are generic over [`stz_core::SectionSource`], and [`EntryReader`]
@@ -24,6 +29,8 @@
 //! the same driver runs over both — and the paper's decode-skipping logic
 //! doubles as an I/O planner: a sub-block the query skips is a byte range
 //! the disk never serves.
+//!
+//! See `docs/ARCHITECTURE.md` for where this crate sits in the workspace.
 //!
 //! ## Quick start
 //!
@@ -51,15 +58,19 @@
 //! assert_eq!(roi, archive.decompress_region(&Region::d3(4..12, 4..12, 4..12)).unwrap());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod byte_source;
 pub mod crc;
 pub mod error;
 pub mod format;
+pub mod pipeline;
 pub mod reader;
 pub mod writer;
 
 pub use byte_source::{ByteSource, CountingSource, FileSource, MemorySource};
 pub use error::{Result, StreamError};
+pub use pipeline::pack_pipelined;
 pub use reader::{ContainerReader, EntryMeta, EntryReader};
 pub use writer::{pack_to_file, pack_to_vec, ContainerWriter};
 

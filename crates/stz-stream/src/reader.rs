@@ -137,14 +137,18 @@ impl<'a> EntryMeta<'a> {
         EntryMeta { record }
     }
 
+    /// Entry name (e.g. a field name or time-step label).
     pub fn name(&self) -> &'a str {
         &self.record.name
     }
 
+    /// The entry's archive parameters (read from the footer; no payload
+    /// bytes are touched).
     pub fn header(&self) -> &'a ArchiveHeader {
         &self.record.header
     }
 
+    /// Grid extents of the encoded field.
     pub fn dims(&self) -> Dims {
         self.record.header.dims
     }

@@ -16,7 +16,7 @@ const COPY_CHUNK: usize = 64 * 1024;
 /// Streams STZ archives into a container with bounded memory.
 ///
 /// Entries are written strictly forward — payload bytes go to the sink in
-/// [`COPY_CHUNK`]-sized pieces and are never buffered whole — while the
+/// 64 KiB pieces and are never buffered whole — while the
 /// writer accumulates only the per-entry index records (a few hundred bytes
 /// each). Packing a long time-step sequence therefore needs memory
 /// proportional to *one* archive (the one currently being added), not the
@@ -26,6 +26,11 @@ const COPY_CHUNK: usize = 64 * 1024;
 /// [`finish`](ContainerWriter::finish) writes the footer index and trailer;
 /// a container without a trailer (writer crashed mid-stream) is rejected by
 /// the reader.
+///
+/// To overlap compression with writing, see
+/// [`pack_pipelined`](crate::pack_pipelined), which drives a
+/// `ContainerWriter` from a pool of compression workers while preserving
+/// the exact bytes of a sequential pack.
 #[derive(Debug)]
 pub struct ContainerWriter<W: Write> {
     out: W,

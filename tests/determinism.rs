@@ -1,0 +1,104 @@
+//! Determinism suite for the multi-threaded compression runtime.
+//!
+//! The work-stealing pool (`crates/shims/rayon`) promises that parallel
+//! execution is **byte-identical** to sequential execution at every thread
+//! count: chunk boundaries depend only on input length and results are
+//! reassembled in input order. These tests pin that promise across the
+//! stack — archives, decompressions, progressive refinement, and pipelined
+//! containers — for both element types.
+
+use stz::prelude::*;
+use stz::stream::pack_pipelined;
+
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+fn with_pool<R>(threads: usize, op: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap().install(op)
+}
+
+fn f32_field(dims: Dims) -> Field<f32> {
+    Field::from_fn(dims, |z, y, x| {
+        let (zf, yf, xf) = (z as f32 * 0.21, y as f32 * 0.13, x as f32 * 0.17);
+        zf.sin() * yf.cos() + (xf + yf).sin() + 0.3 * zf
+    })
+}
+
+fn f64_field(dims: Dims) -> Field<f64> {
+    Field::from_fn(dims, |z, y, x| ((z * 3 + y * 5 + x * 7) as f64 * 0.01).sin() * 1e4)
+}
+
+fn assert_archive_deterministic<T: Scalar>(field: &Field<T>, eb: f64) {
+    let compressor = StzCompressor::new(StzConfig::three_level(eb));
+    let serial = compressor.compress(field).unwrap();
+    for threads in WIDTHS {
+        let parallel = with_pool(threads, || compressor.compress_parallel(field)).unwrap();
+        assert_eq!(
+            serial.as_bytes(),
+            parallel.as_bytes(),
+            "compress_parallel must be byte-identical to compress at {threads} thread(s)"
+        );
+        let restored: Field<T> = with_pool(threads, || parallel.decompress_parallel()).unwrap();
+        assert_eq!(
+            restored,
+            serial.decompress().unwrap(),
+            "decompress_parallel must match serial at {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
+fn f32_archives_byte_identical_across_thread_counts() {
+    assert_archive_deterministic(&f32_field(Dims::d3(32, 28, 36)), 1e-3);
+    // Odd dims exercise ragged block geometry.
+    assert_archive_deterministic(&f32_field(Dims::d3(17, 23, 19)), 1e-2);
+}
+
+#[test]
+fn f64_archives_byte_identical_across_thread_counts() {
+    assert_archive_deterministic(&f64_field(Dims::d3(24, 24, 24)), 0.5);
+    assert_archive_deterministic(&f64_field(Dims::d2(40, 36)), 0.5);
+}
+
+#[test]
+fn four_level_archives_byte_identical_across_thread_counts() {
+    let field = f32_field(Dims::d3(33, 31, 35));
+    let compressor = StzCompressor::new(StzConfig::three_level(1e-2).with_levels(4));
+    let serial = compressor.compress(&field).unwrap();
+    for threads in WIDTHS {
+        let parallel = with_pool(threads, || compressor.compress_parallel(&field)).unwrap();
+        assert_eq!(serial.as_bytes(), parallel.as_bytes(), "{threads} thread(s)");
+    }
+}
+
+#[test]
+fn progressive_refinement_matches_serial_at_every_width() {
+    let field = f32_field(Dims::d3(24, 24, 24));
+    let archive = StzCompressor::new(StzConfig::three_level(1e-3)).compress(&field).unwrap();
+    for threads in WIDTHS {
+        with_pool(threads, || {
+            let mut serial = archive.progressive();
+            let mut parallel = archive.progressive().parallel(true);
+            while let Some(expect) = serial.next_level().unwrap() {
+                let got = parallel.next_level().unwrap().unwrap();
+                assert_eq!(got, expect, "{threads} thread(s)");
+            }
+            assert!(parallel.is_complete());
+        });
+    }
+}
+
+#[test]
+fn pipelined_containers_byte_identical_across_thread_counts() {
+    let compressor = StzCompressor::new(StzConfig::three_level(1e-3));
+    let pack = |threads: usize| -> Vec<u8> {
+        pack_pipelined(Vec::new(), (0..6u32).collect::<Vec<u32>>(), threads, |i| {
+            let field = f32_field(Dims::d3(16 + i as usize % 3, 16, 16));
+            Ok((format!("step{i}"), compressor.compress(&field)?))
+        })
+        .unwrap()
+    };
+    let sequential = pack(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(pack(threads), sequential, "{threads} thread(s)");
+    }
+}
