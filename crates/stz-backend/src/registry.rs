@@ -1,0 +1,150 @@
+//! Name- and id-keyed lookup over the built-in codecs.
+
+use crate::backends::{Mgard, Sperr, Stz, Sz3, Zfp};
+use crate::Codec;
+
+/// The built-in codecs, in evaluation order. Index equals wire id by
+/// construction (checked by a test, not assumed by lookups).
+static CODECS: [&dyn Codec; 5] = [&Stz, &Sz3, &Zfp, &Sperr, &Mgard];
+
+/// A fixed set of [`Codec`]s addressable by name or wire id.
+///
+/// The process-wide instance (every built-in engine) is [`registry()`];
+/// the struct is public so tests and tools can build restricted sets.
+#[derive(Debug, Clone, Copy)]
+pub struct Registry {
+    codecs: &'static [&'static dyn Codec],
+}
+
+impl Registry {
+    /// A registry over an explicit codec slice.
+    pub const fn new(codecs: &'static [&'static dyn Codec]) -> Self {
+        Registry { codecs }
+    }
+
+    /// All codecs, in registration order.
+    pub fn all(&self) -> impl Iterator<Item = &'static dyn Codec> + '_ {
+        self.codecs.iter().copied()
+    }
+
+    /// Number of registered codecs.
+    pub fn len(&self) -> usize {
+        self.codecs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.codecs.is_empty()
+    }
+
+    /// Look up a codec by its registry name (e.g. `"sperr"`).
+    pub fn by_name(&self, name: &str) -> Option<&'static dyn Codec> {
+        self.codecs.iter().copied().find(|c| c.name() == name)
+    }
+
+    /// Look up a codec by its wire id (see [`crate::id`]).
+    pub fn by_id(&self, id: u8) -> Option<&'static dyn Codec> {
+        self.codecs.iter().copied().find(|c| c.id() == id)
+    }
+
+    /// Sniff the codec of a bare archive from its magic bytes.
+    pub fn detect(&self, bytes: &[u8]) -> Option<&'static dyn Codec> {
+        let prefix = bytes.get(0..4)?;
+        self.codecs.iter().copied().find(|c| c.magic() == prefix)
+    }
+
+    /// Registered names, in order (for usage strings and diagnostics).
+    pub fn names(&self) -> Vec<&'static str> {
+        self.codecs.iter().map(|c| c.name()).collect()
+    }
+}
+
+/// The process-wide registry of every built-in codec.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: Registry = Registry::new(&CODECS);
+    &REGISTRY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn five_codecs_with_stable_ids() {
+        let r = registry();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.names(), ["stz", "sz3", "zfp", "sperr", "mgard"]);
+        // Wire ids are stable and equal to registration order.
+        for (i, c) in r.all().enumerate() {
+            assert_eq!(c.id() as usize, i, "{} id drifted", c.name());
+        }
+    }
+
+    #[test]
+    fn lookups_agree() {
+        let r = registry();
+        for c in r.all() {
+            assert_eq!(r.by_name(c.name()).unwrap().id(), c.id());
+            assert_eq!(r.by_id(c.id()).unwrap().name(), c.name());
+        }
+        assert!(r.by_name("lz4").is_none());
+        assert!(r.by_id(200).is_none());
+    }
+
+    #[test]
+    fn magics_are_distinct_and_detected() {
+        let r = registry();
+        let magics: HashSet<[u8; 4]> = r.all().map(|c| c.magic()).collect();
+        assert_eq!(magics.len(), r.len(), "magic collision between codecs");
+        for c in r.all() {
+            let mut bytes = c.magic().to_vec();
+            bytes.extend_from_slice(&[0; 8]);
+            assert_eq!(r.detect(&bytes).unwrap().id(), c.id());
+        }
+        assert!(r.detect(b"????rest").is_none());
+        assert!(r.detect(b"ab").is_none());
+    }
+
+    #[test]
+    fn every_codec_roundtrips_both_types() {
+        use stz_field::{Dims, Field};
+        let f32_field = stz_data::synth::miranda_like(Dims::d3(12, 12, 12), 3);
+        let f64_field = stz_data::synth::warpx_like(Dims::d3(8, 8, 32), 3);
+        for c in registry().all() {
+            let b = c.compress_f32(&f32_field, 1e-3).unwrap();
+            let r: Field<f32> = c.decompress_f32(&b).unwrap();
+            let err = stz_data::metrics::max_abs_error(&f32_field, &r);
+            assert!(err <= 1e-3 * (1.0 + 1e-9), "{} f32 err {err}", c.name());
+
+            let eb = {
+                let (lo, hi) = f64_field.value_range();
+                1e-3 * (hi - lo)
+            };
+            let b = c.compress_f64(&f64_field, eb).unwrap();
+            let r: Field<f64> = c.decompress_f64(&b).unwrap();
+            let err = stz_data::metrics::max_abs_error(&f64_field, &r);
+            assert!(err <= eb * (1.0 + 1e-9), "{} f64 err {err}", c.name());
+        }
+    }
+
+    #[test]
+    fn foreign_archives_rejected() {
+        let f = stz_data::synth::miranda_like(stz_field::Dims::d3(10, 10, 10), 4);
+        let r = registry();
+        for producer in r.all() {
+            let bytes = producer.compress_f32(&f, 1e-3).unwrap();
+            for consumer in r.all() {
+                if consumer.id() == producer.id() {
+                    continue;
+                }
+                assert!(
+                    consumer.decompress_f32(&bytes).is_err(),
+                    "{} decoded a {} archive",
+                    consumer.name(),
+                    producer.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Cross-backend benchmark matrix: every registered codec over every
+//! evaluation dataset.
+//!
+//! For each `(backend, dataset)` cell the harness measures compression
+//! ratio, compress/decompress throughput, and the observed maximum
+//! point-wise error at a 1e-3 value-range-relative bound — the numbers
+//! behind the README's backend-selection table — and writes them to
+//! `BENCH_backends.json` for the CI perf-regression gate.
+//!
+//! ```text
+//! cargo run --release -p stz-bench --bin backend_matrix -- \
+//!     [--scale 16] [--reps 3] [--out BENCH_backends.json] \
+//!     [--baseline bench/baseline.json --check]
+//! ```
+//!
+//! With `--check`, the run fails (exit 1) if, against the committed
+//! baseline, any cell's compression ratio drops more than 10%, its max
+//! error grows more than 10%, a baseline cell disappeared, or any cell
+//! violates its error bound outright. Ratio and max error are
+//! deterministic for a given `--scale`/`--seed`, so the 10% headroom only
+//! absorbs intentional algorithm tuning — not machine noise; throughput
+//! is machine-dependent and therefore recorded but never gated.
+
+use stz_backend::{registry, BackendScalar, Codec};
+use stz_bench::json::{obj, Json};
+use stz_bench::{cli, timing};
+use stz_data::{metrics, Dataset, DatasetField};
+use stz_field::Field;
+
+/// Value-range-relative error bound of every cell (the paper's default).
+const EB_REL: f64 = 1e-3;
+
+struct Row {
+    backend: &'static str,
+    dataset: &'static str,
+    dims: String,
+    type_name: &'static str,
+    eb_abs: f64,
+    ratio: f64,
+    max_err: f64,
+    compress_mbps: f64,
+    decompress_mbps: f64,
+}
+
+fn run_cell<T: BackendScalar>(
+    codec: &'static dyn Codec,
+    dataset: Dataset,
+    field: &Field<T>,
+    reps: usize,
+) -> Row {
+    let (lo, hi) = field.value_range();
+    let eb = EB_REL * (hi - lo);
+    let (comp_s, bytes) =
+        timing::time_best(reps, || T::compress_with(codec, field, eb).expect("compression"));
+    let (decomp_s, recon) =
+        timing::time_best(reps, || T::decompress_with(codec, &bytes).expect("roundtrip"));
+    Row {
+        backend: codec.name(),
+        dataset: dataset.name(),
+        dims: format!("{:?}", field.dims()),
+        type_name: if T::TYPE_TAG == 0 { "f32" } else { "f64" },
+        eb_abs: eb,
+        ratio: field.nbytes() as f64 / bytes.len() as f64,
+        max_err: metrics::max_abs_error(field, &recon),
+        compress_mbps: timing::throughput_mbs(field.nbytes(), comp_s),
+        decompress_mbps: timing::throughput_mbs(field.nbytes(), decomp_s),
+    }
+}
+
+fn main() {
+    let opts = cli::from_env();
+    let mut out_path = "BENCH_backends.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut check = false;
+    let mut it = opts.rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out_path = it.next().expect("--out requires a path").clone(),
+            "--baseline" => {
+                baseline_path = Some(it.next().expect("--baseline requires a path").clone())
+            }
+            "--check" => check = true,
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+
+    println!(
+        "# backend_matrix: scale {}, seed {}, reps {}, eb {EB_REL:.0e} (relative)",
+        opts.scale, opts.seed, opts.reps
+    );
+    println!(
+        "{:<8} {:<22} {:<12} {:>9} {:>12} {:>11} {:>11}",
+        "backend", "dataset", "dims", "ratio", "max_err", "comp_MB/s", "decomp_MB/s"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for dataset in Dataset::all() {
+        let field = dataset.generate(dataset.scaled_dims(opts.scale), opts.seed);
+        for codec in registry().all() {
+            let row = match &field {
+                DatasetField::F32(f) => run_cell(codec, dataset, f, opts.reps),
+                DatasetField::F64(f) => run_cell(codec, dataset, f, opts.reps),
+            };
+            println!(
+                "{:<8} {:<22} {:<12} {:>8.1}x {:>12.3e} {:>11.1} {:>11.1}",
+                row.backend,
+                row.dataset,
+                row.dims,
+                row.ratio,
+                row.max_err,
+                row.compress_mbps,
+                row.decompress_mbps
+            );
+            rows.push(row);
+        }
+    }
+
+    let doc = obj([
+        ("schema", Json::Str("stz-backend-matrix/v1".into())),
+        ("scale", Json::Num(opts.scale as f64)),
+        ("seed", Json::Num(opts.seed as f64)),
+        ("reps", Json::Num(opts.reps as f64)),
+        ("eb_rel", Json::Num(EB_REL)),
+        (
+            "results",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        obj([
+                            ("backend", Json::Str(r.backend.into())),
+                            ("dataset", Json::Str(r.dataset.into())),
+                            ("dims", Json::Str(r.dims.clone())),
+                            ("type", Json::Str(r.type_name.into())),
+                            ("eb_abs", Json::Num(r.eb_abs)),
+                            ("ratio", Json::Num(r.ratio)),
+                            ("max_err", Json::Num(r.max_err)),
+                            ("compress_mbps", Json::Num(r.compress_mbps)),
+                            ("decompress_mbps", Json::Num(r.decompress_mbps)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&out_path, format!("{doc}\n")).expect("writing the results file");
+    println!("# wrote {out_path}");
+
+    // Error bounds are a hard invariant regardless of any baseline.
+    let mut failures: Vec<String> = Vec::new();
+    for r in &rows {
+        if r.max_err > r.eb_abs * (1.0 + 1e-9) {
+            failures.push(format!(
+                "{}/{}: max error {:.3e} exceeds bound {:.3e}",
+                r.backend, r.dataset, r.max_err, r.eb_abs
+            ));
+        }
+    }
+
+    if check {
+        let path = baseline_path.as_deref().expect("--check requires --baseline <path>");
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = Json::parse(&text).unwrap_or_else(|e| panic!("bad baseline {path}: {e}"));
+        check_against_baseline(&baseline, &rows, opts.scale, &mut failures);
+    }
+
+    if failures.is_empty() {
+        if check {
+            println!("# --check: all cells within 10% of the baseline");
+        }
+    } else {
+        for f in &failures {
+            eprintln!("--check FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Largest tolerated relative regression of a gated metric (10%).
+const TOLERANCE: f64 = 0.10;
+
+fn check_against_baseline(baseline: &Json, rows: &[Row], scale: usize, failures: &mut Vec<String>) {
+    if baseline.get("scale").and_then(Json::as_f64) != Some(scale as f64) {
+        failures.push(format!(
+            "baseline was recorded at scale {:?}, this run used {scale} (rerun with the \
+             baseline's scale or regenerate it)",
+            baseline.get("scale").and_then(Json::as_f64)
+        ));
+        return;
+    }
+    let Some(base_rows) = baseline.get("results").and_then(Json::as_arr) else {
+        failures.push("baseline has no results array".into());
+        return;
+    };
+    for base in base_rows {
+        let (Some(backend), Some(dataset)) = (
+            base.get("backend").and_then(Json::as_str),
+            base.get("dataset").and_then(Json::as_str),
+        ) else {
+            failures.push("baseline row missing backend/dataset".into());
+            continue;
+        };
+        let Some(cur) = rows.iter().find(|r| r.backend == backend && r.dataset == dataset) else {
+            failures.push(format!("{backend}/{dataset}: cell present in baseline but not run"));
+            continue;
+        };
+        let base_ratio = base.get("ratio").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let base_err = base.get("max_err").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        // A malformed baseline cell (NaN floor/ceiling) must fail the gate,
+        // not slip through a false comparison.
+        let ratio_floor = base_ratio * (1.0 - TOLERANCE);
+        if cur.ratio < ratio_floor || !ratio_floor.is_finite() {
+            failures.push(format!(
+                "{backend}/{dataset}: compression ratio regressed {:.2}x -> {:.2}x (>10%)",
+                base_ratio, cur.ratio
+            ));
+        }
+        let err_ceiling = base_err * (1.0 + TOLERANCE);
+        if cur.max_err > err_ceiling || !err_ceiling.is_finite() {
+            failures.push(format!(
+                "{backend}/{dataset}: max error regressed {:.3e} -> {:.3e} (>10%)",
+                base_err, cur.max_err
+            ));
+        }
+    }
+}

@@ -118,7 +118,7 @@ fn pipelined_pack(compressor: &StzCompressor, field: &Field<f32>, threads: usize
             field.dims(),
             field.as_slice().iter().map(|&v| v + i as f32 * 0.125).collect(),
         );
-        Ok((format!("step{i:03}"), compressor.compress(&shifted)?))
+        Ok((format!("step{i:03}"), compressor.compress(&shifted)?.into()))
     })
     .expect("pipelined pack of synthetic entries cannot fail")
 }

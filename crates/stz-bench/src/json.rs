@@ -1,0 +1,370 @@
+//! Minimal JSON reading and writing for benchmark artefacts.
+//!
+//! The harness emits machine-readable results (`BENCH_*.json`) and the CI
+//! regression gate reads a committed baseline back. The build environment
+//! has no registry access, so instead of `serde` this module implements
+//! the small subset the artefacts need: objects, arrays, strings (with
+//! the standard escapes), finite numbers, booleans and null.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always held as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Keys are sorted (BTreeMap), which also makes emission
+    /// deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member `key` of an object, if present.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document (must consume the whole input).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+/// Convenience constructor for object literals.
+pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at offset {pos}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut m = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(m));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                m.insert(key, value);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(m));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut v = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(v));
+            }
+            loop {
+                v.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(v));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at offset {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).map_err(|_| "non-UTF-8 number")?;
+    let v: f64 = s.parse().map_err(|_| format!("invalid number {s:?} at offset {start}"))?;
+    if !v.is_finite() {
+        return Err(format!("non-finite number {s:?}"));
+    }
+    Ok(Json::Num(v))
+}
+
+/// Parse the four hex digits of a `\u` escape starting at `at`.
+fn parse_hex4(b: &[u8], at: usize) -> Result<u32, String> {
+    let hex = b
+        .get(at..at + 4)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .ok_or("truncated \\u escape")?;
+    u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape".to_string())
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let code = parse_hex4(b, *pos + 1)?;
+                        *pos += 4;
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            // High surrogate: a low surrogate escape must
+                            // follow; combine the pair into one code point.
+                            if b.get(*pos + 1..*pos + 3) != Some(&b"\\u"[..]) {
+                                return Err("lone high surrogate in \\u escape".into());
+                            }
+                            let low = parse_hex4(b, *pos + 3)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err("invalid low surrogate in \\u escape".into());
+                            }
+                            *pos += 6;
+                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                        } else if (0xDC00..0xE000).contains(&code) {
+                            return Err("lone low surrogate in \\u escape".into());
+                        } else {
+                            code
+                        };
+                        out.push(char::from_u32(c).ok_or("invalid \\u code point")?);
+                    }
+                    _ => return Err(format!("invalid escape at offset {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (multi-byte safe: operate on
+                // the str slice).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "non-UTF-8 string")?;
+                let c = rest.chars().next().expect("non-empty by construction");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn emit_num(v: f64, out: &mut String) {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        out.push_str(&format!("{}", v as i64));
+    } else {
+        // `{:?}` prints the shortest representation that round-trips.
+        out.push_str(&format!("{v:?}"));
+    }
+}
+
+fn emit_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn emit(value: &Json, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        Json::Num(v) => emit_num(*v, out),
+        Json::Str(s) => emit_str(s, out),
+        Json::Arr(v) if v.is_empty() => out.push_str("[]"),
+        Json::Arr(v) => {
+            out.push_str("[\n");
+            for (i, item) in v.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                emit(item, indent + 1, out);
+                out.push_str(if i + 1 < v.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Json::Obj(m) if m.is_empty() => out.push_str("{}"),
+        Json::Obj(m) => {
+            out.push_str("{\n");
+            for (i, (k, item)) in m.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                emit_str(k, out);
+                out.push_str(": ");
+                emit(item, indent + 1, out);
+                out.push_str(if i + 1 < m.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    /// Pretty-print with two-space indentation and sorted object keys
+    /// (deterministic output, diff-friendly baselines).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        emit(self, 0, &mut out);
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_document() {
+        let doc = obj([
+            ("schema", Json::Str("x/v1".into())),
+            ("scale", Json::Num(16.0)),
+            ("ratio", Json::Num(12.25)),
+            ("tiny", Json::Num(1e-3)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("rows", Json::Arr(vec![obj([("name", Json::Str("a\"b".into()))]), Json::Num(-2.5)])),
+        ]);
+        let text = doc.to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.get("scale").unwrap().as_f64(), Some(16.0));
+        assert_eq!(back.get("rows").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parses_external_style() {
+        let j = Json::parse(r#"{ "a": [1, 2.5, -3e-2], "b": {"c": "dA"} }"#).unwrap();
+        assert_eq!(j.get("a").unwrap().as_arr().unwrap()[2].as_f64(), Some(-0.03));
+        assert_eq!(j.get("b").unwrap().get("c").unwrap().as_str(), Some("dA"));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        // BMP escape, raw multi-byte UTF-8, and a surrogate pair combining
+        // into one non-BMP code point.
+        assert_eq!(Json::parse(r#""\u00e9""#).unwrap().as_str(), Some("é"));
+        assert_eq!(Json::parse(r#""é raw""#).unwrap().as_str(), Some("é raw"));
+        assert_eq!(Json::parse(r#""\ud83d\ude00""#).unwrap().as_str(), Some("😀"));
+        // Lone or malformed surrogates are errors, not silent corruption.
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        assert!(Json::parse(r#""\ud83dx""#).is_err());
+        assert!(Json::parse(r#""\ude00""#).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("\"open").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn integers_emit_without_fraction() {
+        assert_eq!(Json::Num(16.0).to_string(), "16");
+        assert_eq!(Json::Num(0.001).to_string(), "0.001");
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod calibrate;
 pub mod cli;
+pub mod json;
 pub mod slab;
 pub mod timing;
 

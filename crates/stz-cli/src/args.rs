@@ -6,16 +6,16 @@ use stz_field::{Dims, Region};
 pub const USAGE: &str = "\
 USAGE:
   stz compress   -i <raw> -o <archive> -d <Z>x<Y>x<X> -t <f32|f64> -e <bound>
-                 [--rel] [--levels <2..4>] [--linear] [--no-adaptive]
-                 [--threads <N>]
-  stz decompress -i <archive> -o <raw> [--threads <N>]
+                 [--backend <stz|sz3|zfp|sperr|mgard>] [--rel]
+                 [--levels <2..4>] [--linear] [--no-adaptive] [--threads <N>]
+  stz decompress -i <archive> -o <raw> [--backend <name>] [--threads <N>]
   stz preview    -i <archive|container> -o <raw> -l <level> [--entry <name>]
   stz roi        -i <archive> -o <raw> -r <z0:z1,y0:y1,x0:x1>
   stz info       -i <archive>
 
   stz pack       -i <raw>[,<raw>...] -o <container> -d <Z>x<Y>x<X> -t <f32|f64>
-                 -e <bound> [--rel] [--levels <2..4>] [--linear] [--no-adaptive]
-                 [--name <entry>] [--threads <N>]
+                 -e <bound> [--backend <name>] [--rel] [--levels <2..4>]
+                 [--linear] [--no-adaptive] [--name <entry>] [--threads <N>]
   stz inspect    -i <container>
   stz extract    -i <archive|container> -o <raw> -r <z0:z1,y0:y1,x0:x1>
                  [--entry <name>]
@@ -23,6 +23,11 @@ USAGE:
 Raw files are flat little-endian arrays in C order (x fastest).
 Containers (.stzc) hold one entry per input file, named by file stem; preview
 and extract read only the byte ranges the query needs.
+--backend selects the compression engine (default stz, the native streaming
+compressor); decompress sniffs the engine from the archive magic when the
+flag is omitted. Containers may mix engines per entry; progressive preview
+needs stz entries, while decompress/extract work for every engine.
+--levels/--linear/--no-adaptive tune the stz hierarchy and apply only to it.
 --threads 0 (the default) uses STZ_THREADS or all cores; output bytes are
 identical at every thread count. pack parallelizes across entries, so its
 effective width is capped at the input count (one input parallelizes
@@ -37,8 +42,20 @@ pub struct Parsed {
 }
 
 /// Which flags take a value, per the USAGE above.
-const VALUED: &[&str] =
-    &["-i", "-o", "-d", "-t", "-e", "-l", "-r", "--levels", "--entry", "--name", "--threads"];
+const VALUED: &[&str] = &[
+    "-i",
+    "-o",
+    "-d",
+    "-t",
+    "-e",
+    "-l",
+    "-r",
+    "--levels",
+    "--entry",
+    "--name",
+    "--threads",
+    "--backend",
+];
 
 pub fn parse(argv: &[String]) -> Result<Parsed, String> {
     let command = argv.get(1).ok_or("missing subcommand")?.clone();

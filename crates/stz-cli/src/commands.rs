@@ -2,10 +2,43 @@
 
 use crate::args::{self, Parsed};
 use std::path::Path;
+use stz_backend::{registry, BackendScalar, Codec, ErrorBound};
 use stz_core::{InterpKind, StzArchive, StzCompressor, StzConfig};
 use stz_data::io::{read_raw, write_raw};
 use stz_field::{Field, Scalar};
-use stz_stream::{pack_pipelined, ContainerReader, EntryReader, FileSource};
+use stz_stream::{pack_pipelined, ContainerReader, EntryReader, FileSource, ForeignArchive};
+
+/// Resolve `--backend` (default: the native stz engine).
+fn backend_choice(p: &Parsed) -> Result<&'static dyn Codec, String> {
+    let name = p.optional("--backend").unwrap_or("stz");
+    registry().by_name(name).ok_or_else(|| {
+        format!("unknown backend {name:?} (available: {})", registry().names().join(", "))
+    })
+}
+
+/// Reject stz-only hierarchy flags when a foreign backend is selected.
+fn reject_stz_flags(p: &Parsed, backend: &dyn Codec) -> Result<(), String> {
+    for flag in ["--levels", "--linear", "--no-adaptive"] {
+        let given = match flag {
+            "--levels" => p.optional("--levels").is_some(),
+            _ => p.switch(flag),
+        };
+        if given {
+            return Err(format!("{flag} applies only to the stz backend, not {}", backend.name()));
+        }
+    }
+    Ok(())
+}
+
+/// The requested error bound, before per-field resolution.
+fn error_bound(p: &Parsed) -> Result<ErrorBound, String> {
+    let eb: f64 =
+        p.required("-e")?.parse().map_err(|_| "error bound -e must be a number".to_string())?;
+    if !(eb > 0.0 && eb.is_finite()) {
+        return Err("error bound must be positive and finite".into());
+    }
+    Ok(if p.switch("--rel") { ErrorBound::Relative(eb) } else { ErrorBound::Absolute(eb) })
+}
 
 /// Build the thread pool a subcommand will run under (`0` = auto:
 /// `STZ_THREADS` or all cores). Archive bytes are identical at every width.
@@ -72,15 +105,48 @@ fn build_config(p: &Parsed) -> Result<StzConfig, String> {
 
 fn compress(p: &Parsed) -> Result<(), String> {
     let dims = args::parse_dims(p.required("-d")?)?;
-    let cfg = build_config(p)?;
-    let threads = p.threads()?;
+    let backend = backend_choice(p)?;
     let input = Path::new(p.required("-i")?);
     let output = Path::new(p.required("-o")?);
+    if backend.id() != stz_backend::id::STZ {
+        // Foreign engines compress through the registry (whole-field,
+        // serial); the stz path below keeps its tuned parallel pipeline.
+        reject_stz_flags(p, backend)?;
+        let eb = error_bound(p)?;
+        return match p.required("-t")? {
+            "f32" => compress_foreign::<f32>(backend, input, output, dims, &eb),
+            "f64" => compress_foreign::<f64>(backend, input, output, dims, &eb),
+            t => Err(format!("unknown element type {t:?} (want f32 or f64)")),
+        };
+    }
+    let cfg = build_config(p)?;
+    let threads = p.threads()?;
     match p.required("-t")? {
         "f32" => compress_typed::<f32>(input, output, dims, cfg, threads),
         "f64" => compress_typed::<f64>(input, output, dims, cfg, threads),
         t => Err(format!("unknown element type {t:?} (want f32 or f64)")),
     }
+}
+
+fn compress_foreign<T: BackendScalar>(
+    backend: &dyn Codec,
+    input: &Path,
+    output: &Path,
+    dims: stz_field::Dims,
+    eb: &ErrorBound,
+) -> Result<(), String> {
+    let field: Field<T> = read_raw(input, dims).map_err(|e| e.to_string())?;
+    let bytes = stz_backend::compress(backend, &field, eb).map_err(|e| e.to_string())?;
+    let cr = field.nbytes() as f64 / bytes.len() as f64;
+    let len = bytes.len();
+    std::fs::write(output, bytes).map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} -> {} [{}] ({len} bytes, CR {cr:.1}x)",
+        input.display(),
+        output.display(),
+        backend.name()
+    );
+    Ok(())
 }
 
 fn compress_typed<T: Scalar>(
@@ -121,6 +187,26 @@ fn with_archive<R>(
 fn decompress(p: &Parsed) -> Result<(), String> {
     let input = Path::new(p.required("-i")?);
     let output = Path::new(p.required("-o")?).to_path_buf();
+    // Which engine wrote this archive? --backend wins; otherwise sniff the
+    // magic so `stz decompress` keeps working on any backend's output.
+    let backend = match p.optional("--backend") {
+        Some(_) => backend_choice(p)?,
+        None => {
+            let mut prefix = [0u8; 4];
+            let mut f = std::fs::File::open(input).map_err(|e| e.to_string())?;
+            std::io::Read::read_exact(&mut f, &mut prefix).map_err(|e| e.to_string())?;
+            registry().detect(&prefix).ok_or_else(|| {
+                format!(
+                    "{} is not an archive of any known backend ({})",
+                    input.display(),
+                    registry().names().join(", ")
+                )
+            })?
+        }
+    };
+    if backend.id() != stz_backend::id::STZ {
+        return decompress_foreign(backend, input, &output);
+    }
     let pool = thread_pool(p.threads()?)?;
     let serial = p.threads()? == 1;
     with_archive(
@@ -140,6 +226,39 @@ fn decompress(p: &Parsed) -> Result<(), String> {
             Ok(())
         },
     )
+}
+
+/// Decode a foreign backend's archive, dispatching on the element type the
+/// archive itself declares (f32 first, f64 on a type mismatch).
+fn decompress_foreign(backend: &dyn Codec, input: &Path, output: &Path) -> Result<(), String> {
+    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+    match stz_backend::decompress::<f32>(backend, &bytes) {
+        Ok(f) => {
+            write_raw(output, &f).map_err(|e| e.to_string())?;
+            eprintln!(
+                "wrote {} ({} f32 values, {} backend)",
+                output.display(),
+                f.len(),
+                backend.name()
+            );
+            Ok(())
+        }
+        Err(f32_err) => {
+            // Both attempts failing must surface both diagnostics — the f32
+            // error is the real one for a corrupt f32 archive, the f64 error
+            // for a corrupt f64 archive.
+            let f: Field<f64> = stz_backend::decompress(backend, &bytes)
+                .map_err(|f64_err| format!("as f32: {f32_err}; as f64: {f64_err}"))?;
+            write_raw(output, &f).map_err(|e| e.to_string())?;
+            eprintln!(
+                "wrote {} ({} f64 values, {} backend)",
+                output.display(),
+                f.len(),
+                backend.name()
+            );
+            Ok(())
+        }
+    }
 }
 
 /// Open a container and dispatch on the selected entry's element type.
@@ -165,7 +284,7 @@ fn with_container_entry<R>(
     }
 }
 
-fn preview_entry<T: Scalar>(
+fn preview_entry<T: BackendScalar>(
     e: EntryReader<'_, T, FileSource>,
     output: &Path,
     level: u8,
@@ -177,7 +296,7 @@ fn preview_entry<T: Scalar>(
         e.name(),
         f.dims(),
         output.display(),
-        stz_core::SectionSource::bytes_through_level(&e, level),
+        e.bytes_through_level(level),
         e.compressed_len()
     );
     Ok(())
@@ -271,7 +390,7 @@ fn print_info<T: Scalar>(type_name: &str, bytes_per: usize, a: &StzArchive<T>) {
 
 fn pack(p: &Parsed) -> Result<(), String> {
     let dims = args::parse_dims(p.required("-d")?)?;
-    let cfg = build_config(p)?;
+    let backend = backend_choice(p)?;
     let threads = p.threads()?;
     let inputs: Vec<&str> = p.required("-i")?.split(',').filter(|s| !s.is_empty()).collect();
     if inputs.is_empty() {
@@ -281,11 +400,87 @@ fn pack(p: &Parsed) -> Result<(), String> {
         return Err("--name applies to a single input; multiple inputs are named by stem".into());
     }
     let output = Path::new(p.required("-o")?);
+    if backend.id() != stz_backend::id::STZ {
+        reject_stz_flags(p, backend)?;
+        let eb = error_bound(p)?;
+        return match p.required("-t")? {
+            "f32" => pack_foreign::<f32>(backend, &inputs, output, dims, &eb, p, threads),
+            "f64" => pack_foreign::<f64>(backend, &inputs, output, dims, &eb, p, threads),
+            t => Err(format!("unknown element type {t:?} (want f32 or f64)")),
+        };
+    }
+    let cfg = build_config(p)?;
     match p.required("-t")? {
         "f32" => pack_typed::<f32>(&inputs, output, dims, cfg, p.optional("--name"), threads),
         "f64" => pack_typed::<f64>(&inputs, output, dims, cfg, p.optional("--name"), threads),
         t => Err(format!("unknown element type {t:?} (want f32 or f64)")),
     }
+}
+
+/// Pack entries compressed by a foreign backend: each input becomes a
+/// foreign-codec section, compressed on pipeline workers like the stz path.
+fn pack_foreign<T: BackendScalar>(
+    backend: &'static dyn Codec,
+    inputs: &[&str],
+    output: &Path,
+    dims: stz_field::Dims,
+    eb: &ErrorBound,
+    p: &Parsed,
+    threads: usize,
+) -> Result<(), String> {
+    let jobs = entry_jobs(inputs, p.optional("--name"))?;
+    // Foreign engines compress serially, so pack parallelism is purely
+    // entry-level: resolve the auto width (STZ_THREADS or all cores)
+    // without spawning a pool that would sit idle.
+    let entry_workers = match threads {
+        0 => rayon::current_num_threads(),
+        n => n,
+    };
+    let n = jobs.len();
+    let compress_entry =
+        |(name, input): (String, &Path)| -> stz_stream::Result<(String, stz_stream::PackEntry<T>)> {
+            let field: Field<T> = read_raw(input, dims)?;
+            // Resolve a relative bound once (value_range is a full-field
+            // scan) and reuse the absolute value for both the compression
+            // and the footer metadata.
+            let abs = eb.absolute_for(&field);
+            let bytes = stz_backend::compress(backend, &field, &ErrorBound::Absolute(abs))?;
+            eprintln!(
+                "compressed {} as {name:?} [{}] ({} bytes, CR {:.1}x)",
+                input.display(),
+                backend.name(),
+                bytes.len(),
+                field.nbytes() as f64 / bytes.len() as f64
+            );
+            Ok((name, ForeignArchive::new::<T>(backend.id(), dims, abs, bytes).into()))
+        };
+    let file = std::fs::File::create(output).map_err(|e| e.to_string())?;
+    pack_pipelined(std::io::BufWriter::new(file), jobs, entry_workers, compress_entry)
+        .map_err(|e| e.to_string())?;
+    eprintln!("wrote {} ({n} entries, {} backend)", output.display(), backend.name());
+    Ok(())
+}
+
+/// Derive every entry name up front, before any compression work, so
+/// naming problems surface as plain CLI errors.
+fn entry_jobs<'a>(
+    inputs: &[&'a str],
+    name_override: Option<&str>,
+) -> Result<Vec<(String, &'a Path)>, String> {
+    inputs
+        .iter()
+        .map(|input| {
+            let input = Path::new(*input);
+            let name = match name_override {
+                Some(n) => n.to_string(),
+                None => input
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .ok_or_else(|| format!("cannot derive entry name from {}", input.display()))?,
+            };
+            Ok((name, input))
+        })
+        .collect()
 }
 
 fn pack_typed<T: Scalar>(
@@ -296,22 +491,7 @@ fn pack_typed<T: Scalar>(
     name_override: Option<&str>,
     threads: usize,
 ) -> Result<(), String> {
-    // Derive every entry name up front, before any compression work, so
-    // naming problems surface as plain CLI errors.
-    let jobs: Vec<(String, &Path)> = inputs
-        .iter()
-        .map(|input| {
-            let input = Path::new(input);
-            let name = match name_override {
-                Some(n) => n.to_string(),
-                None => input
-                    .file_stem()
-                    .map(|s| s.to_string_lossy().into_owned())
-                    .ok_or_else(|| format!("cannot derive entry name from {}", input.display()))?,
-            };
-            Ok((name, input))
-        })
-        .collect::<Result<_, String>>()?;
+    let jobs = entry_jobs(inputs, name_override)?;
     let pool = thread_pool(threads)?;
     // Entry-level parallelism: workers compress time steps serially while
     // the writer thread appends finished entries in order. A single entry
@@ -320,7 +500,7 @@ fn pack_typed<T: Scalar>(
     let entry_workers = if threads == 1 { 1 } else { pool.current_num_threads() };
     let single_entry = jobs.len() == 1;
     let compress_entry =
-        |(name, input): (String, &Path)| -> stz_stream::Result<(String, StzArchive<T>)> {
+        |(name, input): (String, &Path)| -> stz_stream::Result<(String, stz_stream::PackEntry<T>)> {
             // An unreadable input is an I/O failure, not stream corruption.
             let field: Field<T> = read_raw(input, dims)?;
             let compressor = StzCompressor::new(cfg);
@@ -339,7 +519,7 @@ fn pack_typed<T: Scalar>(
                 archive.compressed_len(),
                 archive.compression_ratio()
             );
-            Ok((name, archive))
+            Ok((name, archive.into()))
         };
     let file = std::fs::File::create(output).map_err(|e| e.to_string())?;
     let n = jobs.len();
@@ -359,25 +539,32 @@ fn inspect(p: &Parsed) -> Result<(), String> {
     println!("container:       {}", input.display());
     println!("entries:         {}", reader.entry_count());
     for (i, meta) in reader.entries().enumerate() {
-        let h = meta.header();
         println!("[{i}] {:?}", meta.name());
-        println!("    dims:        {}", h.dims);
+        // Unknown codec ids still index and list (the footer layout is
+        // self-describing); only decoding them errors.
+        match meta.codec_name() {
+            Some(name) => println!("    codec:       {name}"),
+            None => println!("    codec:       unknown (id {}, cannot decode)", meta.codec_id()),
+        }
+        println!("    dims:        {}", meta.dims());
         println!("    type:        {}", if meta.type_tag() == 0 { "f32" } else { "f64" });
-        println!("    levels:      {} ({:?} interpolation)", h.levels, h.interp);
-        println!("    error bound: {:.3e} (absolute, finest level)", h.eb_finest);
+        println!("    error bound: {:.3e} (absolute)", meta.error_bound());
         println!("    compressed:  {} bytes", meta.compressed_len());
-        for k in 1..=h.levels {
-            println!(
-                "      level {k}: cumulative {} bytes ({:.1}% of payload)",
-                meta.bytes_through_level(k),
-                100.0 * meta.bytes_through_level(k) as f64 / meta.compressed_len() as f64
-            );
+        if let Some(h) = meta.header() {
+            println!("    levels:      {} ({:?} interpolation)", h.levels, h.interp);
+            for k in 1..=h.levels {
+                println!(
+                    "      level {k}: cumulative {} bytes ({:.1}% of payload)",
+                    meta.bytes_through_level(k),
+                    100.0 * meta.bytes_through_level(k) as f64 / meta.compressed_len() as f64
+                );
+            }
         }
     }
     Ok(())
 }
 
-fn extract_entry<T: Scalar>(
+fn extract_entry<T: BackendScalar>(
     e: EntryReader<'_, T, FileSource>,
     output: &Path,
     region: &stz_field::Region,
@@ -633,6 +820,147 @@ mod tests {
         pack_with("4", &c4);
         assert_eq!(std::fs::read(&c1).unwrap(), std::fs::read(&c4).unwrap());
         let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn backend_flag_roundtrips_every_engine() {
+        let d = dir();
+        let raw = d.join("b.f32");
+        let dims = Dims::d3(16, 16, 16);
+        let field = stz_data::synth::miranda_like(dims, 9);
+        write_raw(&raw, &field).unwrap();
+
+        for backend in ["stz", "sz3", "zfp", "sperr", "mgard"] {
+            let arc = d.join(format!("b.{backend}"));
+            let out = d.join(format!("b.{backend}.out"));
+            run(&argv(&[
+                "compress".into(),
+                "-i".into(),
+                raw.display().to_string(),
+                "-o".into(),
+                arc.display().to_string(),
+                "-d".into(),
+                "16x16x16".into(),
+                "-t".into(),
+                "f32".into(),
+                "-e".into(),
+                "1e-3".into(),
+                "--backend".into(),
+                backend.into(),
+            ]))
+            .unwrap();
+            // No --backend on decompress: the engine is sniffed from magic.
+            run(&argv(&[
+                "decompress".into(),
+                "-i".into(),
+                arc.display().to_string(),
+                "-o".into(),
+                out.display().to_string(),
+            ]))
+            .unwrap();
+            let restored: Field<f32> = read_raw(&out, dims).unwrap();
+            let err = stz_data::metrics::max_abs_error(&field, &restored);
+            assert!(err <= 1e-3 * (1.0 + 1e-6), "{backend}: err {err}");
+        }
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn backend_pack_inspect_extract_cycle() {
+        let d = dir();
+        let dims = Dims::d3(16, 16, 16);
+        let raw = d.join("s0.f32");
+        let field = stz_data::synth::miranda_like(dims, 13);
+        write_raw(&raw, &field).unwrap();
+
+        let container = d.join("zfp.stzc");
+        run(&argv(&[
+            "pack".into(),
+            "-i".into(),
+            raw.display().to_string(),
+            "-o".into(),
+            container.display().to_string(),
+            "-d".into(),
+            "16x16x16".into(),
+            "-t".into(),
+            "f32".into(),
+            "-e".into(),
+            "1e-3".into(),
+            "--backend".into(),
+            "zfp".into(),
+        ]))
+        .unwrap();
+        run(&argv(&["inspect".into(), "-i".into(), container.display().to_string()])).unwrap();
+
+        // Extract works on foreign entries (full decode + crop).
+        let roi_out = d.join("roi.f32");
+        run(&argv(&[
+            "extract".into(),
+            "-i".into(),
+            container.display().to_string(),
+            "-o".into(),
+            roi_out.display().to_string(),
+            "-r".into(),
+            "2:6,0:16,4:8".into(),
+        ]))
+        .unwrap();
+        let roi: Field<f32> = read_raw(&roi_out, Dims::d3(4, 16, 4)).unwrap();
+        assert_eq!(roi.len(), 4 * 16 * 4);
+
+        // Preview needs the stz hierarchy: a zfp entry errors, no panic.
+        let prev = d.join("p.f32");
+        assert!(run(&argv(&[
+            "preview".into(),
+            "-i".into(),
+            container.display().to_string(),
+            "-o".into(),
+            prev.display().to_string(),
+            "-l".into(),
+            "1".into(),
+        ]))
+        .is_err());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn unknown_backend_and_stz_flags_rejected() {
+        assert!(run(&argv(&[
+            "compress".into(),
+            "-i".into(),
+            "/nonexistent".into(),
+            "-o".into(),
+            "/tmp/x".into(),
+            "-d".into(),
+            "4x4x4".into(),
+            "-t".into(),
+            "f32".into(),
+            "-e".into(),
+            "1e-3".into(),
+            "--backend".into(),
+            "lz4".into(),
+        ]))
+        .unwrap_err()
+        .contains("unknown backend"));
+        // Hierarchy flags are stz-only.
+        assert!(run(&argv(&[
+            "compress".into(),
+            "-i".into(),
+            "/nonexistent".into(),
+            "-o".into(),
+            "/tmp/x".into(),
+            "-d".into(),
+            "4x4x4".into(),
+            "-t".into(),
+            "f32".into(),
+            "-e".into(),
+            "1e-3".into(),
+            "--backend".into(),
+            "zfp".into(),
+            "--levels".into(),
+            "3".into(),
+        ]))
+        .unwrap_err()
+        .contains("--levels"));
     }
 
     #[test]

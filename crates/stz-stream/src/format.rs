@@ -5,15 +5,18 @@
 //! │ 0x00  magic "STZC" │ version u8 │ reserved [u8; 3]                 │ 8 B
 //! ├────────────────────────────────────────────────────────────────────┤
 //! │ entry payloads, back to back                                       │
-//! │   each payload = the raw bytes of one STZ archive                  │
-//! │   (header · level-1 SZ3 stream · per-level sub-block streams)      │
+//! │   each payload = the raw bytes of one codec archive                │
+//! │   (STZ: header · level-1 SZ3 stream · per-level sub-block streams; │
+//! │    foreign codecs: the engine's own self-contained archive)        │
 //! ├────────────────────────────────────────────────────────────────────┤
 //! │ footer: uvarint entry_count, then per entry                        │
-//! │   name (length-prefixed)                                           │
-//! │   archive parameters (type, dims, levels, interp, bounds, radius)  │
-//! │   payload  {off, len, crc32}                                       │
-//! │   level-1  {off, len, crc32}                                       │
-//! │   per finer level: nblocks × {off, len, crc32}                     │
+//! │   name (length-prefixed) · codec id (u8)                           │
+//! │   codec = stz:  archive parameters (type, dims, levels, interp,    │
+//! │                 bounds, radius)                                    │
+//! │                 payload {off, len, crc32} · level-1 {off,len,crc}  │
+//! │                 per finer level: nblocks × {off, len, crc32}       │
+//! │   other codecs: type, dims, error bound                            │
+//! │                 payload {off, len, crc32}                          │
 //! ├────────────────────────────────────────────────────────────────────┤
 //! │ trailer (fixed 24 B at EOF):                                       │
 //! │   footer_off u64 │ footer_len u64 │ footer_crc32 u32 │ "STZE"      │
@@ -33,6 +36,11 @@
 //!   fetches 2% of the file verifies exactly that 2%.
 //! * Offsets are absolute file positions; varint-encoded (the footer for a
 //!   4-entry, 3-level container is ~600 bytes).
+//! * **Per-entry codec ids** (format v2) let one container mix engines —
+//!   e.g. an SZ3 section next to STZ time steps. Version-1 containers
+//!   (which predate the codec byte) still parse; every v1 entry is STZ.
+//!   Unknown codec ids parse (the foreign index layout is self-describing)
+//!   so `inspect` can report them; *decoding* such an entry errors.
 
 use crate::error::{Result, StreamError};
 use stz_codec::{ByteReader, ByteWriter};
@@ -45,8 +53,10 @@ use stz_field::Dims;
 pub const CONTAINER_MAGIC: [u8; 4] = *b"STZC";
 /// Magic bytes closing the trailer.
 pub const TRAILER_MAGIC: [u8; 4] = *b"STZE";
-/// Current container format version.
-pub const CONTAINER_VERSION: u8 = 1;
+/// Current container format version (v2 added per-entry codec ids).
+pub const CONTAINER_VERSION: u8 = 2;
+/// Oldest container format version this reader still parses.
+pub const MIN_CONTAINER_VERSION: u8 = 1;
 /// Size of the fixed file header.
 pub const HEADER_LEN: u64 = 8;
 /// Size of the fixed trailer at EOF.
@@ -67,15 +77,12 @@ pub struct SectionLoc {
     pub crc: u32,
 }
 
-/// One archive's index record in the footer.
+/// Index detail of a native STZ entry: the archive's parameters plus the
+/// location of every independently fetchable section.
 #[derive(Debug, Clone)]
-pub struct EntryRecord {
-    /// Entry name (e.g. a field name or time-step label).
-    pub name: String,
+pub struct StzDetail {
     /// The archive's parameters, reconstructed without touching the payload.
     pub header: ArchiveHeader,
-    /// The whole archive payload.
-    pub payload: SectionLoc,
     /// The level-1 SZ3 stream.
     pub l1: SectionLoc,
     /// Finer-level sub-block streams: `blocks[k - 2][i]` for level `k`,
@@ -83,7 +90,7 @@ pub struct EntryRecord {
     pub blocks: Vec<Vec<SectionLoc>>,
 }
 
-impl EntryRecord {
+impl StzDetail {
     /// Compressed payload bytes needed for levels `1..=k` (the progressive
     /// I/O cost of this entry).
     pub fn bytes_through_level(&self, k: u8) -> u64 {
@@ -100,6 +107,92 @@ impl EntryRecord {
     }
 }
 
+/// Index detail of a foreign-codec entry: the payload is one opaque,
+/// self-contained archive of that codec, so the index carries only what
+/// metadata queries need.
+#[derive(Debug, Clone, Copy)]
+pub struct ForeignDetail {
+    /// Element type tag (0 = `f32`, 1 = `f64`).
+    pub type_tag: u8,
+    /// Grid extents of the encoded field.
+    pub dims: Dims,
+    /// Absolute point-wise error bound the entry was compressed with.
+    pub eb: f64,
+}
+
+/// Per-codec index detail of one entry.
+#[derive(Debug, Clone)]
+pub enum EntryDetail {
+    /// A native STZ archive with per-section index.
+    Stz(StzDetail),
+    /// A foreign codec's archive, indexed as a single payload section.
+    Foreign(ForeignDetail),
+}
+
+/// One archive's index record in the footer.
+#[derive(Debug, Clone)]
+pub struct EntryRecord {
+    /// Entry name (e.g. a field name or time-step label).
+    pub name: String,
+    /// Codec wire id (`stz_backend::id`); `stz_backend::id::STZ` for native
+    /// entries, which are the only ids a v1 container can hold.
+    pub codec: u8,
+    /// The whole archive payload.
+    pub payload: SectionLoc,
+    /// Codec-specific index detail.
+    pub detail: EntryDetail,
+}
+
+impl EntryRecord {
+    /// Element type tag (0 = `f32`, 1 = `f64`).
+    pub fn type_tag(&self) -> u8 {
+        match &self.detail {
+            EntryDetail::Stz(d) => d.header.type_tag,
+            EntryDetail::Foreign(d) => d.type_tag,
+        }
+    }
+
+    /// Grid extents of the encoded field.
+    pub fn dims(&self) -> Dims {
+        match &self.detail {
+            EntryDetail::Stz(d) => d.header.dims,
+            EntryDetail::Foreign(d) => d.dims,
+        }
+    }
+
+    /// Absolute error bound at the finest level.
+    pub fn eb(&self) -> f64 {
+        match &self.detail {
+            EntryDetail::Stz(d) => d.header.eb_finest,
+            EntryDetail::Foreign(d) => d.eb,
+        }
+    }
+
+    /// The STZ detail, if this is a native entry.
+    pub fn stz_detail(&self) -> Option<&StzDetail> {
+        match &self.detail {
+            EntryDetail::Stz(d) => Some(d),
+            EntryDetail::Foreign(_) => None,
+        }
+    }
+
+    /// Compressed payload bytes needed for levels `1..=k` (the progressive
+    /// I/O cost of this entry). Foreign codecs have no partial levels: any
+    /// `k >= 1` costs the whole payload.
+    pub fn bytes_through_level(&self, k: u8) -> u64 {
+        match &self.detail {
+            EntryDetail::Stz(d) => d.bytes_through_level(k),
+            EntryDetail::Foreign(_) => {
+                if k == 0 {
+                    0
+                } else {
+                    self.payload.len
+                }
+            }
+        }
+    }
+}
+
 fn interp_code(interp: InterpKind) -> u8 {
     match interp {
         InterpKind::Linear => 0,
@@ -113,31 +206,47 @@ fn put_section(w: &mut ByteWriter, s: &SectionLoc) {
     w.put_u32(s.crc);
 }
 
-/// Serialize the footer (without trailer).
+fn put_dims(w: &mut ByteWriter, dims: Dims) {
+    w.put_u8(dims.ndim());
+    let [nz, ny, nx] = dims.as_array();
+    w.put_uvarint(nz as u64);
+    w.put_uvarint(ny as u64);
+    w.put_uvarint(nx as u64);
+}
+
+/// Serialize the footer (without trailer), always in the current version's
+/// layout.
 pub fn encode_footer(entries: &[EntryRecord]) -> Vec<u8> {
     let mut w = ByteWriter::with_capacity(64 + entries.len() * 160);
     w.put_uvarint(entries.len() as u64);
     for e in entries {
         w.put_block(e.name.as_bytes());
-        let h = &e.header;
-        w.put_u8(h.type_tag);
-        w.put_u8(h.dims.ndim());
-        let [nz, ny, nx] = h.dims.as_array();
-        w.put_uvarint(nz as u64);
-        w.put_uvarint(ny as u64);
-        w.put_uvarint(nx as u64);
-        w.put_u8(h.levels);
-        w.put_u8(interp_code(h.interp));
-        w.put_u8(h.adaptive as u8);
-        w.put_f64(h.adaptive_ratio);
-        w.put_f64(h.eb_finest);
-        w.put_uvarint(h.radius as u64);
-        put_section(&mut w, &e.payload);
-        put_section(&mut w, &e.l1);
-        for level_blocks in &e.blocks {
-            w.put_uvarint(level_blocks.len() as u64);
-            for b in level_blocks {
-                put_section(&mut w, b);
+        w.put_u8(e.codec);
+        match &e.detail {
+            EntryDetail::Stz(d) => {
+                let h = &d.header;
+                w.put_u8(h.type_tag);
+                put_dims(&mut w, h.dims);
+                w.put_u8(h.levels);
+                w.put_u8(interp_code(h.interp));
+                w.put_u8(h.adaptive as u8);
+                w.put_f64(h.adaptive_ratio);
+                w.put_f64(h.eb_finest);
+                w.put_uvarint(h.radius as u64);
+                put_section(&mut w, &e.payload);
+                put_section(&mut w, &d.l1);
+                for level_blocks in &d.blocks {
+                    w.put_uvarint(level_blocks.len() as u64);
+                    for b in level_blocks {
+                        put_section(&mut w, b);
+                    }
+                }
+            }
+            EntryDetail::Foreign(d) => {
+                w.put_u8(d.type_tag);
+                put_dims(&mut w, d.dims);
+                w.put_f64(d.eb);
+                put_section(&mut w, &e.payload);
             }
         }
     }
@@ -163,13 +272,135 @@ fn check_bounds(s: &SectionLoc, lo: u64, hi: u64, what: &str) -> Result<()> {
     Ok(())
 }
 
+fn get_type_tag(r: &mut ByteReader<'_>) -> Result<u8> {
+    let type_tag = r.get_u8()?;
+    if type_tag > 1 {
+        return Err(StreamError::unsupported(format!("element type tag {type_tag}")));
+    }
+    Ok(type_tag)
+}
+
+fn get_dims(r: &mut ByteReader<'_>) -> Result<Dims> {
+    let ndim = r.get_u8()?;
+    if !(1..=3).contains(&ndim) {
+        return Err(StreamError::corrupt(format!("invalid ndim {ndim}")));
+    }
+    let nz = r.get_uvarint()?;
+    let ny = r.get_uvarint()?;
+    let nx = r.get_uvarint()?;
+    if nz == 0
+        || ny == 0
+        || nx == 0
+        || nz.saturating_mul(ny).saturating_mul(nx) > stz_sz3::stream::MAX_POINTS
+    {
+        return Err(StreamError::corrupt(format!("invalid dims {nz}x{ny}x{nx}")));
+    }
+    if (ndim < 3 && nz != 1) || (ndim < 2 && ny != 1) {
+        return Err(StreamError::corrupt("dims inconsistent with ndim"));
+    }
+    Ok(Dims::from_parts(ndim, nz as usize, ny as usize, nx as usize))
+}
+
+/// Parse the body of one native STZ entry record (everything after the
+/// codec id), shared by the v1 and v2 layouts.
+fn parse_stz_entry(r: &mut ByteReader<'_>, payload_end: u64) -> Result<(SectionLoc, StzDetail)> {
+    let type_tag = get_type_tag(r)?;
+    let dims = get_dims(r)?;
+    let levels = r.get_u8()?;
+    if !(2..=4).contains(&levels) {
+        return Err(StreamError::corrupt(format!("invalid level count {levels}")));
+    }
+    let interp = match r.get_u8()? {
+        0 => InterpKind::Linear,
+        1 => InterpKind::Cubic,
+        k => return Err(StreamError::unsupported(format!("interp kind {k}"))),
+    };
+    let adaptive = match r.get_u8()? {
+        0 => false,
+        1 => true,
+        k => return Err(StreamError::corrupt(format!("invalid adaptive flag {k}"))),
+    };
+    let adaptive_ratio = r.get_f64()?;
+    if !(adaptive_ratio >= 1.0 && adaptive_ratio.is_finite()) {
+        return Err(StreamError::corrupt(format!("invalid adaptive ratio {adaptive_ratio}")));
+    }
+    let eb_finest = r.get_f64()?;
+    if !(eb_finest > 0.0 && eb_finest.is_finite()) {
+        return Err(StreamError::corrupt(format!("invalid error bound {eb_finest}")));
+    }
+    let radius = r.get_uvarint()?;
+    if radius == 0 || radius > i64::MAX as u64 {
+        return Err(StreamError::corrupt("invalid quantizer radius"));
+    }
+
+    let header = ArchiveHeader {
+        dims,
+        type_tag,
+        levels,
+        interp,
+        adaptive,
+        adaptive_ratio,
+        eb_finest,
+        radius: radius as i64,
+    };
+
+    let payload = get_section(r)?;
+    check_bounds(&payload, HEADER_LEN, payload_end, "payload")?;
+    let payload_hi = payload.off + payload.len;
+    let l1 = get_section(r)?;
+    check_bounds(&l1, payload.off, payload_hi, "level-1")?;
+
+    let plan = LevelPlan::new(header.dims, levels);
+    let mut blocks = Vec::with_capacity(levels as usize - 1);
+    for k in 2..=levels {
+        let n = r.get_uvarint()?;
+        if n > 8 {
+            return Err(StreamError::corrupt(format!("level with {n} blocks")));
+        }
+        let expect = plan.levels[k as usize - 1].blocks.len();
+        if n as usize != expect {
+            return Err(StreamError::corrupt(format!(
+                "level {k} has {n} blocks, geometry requires {expect}"
+            )));
+        }
+        let mut level_blocks = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let b = get_section(r)?;
+            check_bounds(&b, payload.off, payload_hi, "sub-block")?;
+            level_blocks.push(b);
+        }
+        blocks.push(level_blocks);
+    }
+    Ok((payload, StzDetail { header, l1, blocks }))
+}
+
+/// Parse the body of one foreign-codec entry record (everything after the
+/// codec id). The layout is codec-independent, so unknown codec ids still
+/// index cleanly; only decoding them fails.
+fn parse_foreign_entry(
+    r: &mut ByteReader<'_>,
+    payload_end: u64,
+) -> Result<(SectionLoc, ForeignDetail)> {
+    let type_tag = get_type_tag(r)?;
+    let dims = get_dims(r)?;
+    let eb = r.get_f64()?;
+    if !(eb > 0.0 && eb.is_finite()) {
+        return Err(StreamError::corrupt(format!("invalid error bound {eb}")));
+    }
+    let payload = get_section(r)?;
+    check_bounds(&payload, HEADER_LEN, payload_end, "payload")?;
+    Ok((payload, ForeignDetail { type_tag, dims, eb }))
+}
+
 /// Parse and validate a footer against the container's file length.
 ///
+/// `version` is the container format version from the file header: v1
+/// entries have no codec byte (all are STZ), v2 entries lead with one.
 /// Validation mirrors `StzArchive::from_bytes`: every count, range and
 /// parameter is cross-checked against the geometry implied by
 /// `dims` + `levels`, so a forged index can never direct reads outside the
 /// file or allocate disproportionately.
-pub fn parse_footer(bytes: &[u8], file_len: u64) -> Result<Vec<EntryRecord>> {
+pub fn parse_footer(bytes: &[u8], file_len: u64, version: u8) -> Result<Vec<EntryRecord>> {
     let payload_end = file_len.saturating_sub(TRAILER_LEN);
     let mut r = ByteReader::new(bytes);
     let count = r.get_uvarint()?;
@@ -186,93 +417,15 @@ pub fn parse_footer(bytes: &[u8], file_len: u64) -> Result<Vec<EntryRecord>> {
             .map_err(|_| StreamError::corrupt("entry name is not UTF-8"))?
             .to_string();
 
-        let type_tag = r.get_u8()?;
-        if type_tag > 1 {
-            return Err(StreamError::unsupported(format!("element type tag {type_tag}")));
-        }
-        let ndim = r.get_u8()?;
-        if !(1..=3).contains(&ndim) {
-            return Err(StreamError::corrupt(format!("invalid ndim {ndim}")));
-        }
-        let nz = r.get_uvarint()?;
-        let ny = r.get_uvarint()?;
-        let nx = r.get_uvarint()?;
-        if nz == 0
-            || ny == 0
-            || nx == 0
-            || nz.saturating_mul(ny).saturating_mul(nx) > stz_sz3::stream::MAX_POINTS
-        {
-            return Err(StreamError::corrupt(format!("invalid dims {nz}x{ny}x{nx}")));
-        }
-        if (ndim < 3 && nz != 1) || (ndim < 2 && ny != 1) {
-            return Err(StreamError::corrupt("dims inconsistent with ndim"));
-        }
-        let levels = r.get_u8()?;
-        if !(2..=4).contains(&levels) {
-            return Err(StreamError::corrupt(format!("invalid level count {levels}")));
-        }
-        let interp = match r.get_u8()? {
-            0 => InterpKind::Linear,
-            1 => InterpKind::Cubic,
-            k => return Err(StreamError::unsupported(format!("interp kind {k}"))),
+        let codec = if version >= 2 { r.get_u8()? } else { stz_backend::id::STZ };
+        let (payload, detail) = if codec == stz_backend::id::STZ {
+            let (payload, d) = parse_stz_entry(&mut r, payload_end)?;
+            (payload, EntryDetail::Stz(d))
+        } else {
+            let (payload, d) = parse_foreign_entry(&mut r, payload_end)?;
+            (payload, EntryDetail::Foreign(d))
         };
-        let adaptive = match r.get_u8()? {
-            0 => false,
-            1 => true,
-            k => return Err(StreamError::corrupt(format!("invalid adaptive flag {k}"))),
-        };
-        let adaptive_ratio = r.get_f64()?;
-        if !(adaptive_ratio >= 1.0 && adaptive_ratio.is_finite()) {
-            return Err(StreamError::corrupt(format!("invalid adaptive ratio {adaptive_ratio}")));
-        }
-        let eb_finest = r.get_f64()?;
-        if !(eb_finest > 0.0 && eb_finest.is_finite()) {
-            return Err(StreamError::corrupt(format!("invalid error bound {eb_finest}")));
-        }
-        let radius = r.get_uvarint()?;
-        if radius == 0 || radius > i64::MAX as u64 {
-            return Err(StreamError::corrupt("invalid quantizer radius"));
-        }
-
-        let header = ArchiveHeader {
-            dims: Dims::from_parts(ndim, nz as usize, ny as usize, nx as usize),
-            type_tag,
-            levels,
-            interp,
-            adaptive,
-            adaptive_ratio,
-            eb_finest,
-            radius: radius as i64,
-        };
-
-        let payload = get_section(&mut r)?;
-        check_bounds(&payload, HEADER_LEN, payload_end, "payload")?;
-        let payload_hi = payload.off + payload.len;
-        let l1 = get_section(&mut r)?;
-        check_bounds(&l1, payload.off, payload_hi, "level-1")?;
-
-        let plan = LevelPlan::new(header.dims, levels);
-        let mut blocks = Vec::with_capacity(levels as usize - 1);
-        for k in 2..=levels {
-            let n = r.get_uvarint()?;
-            if n > 8 {
-                return Err(StreamError::corrupt(format!("level with {n} blocks")));
-            }
-            let expect = plan.levels[k as usize - 1].blocks.len();
-            if n as usize != expect {
-                return Err(StreamError::corrupt(format!(
-                    "level {k} has {n} blocks, geometry requires {expect}"
-                )));
-            }
-            let mut level_blocks = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                let b = get_section(&mut r)?;
-                check_bounds(&b, payload.off, payload_hi, "sub-block")?;
-                level_blocks.push(b);
-            }
-            blocks.push(level_blocks);
-        }
-        entries.push(EntryRecord { name, header, payload, l1, blocks });
+        entries.push(EntryRecord { name, codec, payload, detail });
     }
     if r.remaining() != 0 {
         return Err(StreamError::corrupt("trailing bytes after footer entries"));

@@ -23,12 +23,15 @@
 //!   window.
 //!
 //! The heavy lifting is shared with the in-memory path: `stz-core`'s decode
-//! drivers are generic over [`stz_core::SectionSource`], and [`EntryReader`]
-//! implements that trait with positioned reads. Disk-backed results are
-//! therefore **bit-identical** to resident-archive results by construction —
-//! the same driver runs over both — and the paper's decode-skipping logic
-//! doubles as an I/O planner: a sub-block the query skips is a byte range
-//! the disk never serves.
+//! drivers are generic over [`stz_core::SectionSource`], implemented with
+//! positioned reads by [`StzSections`] — the section view an [`EntryReader`]
+//! exposes for native STZ entries. Disk-backed results are therefore
+//! **bit-identical** to resident-archive results by construction — the same
+//! driver runs over both — and the paper's decode-skipping logic doubles as
+//! an I/O planner: a sub-block the query skips is a byte range the disk
+//! never serves. Foreign-codec entries (container format v2 records a codec
+//! id per entry) decode through the `stz-backend` registry instead, as one
+//! whole-payload fetch.
 //!
 //! See `docs/ARCHITECTURE.md` for where this crate sits in the workspace.
 //!
@@ -71,8 +74,8 @@ pub mod writer;
 pub use byte_source::{ByteSource, CountingSource, FileSource, MemorySource};
 pub use error::{Result, StreamError};
 pub use pipeline::pack_pipelined;
-pub use reader::{ContainerReader, EntryMeta, EntryReader};
-pub use writer::{pack_to_file, pack_to_vec, ContainerWriter};
+pub use reader::{ContainerReader, EntryMeta, EntryReader, StzSections};
+pub use writer::{pack_to_file, pack_to_vec, ContainerWriter, ForeignArchive, PackEntry};
 
 /// Sniff whether `bytes` begin with the container magic (vs. a bare
 /// `StzArchive` stream or something else entirely).

@@ -15,19 +15,20 @@
 //! any moment — independent of how many entries the container will hold.
 
 use crate::error::Result;
-use crate::writer::ContainerWriter;
+use crate::writer::{ContainerWriter, PackEntry};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex, MutexGuard};
-use stz_core::StzArchive;
 use stz_field::Scalar;
 
-/// Outcome of one compression job, keyed by its entry index. Job failures
-/// use [`StreamError`](crate::StreamError) so I/O problems (an unreadable
+/// Outcome of one compression job, keyed by its entry index: a named
+/// [`PackEntry`] — a native STZ archive or a foreign codec's bytes
+/// (`StzArchive` converts via `.into()`). Job failures use
+/// [`StreamError`](crate::StreamError) so I/O problems (an unreadable
 /// input, say) surface as I/O errors, not payload corruption;
 /// `stz_codec::CodecError` converts via `?`.
-type JobResult<T> = Result<(String, StzArchive<T>)>;
+type JobResult<T> = Result<(String, PackEntry<T>)>;
 
 /// Shared pipeline state: finished jobs waiting for the writer, the write
 /// cursor governing the window, and abort/panic bookkeeping.
@@ -81,8 +82,8 @@ where
     let total = jobs.len();
     if threads <= 1 || total < 2 {
         for job in jobs {
-            let (name, archive) = run(job)?;
-            writer.add_archive(&name, &archive)?;
+            let (name, entry) = run(job)?;
+            writer.add_entry(&name, &entry)?;
         }
         return writer.finish();
     }
@@ -172,7 +173,7 @@ where
             };
             let outcome = match result {
                 None => break, // aborted by a worker panic
-                Some(Ok((name, archive))) => writer.add_archive(&name, &archive),
+                Some(Ok((name, entry))) => writer.add_entry(&name, &entry),
                 Some(Err(e)) => Err(e),
             };
             match outcome {
@@ -209,7 +210,7 @@ where
 mod tests {
     use super::*;
     use crate::pack_to_vec;
-    use stz_core::{StzCompressor, StzConfig};
+    use stz_core::{StzArchive, StzCompressor, StzConfig};
     use stz_field::{Dims, Field};
 
     fn field(seed: f32) -> Field<f32> {
@@ -224,7 +225,7 @@ mod tests {
 
     fn pipelined_image(threads: usize, n: usize) -> Vec<u8> {
         pack_pipelined(Vec::new(), (0..n).collect::<Vec<usize>>(), threads, |i| {
-            Ok((format!("t{i}"), compress(i as f32)))
+            Ok((format!("t{i}"), compress(i as f32).into()))
         })
         .unwrap()
     }
@@ -249,7 +250,7 @@ mod tests {
                 if i == 3 {
                     Err(crate::StreamError::Io(std::io::Error::other("job 3 exploded")))
                 } else {
-                    Ok((format!("t{i}"), compress(i as f32)))
+                    Ok((format!("t{i}"), compress(i as f32).into()))
                 }
             })
             .unwrap_err();
@@ -266,7 +267,7 @@ mod tests {
                 if i == 5 {
                     panic!("pack worker boom");
                 }
-                Ok((format!("t{i}"), compress(i as f32)))
+                Ok((format!("t{i}"), compress(i as f32).into()))
             })
         });
         let payload = result.expect_err("worker panic must reach the caller");

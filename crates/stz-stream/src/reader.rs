@@ -4,12 +4,13 @@ use crate::byte_source::{ByteSource, FileSource};
 use crate::crc::crc32;
 use crate::error::{to_codec, Result, StreamError};
 use crate::format::{
-    parse_footer, parse_trailer, EntryRecord, SectionLoc, CONTAINER_MAGIC, CONTAINER_VERSION,
-    HEADER_LEN, TRAILER_LEN,
+    parse_footer, parse_trailer, EntryRecord, SectionLoc, StzDetail, CONTAINER_MAGIC,
+    CONTAINER_VERSION, HEADER_LEN, MIN_CONTAINER_VERSION, TRAILER_LEN,
 };
 use std::borrow::Cow;
 use std::marker::PhantomData;
 use std::path::Path;
+use stz_backend::BackendScalar;
 use stz_codec::CodecError;
 use stz_core::archive::ArchiveHeader;
 use stz_core::random_access::AccessBreakdown;
@@ -37,7 +38,8 @@ impl ContainerReader<FileSource> {
 
 impl<S: ByteSource> ContainerReader<S> {
     /// Open a container over `source`: validate the header, locate and
-    /// verify the footer, and parse the entry index.
+    /// verify the footer, and parse the entry index. Both the current
+    /// format version and v1 (pre-codec-id) containers are accepted.
     pub fn open(source: S) -> Result<Self> {
         let file_len = source.len();
         if file_len < HEADER_LEN + TRAILER_LEN {
@@ -50,11 +52,9 @@ impl<S: ByteSource> ContainerReader<S> {
         if header[0..4] != CONTAINER_MAGIC {
             return Err(StreamError::corrupt("bad container magic"));
         }
-        if header[4] != CONTAINER_VERSION {
-            return Err(StreamError::unsupported(format!(
-                "container format version {}",
-                header[4]
-            )));
+        let version = header[4];
+        if !(MIN_CONTAINER_VERSION..=CONTAINER_VERSION).contains(&version) {
+            return Err(StreamError::unsupported(format!("container format version {version}")));
         }
         let mut trailer = [0u8; TRAILER_LEN as usize];
         source.read_exact_at(file_len - TRAILER_LEN, &mut trailer)?;
@@ -64,7 +64,7 @@ impl<S: ByteSource> ContainerReader<S> {
         if crc32(&footer) != footer_crc {
             return Err(StreamError::corrupt("footer checksum mismatch"));
         }
-        let entries = parse_footer(&footer, file_len)?;
+        let entries = parse_footer(&footer, file_len, version)?;
         Ok(ContainerReader { source, entries })
     }
 
@@ -97,13 +97,19 @@ impl<S: ByteSource> ContainerReader<S> {
                 self.entries.len()
             ))
         })?;
-        if record.header.type_tag != T::TYPE_TAG {
+        if record.type_tag() != T::TYPE_TAG {
             return Err(StreamError::corrupt(format!(
                 "entry {:?} element type tag {} does not match requested type",
-                record.name, record.header.type_tag
+                record.name,
+                record.type_tag()
             )));
         }
-        Ok(EntryReader { source: &self.source, record, _marker: PhantomData })
+        Ok(EntryReader {
+            source: &self.source,
+            record,
+            stz: record.stz_detail().map(|detail| StzSections { source: &self.source, detail }),
+            _marker: PhantomData,
+        })
     }
 
     /// A typed reader over the entry named `name`.
@@ -142,20 +148,38 @@ impl<'a> EntryMeta<'a> {
         &self.record.name
     }
 
-    /// The entry's archive parameters (read from the footer; no payload
-    /// bytes are touched).
-    pub fn header(&self) -> &'a ArchiveHeader {
-        &self.record.header
+    /// Codec wire id of the entry's payload.
+    pub fn codec_id(&self) -> u8 {
+        self.record.codec
+    }
+
+    /// Registry name of the entry's codec, or `None` for a codec id this
+    /// build does not know (the entry still indexes and fetches; only
+    /// decoding it errors).
+    pub fn codec_name(&self) -> Option<&'static str> {
+        stz_backend::registry().by_id(self.record.codec).map(|c| c.name())
+    }
+
+    /// The entry's STZ archive parameters, if it is a native entry (read
+    /// from the footer; no payload bytes are touched).
+    pub fn header(&self) -> Option<&'a ArchiveHeader> {
+        self.record.stz_detail().map(|d| &d.header)
     }
 
     /// Grid extents of the encoded field.
     pub fn dims(&self) -> Dims {
-        self.record.header.dims
+        self.record.dims()
     }
 
     /// Element type tag (0 = `f32`, 1 = `f64`).
     pub fn type_tag(&self) -> u8 {
-        self.record.header.type_tag
+        self.record.type_tag()
+    }
+
+    /// Absolute point-wise error bound the entry was compressed with (the
+    /// finest-level bound for STZ entries).
+    pub fn error_bound(&self) -> f64 {
+        self.record.eb()
     }
 
     /// Compressed payload size in bytes.
@@ -163,42 +187,106 @@ impl<'a> EntryMeta<'a> {
         self.record.payload.len
     }
 
-    /// Compressed bytes needed to preview through level `k`.
+    /// Compressed bytes needed to preview through level `k` (for foreign
+    /// codecs, which have no partial levels, any `k ≥ 1` costs the whole
+    /// payload).
     pub fn bytes_through_level(&self, k: u8) -> u64 {
         self.record.bytes_through_level(k)
     }
 }
 
+/// Fetch and CRC-verify one indexed section.
+fn fetch_section<S: ByteSource>(source: &S, loc: &SectionLoc, what: &str) -> Result<Vec<u8>> {
+    let len = usize::try_from(loc.len)
+        .map_err(|_| StreamError::corrupt(format!("{what} section too large")))?;
+    let mut buf = vec![0u8; len];
+    source.read_exact_at(loc.off, &mut buf)?;
+    if crc32(&buf) != loc.crc {
+        return Err(StreamError::corrupt(format!(
+            "{what} checksum mismatch at {}..{}",
+            loc.off,
+            loc.off + loc.len
+        )));
+    }
+    Ok(buf)
+}
+
+/// [`SectionSource`] view of a native STZ entry: each
+/// [`SectionSource::block_bytes`] call becomes one positioned read of
+/// exactly that sub-block's range, CRC-verified. The type exists only for
+/// STZ entries, so `stz-core`'s decode drivers can rely on the archive
+/// parameters being present.
+#[derive(Debug, Clone, Copy)]
+pub struct StzSections<'a, S: ByteSource> {
+    source: &'a S,
+    detail: &'a StzDetail,
+}
+
+impl<S: ByteSource> SectionSource for StzSections<'_, S> {
+    fn header(&self) -> &ArchiveHeader {
+        &self.detail.header
+    }
+
+    fn l1_bytes(&self) -> stz_codec::Result<Cow<'_, [u8]>> {
+        fetch_section(self.source, &self.detail.l1, "level-1").map(Cow::Owned).map_err(to_codec)
+    }
+
+    fn block_bytes(&self, level: u8, i: usize) -> stz_codec::Result<Cow<'_, [u8]>> {
+        let loc = (level as usize)
+            .checked_sub(2)
+            .and_then(|k| self.detail.blocks.get(k))
+            .and_then(|blocks| blocks.get(i))
+            .ok_or_else(|| {
+                CodecError::corrupt(format!("no sub-block {i} at level {level} in index"))
+            })?;
+        fetch_section(self.source, loc, "sub-block").map(Cow::Owned).map_err(to_codec)
+    }
+
+    fn bytes_through_level(&self, k: u8) -> usize {
+        self.detail.bytes_through_level(k) as usize
+    }
+}
+
 /// Typed, lazily fetching view of one container entry.
 ///
-/// Implements [`SectionSource`], so `stz-core`'s full, progressive and
-/// random-access decompression drivers run against it directly — each
-/// [`SectionSource::block_bytes`] call becomes one positioned read of
-/// exactly that sub-block's range, CRC-verified. The drivers already skip
-/// blocks a query does not need, so the skipped bytes are never read from
-/// the source at all.
+/// Native STZ entries serve the full streaming surface — progressive
+/// previews, ROI decompression, incremental refinement — through
+/// [`StzSections`], fetching only the byte ranges a query needs. Foreign
+/// codec entries (format v2) decode through the
+/// [`stz_backend`] registry: [`EntryReader::decompress`] fetches the whole
+/// payload, and [`EntryReader::decompress_region`] falls back to a full
+/// decode followed by a crop (foreign archives have no sub-block index).
+/// Level previews and incremental refinement are STZ-only and return a
+/// clean error for foreign entries, as does any entry whose codec id this
+/// build does not know.
 #[derive(Debug)]
 pub struct EntryReader<'a, T: Scalar, S: ByteSource> {
     source: &'a S,
     record: &'a EntryRecord,
+    /// Present iff the entry is a native STZ archive.
+    stz: Option<StzSections<'a, S>>,
     _marker: PhantomData<fn() -> T>,
 }
 
-impl<T: Scalar, S: ByteSource> EntryReader<'_, T, S> {
-    /// Fetch and CRC-verify one indexed section.
-    fn fetch(&self, loc: &SectionLoc, what: &str) -> Result<Vec<u8>> {
-        let len = usize::try_from(loc.len)
-            .map_err(|_| StreamError::corrupt(format!("{what} section too large")))?;
-        let mut buf = vec![0u8; len];
-        self.source.read_exact_at(loc.off, &mut buf)?;
-        if crc32(&buf) != loc.crc {
-            return Err(StreamError::corrupt(format!(
-                "{what} checksum mismatch at {}..{}",
-                loc.off,
-                loc.off + loc.len
-            )));
+impl<'a, T: Scalar, S: ByteSource> EntryReader<'a, T, S> {
+    /// The STZ section view, or a clean error naming the operation a
+    /// foreign codec cannot serve.
+    fn stz(&self, what: &str) -> Result<&StzSections<'a, S>> {
+        self.stz.as_ref().ok_or_else(|| {
+            StreamError::unsupported(format!(
+                "{what} requires a native stz entry; entry {:?} uses codec {}",
+                self.record.name,
+                self.codec_label()
+            ))
+        })
+    }
+
+    /// Human-readable codec label (`"sz3"`, or `"id 9"` when unknown).
+    fn codec_label(&self) -> String {
+        match stz_backend::registry().by_id(self.record.codec) {
+            Some(c) => c.name().to_string(),
+            None => format!("id {}", self.record.codec),
         }
-        Ok(buf)
     }
 
     /// Entry name.
@@ -206,9 +294,14 @@ impl<T: Scalar, S: ByteSource> EntryReader<'_, T, S> {
         &self.record.name
     }
 
+    /// Codec wire id of the payload.
+    pub fn codec_id(&self) -> u8 {
+        self.record.codec
+    }
+
     /// Grid extents of the encoded field.
     pub fn dims(&self) -> Dims {
-        self.record.header.dims
+        self.record.dims()
     }
 
     /// Compressed payload size in bytes.
@@ -216,69 +309,114 @@ impl<T: Scalar, S: ByteSource> EntryReader<'_, T, S> {
         self.record.payload.len
     }
 
-    /// Full decompression (reads the whole payload, section by section).
+    /// Compressed bytes needed to decompress levels `1..=k` (the
+    /// progressive I/O cost; for foreign codecs any `k ≥ 1` costs the
+    /// whole payload).
+    pub fn bytes_through_level(&self, k: u8) -> u64 {
+        self.record.bytes_through_level(k)
+    }
+
+    /// Fetch the whole payload, CRC-verified against the index (works for
+    /// every codec).
+    pub fn read_payload(&self) -> Result<Vec<u8>> {
+        fetch_section(self.source, &self.record.payload, "payload")
+    }
+}
+
+impl<T: BackendScalar, S: ByteSource> EntryReader<'_, T, S> {
+    /// Decode the whole payload of a foreign entry via the codec registry.
+    fn decompress_foreign(&self) -> Result<Field<T>> {
+        let codec = stz_backend::registry().by_id(self.record.codec).ok_or_else(|| {
+            StreamError::unsupported(format!(
+                "entry {:?} uses codec id {}, which this build does not know",
+                self.record.name, self.record.codec
+            ))
+        })?;
+        let bytes = self.read_payload()?;
+        let field = stz_backend::decompress::<T>(codec, &bytes).map_err(StreamError::Codec)?;
+        if field.dims() != self.record.dims() {
+            return Err(StreamError::corrupt(format!(
+                "entry {:?} payload decodes to {:?}, index says {:?}",
+                self.record.name,
+                field.dims(),
+                self.record.dims()
+            )));
+        }
+        Ok(field)
+    }
+
+    /// Full decompression (reads the whole payload, section by section for
+    /// STZ entries; in one fetch for foreign codecs).
     pub fn decompress(&self) -> Result<Field<T>> {
-        stz_core::source::decompress::<T, Self>(self, false).map_err(StreamError::Codec)
+        match &self.stz {
+            Some(sections) => {
+                stz_core::source::decompress::<T, _>(sections, false).map_err(StreamError::Codec)
+            }
+            None => self.decompress_foreign(),
+        }
     }
 
-    /// Full decompression using the thread pool.
+    /// Full decompression using the thread pool (foreign codecs decode
+    /// serially — their archives are monolithic).
     pub fn decompress_parallel(&self) -> Result<Field<T>> {
-        stz_core::source::decompress::<T, Self>(self, true).map_err(StreamError::Codec)
+        match &self.stz {
+            Some(sections) => {
+                stz_core::source::decompress::<T, _>(sections, true).map_err(StreamError::Codec)
+            }
+            None => self.decompress_foreign(),
+        }
     }
 
-    /// Progressive preview through level `k`, reading only levels `1..=k`.
+    /// Progressive preview through level `k`, reading only levels `1..=k`
+    /// (STZ entries only).
     pub fn decompress_level(&self, k: u8) -> Result<Field<T>> {
-        stz_core::source::decompress_level::<T, Self>(self, k).map_err(StreamError::Codec)
+        stz_core::source::decompress_level::<T, _>(self.stz("level preview")?, k)
+            .map_err(StreamError::Codec)
     }
 
-    /// Random-access decompression of `region`, reading only the level-1
-    /// stream plus intersecting sub-blocks.
+    /// Random-access decompression of `region`.
+    ///
+    /// STZ entries read only the level-1 stream plus intersecting
+    /// sub-blocks. Foreign entries have no sub-block index, so the whole
+    /// payload is fetched, decoded, and cropped.
     pub fn decompress_region(&self, region: &Region) -> Result<Field<T>> {
-        self.decompress_region_with_breakdown(region).map(|(f, _)| f)
+        match &self.stz {
+            Some(_) => self.decompress_region_with_breakdown(region).map(|(f, _)| f),
+            None => {
+                if !region.fits_in(self.record.dims()) {
+                    return Err(StreamError::corrupt(format!(
+                        "region {region:?} outside entry dims {:?}",
+                        self.record.dims()
+                    )));
+                }
+                Ok(self.decompress_foreign()?.extract_region(region))
+            }
+        }
     }
 
-    /// Random-access decompression with per-stage timings.
+    /// Random-access decompression with per-stage timings (STZ entries
+    /// only — foreign codecs have no staged access path to break down).
     pub fn decompress_region_with_breakdown(
         &self,
         region: &Region,
     ) -> Result<(Field<T>, AccessBreakdown)> {
-        stz_core::source::decompress_region::<T, Self>(self, region).map_err(StreamError::Codec)
+        stz_core::source::decompress_region::<T, _>(self.stz("random access breakdown")?, region)
+            .map_err(StreamError::Codec)
     }
 
-    /// Incremental coarse-to-fine decoder over this entry.
-    pub fn progressive(&self) -> ProgressiveDecoder<'_, T, Self> {
-        ProgressiveDecoder::new(self)
+    /// Incremental coarse-to-fine decoder over this entry (STZ entries
+    /// only).
+    pub fn progressive(&self) -> Result<ProgressiveDecoder<'_, T, StzSections<'_, S>>> {
+        Ok(ProgressiveDecoder::new(self.stz("progressive refinement")?))
     }
 
     /// Fetch the whole payload and rebuild the resident [`StzArchive`]
-    /// (verified against the entry's whole-payload checksum).
+    /// (verified against the entry's whole-payload checksum; STZ entries
+    /// only — for foreign codecs use
+    /// [`read_payload`](EntryReader::read_payload)).
     pub fn read_archive(&self) -> Result<StzArchive<T>> {
-        let bytes = self.fetch(&self.record.payload, "payload")?;
+        self.stz("rebuilding a resident archive")?;
+        let bytes = self.read_payload()?;
         StzArchive::from_bytes(bytes).map_err(StreamError::Codec)
-    }
-}
-
-impl<T: Scalar, S: ByteSource> SectionSource for EntryReader<'_, T, S> {
-    fn header(&self) -> &ArchiveHeader {
-        &self.record.header
-    }
-
-    fn l1_bytes(&self) -> stz_codec::Result<Cow<'_, [u8]>> {
-        self.fetch(&self.record.l1, "level-1").map(Cow::Owned).map_err(to_codec)
-    }
-
-    fn block_bytes(&self, level: u8, i: usize) -> stz_codec::Result<Cow<'_, [u8]>> {
-        let loc = (level as usize)
-            .checked_sub(2)
-            .and_then(|k| self.record.blocks.get(k))
-            .and_then(|blocks| blocks.get(i))
-            .ok_or_else(|| {
-                CodecError::corrupt(format!("no sub-block {i} at level {level} in index"))
-            })?;
-        self.fetch(loc, "sub-block").map(Cow::Owned).map_err(to_codec)
-    }
-
-    fn bytes_through_level(&self, k: u8) -> usize {
-        self.record.bytes_through_level(k) as usize
     }
 }

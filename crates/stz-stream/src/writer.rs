@@ -1,19 +1,91 @@
 //! Incremental container writer.
 
 use crate::crc::{crc32, Crc32};
-use crate::error::Result;
+use crate::error::{Result, StreamError};
 use crate::format::{
-    encode_footer, encode_trailer, EntryRecord, SectionLoc, CONTAINER_MAGIC, CONTAINER_VERSION,
+    encode_footer, encode_trailer, EntryDetail, EntryRecord, ForeignDetail, SectionLoc, StzDetail,
+    CONTAINER_MAGIC, CONTAINER_VERSION,
 };
 use std::io::Write;
 use std::path::Path;
 use stz_core::StzArchive;
-use stz_field::Scalar;
+use stz_field::{Dims, Scalar};
 
 /// Chunk size for streaming payload bytes to the sink.
 const COPY_CHUNK: usize = 64 * 1024;
 
-/// Streams STZ archives into a container with bounded memory.
+/// A compressed field from a non-STZ codec, ready to be packed as a
+/// container entry.
+///
+/// The bytes are one self-contained archive of the codec identified by
+/// `codec` (a `stz_backend::id` wire id); the container indexes it as a
+/// single payload section. `dims`/`type_tag`/`eb` are duplicated into the
+/// footer so `inspect` and fetch planning never touch the payload.
+#[derive(Debug, Clone)]
+pub struct ForeignArchive {
+    /// Codec wire id (must not be `stz_backend::id::STZ` — native archives
+    /// pack through [`ContainerWriter::add_archive`] with a full section
+    /// index).
+    pub codec: u8,
+    /// Element type tag (0 = `f32`, 1 = `f64`).
+    pub type_tag: u8,
+    /// Grid extents of the encoded field.
+    pub dims: Dims,
+    /// Absolute point-wise error bound used at compression.
+    pub eb: f64,
+    /// The codec's archive bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl ForeignArchive {
+    /// Build a record for `bytes` compressed from a `T` field.
+    pub fn new<T: Scalar>(codec: u8, dims: Dims, eb: f64, bytes: Vec<u8>) -> Self {
+        ForeignArchive { codec, type_tag: T::TYPE_TAG, dims, eb, bytes }
+    }
+}
+
+/// One entry ready for packing: a native STZ archive (indexed per section,
+/// so streamed queries fetch only what they need) or a foreign codec's
+/// archive (indexed as one opaque payload).
+#[derive(Debug, Clone)]
+pub enum PackEntry<T: Scalar> {
+    /// A native STZ archive.
+    Stz(StzArchive<T>),
+    /// A foreign codec's archive.
+    Foreign(ForeignArchive),
+}
+
+impl<T: Scalar> From<StzArchive<T>> for PackEntry<T> {
+    fn from(archive: StzArchive<T>) -> Self {
+        PackEntry::Stz(archive)
+    }
+}
+
+impl<T: Scalar> From<ForeignArchive> for PackEntry<T> {
+    fn from(foreign: ForeignArchive) -> Self {
+        PackEntry::Foreign(foreign)
+    }
+}
+
+impl<T: Scalar> PackEntry<T> {
+    /// Compressed payload size in bytes.
+    pub fn compressed_len(&self) -> usize {
+        match self {
+            PackEntry::Stz(a) => a.compressed_len(),
+            PackEntry::Foreign(f) => f.bytes.len(),
+        }
+    }
+
+    /// Codec wire id of the payload.
+    pub fn codec_id(&self) -> u8 {
+        match self {
+            PackEntry::Stz(_) => stz_backend::id::STZ,
+            PackEntry::Foreign(f) => f.codec,
+        }
+    }
+}
+
+/// Streams archives into a container with bounded memory.
 ///
 /// Entries are written strictly forward — payload bytes go to the sink in
 /// 64 KiB pieces and are never buffered whole — while the
@@ -52,7 +124,20 @@ impl<W: Write> ContainerWriter<W> {
         self.entries.len()
     }
 
-    /// Append one archive as entry `name`.
+    /// Stream `bytes` to the sink in bounded chunks, returning the
+    /// payload's section record.
+    fn write_payload(&mut self, bytes: &[u8]) -> Result<SectionLoc> {
+        let base = self.pos;
+        let mut payload_crc = Crc32::new();
+        for chunk in bytes.chunks(COPY_CHUNK) {
+            payload_crc.update(chunk);
+            self.out.write_all(chunk)?;
+        }
+        self.pos += bytes.len() as u64;
+        Ok(SectionLoc { off: base, len: bytes.len() as u64, crc: payload_crc.finish() })
+    }
+
+    /// Append one native STZ archive as entry `name`.
     ///
     /// The archive's section layout (level-1 stream, per-level sub-block
     /// streams) is indexed and checksummed from its existing layout
@@ -80,22 +165,63 @@ impl<W: Write> ContainerWriter<W> {
             blocks.push(level_blocks);
         }
 
-        // Stream the payload out in bounded chunks.
-        let mut payload_crc = Crc32::new();
-        for chunk in bytes.chunks(COPY_CHUNK) {
-            payload_crc.update(chunk);
-            self.out.write_all(chunk)?;
-        }
-        self.pos += bytes.len() as u64;
-
+        let payload = self.write_payload(bytes)?;
         self.entries.push(EntryRecord {
             name: name.to_string(),
-            header: archive.header().clone(),
-            payload: SectionLoc { off: base, len: bytes.len() as u64, crc: payload_crc.finish() },
-            l1,
-            blocks,
+            codec: stz_backend::id::STZ,
+            payload,
+            detail: EntryDetail::Stz(StzDetail { header: archive.header().clone(), l1, blocks }),
         });
         Ok(())
+    }
+
+    /// Append one foreign-codec archive as entry `name`.
+    ///
+    /// The payload is copied through verbatim and indexed as a single
+    /// section; metadata (`dims`, element type, error bound) is duplicated
+    /// into the footer. Native STZ archives must go through
+    /// [`add_archive`](ContainerWriter::add_archive) instead, which indexes
+    /// their sections for streamed queries.
+    pub fn add_foreign(&mut self, name: &str, foreign: &ForeignArchive) -> Result<()> {
+        if foreign.codec == stz_backend::id::STZ {
+            return Err(StreamError::unsupported(
+                "codec id 0 (stz) entries must be added as indexed archives, not foreign blobs",
+            ));
+        }
+        if foreign.type_tag > 1 {
+            return Err(StreamError::unsupported(format!("element type tag {}", foreign.type_tag)));
+        }
+        if !(foreign.eb > 0.0 && foreign.eb.is_finite()) {
+            return Err(StreamError::corrupt(format!("invalid error bound {}", foreign.eb)));
+        }
+        // Mirror the reader's dims cap so the writer can never emit a
+        // container its own reader rejects.
+        if foreign.dims.len() as u64 > stz_sz3::stream::MAX_POINTS {
+            return Err(StreamError::corrupt(format!(
+                "dims {:?} exceed the container point cap",
+                foreign.dims
+            )));
+        }
+        let payload = self.write_payload(&foreign.bytes)?;
+        self.entries.push(EntryRecord {
+            name: name.to_string(),
+            codec: foreign.codec,
+            payload,
+            detail: EntryDetail::Foreign(ForeignDetail {
+                type_tag: foreign.type_tag,
+                dims: foreign.dims,
+                eb: foreign.eb,
+            }),
+        });
+        Ok(())
+    }
+
+    /// Append one [`PackEntry`] (native or foreign) as entry `name`.
+    pub fn add_entry<T: Scalar>(&mut self, name: &str, entry: &PackEntry<T>) -> Result<()> {
+        match entry {
+            PackEntry::Stz(archive) => self.add_archive(name, archive),
+            PackEntry::Foreign(foreign) => self.add_foreign(name, foreign),
+        }
     }
 
     /// Write the footer and trailer, returning the sink.

@@ -93,7 +93,7 @@ fn pipelined_containers_byte_identical_across_thread_counts() {
     let pack = |threads: usize| -> Vec<u8> {
         pack_pipelined(Vec::new(), (0..6u32).collect::<Vec<u32>>(), threads, |i| {
             let field = f32_field(Dims::d3(16 + i as usize % 3, 16, 16));
-            Ok((format!("step{i}"), compressor.compress(&field)?))
+            Ok((format!("step{i}"), compressor.compress(&field)?.into()))
         })
         .unwrap()
     };
