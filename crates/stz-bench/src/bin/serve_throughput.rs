@@ -1,0 +1,262 @@
+//! Throughput harness for the stz-serve archive server.
+//!
+//! Hosts a synthetic container on an ephemeral loopback port, then drives
+//! it with `--threads` concurrent client connections, each issuing a
+//! FULL / ROI / PROGRESSIVE request mix. Reports requests/sec, per-kind
+//! p50/p99 latency with log-bucketed histograms, and the server's cache
+//! hit rate, written as nested JSON to `BENCH_serve.json`:
+//!
+//! ```text
+//! cargo run --release -p stz-bench --bin serve_throughput \
+//!     [-- --scale 8 --threads 8 --requests 48 --out BENCH_serve.json --check]
+//! ```
+//!
+//! Every response is verified byte-identical to a local
+//! `ContainerReader` decode of the same request. With `--check`, the
+//! harness additionally exits non-zero unless the repeated-request
+//! workload produced a nonzero cache hit rate — the regression gate CI
+//! runs (latency itself is recorded but never gated; CI runners are
+//! noisy).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+use stz_bench::cli;
+use stz_bench::json::{arr, obj, Json};
+use stz_core::{StzCompressor, StzConfig};
+use stz_field::{Dims, Field, Region};
+use stz_serve::{Client, EntrySel, FetchReq, RequestKind, ServeOptions, Server};
+use stz_stream::{pack_to_file, ContainerReader};
+
+/// Entries packed into the hosted container.
+const ENTRIES: usize = 2;
+
+fn main() {
+    let opts = cli::from_env();
+    let check = opts.rest.iter().any(|a| a == "--check");
+    let out_path = flag_value(&opts.rest, "--out").unwrap_or_else(|| "BENCH_serve.json".into());
+    let requests: usize =
+        flag_value(&opts.rest, "--requests").and_then(|v| v.parse().ok()).unwrap_or(48);
+    let clients = opts.threads.max(1);
+
+    // --- Host a synthetic container. -----------------------------------
+    let n = (256 / opts.scale).max(16);
+    let dims = Dims::d3(n, n, n);
+    let dir = std::env::temp_dir().join(format!("stz_serve_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let container = dir.join("bench.stzc");
+    let fields: Vec<Field<f32>> =
+        (0..ENTRIES).map(|i| stz_data::synth::miranda_like(dims, opts.seed + i as u64)).collect();
+    let compressor = StzCompressor::new(StzConfig::three_level(1e-3));
+    let archives: Vec<_> = fields
+        .iter()
+        .map(|f| compressor.compress(f).expect("compression of a synthetic field"))
+        .collect();
+    let named: Vec<(String, &stz_core::StzArchive<f32>)> =
+        archives.iter().enumerate().map(|(i, a)| (format!("t{i}"), a)).collect();
+    let name_refs: Vec<(&str, &stz_core::StzArchive<f32>)> =
+        named.iter().map(|(n, a)| (n.as_str(), *a)).collect();
+    pack_to_file(&container, &name_refs).expect("pack bench container");
+
+    // --- The request mix, with locally decoded expected bytes. ---------
+    let roi = Region::d3(n / 4..n / 2, n / 4..n / 2, n / 4..n / 2);
+    let reader = ContainerReader::open_path(&container).expect("reopen bench container");
+    let mut mix: Vec<(FetchReq, Vec<u8>)> = Vec::new();
+    for (i, _) in fields.iter().enumerate() {
+        let entry = reader.entry::<f32>(i).expect("typed entry");
+        for kind in [RequestKind::Full, RequestKind::roi(&roi), RequestKind::Level(1)] {
+            let field = match kind {
+                RequestKind::Full => entry.decompress().expect("local full decode"),
+                RequestKind::Roi(_) => entry.decompress_region(&roi).expect("local roi decode"),
+                RequestKind::Level(k) => entry.decompress_level(k).expect("local preview"),
+                RequestKind::Raw => unreachable!(),
+            };
+            let mut expect = Vec::with_capacity(field.nbytes());
+            for &v in field.as_slice() {
+                expect.extend_from_slice(&v.to_le_bytes());
+            }
+            let req =
+                FetchReq { container: "bench".into(), entry: EntrySel::Index(i as u32), kind };
+            mix.push((req, expect));
+        }
+    }
+    let mix = Arc::new(mix);
+
+    let server = Server::bind(ServeOptions {
+        root: dir.clone(),
+        addr: "127.0.0.1:0".into(),
+        cache_bytes: 64 << 20,
+        ..ServeOptions::default()
+    })
+    .expect("bind loopback server");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.spawn().expect("spawn accept loop");
+
+    println!(
+        "# serve_throughput: {dims} f32 x {ENTRIES} entries, {clients} client(s) x {requests} \
+         requests, mix FULL/ROI/PROGRESSIVE"
+    );
+
+    // --- Drive it. ------------------------------------------------------
+    let wall = Instant::now();
+    let per_client: Vec<Vec<(u8, f64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let mix = Arc::clone(&mix);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connect");
+                    let mut lat = Vec::with_capacity(requests);
+                    for r in 0..requests {
+                        // Stagger start positions so clients collide on the
+                        // cache instead of marching in lockstep.
+                        let (req, expect) = &mix[(r + c) % mix.len()];
+                        let t = Instant::now();
+                        let fetched = client.fetch(req).expect("fetch");
+                        lat.push((req.kind.tag(), t.elapsed().as_secs_f64() * 1e3));
+                        assert_eq!(
+                            &fetched.data, expect,
+                            "client {c} request {r}: response differs from local decode"
+                        );
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let mut client = Client::connect(addr).expect("stats connection");
+    let stats = client.stats().expect("stats");
+    drop(client);
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Aggregate. ------------------------------------------------------
+    let total = clients * requests;
+    let rps = total as f64 / wall_s;
+    let mut by_kind: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+    for (tag, ms) in per_client.into_iter().flatten() {
+        let kind = match tag {
+            0 => "full",
+            1 => "progressive",
+            2 => "roi",
+            _ => "raw",
+        };
+        by_kind.entry(kind).or_default().push(ms);
+    }
+
+    println!("{:<14} {:>8} {:>10} {:>10} {:>10}", "kind", "count", "p50_ms", "p99_ms", "max_ms");
+    let mut kinds_json: Vec<(&'static str, Json)> = Vec::new();
+    for (kind, lat) in &mut by_kind {
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let (p50, p99) = (quantile(lat, 0.50), quantile(lat, 0.99));
+        println!(
+            "{:<14} {:>8} {:>10.3} {:>10.3} {:>10.3}",
+            kind,
+            lat.len(),
+            p50,
+            p99,
+            lat.last().copied().unwrap_or(0.0)
+        );
+        kinds_json.push((
+            kind,
+            obj([
+                ("count", lat.len().into()),
+                ("p50_ms", p50.into()),
+                ("p99_ms", p99.into()),
+                ("max_ms", lat.last().copied().unwrap_or(0.0).into()),
+                ("histogram_ms", histogram(lat)),
+            ]),
+        ));
+    }
+    println!(
+        "# {total} requests in {wall_s:.3}s = {rps:.0} req/s; cache hit rate {:.1}% \
+         ({} hits / {} misses / {} evictions)",
+        100.0 * stats.hit_rate(),
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions
+    );
+
+    let doc = obj([
+        ("schema", "stz-bench/serve/v1".into()),
+        ("scale", opts.scale.into()),
+        ("seed", (opts.seed as usize).into()),
+        ("dims", vec![n, n, n].into()),
+        ("entries", ENTRIES.into()),
+        ("clients", clients.into()),
+        ("requests_per_client", requests.into()),
+        ("requests", total.into()),
+        ("wall_s", wall_s.into()),
+        ("requests_per_s", rps.into()),
+        (
+            "cache",
+            obj([
+                ("hits", stats.cache_hits.into()),
+                ("misses", stats.cache_misses.into()),
+                ("evictions", stats.cache_evictions.into()),
+                ("entries", stats.cache_entries.into()),
+                ("bytes", stats.cache_bytes.into()),
+                ("capacity", stats.cache_capacity.into()),
+                ("hit_rate", stats.hit_rate().into()),
+            ]),
+        ),
+        ("kinds", obj(kinds_json)),
+        ("byte_identity", true.into()),
+    ]);
+    std::fs::write(&out_path, format!("{doc}\n")).expect("write BENCH_serve.json");
+    println!("# wrote {out_path}");
+
+    if check {
+        // Byte-identity already asserted per request above. The gate here
+        // is the cache: a repeated-request workload must actually hit.
+        if stats.hit_rate() <= 0.0 {
+            eprintln!(
+                "--check FAILED: cache hit rate is zero over {total} requests to {} distinct \
+                 blocks",
+                mix.len()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "# --check: byte-identity held for all {total} responses, hit rate {:.1}% > 0",
+            100.0 * stats.hit_rate()
+        );
+    }
+}
+
+/// `--flag value` lookup in the leftover args.
+fn flag_value(rest: &[String], flag: &str) -> Option<String> {
+    rest.iter().position(|a| a == flag).and_then(|i| rest.get(i + 1)).cloned()
+}
+
+/// Quantile of an ascending-sorted slice (nearest-rank).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Log-bucketed latency histogram as `[upper_bound_ms, count]` pairs
+/// (geometric bounds from 0.05 ms, factor 2), trailing empty buckets
+/// dropped.
+fn histogram(sorted: &[f64]) -> Json {
+    let mut pairs: Vec<Json> = Vec::new();
+    let mut bound = 0.05;
+    let mut idx = 0;
+    while idx < sorted.len() {
+        let count = sorted[idx..].iter().take_while(|&&ms| ms <= bound).count();
+        pairs.push(arr([bound.into(), count.into()]));
+        idx += count;
+        bound *= 2.0;
+        if pairs.len() > 40 {
+            // Everything else lands in one unbounded tail bucket.
+            pairs.push(arr([f64::MAX.into(), (sorted.len() - idx).into()]));
+            break;
+        }
+    }
+    Json::Arr(pairs)
+}

@@ -52,6 +52,28 @@ impl Json {
         }
     }
 
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer (must be exactly
+    /// representable — counters and byte totals, not measurements).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v < 9.0e15 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Walk a path of object members (`get_path(&["cache", "hits"])`).
+    pub fn get_path(&self, path: &[&str]) -> Option<&Json> {
+        path.iter().try_fold(self, |node, key| node.get(key))
+    }
+
     /// The value as an array slice.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
@@ -73,9 +95,74 @@ impl Json {
     }
 }
 
-/// Convenience constructor for object literals.
+/// Convenience constructor for object literals. Values coerce via
+/// [`Json`]'s `From` impls, so nested documents compose without
+/// `Json::Num(...)` noise:
+///
+/// ```
+/// use stz_bench::json::{arr, obj, Json};
+/// let doc = obj([
+///     ("rps", 1250.5.into()),
+///     ("latency", obj([("p50_ms", 0.8.into()), ("p99_ms", 4.2.into())])),
+///     ("histogram", arr([arr([1.0.into(), 17.into()]), arr([2.0.into(), 3.into()])])),
+/// ]);
+/// assert_eq!(doc.get("latency").unwrap().get("p99_ms").unwrap().as_f64(), Some(4.2));
+/// ```
 pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
     Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Convenience constructor for array literals (see [`obj`]).
+pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+    Json::Arr(items.into_iter().collect())
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<i32> for Json {
+    fn from(v: i32) -> Json {
+        Json::Num(f64::from(v))
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl<V: Into<Json>> From<Vec<V>> for Json {
+    fn from(v: Vec<V>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -366,5 +453,53 @@ mod tests {
     fn integers_emit_without_fraction() {
         assert_eq!(Json::Num(16.0).to_string(), "16");
         assert_eq!(Json::Num(0.001).to_string(), "0.001");
+    }
+
+    #[test]
+    fn nested_histogram_document_roundtrips() {
+        // The shape BENCH_serve.json needs: objects holding objects
+        // holding arrays of [bound, count] pairs, several levels deep.
+        let kind = |p50: f64, p99: f64, hist: Vec<(f64, u64)>| {
+            obj([
+                ("p50_ms", p50.into()),
+                ("p99_ms", p99.into()),
+                ("histogram", arr(hist.into_iter().map(|(b, c)| arr([b.into(), c.into()])))),
+            ])
+        };
+        let doc = obj([
+            ("schema", "stz-bench/serve/v1".into()),
+            ("rps", 1234.5.into()),
+            (
+                "cache",
+                obj([("hits", 60u64.into()), ("misses", 40u64.into()), ("hit_rate", 0.6.into())]),
+            ),
+            (
+                "kinds",
+                obj([
+                    ("full", kind(1.5, 9.0, vec![(1.0, 3), (2.0, 17)])),
+                    ("roi", kind(0.5, 2.0, vec![(0.5, 20)])),
+                ]),
+            ),
+        ]);
+        let back = Json::parse(&doc.to_string()).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.get_path(&["cache", "hits"]).unwrap().as_u64(), Some(60));
+        assert_eq!(back.get_path(&["kinds", "full", "p99_ms"]).unwrap().as_f64(), Some(9.0));
+        let hist = back.get_path(&["kinds", "full", "histogram"]).unwrap().as_arr().unwrap();
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[1].as_arr().unwrap()[1].as_u64(), Some(17));
+        assert_eq!(back.get_path(&["kinds", "nope"]), None);
+    }
+
+    #[test]
+    fn coercions_and_accessors() {
+        assert_eq!(Json::from(true).as_bool(), Some(true));
+        assert_eq!(Json::from(3usize).as_u64(), Some(3));
+        assert_eq!(Json::from("x").as_str(), Some("x"));
+        assert_eq!(Json::from(vec![1u64, 2, 3]).as_arr().unwrap().len(), 3);
+        // as_u64 refuses to round.
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(2.0).as_u64(), Some(2));
     }
 }

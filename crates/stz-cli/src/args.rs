@@ -16,9 +16,18 @@ USAGE:
   stz pack       -i <raw>[,<raw>...] -o <container> -d <Z>x<Y>x<X> -t <f32|f64>
                  -e <bound> [--backend <name>] [--rel] [--levels <2..4>]
                  [--linear] [--no-adaptive] [--name <entry>] [--threads <N>]
-  stz inspect    -i <container>
+  stz inspect    -i <container> [--json]
   stz extract    -i <archive|container> -o <raw> -r <z0:z1,y0:y1,x0:x1>
                  [--entry <name>]
+
+  stz serve      -i <dir|container> [--addr <host:port>] [--cache-mb <MB>]
+                 [--max-conns <N>] [--threads <N>]
+  stz remote list    --addr <host:port>
+  stz remote inspect --addr <host:port> -c <container> [--json]
+  stz remote extract --addr <host:port> -c <container> -o <raw>
+                     [-r <z0:z1,y0:y1,x0:x1>] [--entry <name>]
+  stz remote preview --addr <host:port> -c <container> -o <raw> -l <level>
+                     [--entry <name>]
 
 Raw files are flat little-endian arrays in C order (x fastest).
 Containers (.stzc) hold one entry per input file, named by file stem; preview
@@ -31,7 +40,12 @@ needs stz entries, while decompress/extract work for every engine.
 --threads 0 (the default) uses STZ_THREADS or all cores; output bytes are
 identical at every thread count. pack parallelizes across entries, so its
 effective width is capped at the input count (one input parallelizes
-internally instead).";
+internally instead).
+serve hosts every .stzc under a directory over the STZP binary protocol
+(port 0 picks an ephemeral port, printed on startup); remote commands are
+the network twins of list/inspect/extract/preview and address containers
+by file stem via -c. --json prints the machine-readable entry table that
+local and remote inspect share.";
 
 /// Parsed command line: subcommand + flag map.
 #[derive(Debug)]
@@ -50,18 +64,30 @@ const VALUED: &[&str] = &[
     "-e",
     "-l",
     "-r",
+    "-c",
     "--levels",
     "--entry",
     "--name",
     "--threads",
     "--backend",
+    "--addr",
+    "--cache-mb",
+    "--max-conns",
 ];
 
 pub fn parse(argv: &[String]) -> Result<Parsed, String> {
-    let command = argv.get(1).ok_or("missing subcommand")?.clone();
+    let mut command = argv.get(1).ok_or("missing subcommand")?.clone();
+    // `remote` takes a positional sub-subcommand: fold the pair into one
+    // command word ("remote list" parses as "remote-list").
+    let mut rest_from = 2;
+    if command == "remote" {
+        let sub = argv.get(2).ok_or("remote needs a subcommand (list/inspect/extract/preview)")?;
+        command = format!("remote-{sub}");
+        rest_from = 3;
+    }
     let mut flags = HashMap::new();
     let mut switches = Vec::new();
-    let mut it = argv[2..].iter();
+    let mut it = argv[rest_from..].iter();
     while let Some(a) = it.next() {
         if VALUED.contains(&a.as_str()) {
             let v = it.next().ok_or_else(|| format!("flag {a} requires a value"))?;
@@ -165,6 +191,25 @@ mod tests {
     fn missing_value_is_error() {
         assert!(parse(&argv(&["compress", "-i"])).is_err());
         assert!(parse(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn remote_subcommand_folds() {
+        let p = parse(&argv(&[
+            "remote",
+            "extract",
+            "--addr",
+            "127.0.0.1:4815",
+            "-c",
+            "steps",
+            "-o",
+            "out.f32",
+        ]))
+        .unwrap();
+        assert_eq!(p.command, "remote-extract");
+        assert_eq!(p.required("--addr").unwrap(), "127.0.0.1:4815");
+        assert_eq!(p.required("-c").unwrap(), "steps");
+        assert!(parse(&argv(&["remote"])).is_err());
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Subcommand implementations.
 
 use crate::args::{self, Parsed};
+use crate::fmt;
 use std::path::Path;
 use stz_backend::{registry, BackendScalar, Codec, ErrorBound};
 use stz_core::{InterpKind, StzArchive, StzCompressor, StzConfig};
 use stz_data::io::{read_raw, write_raw};
 use stz_field::{Field, Scalar};
+use stz_serve::{Client, EntryInfo, EntrySel, ServeOptions, Server};
 use stz_stream::{pack_pipelined, ContainerReader, EntryReader, FileSource, ForeignArchive};
 
 /// Resolve `--backend` (default: the native stz engine).
@@ -60,6 +62,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "pack" => pack(&p),
         "inspect" => inspect(&p),
         "extract" => extract(&p),
+        "serve" => serve(&p),
+        "remote-list" => remote_list(&p),
+        "remote-inspect" => remote_inspect(&p),
+        "remote-extract" => remote_extract(&p),
+        "remote-preview" => remote_preview(&p),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -532,36 +539,28 @@ fn pack_typed<T: Scalar>(
 fn inspect(p: &Parsed) -> Result<(), String> {
     let input = Path::new(p.required("-i")?);
     if !is_container(input) {
+        if p.switch("--json") {
+            return Err("--json requires a container (.stzc) input".into());
+        }
         // Bare archives keep working: inspect falls through to `info`.
         return info(p);
     }
     let reader = ContainerReader::open_path(input).map_err(|e| e.to_string())?;
-    println!("container:       {}", input.display());
-    println!("entries:         {}", reader.entry_count());
-    for (i, meta) in reader.entries().enumerate() {
-        println!("[{i}] {:?}", meta.name());
-        // Unknown codec ids still index and list (the footer layout is
-        // self-describing); only decoding them errors.
-        match meta.codec_name() {
-            Some(name) => println!("    codec:       {name}"),
-            None => println!("    codec:       unknown (id {}, cannot decode)", meta.codec_id()),
-        }
-        println!("    dims:        {}", meta.dims());
-        println!("    type:        {}", if meta.type_tag() == 0 { "f32" } else { "f64" });
-        println!("    error bound: {:.3e} (absolute)", meta.error_bound());
-        println!("    compressed:  {} bytes", meta.compressed_len());
-        if let Some(h) = meta.header() {
-            println!("    levels:      {} ({:?} interpolation)", h.levels, h.interp);
-            for k in 1..=h.levels {
-                println!(
-                    "      level {k}: cumulative {} bytes ({:.1}% of payload)",
-                    meta.bytes_through_level(k),
-                    100.0 * meta.bytes_through_level(k) as f64 / meta.compressed_len() as f64
-                );
-            }
-        }
-    }
+    // Unknown codec ids still index and list (the footer layout is
+    // self-describing); only decoding them errors.
+    let entries: Vec<EntryInfo> = reader.entries().map(|m| EntryInfo::from_meta(&m)).collect();
+    print_inspect(&input.display().to_string(), &entries, p.switch("--json"));
     Ok(())
+}
+
+/// Render an entry table — the one formatter local and remote inspect
+/// share.
+fn print_inspect(source: &str, entries: &[EntryInfo], json: bool) {
+    if json {
+        println!("{}", fmt::render_json(source, entries));
+    } else {
+        print!("{}", fmt::render_text(source, entries));
+    }
 }
 
 fn extract_entry<T: BackendScalar>(
@@ -589,6 +588,105 @@ fn extract(p: &Parsed) -> Result<(), String> {
         |e| extract_entry(e, &output, &region),
         |e| extract_entry(e, &output, &region),
     )
+}
+
+/// Start the archive server (blocking; ^C to stop).
+fn serve(p: &Parsed) -> Result<(), String> {
+    let root = Path::new(p.required("-i")?);
+    let cache_mb: u64 = match p.optional("--cache-mb") {
+        None => 256,
+        Some(v) => v.parse().map_err(|_| "--cache-mb must be a non-negative integer")?,
+    };
+    let cache_bytes =
+        cache_mb.checked_mul(1 << 20).ok_or("--cache-mb is too large to be a byte budget")?;
+    let max_conns: usize = match p.optional("--max-conns") {
+        None => 64,
+        Some(v) => v.parse().map_err(|_| "--max-conns must be a positive integer")?,
+    };
+    let opts = ServeOptions {
+        root: root.to_path_buf(),
+        addr: p.optional("--addr").unwrap_or("127.0.0.1:4815").to_string(),
+        cache_bytes,
+        threads: p.threads()?,
+        max_conns,
+        ..ServeOptions::default()
+    };
+    let server = Server::bind(opts).map_err(|e| e.to_string())?;
+    let names = server.container_names();
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // Stdout, flushed: scripts (and the CI smoke job) parse this line to
+    // learn the ephemeral port.
+    println!("hosting {} container(s) from {}: {}", names.len(), root.display(), names.join(", "));
+    println!("listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| e.to_string())
+}
+
+/// Connect to `--addr`.
+fn remote_client(p: &Parsed) -> Result<Client, String> {
+    let addr = p.required("--addr")?;
+    Client::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))
+}
+
+/// The entry selector of a remote fetch (`--entry` name, default entry 0).
+fn remote_entry(p: &Parsed) -> EntrySel {
+    match p.optional("--entry") {
+        Some(name) => EntrySel::Name(name.to_string()),
+        None => EntrySel::Index(0),
+    }
+}
+
+fn remote_list(p: &Parsed) -> Result<(), String> {
+    let mut client = remote_client(p)?;
+    let list = client.list().map_err(|e| e.to_string())?;
+    println!("{} hosted container(s)", list.len());
+    for c in &list {
+        println!("  {:<24} {:>4} entries  {:>12} bytes", c.name, c.entries, c.file_len);
+    }
+    Ok(())
+}
+
+fn remote_inspect(p: &Parsed) -> Result<(), String> {
+    let container = p.required("-c")?;
+    let mut client = remote_client(p)?;
+    let entries = client.inspect(container).map_err(|e| e.to_string())?;
+    print_inspect(container, &entries, p.switch("--json"));
+    Ok(())
+}
+
+fn remote_extract(p: &Parsed) -> Result<(), String> {
+    let container = p.required("-c")?;
+    let output = Path::new(p.required("-o")?);
+    let mut client = remote_client(p)?;
+    let entry = remote_entry(p);
+    // With -r this is a remote `extract`; without it a full fetch — both
+    // write the exact bytes a local decode + write_raw would produce.
+    let fetched = match p.optional("-r") {
+        Some(spec) => {
+            let region = args::parse_region(spec)?;
+            client.fetch_roi(container, entry, &region).map_err(|e| e.to_string())?
+        }
+        None => client.fetch_full(container, entry).map_err(|e| e.to_string())?,
+    };
+    let (dims, n) = (fetched.dims, fetched.data.len());
+    std::fs::write(output, &fetched.data).map_err(|e| e.to_string())?;
+    eprintln!("fetched {dims} ({n} bytes) -> {}", output.display());
+    Ok(())
+}
+
+fn remote_preview(p: &Parsed) -> Result<(), String> {
+    let container = p.required("-c")?;
+    let output = Path::new(p.required("-o")?);
+    let level: u8 =
+        p.required("-l")?.parse().map_err(|_| "-l must be a level number".to_string())?;
+    let mut client = remote_client(p)?;
+    let fetched =
+        client.fetch_level(container, remote_entry(p), level).map_err(|e| e.to_string())?;
+    let (dims, n) = (fetched.dims, fetched.data.len());
+    std::fs::write(output, &fetched.data).map_err(|e| e.to_string())?;
+    eprintln!("level {level} preview {dims} ({n} bytes) -> {}", output.display());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -961,6 +1059,99 @@ mod tests {
         ]))
         .unwrap_err()
         .contains("--levels"));
+    }
+
+    #[test]
+    fn remote_commands_roundtrip_against_inprocess_server() {
+        // Own subdirectory: the server scans every .stzc under its root,
+        // and sibling tests create and delete containers concurrently.
+        let d = dir().join("remote_test");
+        std::fs::create_dir_all(&d).unwrap();
+        let dims = Dims::d3(16, 16, 16);
+        let raw = d.join("t0.f32");
+        let field = stz_data::synth::miranda_like(dims, 31);
+        write_raw(&raw, &field).unwrap();
+        let container = d.join("steps.stzc");
+        run(&argv(&[
+            "pack".into(),
+            "-i".into(),
+            raw.display().to_string(),
+            "-o".into(),
+            container.display().to_string(),
+            "-d".into(),
+            "16x16x16".into(),
+            "-t".into(),
+            "f32".into(),
+            "-e".into(),
+            "1e-3".into(),
+        ]))
+        .unwrap();
+
+        let server = Server::bind(ServeOptions {
+            root: d.clone(),
+            addr: "127.0.0.1:0".into(),
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.spawn().unwrap();
+
+        run(&argv(&["remote".into(), "list".into(), "--addr".into(), addr.clone()])).unwrap();
+        run(&argv(&[
+            "remote".into(),
+            "inspect".into(),
+            "--addr".into(),
+            addr.clone(),
+            "-c".into(),
+            "steps".into(),
+            "--json".into(),
+        ]))
+        .unwrap();
+
+        // remote extract == local extract, byte for byte.
+        let (remote_out, local_out) = (d.join("remote.f32"), d.join("local.f32"));
+        run(&argv(&[
+            "remote".into(),
+            "extract".into(),
+            "--addr".into(),
+            addr.clone(),
+            "-c".into(),
+            "steps".into(),
+            "-o".into(),
+            remote_out.display().to_string(),
+            "-r".into(),
+            "2:6,0:16,4:8".into(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "extract".into(),
+            "-i".into(),
+            container.display().to_string(),
+            "-o".into(),
+            local_out.display().to_string(),
+            "-r".into(),
+            "2:6,0:16,4:8".into(),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&remote_out).unwrap(),
+            std::fs::read(&local_out).unwrap(),
+            "remote extract must be byte-identical to local extract"
+        );
+
+        // Unknown container errors cleanly over the wire.
+        assert!(run(&argv(&[
+            "remote".into(),
+            "inspect".into(),
+            "--addr".into(),
+            addr,
+            "-c".into(),
+            "nope".into(),
+        ]))
+        .is_err());
+
+        handle.stop();
+        let _ = std::fs::remove_dir_all(&d);
     }
 
     #[test]

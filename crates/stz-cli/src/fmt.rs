@@ -1,0 +1,190 @@
+//! The entry-table formatter shared by local `inspect` and `remote
+//! inspect`.
+//!
+//! Both paths produce the same [`EntryInfo`] rows — locally from
+//! [`stz_stream::EntryMeta`], remotely from the `INSPECT_OK` frame — and
+//! render them here, either human-readable or as a machine-readable JSON
+//! document (`--json`). One formatter means the two views cannot drift.
+
+use stz_serve::EntryInfo;
+
+/// Render the human-readable entry table.
+pub fn render_text(source: &str, entries: &[EntryInfo]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("container:       {source}\n"));
+    out.push_str(&format!("entries:         {}\n", entries.len()));
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!("[{i}] {:?}\n", e.name));
+        match e.codec_name() {
+            Some(name) => out.push_str(&format!("    codec:       {name}\n")),
+            None => out.push_str(&format!(
+                "    codec:       unknown (id {}, cannot decode)\n",
+                e.codec_id
+            )),
+        }
+        out.push_str(&format!("    dims:        {}\n", dims_text(e)));
+        out.push_str(&format!("    type:        {}\n", e.type_name()));
+        out.push_str(&format!("    error bound: {:.3e} (absolute)\n", e.eb));
+        out.push_str(&format!(
+            "    compressed:  {} bytes ({} sections, payload crc 0x{:08x})\n",
+            e.compressed_len, e.sections, e.payload_crc
+        ));
+        if e.levels > 0 {
+            match e.interp_name() {
+                Some(interp) => out
+                    .push_str(&format!("    levels:      {} ({interp} interpolation)\n", e.levels)),
+                None => out.push_str(&format!("    levels:      {}\n", e.levels)),
+            }
+            for (k, &bytes) in e.level_bytes.iter().enumerate() {
+                out.push_str(&format!(
+                    "      level {}: cumulative {bytes} bytes ({:.1}% of payload)\n",
+                    k + 1,
+                    100.0 * bytes as f64 / e.compressed_len as f64
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Render the machine-readable entry table (one JSON document).
+pub fn render_json(source: &str, entries: &[EntryInfo]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"container\": {},\n", json_str(source)));
+    out.push_str("  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": {},\n", json_str(&e.name)));
+        out.push_str(&format!("      \"codec_id\": {},\n", e.codec_id));
+        out.push_str(&format!(
+            "      \"codec\": {},\n",
+            e.codec_name().map_or("null".to_string(), json_str)
+        ));
+        out.push_str(&format!("      \"type\": {},\n", json_str(e.type_name())));
+        out.push_str(&format!("      \"ndim\": {},\n", e.ndim));
+        out.push_str(&format!("      \"dims\": [{}, {}, {}],\n", e.dims[0], e.dims[1], e.dims[2]));
+        out.push_str(&format!("      \"error_bound\": {},\n", json_f64(e.eb)));
+        out.push_str(&format!("      \"compressed_len\": {},\n", e.compressed_len));
+        out.push_str(&format!("      \"payload_crc\": {},\n", e.payload_crc));
+        out.push_str(&format!("      \"sections\": {},\n", e.sections));
+        out.push_str(&format!("      \"levels\": {},\n", e.levels));
+        out.push_str(&format!(
+            "      \"interp\": {},\n",
+            e.interp_name().map_or("null".to_string(), json_str)
+        ));
+        let level_bytes: Vec<String> = e.level_bytes.iter().map(u64::to_string).collect();
+        out.push_str(&format!("      \"level_bytes\": [{}]\n", level_bytes.join(", ")));
+        out.push_str("    }");
+    }
+    out.push_str(if entries.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push('}');
+    out
+}
+
+/// `ZxYxX` respecting the entry's logical rank.
+fn dims_text(e: &EntryInfo) -> String {
+    let [z, y, x] = e.dims;
+    match e.ndim {
+        1 => format!("{x}"),
+        2 => format!("{y}x{x}"),
+        _ => format!("{z}x{y}x{x}"),
+    }
+}
+
+/// Quote + escape a JSON string.
+fn json_str(s: impl AsRef<str>) -> String {
+    let mut out = String::with_capacity(s.as_ref().len() + 2);
+    out.push('"');
+    for c in s.as_ref().chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A finite `f64` as a JSON number (shortest round-trip form).
+fn json_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "error bounds are finite by construction");
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> EntryInfo {
+        EntryInfo {
+            name: "step \"0\"".into(),
+            codec_id: 0,
+            type_tag: 0,
+            ndim: 3,
+            dims: [16, 16, 16],
+            eb: 1e-3,
+            compressed_len: 4000,
+            payload_crc: 0x1234_5678,
+            sections: 15,
+            levels: 2,
+            interp: 2,
+            level_bytes: vec![64, 4000],
+        }
+    }
+
+    #[test]
+    fn text_table_mentions_every_field() {
+        let text = render_text("steps.stzc", &[row()]);
+        for needle in [
+            "steps.stzc",
+            "step \\\"0\\\"",
+            "stz",
+            "16x16x16",
+            "f32",
+            "1.000e-3",
+            "4000",
+            "15",
+            "cubic",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn json_is_parseable_and_escaped() {
+        let json = render_json("steps.stzc", &[row()]);
+        // The bench json module is the closest thing to a reference
+        // parser in-tree; keep the formatter honest against it.
+        // (stz-cli cannot depend on stz-bench, so check structure by hand.)
+        assert!(json.contains("\"step \\\"0\\\"\""), "name must be escaped: {json}");
+        assert!(json.contains("\"codec\": \"stz\""));
+        assert!(json.contains("\"dims\": [16, 16, 16]"));
+        assert!(json.contains("\"error_bound\": 0.001"));
+        assert!(json.contains("\"level_bytes\": [64, 4000]"));
+        assert!(json.contains("\"interp\": \"cubic\""));
+        // Balanced braces/brackets (cheap well-formedness check).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let o = json.matches(open).count();
+            let c = json.matches(close).count();
+            assert_eq!(o, c, "unbalanced {open}{close} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn empty_table_renders() {
+        let json = render_json("empty", &[]);
+        assert!(json.contains("\"entries\": []"));
+        assert!(render_text("empty", &[]).contains("entries:         0"));
+    }
+}

@@ -11,16 +11,25 @@
 //! stz info       -i data.stz
 //!
 //! stz pack       -i t0.f32,t1.f32 -o steps.stzc -d 512x512x512 -t f32 -e 1e-3
-//! stz inspect    -i steps.stzc
+//! stz inspect    -i steps.stzc [--json]
 //! stz extract    -i steps.stzc -o roi.f32 -r z0:z1,y0:y1,x0:x1 [--entry t1]
 //! stz preview    -i steps.stzc -o coarse.f32 -l 1 [--entry t0]
+//!
+//! stz serve      -i archives/ --addr 127.0.0.1:4815
+//! stz remote list    --addr HOST:PORT
+//! stz remote inspect --addr HOST:PORT -c steps [--json]
+//! stz remote extract --addr HOST:PORT -c steps -o roi.f32 -r z0:z1,y0:y1,x0:x1
+//! stz remote preview --addr HOST:PORT -c steps -o coarse.f32 -l 1
 //! ```
 //!
 //! `pack` writes the stz-stream on-disk container; `extract` and `preview`
-//! on a container read only the byte ranges the query needs.
+//! on a container read only the byte ranges the query needs. `serve` hosts
+//! a directory of containers over the STZP binary protocol (stz-serve);
+//! the `remote` commands are the network twins of the local queries.
 
 mod args;
 mod commands;
+mod fmt;
 
 use std::process::ExitCode;
 

@@ -1,0 +1,153 @@
+//! Blocking STZP client.
+//!
+//! One [`Client`] wraps one TCP connection: a version handshake at
+//! connect time, then synchronous request/response pairs. Every response
+//! frame is CRC-verified by the framing layer and validated against the
+//! request before it is returned, so a corrupted or lying server yields
+//! a clean [`ServeError`] — never a panic, and (with the default
+//! timeout) never a hang.
+
+use crate::error::{Result, ServeError};
+use crate::proto::{
+    decode_err, decode_inspect, decode_list, read_frame, write_frame, ContainerInfo, Enc,
+    EntryInfo, EntrySel, FetchReq, FetchedField, Frame, FrameType, RequestKind, ServerStats,
+    PROTO_VERSION,
+};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use stz_field::Region;
+
+/// Default socket timeout for reads and writes.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A connected STZP client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    /// Server software identifier from the handshake.
+    server: String,
+}
+
+impl Client {
+    /// Connect and complete the version handshake with the default
+    /// timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        Client::connect_with(addr, Some(DEFAULT_TIMEOUT))
+    }
+
+    /// Connect with an explicit socket timeout (`None` = block forever).
+    pub fn connect_with(addr: impl ToSocketAddrs, timeout: Option<Duration>) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        let mut client = Client { stream, server: String::new() };
+        let mut hello = Enc::new();
+        hello.u8(PROTO_VERSION);
+        let reply = client.roundtrip(FrameType::Hello, &hello.finish())?;
+        let payload = expect(reply, FrameType::HelloOk)?;
+        let mut d = crate::proto::Dec::new(&payload);
+        let version = d.u8()?;
+        if version != PROTO_VERSION {
+            return Err(ServeError::protocol(format!(
+                "server speaks STZP v{version}, this client speaks v{PROTO_VERSION}"
+            )));
+        }
+        client.server = d.string().unwrap_or_default();
+        Ok(client)
+    }
+
+    /// Server software identifier (e.g. `stz-serve/0.1.0`).
+    pub fn server_id(&self) -> &str {
+        &self.server
+    }
+
+    /// Send one frame and read the response, surfacing `ERR` replies as
+    /// [`ServeError::Remote`].
+    fn roundtrip(&mut self, kind: FrameType, payload: &[u8]) -> Result<Frame> {
+        write_frame(&mut self.stream, kind, payload)?;
+        let frame = read_frame(&mut self.stream)?
+            .ok_or_else(|| ServeError::protocol("server closed the connection mid-request"))?;
+        if frame.frame_type() == Some(FrameType::Err) {
+            return Err(decode_err(&frame.payload));
+        }
+        Ok(frame)
+    }
+
+    /// The hosted containers.
+    pub fn list(&mut self) -> Result<Vec<ContainerInfo>> {
+        let reply = self.roundtrip(FrameType::List, &[])?;
+        decode_list(&expect(reply, FrameType::ListOk)?)
+    }
+
+    /// The entry table of one hosted container.
+    pub fn inspect(&mut self, container: &str) -> Result<Vec<EntryInfo>> {
+        let mut e = Enc::new();
+        e.string(container);
+        let reply = self.roundtrip(FrameType::Inspect, &e.finish())?;
+        decode_inspect(&expect(reply, FrameType::InspectOk)?)
+    }
+
+    /// Request + cache counters.
+    pub fn stats(&mut self) -> Result<ServerStats> {
+        let reply = self.roundtrip(FrameType::Stats, &[])?;
+        ServerStats::decode(&expect(reply, FrameType::StatsOk)?)
+    }
+
+    /// Issue any decoded fetch ([`RequestKind::Raw`] has its own method).
+    pub fn fetch(&mut self, req: &FetchReq) -> Result<FetchedField> {
+        if req.kind == RequestKind::Raw {
+            return Err(ServeError::protocol("use fetch_raw for raw-section fetches"));
+        }
+        let reply = self.roundtrip(req.frame_type(), &req.encode())?;
+        let fetched = FetchedField::decode(&expect(reply, FrameType::FetchOk)?)?;
+        if fetched.kind_tag != req.kind.tag() {
+            return Err(ServeError::protocol(format!(
+                "response kind tag {} does not match request kind {}",
+                fetched.kind_tag,
+                req.kind.tag()
+            )));
+        }
+        Ok(fetched)
+    }
+
+    /// Full decode of one entry.
+    pub fn fetch_full(&mut self, container: &str, entry: EntrySel) -> Result<FetchedField> {
+        self.fetch(&FetchReq { container: container.into(), entry, kind: RequestKind::Full })
+    }
+
+    /// Progressive preview through level `k`.
+    pub fn fetch_level(&mut self, container: &str, entry: EntrySel, k: u8) -> Result<FetchedField> {
+        self.fetch(&FetchReq { container: container.into(), entry, kind: RequestKind::Level(k) })
+    }
+
+    /// Region decode.
+    pub fn fetch_roi(
+        &mut self,
+        container: &str,
+        entry: EntrySel,
+        region: &Region,
+    ) -> Result<FetchedField> {
+        self.fetch(&FetchReq { container: container.into(), entry, kind: RequestKind::roi(region) })
+    }
+
+    /// The compressed payload bytes of one entry, undecoded (CRC-verified
+    /// by the server against the container index, and by this client
+    /// against the frame checksum).
+    pub fn fetch_raw(&mut self, container: &str, entry: EntrySel) -> Result<Vec<u8>> {
+        let req = FetchReq { container: container.into(), entry, kind: RequestKind::Raw };
+        let reply = self.roundtrip(req.frame_type(), &req.encode())?;
+        expect(reply, FrameType::RawOk)
+    }
+}
+
+/// Require a specific response type, yielding its payload.
+fn expect(frame: Frame, want: FrameType) -> Result<Vec<u8>> {
+    match frame.frame_type() {
+        Some(t) if t == want => Ok(frame.payload),
+        _ => Err(ServeError::protocol(format!(
+            "expected {want:?}, server sent frame type 0x{:02x}",
+            frame.kind
+        ))),
+    }
+}

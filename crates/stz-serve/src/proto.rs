@@ -1,0 +1,1046 @@
+//! STZP v1 — the length-prefixed binary wire protocol shared by the
+//! archive server and client.
+//!
+//! ## Framing
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "STZP"
+//! 4       1     protocol version (1)
+//! 5       1     frame type (see [`FrameType`])
+//! 6       2     reserved (0; receivers ignore)
+//! 8       4     payload length, u32 LE (≤ [`MAX_FRAME_PAYLOAD`])
+//! 12      4     CRC-32 of the payload, u32 LE
+//! 16      n     payload
+//! ```
+//!
+//! The fixed header makes framing self-synchronizing and cheap to
+//! validate before any allocation: a receiver rejects a bad magic, an
+//! unknown version, or an oversized length prefix from the first 16 bytes
+//! alone, and verifies the payload CRC before decoding a single field.
+//! Integers are little-endian throughout; strings are u32-length-prefixed
+//! UTF-8. Unknown *frame types* are surfaced to the dispatcher (not an
+//! I/O error), so future frame kinds degrade to a clean `ERR` response
+//! instead of a torn connection — the forward-compatibility story of v1.
+//!
+//! ## Request/response vocabulary
+//!
+//! | request              | response     | meaning |
+//! |----------------------|--------------|---------|
+//! | `HELLO`              | `HELLO_OK`   | version handshake, once per connection |
+//! | `LIST`               | `LIST_OK`    | hosted containers |
+//! | `INSPECT`            | `INSPECT_OK` | entry table of one container |
+//! | `FETCH_FULL`         | `FETCH_OK`   | full decode of one entry |
+//! | `FETCH_ROI`          | `FETCH_OK`   | region decode |
+//! | `FETCH_PROGRESSIVE`  | `FETCH_OK`   | level-k preview decode |
+//! | `FETCH_RAW_SECTION`  | `RAW_OK`     | the compressed payload bytes |
+//! | `STATS`              | `STATS_OK`   | request + cache counters |
+//! | —                    | `ERR`        | any failure (code + message) |
+//!
+//! `FETCH_OK` carries the decoded field as dims + element type + raw
+//! little-endian scalars — byte-identical to what a local
+//! `ContainerReader` decode followed by `write_raw` would produce, which
+//! is what the integration tests and the CI round-trip gate assert.
+
+use crate::error::{Result, ServeError};
+use std::io::{Read, Write};
+use stz_field::{Dims, Region};
+use stz_stream::crc::crc32;
+
+/// Frame magic, first on the wire in both directions.
+pub const PROTO_MAGIC: [u8; 4] = *b"STZP";
+
+/// Protocol version this build speaks.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Fixed frame-header length in bytes.
+pub const FRAME_HEADER_LEN: usize = 16;
+
+/// Upper bound on a frame payload. A length prefix above this is rejected
+/// *before* any allocation — a corrupt or hostile peer cannot make either
+/// endpoint reserve gigabytes.
+pub const MAX_FRAME_PAYLOAD: u32 = 256 << 20;
+
+/// Machine-readable `ERR` classes.
+pub mod err_code {
+    /// Malformed request (bad selector, empty region, region out of
+    /// bounds, …).
+    pub const BAD_REQUEST: u16 = 1;
+    /// Unknown container or entry.
+    pub const NOT_FOUND: u16 = 2;
+    /// The request is valid but this entry cannot serve it (e.g. a
+    /// progressive preview of a foreign-codec entry).
+    pub const UNSUPPORTED: u16 = 3;
+    /// The hosted container failed to decode (corrupt section, checksum
+    /// mismatch).
+    pub const CORRUPT: u16 = 4;
+    /// Internal server failure (I/O on the hosted file, …).
+    pub const INTERNAL: u16 = 5;
+    /// The server is at its connection limit.
+    pub const BUSY: u16 = 6;
+}
+
+/// Frame kinds of STZP v1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+#[allow(missing_docs)] // the table in the module docs is the reference
+pub enum FrameType {
+    Hello = 0x01,
+    HelloOk = 0x02,
+    List = 0x10,
+    ListOk = 0x11,
+    Inspect = 0x12,
+    InspectOk = 0x13,
+    FetchFull = 0x20,
+    FetchOk = 0x21,
+    FetchRoi = 0x22,
+    FetchProgressive = 0x24,
+    FetchRawSection = 0x26,
+    RawOk = 0x27,
+    Stats = 0x30,
+    StatsOk = 0x31,
+    Err = 0x7F,
+}
+
+impl FrameType {
+    /// Map a wire byte to a known frame type.
+    pub fn from_byte(b: u8) -> Option<FrameType> {
+        use FrameType::*;
+        Some(match b {
+            0x01 => Hello,
+            0x02 => HelloOk,
+            0x10 => List,
+            0x11 => ListOk,
+            0x12 => Inspect,
+            0x13 => InspectOk,
+            0x20 => FetchFull,
+            0x21 => FetchOk,
+            0x22 => FetchRoi,
+            0x24 => FetchProgressive,
+            0x26 => FetchRawSection,
+            0x27 => RawOk,
+            0x30 => Stats,
+            0x31 => StatsOk,
+            0x7F => Err,
+            _ => return None,
+        })
+    }
+}
+
+/// One frame as read off the wire: the (possibly unknown) type byte plus
+/// the CRC-verified payload.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Raw frame-type byte (may not map to a [`FrameType`] this build
+    /// knows; dispatchers answer `ERR` rather than tearing the stream).
+    pub kind: u8,
+    /// CRC-verified payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// The frame type, if this build knows it.
+    pub fn frame_type(&self) -> Option<FrameType> {
+        FrameType::from_byte(self.kind)
+    }
+}
+
+/// Serialize and send one frame.
+pub fn write_frame(w: &mut impl Write, kind: FrameType, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME_PAYLOAD as usize {
+        return Err(ServeError::protocol(format!(
+            "refusing to send a {} byte payload (max {MAX_FRAME_PAYLOAD})",
+            payload.len()
+        )));
+    }
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[0..4].copy_from_slice(&PROTO_MAGIC);
+    header[4] = PROTO_VERSION;
+    header[5] = kind as u8;
+    header[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[12..16].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame, or `None` on a clean end-of-stream (the peer closed
+/// between frames). EOF *inside* a frame — a truncated header or payload
+/// — is a protocol error, as are a bad magic, an unsupported version, a
+/// length prefix above [`MAX_FRAME_PAYLOAD`], and a payload CRC mismatch.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    // First byte decides "clean close" vs. "torn frame".
+    match r.read(&mut header[..1])? {
+        0 => return Ok(None),
+        _ => r
+            .read_exact(&mut header[1..])
+            .map_err(|e| ServeError::protocol(format!("truncated frame header: {e}")))?,
+    }
+    if header[0..4] != PROTO_MAGIC {
+        return Err(ServeError::protocol("bad frame magic (not an STZP stream)"));
+    }
+    if header[4] != PROTO_VERSION {
+        return Err(ServeError::protocol(format!(
+            "unsupported protocol version {} (this build speaks {PROTO_VERSION})",
+            header[4]
+        )));
+    }
+    let kind = header[5];
+    let len = u32::from_le_bytes(header[8..12].try_into().expect("fixed slice"));
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(ServeError::protocol(format!(
+            "frame length prefix {len} exceeds the {MAX_FRAME_PAYLOAD} byte cap"
+        )));
+    }
+    let want_crc = u32::from_le_bytes(header[12..16].try_into().expect("fixed slice"));
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| ServeError::protocol(format!("truncated frame payload: {e}")))?;
+    if crc32(&payload) != want_crc {
+        return Err(ServeError::protocol("frame payload CRC mismatch"));
+    }
+    Ok(Some(Frame { kind, payload }))
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding primitives.
+// ---------------------------------------------------------------------------
+
+/// Append-only payload encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Start an empty payload.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Finish, yielding the payload bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u16` (LE).
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32` (LE).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` (LE).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern (LE).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Append a u32-length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append raw bytes with no length prefix (trailing blob).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked payload decoder.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Decode from `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| ServeError::protocol("truncated payload field"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u16` (LE).
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("fixed slice")))
+    }
+
+    /// Read a `u32` (LE).
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("fixed slice")))
+    }
+
+    /// Read a `u64` (LE).
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("fixed slice")))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a u32-length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ServeError::protocol("payload string is not UTF-8"))
+    }
+
+    /// The unread remainder (trailing blob).
+    pub fn rest(self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Require that every byte has been consumed.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ServeError::protocol(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Message bodies.
+// ---------------------------------------------------------------------------
+
+/// Which entry of a container a fetch addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntrySel {
+    /// By position in the container index.
+    Index(u32),
+    /// By entry name.
+    Name(String),
+}
+
+impl EntrySel {
+    fn encode(&self, e: &mut Enc) {
+        match self {
+            EntrySel::Index(i) => {
+                e.u8(0);
+                e.u32(*i);
+            }
+            EntrySel::Name(n) => {
+                e.u8(1);
+                e.string(n);
+            }
+        }
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<EntrySel> {
+        match d.u8()? {
+            0 => Ok(EntrySel::Index(d.u32()?)),
+            1 => Ok(EntrySel::Name(d.string()?)),
+            t => Err(ServeError::protocol(format!("unknown entry selector tag {t}"))),
+        }
+    }
+}
+
+/// The decode a fetch requests — also the cache key discriminant on the
+/// server, so equal requests share one cached decoded block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// Full-resolution decode of the whole entry.
+    Full,
+    /// Progressive preview through level `k`.
+    Level(u8),
+    /// Region decode, half-open bounds `[z0,z1) × [y0,y1) × [x0,x1)`.
+    Roi([u64; 6]),
+    /// The compressed payload bytes, undecoded.
+    Raw,
+}
+
+impl RequestKind {
+    /// Wire tag for `FETCH_OK` payloads.
+    pub fn tag(&self) -> u8 {
+        match self {
+            RequestKind::Full => 0,
+            RequestKind::Level(_) => 1,
+            RequestKind::Roi(_) => 2,
+            RequestKind::Raw => 3,
+        }
+    }
+
+    /// Build an ROI kind from a [`Region`].
+    pub fn roi(region: &Region) -> RequestKind {
+        RequestKind::Roi([
+            region.z0 as u64,
+            region.z1 as u64,
+            region.y0 as u64,
+            region.y1 as u64,
+            region.x0 as u64,
+            region.x1 as u64,
+        ])
+    }
+
+    /// The [`Region`] of an ROI kind. `None` for other kinds and for
+    /// hostile bounds (`Region` construction requires non-empty ranges,
+    /// so empty or inverted wire bounds must be caught here, not panic).
+    pub fn region(&self) -> Option<Region> {
+        match self {
+            RequestKind::Roi(b) => {
+                let c = |v: u64| usize::try_from(v).ok();
+                let [z0, z1, y0, y1, x0, x1] =
+                    [c(b[0])?, c(b[1])?, c(b[2])?, c(b[3])?, c(b[4])?, c(b[5])?];
+                if z0 >= z1 || y0 >= y1 || x0 >= x1 {
+                    return None;
+                }
+                Some(Region::d3(z0..z1, y0..y1, x0..x1))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A fetch request: container, entry, and what to decode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchReq {
+    /// Hosted container name (file stem of the `.stzc`).
+    pub container: String,
+    /// Which entry.
+    pub entry: EntrySel,
+    /// What to decode.
+    pub kind: RequestKind,
+}
+
+impl FetchReq {
+    /// The frame type this request travels as.
+    pub fn frame_type(&self) -> FrameType {
+        match self.kind {
+            RequestKind::Full => FrameType::FetchFull,
+            RequestKind::Level(_) => FrameType::FetchProgressive,
+            RequestKind::Roi(_) => FrameType::FetchRoi,
+            RequestKind::Raw => FrameType::FetchRawSection,
+        }
+    }
+
+    /// Encode the request payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.string(&self.container);
+        self.entry.encode(&mut e);
+        match self.kind {
+            RequestKind::Full | RequestKind::Raw => {}
+            RequestKind::Level(k) => e.u8(k),
+            RequestKind::Roi(b) => {
+                for v in b {
+                    e.u64(v);
+                }
+            }
+        }
+        e.finish()
+    }
+
+    /// Decode a request payload arriving as frame type `ft`.
+    pub fn decode(ft: FrameType, payload: &[u8]) -> Result<FetchReq> {
+        let mut d = Dec::new(payload);
+        let container = d.string()?;
+        let entry = EntrySel::decode(&mut d)?;
+        let kind = match ft {
+            FrameType::FetchFull => RequestKind::Full,
+            FrameType::FetchRawSection => RequestKind::Raw,
+            FrameType::FetchProgressive => RequestKind::Level(d.u8()?),
+            FrameType::FetchRoi => {
+                let mut b = [0u64; 6];
+                for v in &mut b {
+                    *v = d.u64()?;
+                }
+                RequestKind::Roi(b)
+            }
+            other => return Err(ServeError::protocol(format!("{other:?} is not a fetch frame"))),
+        };
+        d.expect_end()?;
+        Ok(FetchReq { container, entry, kind })
+    }
+}
+
+/// A decoded field as carried by `FETCH_OK`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchedField {
+    /// Which request produced it (wire tag of [`RequestKind`]).
+    pub kind_tag: u8,
+    /// Element type tag (0 = `f32`, 1 = `f64`).
+    pub type_tag: u8,
+    /// Grid extents of the decoded block.
+    pub dims: Dims,
+    /// Raw little-endian scalars, `dims.len() * bytes_per` long — the
+    /// exact bytes a local decode + `write_raw` would produce.
+    pub data: Vec<u8>,
+}
+
+impl FetchedField {
+    /// Encode the `FETCH_OK` payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u8(self.kind_tag);
+        e.u8(self.type_tag);
+        e.u8(self.dims.ndim());
+        e.u8(0); // reserved
+        let [z, y, x] = self.dims.as_array();
+        e.u64(z as u64);
+        e.u64(y as u64);
+        e.u64(x as u64);
+        e.raw(&self.data);
+        e.finish()
+    }
+
+    /// Decode and validate a `FETCH_OK` payload.
+    pub fn decode(payload: &[u8]) -> Result<FetchedField> {
+        let mut d = Dec::new(payload);
+        let kind_tag = d.u8()?;
+        let type_tag = d.u8()?;
+        let ndim = d.u8()?;
+        let _reserved = d.u8()?;
+        let z = usize::try_from(d.u64()?).map_err(|_| ServeError::protocol("dims overflow"))?;
+        let y = usize::try_from(d.u64()?).map_err(|_| ServeError::protocol("dims overflow"))?;
+        let x = usize::try_from(d.u64()?).map_err(|_| ServeError::protocol("dims overflow"))?;
+        // `Dims::from_parts` asserts its invariants; a hostile payload must
+        // fail cleanly instead, so validate the same invariants first.
+        let consistent = match ndim {
+            1 => z == 1 && y == 1,
+            2 => z == 1,
+            3 => true,
+            _ => false,
+        };
+        if !consistent || x == 0 || y == 0 || z == 0 {
+            return Err(ServeError::protocol(format!("bad dims [{z}, {y}, {x}] for ndim {ndim}")));
+        }
+        let dims = Dims::from_parts(ndim, z, y, x);
+        let bytes_per: usize = match type_tag {
+            0 => 4,
+            1 => 8,
+            t => return Err(ServeError::protocol(format!("unknown element type tag {t}"))),
+        };
+        let data = d.rest().to_vec();
+        let want = dims
+            .len()
+            .checked_mul(bytes_per)
+            .ok_or_else(|| ServeError::protocol("dims overflow"))?;
+        if data.len() != want {
+            return Err(ServeError::protocol(format!(
+                "FETCH_OK carries {} data bytes, dims {dims} require {want}",
+                data.len()
+            )));
+        }
+        Ok(FetchedField { kind_tag, type_tag, dims, data })
+    }
+
+    /// Reinterpret the payload as a typed field; fails on a type mismatch.
+    pub fn into_field<T: stz_field::Scalar>(self) -> Result<stz_field::Field<T>> {
+        if self.type_tag != T::TYPE_TAG {
+            return Err(ServeError::protocol(format!(
+                "fetched element type tag {} does not match requested type",
+                self.type_tag
+            )));
+        }
+        let values: Vec<T> = self.data.chunks_exact(T::BYTES).map(T::read_exact).collect();
+        Ok(stz_field::Field::from_vec(self.dims, values))
+    }
+}
+
+/// One hosted container, as listed by `LIST_OK`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerInfo {
+    /// Container name (file stem; what fetches address).
+    pub name: String,
+    /// Number of entries in its index.
+    pub entries: u32,
+    /// On-disk size in bytes.
+    pub file_len: u64,
+}
+
+/// Encode a `LIST_OK` payload.
+pub fn encode_list(containers: &[ContainerInfo]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(containers.len() as u32);
+    for c in containers {
+        e.string(&c.name);
+        e.u32(c.entries);
+        e.u64(c.file_len);
+    }
+    e.finish()
+}
+
+/// Decode a `LIST_OK` payload.
+pub fn decode_list(payload: &[u8]) -> Result<Vec<ContainerInfo>> {
+    let mut d = Dec::new(payload);
+    let n = d.u32()?;
+    let mut out = Vec::with_capacity(bounded_count(n)?);
+    for _ in 0..n {
+        out.push(ContainerInfo { name: d.string()?, entries: d.u32()?, file_len: d.u64()? });
+    }
+    d.expect_end()?;
+    Ok(out)
+}
+
+/// One entry of a container's index, as carried by `INSPECT_OK` — the
+/// machine-readable entry table local `inspect --json` and remote
+/// `inspect` both render through one formatter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntryInfo {
+    /// Entry name.
+    pub name: String,
+    /// Codec wire id of the payload.
+    pub codec_id: u8,
+    /// Element type tag (0 = `f32`, 1 = `f64`).
+    pub type_tag: u8,
+    /// Number of grid axes (1–3).
+    pub ndim: u8,
+    /// Grid extents, `[z, y, x]`.
+    pub dims: [u64; 3],
+    /// Absolute error bound.
+    pub eb: f64,
+    /// Compressed payload size in bytes.
+    pub compressed_len: u64,
+    /// CRC-32 of the whole compressed payload.
+    pub payload_crc: u32,
+    /// Independently fetchable sections in the index.
+    pub sections: u32,
+    /// Hierarchy depth (0 for foreign codecs).
+    pub levels: u8,
+    /// Interpolation kind of the stz hierarchy (0 = none/foreign,
+    /// 1 = linear, 2 = cubic).
+    pub interp: u8,
+    /// Cumulative compressed bytes through level `k` (`levels` values;
+    /// empty for foreign codecs).
+    pub level_bytes: Vec<u64>,
+}
+
+impl EntryInfo {
+    /// Build the wire row for one container entry — the single source of
+    /// the entry table that local `inspect --json` and the server's
+    /// `INSPECT_OK` both use.
+    pub fn from_meta(meta: &stz_stream::EntryMeta<'_>) -> EntryInfo {
+        let levels = meta.header().map(|h| h.levels).unwrap_or(0);
+        let interp = match meta.header().map(|h| h.interp) {
+            Some(stz_core::InterpKind::Linear) => 1,
+            Some(stz_core::InterpKind::Cubic) => 2,
+            None => 0,
+        };
+        let [z, y, x] = meta.dims().as_array();
+        EntryInfo {
+            name: meta.name().to_string(),
+            codec_id: meta.codec_id(),
+            type_tag: meta.type_tag(),
+            ndim: meta.dims().ndim(),
+            dims: [z as u64, y as u64, x as u64],
+            eb: meta.error_bound(),
+            compressed_len: meta.compressed_len(),
+            payload_crc: meta.payload_crc(),
+            sections: meta.section_count() as u32,
+            levels,
+            interp,
+            level_bytes: (1..=levels).map(|k| meta.bytes_through_level(k)).collect(),
+        }
+    }
+
+    /// Registry name of the entry's codec, or `None` when this build
+    /// does not know the id.
+    pub fn codec_name(&self) -> Option<&'static str> {
+        stz_backend::registry().by_id(self.codec_id).map(|c| c.name())
+    }
+
+    /// `"f32"` / `"f64"`.
+    pub fn type_name(&self) -> &'static str {
+        if self.type_tag == 0 {
+            "f32"
+        } else {
+            "f64"
+        }
+    }
+
+    /// Interpolation-kind label of the stz hierarchy (`None` for foreign
+    /// codecs or an interp code this build does not know).
+    pub fn interp_name(&self) -> Option<&'static str> {
+        match self.interp {
+            1 => Some("linear"),
+            2 => Some("cubic"),
+            _ => None,
+        }
+    }
+}
+
+/// Encode an `INSPECT_OK` payload.
+pub fn encode_inspect(entries: &[EntryInfo]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(entries.len() as u32);
+    for i in entries {
+        e.string(&i.name);
+        e.u8(i.codec_id);
+        e.u8(i.type_tag);
+        e.u8(i.ndim);
+        e.u8(i.levels);
+        e.u8(i.interp);
+        for v in i.dims {
+            e.u64(v);
+        }
+        e.f64(i.eb);
+        e.u64(i.compressed_len);
+        e.u32(i.payload_crc);
+        e.u32(i.sections);
+        debug_assert_eq!(i.level_bytes.len(), i.levels as usize);
+        for &b in &i.level_bytes {
+            e.u64(b);
+        }
+    }
+    e.finish()
+}
+
+/// Decode an `INSPECT_OK` payload.
+pub fn decode_inspect(payload: &[u8]) -> Result<Vec<EntryInfo>> {
+    let mut d = Dec::new(payload);
+    let n = d.u32()?;
+    let mut out = Vec::with_capacity(bounded_count(n)?);
+    for _ in 0..n {
+        let name = d.string()?;
+        let codec_id = d.u8()?;
+        let type_tag = d.u8()?;
+        let ndim = d.u8()?;
+        let levels = d.u8()?;
+        let interp = d.u8()?;
+        let mut dims = [0u64; 3];
+        for v in &mut dims {
+            *v = d.u64()?;
+        }
+        let eb = d.f64()?;
+        let compressed_len = d.u64()?;
+        let payload_crc = d.u32()?;
+        let sections = d.u32()?;
+        let mut level_bytes = Vec::with_capacity(levels as usize);
+        for _ in 0..levels {
+            level_bytes.push(d.u64()?);
+        }
+        out.push(EntryInfo {
+            name,
+            codec_id,
+            type_tag,
+            ndim,
+            dims,
+            eb,
+            compressed_len,
+            payload_crc,
+            sections,
+            levels,
+            interp,
+            level_bytes,
+        });
+    }
+    d.expect_end()?;
+    Ok(out)
+}
+
+/// Cache + request counters, as carried by `STATS_OK`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests served since startup (all kinds).
+    pub requests: u64,
+    /// Hosted containers.
+    pub containers: u32,
+    /// Cache lookups answered from a cached decoded block.
+    pub cache_hits: u64,
+    /// Cache lookups that had to decode.
+    pub cache_misses: u64,
+    /// Decoded blocks evicted to stay under the byte budget.
+    pub cache_evictions: u64,
+    /// Decoded blocks currently resident.
+    pub cache_entries: u64,
+    /// Bytes currently resident in the cache.
+    pub cache_bytes: u64,
+    /// Configured cache byte budget.
+    pub cache_capacity: u64,
+}
+
+impl ServerStats {
+    /// Encode the `STATS_OK` payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.requests);
+        e.u32(self.containers);
+        e.u64(self.cache_hits);
+        e.u64(self.cache_misses);
+        e.u64(self.cache_evictions);
+        e.u64(self.cache_entries);
+        e.u64(self.cache_bytes);
+        e.u64(self.cache_capacity);
+        e.finish()
+    }
+
+    /// Decode a `STATS_OK` payload.
+    pub fn decode(payload: &[u8]) -> Result<ServerStats> {
+        let mut d = Dec::new(payload);
+        let s = ServerStats {
+            requests: d.u64()?,
+            containers: d.u32()?,
+            cache_hits: d.u64()?,
+            cache_misses: d.u64()?,
+            cache_evictions: d.u64()?,
+            cache_entries: d.u64()?,
+            cache_bytes: d.u64()?,
+            cache_capacity: d.u64()?,
+        };
+        d.expect_end()?;
+        Ok(s)
+    }
+
+    /// Hit fraction of all cache lookups (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Encode an `ERR` payload.
+pub fn encode_err(code: u16, message: &str) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u16(code);
+    e.string(message);
+    e.finish()
+}
+
+/// Decode an `ERR` payload into the error it describes.
+pub fn decode_err(payload: &[u8]) -> ServeError {
+    let mut d = Dec::new(payload);
+    match (d.u16(), d.string()) {
+        (Ok(code), Ok(message)) => ServeError::Remote { code, message },
+        _ => ServeError::protocol("malformed ERR payload"),
+    }
+}
+
+/// Guard collection preallocation against hostile count prefixes: the
+/// count is trusted only up to what the frame cap could actually carry.
+fn bounded_count(n: u32) -> Result<usize> {
+    const MAX: u32 = 1 << 20;
+    if n > MAX {
+        return Err(ServeError::protocol(format!("collection count {n} exceeds {MAX}")));
+    }
+    Ok(n as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameType::List, b"").unwrap();
+        write_frame(&mut wire, FrameType::Inspect, b"hello payload").unwrap();
+        let mut r = &wire[..];
+        let f1 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(f1.frame_type(), Some(FrameType::List));
+        assert!(f1.payload.is_empty());
+        let f2 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(f2.frame_type(), Some(FrameType::Inspect));
+        assert_eq!(f2.payload, b"hello payload");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF between frames");
+    }
+
+    #[test]
+    fn frame_rejects_corruption() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameType::List, b"payload").unwrap();
+
+        // Bad magic.
+        let mut bad = wire.clone();
+        bad[0] = b'X';
+        assert!(matches!(read_frame(&mut &bad[..]), Err(ServeError::Protocol(_))));
+
+        // Unknown version.
+        let mut bad = wire.clone();
+        bad[4] = 9;
+        assert!(matches!(read_frame(&mut &bad[..]), Err(ServeError::Protocol(_))));
+
+        // Oversized length prefix: rejected from the header, no allocation.
+        let mut bad = wire.clone();
+        bad[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(read_frame(&mut &bad[..]), Err(ServeError::Protocol(_))));
+
+        // Flipped payload byte: CRC catches it.
+        let mut bad = wire.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(matches!(read_frame(&mut &bad[..]), Err(ServeError::Protocol(_))));
+
+        // Truncated mid-header and mid-payload.
+        assert!(matches!(read_frame(&mut &wire[..7]), Err(ServeError::Protocol(_))));
+        assert!(matches!(
+            read_frame(&mut &wire[..FRAME_HEADER_LEN + 3]),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_frame_type_is_not_a_stream_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameType::List, b"").unwrap();
+        wire[5] = 0x55; // not a v1 frame type
+                        // Header CRC covers the payload only, so the frame still parses...
+        let f = read_frame(&mut &wire[..]).unwrap().unwrap();
+        // ...and the dispatcher sees "unknown", not a torn connection.
+        assert_eq!(f.frame_type(), None);
+        assert_eq!(f.kind, 0x55);
+    }
+
+    #[test]
+    fn fetch_requests_roundtrip() {
+        let reqs = [
+            FetchReq {
+                container: "steps".into(),
+                entry: EntrySel::Index(3),
+                kind: RequestKind::Full,
+            },
+            FetchReq {
+                container: "steps".into(),
+                entry: EntrySel::Name("t0".into()),
+                kind: RequestKind::Level(2),
+            },
+            FetchReq {
+                container: "runs/x".into(),
+                entry: EntrySel::Index(0),
+                kind: RequestKind::Roi([1, 4, 0, 16, 2, 8]),
+            },
+            FetchReq {
+                container: "steps".into(),
+                entry: EntrySel::Name("t1".into()),
+                kind: RequestKind::Raw,
+            },
+        ];
+        for req in reqs {
+            let back = FetchReq::decode(req.frame_type(), &req.encode()).unwrap();
+            assert_eq!(back, req);
+        }
+        // Trailing garbage is rejected.
+        let mut p =
+            FetchReq { container: "c".into(), entry: EntrySel::Index(0), kind: RequestKind::Full }
+                .encode();
+        p.push(0);
+        assert!(FetchReq::decode(FrameType::FetchFull, &p).is_err());
+    }
+
+    #[test]
+    fn fetched_field_roundtrip_and_validation() {
+        let f = FetchedField {
+            kind_tag: RequestKind::Full.tag(),
+            type_tag: 0,
+            dims: Dims::d3(2, 3, 4),
+            data: (0..2 * 3 * 4 * 4u32).map(|i| i as u8).collect(),
+        };
+        let back = FetchedField::decode(&f.encode()).unwrap();
+        assert_eq!(back, f);
+        let field: stz_field::Field<f32> = back.into_field().unwrap();
+        assert_eq!(field.dims(), Dims::d3(2, 3, 4));
+
+        // Wrong data length for the declared dims.
+        let mut bad = f.encode();
+        bad.pop();
+        assert!(FetchedField::decode(&bad).is_err());
+
+        // Wrong requested type.
+        let again = FetchedField::decode(&f.encode()).unwrap();
+        assert!(again.into_field::<f64>().is_err());
+    }
+
+    #[test]
+    fn list_inspect_stats_err_roundtrip() {
+        let list = vec![
+            ContainerInfo { name: "a".into(), entries: 2, file_len: 1234 },
+            ContainerInfo { name: "b".into(), entries: 1, file_len: 99 },
+        ];
+        assert_eq!(decode_list(&encode_list(&list)).unwrap(), list);
+
+        let entries = vec![EntryInfo {
+            name: "t0".into(),
+            codec_id: 0,
+            type_tag: 1,
+            ndim: 3,
+            dims: [16, 16, 16],
+            eb: 1e-3,
+            compressed_len: 4096,
+            payload_crc: 0xDEAD_BEEF,
+            sections: 15,
+            levels: 3,
+            interp: 2,
+            level_bytes: vec![64, 512, 4096],
+        }];
+        assert_eq!(decode_inspect(&encode_inspect(&entries)).unwrap(), entries);
+
+        let stats = ServerStats {
+            requests: 10,
+            containers: 2,
+            cache_hits: 6,
+            cache_misses: 4,
+            cache_evictions: 1,
+            cache_entries: 3,
+            cache_bytes: 1 << 20,
+            cache_capacity: 1 << 26,
+        };
+        assert_eq!(ServerStats::decode(&stats.encode()).unwrap(), stats);
+        assert!((stats.hit_rate() - 0.6).abs() < 1e-12);
+
+        match decode_err(&encode_err(err_code::NOT_FOUND, "no such container")) {
+            ServeError::Remote { code, message } => {
+                assert_eq!(code, err_code::NOT_FOUND);
+                assert_eq!(message, "no such container");
+            }
+            other => panic!("expected Remote, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_count_prefix_rejected() {
+        let mut e = Enc::new();
+        e.u32(u32::MAX); // claims 4 billion containers
+        assert!(decode_list(&e.finish()).is_err());
+    }
+
+    #[test]
+    fn roi_kind_region_conversion() {
+        let region = Region::d3(1..4, 0..16, 2..8);
+        let kind = RequestKind::roi(&region);
+        assert_eq!(kind.region().unwrap(), region);
+        assert_eq!(RequestKind::Full.region(), None);
+    }
+}

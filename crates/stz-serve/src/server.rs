@@ -1,0 +1,526 @@
+//! The concurrent archive server.
+//!
+//! [`Server::bind`] opens every `.stzc` under a root directory **once**;
+//! from then on all connections share the same open
+//! [`ContainerReader`]s, which is sound because every read is a
+//! positioned (`pread`-style) [`ByteSource`] access with no seek
+//! state. Each accepted connection runs on its own
+//! thread; decode work inside a connection runs under the shared
+//! rayon-shim pool, and every decoded block passes through the
+//! [`DecodedCache`] so repeated requests skip decompression entirely.
+
+use crate::cache::{CacheKey, DecodedCache};
+use crate::error::{Result, ServeError};
+use crate::proto::{
+    encode_err, encode_inspect, encode_list, err_code, read_frame, write_frame, ContainerInfo,
+    EntryInfo, EntrySel, FetchReq, FetchedField, Frame, FrameType, RequestKind, ServerStats,
+    PROTO_VERSION,
+};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use stz_backend::BackendScalar;
+use stz_stream::{ByteSource, ContainerReader, FileSource, StreamError};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Directory of `.stzc` containers to host (or a single `.stzc`
+    /// file). Containers are addressed by file stem.
+    pub root: PathBuf,
+    /// Bind address; port `0` picks an ephemeral port (query it with
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Byte budget of the decoded-block cache (`0` disables caching).
+    pub cache_bytes: u64,
+    /// Worker threads for decode work (`0` = auto: `STZ_THREADS` or all
+    /// cores).
+    pub threads: usize,
+    /// Connections served concurrently before new ones are turned away
+    /// with `ERR BUSY`.
+    pub max_conns: usize,
+    /// Per-socket read timeout: an idle or half-open peer cannot pin a
+    /// connection thread forever. `None` waits indefinitely.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            root: PathBuf::from("."),
+            addr: "127.0.0.1:0".into(),
+            cache_bytes: 256 << 20,
+            threads: 0,
+            max_conns: 64,
+            read_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// One hosted container.
+#[derive(Debug)]
+struct Hosted {
+    reader: ContainerReader<FileSource>,
+    file_len: u64,
+}
+
+/// State shared by the accept loop and every connection thread.
+#[derive(Debug)]
+struct ServerState {
+    containers: BTreeMap<String, Hosted>,
+    cache: DecodedCache,
+    pool: rayon::ThreadPool,
+    requests: AtomicU64,
+    active: AtomicUsize,
+    max_conns: usize,
+    read_timeout: Option<Duration>,
+    shutdown: AtomicBool,
+}
+
+/// A bound (but not yet accepting) archive server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Open every container under `opts.root` and bind the listen socket.
+    ///
+    /// Unreadable or corrupt `.stzc` files are skipped with a warning on
+    /// stderr — one bad file must not take the whole archive service
+    /// down. Hosting an empty directory is allowed (the server answers
+    /// `LIST` with nothing).
+    pub fn bind(opts: ServeOptions) -> Result<Server> {
+        let containers = scan_containers(&opts.root)?;
+        let listener = TcpListener::bind(&opts.addr)?;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(opts.threads)
+            .build()
+            .map_err(|e| ServeError::protocol(format!("cannot build thread pool: {e}")))?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                containers,
+                cache: DecodedCache::new(opts.cache_bytes),
+                pool,
+                requests: AtomicU64::new(0),
+                active: AtomicUsize::new(0),
+                max_conns: opts.max_conns.max(1),
+                read_timeout: opts.read_timeout,
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (the real port when `addr` requested port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Names of the hosted containers.
+    pub fn container_names(&self) -> Vec<&str> {
+        self.state.containers.keys().map(String::as_str).collect()
+    }
+
+    /// Serve until [`ServerHandle::stop`] is called (blocking). Accept
+    /// and thread-spawn errors on individual connections are logged and
+    /// survived — nothing a single peer does stops the accept loop.
+    pub fn run(self) -> Result<()> {
+        // Connections beyond `max_conns` get a short-lived thread whose
+        // only job is to say `ERR BUSY`; beyond this extra headroom a
+        // flood is shed by closing the socket without spawning anything,
+        // so thread count stays bounded at max_conns + HEADROOM.
+        const BUSY_HEADROOM: usize = 8;
+        for conn in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(stream) => stream,
+                Err(e) => {
+                    eprintln!("stz-serve: accept failed: {e}");
+                    continue;
+                }
+            };
+            // Claim the connection slot *before* spawning, so the cap is
+            // enforced here, not in a thread that already exists.
+            let active = self.state.active.fetch_add(1, Ordering::SeqCst) + 1;
+            if active > self.state.max_conns + BUSY_HEADROOM {
+                self.state.active.fetch_sub(1, Ordering::SeqCst);
+                drop(stream);
+                continue;
+            }
+            let busy = active > self.state.max_conns;
+            let state = Arc::clone(&self.state);
+            let spawned =
+                std::thread::Builder::new().name("stz-serve-conn".into()).spawn(move || {
+                    let _guard = ActiveGuard(&state.active);
+                    handle_connection(&state, stream, busy);
+                });
+            if let Err(e) = spawned {
+                self.state.active.fetch_sub(1, Ordering::SeqCst);
+                eprintln!("stz-serve: cannot spawn connection thread: {e}");
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the accept loop on a background thread, returning a handle
+    /// that stops it on [`ServerHandle::stop`] (or drop). This is how
+    /// tests and the bench harness host a loopback server in-process.
+    pub fn spawn(self) -> Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let state = Arc::clone(&self.state);
+        let join = std::thread::Builder::new()
+            .name("stz-serve-accept".into())
+            .spawn(move || {
+                let _ = self.run();
+            })
+            .map_err(ServeError::Io)?;
+        Ok(ServerHandle { addr, state, join: Some(join) })
+    }
+}
+
+/// Handle to a running [`Server`]; stops it when dropped.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal shutdown and join the accept loop. In-flight connections
+    /// finish their current request; no new connections are accepted.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(join) = self.join.take() else { return };
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = join.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Open the containers under `root` (or the single file `root`).
+fn scan_containers(root: &Path) -> Result<BTreeMap<String, Hosted>> {
+    let mut out = BTreeMap::new();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    if root.is_file() {
+        paths.push(root.to_path_buf());
+    } else {
+        for entry in std::fs::read_dir(root)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "stzc") {
+                paths.push(path);
+            }
+        }
+    }
+    for path in paths {
+        let Some(name) = path.file_stem().map(|s| s.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        match ContainerReader::open_path(&path) {
+            Ok(reader) => {
+                let file_len = reader.source().len();
+                out.insert(name, Hosted { reader, file_len });
+            }
+            Err(e) => eprintln!("stz-serve: skipping {}: {e}", path.display()),
+        }
+    }
+    Ok(out)
+}
+
+/// Decrement the active-connection counter when a connection thread
+/// exits, however it exits.
+struct ActiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(state: &ServerState, mut stream: TcpStream, busy: bool) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(state.read_timeout);
+    let _ = stream.set_write_timeout(state.read_timeout);
+    if busy {
+        let payload = encode_err(err_code::BUSY, "server is at its connection limit");
+        let _ = write_frame(&mut stream, FrameType::Err, &payload);
+        return;
+    }
+    // Serve until the peer closes, a frame is malformed, or I/O fails.
+    // Protocol violations get a best-effort ERR before the close so
+    // well-meaning-but-buggy clients see *why*.
+    if let Err(e) = serve_loop(state, &mut stream) {
+        let (code, msg) = match &e {
+            ServeError::Protocol(msg) => (err_code::BAD_REQUEST, msg.clone()),
+            _ => return, // I/O errors: the socket is gone, nothing to say
+        };
+        let _ = write_frame(&mut stream, FrameType::Err, &encode_err(code, &msg));
+    }
+}
+
+fn serve_loop(state: &ServerState, stream: &mut TcpStream) -> Result<()> {
+    // Handshake first: HELLO in, HELLO_OK out.
+    let Some(hello) = read_frame(stream)? else { return Ok(()) };
+    if hello.frame_type() != Some(FrameType::Hello) {
+        return Err(ServeError::protocol("expected HELLO as the first frame"));
+    }
+    let client_version = *hello.payload.first().unwrap_or(&0);
+    if client_version != PROTO_VERSION {
+        let payload = encode_err(
+            err_code::UNSUPPORTED,
+            &format!("client speaks STZP v{client_version}, server speaks v{PROTO_VERSION}"),
+        );
+        write_frame(stream, FrameType::Err, &payload)?;
+        return Ok(());
+    }
+    let mut hello_ok = crate::proto::Enc::new();
+    hello_ok.u8(PROTO_VERSION);
+    hello_ok.string(concat!("stz-serve/", env!("CARGO_PKG_VERSION")));
+    write_frame(stream, FrameType::HelloOk, &hello_ok.finish())?;
+
+    while let Some(frame) = read_frame(stream)? {
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        dispatch(state, stream, frame)?;
+    }
+    Ok(())
+}
+
+/// Answer one request frame. Request-level failures are answered with
+/// `ERR` and the connection stays up; only framing/socket failures
+/// propagate and tear it down.
+fn dispatch(state: &ServerState, stream: &mut TcpStream, frame: Frame) -> Result<()> {
+    let reply_err = |stream: &mut TcpStream, code: u16, msg: &str| {
+        write_frame(stream, FrameType::Err, &encode_err(code, msg))
+    };
+    match frame.frame_type() {
+        Some(FrameType::List) => {
+            let list: Vec<ContainerInfo> = state
+                .containers
+                .iter()
+                .map(|(name, hosted)| ContainerInfo {
+                    name: name.clone(),
+                    entries: hosted.reader.entry_count() as u32,
+                    file_len: hosted.file_len,
+                })
+                .collect();
+            write_frame(stream, FrameType::ListOk, &encode_list(&list))
+        }
+        Some(FrameType::Inspect) => {
+            let mut d = crate::proto::Dec::new(&frame.payload);
+            let name = d.string()?;
+            d.expect_end()?;
+            match state.containers.get(&name) {
+                Some(hosted) => {
+                    let entries: Vec<EntryInfo> =
+                        hosted.reader.entries().map(|m| EntryInfo::from_meta(&m)).collect();
+                    write_frame(stream, FrameType::InspectOk, &encode_inspect(&entries))
+                }
+                None => reply_err(
+                    stream,
+                    err_code::NOT_FOUND,
+                    &format!("no hosted container named {name:?}"),
+                ),
+            }
+        }
+        Some(FrameType::Stats) => {
+            let c = state.cache.counters();
+            let stats = ServerStats {
+                requests: state.requests.load(Ordering::Relaxed),
+                containers: state.containers.len() as u32,
+                cache_hits: c.hits,
+                cache_misses: c.misses,
+                cache_evictions: c.evictions,
+                cache_entries: c.entries,
+                cache_bytes: c.bytes,
+                cache_capacity: c.capacity,
+            };
+            write_frame(stream, FrameType::StatsOk, &stats.encode())
+        }
+        Some(
+            ft @ (FrameType::FetchFull
+            | FrameType::FetchRoi
+            | FrameType::FetchProgressive
+            | FrameType::FetchRawSection),
+        ) => {
+            let req = FetchReq::decode(ft, &frame.payload)?;
+            match handle_fetch(state, &req) {
+                Ok(payload) => {
+                    let reply = if req.kind == RequestKind::Raw {
+                        FrameType::RawOk
+                    } else {
+                        FrameType::FetchOk
+                    };
+                    write_frame(stream, reply, &payload)
+                }
+                Err((code, msg)) => reply_err(stream, code, &msg),
+            }
+        }
+        // HELLO twice, response types, or a frame type from the future:
+        // answer ERR, keep the connection.
+        _ => reply_err(
+            stream,
+            err_code::BAD_REQUEST,
+            &format!("frame type 0x{:02x} is not a request this server knows", frame.kind),
+        ),
+    }
+}
+
+/// Serve one fetch: resolve, consult the cache, decode on a miss.
+fn handle_fetch(
+    state: &ServerState,
+    req: &FetchReq,
+) -> std::result::Result<Arc<Vec<u8>>, (u16, String)> {
+    let hosted = state.containers.get(&req.container).ok_or_else(|| {
+        (err_code::NOT_FOUND, format!("no hosted container named {:?}", req.container))
+    })?;
+    let reader = &hosted.reader;
+    let index = match &req.entry {
+        EntrySel::Index(i) => {
+            let i = *i as usize;
+            if i >= reader.entry_count() {
+                return Err((
+                    err_code::NOT_FOUND,
+                    format!(
+                        "entry index {i} out of range ({} entries in {:?})",
+                        reader.entry_count(),
+                        req.container
+                    ),
+                ));
+            }
+            i
+        }
+        EntrySel::Name(name) => reader.find(name).ok_or_else(|| {
+            (err_code::NOT_FOUND, format!("no entry named {name:?} in {:?}", req.container))
+        })?,
+    };
+    let meta = reader.entry_meta(index).expect("index validated above");
+
+    // Validate request-specific parameters *before* touching the cache so
+    // malformed requests are cheap and never occupy a slot.
+    let bytes_per: u64 = if meta.type_tag() == 0 { 4 } else { 8 };
+    let too_big = |decoded: u64| {
+        (
+            err_code::UNSUPPORTED,
+            format!(
+                "response of {decoded} bytes exceeds the {} byte frame cap; \
+                 fetch an ROI or a preview level instead",
+                crate::proto::MAX_FRAME_PAYLOAD
+            ),
+        )
+    };
+    match req.kind {
+        RequestKind::Roi(_) => {
+            let region = req
+                .kind
+                .region()
+                .ok_or_else(|| (err_code::BAD_REQUEST, "empty or inverted ROI bounds".into()))?;
+            if !region.fits_in(meta.dims()) {
+                return Err((
+                    err_code::BAD_REQUEST,
+                    format!("ROI {region:?} outside entry dims {}", meta.dims()),
+                ));
+            }
+            if region.len() as u64 * bytes_per >= crate::proto::MAX_FRAME_PAYLOAD as u64 {
+                return Err(too_big(region.len() as u64 * bytes_per));
+            }
+        }
+        RequestKind::Level(0) => {
+            return Err((err_code::BAD_REQUEST, "preview level must be ≥ 1".into()));
+        }
+        // Full decodes and raw payloads have statically known sizes:
+        // refuse ones the frame cap cannot carry *before* decoding
+        // anything (level previews are checked post-decode below — their
+        // size needs the level plan, and they are the small requests).
+        RequestKind::Full => {
+            if meta.dims().len() as u64 * bytes_per >= crate::proto::MAX_FRAME_PAYLOAD as u64 {
+                return Err(too_big(meta.dims().len() as u64 * bytes_per));
+            }
+        }
+        RequestKind::Raw => {
+            if meta.compressed_len() >= crate::proto::MAX_FRAME_PAYLOAD as u64 {
+                return Err(too_big(meta.compressed_len()));
+            }
+        }
+        RequestKind::Level(_) => {}
+    }
+
+    let key = CacheKey { container: req.container.clone(), entry: index as u32, kind: req.kind };
+    if let Some(cached) = state.cache.get(&key) {
+        return Ok(cached);
+    }
+
+    let decoded = state
+        .pool
+        .install(|| match meta.type_tag() {
+            0 => decode_block::<f32>(reader, index, &req.kind),
+            _ => decode_block::<f64>(reader, index, &req.kind),
+        })
+        .map_err(|e| stream_err(&e))?;
+    // Backstop for the one kind whose size is only known post-decode
+    // (level previews): never hand `write_frame` a payload it will
+    // refuse — that would read as a framing error and tear the
+    // connection instead of answering `ERR`.
+    if decoded.len() > crate::proto::MAX_FRAME_PAYLOAD as usize {
+        return Err(too_big(decoded.len() as u64));
+    }
+    let decoded = Arc::new(decoded);
+    state.cache.insert(key, Arc::clone(&decoded));
+    Ok(decoded)
+}
+
+/// Decode one block to its response payload (`FETCH_OK` body, or the raw
+/// compressed payload for [`RequestKind::Raw`]).
+fn decode_block<T: BackendScalar>(
+    reader: &ContainerReader<FileSource>,
+    index: usize,
+    kind: &RequestKind,
+) -> std::result::Result<Vec<u8>, StreamError> {
+    let entry = reader.entry::<T>(index)?;
+    let field = match kind {
+        RequestKind::Raw => return entry.read_payload(),
+        RequestKind::Full => entry.decompress_parallel()?,
+        RequestKind::Level(k) => entry.decompress_level(*k)?,
+        RequestKind::Roi(_) => {
+            let region = kind.region().expect("validated by handle_fetch");
+            entry.decompress_region(&region)?
+        }
+    };
+    let mut data = Vec::with_capacity(field.nbytes());
+    for &v in field.as_slice() {
+        v.write_exact(&mut data);
+    }
+    Ok(FetchedField { kind_tag: kind.tag(), type_tag: T::TYPE_TAG, dims: field.dims(), data }
+        .encode())
+}
+
+/// Map a container failure to an `ERR` code + message.
+fn stream_err(e: &StreamError) -> (u16, String) {
+    let code = match e {
+        StreamError::Unsupported(_) => err_code::UNSUPPORTED,
+        StreamError::Corrupt(_) | StreamError::Codec(_) => err_code::CORRUPT,
+        StreamError::Io(_) => err_code::INTERNAL,
+    };
+    (code, e.to_string())
+}

@@ -18,6 +18,10 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Random access over a container's bytes.
+///
+/// All methods take `&self` and implementations are `Sync`, so one source
+/// can serve many readers concurrently — the contract the archive server
+/// relies on to share one open container across connections.
 pub trait ByteSource: Send + Sync {
     /// Total size in bytes.
     fn len(&self) -> u64;
@@ -29,6 +33,67 @@ pub trait ByteSource: Send + Sync {
 
     /// Fill `buf` exactly from the bytes starting at `offset`.
     fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+
+    /// Read up to `buf.len()` bytes starting at `offset`, returning how
+    /// many were available. Reads past the end are clamped (a read wholly
+    /// past the end returns `Ok(0)`); unlike [`read_exact_at`] this never
+    /// fails just because the tail is short.
+    ///
+    /// [`read_exact_at`]: ByteSource::read_exact_at
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let len = self.len();
+        if offset >= len {
+            return Ok(0);
+        }
+        let avail = usize::try_from(len - offset).unwrap_or(usize::MAX).min(buf.len());
+        self.read_exact_at(offset, &mut buf[..avail])?;
+        Ok(avail)
+    }
+}
+
+/// Shared handles read through to the underlying source, so a single open
+/// container can be cloned cheaply across server connections or worker
+/// threads (`Arc<FileSource>` is itself a `ByteSource`).
+impl<S: ByteSource + ?Sized> ByteSource for std::sync::Arc<S> {
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        (**self).read_exact_at(offset, buf)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        (**self).read_at(offset, buf)
+    }
+}
+
+impl<S: ByteSource + ?Sized> ByteSource for &S {
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        (**self).read_exact_at(offset, buf)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        (**self).read_at(offset, buf)
+    }
+}
+
+impl<S: ByteSource + ?Sized> ByteSource for Box<S> {
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        (**self).read_exact_at(offset, buf)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        (**self).read_at(offset, buf)
+    }
 }
 
 /// A container file on disk.
@@ -187,6 +252,61 @@ mod tests {
         assert_eq!(src.read_calls(), 2);
         src.reset();
         assert_eq!(src.bytes_read(), 0);
+    }
+
+    #[test]
+    fn read_at_clamps_instead_of_failing() {
+        let src = MemorySource::new((0u8..100).collect());
+        let mut buf = [0u8; 16];
+        assert_eq!(src.read_at(0, &mut buf).unwrap(), 16);
+        assert_eq!(buf[..4], [0, 1, 2, 3]);
+        // Tail shorter than the buffer: clamped, not an error.
+        assert_eq!(src.read_at(92, &mut buf).unwrap(), 8);
+        assert_eq!(buf[..8], [92, 93, 94, 95, 96, 97, 98, 99]);
+        // Wholly past the end: zero bytes.
+        assert_eq!(src.read_at(100, &mut buf).unwrap(), 0);
+        assert_eq!(src.read_at(u64::MAX, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn shared_handles_are_sources() {
+        let src = std::sync::Arc::new(MemorySource::new(vec![7u8; 32]));
+        let mut buf = [0u8; 4];
+        src.read_exact_at(8, &mut buf).unwrap();
+        assert_eq!(buf, [7; 4]);
+        assert_eq!(ByteSource::len(&src), 32);
+        let by_ref: &MemorySource = &src;
+        assert_eq!(ByteSource::len(&by_ref), 32);
+        let boxed: Box<dyn ByteSource> = Box::new(MemorySource::new(vec![1u8; 8]));
+        assert_eq!(boxed.len(), 8);
+        boxed.read_exact_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [1; 4]);
+    }
+
+    #[test]
+    fn file_source_concurrent_positioned_reads() {
+        // The racy pattern this API exists to prevent: N threads reading
+        // different offsets of one shared file handle must each see their
+        // own range, which seek+read on a shared cursor cannot guarantee.
+        let path = std::env::temp_dir().join(format!("stz_stream_mt_{}.bin", std::process::id()));
+        let image: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&path, &image).unwrap();
+        let src = std::sync::Arc::new(FileSource::open(&path).unwrap());
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let src = std::sync::Arc::clone(&src);
+                let image = &image;
+                scope.spawn(move || {
+                    for rep in 0..200usize {
+                        let off = (t * 8191 + rep * 131) % (image.len() - 256);
+                        let mut buf = [0u8; 256];
+                        src.read_exact_at(off as u64, &mut buf).unwrap();
+                        assert_eq!(&buf[..], &image[off..off + 256], "thread {t} rep {rep}");
+                    }
+                });
+            }
+        });
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -187,6 +187,21 @@ impl<'a> EntryMeta<'a> {
         self.record.payload.len
     }
 
+    /// CRC-32 of the whole compressed payload, as recorded in the index.
+    pub fn payload_crc(&self) -> u32 {
+        self.record.payload.crc
+    }
+
+    /// Number of independently fetchable sections the entry indexes: the
+    /// level-1 stream plus one per sub-block for STZ entries, one
+    /// monolithic payload for foreign codecs.
+    pub fn section_count(&self) -> usize {
+        match self.record.stz_detail() {
+            Some(d) => 1 + d.blocks.iter().map(Vec::len).sum::<usize>(),
+            None => 1,
+        }
+    }
+
     /// Compressed bytes needed to preview through level `k` (for foreign
     /// codecs, which have no partial levels, any `k ≥ 1` costs the whole
     /// payload).

@@ -1,0 +1,514 @@
+//! Integration tests for the stz-serve archive server over real loopback
+//! sockets:
+//!
+//! * 8 concurrent clients issuing mixed FULL/ROI/PROGRESSIVE fetches all
+//!   receive bytes identical to local `ContainerReader` decodes, and a
+//!   repeated-request workload reports a nonzero cache hit rate;
+//! * wire-protocol robustness: truncated frames, bad magic, oversized
+//!   length prefixes, mid-stream disconnects and CRC-corrupted responses
+//!   error cleanly — no panics, no hangs (every socket carries a timeout);
+//! * request-level failures (unknown container/entry, out-of-bounds ROI,
+//!   progressive on a foreign-codec entry) answer `ERR` and leave the
+//!   connection usable.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+use stz::backend::ErrorBound;
+use stz::data::synth;
+use stz::prelude::*;
+use stz::serve::{
+    proto, Client, EntrySel, FetchReq, RequestKind, ServeError, ServeOptions, Server,
+};
+use stz::stream::{ContainerReader, ContainerWriter, ForeignArchive};
+
+/// A hosted directory with one mixed container: two stz entries and one
+/// zfp (foreign) entry, all 20x16x24 f32.
+struct Rig {
+    dir: std::path::PathBuf,
+}
+
+fn dims() -> Dims {
+    Dims::d3(20, 16, 24)
+}
+
+impl Rig {
+    fn new(tag: &str) -> Rig {
+        let dir = std::env::temp_dir().join(format!("stz_serve_test_{}_{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fields: Vec<Field<f32>> =
+            (0..3).map(|i| synth::miranda_like(dims(), 40 + i as u64)).collect();
+        let file = std::fs::File::create(dir.join("steps.stzc")).unwrap();
+        let mut w = ContainerWriter::new(std::io::BufWriter::new(file)).unwrap();
+        let compressor = StzCompressor::new(StzConfig::three_level(1e-3));
+        w.add_archive("t0", &compressor.compress(&fields[0]).unwrap()).unwrap();
+        w.add_archive("t1", &compressor.compress(&fields[1]).unwrap()).unwrap();
+        let zfp = registry().by_name("zfp").unwrap();
+        let bytes = stz::backend::compress(zfp, &fields[2], &ErrorBound::Absolute(1e-3)).unwrap();
+        w.add_foreign("zfp0", &ForeignArchive::new::<f32>(zfp.id(), dims(), 1e-3, bytes)).unwrap();
+        w.finish().unwrap();
+        Rig { dir }
+    }
+
+    fn serve(&self) -> (stz::serve::ServerHandle, std::net::SocketAddr) {
+        let server = Server::bind(ServeOptions {
+            root: self.dir.clone(),
+            addr: "127.0.0.1:0".into(),
+            cache_bytes: 32 << 20,
+            read_timeout: Some(Duration::from_secs(5)),
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        (server.spawn().unwrap(), addr)
+    }
+
+    fn reader(&self) -> ContainerReader<stz::stream::FileSource> {
+        ContainerReader::open_path(self.dir.join("steps.stzc")).unwrap()
+    }
+}
+
+impl Drop for Rig {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Raw little-endian bytes of a field — what `FETCH_OK` carries.
+fn le_bytes(f: &Field<f32>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(f.nbytes());
+    for &v in f.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance workload.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn eight_concurrent_clients_mixed_fetches_are_byte_identical_and_cache_hits() {
+    let rig = Rig::new("concurrent");
+    let (handle, addr) = rig.serve();
+    let reader = rig.reader();
+    let roi = Region::d3(4..12, 2..14, 6..18);
+
+    // Local ground truth for every request in the mix (stz full/roi/
+    // progressive on both entries, full + roi on the foreign entry).
+    let mut mix: Vec<(FetchReq, Vec<u8>)> = Vec::new();
+    for i in 0..2usize {
+        let entry = reader.entry::<f32>(i).unwrap();
+        mix.push((
+            FetchReq {
+                container: "steps".into(),
+                entry: EntrySel::Index(i as u32),
+                kind: RequestKind::Full,
+            },
+            le_bytes(&entry.decompress().unwrap()),
+        ));
+        mix.push((
+            FetchReq {
+                container: "steps".into(),
+                entry: EntrySel::Index(i as u32),
+                kind: RequestKind::roi(&roi),
+            },
+            le_bytes(&entry.decompress_region(&roi).unwrap()),
+        ));
+        mix.push((
+            FetchReq {
+                container: "steps".into(),
+                entry: EntrySel::Index(i as u32),
+                kind: RequestKind::Level(1),
+            },
+            le_bytes(&entry.decompress_level(1).unwrap()),
+        ));
+    }
+    let foreign = reader.entry::<f32>(2).unwrap();
+    mix.push((
+        FetchReq {
+            container: "steps".into(),
+            entry: EntrySel::Name("zfp0".into()),
+            kind: RequestKind::Full,
+        },
+        le_bytes(&foreign.decompress().unwrap()),
+    ));
+    mix.push((
+        FetchReq {
+            container: "steps".into(),
+            entry: EntrySel::Index(2),
+            kind: RequestKind::roi(&roi),
+        },
+        le_bytes(&foreign.decompress_region(&roi).unwrap()),
+    ));
+    let mix = Arc::new(mix);
+
+    std::thread::scope(|scope| {
+        for c in 0..8usize {
+            let mix = Arc::clone(&mix);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                // 3 passes over the whole mix, staggered per client: every
+                // block is requested repeatedly across connections.
+                for r in 0..3 * mix.len() {
+                    let (req, expect) = &mix[(r + c) % mix.len()];
+                    let fetched = client.fetch(req).unwrap();
+                    assert_eq!(
+                        &fetched.data, expect,
+                        "client {c} round {r}: remote bytes differ from local decode"
+                    );
+                    let field: Field<f32> = fetched.into_field().unwrap();
+                    assert!(!field.is_empty());
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.cache_hits > 0, "repeated workload must hit the cache: {stats:?}");
+    assert!(stats.hit_rate() > 0.5, "24 passes over 8 blocks should mostly hit: {stats:?}");
+    assert_eq!(stats.containers, 1);
+    assert!(stats.requests >= (8 * 3 * mix.len()) as u64);
+    handle.stop();
+}
+
+#[test]
+fn list_inspect_and_raw_match_local_metadata() {
+    let rig = Rig::new("meta");
+    let (handle, addr) = rig.serve();
+    let mut client = Client::connect(addr).unwrap();
+
+    let list = client.list().unwrap();
+    assert_eq!(list.len(), 1);
+    assert_eq!(list[0].name, "steps");
+    assert_eq!(list[0].entries, 3);
+    assert_eq!(list[0].file_len, std::fs::metadata(rig.dir.join("steps.stzc")).unwrap().len());
+
+    let entries = client.inspect("steps").unwrap();
+    let reader = rig.reader();
+    let local: Vec<proto::EntryInfo> =
+        reader.entries().map(|m| proto::EntryInfo::from_meta(&m)).collect();
+    assert_eq!(entries, local, "remote entry table must equal the local one");
+    assert_eq!(entries[2].codec_name(), Some("zfp"));
+    assert_eq!(entries[2].levels, 0);
+
+    // Raw section fetch: exactly the compressed payload the index records.
+    let raw = client.fetch_raw("steps", EntrySel::Name("t0".into())).unwrap();
+    let local_payload = reader.entry::<f32>(0).unwrap().read_payload().unwrap();
+    assert_eq!(raw, local_payload);
+    handle.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Request-level errors keep the connection alive.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn request_errors_answer_err_and_connection_survives() {
+    let rig = Rig::new("errors");
+    let (handle, addr) = rig.serve();
+    let mut client = Client::connect(addr).unwrap();
+
+    let remote_code = |e: ServeError| match e {
+        ServeError::Remote { code, .. } => code,
+        other => panic!("expected Remote error, got {other:?}"),
+    };
+
+    // Unknown container / entry.
+    let e = client.fetch_full("nope", EntrySel::Index(0)).unwrap_err();
+    assert_eq!(remote_code(e), proto::err_code::NOT_FOUND);
+    let e = client.fetch_full("steps", EntrySel::Index(99)).unwrap_err();
+    assert_eq!(remote_code(e), proto::err_code::NOT_FOUND);
+    let e = client.fetch_full("steps", EntrySel::Name("ghost".into())).unwrap_err();
+    assert_eq!(remote_code(e), proto::err_code::NOT_FOUND);
+
+    // ROI outside the entry (and inverted bounds).
+    let e = client
+        .fetch(&FetchReq {
+            container: "steps".into(),
+            entry: EntrySel::Index(0),
+            kind: RequestKind::Roi([0, 64, 0, 64, 0, 64]),
+        })
+        .unwrap_err();
+    assert_eq!(remote_code(e), proto::err_code::BAD_REQUEST);
+    let e = client
+        .fetch(&FetchReq {
+            container: "steps".into(),
+            entry: EntrySel::Index(0),
+            kind: RequestKind::Roi([4, 2, 0, 1, 0, 1]),
+        })
+        .unwrap_err();
+    assert_eq!(remote_code(e), proto::err_code::BAD_REQUEST);
+
+    // Progressive preview of a foreign entry is unsupported, not fatal.
+    let e = client.fetch_level("steps", EntrySel::Name("zfp0".into()), 1).unwrap_err();
+    assert_eq!(remote_code(e), proto::err_code::UNSUPPORTED);
+
+    // After all of that, the same connection still serves real requests.
+    let ok = client.fetch_full("steps", EntrySel::Index(0)).unwrap();
+    assert_eq!(ok.dims, dims());
+    handle.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Hostile bytes at the server.
+// ---------------------------------------------------------------------------
+
+/// A raw socket speaking whatever bytes the test wants.
+fn raw_conn(addr: std::net::SocketAddr) -> TcpStream {
+    let s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s
+}
+
+/// Read everything the server sends until it closes (bounded by the
+/// socket timeout, so a misbehaving server fails the test, not hangs it).
+fn drain(s: &mut TcpStream) -> Vec<u8> {
+    let mut out = Vec::new();
+    let _ = s.read_to_end(&mut out);
+    out
+}
+
+#[test]
+fn server_survives_garbage_truncation_and_disconnects() {
+    let rig = Rig::new("hostile");
+    let (handle, addr) = rig.serve();
+
+    // Bad magic: the server must answer (an ERR frame) or close — and
+    // must not panic. Afterwards a well-behaved client still works.
+    {
+        let mut s = raw_conn(addr);
+        s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        let reply = drain(&mut s);
+        if !reply.is_empty() {
+            let frame = proto::read_frame(&mut &reply[..]).unwrap().unwrap();
+            assert_eq!(frame.frame_type(), Some(proto::FrameType::Err));
+        }
+    }
+
+    // Oversized length prefix: rejected without a 4 GiB allocation.
+    {
+        let mut s = raw_conn(addr);
+        let mut header = [0u8; proto::FRAME_HEADER_LEN];
+        header[0..4].copy_from_slice(&proto::PROTO_MAGIC);
+        header[4] = proto::PROTO_VERSION;
+        header[5] = 0x01; // HELLO
+        header[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        s.write_all(&header).unwrap();
+        let reply = drain(&mut s);
+        if !reply.is_empty() {
+            let frame = proto::read_frame(&mut &reply[..]).unwrap().unwrap();
+            assert_eq!(frame.frame_type(), Some(proto::FrameType::Err));
+        }
+    }
+
+    // Truncated frame + mid-stream disconnect: header promises 100
+    // payload bytes, the peer sends 10 and vanishes.
+    {
+        let mut s = raw_conn(addr);
+        let mut header = [0u8; proto::FRAME_HEADER_LEN];
+        header[0..4].copy_from_slice(&proto::PROTO_MAGIC);
+        header[4] = proto::PROTO_VERSION;
+        header[5] = 0x01;
+        header[8..12].copy_from_slice(&100u32.to_le_bytes());
+        s.write_all(&header).unwrap();
+        s.write_all(&[0u8; 10]).unwrap();
+        drop(s); // disconnect mid-frame
+    }
+
+    // Disconnect between the handshake and a request.
+    {
+        let mut s = raw_conn(addr);
+        let mut hello = Vec::new();
+        proto::write_frame(&mut hello, proto::FrameType::Hello, &[proto::PROTO_VERSION]).unwrap();
+        s.write_all(&hello).unwrap();
+        drop(s);
+    }
+
+    // CRC-corrupted request frame.
+    {
+        let mut s = raw_conn(addr);
+        let mut hello = Vec::new();
+        proto::write_frame(&mut hello, proto::FrameType::Hello, &[proto::PROTO_VERSION]).unwrap();
+        let last = hello.len() - 1;
+        hello[last] ^= 0xFF;
+        s.write_all(&hello).unwrap();
+        let reply = drain(&mut s);
+        if !reply.is_empty() {
+            let frame = proto::read_frame(&mut &reply[..]).unwrap().unwrap();
+            assert_eq!(frame.frame_type(), Some(proto::FrameType::Err));
+        }
+    }
+
+    // The server is still healthy after all of the above.
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.list().unwrap().len(), 1);
+    let fetched = client.fetch_full("steps", EntrySel::Index(0)).unwrap();
+    assert_eq!(fetched.dims, dims());
+    handle.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Hostile bytes at the client: a lying server.
+// ---------------------------------------------------------------------------
+
+/// A one-connection fake server: completes the handshake honestly, then
+/// answers the next request with `response` verbatim (or closes early).
+fn fake_server(response: Option<Vec<u8>>) -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Handshake.
+        let frame = proto::read_frame(&mut s).unwrap().unwrap();
+        assert_eq!(frame.frame_type(), Some(proto::FrameType::Hello));
+        let mut hello_ok = proto::Enc::new();
+        hello_ok.u8(proto::PROTO_VERSION);
+        hello_ok.string("fake-server/0");
+        proto::write_frame(&mut s, proto::FrameType::HelloOk, &hello_ok.finish()).unwrap();
+        // One request, one scripted reply.
+        let _ = proto::read_frame(&mut s);
+        if let Some(bytes) = response {
+            let _ = s.write_all(&bytes);
+        }
+        // Closing the socket is the "mid-stream disconnect" case.
+    });
+    addr
+}
+
+#[test]
+fn client_rejects_corrupted_and_truncated_responses() {
+    // A well-formed FETCH_OK frame to corrupt in different ways.
+    let honest = {
+        let field = Field::from_fn(Dims::d3(2, 2, 2), |z, y, x| (z + y + x) as f32);
+        let ff = stz::serve::FetchedField {
+            kind_tag: RequestKind::Full.tag(),
+            type_tag: 0,
+            dims: field.dims(),
+            data: le_bytes(&field),
+        };
+        let mut wire = Vec::new();
+        proto::write_frame(&mut wire, proto::FrameType::FetchOk, &ff.encode()).unwrap();
+        wire
+    };
+
+    let fetch =
+        |addr| Client::connect(addr).and_then(|mut c| c.fetch_full("steps", EntrySel::Index(0)));
+
+    // CRC-corrupted payload byte.
+    let mut corrupt = honest.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0x01;
+    match fetch(fake_server(Some(corrupt))) {
+        Err(ServeError::Protocol(msg)) => assert!(msg.contains("CRC"), "{msg}"),
+        other => panic!("corrupted response must fail with a CRC error, got {other:?}"),
+    }
+
+    // Bad magic from the server.
+    let mut bad_magic = honest.clone();
+    bad_magic[0] = b'X';
+    assert!(matches!(fetch(fake_server(Some(bad_magic))), Err(ServeError::Protocol(_))));
+
+    // Oversized length prefix from the server.
+    let mut oversized = honest.clone();
+    oversized[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(fetch(fake_server(Some(oversized))), Err(ServeError::Protocol(_))));
+
+    // Truncated frame then disconnect.
+    let truncated = honest[..honest.len() / 2].to_vec();
+    assert!(matches!(fetch(fake_server(Some(truncated))), Err(ServeError::Protocol(_))));
+
+    // No response at all (disconnect after the request).
+    assert!(matches!(fetch(fake_server(None)), Err(ServeError::Protocol(_))));
+
+    // Well-formed but *lying* dims: data length disagrees.
+    let lying = {
+        let mut payload = {
+            let field = Field::from_fn(Dims::d3(2, 2, 2), |_, _, _| 0.0f32);
+            stz::serve::FetchedField {
+                kind_tag: RequestKind::Full.tag(),
+                type_tag: 0,
+                dims: field.dims(),
+                data: le_bytes(&field),
+            }
+            .encode()
+        };
+        payload.truncate(payload.len() - 4); // drop one scalar
+        let mut wire = Vec::new();
+        proto::write_frame(&mut wire, proto::FrameType::FetchOk, &payload).unwrap();
+        wire
+    };
+    assert!(matches!(fetch(fake_server(Some(lying))), Err(ServeError::Protocol(_))));
+}
+
+#[test]
+fn version_mismatch_is_rejected_at_handshake() {
+    let rig = Rig::new("version");
+    let (handle, addr) = rig.serve();
+    // Speak HELLO with a client version the server does not know.
+    let mut s = raw_conn(addr);
+    let mut hello = Vec::new();
+    proto::write_frame(&mut hello, proto::FrameType::Hello, &[42]).unwrap();
+    s.write_all(&hello).unwrap();
+    let frame = proto::read_frame(&mut s).unwrap().unwrap();
+    assert_eq!(frame.frame_type(), Some(proto::FrameType::Err));
+    match proto::decode_err(&frame.payload) {
+        ServeError::Remote { code, .. } => assert_eq!(code, proto::err_code::UNSUPPORTED),
+        other => panic!("expected Remote, got {other:?}"),
+    }
+    handle.stop();
+}
+
+#[test]
+fn connection_cap_answers_busy_and_recovers() {
+    let rig = Rig::new("busy");
+    let server = Server::bind(ServeOptions {
+        root: rig.dir.clone(),
+        addr: "127.0.0.1:0".into(),
+        max_conns: 1,
+        read_timeout: Some(Duration::from_secs(5)),
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn().unwrap();
+
+    // First connection occupies the single slot.
+    let mut first = Client::connect(addr).unwrap();
+    assert_eq!(first.list().unwrap().len(), 1);
+
+    // While it is held open, further connections are told BUSY (the
+    // accept loop may need a moment to hand the overflow socket to its
+    // short-lived responder, so allow a few attempts).
+    let mut saw_busy = false;
+    for _ in 0..20 {
+        match Client::connect(addr) {
+            Err(ServeError::Remote { code, .. }) if code == proto::err_code::BUSY => {
+                saw_busy = true;
+                break;
+            }
+            // Shed (closed without a frame) also counts as enforcement,
+            // but keep probing for the explicit BUSY answer.
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            Ok(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    assert!(saw_busy, "overflow connection never saw ERR BUSY");
+
+    // Releasing the slot lets new connections in again.
+    drop(first);
+    for attempt in 0..50 {
+        match Client::connect(addr) {
+            Ok(mut c) => {
+                assert_eq!(c.list().unwrap().len(), 1);
+                break;
+            }
+            Err(_) if attempt < 49 => std::thread::sleep(Duration::from_millis(20)),
+            Err(e) => panic!("server never recovered after the slot freed: {e}"),
+        }
+    }
+    handle.stop();
+}
