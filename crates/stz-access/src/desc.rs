@@ -1,0 +1,176 @@
+//! [`EntryDesc`] — the transport-independent entry descriptor.
+
+use crate::error::{AccessError, Result};
+use stz_core::archive::ArchiveHeader;
+use stz_core::{InterpKind, StzArchive};
+use stz_field::{Dims, Scalar};
+use stz_serve::EntryInfo;
+use stz_stream::crc::crc32;
+use stz_stream::{EntryMeta, ForeignArchive};
+
+/// What every [`Store`](crate::Store) reports about one entry, regardless
+/// of where the bytes live.
+///
+/// The fields mirror the container footer (and its wire twin, the STZP
+/// `INSPECT_OK` row): enough to plan a fetch — dims, element type, codec,
+/// hierarchy depth, per-level byte costs — without touching any payload
+/// bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntryDesc {
+    /// Position of the entry in the store's listing order.
+    pub index: u32,
+    /// Entry name (e.g. a field name or time-step label).
+    pub name: String,
+    /// Codec wire id of the payload (see `stz_backend::id`).
+    pub codec_id: u8,
+    /// Element type tag (0 = `f32`, 1 = `f64`).
+    pub type_tag: u8,
+    /// Grid extents of the encoded field.
+    pub dims: Dims,
+    /// Absolute point-wise error bound (finest level for STZ entries).
+    pub eb: f64,
+    /// Compressed payload size in bytes.
+    pub compressed_len: u64,
+    /// CRC-32 of the whole compressed payload.
+    pub payload_crc: u32,
+    /// Independently fetchable sections (1 for foreign codecs).
+    pub sections: u32,
+    /// Hierarchy depth (0 for foreign codecs).
+    pub levels: u8,
+    /// Interpolation kind of the stz hierarchy (0 = none/foreign,
+    /// 1 = linear, 2 = cubic).
+    pub interp: u8,
+    /// Cumulative compressed bytes through level `k` (`levels` values;
+    /// empty for foreign codecs).
+    pub level_bytes: Vec<u64>,
+}
+
+/// Map an [`InterpKind`] to the wire byte used across the stack.
+fn interp_tag(interp: Option<InterpKind>) -> u8 {
+    match interp {
+        Some(InterpKind::Linear) => 1,
+        Some(InterpKind::Cubic) => 2,
+        None => 0,
+    }
+}
+
+impl EntryDesc {
+    /// Describe one container entry (used by `FileStore`; no payload
+    /// bytes are touched).
+    pub fn from_meta(index: u32, meta: &EntryMeta<'_>) -> EntryDesc {
+        let levels = meta.header().map(|h| h.levels).unwrap_or(0);
+        EntryDesc {
+            index,
+            name: meta.name().to_string(),
+            codec_id: meta.codec_id(),
+            type_tag: meta.type_tag(),
+            dims: meta.dims(),
+            eb: meta.error_bound(),
+            compressed_len: meta.compressed_len(),
+            payload_crc: meta.payload_crc(),
+            sections: meta.section_count() as u32,
+            levels,
+            interp: interp_tag(meta.header().map(|h| h.interp)),
+            level_bytes: (1..=levels).map(|k| meta.bytes_through_level(k)).collect(),
+        }
+    }
+
+    /// Describe a resident [`StzArchive`] (used by `MemStore`). The
+    /// payload CRC is computed over the archive bytes — the same value the
+    /// container writer would record.
+    pub fn from_archive<T: Scalar>(index: u32, name: &str, archive: &StzArchive<T>) -> EntryDesc {
+        let h: &ArchiveHeader = archive.header();
+        let sections = 1 + (2..=h.levels).map(|k| archive.num_blocks(k)).sum::<usize>();
+        EntryDesc {
+            index,
+            name: name.to_string(),
+            codec_id: stz_backend::id::STZ,
+            type_tag: h.type_tag,
+            dims: h.dims,
+            eb: h.eb_finest,
+            compressed_len: archive.compressed_len() as u64,
+            payload_crc: crc32(archive.as_bytes()),
+            sections: sections as u32,
+            levels: h.levels,
+            interp: interp_tag(Some(h.interp)),
+            level_bytes: (1..=h.levels).map(|k| archive.bytes_through_level(k) as u64).collect(),
+        }
+    }
+
+    /// Describe a resident [`ForeignArchive`] (used by `MemStore`).
+    pub fn from_foreign(index: u32, name: &str, foreign: &ForeignArchive) -> EntryDesc {
+        EntryDesc {
+            index,
+            name: name.to_string(),
+            codec_id: foreign.codec,
+            type_tag: foreign.type_tag,
+            dims: foreign.dims,
+            eb: foreign.eb,
+            compressed_len: foreign.bytes.len() as u64,
+            payload_crc: crc32(&foreign.bytes),
+            sections: 1,
+            levels: 0,
+            interp: 0,
+            level_bytes: Vec::new(),
+        }
+    }
+
+    /// Describe an entry from an `INSPECT_OK` wire row (used by
+    /// `RemoteStore`). The row arrives from an untrusted peer, so the dims
+    /// go through the wire protocol's shared checked constructor before
+    /// [`Dims`]'s own constructor can assert on them.
+    pub fn from_wire(index: u32, info: &EntryInfo) -> Result<EntryDesc> {
+        let [z, y, x] = info.dims;
+        let dims = stz_serve::proto::wire_dims(info.ndim, z, y, x).ok_or_else(|| {
+            AccessError::Protocol(format!("bad entry dims [{z}, {y}, {x}] for ndim {}", info.ndim))
+        })?;
+        Ok(EntryDesc {
+            index,
+            name: info.name.clone(),
+            codec_id: info.codec_id,
+            type_tag: info.type_tag,
+            dims,
+            eb: info.eb,
+            compressed_len: info.compressed_len,
+            payload_crc: info.payload_crc,
+            sections: info.sections,
+            levels: info.levels,
+            interp: info.interp,
+            level_bytes: info.level_bytes.clone(),
+        })
+    }
+
+    /// Registry name of the entry's codec, or `None` when this build does
+    /// not know the id.
+    pub fn codec_name(&self) -> Option<&'static str> {
+        stz_backend::registry().by_id(self.codec_id).map(|c| c.name())
+    }
+
+    /// `"f32"` / `"f64"`.
+    pub fn type_name(&self) -> &'static str {
+        if self.type_tag == 0 {
+            "f32"
+        } else {
+            "f64"
+        }
+    }
+
+    /// Interpolation-kind label of the stz hierarchy (`None` for foreign
+    /// codecs or an interp code this build does not know).
+    pub fn interp_name(&self) -> Option<&'static str> {
+        match self.interp {
+            1 => Some("linear"),
+            2 => Some("cubic"),
+            _ => None,
+        }
+    }
+
+    /// Bytes per element of the entry's scalar type.
+    pub fn bytes_per(&self) -> usize {
+        if self.type_tag == 0 {
+            4
+        } else {
+            8
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! [`RemoteStore`] — the network store over an STZP server.
+
+use crate::desc::EntryDesc;
+use crate::error::{AccessError, Result};
+use crate::{resolve_sel, validate_fetch, Entry, EntrySel, Fetch, FetchedField, Provenance, Store};
+use std::net::ToSocketAddrs;
+use std::sync::{Arc, Mutex};
+use stz_serve::{Client, FetchReq, RequestKind};
+
+/// The network [`Store`]: one hosted container on an STZP server,
+/// addressed as `stz://host:port/container`.
+///
+/// [`Fetch`] variants map 1:1 onto STZP frames (`FETCH_FULL`, `FETCH_ROI`,
+/// `FETCH_PROGRESSIVE`, `FETCH_RAW_SECTION`), and the server runs the same
+/// decode drivers as the local stores, so responses are byte-identical to
+/// a local decode of the same container. The wrapped [`Client`] is
+/// synchronous; the store and every entry it opens share one connection,
+/// serialized by a mutex.
+pub struct RemoteStore {
+    client: Arc<Mutex<Client>>,
+    addr: String,
+    container: String,
+    /// Entry descriptors, fetched once at connect time (one `INSPECT`
+    /// round-trip) — hosted containers are opened once by the server and
+    /// immutable thereafter, and pinning matches the `Entry` contract.
+    /// [`RemoteStore::refresh`] re-fetches on demand.
+    descs: Vec<EntryDesc>,
+}
+
+impl RemoteStore {
+    /// Connect to `addr` and bind this store to one hosted `container`.
+    /// The single connect-time `INSPECT` round-trip both verifies the
+    /// container exists (a missing name is [`AccessError::NotFound`]) and
+    /// caches its entry descriptors, so `list`/`open` are free of network
+    /// traffic.
+    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Display, container: &str) -> Result<Self> {
+        let addr_label = addr.to_string();
+        let mut client = Client::connect(addr)?;
+        let descs = fetch_descs(&mut client, container)?;
+        Ok(RemoteStore {
+            client: Arc::new(Mutex::new(client)),
+            addr: addr_label,
+            container: container.to_string(),
+            descs,
+        })
+    }
+
+    /// Re-fetch the descriptor cache from the server (one `INSPECT`).
+    pub fn refresh(&mut self) -> Result<()> {
+        self.descs = with_client(&self.client, |c| fetch_descs(c, &self.container))?;
+        Ok(())
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.addr, self.container)
+    }
+}
+
+/// One `INSPECT` round-trip, decoded into validated descriptors.
+fn fetch_descs(client: &mut Client, container: &str) -> Result<Vec<EntryDesc>> {
+    let infos = client.inspect(container).map_err(AccessError::from)?;
+    infos.iter().enumerate().map(|(i, info)| EntryDesc::from_wire(i as u32, info)).collect()
+}
+
+/// Run one request against a shared client connection.
+fn with_client<R>(client: &Mutex<Client>, f: impl FnOnce(&mut Client) -> R) -> R {
+    let mut client = client.lock().unwrap_or_else(|p| p.into_inner());
+    f(&mut client)
+}
+
+impl Store for RemoteStore {
+    fn locate(&self) -> String {
+        format!("stz://{}", self.label())
+    }
+
+    fn list(&self) -> Result<Vec<EntryDesc>> {
+        Ok(self.descs.clone())
+    }
+
+    fn open(&self, sel: &EntrySel) -> Result<Box<dyn Entry>> {
+        let desc = resolve_sel(&self.descs, sel, &self.locate())?.clone();
+        Ok(Box::new(RemoteEntry {
+            client: Arc::clone(&self.client),
+            addr: self.addr.clone(),
+            container: self.container.clone(),
+            desc,
+        }))
+    }
+}
+
+/// One opened [`RemoteStore`] entry; shares the store's connection.
+struct RemoteEntry {
+    client: Arc<Mutex<Client>>,
+    addr: String,
+    container: String,
+    desc: EntryDesc,
+}
+
+impl Entry for RemoteEntry {
+    fn desc(&self) -> &EntryDesc {
+        &self.desc
+    }
+
+    fn fetch(&self, fetch: &Fetch) -> Result<FetchedField> {
+        validate_fetch(fetch, &self.desc)?;
+        let provenance = Provenance::Remote(format!("{}/{}", self.addr, self.container));
+        // Address by resolved index: the descriptor was pinned at open
+        // time, so later renames cannot redirect the fetch.
+        let entry = EntrySel::Index(self.desc.index);
+        if let Fetch::RawSection(_) = fetch {
+            let data = with_client(&self.client, |c| c.fetch_raw(&self.container, entry))?;
+            return Ok(FetchedField {
+                fetch: fetch.clone(),
+                dims: self.desc.dims,
+                type_tag: self.desc.type_tag,
+                codec_id: self.desc.codec_id,
+                data,
+                provenance,
+            });
+        }
+        let kind = match fetch {
+            Fetch::Full => RequestKind::Full,
+            Fetch::Level(k) | Fetch::Progressive(k) => RequestKind::Level(*k),
+            Fetch::Region(region) => RequestKind::roi(region),
+            Fetch::RawSection(_) => unreachable!("handled above"),
+        };
+        let req = FetchReq { container: self.container.clone(), entry, kind };
+        let fetched = with_client(&self.client, |c| c.fetch(&req))?;
+        Ok(FetchedField {
+            fetch: fetch.clone(),
+            dims: fetched.dims,
+            type_tag: fetched.type_tag,
+            codec_id: self.desc.codec_id,
+            data: fetched.data,
+            provenance,
+        })
+    }
+}
+
+/// One hosted container, as reported by a server (or a local directory
+/// scan — see [`crate::list_location`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerDesc {
+    /// Container name (what fetch URIs address).
+    pub name: String,
+    /// Number of entries in its index.
+    pub entries: u32,
+    /// Total size in bytes.
+    pub bytes: u64,
+}
+
+/// List the containers hosted by an STZP server.
+pub fn list_containers(addr: impl ToSocketAddrs) -> Result<Vec<ContainerDesc>> {
+    let mut client = Client::connect(addr)?;
+    Ok(client
+        .list()?
+        .into_iter()
+        .map(|c| ContainerDesc { name: c.name, entries: c.entries, bytes: c.file_len })
+        .collect())
+}

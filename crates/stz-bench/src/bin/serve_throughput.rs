@@ -1,40 +1,53 @@
-//! Throughput harness for the stz-serve archive server.
+//! Throughput harness for the stz-serve archive server, driven through
+//! the unified access API.
 //!
 //! Hosts a synthetic container on an ephemeral loopback port, then drives
-//! it with `--threads` concurrent client connections, each issuing a
-//! FULL / ROI / PROGRESSIVE request mix. Reports requests/sec, per-kind
-//! p50/p99 latency with log-bucketed histograms, and the server's cache
-//! hit rate, written as nested JSON to `BENCH_serve.json`:
+//! it with `--threads` concurrent clients, each a
+//! [`RemoteStore`] issuing a FULL / ROI /
+//! PROGRESSIVE [`Fetch`] mix. Expected bytes come from a
+//! [`FileStore`] over the same container — the
+//! local and remote transports of the same `Store` API, asserted
+//! byte-identical per response. Reports requests/sec, per-kind p50/p99
+//! latency with log-bucketed histograms, and the server's cache hit rate,
+//! written as nested JSON to `BENCH_serve.json`:
 //!
 //! ```text
 //! cargo run --release -p stz-bench --bin serve_throughput \
-//!     [-- --scale 8 --threads 8 --requests 48 --out BENCH_serve.json --check]
+//!     [-- --scale 8 --threads 8 --requests 48 --out BENCH_serve.json \
+//!      --baseline bench/baseline.json --check]
 //! ```
 //!
-//! Every response is verified byte-identical to a local
-//! `ContainerReader` decode of the same request. With `--check`, the
-//! harness additionally exits non-zero unless the repeated-request
-//! workload produced a nonzero cache hit rate — the regression gate CI
-//! runs (latency itself is recorded but never gated; CI runners are
-//! noisy).
+//! With `--check`, the harness exits non-zero unless the
+//! repeated-request workload produced a nonzero cache hit rate, and —
+//! when `--baseline` points at a JSON file with a `serve.kinds.*.p50_ms`
+//! section — unless every kind's p50 latency stays within 10% of its
+//! baseline. The committed `bench/baseline.json` records latency
+//! *budgets* (measured p50 with generous headroom for noisy CI runners),
+//! so the gate catches order-of-magnitude regressions, not scheduler
+//! jitter.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
+use stz_access::{EntrySel, Fetch, FileStore, RemoteStore, Store};
 use stz_bench::cli;
 use stz_bench::json::{arr, obj, Json};
 use stz_core::{StzCompressor, StzConfig};
 use stz_field::{Dims, Field, Region};
-use stz_serve::{Client, EntrySel, FetchReq, RequestKind, ServeOptions, Server};
-use stz_stream::{pack_to_file, ContainerReader};
+use stz_serve::{Client, ServeOptions, Server};
+use stz_stream::pack_to_file;
 
 /// Entries packed into the hosted container.
 const ENTRIES: usize = 2;
+
+/// Allowed relative p50 growth over the baseline budget.
+const P50_REGRESSION_MARGIN: f64 = 0.10;
 
 fn main() {
     let opts = cli::from_env();
     let check = opts.rest.iter().any(|a| a == "--check");
     let out_path = flag_value(&opts.rest, "--out").unwrap_or_else(|| "BENCH_serve.json".into());
+    let baseline_path = flag_value(&opts.rest, "--baseline");
     let requests: usize =
         flag_value(&opts.rest, "--requests").and_then(|v| v.parse().ok()).unwrap_or(48);
     let clients = opts.threads.max(1);
@@ -58,26 +71,16 @@ fn main() {
         named.iter().map(|(n, a)| (n.as_str(), *a)).collect();
     pack_to_file(&container, &name_refs).expect("pack bench container");
 
-    // --- The request mix, with locally decoded expected bytes. ---------
+    // --- The request mix, with expected bytes from the local transport
+    // of the same Store API. --------------------------------------------
     let roi = Region::d3(n / 4..n / 2, n / 4..n / 2, n / 4..n / 2);
-    let reader = ContainerReader::open_path(&container).expect("reopen bench container");
-    let mut mix: Vec<(FetchReq, Vec<u8>)> = Vec::new();
-    for (i, _) in fields.iter().enumerate() {
-        let entry = reader.entry::<f32>(i).expect("typed entry");
-        for kind in [RequestKind::Full, RequestKind::roi(&roi), RequestKind::Level(1)] {
-            let field = match kind {
-                RequestKind::Full => entry.decompress().expect("local full decode"),
-                RequestKind::Roi(_) => entry.decompress_region(&roi).expect("local roi decode"),
-                RequestKind::Level(k) => entry.decompress_level(k).expect("local preview"),
-                RequestKind::Raw => unreachable!(),
-            };
-            let mut expect = Vec::with_capacity(field.nbytes());
-            for &v in field.as_slice() {
-                expect.extend_from_slice(&v.to_le_bytes());
-            }
-            let req =
-                FetchReq { container: "bench".into(), entry: EntrySel::Index(i as u32), kind };
-            mix.push((req, expect));
+    let local = FileStore::open_path(&container).expect("reopen bench container");
+    let mut mix: Vec<(u32, Fetch, Vec<u8>)> = Vec::new();
+    for i in 0..ENTRIES as u32 {
+        let entry = local.open(&EntrySel::Index(i)).expect("open local entry");
+        for fetch in [Fetch::Full, Fetch::Region(roi.clone()), Fetch::Level(1)] {
+            let expect = entry.fetch(&fetch).expect("local decode").data;
+            mix.push((i, fetch, expect));
         }
     }
     let mix = Arc::new(mix);
@@ -94,25 +97,31 @@ fn main() {
 
     println!(
         "# serve_throughput: {dims} f32 x {ENTRIES} entries, {clients} client(s) x {requests} \
-         requests, mix FULL/ROI/PROGRESSIVE"
+         requests, mix FULL/ROI/PROGRESSIVE via stz-access RemoteStore"
     );
 
     // --- Drive it. ------------------------------------------------------
     let wall = Instant::now();
-    let per_client: Vec<Vec<(u8, f64)>> = std::thread::scope(|scope| {
+    let per_client: Vec<Vec<(&'static str, f64)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let mix = Arc::clone(&mix);
                 scope.spawn(move || {
-                    let mut client = Client::connect(addr).expect("client connect");
+                    let store = RemoteStore::connect(addr.to_string().as_str(), "bench")
+                        .expect("client connect");
+                    // Open each entry once; fetches share the connection.
+                    let entries: Vec<_> = (0..ENTRIES as u32)
+                        .map(|i| store.open(&EntrySel::Index(i)).expect("open remote entry"))
+                        .collect();
                     let mut lat = Vec::with_capacity(requests);
                     for r in 0..requests {
                         // Stagger start positions so clients collide on the
                         // cache instead of marching in lockstep.
-                        let (req, expect) = &mix[(r + c) % mix.len()];
+                        let (entry_idx, fetch, expect) = &mix[(r + c) % mix.len()];
                         let t = Instant::now();
-                        let fetched = client.fetch(req).expect("fetch");
-                        lat.push((req.kind.tag(), t.elapsed().as_secs_f64() * 1e3));
+                        let fetched =
+                            entries[*entry_idx as usize].fetch(fetch).expect("remote fetch");
+                        lat.push((kind_label(fetch), t.elapsed().as_secs_f64() * 1e3));
                         assert_eq!(
                             &fetched.data, expect,
                             "client {c} request {r}: response differs from local decode"
@@ -136,21 +145,17 @@ fn main() {
     let total = clients * requests;
     let rps = total as f64 / wall_s;
     let mut by_kind: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
-    for (tag, ms) in per_client.into_iter().flatten() {
-        let kind = match tag {
-            0 => "full",
-            1 => "progressive",
-            2 => "roi",
-            _ => "raw",
-        };
+    for (kind, ms) in per_client.into_iter().flatten() {
         by_kind.entry(kind).or_default().push(ms);
     }
 
     println!("{:<14} {:>8} {:>10} {:>10} {:>10}", "kind", "count", "p50_ms", "p99_ms", "max_ms");
     let mut kinds_json: Vec<(&'static str, Json)> = Vec::new();
+    let mut p50_by_kind: BTreeMap<&'static str, f64> = BTreeMap::new();
     for (kind, lat) in &mut by_kind {
         lat.sort_by(|a, b| a.total_cmp(b));
         let (p50, p99) = (quantile(lat, 0.50), quantile(lat, 0.99));
+        p50_by_kind.insert(kind, p50);
         println!(
             "{:<14} {:>8} {:>10.3} {:>10.3} {:>10.3}",
             kind,
@@ -208,9 +213,50 @@ fn main() {
     std::fs::write(&out_path, format!("{doc}\n")).expect("write BENCH_serve.json");
     println!("# wrote {out_path}");
 
+    // --- Latency regression vs. the committed baseline budgets. ---------
+    let mut failed = false;
+    if let Some(path) = &baseline_path {
+        match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|t| Json::parse(&t))
+        {
+            Ok(baseline) => {
+                let mut gated = 0;
+                for (kind, p50) in &p50_by_kind {
+                    let Some(budget) = baseline
+                        .get_path(&["serve", "kinds", kind, "p50_ms"])
+                        .and_then(Json::as_f64)
+                    else {
+                        continue;
+                    };
+                    gated += 1;
+                    let limit = budget * (1.0 + P50_REGRESSION_MARGIN);
+                    if *p50 > limit {
+                        eprintln!(
+                            "p50 REGRESSION [{kind}]: {p50:.3} ms > {limit:.3} ms \
+                             (baseline budget {budget:.3} ms + {:.0}%)",
+                            100.0 * P50_REGRESSION_MARGIN
+                        );
+                        failed = true;
+                    } else {
+                        println!(
+                            "# p50 [{kind}]: {p50:.3} ms within budget {budget:.3} ms (+{:.0}%)",
+                            100.0 * P50_REGRESSION_MARGIN
+                        );
+                    }
+                }
+                if gated == 0 {
+                    println!("# baseline {path} has no serve.kinds.*.p50_ms — latency not gated");
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
     if check {
-        // Byte-identity already asserted per request above. The gate here
-        // is the cache: a repeated-request workload must actually hit.
+        // Byte-identity already asserted per request above. The cache gate:
+        // a repeated-request workload must actually hit.
         if stats.hit_rate() <= 0.0 {
             eprintln!(
                 "--check FAILED: cache hit rate is zero over {total} requests to {} distinct \
@@ -219,10 +265,24 @@ fn main() {
             );
             std::process::exit(1);
         }
+        if failed {
+            eprintln!("--check FAILED: p50 latency regressed vs. {:?}", baseline_path);
+            std::process::exit(1);
+        }
         println!(
             "# --check: byte-identity held for all {total} responses, hit rate {:.1}% > 0",
             100.0 * stats.hit_rate()
         );
+    }
+}
+
+/// Stable latency-bucket label of a fetch kind.
+fn kind_label(fetch: &Fetch) -> &'static str {
+    match fetch {
+        Fetch::Full => "full",
+        Fetch::Region(_) => "roi",
+        Fetch::Level(_) | Fetch::Progressive(_) => "progressive",
+        Fetch::RawSection(_) => "raw",
     }
 }
 
@@ -258,5 +318,5 @@ fn histogram(sorted: &[f64]) -> Json {
             break;
         }
     }
-    Json::Arr(pairs)
+    arr(pairs)
 }

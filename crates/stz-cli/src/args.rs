@@ -9,29 +9,34 @@ USAGE:
                  [--backend <stz|sz3|zfp|sperr|mgard>] [--rel]
                  [--levels <2..4>] [--linear] [--no-adaptive] [--threads <N>]
   stz decompress -i <archive> -o <raw> [--backend <name>] [--threads <N>]
-  stz preview    -i <archive|container> -o <raw> -l <level> [--entry <name>]
-  stz roi        -i <archive> -o <raw> -r <z0:z1,y0:y1,x0:x1>
   stz info       -i <archive>
 
   stz pack       -i <raw>[,<raw>...] -o <container> -d <Z>x<Y>x<X> -t <f32|f64>
                  -e <bound> [--backend <name>] [--rel] [--levels <2..4>]
                  [--linear] [--no-adaptive] [--name <entry>] [--threads <N>]
-  stz inspect    -i <container> [--json]
-  stz extract    -i <archive|container> -o <raw> -r <z0:z1,y0:y1,x0:x1>
+
+  stz list       --from <dir|server>
+  stz inspect    --from <location> [--json]
+  stz extract    --from <location> -o <raw> [-r <z0:z1,y0:y1,x0:x1>]
                  [--entry <name>]
+  stz preview    --from <location> -o <raw> -l <level> [--entry <name>]
 
   stz serve      -i <dir|container> [--addr <host:port>] [--cache-mb <MB>]
                  [--max-conns <N>] [--threads <N>]
-  stz remote list    --addr <host:port>
-  stz remote inspect --addr <host:port> -c <container> [--json]
-  stz remote extract --addr <host:port> -c <container> -o <raw>
-                     [-r <z0:z1,y0:y1,x0:x1>] [--entry <name>]
-  stz remote preview --addr <host:port> -c <container> -o <raw> -l <level>
-                     [--entry <name>]
 
 Raw files are flat little-endian arrays in C order (x fastest).
 Containers (.stzc) hold one entry per input file, named by file stem; preview
 and extract read only the byte ranges the query needs.
+
+A <location> is transport-transparent: a container path (steps.stzc), a bare
+archive (field.stz), or a hosted container on an stz-serve server
+(stz://host:port/steps). list also accepts a directory of containers or a
+bare server URI (stz://host:port) and shows what it holds. Every read verb
+has ONE code path dispatching through the unified Store API, so local and
+remote results are byte-identical. -i is accepted as an alias for --from on
+the read verbs, and the pre-URI `stz remote <verb> --addr ... -c <name>`
+spellings remain as hidden aliases for one release.
+
 --backend selects the compression engine (default stz, the native streaming
 compressor); decompress sniffs the engine from the archive magic when the
 flag is omitted. Containers may mix engines per entry; progressive preview
@@ -42,10 +47,8 @@ identical at every thread count. pack parallelizes across entries, so its
 effective width is capped at the input count (one input parallelizes
 internally instead).
 serve hosts every .stzc under a directory over the STZP binary protocol
-(port 0 picks an ephemeral port, printed on startup); remote commands are
-the network twins of list/inspect/extract/preview and address containers
-by file stem via -c. --json prints the machine-readable entry table that
-local and remote inspect share.";
+(port 0 picks an ephemeral port, printed on startup). --json prints the
+machine-readable entry table, identical for every transport.";
 
 /// Parsed command line: subcommand + flag map.
 #[derive(Debug)]
@@ -66,6 +69,7 @@ const VALUED: &[&str] = &[
     "-r",
     "-c",
     "--levels",
+    "--from",
     "--entry",
     "--name",
     "--threads",

@@ -1,14 +1,24 @@
 //! Subcommand implementations.
+//!
+//! The read verbs — `list`, `inspect`, `extract`, `preview` — are
+//! location-transparent: they resolve one `--from <location>` (a container
+//! path, a bare archive, or an `stz://host:port/container` URI) into a
+//! `Box<dyn Store>` and serve the request through the unified access API,
+//! so each verb has exactly one code path for every transport. The pre-URI
+//! `remote <verb> --addr … -c <name>` spellings are kept as hidden alias
+//! shims that rewrite their flags into the same URI and call the same
+//! functions.
 
 use crate::args::{self, Parsed};
 use crate::fmt;
 use std::path::Path;
+use stz_access::{open_store, Entry, EntrySel, Fetch, Location, Store};
 use stz_backend::{registry, BackendScalar, Codec, ErrorBound};
 use stz_core::{InterpKind, StzArchive, StzCompressor, StzConfig};
 use stz_data::io::{read_raw, write_raw};
 use stz_field::{Field, Scalar};
-use stz_serve::{Client, EntryInfo, EntrySel, ServeOptions, Server};
-use stz_stream::{pack_pipelined, ContainerReader, EntryReader, FileSource, ForeignArchive};
+use stz_serve::{ServeOptions, Server};
+use stz_stream::{pack_pipelined, ForeignArchive};
 
 /// Resolve `--backend` (default: the native stz engine).
 fn backend_choice(p: &Parsed) -> Result<&'static dyn Codec, String> {
@@ -57,30 +67,67 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "compress" => compress(&p),
         "decompress" => decompress(&p),
         "preview" => preview(&p),
-        "roi" => roi(&p),
+        // `roi` predates `extract` and is the same request shape.
+        "roi" | "extract" => extract(&p),
         "info" => info(&p),
         "pack" => pack(&p),
+        "list" => list(&p),
         "inspect" => inspect(&p),
-        "extract" => extract(&p),
         "serve" => serve(&p),
-        "remote-list" => remote_list(&p),
-        "remote-inspect" => remote_inspect(&p),
-        "remote-extract" => remote_extract(&p),
-        "remote-preview" => remote_preview(&p),
+        // Hidden aliases (one release): the pre-URI remote twins
+        // (remote_list / remote_inspect / remote_extract / remote_preview
+        // as dedicated functions) are gone — each alias rewrites its
+        // --addr/-c flags into an stz:// location inside `resolve_from`
+        // and runs the exact same unified implementation.
+        "remote-list" => list(&p),
+        "remote-inspect" => inspect(&p),
+        "remote-extract" => extract(&p),
+        "remote-preview" => preview(&p),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
 
-/// Whether `path` holds an stz-stream container (vs. a bare archive).
-fn is_container(path: &Path) -> bool {
-    let mut prefix = [0u8; 4];
-    match std::fs::File::open(path) {
-        Ok(mut f) => {
-            use std::io::Read;
-            f.read_exact(&mut prefix).is_ok() && stz_stream::is_container_prefix(&prefix)
-        }
-        Err(_) => false,
+/// The location a read verb operates on: `--from`, or the `remote` alias
+/// flags (`--addr`/`-c`), or plain `-i`.
+fn resolve_from(p: &Parsed) -> Result<String, String> {
+    if let Some(from) = p.optional("--from") {
+        return Ok(from.to_string());
     }
+    if let Some(addr) = p.optional("--addr") {
+        return Ok(match p.optional("-c") {
+            Some(container) => format!("stz://{addr}/{container}"),
+            None => format!("stz://{addr}"),
+        });
+    }
+    if let Some(input) = p.optional("-i") {
+        return Ok(input.to_string());
+    }
+    Err("missing required flag --from (a path or stz://host:port/container)".into())
+}
+
+/// The entry selector of a fetch (`--entry` name, default entry 0).
+fn entry_sel(p: &Parsed) -> EntrySel {
+    match p.optional("--entry") {
+        Some(name) => EntrySel::Name(name.to_string()),
+        None => EntrySel::Index(0),
+    }
+}
+
+/// Open the store at a location, stringifying the error taxonomy.
+fn store_at(from: &str) -> Result<Box<dyn Store>, String> {
+    open_store(from).map_err(|e| e.to_string())
+}
+
+/// Open one entry at a location.
+fn open_entry(p: &Parsed, from: &str) -> Result<Box<dyn Entry>, String> {
+    store_at(from)?.open(&entry_sel(p)).map_err(|e| e.to_string())
+}
+
+/// Whether `path` holds an stz-stream container (vs. a bare archive) —
+/// the access layer's sniff; an unreadable file is "not a container" here
+/// and produces its real diagnostic from whichever open follows.
+fn is_container(path: &Path) -> bool {
+    stz_access::is_container_path(path).unwrap_or(false)
 }
 
 fn build_config(p: &Parsed) -> Result<StzConfig, String> {
@@ -268,102 +315,102 @@ fn decompress_foreign(backend: &dyn Codec, input: &Path, output: &Path) -> Resul
     }
 }
 
-/// Open a container and dispatch on the selected entry's element type.
-fn with_container_entry<R>(
-    path: &Path,
-    entry: Option<&str>,
-    f32_case: impl FnOnce(EntryReader<'_, f32, FileSource>) -> Result<R, String>,
-    f64_case: impl FnOnce(EntryReader<'_, f64, FileSource>) -> Result<R, String>,
-) -> Result<R, String> {
-    let reader = ContainerReader::open_path(path).map_err(|e| e.to_string())?;
-    let index = match entry {
-        Some(name) => reader
-            .find(name)
-            .ok_or_else(|| format!("no entry named {name:?} in {}", path.display()))?,
-        None => 0,
-    };
-    let meta =
-        reader.entry_meta(index).ok_or_else(|| format!("{} has no entries", path.display()))?;
-    if meta.type_tag() == 0 {
-        f32_case(reader.entry::<f32>(index).map_err(|e| e.to_string())?)
-    } else {
-        f64_case(reader.entry::<f64>(index).map_err(|e| e.to_string())?)
-    }
-}
-
-fn preview_entry<T: BackendScalar>(
-    e: EntryReader<'_, T, FileSource>,
-    output: &Path,
-    level: u8,
-) -> Result<(), String> {
-    let f = e.decompress_level(level).map_err(|err| err.to_string())?;
-    write_raw(output, &f).map_err(|err| err.to_string())?;
+/// `preview`: a level-k fetch through the unified store — one code path
+/// for bare archives, containers, and servers.
+fn preview(p: &Parsed) -> Result<(), String> {
+    let from = resolve_from(p)?;
+    let output = Path::new(p.required("-o")?).to_path_buf();
+    let level: u8 =
+        p.required("-l")?.parse().map_err(|_| "-l must be a level number".to_string())?;
+    let entry = open_entry(p, &from)?;
+    let fetched = entry.fetch(&Fetch::Level(level)).map_err(|e| e.to_string())?;
+    std::fs::write(&output, &fetched.data).map_err(|e| e.to_string())?;
+    let desc = entry.desc();
+    let cost = desc
+        .level_bytes
+        .get(level as usize - 1)
+        .map(|b| format!(" ({b} of {} payload bytes needed)", desc.compressed_len))
+        .unwrap_or_default();
     eprintln!(
-        "level {level} preview of {:?}: {} -> {} ({} of {} payload bytes read)",
-        e.name(),
-        f.dims(),
-        output.display(),
-        e.bytes_through_level(level),
-        e.compressed_len()
+        "level {level} preview of {:?} [{}]: {} -> {}{cost}",
+        desc.name,
+        fetched.provenance,
+        fetched.dims,
+        output.display()
     );
     Ok(())
 }
 
-fn preview(p: &Parsed) -> Result<(), String> {
-    let input = Path::new(p.required("-i")?);
+/// `extract` (and its older spelling `roi`): a full or region fetch
+/// through the unified store.
+fn extract(p: &Parsed) -> Result<(), String> {
+    let from = resolve_from(p)?;
     let output = Path::new(p.required("-o")?).to_path_buf();
-    let level: u8 =
-        p.required("-l")?.parse().map_err(|_| "-l must be a level number".to_string())?;
-    if is_container(input) {
-        return with_container_entry(
-            input,
-            p.optional("--entry"),
-            |e| preview_entry(e, &output, level),
-            |e| preview_entry(e, &output, level),
-        );
-    }
-    with_archive(
-        input,
-        |a| {
-            let f = a.decompress_level(level).map_err(|e| e.to_string())?;
-            write_raw(&output, &f).map_err(|e| e.to_string())?;
-            eprintln!("level {level} preview: {} -> {}", f.dims(), output.display());
-            Ok(())
-        },
-        |a| {
-            let f = a.decompress_level(level).map_err(|e| e.to_string())?;
-            write_raw(&output, &f).map_err(|e| e.to_string())?;
-            eprintln!("level {level} preview: {} -> {}", f.dims(), output.display());
-            Ok(())
-        },
-    )
+    let fetch = match p.optional("-r") {
+        Some(spec) => Fetch::Region(args::parse_region(spec)?),
+        None => Fetch::Full,
+    };
+    let entry = open_entry(p, &from)?;
+    let fetched = entry.fetch(&fetch).map_err(|e| e.to_string())?;
+    std::fs::write(&output, &fetched.data).map_err(|e| e.to_string())?;
+    let what = match &fetch {
+        Fetch::Region(region) => format!("ROI {region:?}"),
+        _ => "full field".to_string(),
+    };
+    eprintln!(
+        "{what} of {:?} [{}]: {} ({} bytes) -> {}",
+        entry.desc().name,
+        fetched.provenance,
+        fetched.dims,
+        fetched.data.len(),
+        output.display()
+    );
+    Ok(())
 }
 
-fn roi(p: &Parsed) -> Result<(), String> {
-    let input = Path::new(p.required("-i")?);
-    let output = Path::new(p.required("-o")?).to_path_buf();
-    let region = args::parse_region(p.required("-r")?)?;
-    with_archive(
-        input,
-        |a| {
-            let f = a.decompress_region(&region).map_err(|e| e.to_string())?;
-            write_raw(&output, &f).map_err(|e| e.to_string())?;
-            eprintln!("ROI {region:?}: {} values -> {}", f.len(), output.display());
-            Ok(())
-        },
-        |a| {
-            let f = a.decompress_region(&region).map_err(|e| e.to_string())?;
-            write_raw(&output, &f).map_err(|e| e.to_string())?;
-            eprintln!("ROI {region:?}: {} values -> {}", f.len(), output.display());
-            Ok(())
-        },
-    )
+/// `list`: containers at a directory or server, or the entries of one
+/// container/archive.
+fn list(p: &Parsed) -> Result<(), String> {
+    let from = resolve_from(p)?;
+    let location = Location::parse(&from).map_err(|e| e.to_string())?;
+    let container_level = match &location {
+        Location::Remote { container, .. } => container.is_none(),
+        Location::Path(path) => path.is_dir(),
+    };
+    if container_level {
+        let containers = stz_access::list_location(&from).map_err(|e| e.to_string())?;
+        println!("{} hosted container(s)", containers.len());
+        for c in &containers {
+            println!("  {:<24} {:>4} entries  {:>12} bytes", c.name, c.entries, c.bytes);
+        }
+        return Ok(());
+    }
+    let store = store_at(&from)?;
+    let entries = store.list().map_err(|e| e.to_string())?;
+    println!("{} entr{} in {}", entries.len(), if entries.len() == 1 { "y" } else { "ies" }, from);
+    for d in &entries {
+        println!(
+            "  [{}] {:<20} {:<6} {:<4} {:>14}  {:>12} bytes",
+            d.index,
+            d.name,
+            d.codec_name().unwrap_or("?"),
+            d.type_name(),
+            d.dims.to_string(),
+            d.compressed_len
+        );
+    }
+    Ok(())
 }
 
 fn info(p: &Parsed) -> Result<(), String> {
-    let input = Path::new(p.required("-i")?);
+    // `--from` is accepted alongside the documented `-i`, so the inspect
+    // fallback for bare archives works with either spelling.
+    let from = resolve_from(p)?;
+    let Location::Path(input) = Location::parse(&from).map_err(|e| e.to_string())? else {
+        return Err(format!("info requires a local archive path, got {from:?}"));
+    };
     with_archive(
-        input,
+        &input,
         |a| {
             print_info("f32", 4, &a);
             Ok(())
@@ -536,58 +583,39 @@ fn pack_typed<T: Scalar>(
     Ok(())
 }
 
+/// `inspect`: the full entry table of any location, through the unified
+/// store. Bare local archives keep their pre-URI behavior and fall
+/// through to `info`.
 fn inspect(p: &Parsed) -> Result<(), String> {
-    let input = Path::new(p.required("-i")?);
-    if !is_container(input) {
-        if p.switch("--json") {
-            return Err("--json requires a container (.stzc) input".into());
+    let from = resolve_from(p)?;
+    if let Ok(Location::Path(path)) = Location::parse(&from) {
+        if path.is_file() && !is_container(&path) {
+            if p.switch("--json") {
+                return Err("--json requires a container (.stzc) input".into());
+            }
+            return info(p);
         }
-        // Bare archives keep working: inspect falls through to `info`.
-        return info(p);
     }
-    let reader = ContainerReader::open_path(input).map_err(|e| e.to_string())?;
-    // Unknown codec ids still index and list (the footer layout is
-    // self-describing); only decoding them errors.
-    let entries: Vec<EntryInfo> = reader.entries().map(|m| EntryInfo::from_meta(&m)).collect();
-    print_inspect(&input.display().to_string(), &entries, p.switch("--json"));
+    let store = store_at(&from)?;
+    let entries = store.list().map_err(|e| e.to_string())?;
+    // The table's source label: remote tables are headed by the container
+    // name (what the pre-URI `remote inspect -c <name>` printed, and what
+    // --json consumers key on), local tables by the path as typed.
+    let source = match Location::parse(&from) {
+        Ok(Location::Remote { container: Some(container), .. }) => container,
+        _ => from.clone(),
+    };
+    print_inspect(&source, &entries, p.switch("--json"));
     Ok(())
 }
 
-/// Render an entry table — the one formatter local and remote inspect
-/// share.
-fn print_inspect(source: &str, entries: &[EntryInfo], json: bool) {
+/// Render an entry table — the one formatter every transport shares.
+fn print_inspect(source: &str, entries: &[stz_access::EntryDesc], json: bool) {
     if json {
         println!("{}", fmt::render_json(source, entries));
     } else {
         print!("{}", fmt::render_text(source, entries));
     }
-}
-
-fn extract_entry<T: BackendScalar>(
-    e: EntryReader<'_, T, FileSource>,
-    output: &Path,
-    region: &stz_field::Region,
-) -> Result<(), String> {
-    let f = e.decompress_region(region).map_err(|err| err.to_string())?;
-    write_raw(output, &f).map_err(|err| err.to_string())?;
-    eprintln!("ROI {region:?} of {:?}: {} values -> {}", e.name(), f.len(), output.display());
-    Ok(())
-}
-
-fn extract(p: &Parsed) -> Result<(), String> {
-    let input = Path::new(p.required("-i")?);
-    if !is_container(input) {
-        // Bare archives keep working: extract behaves like `roi`.
-        return roi(p);
-    }
-    let output = Path::new(p.required("-o")?).to_path_buf();
-    let region = args::parse_region(p.required("-r")?)?;
-    with_container_entry(
-        input,
-        p.optional("--entry"),
-        |e| extract_entry(e, &output, &region),
-        |e| extract_entry(e, &output, &region),
-    )
 }
 
 /// Start the archive server (blocking; ^C to stop).
@@ -621,72 +649,6 @@ fn serve(p: &Parsed) -> Result<(), String> {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     server.run().map_err(|e| e.to_string())
-}
-
-/// Connect to `--addr`.
-fn remote_client(p: &Parsed) -> Result<Client, String> {
-    let addr = p.required("--addr")?;
-    Client::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))
-}
-
-/// The entry selector of a remote fetch (`--entry` name, default entry 0).
-fn remote_entry(p: &Parsed) -> EntrySel {
-    match p.optional("--entry") {
-        Some(name) => EntrySel::Name(name.to_string()),
-        None => EntrySel::Index(0),
-    }
-}
-
-fn remote_list(p: &Parsed) -> Result<(), String> {
-    let mut client = remote_client(p)?;
-    let list = client.list().map_err(|e| e.to_string())?;
-    println!("{} hosted container(s)", list.len());
-    for c in &list {
-        println!("  {:<24} {:>4} entries  {:>12} bytes", c.name, c.entries, c.file_len);
-    }
-    Ok(())
-}
-
-fn remote_inspect(p: &Parsed) -> Result<(), String> {
-    let container = p.required("-c")?;
-    let mut client = remote_client(p)?;
-    let entries = client.inspect(container).map_err(|e| e.to_string())?;
-    print_inspect(container, &entries, p.switch("--json"));
-    Ok(())
-}
-
-fn remote_extract(p: &Parsed) -> Result<(), String> {
-    let container = p.required("-c")?;
-    let output = Path::new(p.required("-o")?);
-    let mut client = remote_client(p)?;
-    let entry = remote_entry(p);
-    // With -r this is a remote `extract`; without it a full fetch — both
-    // write the exact bytes a local decode + write_raw would produce.
-    let fetched = match p.optional("-r") {
-        Some(spec) => {
-            let region = args::parse_region(spec)?;
-            client.fetch_roi(container, entry, &region).map_err(|e| e.to_string())?
-        }
-        None => client.fetch_full(container, entry).map_err(|e| e.to_string())?,
-    };
-    let (dims, n) = (fetched.dims, fetched.data.len());
-    std::fs::write(output, &fetched.data).map_err(|e| e.to_string())?;
-    eprintln!("fetched {dims} ({n} bytes) -> {}", output.display());
-    Ok(())
-}
-
-fn remote_preview(p: &Parsed) -> Result<(), String> {
-    let container = p.required("-c")?;
-    let output = Path::new(p.required("-o")?);
-    let level: u8 =
-        p.required("-l")?.parse().map_err(|_| "-l must be a level number".to_string())?;
-    let mut client = remote_client(p)?;
-    let fetched =
-        client.fetch_level(container, remote_entry(p), level).map_err(|e| e.to_string())?;
-    let (dims, n) = (fetched.dims, fetched.data.len());
-    std::fs::write(output, &fetched.data).map_err(|e| e.to_string())?;
-    eprintln!("level {level} preview {dims} ({n} bytes) -> {}", output.display());
-    Ok(())
 }
 
 #[cfg(test)]
@@ -768,6 +730,8 @@ mod tests {
         ]))
         .unwrap();
 
+        // Bare archives serve previews through the same unified store API
+        // as containers and servers (a single-entry MemStore).
         let prev = d.join("p.f32");
         run(&argv(&[
             "preview".into(),
@@ -823,13 +787,14 @@ mod tests {
             "1e-3".into(),
         ]))
         .unwrap();
-        run(&argv(&["inspect".into(), "-i".into(), container.display().to_string()])).unwrap();
+        run(&argv(&["inspect".into(), "--from".into(), container.display().to_string()])).unwrap();
+        run(&argv(&["list".into(), "--from".into(), container.display().to_string()])).unwrap();
 
-        // extract --region from the named second entry.
+        // extract --region from the named second entry, addressed by URI.
         let roi_out = d.join("roi.f32");
         run(&argv(&[
             "extract".into(),
-            "-i".into(),
+            "--from".into(),
             container.display().to_string(),
             "-o".into(),
             roi_out.display().to_string(),
@@ -847,7 +812,7 @@ mod tests {
             .unwrap();
         assert_eq!(roi, expect, "container extract must match in-memory ROI");
 
-        // preview --level from a container.
+        // preview --level from a container (-i stays an alias for --from).
         let prev = d.join("p.f32");
         run(&argv(&[
             "preview".into(),
@@ -988,13 +953,13 @@ mod tests {
             "zfp".into(),
         ]))
         .unwrap();
-        run(&argv(&["inspect".into(), "-i".into(), container.display().to_string()])).unwrap();
+        run(&argv(&["inspect".into(), "--from".into(), container.display().to_string()])).unwrap();
 
         // Extract works on foreign entries (full decode + crop).
         let roi_out = d.join("roi.f32");
         run(&argv(&[
             "extract".into(),
-            "-i".into(),
+            "--from".into(),
             container.display().to_string(),
             "-o".into(),
             roi_out.display().to_string(),
@@ -1009,7 +974,7 @@ mod tests {
         let prev = d.join("p.f32");
         assert!(run(&argv(&[
             "preview".into(),
-            "-i".into(),
+            "--from".into(),
             container.display().to_string(),
             "-o".into(),
             prev.display().to_string(),
@@ -1062,7 +1027,7 @@ mod tests {
     }
 
     #[test]
-    fn remote_commands_roundtrip_against_inprocess_server() {
+    fn uri_and_alias_commands_roundtrip_against_inprocess_server() {
         // Own subdirectory: the server scans every .stzc under its root,
         // and sibling tests create and delete containers concurrently.
         let d = dir().join("remote_test");
@@ -1095,28 +1060,20 @@ mod tests {
         .unwrap();
         let addr = server.local_addr().unwrap().to_string();
         let handle = server.spawn().unwrap();
+        let uri = format!("stz://{addr}/steps");
 
-        run(&argv(&["remote".into(), "list".into(), "--addr".into(), addr.clone()])).unwrap();
-        run(&argv(&[
-            "remote".into(),
-            "inspect".into(),
-            "--addr".into(),
-            addr.clone(),
-            "-c".into(),
-            "steps".into(),
-            "--json".into(),
-        ]))
-        .unwrap();
+        // The unified spellings.
+        run(&argv(&["list".into(), "--from".into(), format!("stz://{addr}")])).unwrap();
+        run(&argv(&["list".into(), "--from".into(), d.display().to_string()])).unwrap();
+        run(&argv(&["inspect".into(), "--from".into(), uri.clone(), "--json".into()])).unwrap();
 
-        // remote extract == local extract, byte for byte.
+        // remote extract == local extract, byte for byte — one code path,
+        // two transports.
         let (remote_out, local_out) = (d.join("remote.f32"), d.join("local.f32"));
         run(&argv(&[
-            "remote".into(),
             "extract".into(),
-            "--addr".into(),
-            addr.clone(),
-            "-c".into(),
-            "steps".into(),
+            "--from".into(),
+            uri.clone(),
             "-o".into(),
             remote_out.display().to_string(),
             "-r".into(),
@@ -1125,7 +1082,7 @@ mod tests {
         .unwrap();
         run(&argv(&[
             "extract".into(),
-            "-i".into(),
+            "--from".into(),
             container.display().to_string(),
             "-o".into(),
             local_out.display().to_string(),
@@ -1139,16 +1096,51 @@ mod tests {
             "remote extract must be byte-identical to local extract"
         );
 
-        // Unknown container errors cleanly over the wire.
-        assert!(run(&argv(&[
+        // Pre-URI alias spellings keep working for one release.
+        run(&argv(&["remote".into(), "list".into(), "--addr".into(), addr.clone()])).unwrap();
+        run(&argv(&[
             "remote".into(),
             "inspect".into(),
             "--addr".into(),
-            addr,
+            addr.clone(),
             "-c".into(),
-            "nope".into(),
+            "steps".into(),
+            "--json".into(),
         ]))
-        .is_err());
+        .unwrap();
+        let alias_out = d.join("alias.f32");
+        run(&argv(&[
+            "remote".into(),
+            "extract".into(),
+            "--addr".into(),
+            addr.clone(),
+            "-c".into(),
+            "steps".into(),
+            "-o".into(),
+            alias_out.display().to_string(),
+            "-r".into(),
+            "2:6,0:16,4:8".into(),
+        ]))
+        .unwrap();
+        assert_eq!(std::fs::read(&alias_out).unwrap(), std::fs::read(&local_out).unwrap());
+        let prev_out = d.join("prev.f32");
+        run(&argv(&[
+            "remote".into(),
+            "preview".into(),
+            "--addr".into(),
+            addr.clone(),
+            "-c".into(),
+            "steps".into(),
+            "-o".into(),
+            prev_out.display().to_string(),
+            "-l".into(),
+            "1".into(),
+        ]))
+        .unwrap();
+
+        // Unknown container errors cleanly over the wire.
+        assert!(run(&argv(&["inspect".into(), "--from".into(), format!("stz://{addr}/nope"),]))
+            .is_err());
 
         handle.stop();
         let _ = std::fs::remove_dir_all(&d);
@@ -1158,6 +1150,15 @@ mod tests {
     fn bad_inputs_error_cleanly() {
         assert!(run(&argv(&["frobnicate".into()])).is_err());
         assert!(run(&argv(&["compress".into()])).is_err());
+        assert!(run(&argv(&["extract".into(), "-o".into(), "/tmp/x".into()])).is_err());
+        assert!(run(&argv(&[
+            "extract".into(),
+            "--from".into(),
+            "stz://missing-a-port/steps".into(),
+            "-o".into(),
+            "/tmp/x".into(),
+        ]))
+        .is_err());
         assert!(run(&argv(&[
             "compress".into(),
             "-i".into(),

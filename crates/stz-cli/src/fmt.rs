@@ -1,15 +1,14 @@
-//! The entry-table formatter shared by local `inspect` and `remote
-//! inspect`.
+//! The entry-table formatter shared by every `inspect` transport.
 //!
-//! Both paths produce the same [`EntryInfo`] rows — locally from
-//! [`stz_stream::EntryMeta`], remotely from the `INSPECT_OK` frame — and
-//! render them here, either human-readable or as a machine-readable JSON
-//! document (`--json`). One formatter means the two views cannot drift.
+//! All transports produce the same [`EntryDesc`] rows — from a resident
+//! archive, a container footer, or an `INSPECT_OK` frame — and render them
+//! here, either human-readable or as a machine-readable JSON document
+//! (`--json`). One formatter means the views cannot drift.
 
-use stz_serve::EntryInfo;
+use stz_access::EntryDesc;
 
 /// Render the human-readable entry table.
-pub fn render_text(source: &str, entries: &[EntryInfo]) -> String {
+pub fn render_text(source: &str, entries: &[EntryDesc]) -> String {
     let mut out = String::new();
     out.push_str(&format!("container:       {source}\n"));
     out.push_str(&format!("entries:         {}\n", entries.len()));
@@ -48,12 +47,13 @@ pub fn render_text(source: &str, entries: &[EntryInfo]) -> String {
 }
 
 /// Render the machine-readable entry table (one JSON document).
-pub fn render_json(source: &str, entries: &[EntryInfo]) -> String {
+pub fn render_json(source: &str, entries: &[EntryDesc]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"container\": {},\n", json_str(source)));
     out.push_str("  \"entries\": [");
     for (i, e) in entries.iter().enumerate() {
+        let [z, y, x] = e.dims.as_array();
         out.push_str(if i == 0 { "\n" } else { ",\n" });
         out.push_str("    {\n");
         out.push_str(&format!("      \"name\": {},\n", json_str(&e.name)));
@@ -63,8 +63,8 @@ pub fn render_json(source: &str, entries: &[EntryInfo]) -> String {
             e.codec_name().map_or("null".to_string(), json_str)
         ));
         out.push_str(&format!("      \"type\": {},\n", json_str(e.type_name())));
-        out.push_str(&format!("      \"ndim\": {},\n", e.ndim));
-        out.push_str(&format!("      \"dims\": [{}, {}, {}],\n", e.dims[0], e.dims[1], e.dims[2]));
+        out.push_str(&format!("      \"ndim\": {},\n", e.dims.ndim()));
+        out.push_str(&format!("      \"dims\": [{z}, {y}, {x}],\n"));
         out.push_str(&format!("      \"error_bound\": {},\n", json_f64(e.eb)));
         out.push_str(&format!("      \"compressed_len\": {},\n", e.compressed_len));
         out.push_str(&format!("      \"payload_crc\": {},\n", e.payload_crc));
@@ -84,9 +84,9 @@ pub fn render_json(source: &str, entries: &[EntryInfo]) -> String {
 }
 
 /// `ZxYxX` respecting the entry's logical rank.
-fn dims_text(e: &EntryInfo) -> String {
-    let [z, y, x] = e.dims;
-    match e.ndim {
+fn dims_text(e: &EntryDesc) -> String {
+    let [z, y, x] = e.dims.as_array();
+    match e.dims.ndim() {
         1 => format!("{x}"),
         2 => format!("{y}x{x}"),
         _ => format!("{z}x{y}x{x}"),
@@ -125,14 +125,15 @@ fn json_f64(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stz_field::Dims;
 
-    fn row() -> EntryInfo {
-        EntryInfo {
+    fn row() -> EntryDesc {
+        EntryDesc {
+            index: 0,
             name: "step \"0\"".into(),
             codec_id: 0,
             type_tag: 0,
-            ndim: 3,
-            dims: [16, 16, 16],
+            dims: Dims::d3(16, 16, 16),
             eb: 1e-3,
             compressed_len: 4000,
             payload_crc: 0x1234_5678,

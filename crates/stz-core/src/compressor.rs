@@ -61,11 +61,19 @@ impl StzCompressor {
 
     fn compress_impl<T: Scalar>(&self, field: &Field<T>, parallel: bool) -> Result<StzArchive<T>> {
         let cfg = &self.config;
+        // Classify bad configurations up front (typed `ConfigError`) —
+        // before the level planner or the quantizer can assert on them.
+        cfg.validate()
+            .map_err(|e| CodecError::unsupported(format!("invalid configuration: {e}")))?;
         let dims = field.dims();
         let plan = LevelPlan::new(dims, cfg.levels);
         let eb_abs = cfg.eb.absolute_for(field);
+        // A *relative* bound over a constant field resolves to zero even
+        // when the configured ratio is valid; catch the resolved value too.
         if !(eb_abs > 0.0 && eb_abs.is_finite()) {
-            return Err(CodecError::corrupt(format!("invalid error bound {eb_abs}")));
+            return Err(CodecError::unsupported(format!(
+                "invalid configuration: resolved error bound {eb_abs} must be positive and finite"
+            )));
         }
         let ebs = cfg.level_ebs_from_absolute(eb_abs);
 

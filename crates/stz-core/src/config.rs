@@ -1,7 +1,48 @@
 //! STZ compressor configuration.
 
+use std::fmt;
 use stz_field::{Field, Scalar};
 use stz_sz3::{ErrorBound, InterpKind};
+
+/// A rejected [`StzConfig`], diagnosed *before* any compression work.
+///
+/// The compressor validates its configuration up front and returns one of
+/// these typed classes, so a bad bound or level count surfaces as a clean
+/// error at the API boundary instead of an assert (or a wrong answer) deep
+/// inside the level pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// The error bound is non-finite or not strictly positive.
+    BadErrorBound(f64),
+    /// The level count is outside the supported `2..=4` range (0 and 1
+    /// included — a hierarchy needs at least two levels).
+    BadLevels(u8),
+    /// The adaptive ratio is non-finite or not strictly positive.
+    BadAdaptiveRatio(f64),
+    /// The quantizer radius is not strictly positive.
+    BadRadius(i64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadErrorBound(eb) => {
+                write!(f, "error bound {eb} must be positive and finite")
+            }
+            ConfigError::BadLevels(levels) => {
+                write!(f, "{levels} levels requested; STZ supports 2–4")
+            }
+            ConfigError::BadAdaptiveRatio(r) => {
+                write!(f, "adaptive ratio {r} must be positive and finite")
+            }
+            ConfigError::BadRadius(r) => {
+                write!(f, "quantizer radius {r} must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Default ratio between consecutive level error bounds (paper §3.1,
 /// prediction optimization 5: `eb_l2 = 2.5 × eb_l1`).
@@ -78,6 +119,32 @@ impl StzConfig {
         self
     }
 
+    /// Check the configuration, classifying the first problem found.
+    ///
+    /// The compressor calls this before touching the field, so a config
+    /// assembled from raw struct fields (bypassing the checked builders)
+    /// still fails cleanly: a NaN or negative bound, a 0/1/5-level
+    /// hierarchy, a degenerate adaptive ratio, or a non-positive radius
+    /// each map to their [`ConfigError`] variant.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let raw_eb = match self.eb {
+            ErrorBound::Absolute(eb) | ErrorBound::Relative(eb) => eb,
+        };
+        if !(raw_eb > 0.0 && raw_eb.is_finite()) {
+            return Err(ConfigError::BadErrorBound(raw_eb));
+        }
+        if !(2..=4).contains(&self.levels) {
+            return Err(ConfigError::BadLevels(self.levels));
+        }
+        if self.adaptive && !(self.adaptive_ratio > 0.0 && self.adaptive_ratio.is_finite()) {
+            return Err(ConfigError::BadAdaptiveRatio(self.adaptive_ratio));
+        }
+        if self.radius <= 0 {
+            return Err(ConfigError::BadRadius(self.radius));
+        }
+        Ok(())
+    }
+
     /// Resolve the per-level absolute error bounds for a concrete field.
     /// Index 0 is level 1 (coarsest); the last entry is the finest level and
     /// equals the user bound.
@@ -141,5 +208,67 @@ mod tests {
     #[should_panic]
     fn five_levels_rejected() {
         let _ = StzConfig::three_level(0.1).with_levels(5);
+    }
+
+    #[test]
+    fn validate_accepts_every_checked_builder_output() {
+        for cfg in [
+            StzConfig::three_level(1e-3),
+            StzConfig::two_level(0.5),
+            StzConfig::three_level_relative(1e-4),
+            StzConfig::three_level(1.0).with_levels(4).with_adaptive(false),
+        ] {
+            assert_eq!(cfg.validate(), Ok(()), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn validate_classifies_bad_bounds() {
+        for eb in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let cfg = StzConfig { eb: ErrorBound::Absolute(eb), ..StzConfig::three_level(1.0) };
+            assert!(matches!(cfg.validate(), Err(ConfigError::BadErrorBound(_))), "abs {eb}");
+            let cfg = StzConfig { eb: ErrorBound::Relative(eb), ..StzConfig::three_level(1.0) };
+            assert!(matches!(cfg.validate(), Err(ConfigError::BadErrorBound(_))), "rel {eb}");
+        }
+    }
+
+    #[test]
+    fn validate_classifies_bad_levels_ratio_radius() {
+        for levels in [0u8, 1, 5, 255] {
+            let cfg = StzConfig { levels, ..StzConfig::three_level(1e-3) };
+            assert_eq!(cfg.validate(), Err(ConfigError::BadLevels(levels)));
+        }
+        for ratio in [0.0, -2.5, f64::NAN, f64::INFINITY] {
+            let cfg = StzConfig { adaptive_ratio: ratio, ..StzConfig::three_level(1e-3) };
+            assert!(matches!(cfg.validate(), Err(ConfigError::BadAdaptiveRatio(_))), "{ratio}");
+            // A degenerate ratio is harmless when adaptive bounds are off.
+            let cfg = StzConfig { adaptive: false, ..cfg };
+            assert_eq!(cfg.validate(), Ok(()), "{ratio} non-adaptive");
+        }
+        for radius in [0i64, -1, i64::MIN] {
+            let cfg = StzConfig { radius, ..StzConfig::three_level(1e-3) };
+            assert_eq!(cfg.validate(), Err(ConfigError::BadRadius(radius)));
+        }
+    }
+
+    #[test]
+    fn compressor_returns_typed_rejection_instead_of_panicking() {
+        use crate::StzCompressor;
+        let field = Field::from_fn(Dims::d3(8, 8, 8), |z, y, x| (z + y + x) as f32);
+        for cfg in [
+            StzConfig { eb: ErrorBound::Absolute(f64::NAN), ..StzConfig::three_level(1.0) },
+            StzConfig { eb: ErrorBound::Absolute(-1e-3), ..StzConfig::three_level(1.0) },
+            StzConfig { levels: 0, ..StzConfig::three_level(1e-3) },
+            StzConfig { levels: 9, ..StzConfig::three_level(1e-3) },
+            StzConfig { adaptive_ratio: f64::NAN, ..StzConfig::three_level(1e-3) },
+            StzConfig { radius: 0, ..StzConfig::three_level(1e-3) },
+        ] {
+            let err = StzCompressor::new(cfg).compress(&field).unwrap_err();
+            assert!(err.to_string().contains("invalid configuration"), "{cfg:?} -> {err}");
+        }
+        // A relative bound over a constant field resolves through the
+        // `MIN_POSITIVE` fallback — still a success, never an assert.
+        let flat = Field::from_fn(Dims::d3(8, 8, 8), |_, _, _| 1.0f32);
+        assert!(StzCompressor::new(StzConfig::three_level_relative(1e-3)).compress(&flat).is_ok());
     }
 }

@@ -58,7 +58,7 @@ pub mod stats;
 
 pub use archive::StzArchive;
 pub use compressor::StzCompressor;
-pub use config::StzConfig;
+pub use config::{ConfigError, StzConfig};
 pub use progressive::ProgressiveDecoder;
 pub use random_access::AccessBreakdown;
 pub use source::SectionSource;

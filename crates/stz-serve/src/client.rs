@@ -26,6 +26,9 @@ pub struct Client {
     stream: TcpStream,
     /// Server software identifier from the handshake.
     server: String,
+    /// Recycled request-encoding buffer: fetches on a steady connection
+    /// reuse one allocation instead of building a fresh `Vec` per call.
+    scratch: Vec<u8>,
 }
 
 impl Client {
@@ -41,7 +44,7 @@ impl Client {
         let _ = stream.set_nodelay(true);
         stream.set_read_timeout(timeout)?;
         stream.set_write_timeout(timeout)?;
-        let mut client = Client { stream, server: String::new() };
+        let mut client = Client { stream, server: String::new(), scratch: Vec::new() };
         let mut hello = Enc::new();
         hello.u8(PROTO_VERSION);
         let reply = client.roundtrip(FrameType::Hello, &hello.finish())?;
@@ -99,7 +102,7 @@ impl Client {
         if req.kind == RequestKind::Raw {
             return Err(ServeError::protocol("use fetch_raw for raw-section fetches"));
         }
-        let reply = self.roundtrip(req.frame_type(), &req.encode())?;
+        let reply = self.roundtrip_reusing(req)?;
         let fetched = FetchedField::decode(&expect(reply, FrameType::FetchOk)?)?;
         if fetched.kind_tag != req.kind.tag() {
             return Err(ServeError::protocol(format!(
@@ -136,8 +139,18 @@ impl Client {
     /// against the frame checksum).
     pub fn fetch_raw(&mut self, container: &str, entry: EntrySel) -> Result<Vec<u8>> {
         let req = FetchReq { container: container.into(), entry, kind: RequestKind::Raw };
-        let reply = self.roundtrip(req.frame_type(), &req.encode())?;
+        let reply = self.roundtrip_reusing(&req)?;
         expect(reply, FrameType::RawOk)
+    }
+
+    /// Send a fetch request encoded into the recycled scratch buffer and
+    /// read the response. The buffer survives errors, so a failed fetch
+    /// does not cost the next one its allocation.
+    fn roundtrip_reusing(&mut self, req: &FetchReq) -> Result<Frame> {
+        let payload = req.encode_reusing(std::mem::take(&mut self.scratch));
+        let result = self.roundtrip(req.frame_type(), &payload);
+        self.scratch = payload;
+        result
     }
 }
 

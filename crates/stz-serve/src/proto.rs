@@ -222,6 +222,14 @@ impl Enc {
         Enc::default()
     }
 
+    /// Start a payload over a recycled buffer (cleared, capacity kept) —
+    /// how the client encodes per-request payloads without allocating per
+    /// call.
+    pub fn reuse(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Enc { buf }
+    }
+
     /// Finish, yielding the payload bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf
@@ -455,7 +463,13 @@ impl FetchReq {
 
     /// Encode the request payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut e = Enc::new();
+        self.encode_reusing(Vec::new())
+    }
+
+    /// Encode the request payload into a recycled buffer (cleared first),
+    /// returning it — so a steady request stream reuses one allocation.
+    pub fn encode_reusing(&self, buf: Vec<u8>) -> Vec<u8> {
+        let mut e = Enc::reuse(buf);
         e.string(&self.container);
         self.entry.encode(&mut e);
         match self.kind {
@@ -530,21 +544,12 @@ impl FetchedField {
         let type_tag = d.u8()?;
         let ndim = d.u8()?;
         let _reserved = d.u8()?;
-        let z = usize::try_from(d.u64()?).map_err(|_| ServeError::protocol("dims overflow"))?;
-        let y = usize::try_from(d.u64()?).map_err(|_| ServeError::protocol("dims overflow"))?;
-        let x = usize::try_from(d.u64()?).map_err(|_| ServeError::protocol("dims overflow"))?;
-        // `Dims::from_parts` asserts its invariants; a hostile payload must
-        // fail cleanly instead, so validate the same invariants first.
-        let consistent = match ndim {
-            1 => z == 1 && y == 1,
-            2 => z == 1,
-            3 => true,
-            _ => false,
-        };
-        if !consistent || x == 0 || y == 0 || z == 0 {
-            return Err(ServeError::protocol(format!("bad dims [{z}, {y}, {x}] for ndim {ndim}")));
-        }
-        let dims = Dims::from_parts(ndim, z, y, x);
+        let z = d.u64()?;
+        let y = d.u64()?;
+        let x = d.u64()?;
+        let dims = wire_dims(ndim, z, y, x).ok_or_else(|| {
+            ServeError::protocol(format!("bad dims [{z}, {y}, {x}] for ndim {ndim}"))
+        })?;
         let bytes_per: usize = match type_tag {
             0 => 4,
             1 => 8,
@@ -847,6 +852,26 @@ pub fn decode_err(payload: &[u8]) -> ServeError {
         (Ok(code), Ok(message)) => ServeError::Remote { code, message },
         _ => ServeError::protocol("malformed ERR payload"),
     }
+}
+
+/// Validate untrusted wire dims — `usize` range, extent/`ndim`
+/// consistency, no zero axes — *before* [`Dims::from_parts`] can assert
+/// on them. `None` means the peer lied. The one checked constructor every
+/// wire consumer (`FETCH_OK` decoding here, `INSPECT_OK` rows in the
+/// access layer) shares, so the hostile-dims rules cannot drift.
+pub fn wire_dims(ndim: u8, z: u64, y: u64, x: u64) -> Option<Dims> {
+    let c = |v: u64| usize::try_from(v).ok();
+    let (z, y, x) = (c(z)?, c(y)?, c(x)?);
+    let consistent = match ndim {
+        1 => z == 1 && y == 1,
+        2 => z == 1,
+        3 => true,
+        _ => false,
+    };
+    if !consistent || x == 0 || y == 0 || z == 0 {
+        return None;
+    }
+    Some(Dims::from_parts(ndim, z, y, x))
 }
 
 /// Guard collection preallocation against hostile count prefixes: the

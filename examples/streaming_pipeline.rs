@@ -1,8 +1,9 @@
 //! End-to-end out-of-core streaming pipeline on an elongated FP64
 //! accelerator field: in-situ compression packs time steps into an on-disk
 //! container; a consumer then previews, selects, and fetches a
-//! full-resolution window — reading only the byte ranges each query needs,
-//! never materializing the full decompressed data.
+//! full-resolution window through the unified access API — reading only
+//! the byte ranges each query needs, never materializing the full
+//! decompressed data.
 //!
 //! ```text
 //! cargo run --release --example streaming_pipeline
@@ -10,7 +11,7 @@
 
 use stz::data::{metrics, synth};
 use stz::prelude::*;
-use stz::stream::{ContainerReader, ContainerWriter, CountingSource, FileSource};
+use stz::stream::{ContainerWriter, CountingSource, FileSource};
 
 fn main() {
     // WarpX-like FP64 field: a laser pulse in a long channel.
@@ -37,23 +38,25 @@ fn main() {
     drop(archive); // the consumer below works purely out-of-core
     writer.finish().expect("finish container");
 
-    // Consumer side: reopen the file through a byte-counting source, so
-    // every query reports exactly what it cost in disk traffic.
-    let reader = ContainerReader::open(CountingSource::new(
-        FileSource::open(&path).expect("open container"),
-    ))
+    // Consumer side: reopen the file as a unified-API FileStore over a
+    // byte-counting source — the same Store/Entry calls would work
+    // verbatim against a MemStore or a remote stz:// server, but here
+    // every query also reports exactly what it cost in disk traffic.
+    let store = FileStore::open_source(
+        CountingSource::new(FileSource::open(&path).expect("open container")),
+        path.display().to_string(),
+    )
     .expect("parse container");
-    println!(
-        "consumer: opened container with {} bytes of index reads",
-        reader.source().bytes_read()
-    );
-    let entry = reader.entry_by_name::<f64>("pulse").expect("entry");
+    let counter = || store.reader().source();
+    println!("consumer: opened container with {} bytes of index reads", counter().bytes_read());
+    let entry = store.open(&EntrySel::Name("pulse".into())).expect("entry");
 
     // Step 1: coarse preview (level 1 = 1/64 of the points) to locate the
     // pulse along x.
-    reader.source().reset();
-    let preview = entry.decompress_level(1).expect("preview");
-    let preview_bytes = reader.source().bytes_read();
+    counter().reset();
+    let preview: Field<f64> =
+        entry.fetch(&Fetch::Level(1)).expect("preview").into_field().expect("typed preview");
+    let preview_bytes = counter().bytes_read();
     let pd = preview.dims();
     let mut best_x = 0;
     let mut best_amp = f64::NEG_INFINITY;
@@ -85,9 +88,13 @@ fn main() {
     // sub-blocks are byte ranges the disk never serves.
     let mid_z = dims.nz() / 2;
     let window = Region::slice_z(dims, mid_z);
-    reader.source().reset();
-    let pulse = entry.decompress_region(&window).expect("slice");
-    let window_bytes = reader.source().bytes_read();
+    counter().reset();
+    let pulse: Field<f64> = entry
+        .fetch(&Fetch::Region(window.clone()))
+        .expect("slice")
+        .into_field()
+        .expect("typed slice");
+    let window_bytes = counter().bytes_read();
     println!(
         "fetched full-res slice z = {mid_z} ({} points) — {} of {} payload bytes read ({:.1}%)",
         pulse.len(),
@@ -100,9 +107,10 @@ fn main() {
         "slice fetch must read strictly less than the whole archive"
     );
 
-    // Verify out-of-core results against the in-memory path: the window
+    // Verify out-of-core results against the full decode: the window
     // matches the full reconstruction, which obeys the relative error bound.
-    let full = entry.read_archive().expect("refetch").decompress().expect("full");
+    let full: Field<f64> =
+        entry.fetch(&Fetch::Full).expect("full fetch").into_field().expect("typed full");
     assert_eq!(pulse, full.extract_region(&window));
     let (lo, hi) = field.value_range();
     let eb = 1e-4 * (hi - lo);

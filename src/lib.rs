@@ -26,6 +26,7 @@
 //! assert_eq!(preview.dims(), field.dims().coarsened(4));
 //! ```
 
+pub use stz_access as access;
 pub use stz_backend as backend;
 pub use stz_codec as codec;
 pub use stz_core as core;
@@ -40,7 +41,11 @@ pub use stz_zfp as zfp;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use stz_access::{
+        open_store, Entry, EntryDesc, EntrySel, Fetch, FetchedField, FileStore, MemStore,
+        RemoteStore, Store,
+    };
     pub use stz_backend::{registry, Codec};
-    pub use stz_core::{SectionSource, StzArchive, StzCompressor, StzConfig};
+    pub use stz_core::{ConfigError, SectionSource, StzArchive, StzCompressor, StzConfig};
     pub use stz_field::{Dims, Field, Region, Scalar};
 }

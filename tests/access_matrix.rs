@@ -1,0 +1,192 @@
+//! The access-layer contract test: every [`Fetch`] variant, served by all
+//! three shipped stores over the *same* packed container, must produce
+//! byte-identical [`FetchedField`]s — and classify failures identically.
+//!
+//! This is the pin that makes the unified API trustworthy: a consumer can
+//! switch `MemStore` → `FileStore` → `RemoteStore` (or be handed any
+//! `Box<dyn Store>` by `open_store`) without results drifting by transport.
+
+use stz::access::{open_store, AccessError, EntrySel, Fetch, MemStore, Store};
+use stz::prelude::*;
+use stz::serve::{ServeOptions, Server};
+use stz::stream::{ContainerWriter, ForeignArchive};
+
+/// The test fixture: one f32 stz entry, one f64 stz entry, one foreign
+/// (zfp) f32 entry — resident archives plus the container file packing
+/// the exact same payloads.
+struct Fixture {
+    dir: std::path::PathBuf,
+    container: std::path::PathBuf,
+    mem: MemStore,
+}
+
+fn fixture(tag: &str) -> Fixture {
+    let dims = Dims::d3(24, 24, 24);
+    let f32_field: Field<f32> = stz::data::synth::miranda_like(dims, 41);
+    let f64_field: Field<f64> = stz::data::synth::warpx_like(dims, 42);
+    let zfp_field: Field<f32> = stz::data::synth::nyx_like(dims, 43);
+
+    let a32 = StzCompressor::new(StzConfig::three_level(1e-3)).compress(&f32_field).unwrap();
+    let a64 = StzCompressor::new(StzConfig::three_level(1e-4)).compress(&f64_field).unwrap();
+    let zfp = registry().by_name("zfp").unwrap();
+    let zfp_bytes =
+        stz::backend::compress(zfp, &zfp_field, &stz::backend::ErrorBound::Absolute(1e-2)).unwrap();
+    let foreign = ForeignArchive::new::<f32>(zfp.id(), dims, 1e-2, zfp_bytes);
+
+    let dir = std::env::temp_dir().join(format!("stz_access_matrix_{}_{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let container = dir.join("steps.stzc");
+    let file = std::fs::File::create(&container).unwrap();
+    let mut writer = ContainerWriter::new(std::io::BufWriter::new(file)).unwrap();
+    writer.add_archive("t32", &a32).unwrap();
+    writer.add_archive("t64", &a64).unwrap();
+    writer.add_foreign("zfp", &foreign).unwrap();
+    writer.finish().unwrap();
+
+    let mut mem = MemStore::new();
+    mem.add("t32", a32);
+    mem.add("t64", a64);
+    mem.add("zfp", foreign);
+
+    Fixture { dir, container, mem }
+}
+
+/// Every decoded/raw fetch shape the matrix exercises.
+fn fetch_matrix() -> Vec<Fetch> {
+    vec![
+        Fetch::Full,
+        Fetch::Level(1),
+        Fetch::Level(2),
+        Fetch::Level(3),
+        Fetch::Progressive(1),
+        Fetch::Progressive(3),
+        Fetch::Region(Region::d3(3..9, 0..24, 10..14)),
+        Fetch::Region(Region::d3(0..24, 0..24, 0..24)),
+        Fetch::RawSection(0),
+    ]
+}
+
+/// Run one fetch against one store's entry, normalizing to
+/// `Ok((dims, type_tag, codec_id, data))` / `Err(class-name)` so results
+/// can be compared across transports.
+fn run_fetch(
+    store: &dyn Store,
+    sel: &EntrySel,
+    fetch: &Fetch,
+) -> Result<(Dims, u8, u8, Vec<u8>), &'static str> {
+    let entry = store.open(sel).map_err(|_| "open")?;
+    match entry.fetch(fetch) {
+        Ok(f) => Ok((f.dims, f.type_tag, f.codec_id, f.data)),
+        Err(AccessError::NotFound(_)) => Err("not_found"),
+        Err(AccessError::Unsupported(_)) => Err("unsupported"),
+        Err(AccessError::BadRequest(_)) => Err("bad_request"),
+        Err(AccessError::Corrupt(_)) => Err("corrupt"),
+        Err(_) => Err("other"),
+    }
+}
+
+#[test]
+fn fetch_matrix_is_byte_identical_across_all_three_stores() {
+    let fx = fixture("matrix");
+
+    let server = Server::bind(ServeOptions {
+        root: fx.dir.clone(),
+        addr: "127.0.0.1:0".into(),
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn().unwrap();
+
+    // The three transports, plus the URI front door as a fourth view of
+    // the file transport.
+    let file_store = open_store(&fx.container.display().to_string()).unwrap();
+    let remote_store = open_store(&format!("stz://{addr}/steps")).unwrap();
+    let stores: Vec<(&str, &dyn Store)> =
+        vec![("mem", &fx.mem), ("file", &*file_store), ("remote", &*remote_store)];
+
+    // Listings agree on everything a fetch plan needs.
+    let mem_list = fx.mem.list().unwrap();
+    assert_eq!(mem_list.len(), 3);
+    for (name, store) in &stores {
+        let list = store.list().unwrap();
+        assert_eq!(list.len(), mem_list.len(), "{name} entry count");
+        for (a, b) in mem_list.iter().zip(&list) {
+            assert_eq!(a.name, b.name, "{name} entry name");
+            assert_eq!(a.index, b.index, "{name} entry index");
+            assert_eq!(a.codec_id, b.codec_id, "{name} codec");
+            assert_eq!(a.type_tag, b.type_tag, "{name} type");
+            assert_eq!(a.dims, b.dims, "{name} dims");
+            assert_eq!(a.eb, b.eb, "{name} eb");
+            assert_eq!(a.compressed_len, b.compressed_len, "{name} compressed_len");
+            assert_eq!(a.payload_crc, b.payload_crc, "{name} payload crc");
+            assert_eq!(a.levels, b.levels, "{name} levels");
+            assert_eq!(a.level_bytes, b.level_bytes, "{name} level bytes");
+        }
+    }
+
+    // The full matrix: every entry x every fetch x every store, compared
+    // against the MemStore result (success bytes AND failure class).
+    let mut decoded_fetches = 0;
+    for entry_name in ["t32", "t64", "zfp"] {
+        let sel = EntrySel::Name(entry_name.into());
+        for fetch in fetch_matrix() {
+            let expect = run_fetch(&fx.mem, &sel, &fetch);
+            for (store_name, store) in &stores {
+                let got = run_fetch(*store, &sel, &fetch);
+                assert_eq!(
+                    got, expect,
+                    "[{store_name}] {entry_name}: {fetch:?} must match MemStore"
+                );
+            }
+            if expect.is_ok() {
+                decoded_fetches += 1;
+            }
+        }
+    }
+    // Sanity: the matrix actually exercised successes of every shape —
+    // stz entries serve all 9 fetches, the foreign entry serves
+    // full/region×2/raw.
+    assert_eq!(decoded_fetches, 9 + 9 + 4, "unexpected matrix coverage");
+
+    // Progressive and direct previews are byte-identical by construction.
+    for (store_name, store) in &stores {
+        let entry = store.open(&EntrySel::Name("t32".into())).unwrap();
+        let level = entry.fetch(&Fetch::Level(2)).unwrap();
+        let progressive = entry.fetch(&Fetch::Progressive(2)).unwrap();
+        assert_eq!(level.data, progressive.data, "{store_name} progressive == level");
+        assert_eq!(level.dims, progressive.dims, "{store_name} progressive dims");
+    }
+
+    // Error taxonomy is transport-independent for lookups too.
+    for (store_name, store) in &stores {
+        assert!(
+            matches!(store.open(&EntrySel::Name("missing".into())), Err(AccessError::NotFound(_))),
+            "{store_name} missing name"
+        );
+        assert!(
+            matches!(store.open(&EntrySel::Index(99)), Err(AccessError::NotFound(_))),
+            "{store_name} missing index"
+        );
+    }
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&fx.dir);
+}
+
+#[test]
+fn raw_fetch_matches_packed_payload_and_crc() {
+    let fx = fixture("raw");
+    let file_store = open_store(&fx.container.display().to_string()).unwrap();
+    for name in ["t32", "t64", "zfp"] {
+        let sel = EntrySel::Name(name.into());
+        let mem_raw = fx.mem.open(&sel).unwrap().fetch(&Fetch::RawSection(0)).unwrap();
+        let file_raw = file_store.open(&sel).unwrap().fetch(&Fetch::RawSection(0)).unwrap();
+        assert_eq!(mem_raw.data, file_raw.data, "{name}: payload bytes");
+        // The descriptor's CRC and length cover exactly these bytes.
+        let desc = fx.mem.open(&sel).unwrap().desc().clone();
+        assert_eq!(stz::stream::crc::crc32(&mem_raw.data), desc.payload_crc, "{name}: crc");
+        assert_eq!(mem_raw.data.len() as u64, desc.compressed_len, "{name}: length");
+    }
+    let _ = std::fs::remove_dir_all(&fx.dir);
+}
