@@ -36,12 +36,20 @@
 //! worker (its siblings already saturate the pool); this keeps the engine
 //! free of unbounded thread explosion while the outermost operation still
 //! uses every thread.
+//!
+//! ## Telemetry
+//!
+//! The engine reports `stz_pool_tasks_total` (chunks executed, on both the
+//! sequential and parallel paths), `stz_pool_steals_total` (chunks taken
+//! from a sibling's deque), and the `stz_pool_queue_depth` gauge (chunks
+//! seeded but not yet claimed) into the process-wide
+//! [`stz_telemetry::global`] registry.
 
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// Upper bound on tasks per parallel operation. Fixed (not a function of
 /// the thread count) so chunk boundaries — and therefore reduction
@@ -129,14 +137,42 @@ fn split_chunks<T>(items: Vec<T>) -> Vec<Chunk<T>> {
     chunks
 }
 
+/// Pool telemetry handles, resolved once from the global registry so the
+/// per-chunk path records through lock-free atomics.
+struct PoolMetrics {
+    tasks: Arc<stz_telemetry::Counter>,
+    steals: Arc<stz_telemetry::Counter>,
+    queue_depth: Arc<stz_telemetry::Gauge>,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = stz_telemetry::global();
+        PoolMetrics {
+            tasks: reg.counter("stz_pool_tasks_total", &[]),
+            steals: reg.counter("stz_pool_steals_total", &[]),
+            queue_depth: reg.gauge("stz_pool_queue_depth", &[]),
+        }
+    })
+}
+
 /// Pop from our own deque's front, or steal from the back of a sibling's.
+/// Every claimed chunk is about to execute, so this is where tasks are
+/// counted and the queue-depth gauge drains.
 fn pop_or_steal<T>(deques: &[Mutex<VecDeque<Chunk<T>>>], me: usize) -> Option<Chunk<T>> {
+    let m = pool_metrics();
     if let Some(job) = lock_unpoisoned(&deques[me]).pop_front() {
+        m.queue_depth.dec();
+        m.tasks.inc();
         return Some(job);
     }
     let n = deques.len();
     for step in 1..n {
         if let Some(job) = lock_unpoisoned(&deques[(me + step) % n]).pop_back() {
+            m.queue_depth.dec();
+            m.steals.inc();
+            m.tasks.inc();
             return Some(job);
         }
     }
@@ -169,6 +205,7 @@ where
     if in_worker() || threads <= 1 || chunks.len() <= 1 {
         // Same chunk layout as the parallel path, processed in order on the
         // current thread — bit-identical results by construction.
+        pool_metrics().tasks.add(chunks.len() as u64);
         return chunks.into_iter().map(|c| chunk_fn(c.items)).collect();
     }
 
@@ -179,6 +216,7 @@ where
     for chunk in chunks {
         lock_unpoisoned(&deques[chunk.seq % workers]).push_back(chunk);
     }
+    pool_metrics().queue_depth.add(total as i64);
 
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(total));
     let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
@@ -211,6 +249,11 @@ where
         }
         worker_loop(workers - 1);
     });
+
+    // On abort (a worker panicked) unclaimed chunks are dropped with the
+    // deques; settle the depth gauge before propagating the panic.
+    let leftover: usize = deques.iter().map(|d| lock_unpoisoned(d).len()).sum();
+    pool_metrics().queue_depth.sub(leftover as i64);
 
     if let Some(payload) = lock_unpoisoned(&panic_slot).take() {
         resume_unwind(payload);
@@ -405,6 +448,22 @@ mod tests {
         // The pool must remain usable after a propagated panic.
         let ok = with_pool(4, || run_chunks(vec![1, 2, 3], |c| c.len()));
         assert_eq!(ok.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn telemetry_counts_every_chunk() {
+        // The global counter is shared with concurrently running tests, so
+        // assert the delta this run is *guaranteed* to contribute.
+        let m = pool_metrics();
+        let before = m.tasks.get();
+        with_pool(4, || run_chunks((0..256).collect::<Vec<_>>(), |c| c.len()));
+        assert!(
+            m.tasks.get() >= before + MAX_TASKS as u64,
+            "a {MAX_TASKS}-chunk run must count {MAX_TASKS} tasks"
+        );
+        let before = m.tasks.get();
+        with_pool(1, || run_chunks(vec![1u8, 2, 3], |c| c.len()));
+        assert!(m.tasks.get() >= before + 3, "the sequential path counts tasks too");
     }
 
     #[test]

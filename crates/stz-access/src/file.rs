@@ -112,9 +112,12 @@ impl<S: ByteSource + 'static> Entry for FileEntry<S> {
 
     fn fetch(&self, fetch: &Fetch) -> Result<FetchedField> {
         validate_fetch(fetch, &self.desc)?;
-        match self.desc.type_tag {
+        let started = std::time::Instant::now();
+        let fetched = match self.desc.type_tag {
             0 => self.fetch_typed::<f32>(fetch),
             _ => self.fetch_typed::<f64>(fetch),
-        }
+        }?;
+        crate::record_fetch("file", fetched.data.len(), started);
+        Ok(fetched)
     }
 }

@@ -222,6 +222,19 @@ pub trait Entry: Send + Sync {
     fn fetch(&self, fetch: &Fetch) -> Result<FetchedField>;
 }
 
+/// Record one completed fetch into the process-wide telemetry registry:
+/// `stz_access_fetch_total`, `stz_access_fetch_bytes_total`, and the
+/// `stz_access_fetch_latency_ns` histogram, all labeled by `transport`
+/// (`"memory"`, `"file"`, or `"remote"`). Called by every store's
+/// [`Entry::fetch`] on success, so the three transports stay comparable.
+pub(crate) fn record_fetch(transport: &'static str, bytes: usize, started: std::time::Instant) {
+    let reg = stz_telemetry::global();
+    let labels = [("transport", transport)];
+    reg.counter("stz_access_fetch_total", &labels).inc();
+    reg.counter("stz_access_fetch_bytes_total", &labels).add(bytes as u64);
+    reg.latency("stz_access_fetch_latency_ns", &labels).record_duration(started.elapsed());
+}
+
 /// The request validation shared by every store, so malformed fetches are
 /// classified identically on every transport — before any bytes move.
 pub(crate) fn validate_fetch(fetch: &Fetch, desc: &EntryDesc) -> Result<()> {

@@ -213,10 +213,13 @@ impl Entry for MemEntry {
 
     fn fetch(&self, fetch: &Fetch) -> Result<FetchedField> {
         validate_fetch(fetch, &self.desc)?;
-        match &self.archive {
+        let started = std::time::Instant::now();
+        let fetched = match &self.archive {
             MemArchive::F32(a) => self.fetch_stz(a, fetch),
             MemArchive::F64(a) => self.fetch_stz(a, fetch),
             MemArchive::Foreign(f) => self.fetch_foreign(f, fetch),
-        }
+        }?;
+        crate::record_fetch("memory", fetched.data.len(), started);
+        Ok(fetched)
     }
 }

@@ -103,6 +103,15 @@ impl Entry for RemoteEntry {
 
     fn fetch(&self, fetch: &Fetch) -> Result<FetchedField> {
         validate_fetch(fetch, &self.desc)?;
+        let started = std::time::Instant::now();
+        let fetched = self.fetch_remote(fetch)?;
+        crate::record_fetch("remote", fetched.data.len(), started);
+        Ok(fetched)
+    }
+}
+
+impl RemoteEntry {
+    fn fetch_remote(&self, fetch: &Fetch) -> Result<FetchedField> {
         let provenance = Provenance::Remote(format!("{}/{}", self.addr, self.container));
         // Address by resolved index: the descriptor was pinned at open
         // time, so later renames cannot redirect the fetch.

@@ -14,8 +14,14 @@
 //! ```text
 //! cargo run --release -p stz-bench --bin serve_throughput \
 //!     [-- --scale 8 --threads 8 --requests 48 --out BENCH_serve.json \
-//!      --baseline bench/baseline.json --check]
+//!      --baseline bench/baseline.json --check --metrics]
 //! ```
+//!
+//! With `--metrics`, the harness also fetches the server's own telemetry
+//! registry over one `METRICS` round-trip and embeds the server-side
+//! per-kind request counts and latency quantiles as a `server` section in
+//! the JSON, printing a client-vs-server p50 comparison (the two views
+//! agree within one log-2 histogram bucket).
 //!
 //! With `--check`, the harness exits non-zero unless the
 //! repeated-request workload produced a nonzero cache hit rate, and —
@@ -46,6 +52,7 @@ const P50_REGRESSION_MARGIN: f64 = 0.10;
 fn main() {
     let opts = cli::from_env();
     let check = opts.rest.iter().any(|a| a == "--check");
+    let want_metrics = opts.rest.iter().any(|a| a == "--metrics");
     let out_path = flag_value(&opts.rest, "--out").unwrap_or_else(|| "BENCH_serve.json".into());
     let baseline_path = flag_value(&opts.rest, "--baseline");
     let requests: usize =
@@ -137,6 +144,12 @@ fn main() {
 
     let mut client = Client::connect(addr).expect("stats connection");
     let stats = client.stats().expect("stats");
+    // --metrics: one METRICS round-trip for the server's own per-kind
+    // histograms, taken while the server is still alive.
+    let server_samples = want_metrics.then(|| {
+        let text = client.metrics().expect("metrics round-trip");
+        stz_telemetry::expo::parse(&text).expect("server exposition parses")
+    });
     drop(client);
     handle.stop();
     let _ = std::fs::remove_dir_all(&dir);
@@ -184,7 +197,47 @@ fn main() {
         stats.cache_evictions
     );
 
-    let doc = obj([
+    // --- Server-side view of the same workload (--metrics). -------------
+    // The server's `stzp_request_latency_ns` histograms cover the same
+    // requests the clients timed, minus client-side connect/serialize
+    // cost, so server p50 tracks client p50 within one log-2 bucket
+    // (quantiles report the bucket's upper bound, so they can round up).
+    let server_json = server_samples.as_ref().map(|samples| {
+        let ns_to_ms = |v: f64| if v.is_finite() { v / 1e6 } else { f64::MAX };
+        let mut per_kind: Vec<(&'static str, Json)> = Vec::new();
+        for kind in by_kind.keys() {
+            let labels = [("kind", *kind)];
+            let count = stz_telemetry::expo::sample_value(samples, "stzp_requests_total", &labels)
+                .unwrap_or(0.0) as u64;
+            let q = |q: f64| {
+                stz_telemetry::expo::histogram_quantile(
+                    samples,
+                    "stzp_request_latency_ns",
+                    &labels,
+                    q,
+                )
+                .map(ns_to_ms)
+            };
+            let (p50, p99) = (q(0.50), q(0.99));
+            println!(
+                "# server [{kind}]: {count} requests, p50 {} ms (client {:.3} ms), p99 {} ms",
+                p50.map_or("-".into(), |v| format!("{v:.3}")),
+                p50_by_kind.get(kind).copied().unwrap_or(0.0),
+                p99.map_or("-".into(), |v| format!("{v:.3}")),
+            );
+            per_kind.push((
+                kind,
+                obj([
+                    ("count", count.into()),
+                    ("p50_ms", p50.unwrap_or(0.0).into()),
+                    ("p99_ms", p99.unwrap_or(0.0).into()),
+                ]),
+            ));
+        }
+        obj(per_kind)
+    });
+
+    let mut fields_json: Vec<(&'static str, Json)> = vec![
         ("schema", "stz-bench/serve/v1".into()),
         ("scale", opts.scale.into()),
         ("seed", (opts.seed as usize).into()),
@@ -209,7 +262,11 @@ fn main() {
         ),
         ("kinds", obj(kinds_json)),
         ("byte_identity", true.into()),
-    ]);
+    ];
+    if let Some(server) = server_json {
+        fields_json.push(("server", server));
+    }
+    let doc = obj(fields_json);
     std::fs::write(&out_path, format!("{doc}\n")).expect("write BENCH_serve.json");
     println!("# wrote {out_path}");
 

@@ -23,6 +23,7 @@ USAGE:
 
   stz serve      -i <dir|container> [--addr <host:port>] [--cache-mb <MB>]
                  [--max-conns <N>] [--threads <N>]
+  stz stats      --from <location> [--json]
 
 Raw files are flat little-endian arrays in C order (x fastest).
 Containers (.stzc) hold one entry per input file, named by file stem; preview
@@ -48,7 +49,11 @@ effective width is capped at the input count (one input parallelizes
 internally instead).
 serve hosts every .stzc under a directory over the STZP binary protocol
 (port 0 picks an ephemeral port, printed on startup). --json prints the
-machine-readable entry table, identical for every transport.";
+machine-readable entry table, identical for every transport.
+stats renders the telemetry registry as a sorted table (histograms fold to
+count/p50/p99): for stz:// locations it fetches the server's live registry
+over one METRICS round-trip; for local paths it opens the store and shows
+the counters the read populated in this process.";
 
 /// Parsed command line: subcommand + flag map.
 #[derive(Debug)]

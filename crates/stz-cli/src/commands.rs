@@ -17,7 +17,7 @@ use stz_backend::{registry, BackendScalar, Codec, ErrorBound};
 use stz_core::{InterpKind, StzArchive, StzCompressor, StzConfig};
 use stz_data::io::{read_raw, write_raw};
 use stz_field::{Field, Scalar};
-use stz_serve::{ServeOptions, Server};
+use stz_serve::{Client, ServeOptions, Server};
 use stz_stream::{pack_pipelined, ForeignArchive};
 
 /// Resolve `--backend` (default: the native stz engine).
@@ -74,6 +74,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "list" => list(&p),
         "inspect" => inspect(&p),
         "serve" => serve(&p),
+        "stats" => stats(&p),
         // Hidden aliases (one release): the pre-URI remote twins
         // (remote_list / remote_inspect / remote_extract / remote_preview
         // as dedicated functions) are gone — each alias rewrites its
@@ -618,6 +619,35 @@ fn print_inspect(source: &str, entries: &[stz_access::EntryDesc], json: bool) {
     }
 }
 
+/// `stats`: the telemetry registry of a location, rendered as a sorted
+/// table (or `--json`). `stz://` locations fetch the **server's** live
+/// registry over one `METRICS` round-trip; local paths open the store and
+/// render this process's registry — the counters the open itself
+/// populated (container footer reads, fetch counters from prior verbs in
+/// the same process).
+fn stats(p: &Parsed) -> Result<(), String> {
+    let from = resolve_from(p)?;
+    let text = match Location::parse(&from).map_err(|e| e.to_string())? {
+        Location::Remote { addr, .. } => {
+            let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+            client.metrics().map_err(|e| e.to_string())?
+        }
+        Location::Path(_) => {
+            let store = store_at(&from)?;
+            store.list().map_err(|e| e.to_string())?;
+            stz_telemetry::global().render()
+        }
+    };
+    let samples = stz_telemetry::expo::parse(&text)
+        .map_err(|e| format!("bad metrics exposition from {from}: {e}"))?;
+    if p.switch("--json") {
+        println!("{}", fmt::render_metrics_json(&from, &samples));
+    } else {
+        print!("{}", fmt::render_metrics_text(&from, &samples));
+    }
+    Ok(())
+}
+
 /// Start the archive server (blocking; ^C to stop).
 fn serve(p: &Parsed) -> Result<(), String> {
     let root = Path::new(p.required("-i")?);
@@ -1141,6 +1171,12 @@ mod tests {
         // Unknown container errors cleanly over the wire.
         assert!(run(&argv(&["inspect".into(), "--from".into(), format!("stz://{addr}/nope"),]))
             .is_err());
+
+        // stats works against the live server (table and JSON) and
+        // against the local container (this process's registry).
+        run(&argv(&["stats".into(), "--from".into(), uri.clone()])).unwrap();
+        run(&argv(&["stats".into(), "--from".into(), uri.clone(), "--json".into()])).unwrap();
+        run(&argv(&["stats".into(), "--from".into(), container.display().to_string()])).unwrap();
 
         handle.stop();
         let _ = std::fs::remove_dir_all(&d);

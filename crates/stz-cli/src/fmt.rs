@@ -1,11 +1,15 @@
-//! The entry-table formatter shared by every `inspect` transport.
+//! The entry-table formatter shared by every `inspect` transport, plus
+//! the `stz stats` metric-table renderer.
 //!
 //! All transports produce the same [`EntryDesc`] rows — from a resident
 //! archive, a container footer, or an `INSPECT_OK` frame — and render them
 //! here, either human-readable or as a machine-readable JSON document
-//! (`--json`). One formatter means the views cannot drift.
+//! (`--json`). One formatter means the views cannot drift. Likewise `stats`
+//! parses one exposition document (local render or `METRICS_OK` payload)
+//! into [`Sample`]s and renders them here for every transport.
 
 use stz_access::EntryDesc;
+use stz_telemetry::expo::{histogram_quantile, sample_value, Sample};
 
 /// Render the human-readable entry table.
 pub fn render_text(source: &str, entries: &[EntryDesc]) -> String {
@@ -79,6 +83,161 @@ pub fn render_json(source: &str, entries: &[EntryDesc]) -> String {
         out.push_str("    }");
     }
     out.push_str(if entries.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push('}');
+    out
+}
+
+/// A histogram folded to one row: its series key (without the `le`
+/// label), total count and sum, and nearest-rank p50/p99 bucket bounds.
+struct HistRow {
+    key: String,
+    count: u64,
+    sum: f64,
+    p50: Option<f64>,
+    p99: Option<f64>,
+}
+
+/// The full `name{labels}` series key for a metric.
+fn series_key(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{name}{{{}}}", pairs.join(","))
+}
+
+/// Fold every exposed histogram (recognized by its `_bucket`+`le`
+/// samples) into one [`HistRow`], sorted by series key.
+fn histogram_rows(samples: &[Sample]) -> Vec<HistRow> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut rows = Vec::new();
+    for s in samples {
+        let Some(base) = s.name.strip_suffix("_bucket") else { continue };
+        if s.label("le").is_none() {
+            continue;
+        }
+        let labels: Vec<(String, String)> =
+            s.labels.iter().filter(|(k, _)| k != "le").cloned().collect();
+        let key = series_key(base, &labels);
+        if !seen.insert(key.clone()) {
+            continue;
+        }
+        let with: Vec<(&str, &str)> =
+            labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        rows.push(HistRow {
+            key,
+            count: sample_value(samples, &format!("{base}_count"), &with).unwrap_or(0.0) as u64,
+            sum: sample_value(samples, &format!("{base}_sum"), &with).unwrap_or(0.0),
+            p50: histogram_quantile(samples, base, &with, 0.5),
+            p99: histogram_quantile(samples, base, &with, 0.99),
+        });
+    }
+    rows.sort_by(|a, b| a.key.cmp(&b.key));
+    rows
+}
+
+/// The scalar (counter/gauge) samples: everything that is not part of a
+/// folded histogram's bucket/count/sum series, sorted by series key.
+fn scalar_rows(samples: &[Sample]) -> Vec<(String, f64)> {
+    let hist_keys: std::collections::BTreeSet<String> =
+        histogram_rows(samples).into_iter().map(|r| r.key).collect();
+    let belongs_to_histogram = |s: &Sample| {
+        for suffix in ["_bucket", "_count", "_sum"] {
+            if let Some(base) = s.name.strip_suffix(suffix) {
+                let labels: Vec<(String, String)> =
+                    s.labels.iter().filter(|(k, _)| k != "le").cloned().collect();
+                if hist_keys.contains(&series_key(base, &labels)) {
+                    return true;
+                }
+            }
+        }
+        false
+    };
+    let mut rows: Vec<(String, f64)> = samples
+        .iter()
+        .filter(|s| !belongs_to_histogram(s))
+        .map(|s| (series_key(&s.name, &s.labels), s.value))
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
+/// An exposition value for the table: integers stay integral, `+Inf`
+/// (a quantile landing in the overflow bucket) renders as itself.
+fn metric_num(v: f64) -> String {
+    if v.is_infinite() {
+        return if v > 0.0 { "+Inf".into() } else { "-Inf".into() };
+    }
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the human-readable `stz stats` table: one line per counter or
+/// gauge, histograms folded to `count/p50/p99`, sorted by series key.
+pub fn render_metrics_text(source: &str, samples: &[Sample]) -> String {
+    let scalars = scalar_rows(samples);
+    let hists = histogram_rows(samples);
+    let mut rows: Vec<(String, String)> =
+        scalars.into_iter().map(|(key, v)| (key, metric_num(v))).collect();
+    rows.extend(hists.into_iter().map(|r| {
+        let q = |v: Option<f64>| v.map_or("-".to_string(), metric_num);
+        (
+            r.key,
+            format!(
+                "count={} p50={} p99={} sum={}",
+                r.count,
+                q(r.p50),
+                q(r.p99),
+                metric_num(r.sum)
+            ),
+        )
+    }));
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!("metrics for:     {source}\n"));
+    out.push_str(&format!("series:          {}\n", rows.len()));
+    for (key, value) in &rows {
+        out.push_str(&format!("  {key:<width$}  {value}\n"));
+    }
+    out
+}
+
+/// Render the machine-readable `stz stats` document: scalar series as a
+/// key→value object, histograms folded with `null` for quantiles in the
+/// overflow bucket.
+pub fn render_metrics_json(source: &str, samples: &[Sample]) -> String {
+    let json_q = |v: Option<f64>| match v {
+        Some(v) if v.is_finite() => json_f64(v),
+        _ => "null".to_string(),
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"source\": {},\n", json_str(source)));
+    out.push_str("  \"scalars\": {");
+    let scalars = scalar_rows(samples);
+    for (i, (key, v)) in scalars.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!("    {}: {}", json_str(key), json_q(Some(*v))));
+    }
+    out.push_str(if scalars.is_empty() { "},\n" } else { "\n  },\n" });
+    out.push_str("  \"histograms\": [");
+    let hists = histogram_rows(samples);
+    for (i, r) in hists.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"key\": {}, \"count\": {}, \"sum\": {}, \"p50\": {}, \"p99\": {}}}",
+            json_str(&r.key),
+            r.count,
+            json_f64(r.sum),
+            json_q(r.p50),
+            json_q(r.p99)
+        ));
+    }
+    out.push_str(if hists.is_empty() { "]\n" } else { "\n  ]\n" });
     out.push('}');
     out
 }
@@ -187,5 +346,65 @@ mod tests {
         let json = render_json("empty", &[]);
         assert!(json.contains("\"entries\": []"));
         assert!(render_text("empty", &[]).contains("entries:         0"));
+    }
+
+    fn metric_samples() -> Vec<Sample> {
+        let r = stz_telemetry::Registry::new();
+        r.counter("stzp_requests_total", &[("kind", "full")]).add(7);
+        r.gauge("stzp_connections_active", &[]).set(2);
+        let h = r.histogram("stzp_request_latency_ns", &[("kind", "full")], 100);
+        for v in [80, 150, 150, 150] {
+            h.record(v);
+        }
+        stz_telemetry::expo::parse(&r.render()).expect("own exposition parses")
+    }
+
+    #[test]
+    fn metrics_table_folds_histograms() {
+        let text = render_metrics_text("stz://host:1/steps", &metric_samples());
+        assert!(text.contains("metrics for:     stz://host:1/steps"), "{text}");
+        assert!(text.contains("stzp_requests_total{kind=\"full\"}"), "{text}");
+        assert!(text.contains("stzp_connections_active"), "{text}");
+        // One folded row per histogram, no raw bucket/count/sum lines.
+        assert!(text.contains("count=4 p50=200 p99=200"), "{text}");
+        assert!(!text.contains("_bucket"), "buckets must fold: {text}");
+        assert!(!text.contains("_count"), "counts must fold: {text}");
+        // Sorted by series key.
+        let conns = text.find("stzp_connections_active").unwrap();
+        let reqs = text.find("stzp_requests_total").unwrap();
+        assert!(conns < reqs, "table must sort by key: {text}");
+    }
+
+    #[test]
+    fn metrics_json_is_structured() {
+        let json = render_metrics_json("local", &metric_samples());
+        assert!(json.contains("\"source\": \"local\""), "{json}");
+        assert!(json.contains("\"stzp_requests_total{kind=\\\"full\\\"}\": 7"), "{json}");
+        assert!(json.contains("\"count\": 4"), "{json}");
+        assert!(json.contains("\"p50\": 200"), "{json}");
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            // Series keys contribute braces inside strings; strip strings
+            // crudely by dropping quoted spans before balancing.
+            let mut bare = String::new();
+            let mut in_str = false;
+            let mut prev = ' ';
+            for c in json.chars() {
+                if c == '"' && prev != '\\' {
+                    in_str = !in_str;
+                } else if !in_str {
+                    bare.push(c);
+                }
+                prev = c;
+            }
+            assert_eq!(bare.matches(open).count(), bare.matches(close).count());
+        }
+    }
+
+    #[test]
+    fn empty_metrics_render() {
+        assert!(render_metrics_text("x", &[]).contains("series:          0"));
+        let json = render_metrics_json("x", &[]);
+        assert!(json.contains("\"scalars\": {}"));
+        assert!(json.contains("\"histograms\": []"));
     }
 }

@@ -77,11 +77,20 @@ impl StzCompressor {
         }
         let ebs = cfg.level_ebs_from_absolute(eb_abs);
 
+        // Per-stage wall-clock histograms (resolved once; the per-block
+        // closures record through the lock-free handles).
+        let reg = stz_telemetry::global();
+        let quantize_ns = reg.latency("stz_core_stage_ns", &[("stage", "quantize")]);
+        let encode_ns = reg.latency("stz_core_stage_ns", &[("stage", "encode")]);
+
         // Level 1: SZ3 on sub-block A.
         let a_field: Field<T> = plan.level1().gather(field);
         let sz3_cfg =
             Sz3Config { eb: ErrorBound::Absolute(ebs[0]), radius: cfg.radius, interp: cfg.interp };
-        let (l1_bytes, _stats, a_recon) = stz_sz3::compress_full(&a_field, &sz3_cfg);
+        let (l1_bytes, _stats, a_recon) = {
+            let _stage = stz_telemetry::span!("stz_core_stage_ns", "stage" => "level1");
+            stz_sz3::compress_full(&a_field, &sz3_cfg)
+        };
         let mut grid = Field::from_vec(plan.levels[0].grid_dims, a_recon);
 
         // Finer levels.
@@ -93,8 +102,14 @@ impl StzCompressor {
 
             let process = |block: &BlockSpec| -> (Vec<u8>, Field<f64>) {
                 let orig: Field<T> = block.lattice.gather(field);
-                let payload = quantize_block(&orig, &next, block, &quant, cfg.interp, parallel);
-                let bytes = encode_block_payload(&payload, parallel);
+                let payload = {
+                    let _stage = quantize_ns.span();
+                    quantize_block(&orig, &next, block, &quant, cfg.interp, parallel)
+                };
+                let bytes = {
+                    let _stage = encode_ns.span();
+                    encode_block_payload(&payload, parallel)
+                };
                 let recon_field = Field::from_vec(block.lattice.dims(), payload.recon);
                 (bytes, recon_field)
             };

@@ -20,14 +20,16 @@
 //! * **Oversized values bypass.** A value larger than a whole shard's
 //!   budget is returned to the caller but never inserted — one giant ROI
 //!   cannot wipe the cache.
-//! * **Counters.** Hits, misses, insertions and evictions are process-wide
-//!   atomics, exposed over the wire via the `STATS` frame.
+//! * **Counters.** Hits, misses, insertions and evictions are per-instance
+//!   [`stz_telemetry::Counter`]s, exposed over the wire via the `STATS`
+//!   frame and — once [`DecodedCache::register_metrics`] has published the
+//!   handles — via the `METRICS` exposition.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use stz_telemetry::{Counter, Metric, Registry};
 
 use crate::proto::RequestKind;
 
@@ -82,10 +84,10 @@ pub struct CacheCounters {
 pub struct DecodedCache {
     shards: Vec<Mutex<Shard>>,
     per_shard_budget: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    insertions: Arc<Counter>,
+    evictions: Arc<Counter>,
     capacity: u64,
 }
 
@@ -101,11 +103,26 @@ impl DecodedCache {
         DecodedCache {
             shards: (0..Self::SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard_budget,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            insertions: Arc::new(Counter::new()),
+            evictions: Arc::new(Counter::new()),
             capacity: budget_bytes,
+        }
+    }
+
+    /// Publish this cache's counters into `registry` under the
+    /// `stz_serve_cache_*_total` names. The cache keeps the handles (its
+    /// per-instance accounting is unchanged); the registry renders them.
+    /// Last registration wins, so the serving cache is the one exposed.
+    pub fn register_metrics(&self, registry: &Registry) {
+        for (name, counter) in [
+            ("stz_serve_cache_hits_total", &self.hits),
+            ("stz_serve_cache_misses_total", &self.misses),
+            ("stz_serve_cache_insertions_total", &self.insertions),
+            ("stz_serve_cache_evictions_total", &self.evictions),
+        ] {
+            registry.register(name, &[], Metric::Counter(Arc::clone(counter)));
         }
     }
 
@@ -123,11 +140,11 @@ impl DecodedCache {
         match shard.map.get_mut(key) {
             Some(slot) => {
                 slot.last_used = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(Arc::clone(&slot.value))
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -150,7 +167,7 @@ impl DecodedCache {
             // concurrently): swap the byte accounting, nothing to evict.
             shard.bytes -= old.value.len();
         } else {
-            self.insertions.fetch_add(1, Ordering::Relaxed);
+            self.insertions.inc();
         }
         shard.bytes += value.len();
         while shard.bytes > self.per_shard_budget {
@@ -161,7 +178,7 @@ impl DecodedCache {
             };
             let removed = shard.map.remove(&lru).expect("key just found in this shard");
             shard.bytes -= removed.value.len();
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
     }
 
@@ -176,10 +193,10 @@ impl DecodedCache {
             })
             .fold((0, 0), |(e, b), (se, sb)| (e + se, b + sb));
         CacheCounters {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            insertions: self.insertions.get(),
+            evictions: self.evictions.get(),
             entries,
             bytes,
             capacity: self.capacity,
@@ -273,6 +290,22 @@ mod tests {
         cache.insert(k.clone(), block(1, 0));
         assert!(cache.get(&k).is_none());
         assert_eq!(cache.counters().bytes, 0);
+    }
+
+    #[test]
+    fn registered_counters_render_in_the_exposition() {
+        let registry = Registry::new();
+        let cache = DecodedCache::new(1 << 20);
+        cache.register_metrics(&registry);
+        let k = key("steps", 0, RequestKind::Full);
+        cache.get(&k);
+        cache.insert(k.clone(), block(10, 1));
+        cache.get(&k);
+        let text = registry.render();
+        assert!(text.contains("stz_serve_cache_hits_total 1"), "{text}");
+        assert!(text.contains("stz_serve_cache_misses_total 1"), "{text}");
+        assert!(text.contains("stz_serve_cache_insertions_total 1"), "{text}");
+        assert!(text.contains("stz_serve_cache_evictions_total 0"), "{text}");
     }
 
     #[test]

@@ -97,6 +97,13 @@ impl Client {
         ServerStats::decode(&expect(reply, FrameType::StatsOk)?)
     }
 
+    /// The server's telemetry exposition (versioned Prometheus-style
+    /// text; parse it with [`stz_telemetry::expo::parse`]).
+    pub fn metrics(&mut self) -> Result<String> {
+        let reply = self.roundtrip(FrameType::Metrics, &[])?;
+        crate::proto::decode_metrics_ok(&expect(reply, FrameType::MetricsOk)?)
+    }
+
     /// Issue any decoded fetch ([`RequestKind::Raw`] has its own method).
     pub fn fetch(&mut self, req: &FetchReq) -> Result<FetchedField> {
         if req.kind == RequestKind::Raw {

@@ -37,6 +37,7 @@
 //! | `FETCH_PROGRESSIVE`  | `FETCH_OK`   | level-k preview decode |
 //! | `FETCH_RAW_SECTION`  | `RAW_OK`     | the compressed payload bytes |
 //! | `STATS`              | `STATS_OK`   | request + cache counters |
+//! | `METRICS`            | `METRICS_OK` | versioned text exposition of the server's telemetry registry |
 //! | —                    | `ERR`        | any failure (code + message) |
 //!
 //! `FETCH_OK` carries the decoded field as dims + element type + raw
@@ -101,6 +102,8 @@ pub enum FrameType {
     RawOk = 0x27,
     Stats = 0x30,
     StatsOk = 0x31,
+    Metrics = 0x32,
+    MetricsOk = 0x33,
     Err = 0x7F,
 }
 
@@ -123,6 +126,8 @@ impl FrameType {
             0x27 => RawOk,
             0x30 => Stats,
             0x31 => StatsOk,
+            0x32 => Metrics,
+            0x33 => MetricsOk,
             0x7F => Err,
             _ => return None,
         })
@@ -835,6 +840,32 @@ impl ServerStats {
             self.cache_hits as f64 / total as f64
         }
     }
+}
+
+/// Encode a `METRICS_OK` payload: one exposition-version byte (so a
+/// consumer can reject grammars it does not understand before parsing a
+/// single line) followed by the u32-length-prefixed exposition text.
+pub fn encode_metrics_ok(text: &str) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(stz_telemetry::EXPOSITION_VERSION);
+    e.string(text);
+    e.finish()
+}
+
+/// Decode a `METRICS_OK` payload into the exposition text. Rejects an
+/// unknown exposition version, a truncated payload, and trailing bytes.
+pub fn decode_metrics_ok(payload: &[u8]) -> Result<String> {
+    let mut d = Dec::new(payload);
+    let version = d.u8()?;
+    if version != stz_telemetry::EXPOSITION_VERSION {
+        return Err(ServeError::protocol(format!(
+            "exposition version {version} is not the v{} this build understands",
+            stz_telemetry::EXPOSITION_VERSION
+        )));
+    }
+    let text = d.string()?;
+    d.expect_end()?;
+    Ok(text)
 }
 
 /// Encode an `ERR` payload.

@@ -12,18 +12,19 @@
 use crate::cache::{CacheKey, DecodedCache};
 use crate::error::{Result, ServeError};
 use crate::proto::{
-    encode_err, encode_inspect, encode_list, err_code, read_frame, write_frame, ContainerInfo,
-    EntryInfo, EntrySel, FetchReq, FetchedField, Frame, FrameType, RequestKind, ServerStats,
-    PROTO_VERSION,
+    encode_err, encode_inspect, encode_list, encode_metrics_ok, err_code, read_frame, write_frame,
+    ContainerInfo, EntryInfo, EntrySel, FetchReq, FetchedField, Frame, FrameType, RequestKind,
+    ServerStats, PROTO_VERSION,
 };
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use stz_backend::BackendScalar;
 use stz_stream::{ByteSource, ContainerReader, FileSource, StreamError};
+use stz_telemetry::{log_debug, log_warn, Counter, Gauge, Histogram, Registry};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -67,6 +68,55 @@ struct Hosted {
     file_len: u64,
 }
 
+/// Request-kind labels used on the per-kind metrics; the last entry is
+/// the bucket for frame types this server does not recognize.
+const KIND_LABELS: [&str; 9] =
+    ["list", "inspect", "stats", "metrics", "full", "roi", "progressive", "raw", "unknown"];
+
+/// Telemetry handles for one request kind.
+#[derive(Debug)]
+struct KindMetrics {
+    requests: Arc<Counter>,
+    latency: Arc<Histogram>,
+    bytes: Arc<Histogram>,
+}
+
+/// All server-side telemetry handles, resolved once at bind time so the
+/// request path never touches the registry lock.
+#[derive(Debug)]
+struct ServeMetrics {
+    /// Parallel to [`KIND_LABELS`].
+    kinds: Vec<KindMetrics>,
+    connections_total: Arc<Counter>,
+    connections_active: Arc<Gauge>,
+    connections_rejected: Arc<Counter>,
+    decode_ns: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn resolve(reg: &Registry) -> ServeMetrics {
+        ServeMetrics {
+            kinds: KIND_LABELS
+                .iter()
+                .map(|kind| KindMetrics {
+                    requests: reg.counter("stzp_requests_total", &[("kind", kind)]),
+                    latency: reg.latency("stzp_request_latency_ns", &[("kind", kind)]),
+                    bytes: reg.histogram("stzp_response_bytes", &[("kind", kind)], 64),
+                })
+                .collect(),
+            connections_total: reg.counter("stzp_connections_total", &[]),
+            connections_active: reg.gauge("stzp_connections_active", &[]),
+            connections_rejected: reg.counter("stzp_connections_rejected_total", &[]),
+            decode_ns: reg.latency("stz_serve_decode_ns", &[]),
+        }
+    }
+
+    fn kind(&self, label: &str) -> &KindMetrics {
+        let i = KIND_LABELS.iter().position(|k| *k == label).unwrap_or(KIND_LABELS.len() - 1);
+        &self.kinds[i]
+    }
+}
+
 /// State shared by the accept loop and every connection thread.
 #[derive(Debug)]
 struct ServerState {
@@ -78,6 +128,7 @@ struct ServerState {
     max_conns: usize,
     read_timeout: Option<Duration>,
     shutdown: AtomicBool,
+    metrics: ServeMetrics,
 }
 
 /// A bound (but not yet accepting) archive server.
@@ -101,17 +152,20 @@ impl Server {
             .num_threads(opts.threads)
             .build()
             .map_err(|e| ServeError::protocol(format!("cannot build thread pool: {e}")))?;
+        let cache = DecodedCache::new(opts.cache_bytes);
+        cache.register_metrics(stz_telemetry::global());
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
                 containers,
-                cache: DecodedCache::new(opts.cache_bytes),
+                cache,
                 pool,
                 requests: AtomicU64::new(0),
                 active: AtomicUsize::new(0),
                 max_conns: opts.max_conns.max(1),
                 read_timeout: opts.read_timeout,
                 shutdown: AtomicBool::new(false),
+                metrics: ServeMetrics::resolve(stz_telemetry::global()),
             }),
         })
     }
@@ -142,15 +196,21 @@ impl Server {
             let stream = match conn {
                 Ok(stream) => stream,
                 Err(e) => {
-                    eprintln!("stz-serve: accept failed: {e}");
+                    log_warn!("stz-serve", "accept failed: {e}");
                     continue;
                 }
             };
+            self.state.metrics.connections_total.inc();
+            let peer = peer_label(&stream);
             // Claim the connection slot *before* spawning, so the cap is
             // enforced here, not in a thread that already exists.
             let active = self.state.active.fetch_add(1, Ordering::SeqCst) + 1;
+            self.state.metrics.connections_active.inc();
             if active > self.state.max_conns + BUSY_HEADROOM {
                 self.state.active.fetch_sub(1, Ordering::SeqCst);
+                self.state.metrics.connections_active.dec();
+                self.state.metrics.connections_rejected.inc();
+                log_debug!("stz-serve", "shedding connection over busy headroom"; "peer" => peer);
                 drop(stream);
                 continue;
             }
@@ -158,12 +218,13 @@ impl Server {
             let state = Arc::clone(&self.state);
             let spawned =
                 std::thread::Builder::new().name("stz-serve-conn".into()).spawn(move || {
-                    let _guard = ActiveGuard(&state.active);
+                    let _guard = ActiveGuard(&state);
                     handle_connection(&state, stream, busy);
                 });
             if let Err(e) = spawned {
                 self.state.active.fetch_sub(1, Ordering::SeqCst);
-                eprintln!("stz-serve: cannot spawn connection thread: {e}");
+                self.state.metrics.connections_active.dec();
+                log_warn!("stz-serve", "cannot spawn connection thread: {e}"; "peer" => peer);
             }
         }
         Ok(())
@@ -243,20 +304,28 @@ fn scan_containers(root: &Path) -> Result<BTreeMap<String, Hosted>> {
                 let file_len = reader.source().len();
                 out.insert(name, Hosted { reader, file_len });
             }
-            Err(e) => eprintln!("stz-serve: skipping {}: {e}", path.display()),
+            Err(e) => {
+                log_warn!("stz-serve", "skipping unreadable container: {e}"; "path" => path.display())
+            }
         }
     }
     Ok(out)
 }
 
-/// Decrement the active-connection counter when a connection thread
-/// exits, however it exits.
-struct ActiveGuard<'a>(&'a AtomicUsize);
+/// Decrement the active-connection count (and its gauge) when a
+/// connection thread exits, however it exits.
+struct ActiveGuard<'a>(&'a ServerState);
 
 impl Drop for ActiveGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+        self.0.metrics.connections_active.dec();
     }
+}
+
+/// The peer address as a log label (`"?"` when the socket cannot say).
+fn peer_label(stream: &TcpStream) -> String {
+    stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into())
 }
 
 fn handle_connection(state: &ServerState, mut stream: TcpStream, busy: bool) {
@@ -264,6 +333,9 @@ fn handle_connection(state: &ServerState, mut stream: TcpStream, busy: bool) {
     let _ = stream.set_read_timeout(state.read_timeout);
     let _ = stream.set_write_timeout(state.read_timeout);
     if busy {
+        state.metrics.connections_rejected.inc();
+        log_debug!("stz-serve", "connection over limit answered BUSY";
+            "peer" => peer_label(&stream));
         let payload = encode_err(err_code::BUSY, "server is at its connection limit");
         let _ = write_frame(&mut stream, FrameType::Err, &payload);
         return;
@@ -274,8 +346,14 @@ fn handle_connection(state: &ServerState, mut stream: TcpStream, busy: bool) {
     if let Err(e) = serve_loop(state, &mut stream) {
         let (code, msg) = match &e {
             ServeError::Protocol(msg) => (err_code::BAD_REQUEST, msg.clone()),
-            _ => return, // I/O errors: the socket is gone, nothing to say
+            _ => {
+                // I/O errors: the socket is gone, nothing to say to the
+                // peer — note it for anyone watching at debug.
+                log_debug!("stz-serve", "connection dropped: {e}"; "peer" => peer_label(&stream));
+                return;
+            }
         };
+        log_warn!("stz-serve", "rejecting connection: {msg}"; "peer" => peer_label(&stream));
         let _ = write_frame(&mut stream, FrameType::Err, &encode_err(code, &msg));
     }
 }
@@ -307,13 +385,55 @@ fn serve_loop(state: &ServerState, stream: &mut TcpStream) -> Result<()> {
     Ok(())
 }
 
+/// A response body: freshly encoded bytes, or a shared cached block.
+enum Body {
+    Owned(Vec<u8>),
+    Cached(Arc<Vec<u8>>),
+}
+
+impl Body {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Owned(v) => v,
+            Body::Cached(v) => v,
+        }
+    }
+}
+
+/// The metric `kind` label of one request frame (see [`KIND_LABELS`]).
+fn frame_kind(frame: &Frame) -> &'static str {
+    match frame.frame_type() {
+        Some(FrameType::List) => "list",
+        Some(FrameType::Inspect) => "inspect",
+        Some(FrameType::Stats) => "stats",
+        Some(FrameType::Metrics) => "metrics",
+        Some(FrameType::FetchFull) => "full",
+        Some(FrameType::FetchRoi) => "roi",
+        Some(FrameType::FetchProgressive) => "progressive",
+        Some(FrameType::FetchRawSection) => "raw",
+        _ => "unknown",
+    }
+}
+
 /// Answer one request frame. Request-level failures are answered with
 /// `ERR` and the connection stays up; only framing/socket failures
-/// propagate and tear it down.
+/// propagate and tear it down. Every reply — `ERR` included — flows
+/// through this single write site, which records the request count,
+/// wall-clock latency, and response size under the frame's `kind` label.
 fn dispatch(state: &ServerState, stream: &mut TcpStream, frame: Frame) -> Result<()> {
-    let reply_err = |stream: &mut TcpStream, code: u16, msg: &str| {
-        write_frame(stream, FrameType::Err, &encode_err(code, msg))
-    };
+    let m = state.metrics.kind(frame_kind(&frame));
+    m.requests.inc();
+    let started = Instant::now();
+    let (reply, body) = respond(state, &frame)?;
+    let result = write_frame(stream, reply, body.as_slice());
+    m.latency.record_duration(started.elapsed());
+    m.bytes.record(body.as_slice().len() as u64);
+    result
+}
+
+/// Build the reply to one request frame.
+fn respond(state: &ServerState, frame: &Frame) -> Result<(FrameType, Body)> {
+    let err = |code: u16, msg: &str| Ok((FrameType::Err, Body::Owned(encode_err(code, msg))));
     match frame.frame_type() {
         Some(FrameType::List) => {
             let list: Vec<ContainerInfo> = state
@@ -325,7 +445,7 @@ fn dispatch(state: &ServerState, stream: &mut TcpStream, frame: Frame) -> Result
                     file_len: hosted.file_len,
                 })
                 .collect();
-            write_frame(stream, FrameType::ListOk, &encode_list(&list))
+            Ok((FrameType::ListOk, Body::Owned(encode_list(&list))))
         }
         Some(FrameType::Inspect) => {
             let mut d = crate::proto::Dec::new(&frame.payload);
@@ -335,13 +455,9 @@ fn dispatch(state: &ServerState, stream: &mut TcpStream, frame: Frame) -> Result
                 Some(hosted) => {
                     let entries: Vec<EntryInfo> =
                         hosted.reader.entries().map(|m| EntryInfo::from_meta(&m)).collect();
-                    write_frame(stream, FrameType::InspectOk, &encode_inspect(&entries))
+                    Ok((FrameType::InspectOk, Body::Owned(encode_inspect(&entries))))
                 }
-                None => reply_err(
-                    stream,
-                    err_code::NOT_FOUND,
-                    &format!("no hosted container named {name:?}"),
-                ),
+                None => err(err_code::NOT_FOUND, &format!("no hosted container named {name:?}")),
             }
         }
         Some(FrameType::Stats) => {
@@ -356,7 +472,11 @@ fn dispatch(state: &ServerState, stream: &mut TcpStream, frame: Frame) -> Result
                 cache_bytes: c.bytes,
                 cache_capacity: c.capacity,
             };
-            write_frame(stream, FrameType::StatsOk, &stats.encode())
+            Ok((FrameType::StatsOk, Body::Owned(stats.encode())))
+        }
+        Some(FrameType::Metrics) => {
+            let text = stz_telemetry::global().render();
+            Ok((FrameType::MetricsOk, Body::Owned(encode_metrics_ok(&text))))
         }
         Some(
             ft @ (FrameType::FetchFull
@@ -372,15 +492,14 @@ fn dispatch(state: &ServerState, stream: &mut TcpStream, frame: Frame) -> Result
                     } else {
                         FrameType::FetchOk
                     };
-                    write_frame(stream, reply, &payload)
+                    Ok((reply, Body::Cached(payload)))
                 }
-                Err((code, msg)) => reply_err(stream, code, &msg),
+                Err((code, msg)) => err(code, &msg),
             }
         }
         // HELLO twice, response types, or a frame type from the future:
         // answer ERR, keep the connection.
-        _ => reply_err(
-            stream,
+        _ => err(
             err_code::BAD_REQUEST,
             &format!("frame type 0x{:02x} is not a request this server knows", frame.kind),
         ),
@@ -471,13 +590,14 @@ fn handle_fetch(
         return Ok(cached);
     }
 
-    let decoded = state
-        .pool
-        .install(|| match meta.type_tag() {
+    let decoded = {
+        let _decode = state.metrics.decode_ns.span();
+        state.pool.install(|| match meta.type_tag() {
             0 => decode_block::<f32>(reader, index, &req.kind),
             _ => decode_block::<f64>(reader, index, &req.kind),
         })
-        .map_err(|e| stream_err(&e))?;
+    }
+    .map_err(|e| stream_err(&e))?;
     // Backstop for the one kind whose size is only known post-decode
     // (level previews): never hand `write_frame` a payload it will
     // refuse — that would read as a framing error and tear the

@@ -15,7 +15,45 @@
 use std::fs::File;
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use stz_telemetry::{Counter, Histogram};
+
+/// Per-transport read telemetry: calls, bytes, and positioned-read
+/// latency, registered in the process-wide [`stz_telemetry::global`]
+/// registry under a `transport` label.
+struct ReadMetrics {
+    calls: Arc<Counter>,
+    bytes: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
+impl ReadMetrics {
+    fn resolve(transport: &'static str) -> ReadMetrics {
+        let reg = stz_telemetry::global();
+        let labels = [("transport", transport)];
+        ReadMetrics {
+            calls: reg.counter("stz_stream_read_calls_total", &labels),
+            bytes: reg.counter("stz_stream_read_bytes_total", &labels),
+            latency: reg.latency("stz_stream_read_latency_ns", &labels),
+        }
+    }
+
+    fn record(&self, len: usize, started: std::time::Instant) {
+        self.calls.inc();
+        self.bytes.add(len as u64);
+        self.latency.record_duration(started.elapsed());
+    }
+}
+
+fn file_metrics() -> &'static ReadMetrics {
+    static M: OnceLock<ReadMetrics> = OnceLock::new();
+    M.get_or_init(|| ReadMetrics::resolve("file"))
+}
+
+fn memory_metrics() -> &'static ReadMetrics {
+    static M: OnceLock<ReadMetrics> = OnceLock::new();
+    M.get_or_init(|| ReadMetrics::resolve("memory"))
+}
 
 /// Random access over a container's bytes.
 ///
@@ -125,15 +163,21 @@ impl ByteSource for FileSource {
     #[cfg(unix)]
     fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
         use std::os::unix::fs::FileExt;
-        self.file.read_exact_at(buf, offset)
+        let started = std::time::Instant::now();
+        self.file.read_exact_at(buf, offset)?;
+        file_metrics().record(buf.len(), started);
+        Ok(())
     }
 
     #[cfg(not(unix))]
     fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
         use std::io::{Read, Seek, SeekFrom};
+        let started = std::time::Instant::now();
         let mut file = self.file.lock().expect("file lock poisoned");
         file.seek(SeekFrom::Start(offset))?;
-        file.read_exact(buf)
+        file.read_exact(buf)?;
+        file_metrics().record(buf.len(), started);
+        Ok(())
     }
 }
 
@@ -161,6 +205,7 @@ impl ByteSource for MemorySource {
     }
 
     fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let started = std::time::Instant::now();
         let start = usize::try_from(offset)
             .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "offset beyond buffer"))?;
         let end = start
@@ -168,39 +213,42 @@ impl ByteSource for MemorySource {
             .filter(|&e| e <= self.bytes.len())
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "read beyond buffer"))?;
         buf.copy_from_slice(&self.bytes[start..end]);
+        memory_metrics().record(buf.len(), started);
         Ok(())
     }
 }
 
-/// Wraps any source and tallies read traffic.
+/// Wraps any source and tallies read traffic (per-instance
+/// [`stz_telemetry::Counter`]s, not the global registry — each wrapper
+/// measures its own source).
 #[derive(Debug)]
 pub struct CountingSource<S> {
     inner: S,
-    bytes_read: AtomicU64,
-    read_calls: AtomicU64,
+    bytes_read: Counter,
+    read_calls: Counter,
 }
 
 impl<S: ByteSource> CountingSource<S> {
     /// Wrap `inner`, starting both counters at zero.
     pub fn new(inner: S) -> Self {
-        CountingSource { inner, bytes_read: AtomicU64::new(0), read_calls: AtomicU64::new(0) }
+        CountingSource { inner, bytes_read: Counter::new(), read_calls: Counter::new() }
     }
 
     /// Total bytes fetched since construction (or the last reset).
     pub fn bytes_read(&self) -> u64 {
-        self.bytes_read.load(Ordering::Relaxed)
+        self.bytes_read.get()
     }
 
     /// Number of positioned-read calls.
     pub fn read_calls(&self) -> u64 {
-        self.read_calls.load(Ordering::Relaxed)
+        self.read_calls.get()
     }
 
     /// Zero both counters (e.g. after `ContainerReader::open`, to measure a
     /// single query's traffic).
     pub fn reset(&self) {
-        self.bytes_read.store(0, Ordering::Relaxed);
-        self.read_calls.store(0, Ordering::Relaxed);
+        self.bytes_read.reset();
+        self.read_calls.reset();
     }
 
     /// Unwrap, discarding the counters.
@@ -221,8 +269,8 @@ impl<S: ByteSource> ByteSource for CountingSource<S> {
 
     fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
         self.inner.read_exact_at(offset, buf)?;
-        self.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
-        self.read_calls.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.add(buf.len() as u64);
+        self.read_calls.inc();
         Ok(())
     }
 }

@@ -1,0 +1,261 @@
+//! The metric registry and its text exposition.
+
+use crate::metrics::{Counter, Gauge, Histogram, LATENCY_FIRST_BOUND_NS};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One registered metric handle.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A monotonically increasing count.
+    Counter(Arc<Counter>),
+    /// An up/down value.
+    Gauge(Arc<Gauge>),
+    /// A log-bucket distribution.
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics, rendered as one text exposition.
+///
+/// Keys are `name{label="v",…}` strings (labels in the order given at
+/// registration). Registration takes a lock; the returned `Arc` handles
+/// are lock-free, so hot paths resolve once and record forever. The
+/// process-wide registry is [`global`]; unit tests construct their own.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// The process-wide registry: everything the STZ stack instruments lands
+/// here, and the server's `METRICS` frame renders it.
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry::new();
+    &GLOBAL
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Registry { metrics: Mutex::new(BTreeMap::new()) }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Get or register the counter `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = key(name, labels);
+        let mut m = self.lock();
+        if let Some(Metric::Counter(c)) = m.get(&key) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        m.insert(key, Metric::Counter(Arc::clone(&c)));
+        c
+    }
+
+    /// Get or register the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = key(name, labels);
+        let mut m = self.lock();
+        if let Some(Metric::Gauge(g)) = m.get(&key) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        m.insert(key, Metric::Gauge(Arc::clone(&g)));
+        g
+    }
+
+    /// Get or register the histogram `name{labels}` with the given first
+    /// bucket bound (ignored when the histogram already exists).
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        first_bound: u64,
+    ) -> Arc<Histogram> {
+        let key = key(name, labels);
+        let mut m = self.lock();
+        if let Some(Metric::Histogram(h)) = m.get(&key) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new(first_bound));
+        m.insert(key, Metric::Histogram(Arc::clone(&h)));
+        h
+    }
+
+    /// Get or register a latency histogram (`ns` samples, standard
+    /// [`LATENCY_FIRST_BOUND_NS`] buckets).
+    pub fn latency(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram(name, labels, LATENCY_FIRST_BOUND_NS)
+    }
+
+    /// Register an existing metric handle under `name{labels}`, replacing
+    /// any previous registration of that key (last wins). This is how
+    /// per-instance counters — e.g. the decoded-block cache's — are
+    /// surfaced: the owning instance keeps the handle, the registry
+    /// renders it.
+    pub fn register(&self, name: &str, labels: &[(&str, &str)], metric: Metric) {
+        self.lock().insert(key(name, labels), metric);
+    }
+
+    /// Look up a registered metric by its full `name{labels}` key.
+    pub fn get(&self, full_key: &str) -> Option<Metric> {
+        self.lock().get(full_key).cloned()
+    }
+
+    /// Render the versioned text exposition (see `docs/OBSERVABILITY.md`
+    /// for the grammar). Keys render in sorted order; histograms render
+    /// as cumulative `_bucket{le="…"}` lines (trailing empty buckets
+    /// elided, `le="+Inf"` always present) plus `_count` and `_sum`.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!("# stz-telemetry exposition v{}\n", crate::EXPOSITION_VERSION));
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Append this registry's metric lines (no version header) to `out`.
+    pub fn render_into(&self, out: &mut String) {
+        for (k, metric) in self.lock().iter() {
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{k} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{k} {}\n", g.get())),
+                Metric::Histogram(h) => render_histogram(out, k, h),
+            }
+        }
+    }
+}
+
+/// The canonical `name{label="v",…}` key.
+fn key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{name}{{{}}}", pairs.join(","))
+}
+
+/// Splice one more label into an existing key (for histogram `le=`).
+fn key_with(base: &str, suffix: &str, extra: &str) -> String {
+    match base.split_once('{') {
+        Some((name, rest)) => format!("{name}{suffix}{{{extra},{rest}"),
+        None => format!("{base}{suffix}{{{extra}}}"),
+    }
+}
+
+fn render_histogram(out: &mut String, base: &str, h: &Histogram) {
+    let snap = h.snapshot();
+    let last_nonzero = snap.counts.iter().rposition(|&c| c != 0);
+    let mut cumulative = 0u64;
+    for (i, &c) in snap.counts.iter().enumerate() {
+        cumulative += c;
+        match snap.bucket_bound(i) {
+            // Elide the all-zero tail, but keep bucket boundaries stable:
+            // every emitted bucket is cumulative, and +Inf always follows.
+            Some(bound) if Some(i) <= last_nonzero => {
+                out.push_str(&format!(
+                    "{} {cumulative}\n",
+                    key_with(base, "_bucket", &format!("le=\"{bound}\""))
+                ));
+            }
+            _ => {}
+        }
+    }
+    out.push_str(&format!("{} {cumulative}\n", key_with(base, "_bucket", "le=\"+Inf\"")));
+    out.push_str(&format!("{} {}\n", key_with_suffix(base, "_count"), snap.count()));
+    out.push_str(&format!("{} {}\n", key_with_suffix(base, "_sum"), snap.sum));
+}
+
+/// Append a suffix to the metric *name* of a key (before any label block).
+fn key_with_suffix(base: &str, suffix: &str) -> String {
+    match base.split_once('{') {
+        Some((name, rest)) => format!("{name}{suffix}{{{rest}"),
+        None => format!("{base}{suffix}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("reqs_total", &[("kind", "full")]);
+        let b = r.counter("reqs_total", &[("kind", "full")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "one logical counter behind both handles");
+        assert_eq!(r.counter("reqs_total", &[("kind", "roi")]).get(), 0, "distinct labels");
+    }
+
+    #[test]
+    fn register_replaces_last_wins() {
+        let r = Registry::new();
+        let first = Arc::new(Counter::new());
+        first.add(7);
+        r.register("cache_hits_total", &[], Metric::Counter(Arc::clone(&first)));
+        let second = Arc::new(Counter::new());
+        r.register("cache_hits_total", &[], Metric::Counter(Arc::clone(&second)));
+        match r.get("cache_hits_total") {
+            Some(Metric::Counter(c)) => assert_eq!(c.get(), 0, "second registration wins"),
+            other => panic!("expected a counter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registry_concurrency_is_exact() {
+        // 8 threads × 10k increments through registry-resolved handles:
+        // the total must be exact, whether handles are resolved once or
+        // per-iteration.
+        let r = Registry::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let r = &r;
+                scope.spawn(move || {
+                    let hot = r.counter("hammer_total", &[]);
+                    for i in 0..10_000u64 {
+                        if (i + t) % 2 == 0 {
+                            hot.inc();
+                        } else {
+                            r.counter("hammer_total", &[]).inc();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("hammer_total", &[]).get(), 80_000);
+    }
+
+    #[test]
+    fn exposition_renders_sorted_with_version_header() {
+        let r = Registry::new();
+        r.counter("b_total", &[]).add(2);
+        r.counter("a_total", &[("kind", "x")]).add(1);
+        r.gauge("conns", &[]).set(-3);
+        let text = r.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "# stz-telemetry exposition v1");
+        assert_eq!(lines[1], "a_total{kind=\"x\"} 1");
+        assert_eq!(lines[2], "b_total 2");
+        assert_eq!(lines[3], "conns -3");
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat_ns", &[("kind", "full")], 100);
+        h.record(50); // bucket 0 (le=100)
+        h.record(150); // bucket 1 (le=200)
+        h.record(150);
+        let text = r.render();
+        assert!(text.contains("lat_ns_bucket{le=\"100\",kind=\"full\"} 1\n"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"200\",kind=\"full\"} 3\n"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\",kind=\"full\"} 3\n"), "{text}");
+        assert!(text.contains("lat_ns_count{kind=\"full\"} 3\n"), "{text}");
+        assert!(text.contains("lat_ns_sum{kind=\"full\"} 350\n"), "{text}");
+        assert!(!text.contains("le=\"400\""), "trailing empty buckets elided: {text}");
+    }
+}

@@ -37,6 +37,7 @@ pub use stz_serve as serve;
 pub use stz_sperr as sperr;
 pub use stz_stream as stream;
 pub use stz_sz3 as sz3;
+pub use stz_telemetry as telemetry;
 pub use stz_zfp as zfp;
 
 /// The most common imports in one place.

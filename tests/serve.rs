@@ -9,7 +9,11 @@
 //!   error cleanly — no panics, no hangs (every socket carries a timeout);
 //! * request-level failures (unknown container/entry, out-of-bounds ROI,
 //!   progressive on a foreign-codec entry) answer `ERR` and leave the
-//!   connection usable.
+//!   connection usable;
+//! * the `METRICS`/`METRICS_OK` pair round-trips the server's telemetry
+//!   registry (per-frame-kind request counters and latency histograms),
+//!   and hostile `METRICS_OK` replies (wrong exposition version,
+//!   truncated payload, trailing bytes) fail cleanly at the client.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -198,6 +202,71 @@ fn list_inspect_and_raw_match_local_metadata() {
     let raw = client.fetch_raw("steps", EntrySel::Name("t0".into())).unwrap();
     let local_payload = reader.entry::<f32>(0).unwrap().read_payload().unwrap();
     assert_eq!(raw, local_payload);
+    handle.stop();
+}
+
+#[test]
+fn metrics_round_trip_reports_request_counters() {
+    let rig = Rig::new("metrics");
+    let (handle, addr) = rig.serve();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Traffic of several frame kinds, then one METRICS round-trip.
+    let roi = Region::d3(4..12, 2..14, 6..18);
+    client.list().unwrap();
+    client.inspect("steps").unwrap();
+    client.fetch_full("steps", EntrySel::Index(0)).unwrap();
+    client
+        .fetch(&FetchReq {
+            container: "steps".into(),
+            entry: EntrySel::Index(0),
+            kind: RequestKind::roi(&roi),
+        })
+        .unwrap();
+    client.fetch_level("steps", EntrySel::Index(0), 1).unwrap();
+    let text = client.metrics().unwrap();
+
+    assert!(
+        text.starts_with("# stz-telemetry exposition v1"),
+        "exposition must carry its version header: {text:?}"
+    );
+    let samples = stz::telemetry::expo::parse(&text).expect("server exposition parses");
+    // The registry is process-global and shared with sibling tests, so
+    // counts are lower-bounded by this test's own traffic, not equal.
+    // The METRICS request itself is counted before the registry renders,
+    // so "metrics" appears in its own exposition.
+    for kind in ["list", "inspect", "full", "roi", "progressive", "metrics"] {
+        let labels = [("kind", kind)];
+        let requests = stz::telemetry::expo::sample_value(&samples, "stzp_requests_total", &labels)
+            .unwrap_or(0.0);
+        assert!(requests >= 1.0, "kind {kind} must be counted, got {requests}:\n{text}");
+        // Latency is recorded at the reply-write site, after the request
+        // counter, so it can only lag the counter (never exceed it).
+        let timed =
+            stz::telemetry::expo::sample_value(&samples, "stzp_request_latency_ns_count", &labels)
+                .unwrap_or(0.0);
+        assert!(timed <= requests, "kind {kind}: {timed} timed > {requests} counted:\n{text}");
+        if kind != "metrics" {
+            // Every pre-METRICS request of this test was fully replied to.
+            assert!(timed >= 1.0, "kind {kind} must have latency samples:\n{text}");
+            let p99 = stz::telemetry::expo::histogram_quantile(
+                &samples,
+                "stzp_request_latency_ns",
+                &labels,
+                0.99,
+            );
+            assert!(p99.is_some(), "kind {kind} must expose latency buckets:\n{text}");
+        }
+    }
+    // Connection lifecycle and cache counters ride the same registry.
+    let conns = stz::telemetry::expo::sample_value(&samples, "stzp_connections_total", &[]);
+    assert!(conns.unwrap_or(0.0) >= 1.0, "connections_total missing:\n{text}");
+    let active = stz::telemetry::expo::sample_value(&samples, "stzp_connections_active", &[]);
+    assert!(active.unwrap_or(0.0) >= 1.0, "this very connection is active:\n{text}");
+    assert!(
+        stz::telemetry::expo::sample_value(&samples, "stz_serve_cache_misses_total", &[]).is_some(),
+        "cache counters must be registered:\n{text}"
+    );
     handle.stop();
 }
 
@@ -442,6 +511,52 @@ fn client_rejects_corrupted_and_truncated_responses() {
         wire
     };
     assert!(matches!(fetch(fake_server(Some(lying))), Err(ServeError::Protocol(_))));
+}
+
+#[test]
+fn client_rejects_hostile_metrics_replies() {
+    let metrics = |addr| Client::connect(addr).and_then(|mut c| c.metrics());
+
+    // An unknown exposition version is rejected before any parsing.
+    let mut enc = proto::Enc::new();
+    enc.u8(99);
+    enc.string("stzp_requests_total 1\n");
+    let mut wire = Vec::new();
+    proto::write_frame(&mut wire, proto::FrameType::MetricsOk, &enc.finish()).unwrap();
+    match metrics(fake_server(Some(wire))) {
+        Err(ServeError::Protocol(msg)) => assert!(msg.contains("version"), "{msg}"),
+        other => panic!("wrong exposition version must fail, got {other:?}"),
+    }
+
+    // Truncated payload: version byte only, the text is missing.
+    let mut wire = Vec::new();
+    proto::write_frame(
+        &mut wire,
+        proto::FrameType::MetricsOk,
+        &[stz::telemetry::EXPOSITION_VERSION],
+    )
+    .unwrap();
+    assert!(matches!(metrics(fake_server(Some(wire))), Err(ServeError::Protocol(_))));
+
+    // Trailing junk after a well-formed payload.
+    let mut enc = proto::Enc::new();
+    enc.u8(stz::telemetry::EXPOSITION_VERSION);
+    enc.string("a_total 1\n");
+    let mut payload = enc.finish();
+    payload.push(0xAA);
+    let mut wire = Vec::new();
+    proto::write_frame(&mut wire, proto::FrameType::MetricsOk, &payload).unwrap();
+    assert!(matches!(metrics(fake_server(Some(wire))), Err(ServeError::Protocol(_))));
+
+    // A structurally valid reply whose *text* is hostile still decodes at
+    // the transport layer — rejecting garbage lines is the parser's job.
+    let mut enc = proto::Enc::new();
+    enc.u8(stz::telemetry::EXPOSITION_VERSION);
+    enc.string("not an exposition line");
+    let mut wire = Vec::new();
+    proto::write_frame(&mut wire, proto::FrameType::MetricsOk, &enc.finish()).unwrap();
+    let text = metrics(fake_server(Some(wire))).expect("transport does not parse the text");
+    assert!(stz::telemetry::expo::parse(&text).is_err(), "the parser must reject it");
 }
 
 #[test]
