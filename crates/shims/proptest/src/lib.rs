@@ -6,8 +6,12 @@
 //! `collection::vec`, the `proptest!` macro, and `prop_assert!` /
 //! `prop_assert_eq!`.
 //!
-//! Unlike real proptest there is **no shrinking**: a failing case fails the
-//! test directly with the sampled values visible in the assertion message.
+//! Like real proptest, failing cases are **shrunk** before being reported:
+//! integer and float ranges binary-search toward their lower bound, vectors
+//! binary-search the shortest failing prefix, and tuples minimize
+//! component-wise — always re-checking that the candidate still fails, so
+//! the reported case is a genuine (locally minimal) failure. Strategies that
+//! cannot be inverted (`prop_map`, `any`) report the failing value as-is.
 //! Sampling is deterministic — the RNG is seeded from the test name — so
 //! failures reproduce exactly across runs.
 
@@ -72,6 +76,19 @@ pub mod strategy {
         type Value;
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
 
+        /// Shrink a known-failing value to a simpler one that still fails
+        /// (`still_fails` runs the property and reports whether it failed).
+        /// The returned value is always a genuine failure. The default
+        /// cannot invert the strategy and returns the value unchanged.
+        fn minimize(
+            &self,
+            failing: Self::Value,
+            still_fails: &mut dyn FnMut(&Self::Value) -> bool,
+        ) -> Self::Value {
+            let _ = still_fails;
+            failing
+        }
+
         fn prop_map<U, F>(self, f: F) -> Map<Self, F>
         where
             Self: Sized,
@@ -95,6 +112,23 @@ pub mod strategy {
         }
     }
 
+    /// Binary-search the smallest still-failing integer in
+    /// `[target, failing]` (assumes, as shrinkers do, that failures are
+    /// roughly monotonic; the result is always a genuine failure even when
+    /// they are not).
+    fn bisect_int(target: i128, failing: i128, still_fails: &mut dyn FnMut(i128) -> bool) -> i128 {
+        let (mut lo, mut hi) = (target.min(failing), failing);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if still_fails(mid) {
+                hi = mid; // `hi` stays known-failing
+            } else {
+                lo = mid + 1;
+            }
+        }
+        hi
+    }
+
     macro_rules! impl_int_ranges {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
@@ -104,6 +138,15 @@ pub mod strategy {
                     let span = (self.end as i128 - self.start as i128) as u128;
                     (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
                 }
+                fn minimize(
+                    &self,
+                    failing: $t,
+                    still_fails: &mut dyn FnMut(&$t) -> bool,
+                ) -> $t {
+                    bisect_int(self.start as i128, failing as i128, &mut |v| {
+                        still_fails(&(v as $t))
+                    }) as $t
+                }
             }
             impl Strategy for RangeInclusive<$t> {
                 type Value = $t;
@@ -112,6 +155,15 @@ pub mod strategy {
                     assert!(lo <= hi, "empty range strategy");
                     let span = (hi as i128 - lo as i128) as u128 + 1;
                     (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+                fn minimize(
+                    &self,
+                    failing: $t,
+                    still_fails: &mut dyn FnMut(&$t) -> bool,
+                ) -> $t {
+                    bisect_int(*self.start() as i128, failing as i128, &mut |v| {
+                        still_fails(&(v as $t))
+                    }) as $t
                 }
             }
         )*};
@@ -125,6 +177,28 @@ pub mod strategy {
                 fn sample(&self, rng: &mut TestRng) -> $t {
                     self.start + (rng.next_f64() as $t) * (self.end - self.start)
                 }
+                fn minimize(
+                    &self,
+                    failing: $t,
+                    still_fails: &mut dyn FnMut(&$t) -> bool,
+                ) -> $t {
+                    // Bisect toward the range start; ~64 halvings exhaust
+                    // the mantissa of either float type.
+                    let mut lo = self.start;
+                    let mut cur = failing; // known failing
+                    for _ in 0..64 {
+                        let mid = lo + (cur - lo) / 2.0;
+                        if !(mid > lo && mid < cur) {
+                            break;
+                        }
+                        if still_fails(&mid) {
+                            cur = mid;
+                        } else {
+                            lo = mid;
+                        }
+                    }
+                    cur
+                }
             }
         )*};
     }
@@ -132,10 +206,31 @@ pub mod strategy {
 
     macro_rules! impl_tuples {
         ($(($($s:ident . $idx:tt),+))*) => {$(
-            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+)
+            where
+                $($s::Value: Clone),+
+            {
                 type Value = ($($s::Value,)+);
                 fn sample(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.sample(rng),)+)
+                }
+                fn minimize(
+                    &self,
+                    failing: Self::Value,
+                    still_fails: &mut dyn FnMut(&Self::Value) -> bool,
+                ) -> Self::Value {
+                    // Component-wise: minimize each position with the others
+                    // held at their current (already-minimized) values.
+                    let mut cur = failing;
+                    $(
+                        let comp = cur.$idx.clone();
+                        cur.$idx = self.$idx.minimize(comp, &mut |cand| {
+                            let mut probe = cur.clone();
+                            probe.$idx = cand.clone();
+                            still_fails(&probe)
+                        });
+                    )+
+                    cur
                 }
             }
         )*};
@@ -217,13 +312,74 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = self.size.sample(rng);
             (0..len).map(|_| self.element.sample(rng)).collect()
         }
+        fn minimize(
+            &self,
+            failing: Vec<S::Value>,
+            still_fails: &mut dyn FnMut(&Vec<S::Value>) -> bool,
+        ) -> Vec<S::Value> {
+            // Binary-search the shortest still-failing prefix whose length
+            // remains inside the size range.
+            let mut cur = failing; // known failing
+            let mut lo = self.size.start.min(cur.len());
+            let mut hi = cur.len();
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let cand = cur[..mid].to_vec();
+                if still_fails(&cand) {
+                    cur = cand;
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            // Then minimize each surviving element in place.
+            for i in 0..cur.len() {
+                let comp = cur[i].clone();
+                cur[i] = self.element.minimize(comp, &mut |cand| {
+                    let mut probe = cur.clone();
+                    probe[i] = cand.clone();
+                    still_fails(&probe)
+                });
+            }
+            cur
+        }
     }
+}
+
+/// Run `f`, silently catching any panic; returns `true` if it panicked.
+///
+/// Used by the `proptest!` macro to probe shrink candidates without
+/// spamming stderr with a panic message per probe. The default panic hook
+/// is wrapped once (lazily) with a delegating hook gated on a thread-local
+/// flag, so concurrent tests on other threads keep their messages.
+pub fn quiet_catch(f: impl FnOnce()) -> bool {
+    use std::cell::Cell;
+    use std::sync::Once;
+    static INIT: Once = Once::new();
+    thread_local! {
+        static SUPPRESS: Cell<bool> = const { Cell::new(false) };
+    }
+    INIT.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS.with(|s| s.get()) {
+                prev(info);
+            }
+        }));
+    });
+    SUPPRESS.with(|s| s.set(true));
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_err();
+    SUPPRESS.with(|s| s.set(false));
+    panicked
 }
 
 /// The common imports, mirroring `proptest::prelude`.
@@ -248,7 +404,8 @@ macro_rules! prop_assert_eq {
 }
 
 /// The `proptest!` block macro: runs each property over `config.cases`
-/// deterministically sampled cases (no shrinking).
+/// deterministically sampled cases; a failing case is shrunk before being
+/// re-raised, with the minimized arguments printed to stderr.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)]
@@ -257,9 +414,29 @@ macro_rules! proptest {
         fn $name() {
             let config = $config;
             let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            let strategies = ($($strat,)+);
             for _case in 0..config.cases {
-                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)+
-                $body
+                let case = $crate::strategy::Strategy::sample(&strategies, &mut rng);
+                let failed = {
+                    let ($($arg,)+) = Clone::clone(&case);
+                    $crate::quiet_catch(move || $body)
+                };
+                if failed {
+                    let case =
+                        $crate::strategy::Strategy::minimize(&strategies, case, &mut |cand| {
+                            let ($($arg,)+) = Clone::clone(cand);
+                            $crate::quiet_catch(move || $body)
+                        });
+                    let ($($arg,)+) = case;
+                    eprintln!(
+                        "proptest shim: {} failed; minimized case: {:?}",
+                        stringify!($name),
+                        ($(&$arg,)+),
+                    );
+                    // Re-run uncaught so the real assertion message surfaces.
+                    $body
+                    unreachable!("minimized case no longer fails outside quiet_catch");
+                }
             }
         }
     )*};
@@ -309,6 +486,85 @@ mod tests {
         let s = 0u64..1000;
         for _ in 0..16 {
             assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn int_minimize_finds_smallest_failure() {
+        use crate::strategy::Strategy;
+        // Property "fails" for values >= 700: the minimum is exactly 700.
+        let got = (0u64..1000).minimize(953, &mut |&v| v >= 700);
+        assert_eq!(got, 700);
+        // Inclusive range, signed, shrinking toward the lower bound.
+        let got = (-50i32..=50).minimize(37, &mut |&v| v > -10);
+        assert_eq!(got, -9);
+        // The failing value is already minimal.
+        let got = (0u8..10).minimize(0, &mut |_| true);
+        assert_eq!(got, 0);
+    }
+
+    #[test]
+    fn int_minimize_result_always_fails() {
+        use crate::strategy::Strategy;
+        // Non-monotonic failure set {123, 800..}: the result must still be a
+        // genuine failure even though bisection can't find the global min.
+        let fails = |v: &u64| *v == 123 || *v >= 800;
+        let got = (0u64..1000).minimize(900, &mut { fails });
+        assert!(fails(&got), "minimize returned non-failing {got}");
+    }
+
+    #[test]
+    fn float_minimize_converges() {
+        use crate::strategy::Strategy;
+        let got = (0.0f64..10.0).minimize(7.3, &mut |&v| v >= 2.5);
+        assert!((got - 2.5).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn vec_minimize_shrinks_length_then_elements() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u32..1000, 0..20);
+        // Fails whenever some element is >= 500.
+        let failing = vec![3, 700, 12, 900, 44];
+        let got = s.minimize(failing, &mut |v| v.iter().any(|&x| x >= 500));
+        // Shortest failing prefix is [3, 700]; the element pass then shrinks
+        // 3 → 0 (the 700 keeps the vec failing) and 700 → the 500 boundary.
+        assert_eq!(got, vec![0, 500]);
+    }
+
+    #[test]
+    fn vec_minimize_respects_min_len() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u32..10, 3..8);
+        // Any vec "fails": the shrinker must not go below the size floor.
+        let got = s.minimize(vec![1, 2, 3, 4, 5], &mut |_| true);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn tuple_minimize_is_component_wise() {
+        use crate::strategy::Strategy;
+        let s = (0u64..100, 0u64..100);
+        let got = s.minimize((80, 60), &mut |&(a, b)| a + b >= 50);
+        // First component bisects to 0 (b=60 keeps failing), then b to 50.
+        assert_eq!(got, (0, 50));
+    }
+
+    #[test]
+    fn quiet_catch_reports_and_suppresses() {
+        assert!(crate::quiet_catch(|| panic!("boom")));
+        assert!(!crate::quiet_catch(|| {}));
+    }
+
+    // End-to-end: a failing property must shrink to the boundary value and
+    // surface the *minimized* case in the panic message.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        #[should_panic(expected = "v=100")]
+        fn failing_property_reports_minimized_case(v in 0u64..1000) {
+            prop_assert!(v < 100, "v={}", v);
         }
     }
 }

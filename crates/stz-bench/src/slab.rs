@@ -63,6 +63,9 @@ pub fn decompress_slabs<T: Scalar>(
     if nz == 0 || ny == 0 || nx == 0 || nz.saturating_mul(ny).saturating_mul(nx) > (1 << 40) {
         return Err(CodecError::corrupt("invalid dims"));
     }
+    if (ndim < 3 && nz != 1) || (ndim < 2 && ny != 1) {
+        return Err(CodecError::corrupt("dims inconsistent with ndim"));
+    }
     let dims = Dims::from_parts(ndim, nz, ny, nx);
     let n = r.get_uvarint()? as usize;
     if n == 0 || n > nz {

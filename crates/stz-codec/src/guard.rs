@@ -1,0 +1,95 @@
+//! Decode-allocation guard: reject hostile dims/lengths **before** any
+//! dimension-sized buffer is allocated.
+//!
+//! Every archive header in the workspace declares its decoded geometry
+//! (dims, symbol counts, run totals) in attacker-controllable fields. The
+//! structural caps on those fields (`MAX_POINTS` = 2^40 points) bound the
+//! address space, not the allocation: a 40-byte hostile header can declare
+//! an 8 TB output and drive the decoder straight into an aborting
+//! `Vec::with_capacity`. This module is the shared gate: decoders call
+//! [`check_decode_alloc`] with the declared element count before reserving,
+//! and the declared size is checked against a process-wide cap.
+//!
+//! The cap defaults to [`DEFAULT_MAX_DECODE_BYTES`] (4 GiB — comfortably
+//! above any field this workspace round-trips, far below an abort-the-host
+//! reservation) and can be tuned per process via the `STZ_MAX_DECODE_BYTES`
+//! environment variable or [`set_max_decode_bytes`] (fuzz harnesses pin it
+//! to a few MiB so hostile-geometry inputs are rejected cheaply). This is
+//! the same discipline as `stz-serve`'s 256 MiB frame cap, extended to the
+//! decode side: lengths are validated against a stated bound before memory
+//! is committed.
+
+use crate::{CodecError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default cap on a single declared decode allocation: 4 GiB.
+pub const DEFAULT_MAX_DECODE_BYTES: u64 = 4 << 30;
+
+/// 0 = not yet resolved (first read consults `STZ_MAX_DECODE_BYTES`).
+static CAP: AtomicU64 = AtomicU64::new(0);
+
+/// The active cap in bytes.
+///
+/// Resolved once per process: `STZ_MAX_DECODE_BYTES` if set to a positive
+/// integer, else [`DEFAULT_MAX_DECODE_BYTES`]; later changes to the
+/// environment are not observed. [`set_max_decode_bytes`] overrides it.
+pub fn max_decode_bytes() -> u64 {
+    match CAP.load(Ordering::Relaxed) {
+        0 => {
+            let v = std::env::var("STZ_MAX_DECODE_BYTES")
+                .ok()
+                .and_then(|s| s.trim().parse::<u64>().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or(DEFAULT_MAX_DECODE_BYTES);
+            CAP.store(v, Ordering::Relaxed);
+            v
+        }
+        v => v,
+    }
+}
+
+/// Override the cap for this process (tests and fuzz harnesses).
+pub fn set_max_decode_bytes(bytes: u64) {
+    CAP.store(bytes.max(1), Ordering::Relaxed);
+}
+
+/// Check that decoding may allocate `count` elements of `bytes_per` bytes.
+///
+/// Returns [`CodecError::Unsupported`] when the declared size exceeds the
+/// cap — the input may be a perfectly valid archive that this process
+/// refuses to materialize, which is a capability limit, not corruption.
+pub fn check_decode_alloc(count: u64, bytes_per: u32, what: &str) -> Result<()> {
+    let cap = max_decode_bytes();
+    let need = count.saturating_mul(bytes_per as u64);
+    if need > cap {
+        return Err(CodecError::unsupported(format!(
+            "{what}: declared decoded size {need} B exceeds the decode cap of {cap} B \
+             (raise STZ_MAX_DECODE_BYTES to allow it)"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_cap_passes() {
+        check_decode_alloc(1024, 8, "test buffer").unwrap();
+    }
+
+    #[test]
+    fn over_cap_is_unsupported() {
+        let err = check_decode_alloc(u64::MAX / 2, 8, "huge buffer").unwrap_err();
+        match err {
+            CodecError::Unsupported(msg) => assert!(msg.contains("decode cap")),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_and_rejects() {
+        assert!(check_decode_alloc(u64::MAX, u32::MAX, "overflowing").is_err());
+    }
+}

@@ -123,6 +123,12 @@ impl HuffmanDecoder {
         if n > (u32::MAX as u64) {
             return Err(CodecError::corrupt("huffman table too large"));
         }
+        // Each entry consumes at least two input bytes (delta varint +
+        // length), so a declared count beyond that is a lie — reject it
+        // before reserving the entries vector.
+        if n > r.remaining() as u64 / 2 {
+            return Err(CodecError::corrupt("huffman table larger than its input"));
+        }
         let n = n as usize;
         let mut entries = Vec::with_capacity(n);
         let mut sym = 0u32;
@@ -237,7 +243,11 @@ impl HuffmanDecoder {
 
     /// Decode exactly `n` symbols.
     pub fn decode_n(&self, r: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>> {
-        let mut out = Vec::with_capacity(n);
+        // Reserve incrementally: `n` is caller-declared, and each decoded
+        // symbol consumes at least one input bit, so growing with the
+        // decode loop bounds the allocation by the real input size even
+        // when the declared count lies.
+        let mut out = Vec::with_capacity(n.min(1 << 16));
         for _ in 0..n {
             out.push(self.decode_symbol(r)?);
         }
@@ -404,6 +414,7 @@ pub fn decode_block(data: &[u8]) -> Result<Vec<u32>> {
     let mut r = ByteReader::new(data);
     let dec = HuffmanDecoder::deserialize(&mut r)?;
     let n = r.get_uvarint()? as usize;
+    crate::guard::check_decode_alloc(n as u64, 4, "huffman symbol stream")?;
     if n > 0 && dec.alphabet_len() == 0 {
         return Err(CodecError::corrupt("payload with empty huffman table"));
     }

@@ -11,6 +11,8 @@
 //!   unpredictable-value escape path (bit-exact outliers).
 //! * [`varint`] / [`byteio`] / [`rle`] — integer and byte-level serialization
 //!   helpers for archive headers and tables.
+//! * [`guard`] — the decode-allocation cap: hostile declared geometry is
+//!   rejected before any dimension-sized buffer is reserved.
 //!
 //! All decoding paths return [`CodecError`] on malformed input; they never
 //! panic on untrusted bytes.
@@ -18,6 +20,7 @@
 pub mod bits;
 pub mod byteio;
 pub mod error;
+pub mod guard;
 pub mod huffman;
 pub mod quantizer;
 pub mod rle;
@@ -26,6 +29,7 @@ pub mod varint;
 pub use bits::{BitReader, BitWriter};
 pub use byteio::{ByteReader, ByteWriter};
 pub use error::CodecError;
+pub use guard::{check_decode_alloc, max_decode_bytes, set_max_decode_bytes};
 pub use huffman::{HuffmanDecoder, HuffmanEncoder};
 pub use quantizer::{LinearQuantizer, QuantOutcome, ESCAPE_SYMBOL};
 

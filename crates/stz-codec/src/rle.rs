@@ -29,7 +29,10 @@ pub fn encode(data: &[u8]) -> Vec<u8> {
 pub fn decode(data: &[u8]) -> Result<Vec<u8>> {
     let mut r = ByteReader::new(data);
     let total = r.get_uvarint()? as usize;
-    let mut out = Vec::with_capacity(total);
+    crate::guard::check_decode_alloc(total as u64, 1, "rle payload")?;
+    // Reserve incrementally: `total` is attacker-declared; the resize loop
+    // below only commits memory that decoded runs actually account for.
+    let mut out = Vec::with_capacity(total.min(1 << 16));
     while out.len() < total {
         let b = r.get_u8()?;
         let run = r.get_uvarint()? as usize;

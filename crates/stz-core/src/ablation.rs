@@ -219,10 +219,15 @@ pub fn decompress_variant<T: Scalar>(bytes: &[u8]) -> Result<Field<T>> {
     let nz = r.get_uvarint()? as usize;
     let ny = r.get_uvarint()? as usize;
     let nx = r.get_uvarint()? as usize;
-    if nz == 0 || ny == 0 || nx == 0 {
+    if nz == 0 || ny == 0 || nx == 0 || nz.saturating_mul(ny).saturating_mul(nx) > (1 << 40) {
         return Err(CodecError::corrupt("invalid dims"));
     }
+    if (ndim < 3 && nz != 1) || (ndim < 2 && ny != 1) {
+        return Err(CodecError::corrupt("dims inconsistent with ndim"));
+    }
     let dims = Dims::from_parts(ndim, nz, ny, nx);
+    // Reject before the dims-sized reconstruction buffers are reserved.
+    stz_codec::check_decode_alloc(dims.len() as u64, 8, "ablation field")?;
     let _eb = r.get_f64()?;
     let plan = LevelPlan::new(dims, 2);
 

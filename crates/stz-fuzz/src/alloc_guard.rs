@@ -1,0 +1,70 @@
+//! Allocation-tracking global allocator — the "allocation bounded" oracle.
+//!
+//! The harness binaries (and the corpus replay test) install
+//! [`TrackingAlloc`] as their `#[global_allocator]`. It forwards to the
+//! system allocator and records the **largest single allocation** since
+//! the last [`reset_peak`], plus a running net-bytes balance. The engine
+//! resets the peak before each target execution and asserts afterwards
+//! that no single allocation exceeded the configured cap: a parser that
+//! reserves a dims-sized buffer *before* validating hostile geometry
+//! trips this oracle even when the subsequent read fails cleanly.
+//!
+//! In processes that do not install the allocator (ordinary unit tests),
+//! [`peak_single`] stays 0 and the engine skips the oracle.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+
+static PEAK_SINGLE: AtomicUsize = AtomicUsize::new(0);
+static NET_BYTES: AtomicIsize = AtomicIsize::new(0);
+
+/// Forwarding allocator that records allocation sizes.
+pub struct TrackingAlloc;
+
+fn record(size: usize) {
+    PEAK_SINGLE.fetch_max(size, Ordering::Relaxed);
+    NET_BYTES.fetch_add(size as isize, Ordering::Relaxed);
+}
+
+// SAFETY: pure forwarding to `System`; the atomics add no aliasing or
+// reentrancy (no allocation happens inside the hooks).
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        PEAK_SINGLE.fetch_max(new_size, Ordering::Relaxed);
+        NET_BYTES.fetch_add(new_size as isize - layout.size() as isize, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        NET_BYTES.fetch_sub(layout.size() as isize, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Clear the single-allocation high-water mark (call before a measured
+/// region).
+pub fn reset_peak() {
+    PEAK_SINGLE.store(0, Ordering::Relaxed);
+}
+
+/// Largest single allocation since the last [`reset_peak`]; 0 when
+/// [`TrackingAlloc`] is not installed as the global allocator.
+pub fn peak_single() -> usize {
+    PEAK_SINGLE.load(Ordering::Relaxed)
+}
+
+/// Net allocated-minus-freed bytes since process start (drifts only with
+/// live data: corpus growth, lazily initialized registries, …).
+pub fn net_bytes() -> isize {
+    NET_BYTES.load(Ordering::Relaxed)
+}

@@ -1,0 +1,10 @@
+//! Fuzz harness: codec-registry decompress via magic sniffing.
+
+use std::process::ExitCode;
+
+#[global_allocator]
+static ALLOC: stz_fuzz::alloc_guard::TrackingAlloc = stz_fuzz::alloc_guard::TrackingAlloc;
+
+fn main() -> ExitCode {
+    stz_fuzz::run_main(&stz_fuzz::CodecTarget)
+}

@@ -3,7 +3,8 @@
 
 use crate::hierarchy::{detail_lattices, grid_dims, num_levels, predict_multilinear};
 use stz_codec::{
-    huffman, ByteReader, ByteWriter, CodecError, LinearQuantizer, Result, ESCAPE_SYMBOL,
+    check_decode_alloc, huffman, ByteReader, ByteWriter, CodecError, LinearQuantizer, Result,
+    ESCAPE_SYMBOL,
 };
 use stz_field::{Dims, Field, Scalar, SubLattice};
 
@@ -177,7 +178,12 @@ fn decompress_impl<T: Scalar>(bytes: &[u8], upto: u8) -> Result<Field<T>> {
     if nz == 0 || ny == 0 || nx == 0 || nz.saturating_mul(ny).saturating_mul(nx) > (1 << 40) {
         return Err(CodecError::corrupt("invalid dims"));
     }
+    if (ndim < 3 && nz != 1) || (ndim < 2 && ny != 1) {
+        return Err(CodecError::corrupt("dims inconsistent with ndim"));
+    }
     let dims = Dims::from_parts(ndim, nz, ny, nx);
+    // Reject before the hierarchy's dims-sized grids are allocated.
+    check_decode_alloc(dims.len() as u64, 8, "mgard field")?;
     let eb = r.get_f64()?;
     if !(eb > 0.0 && eb.is_finite()) {
         return Err(CodecError::corrupt("invalid error bound"));

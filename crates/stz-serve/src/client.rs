@@ -1,11 +1,17 @@
 //! Blocking STZP client.
 //!
-//! One [`Client`] wraps one TCP connection: a version handshake at
-//! connect time, then synchronous request/response pairs. Every response
-//! frame is CRC-verified by the framing layer and validated against the
-//! request before it is returned, so a corrupted or lying server yields
-//! a clean [`ServeError`] — never a panic, and (with the default
-//! timeout) never a hang.
+//! One [`Client`] wraps one connection: a version handshake up front,
+//! then synchronous request/response pairs. Every response frame is
+//! CRC-verified by the framing layer and validated against the request
+//! before it is returned, so a corrupted or lying server yields a clean
+//! [`ServeError`] — never a panic, and (with the default timeout) never
+//! a hang.
+//!
+//! The transport is generic: [`Client::connect`] produces the everyday
+//! `Client<TcpStream>`, while [`Client::handshake`] accepts any
+//! [`Read`]`+`[`Write`] stream — tests and fuzz harnesses drive the full
+//! response-validation path against scripted in-memory peers without a
+//! socket.
 
 use crate::error::{Result, ServeError};
 use crate::proto::{
@@ -13,6 +19,7 @@ use crate::proto::{
     EntryInfo, EntrySel, FetchReq, FetchedField, Frame, FrameType, RequestKind, ServerStats,
     PROTO_VERSION,
 };
+use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 use stz_field::Region;
@@ -20,10 +27,10 @@ use stz_field::Region;
 /// Default socket timeout for reads and writes.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// A connected STZP client.
+/// A connected STZP client over any bidirectional byte stream.
 #[derive(Debug)]
-pub struct Client {
-    stream: TcpStream,
+pub struct Client<S: Read + Write = TcpStream> {
+    stream: S,
     /// Server software identifier from the handshake.
     server: String,
     /// Recycled request-encoding buffer: fetches on a steady connection
@@ -31,7 +38,7 @@ pub struct Client {
     scratch: Vec<u8>,
 }
 
-impl Client {
+impl Client<TcpStream> {
     /// Connect and complete the version handshake with the default
     /// timeout.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
@@ -44,6 +51,13 @@ impl Client {
         let _ = stream.set_nodelay(true);
         stream.set_read_timeout(timeout)?;
         stream.set_write_timeout(timeout)?;
+        Client::handshake(stream)
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Complete the version handshake over an already-connected stream.
+    pub fn handshake(stream: S) -> Result<Client<S>> {
         let mut client = Client { stream, server: String::new(), scratch: Vec::new() };
         let mut hello = Enc::new();
         hello.u8(PROTO_VERSION);

@@ -202,9 +202,19 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
         )));
     }
     let want_crc = u32::from_le_bytes(header[12..16].try_into().expect("fixed slice"));
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)
-        .map_err(|e| ServeError::protocol(format!("truncated frame payload: {e}")))?;
+    // Fill the payload in bounded chunks rather than reserving `len` up
+    // front: a 16-byte header alone must not commit 256 MiB — memory grows
+    // only as declared bytes actually arrive on the wire.
+    const READ_CHUNK: usize = 1 << 20;
+    let len = len as usize;
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    while payload.len() < len {
+        let take = (len - payload.len()).min(READ_CHUNK);
+        let start = payload.len();
+        payload.resize(start + take, 0);
+        r.read_exact(&mut payload[start..])
+            .map_err(|e| ServeError::protocol(format!("truncated frame payload: {e}")))?;
+    }
     if crc32(&payload) != want_crc {
         return Err(ServeError::protocol("frame payload CRC mismatch"));
     }

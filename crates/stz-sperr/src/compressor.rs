@@ -2,7 +2,9 @@
 
 use crate::coder;
 use crate::wavelet;
-use stz_codec::{BitReader, BitWriter, ByteReader, ByteWriter, CodecError, Result};
+use stz_codec::{
+    check_decode_alloc, BitReader, BitWriter, ByteReader, ByteWriter, CodecError, Result,
+};
 use stz_field::{Dims, Field, Scalar};
 
 /// Magic bytes of a SPERR-style archive.
@@ -167,7 +169,13 @@ fn parse<T: Scalar>(bytes: &[u8]) -> Result<Parsed<'_>> {
     if nz == 0 || ny == 0 || nx == 0 || nz.saturating_mul(ny).saturating_mul(nx) > (1 << 40) {
         return Err(CodecError::corrupt("invalid dims"));
     }
+    if (ndim < 3 && nz != 1) || (ndim < 2 && ny != 1) {
+        return Err(CodecError::corrupt("dims inconsistent with ndim"));
+    }
     let dims = Dims::from_parts(ndim, nz, ny, nx);
+    // Reject before the dims-sized recon/magnitude/sign buffers and the
+    // dims-bounded correction tables are reserved.
+    check_decode_alloc(dims.len() as u64, 8, "sperr field")?;
     let tol = r.get_f64()?;
     if !(tol > 0.0 && tol.is_finite()) {
         return Err(CodecError::corrupt("invalid tolerance"));

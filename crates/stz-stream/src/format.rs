@@ -298,6 +298,13 @@ fn get_dims(r: &mut ByteReader<'_>) -> Result<Dims> {
     if (ndim < 3 && nz != 1) || (ndim < 2 && ny != 1) {
         return Err(StreamError::corrupt("dims inconsistent with ndim"));
     }
+    // Entry dims size every decode-side work buffer downstream; reject
+    // hostile geometry here, before any of them can be reserved.
+    stz_codec::check_decode_alloc(
+        nz.saturating_mul(ny).saturating_mul(nx),
+        8,
+        "container entry field",
+    )?;
     Ok(Dims::from_parts(ndim, nz as usize, ny as usize, nx as usize))
 }
 

@@ -1,7 +1,7 @@
 //! Archive header and payload serialization.
 
 use crate::config::InterpKind;
-use stz_codec::{ByteReader, ByteWriter, CodecError, Result};
+use stz_codec::{check_decode_alloc, ByteReader, ByteWriter, CodecError, Result};
 use stz_field::{Dims, Scalar};
 
 /// Magic bytes of an SZ3-style archive.
@@ -68,6 +68,8 @@ pub fn read_header(r: &mut ByteReader<'_>) -> Result<Header> {
     if (ndim < 3 && nz != 1) || (ndim < 2 && ny != 1) {
         return Err(CodecError::corrupt("dims inconsistent with ndim"));
     }
+    // Reject before the decoder reserves its dims-sized f64 work buffer.
+    check_decode_alloc(nz.saturating_mul(ny).saturating_mul(nx), 8, "sz3 field")?;
     let eb = r.get_f64()?;
     if !(eb > 0.0 && eb.is_finite()) {
         return Err(CodecError::corrupt(format!("invalid error bound {eb}")));

@@ -4,7 +4,9 @@
 use crate::bitplane::{decode_planes, encode_planes};
 use crate::block::{block_origin, blocks_in_region, gather_block, num_blocks, scatter_block};
 use crate::transform::{fwd_xform, int_to_uint, inv_xform, sequency_order, uint_to_int, BS};
-use stz_codec::{BitReader, BitWriter, ByteReader, ByteWriter, CodecError, Result};
+use stz_codec::{
+    check_decode_alloc, BitReader, BitWriter, ByteReader, ByteWriter, CodecError, Result,
+};
 use stz_field::{Dims, Field, Region, Scalar};
 
 /// Magic bytes of a ZFP-style archive.
@@ -235,7 +237,12 @@ fn parse_archive<T: Scalar>(bytes: &[u8]) -> Result<ParsedArchive<'_>> {
     if nz == 0 || ny == 0 || nx == 0 || nz.saturating_mul(ny).saturating_mul(nx) > (1 << 40) {
         return Err(CodecError::corrupt("invalid dims"));
     }
+    if (ndim < 3 && nz != 1) || (ndim < 2 && ny != 1) {
+        return Err(CodecError::corrupt("dims inconsistent with ndim"));
+    }
     let dims = Dims::from_parts(ndim, nz, ny, nx);
+    // Reject before `Field::zeros(dims)` and the offset table reserve.
+    check_decode_alloc(dims.len() as u64, 8, "zfp field")?;
     let tolerance = r.get_f64()?;
     if !(tolerance > 0.0 && tolerance.is_finite()) {
         return Err(CodecError::corrupt("invalid tolerance"));
@@ -243,6 +250,11 @@ fn parse_archive<T: Scalar>(bytes: &[u8]) -> Result<ParsedArchive<'_>> {
     let nb = r.get_uvarint()? as usize;
     if nb != num_blocks(dims) {
         return Err(CodecError::corrupt("block count mismatch"));
+    }
+    // Each offset is at least one varint byte, so a table larger than the
+    // remaining input cannot be real — check before reserving it.
+    if nb > r.remaining() {
+        return Err(CodecError::UnexpectedEof { context: "zfp block offsets" });
     }
     let mut offsets = Vec::with_capacity(nb);
     let mut acc = 0u64;

@@ -1,0 +1,123 @@
+//! Replay the pinned fuzz corpus under `tests/corpus/regressions/`.
+//!
+//! Every `.hex` reproducer — hand-ported hostile cases from
+//! `tests/serve.rs`, structurally corrupted containers, and minimized
+//! inputs of bugs the fuzzer actually found — is fed back through the
+//! harness named in its `# target:` header and must:
+//!
+//! * not panic (the engine's panic oracle, via `stz_fuzz::replay`);
+//! * never trigger a single allocation beyond the 64 MiB replay cap
+//!   (the allocation oracle, via the tracking global allocator);
+//! * classify identically across two replays (determinism oracle);
+//! * stay in the error *class* recorded when the case was pinned: the
+//!   stored signature minus its message hash must match the current one,
+//!   so a parser change that turns "corrupt" into a panic or an "ok"
+//!   fails here before it ships.
+//!
+//! Regenerate the corpus with `cargo run --release -p stz-fuzz --bin
+//! gen_corpus` after intentional classification changes.
+
+use std::path::PathBuf;
+use stz_fuzz::corpus::Reproducer;
+use stz_fuzz::{replay, CodecTarget, ContainerTarget, FuzzTarget, ProtoTarget};
+
+#[global_allocator]
+static ALLOC: stz_fuzz::alloc_guard::TrackingAlloc = stz_fuzz::alloc_guard::TrackingAlloc;
+
+/// Largest single allocation any replayed reproducer may cause. The live
+/// harnesses run with a tighter engine-configured cap; replay allows
+/// headroom for test-runner overhead while still catching the multi-GiB
+/// reservations this oracle exists for.
+const REPLAY_ALLOC_CAP: usize = 64 << 20;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/regressions")
+}
+
+/// Signature minus the trailing message hash: `target:class` — the part
+/// that must stay stable across parser-message wording changes.
+fn class_of(signature: &str) -> &str {
+    signature.rsplit_once(':').map_or(signature, |(class, _hash)| class)
+}
+
+#[test]
+fn every_pinned_reproducer_replays_clean() {
+    let container = ContainerTarget;
+    let proto = ProtoTarget;
+    let codec = CodecTarget;
+
+    // Tighten the decode-allocation guard the same way the harness
+    // binaries do, so guard-dependent classifications replay identically.
+    stz_codec::set_max_decode_bytes((REPLAY_ALLOC_CAP / 2) as u64);
+
+    let dir = corpus_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|e| e.expect("read_dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "hex"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 15,
+        "expected the pinned corpus to hold at least 15 cases, found {} in {}",
+        entries.len(),
+        dir.display()
+    );
+
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("read reproducer");
+        let rep = Reproducer::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: malformed reproducer: {e}", path.display()));
+        let target: &dyn FuzzTarget = match rep.target.as_str() {
+            "container" => &container,
+            "proto" => &proto,
+            "codec" => &codec,
+            other => panic!("{}: unknown target {other:?}", path.display()),
+        };
+
+        stz_fuzz::alloc_guard::reset_peak();
+        let first = replay(target, &rep.bytes)
+            .unwrap_or_else(|msg| panic!("{}: replay panicked: {msg}", path.display()));
+        let peak = stz_fuzz::alloc_guard::peak_single();
+        assert!(
+            peak <= REPLAY_ALLOC_CAP,
+            "{}: replay allocated {peak} bytes in one call (cap {REPLAY_ALLOC_CAP})",
+            path.display()
+        );
+
+        let second = replay(target, &rep.bytes)
+            .unwrap_or_else(|msg| panic!("{}: second replay panicked: {msg}", path.display()));
+        assert_eq!(
+            first,
+            second,
+            "{}: classification changed between two replays of the same bytes",
+            path.display()
+        );
+
+        let now = first.signature(target.name());
+        assert_eq!(
+            class_of(&rep.signature),
+            class_of(&now),
+            "{}: pinned class {:?} drifted to {:?} — rerun gen_corpus if intentional",
+            path.display(),
+            rep.signature,
+            now
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_all_three_harnesses() {
+    let mut targets = std::collections::BTreeSet::new();
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir") {
+        let path = entry.expect("read_dir entry").path();
+        if path.extension().is_some_and(|x| x == "hex") {
+            let rep = Reproducer::parse(&std::fs::read_to_string(&path).expect("read"))
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            targets.insert(rep.target);
+        }
+    }
+    for want in ["container", "proto", "codec"] {
+        assert!(targets.contains(want), "no pinned cases for the {want} harness");
+    }
+}
