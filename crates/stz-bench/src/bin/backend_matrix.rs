@@ -18,14 +18,19 @@
 //! error grows more than 10%, a baseline cell disappeared, or any cell
 //! violates its error bound outright. Ratio and max error are
 //! deterministic for a given `--scale`/`--seed`, so the 10% headroom only
-//! absorbs intentional algorithm tuning — not machine noise; throughput
-//! is machine-dependent and therefore recorded but never gated.
+//! absorbs intentional algorithm tuning — not machine noise. Throughput
+//! is machine-dependent and therefore only gated against the *absolute*
+//! per-backend decode floors in the baseline's `decode_floors` section
+//! (committed far below any healthy run, like the serve p50 budgets) —
+//! they catch an accidental order-of-magnitude decode regression, not
+//! run-to-run noise.
 
 use stz_backend::{registry, BackendScalar, Codec};
 use stz_bench::json::{obj, Json};
 use stz_bench::{cli, timing};
 use stz_data::{metrics, Dataset, DatasetField};
 use stz_field::Field;
+use stz_simd::Lane;
 
 /// Value-range-relative error bound of every cell (the paper's default).
 const EB_REL: f64 = 1e-3;
@@ -67,6 +72,124 @@ fn run_cell<T: BackendScalar>(
     }
 }
 
+/// One ported hot-loop kernel measured per executable lane, in million
+/// points per second (best of `reps` passes).
+struct KernelRow {
+    kernel: &'static str,
+    mpts: Vec<(Lane, f64)>,
+}
+
+/// Measure the three ported SIMD kernel families through the public
+/// dispatch API, one row per kernel, one column per executable lane.
+///
+/// End-to-end `decompress_mbps` blends the kernels with the shared
+/// lane-independent stages (entropy decode, bookkeeping, allocation), so
+/// on short rows the lane speedup is diluted; this section isolates the
+/// vectorized loops themselves — the honest "how much faster is the AVX2
+/// kernel" number that `docs/SIMD.md` quotes.
+fn kernel_matrix(reps: usize) -> Vec<KernelRow> {
+    // 64 rows of m = 61 stride-2 points over a 128-wide lattice — the
+    // geometry of a level-3 row at production scale, sized to stay
+    // cache-resident so the numbers reflect the kernels rather than DRAM
+    // bandwidth (each pass re-walks the same 64 rows).
+    const DIM: usize = 128;
+    const ROWS: usize = 64;
+    const PASSES: usize = 32;
+    const M: usize = (DIM - 6) / 2;
+    let reps = reps.max(3);
+    let buf: Vec<f64> = (0..DIM * ROWS).map(|i| (i % 97) as f64 * 0.125 - 6.0).collect();
+    let codes: Vec<f64> = (0..M).map(|i| (i % 11) as f64 - 5.0).collect();
+    let st = stz_simd::Stencil::new(
+        true,
+        2,
+        [-1, 1, 0, 0, 0, 0, 0, 0],
+        [-3, 3, 0, 0, 0, 0, 0, 0],
+        9.0 / 16.0,
+        -1.0 / 16.0,
+    );
+    let lanes = stz_simd::available_lanes();
+    let points = (PASSES * ROWS * M) as f64;
+    let mut out = vec![0.0f64; M];
+    let mut rows: Vec<KernelRow> = Vec::new();
+
+    let mut measure = |kernel: &'static str, f: &mut dyn FnMut(Lane)| {
+        let mpts = lanes
+            .iter()
+            .map(|&lane| {
+                let (secs, _) = timing::time_best(reps, || f(lane));
+                (lane, points / secs / 1e6)
+            })
+            .collect();
+        rows.push(KernelRow { kernel, mpts });
+    };
+
+    measure("predict+recon f64", &mut |lane| {
+        for _ in 0..PASSES {
+            for r in 0..ROWS {
+                stz_simd::predict_recon_run_f64(
+                    lane,
+                    &buf,
+                    r * DIM + 3,
+                    &st,
+                    &codes,
+                    2e-3,
+                    &mut out,
+                );
+            }
+        }
+    });
+    measure("predict+recon f32", &mut |lane| {
+        for _ in 0..PASSES {
+            for r in 0..ROWS {
+                stz_simd::predict_recon_run_f32(
+                    lane,
+                    &buf,
+                    r * DIM + 3,
+                    &st,
+                    &codes,
+                    2e-3,
+                    &mut out,
+                );
+            }
+        }
+    });
+
+    let n = ROWS * M;
+    let actuals = &buf[..n];
+    let preds: Vec<f64> = buf[1..n + 1].to_vec();
+    let mut q = vec![0.0f64; n];
+    let mut recon = vec![0.0f64; n];
+    let mut esc = vec![0u8; n];
+    measure("quantize f64", &mut |lane| {
+        for _ in 0..PASSES {
+            stz_simd::quantize_run_f64(
+                lane, actuals, &preds, 1e-3, 2e-3, 32768.0, &mut q, &mut recon, &mut esc,
+            );
+        }
+    });
+    measure("quantize f32", &mut |lane| {
+        for _ in 0..PASSES {
+            stz_simd::quantize_run_f32(
+                lane, actuals, &preds, 1e-3, 2e-3, 32768.0, &mut q, &mut recon, &mut esc,
+            );
+        }
+    });
+
+    let mut gathered = vec![0.0f64; n];
+    let mut dst = vec![0.0f64; buf.len()];
+    measure("gather2 f64", &mut |lane| {
+        for _ in 0..PASSES {
+            stz_simd::gather2_f64(lane, &buf, 1, &mut gathered);
+        }
+    });
+    measure("scatter2 f64", &mut |lane| {
+        for _ in 0..PASSES {
+            stz_simd::scatter2_f64(lane, &gathered, &mut dst, 1);
+        }
+    });
+    rows
+}
+
 fn main() {
     let opts = cli::from_env();
     let mut out_path = "BENCH_backends.json".to_string();
@@ -84,8 +207,9 @@ fn main() {
         }
     }
 
+    let lane = stz_simd::announce();
     println!(
-        "# backend_matrix: scale {}, seed {}, reps {}, eb {EB_REL:.0e} (relative)",
+        "# backend_matrix: scale {}, seed {}, reps {}, eb {EB_REL:.0e} (relative), simd {lane}",
         opts.scale, opts.seed, opts.reps
     );
     println!(
@@ -115,12 +239,30 @@ fn main() {
         }
     }
 
+    let kernels = kernel_matrix(opts.reps.max(9));
+    println!("# simd kernel hot loops (Mpts/s, best-of-reps, m=61 rows; see docs/SIMD.md)");
+    print!("{:<18}", "kernel");
+    for (lane, _) in &kernels[0].mpts {
+        print!(" {:>9}", lane.name());
+    }
+    println!(" {:>13}", "widest/scalar");
+    for k in &kernels {
+        print!("{:<18}", k.kernel);
+        for (_, mpts) in &k.mpts {
+            print!(" {mpts:>9.1}");
+        }
+        let scalar = k.mpts[0].1;
+        let widest = k.mpts.last().map_or(scalar, |&(_, m)| m);
+        println!(" {:>12.2}x", widest / scalar);
+    }
+
     let doc = obj([
         ("schema", Json::Str("stz-backend-matrix/v1".into())),
         ("scale", Json::Num(opts.scale as f64)),
         ("seed", Json::Num(opts.seed as f64)),
         ("reps", Json::Num(opts.reps as f64)),
         ("eb_rel", Json::Num(EB_REL)),
+        ("simd_lane", Json::Str(lane.name().into())),
         (
             "results",
             Json::Arr(
@@ -137,6 +279,22 @@ fn main() {
                             ("compress_mbps", Json::Num(r.compress_mbps)),
                             ("decompress_mbps", Json::Num(r.decompress_mbps)),
                         ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "simd_kernels",
+            Json::Arr(
+                kernels
+                    .iter()
+                    .map(|k| {
+                        let mut fields: Vec<(&str, Json)> =
+                            vec![("kernel", Json::Str(k.kernel.into()))];
+                        fields.extend(
+                            k.mpts.iter().map(|&(lane, mpts)| (lane.name(), Json::Num(mpts))),
+                        );
+                        obj(fields)
                     })
                     .collect(),
             ),
@@ -192,6 +350,28 @@ fn check_against_baseline(baseline: &Json, rows: &[Row], scale: usize, failures:
         failures.push("baseline has no results array".into());
         return;
     };
+    // Absolute decode-throughput floors: every cell of a listed backend
+    // must clear its floor. These are the only throughput gate — committed
+    // with enough headroom that only a structural regression (e.g. the
+    // SIMD dispatch silently pinning scalar, or an accidental O(n²)) can
+    // trip them on a noisy runner.
+    if let Some(Json::Obj(floors)) = baseline.get_path(&["decode_floors", "mbps"]) {
+        for (backend, floor) in floors {
+            let Some(floor) = floor.as_f64() else {
+                failures.push(format!("decode floor for {backend} is not a number"));
+                continue;
+            };
+            for r in rows.iter().filter(|r| r.backend == backend.as_str()) {
+                // NaN (a malformed measurement) must fail the gate too.
+                if r.decompress_mbps < floor || r.decompress_mbps.is_nan() {
+                    failures.push(format!(
+                        "{}/{}: decode throughput {:.1} MB/s below the {floor:.1} MB/s floor",
+                        r.backend, r.dataset, r.decompress_mbps
+                    ));
+                }
+            }
+        }
+    }
     for base in base_rows {
         let (Some(backend), Some(dataset)) = (
             base.get("backend").and_then(Json::as_str),

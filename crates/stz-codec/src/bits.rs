@@ -82,17 +82,49 @@ impl BitWriter {
 /// Bit reader over a byte slice, mirroring [`BitWriter`]'s MSB-first order.
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
-    data: &'a [u8],
+    /// Crate-visible so the Huffman hot loop can keep the reader state in
+    /// registers (see `HuffmanDecoder::decode_n`); the invariants are
+    /// documented on [`BitReader::refill`].
+    pub(crate) data: &'a [u8],
     /// Index of the next byte to load.
-    pos: usize,
-    acc: u64,
+    pub(crate) pos: usize,
+    pub(crate) acc: u64,
     /// Number of valid bits in `acc`.
-    nbits: u32,
+    pub(crate) nbits: u32,
 }
 
 impl<'a> BitReader<'a> {
     pub fn new(data: &'a [u8]) -> Self {
         BitReader { data, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    /// Top up the accumulator from the buffer, loading as many whole bytes
+    /// as fit. Away from the end of the buffer this is a single 8-byte
+    /// big-endian load instead of a byte-at-a-time loop — appending `k`
+    /// bytes of one big-endian word is bit-identical to appending them one
+    /// by one, so the stream semantics are unchanged. Leaves fewer than
+    /// `want` bits buffered only when the input is exhausted.
+    #[inline]
+    fn refill(&mut self, want: u32) {
+        if self.pos + 8 <= self.data.len() {
+            // Callers refill only when `nbits < want <= 57`, so 1..=8 bytes fit.
+            debug_assert!(self.nbits <= 56);
+            let take = ((64 - self.nbits) >> 3) as usize;
+            let word = u64::from_be_bytes(self.data[self.pos..self.pos + 8].try_into().unwrap());
+            self.acc = if take == 8 {
+                word
+            } else {
+                (self.acc << (8 * take)) | (word >> (64 - 8 * take as u32))
+            };
+            self.pos += take;
+            self.nbits += 8 * take as u32;
+        } else {
+            while self.nbits < want && self.pos < self.data.len() {
+                self.acc = (self.acc << 8) | self.data[self.pos] as u64;
+                self.pos += 1;
+                self.nbits += 8;
+            }
+        }
     }
 
     /// Read `len` bits (`len <= 57`). Reading past the end of the buffer is
@@ -104,13 +136,11 @@ impl<'a> BitReader<'a> {
         if len == 0 {
             return Ok(0);
         }
-        while self.nbits < len {
-            if self.pos >= self.data.len() {
+        if self.nbits < len {
+            self.refill(len);
+            if self.nbits < len {
                 return Err(CodecError::UnexpectedEof { context: "bitstream" });
             }
-            self.acc = (self.acc << 8) | self.data[self.pos] as u64;
-            self.pos += 1;
-            self.nbits += 8;
         }
         self.nbits -= len;
         Ok((self.acc >> self.nbits) & ((1u64 << len) - 1))
@@ -153,10 +183,8 @@ impl<'a> BitReader<'a> {
         if len == 0 {
             return 0;
         }
-        while self.nbits < len && self.pos < self.data.len() {
-            self.acc = (self.acc << 8) | self.data[self.pos] as u64;
-            self.pos += 1;
-            self.nbits += 8;
+        if self.nbits < len {
+            self.refill(len);
         }
         let mask = (1u64 << len) - 1;
         if self.nbits >= len {
@@ -165,6 +193,20 @@ impl<'a> BitReader<'a> {
             // Zero-pad virtually past the end.
             (self.acc << (len - self.nbits)) & mask
         }
+    }
+
+    /// Consume `len` bits that a preceding [`BitReader::peek`] of at least
+    /// `len` bits already buffered. After such a peek the accumulator holds
+    /// either `>= len` bits or every remaining real bit, so `nbits < len`
+    /// here means a true end-of-stream — exactly when
+    /// [`BitReader::consume`] would fail.
+    #[inline]
+    pub fn consume_buffered(&mut self, len: u32) -> Result<()> {
+        if self.nbits < len {
+            return Err(CodecError::UnexpectedEof { context: "bitstream consume" });
+        }
+        self.nbits -= len;
+        Ok(())
     }
 
     /// Consume `len` bits previously inspected with [`BitReader::peek`].
@@ -176,10 +218,8 @@ impl<'a> BitReader<'a> {
         }
         // peek() already buffered at least `min(len, remaining)` bits when the
         // caller inspected them, but consume() may be called cold too.
-        while self.nbits < len {
-            self.acc = (self.acc << 8) | self.data[self.pos] as u64;
-            self.pos += 1;
-            self.nbits += 8;
+        if self.nbits < len {
+            self.refill(len);
         }
         self.nbits -= len;
         Ok(())

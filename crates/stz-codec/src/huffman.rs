@@ -105,8 +105,13 @@ impl HuffmanEncoder {
 #[derive(Debug, Clone)]
 pub struct HuffmanDecoder {
     /// Fast path: `table[prefix] = (symbol, len)` for codes of length
-    /// `<= TABLE_BITS`; `len == 0` marks a long code.
+    /// `<= table_bits`; `len == 0` marks a long code.
     table: Vec<(u32, u8)>,
+    /// `min(max_len, TABLE_BITS)` — sizing the fast table to the actual
+    /// longest code keeps the per-table build cost proportional to the
+    /// alphabet, which matters when many small blocks each carry their own
+    /// table.
+    table_bits: u32,
     /// Canonical walk state for long codes, indexed by length `1..=max_len`.
     first_code: [u64; MAX_CODE_LEN as usize + 1],
     offset: [u32; MAX_CODE_LEN as usize + 1],
@@ -191,14 +196,15 @@ impl HuffmanDecoder {
         }
 
         // Fast table for short codes.
-        let table_len = 1usize << TABLE_BITS;
+        let table_bits = TABLE_BITS.min(max_len);
+        let table_len = 1usize << table_bits;
         let mut table = vec![(0u32, 0u8); table_len];
-        for len in 1..=TABLE_BITS.min(max_len) {
+        for len in 1..=table_bits {
             let len_us = len as usize;
             for k in 0..count[len_us] {
                 let code = first_code[len_us] + k as u64;
                 let sym = symbols[(offset[len_us] + k) as usize];
-                let shift = TABLE_BITS - len;
+                let shift = table_bits - len;
                 let base = (code << shift) as usize;
                 for fill in 0..(1usize << shift) {
                     table[base + fill] = (sym, len as u8);
@@ -206,16 +212,18 @@ impl HuffmanDecoder {
             }
         }
 
-        Ok(HuffmanDecoder { table, first_code, offset, count, symbols, max_len })
+        Ok(HuffmanDecoder { table, table_bits, first_code, offset, count, symbols, max_len })
     }
 
     /// Decode a single symbol.
     #[inline]
     pub fn decode_symbol(&self, r: &mut BitReader<'_>) -> Result<u32> {
-        let prefix = r.peek(TABLE_BITS) as usize;
+        let prefix = r.peek(self.table_bits) as usize;
         let (sym, len) = self.table[prefix];
         if len > 0 {
-            r.consume(len as u32)?;
+            // peek() buffered >= len bits (or hit true EOF), so the cheap
+            // consume path is exact.
+            r.consume_buffered(len as u32)?;
             return Ok(sym);
         }
         self.decode_long(r)
@@ -223,11 +231,11 @@ impl HuffmanDecoder {
 
     #[cold]
     fn decode_long(&self, r: &mut BitReader<'_>) -> Result<u32> {
-        if self.max_len <= TABLE_BITS {
+        if self.max_len <= self.table_bits {
             return Err(CodecError::corrupt("invalid huffman prefix"));
         }
         let window = r.peek(self.max_len);
-        for len in (TABLE_BITS + 1)..=self.max_len {
+        for len in (self.table_bits + 1)..=self.max_len {
             let code = window >> (self.max_len - len);
             let len_us = len as usize;
             if code >= self.first_code[len_us]
@@ -243,12 +251,55 @@ impl HuffmanDecoder {
 
     /// Decode exactly `n` symbols.
     pub fn decode_n(&self, r: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>> {
-        // Reserve incrementally: `n` is caller-declared, and each decoded
-        // symbol consumes at least one input bit, so growing with the
-        // decode loop bounds the allocation by the real input size even
-        // when the declared count lies.
-        let mut out = Vec::with_capacity(n.min(1 << 16));
-        for _ in 0..n {
+        // `n` is caller-declared, but each decoded symbol consumes at least
+        // one input bit, so clamping the reservation to the real input size
+        // bounds the allocation even when the declared count lies — while an
+        // honest `n` gets its exact capacity up front (no growth copies in
+        // the decode hot loop).
+        let cap = n.min(r.bits_remaining() as usize);
+        let mut out = Vec::with_capacity(cap);
+        let table = &self.table[..];
+        let tb = self.table_bits;
+        if tb > 0 && table.len() == 1usize << tb {
+            // Hot loop: reader state lives in registers, the table index is
+            // masked to the (length-checked) table size so no per-symbol
+            // bounds check or `Result` survives, and refills use the 8-byte
+            // fast path. The last few bytes of input — where the fast refill
+            // no longer applies — and long codes fall back to
+            // `decode_symbol`, which reproduces the exact same bit stream
+            // semantics (the fast loop merely batches its state updates).
+            let data = r.data;
+            let (mut pos, mut acc, mut nbits) = (r.pos, r.acc, r.nbits);
+            while out.len() < n {
+                if nbits < tb {
+                    if pos + 8 > data.len() {
+                        break;
+                    }
+                    let take = ((64 - nbits) >> 3) as usize;
+                    let word = u64::from_be_bytes(data[pos..pos + 8].try_into().unwrap());
+                    acc = if take == 8 {
+                        word
+                    } else {
+                        (acc << (8 * take)) | (word >> (64 - 8 * take as u32))
+                    };
+                    pos += take;
+                    nbits += 8 * take as u32;
+                }
+                let prefix = (acc >> (nbits - tb)) as usize & (table.len() - 1);
+                let (sym, len) = table[prefix];
+                if len == 0 {
+                    // Long code: hand the reader back and take the cold path.
+                    (r.pos, r.acc, r.nbits) = (pos, acc, nbits);
+                    out.push(self.decode_long(r)?);
+                    (pos, acc, nbits) = (r.pos, r.acc, r.nbits);
+                    continue;
+                }
+                nbits -= len as u32;
+                out.push(sym);
+            }
+            (r.pos, r.acc, r.nbits) = (pos, acc, nbits);
+        }
+        for _ in out.len()..n {
             out.push(self.decode_symbol(r)?);
         }
         Ok(out)

@@ -211,11 +211,45 @@ fn quantize_chunk<T: Scalar>(
     let active = &block.active_axes[..];
     let src = orig.as_slice();
     let stencil = RowWalker::new(gdims, block, interp);
+    let lane = stz_simd::active_lane();
+    // Row-batch scratch for the SIMD path (unused under Lane::Scalar, which
+    // keeps the original per-point walk as the byte-identity anchor).
+    let mut scratch = RowScratch::new(if lane == stz_simd::Lane::Scalar { 0 } else { bx });
     for z in z_range {
         for y in 0..by {
             let row = (z * by + y) * bx;
             let walk = stencil.row(z, y, bx);
-            for x in 0..bx {
+            let (xa, xb) = walk.batch_range(&scratch);
+            let mut x = 0;
+            while x < bx {
+                if x == xa && x < xb {
+                    // Interior span: predict + quantize a whole row segment
+                    // at SIMD width, then emit symbols/outliers in the same
+                    // ascending order as the per-point loop.
+                    let m = xb - xa;
+                    let (actuals, preds, qs, rs, es) = scratch.split(m);
+                    T::simd_widen(lane, &src[row + xa..row + xb], actuals);
+                    stz_simd::predict_run(
+                        lane,
+                        gbuf,
+                        walk.row_base + walk.gx0 + 2 * xa,
+                        walk.simd_stencil(),
+                        preds,
+                    );
+                    stz_sz3::quant::quantize_run::<T>(quant, lane, actuals, preds, qs, rs, es);
+                    for j in 0..m {
+                        if es[j] == 0 {
+                            symbols.push(LinearQuantizer::symbol_of(qs[j] as i64));
+                            recon.push(rs[j]);
+                        } else {
+                            symbols.push(ESCAPE_SYMBOL);
+                            outliers.push(src[row + xa + j]);
+                            recon.push(actuals[j]);
+                        }
+                    }
+                    x = xb;
+                    continue;
+                }
                 let pred = walk.predict(gbuf, gdims, active, interp, x);
                 let actual = src[row + x].to_f64();
                 match quantize_scalar::<T>(quant, actual, pred) {
@@ -229,10 +263,54 @@ fn quantize_chunk<T: Scalar>(
                         recon.push(actual);
                     }
                 }
+                x += 1;
             }
         }
     }
     BlockPayload { symbols, outliers, recon }
+}
+
+/// Reusable per-row scratch buffers for the SIMD batch paths. `cap == 0`
+/// disables batching (the scalar lane walks point by point instead).
+struct RowScratch {
+    actuals: Vec<f64>,
+    preds: Vec<f64>,
+    codes: Vec<f64>,
+    recon: Vec<f64>,
+    escapes: Vec<u8>,
+}
+
+impl RowScratch {
+    fn new(cap: usize) -> RowScratch {
+        RowScratch {
+            actuals: vec![0.0; cap],
+            preds: vec![0.0; cap],
+            codes: vec![0.0; cap],
+            recon: vec![0.0; cap],
+            escapes: vec![0; cap],
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        !self.preds.is_empty()
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn split(&mut self, m: usize) -> (&mut [f64], &mut [f64], &mut [f64], &mut [f64], &mut [u8]) {
+        (
+            &mut self.actuals[..m],
+            &mut self.preds[..m],
+            &mut self.codes[..m],
+            &mut self.recon[..m],
+            &mut self.escapes[..m],
+        )
+    }
+
+    /// Just the code buffer (the decode path writes reconstructions
+    /// directly into its output instead of through the scratch).
+    fn codes(&mut self, m: usize) -> &mut [f64] {
+        &mut self.codes[..m]
+    }
 }
 
 /// Per-block prediction walker: precomputes the interior fast-path stencil
@@ -240,6 +318,7 @@ fn quantize_chunk<T: Scalar>(
 /// only where the stencil leaves the grid.
 struct RowWalker<'a> {
     stencil: crate::kernels::StencilOffsets,
+    simd_stencil: stz_simd::Stencil,
     block: &'a BlockSpec,
     gny: usize,
     gnx: usize,
@@ -266,8 +345,10 @@ impl<'a> RowWalker<'a> {
         block: &'a BlockSpec,
         interp: stz_sz3::InterpKind,
     ) -> RowWalker<'a> {
+        let stencil = crate::kernels::StencilOffsets::new(gdims, &block.active_axes, interp);
         RowWalker {
-            stencil: crate::kernels::StencilOffsets::new(gdims, &block.active_axes, interp),
+            simd_stencil: stencil.as_simd(),
+            stencil,
             block,
             gny: gdims.ny(),
             gnx: gdims.nx(),
@@ -304,6 +385,23 @@ impl<'a> RowWalker<'a> {
 }
 
 impl RowWalk<'_> {
+    /// The block-local x span `[xa, xb)` this row can process with the SIMD
+    /// batch kernels — its interior fast-path span, or empty when batching
+    /// is disabled or the row's z/y stencil legs leave the grid.
+    #[inline]
+    fn batch_range(&self, scratch: &RowScratch) -> (usize, usize) {
+        if scratch.enabled() && self.zy_interior {
+            (self.xa, self.xb)
+        } else {
+            (0, 0)
+        }
+    }
+
+    #[inline]
+    fn simd_stencil(&self) -> &stz_simd::Stencil {
+        &self.walker.simd_stencil
+    }
+
     #[inline(always)]
     fn predict(
         &self,
@@ -518,11 +616,47 @@ fn reconstruct_chunk<T: Scalar>(
     let active = &block.active_axes[..];
     let mut recon = Vec::with_capacity((z_range.end - z_range.start) * by * bx);
     let stencil = RowWalker::new(gdims, block, interp);
+    let lane = stz_simd::active_lane();
+    let mut scratch = RowScratch::new(if lane == stz_simd::Lane::Scalar { 0 } else { bx });
     for z in z_range {
         for y in 0..by {
             let row = (z * by + y) * bx;
             let walk = stencil.row(z, y, bx);
-            for x in 0..bx {
+            let (xa, xb) = walk.batch_range(&scratch);
+            let mut x = 0;
+            while x < bx {
+                if x == xa && x < xb {
+                    // Interior span: branchless symbol→code conversion, then
+                    // one fused predict+reconstruct pass writing straight
+                    // into the output. Escape slots get a placeholder code —
+                    // their lane result is overwritten with the stored
+                    // outlier below, so it cannot influence any output byte.
+                    let m = xb - xa;
+                    let span = &symbols[row + xa..row + xb];
+                    let codes = scratch.codes(m);
+                    LinearQuantizer::codes_of_run(span, codes);
+                    let start = recon.len();
+                    recon.resize(start + m, 0.0);
+                    stz_sz3::quant::predict_reconstruct_run::<T>(
+                        quant,
+                        lane,
+                        gbuf,
+                        walk.row_base + walk.gx0 + 2 * xa,
+                        walk.simd_stencil(),
+                        codes,
+                        &mut recon[start..start + m],
+                    );
+                    if !outliers.is_empty() {
+                        for (j, &s) in span.iter().enumerate() {
+                            if s == ESCAPE_SYMBOL {
+                                recon[start + j] = outliers[outlier_cursor].to_f64();
+                                outlier_cursor += 1;
+                            }
+                        }
+                    }
+                    x = xb;
+                    continue;
+                }
                 let symbol = symbols[row + x];
                 if symbol == ESCAPE_SYMBOL {
                     recon.push(outliers[outlier_cursor].to_f64());
@@ -531,6 +665,7 @@ fn reconstruct_chunk<T: Scalar>(
                     let pred = walk.predict(gbuf, gdims, active, interp, x);
                     recon.push(reconstruct_scalar::<T>(quant, symbol, pred));
                 }
+                x += 1;
             }
         }
     }
@@ -562,21 +697,24 @@ pub(crate) fn decompress_impl<T: Scalar, S: SectionSource + ?Sized>(
     // trivial per element, so materializing per-element work items would
     // cost more memory than the parallelism saves on large grids.
     let buf = grid.as_slice();
+    let lane = stz_simd::active_lane();
+    let cast = |r: std::ops::Range<usize>| -> Vec<T> {
+        let mut part = vec![T::default(); r.len()];
+        T::simd_from_f64(lane, &buf[r], &mut part);
+        part
+    };
     let data: Vec<T> = if parallel && buf.len() > 1 {
         let chunk = buf.len().div_ceil(64);
         let ranges: Vec<std::ops::Range<usize>> =
             (0..buf.len()).step_by(chunk).map(|s| s..(s + chunk).min(buf.len())).collect();
-        let parts: Vec<Vec<T>> = ranges
-            .into_par_iter()
-            .map(|r| buf[r].iter().map(|&v| T::from_f64(v)).collect())
-            .collect();
+        let parts: Vec<Vec<T>> = ranges.into_par_iter().map(cast).collect();
         let mut data = Vec::with_capacity(buf.len());
         for p in parts {
             data.extend(p);
         }
         data
     } else {
-        buf.iter().map(|&v| T::from_f64(v)).collect()
+        cast(0..buf.len())
     };
     Ok(Field::from_vec(grid.dims(), data))
 }
@@ -605,7 +743,9 @@ pub(crate) fn decode_level1<T: Scalar, S: SectionSource + ?Sized>(
             a.dims()
         )));
     }
-    Ok(Field::from_vec(expect, a.as_slice().iter().map(|&v| v.to_f64()).collect()))
+    let mut wide = vec![0.0f64; a.as_slice().len()];
+    T::simd_widen(stz_simd::active_lane(), a.as_slice(), &mut wide);
+    Ok(Field::from_vec(expect, wide))
 }
 
 /// Decode one finer level, given the previous level's working grid.
@@ -644,6 +784,163 @@ pub(crate) fn decode_level_grid<T: Scalar, S: SectionSource + ?Sized>(
 mod tests {
     use super::*;
     use stz_field::Dims;
+
+    #[test]
+    #[ignore]
+    fn profile_recon_batch() {
+        let dims = Dims::d3(128, 128, 128);
+        let f = Field::from_fn(dims, |z, y, x| {
+            let (zf, yf, xf) = (z as f32 * 0.21, y as f32 * 0.13, x as f32 * 0.17);
+            zf.sin() * yf.cos() + (xf + yf).sin() + 0.3 * zf
+        });
+        let archive = StzCompressor::new(StzConfig::three_level(1e-3)).compress(&f).unwrap();
+        let plan = archive.plan();
+        let src = &archive;
+        use crate::source::SectionSource;
+        let mut grid = decode_level1::<f32, _>(src, &plan).unwrap();
+        for level in &plan.levels[1..2] {
+            grid = decode_level_grid::<f32, _>(src, &plan, level.index, &grid, false).unwrap();
+        }
+        let level = &plan.levels[2];
+        let ebs = src.header().level_ebs();
+        let quant = LinearQuantizer::new(ebs[2], src.header().radius);
+        let interp = src.header().interp;
+        let mut next = Field::<f64>::zeros(level.grid_dims);
+        upscatter(&grid, &mut next);
+        let lane = stz_simd::active_lane();
+        for (i, block) in level.blocks.iter().enumerate() {
+            let bytes = SectionSource::block_bytes(src, level.index, i).unwrap();
+            let (symbols, outliers) =
+                decode_block_payload::<f32>(&bytes, block.lattice.len(), false).unwrap();
+            let bdims = block.lattice.dims();
+            let (bz, by, bx) = (bdims.nz(), bdims.ny(), bdims.nx());
+            let gbuf = next.as_slice();
+            let walker = RowWalker::new(next.dims(), block, interp);
+            let (mut pts_batch, mut pts_scalar) = (0usize, 0usize);
+            let mut scratch = RowScratch::new(bx);
+            let mut recon: Vec<f64> = Vec::with_capacity(bz * by * bx);
+            let (mut t_codes, mut t_kernel, mut t_scan, mut t_row) = (0.0, 0.0, 0.0, 0.0);
+            let t_all = std::time::Instant::now();
+            for z in 0..bz {
+                for y in 0..by {
+                    let tr = std::time::Instant::now();
+                    let row = (z * by + y) * bx;
+                    let walk = walker.row(z, y, bx);
+                    let (xa, xb) = walk.batch_range(&scratch);
+                    t_row += tr.elapsed().as_secs_f64();
+                    if xb > xa {
+                        pts_batch += xb - xa;
+                        pts_scalar += bx - (xb - xa);
+                        let m = xb - xa;
+                        let span = &symbols[row + xa..row + xb];
+                        let t = std::time::Instant::now();
+                        let codes = scratch.codes(m);
+                        LinearQuantizer::codes_of_run(span, codes);
+                        t_codes += t.elapsed().as_secs_f64();
+                        let t = std::time::Instant::now();
+                        let start = recon.len();
+                        recon.resize(start + m, 0.0);
+                        stz_sz3::quant::predict_reconstruct_run::<f32>(
+                            &quant,
+                            lane,
+                            gbuf,
+                            walk.row_base + walk.gx0 + 2 * xa,
+                            walk.simd_stencil(),
+                            codes,
+                            &mut recon[start..start + m],
+                        );
+                        t_kernel += t.elapsed().as_secs_f64();
+                        let t = std::time::Instant::now();
+                        if !outliers.is_empty() {
+                            let mut c = 0usize;
+                            for &s in span.iter() {
+                                if s == ESCAPE_SYMBOL {
+                                    c += 1;
+                                }
+                            }
+                            std::hint::black_box(c);
+                        }
+                        t_scan += t.elapsed().as_secs_f64();
+                    } else {
+                        pts_scalar += bx;
+                    }
+                }
+            }
+            let total = t_all.elapsed().as_secs_f64();
+            println!(
+                "block {i} axes {:?}: batch {pts_batch} scalar {pts_scalar} | row {t_row:.4} codes {t_codes:.4} kernel {t_kernel:.4} scan {t_scan:.4} total {total:.4}",
+                block.active_axes
+            );
+            std::hint::black_box(&recon);
+        }
+    }
+
+    #[test]
+    #[ignore]
+    fn profile_decode_stages() {
+        let dims = Dims::d3(128, 128, 128);
+        let f = Field::from_fn(dims, |z, y, x| {
+            let (zf, yf, xf) = (z as f32 * 0.21, y as f32 * 0.13, x as f32 * 0.17);
+            zf.sin() * yf.cos() + (xf + yf).sin() + 0.3 * zf
+        });
+        let archive = StzCompressor::new(StzConfig::three_level(1e-3)).compress(&f).unwrap();
+        let mb = f.nbytes() as f64 / 1e6;
+        // Whole decompress.
+        let t = std::time::Instant::now();
+        let out: Field<f32> = archive.decompress().unwrap();
+        let full = t.elapsed().as_secs_f64();
+        std::hint::black_box(&out);
+        println!("full decompress: {:.1} MB/s ({:.3}s)", mb / full, full);
+        // Stage split on the finest level (the bulk of the work).
+        let plan = archive.plan();
+        let src = &archive;
+        use crate::source::SectionSource;
+        let t = std::time::Instant::now();
+        let mut grid = decode_level1::<f32, _>(src, &plan).unwrap();
+        println!("  level1: {:.4}s", t.elapsed().as_secs_f64());
+        for level in &plan.levels[1..2] {
+            let t = std::time::Instant::now();
+            grid = decode_level_grid::<f32, _>(src, &plan, level.index, &grid, false).unwrap();
+            println!("  level{}: {:.4}s", level.index, t.elapsed().as_secs_f64());
+        }
+        let t = std::time::Instant::now();
+        let fin =
+            decode_level_grid::<f32, _>(src, &plan, plan.levels[2].index, &grid, false).unwrap();
+        println!("  level{} (whole): {:.4}s", plan.levels[2].index, t.elapsed().as_secs_f64());
+        std::hint::black_box(&fin);
+        let level = &plan.levels[2];
+        let ebs = src.header().level_ebs();
+        let quant = LinearQuantizer::new(ebs[2], src.header().radius);
+        let interp = src.header().interp;
+        let mut next = Field::<f64>::zeros(level.grid_dims);
+        let t = std::time::Instant::now();
+        upscatter(&grid, &mut next);
+        println!("  upscatter: {:.4}s", t.elapsed().as_secs_f64());
+        let mut t_entropy = 0.0;
+        let mut t_recon = 0.0;
+        let mut t_scatter = 0.0;
+        for (i, block) in level.blocks.iter().enumerate() {
+            let bytes = SectionSource::block_bytes(src, level.index, i).unwrap();
+            let t = std::time::Instant::now();
+            let (symbols, outliers) =
+                decode_block_payload::<f32>(&bytes, block.lattice.len(), false).unwrap();
+            t_entropy += t.elapsed().as_secs_f64();
+            let t = std::time::Instant::now();
+            let recon = reconstruct_block(&symbols, &outliers, &next, block, &quant, interp, false);
+            t_recon += t.elapsed().as_secs_f64();
+            let t = std::time::Instant::now();
+            block.grid_lattice.scatter(&recon, &mut next);
+            t_scatter += t.elapsed().as_secs_f64();
+        }
+        println!(
+            "  finest level: entropy {t_entropy:.4}s recon {t_recon:.4}s scatter {t_scatter:.4}s"
+        );
+        // Final cast.
+        let t = std::time::Instant::now();
+        let data: Vec<f32> = next.as_slice().iter().map(|&v| v as f32).collect();
+        std::hint::black_box(&data);
+        println!("  cast: {:.4}s", t.elapsed().as_secs_f64());
+    }
 
     fn wavy(dims: Dims) -> Field<f32> {
         Field::from_fn(dims, |z, y, x| {

@@ -165,6 +165,14 @@ impl StencilOffsets {
         }
     }
 
+    /// This stencil in `stz-simd` batch-kernel form (the fields mirror each
+    /// other one-to-one; `stz_simd::predict_run` reproduces
+    /// [`predict_interior`](Self::predict_interior) bit-for-bit).
+    #[inline]
+    pub fn as_simd(&self) -> stz_simd::Stencil {
+        stz_simd::Stencil::new(self.cubic, self.corners(), self.inner, self.outer, self.wi, self.wo)
+    }
+
     /// Whether coordinate `p` along an *active* axis of extent `n` keeps the
     /// whole stencil in bounds for this interpolation order.
     #[inline]

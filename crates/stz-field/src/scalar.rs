@@ -1,6 +1,7 @@
 //! Floating-point element abstraction.
 
 use std::fmt::{Debug, Display};
+use stz_simd::Lane;
 
 /// Scalar element type of a [`crate::Field`]: `f32` or `f64`.
 ///
@@ -25,6 +26,17 @@ pub trait Scalar: Copy + PartialOrd + Debug + Display + Default + Send + Sync + 
     fn abs64(self) -> f64 {
         self.to_f64().abs()
     }
+
+    /// Stride-2 gather `out[i] = src[start + 2*i]` on the given SIMD lane.
+    /// Byte-identical to the scalar loop (it only moves values).
+    fn simd_gather2(lane: Lane, src: &[Self], start: usize, out: &mut [Self]);
+    /// Stride-2 scatter `dst[start + 2*i] = src[i]` on the given SIMD lane.
+    fn simd_scatter2(lane: Lane, src: &[Self], dst: &mut [Self], start: usize);
+    /// Batch `out[i] = src[i].to_f64()` (exact widening) on the given lane.
+    fn simd_widen(lane: Lane, src: &[Self], out: &mut [f64]);
+    /// Batch `out[i] = Self::from_f64(src[i])` (IEEE narrowing for `f32`,
+    /// identity for `f64`) on the given lane.
+    fn simd_from_f64(lane: Lane, src: &[f64], out: &mut [Self]);
 }
 
 impl Scalar for f32 {
@@ -50,6 +62,26 @@ impl Scalar for f32 {
     fn read_exact(bytes: &[u8]) -> Self {
         f32::from_le_bytes(bytes[..4].try_into().expect("need 4 bytes"))
     }
+
+    #[inline]
+    fn simd_gather2(lane: Lane, src: &[Self], start: usize, out: &mut [Self]) {
+        stz_simd::gather2_f32(lane, src, start, out);
+    }
+
+    #[inline]
+    fn simd_scatter2(lane: Lane, src: &[Self], dst: &mut [Self], start: usize) {
+        stz_simd::scatter2_f32(lane, src, dst, start);
+    }
+
+    #[inline]
+    fn simd_widen(lane: Lane, src: &[Self], out: &mut [f64]) {
+        stz_simd::widen_run(lane, src, out);
+    }
+
+    #[inline]
+    fn simd_from_f64(lane: Lane, src: &[f64], out: &mut [Self]) {
+        stz_simd::narrow_run(lane, src, out);
+    }
 }
 
 impl Scalar for f64 {
@@ -74,6 +106,26 @@ impl Scalar for f64 {
     #[inline]
     fn read_exact(bytes: &[u8]) -> Self {
         f64::from_le_bytes(bytes[..8].try_into().expect("need 8 bytes"))
+    }
+
+    #[inline]
+    fn simd_gather2(lane: Lane, src: &[Self], start: usize, out: &mut [Self]) {
+        stz_simd::gather2_f64(lane, src, start, out);
+    }
+
+    #[inline]
+    fn simd_scatter2(lane: Lane, src: &[Self], dst: &mut [Self], start: usize) {
+        stz_simd::scatter2_f64(lane, src, dst, start);
+    }
+
+    #[inline]
+    fn simd_widen(_lane: Lane, src: &[Self], out: &mut [f64]) {
+        out.copy_from_slice(src);
+    }
+
+    #[inline]
+    fn simd_from_f64(_lane: Lane, src: &[f64], out: &mut [Self]) {
+        out.copy_from_slice(src);
     }
 }
 

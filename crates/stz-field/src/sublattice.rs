@@ -71,30 +71,47 @@ impl SubLattice {
     }
 
     /// Copy this sub-lattice's points out of `parent` into a dense field.
+    ///
+    /// Stride-1 rows degrade to `memcpy`; stride-2 rows (the hot case — the
+    /// hierarchy refines by powers of two) run through the dispatched SIMD
+    /// gather. Both move bits untouched, so the result is identical to the
+    /// scalar walk on every lane.
     pub fn gather<T: Scalar>(&self, parent: &Field<T>) -> Field<T> {
         assert_eq!(parent.dims(), self.parent);
         let src = parent.as_slice();
-        let mut out = Vec::with_capacity(self.len());
         let [oz, oy, ox] = self.offset;
         let s = self.stride;
         let (pny, pnx) = (self.parent.ny(), self.parent.nx());
+        let nx = self.dims.nx();
+        let lane = stz_simd::active_lane();
+        let mut out = vec![T::default(); self.len()];
+        let mut i = 0;
         for z in 0..self.dims.nz() {
             let pz = oz + z * s;
             for y in 0..self.dims.ny() {
                 let py = oy + y * s;
                 let row = (pz * pny + py) * pnx + ox;
-                // Strided copy along x.
-                let mut idx = row;
-                for _ in 0..self.dims.nx() {
-                    out.push(src[idx]);
-                    idx += s;
+                let dst_row = &mut out[i..i + nx];
+                match s {
+                    1 => dst_row.copy_from_slice(&src[row..row + nx]),
+                    2 => T::simd_gather2(lane, src, row, dst_row),
+                    _ => {
+                        let mut idx = row;
+                        for o in dst_row {
+                            *o = src[idx];
+                            idx += s;
+                        }
+                    }
                 }
+                i += nx;
             }
         }
         Field::from_vec(self.dims, out)
     }
 
     /// Write a dense field of this sub-lattice's shape back into the parent.
+    ///
+    /// The stride-1 / stride-2 fast paths mirror [`gather`](Self::gather).
     pub fn scatter<T: Scalar>(&self, block: &Field<T>, parent: &mut Field<T>) {
         assert_eq!(parent.dims(), self.parent);
         assert_eq!(block.dims().as_array(), self.dims.as_array());
@@ -103,18 +120,27 @@ impl SubLattice {
         let [oz, oy, ox] = self.offset;
         let s = self.stride;
         let (pny, pnx) = (self.parent.ny(), self.parent.nx());
+        let nx = self.dims.nx();
+        let lane = stz_simd::active_lane();
         let mut i = 0;
         for z in 0..self.dims.nz() {
             let pz = oz + z * s;
             for y in 0..self.dims.ny() {
                 let py = oy + y * s;
                 let row = (pz * pny + py) * pnx + ox;
-                let mut idx = row;
-                for _ in 0..self.dims.nx() {
-                    dst[idx] = src[i];
-                    i += 1;
-                    idx += s;
+                let src_row = &src[i..i + nx];
+                match s {
+                    1 => dst[row..row + nx].copy_from_slice(src_row),
+                    2 => T::simd_scatter2(lane, src_row, dst, row),
+                    _ => {
+                        let mut idx = row;
+                        for &v in src_row {
+                            dst[idx] = v;
+                            idx += s;
+                        }
+                    }
                 }
+                i += nx;
             }
         }
     }

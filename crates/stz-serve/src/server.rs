@@ -146,6 +146,10 @@ impl Server {
     /// down. Hosting an empty directory is allowed (the server answers
     /// `LIST` with nothing).
     pub fn bind(opts: ServeOptions) -> Result<Server> {
+        // Resolve SIMD dispatch up front so the stz_simd_dispatch gauge is
+        // in every `stz stats` exposition, not only after the first decode.
+        let lane = stz_simd::announce();
+        log_debug!("stz-serve", "simd dispatch resolved"; "lane" => lane.name());
         let containers = scan_containers(&opts.root)?;
         let listener = TcpListener::bind(&opts.addr)?;
         let pool = rayon::ThreadPoolBuilder::new()

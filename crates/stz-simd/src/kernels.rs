@@ -1,0 +1,673 @@
+//! Dispatched batch kernels: bounds-checked safe wrappers that route each
+//! call to the selected lane's implementation, with scalar tails.
+//!
+//! Every wrapper validates the *scalar* access pattern up front (each
+//! output element's loads/stores are in bounds) and then lets the lane
+//! implementation decide how many points it can process with full-width
+//! vector loads — a vector covering the last few stride-2 points may read
+//! one element past the last even index, so the implementations finish
+//! with the scalar reference for the unsafe remainder.
+
+use crate::{scalar, Lane};
+
+/// Interior interpolation stencil in flattened-grid form: `corners = 2^k`
+/// linear-index offsets for the inner (±1·stride) and outer (±3·stride)
+/// diagonal rings, plus the cubic weights. Mirrors
+/// `stz_core::kernels::StencilOffsets`.
+#[derive(Debug, Clone, Copy)]
+pub struct Stencil {
+    /// Cubic (inner + outer ring) or multilinear (inner ring only).
+    pub cubic: bool,
+    /// Number of diagonal corners, `2^k` for `k` active axes.
+    pub corners: usize,
+    /// Inner-ring offsets, `corners` of them used.
+    pub inner: [isize; 8],
+    /// Outer-ring offsets (cubic only).
+    pub outer: [isize; 8],
+    /// Inner-ring weight.
+    pub wi: f64,
+    /// Outer-ring weight.
+    pub wo: f64,
+    /// Cached tap-offset bounds (kernels consult them on every row, so
+    /// they are computed once at construction rather than per call).
+    lo: isize,
+    hi: isize,
+}
+
+impl Stencil {
+    /// Build a stencil, caching the tap-offset bounds.
+    pub fn new(
+        cubic: bool,
+        corners: usize,
+        inner: [isize; 8],
+        outer: [isize; 8],
+        wi: f64,
+        wo: f64,
+    ) -> Stencil {
+        let (mut lo, mut hi) = (0isize, 0isize);
+        for &o in &inner[..corners] {
+            lo = lo.min(o);
+            hi = hi.max(o);
+        }
+        if cubic {
+            for &o in &outer[..corners] {
+                lo = lo.min(o);
+                hi = hi.max(o);
+            }
+        }
+        Stencil { cubic, corners, inner, outer, wi, wo, lo, hi }
+    }
+
+    /// Most negative / most positive offset any tap uses.
+    #[inline(always)]
+    pub(crate) fn offset_range(&self) -> (isize, isize) {
+        (self.lo, self.hi)
+    }
+}
+
+/// Largest multiple of `w` (≤ `n`) such that processing that many stride-2
+/// points with `2w`-wide vector loads/stores starting at `base` (tap reach
+/// `max_off`) stays inside a buffer of length `len`.
+#[cfg_attr(not(any(target_arch = "x86_64", target_arch = "aarch64")), allow(dead_code))]
+pub(crate) fn vec_points(base: usize, max_off: isize, len: usize, n: usize, w: usize) -> usize {
+    let mut v = n - n % w;
+    while v > 0 {
+        // Highest index touched by the last chunk's widest load.
+        let hi = base as isize + 2 * (v as isize - 1) + max_off + 1;
+        if (hi as usize) < len {
+            break;
+        }
+        v -= w;
+    }
+    v
+}
+
+/// Batch interior prediction: `out[i]` predicts the grid point at
+/// flattened index `base + 2*i`. See [`scalar::predict_run`] for the
+/// reference semantics.
+///
+/// # Panics
+/// If any stencil tap of any point falls outside `buf`.
+pub fn predict_run(lane: Lane, buf: &[f64], base: usize, st: &Stencil, out: &mut [f64]) {
+    if out.is_empty() {
+        return;
+    }
+    let (lo, hi) = st.offset_range();
+    let last = base + 2 * (out.len() - 1);
+    assert!(base as isize + lo >= 0, "stencil underruns the grid");
+    assert!(
+        (last as isize + hi) >= 0 && ((last as isize + hi) as usize) < buf.len(),
+        "stencil overruns the grid"
+    );
+    match lane {
+        #[cfg(target_arch = "x86_64")]
+        Lane::Sse2 => unsafe { crate::x86::predict_run_sse2(buf, base, st, out) },
+        #[cfg(target_arch = "x86_64")]
+        Lane::Avx2 => unsafe { crate::x86::predict_run_avx2(buf, base, st, out) },
+        #[cfg(target_arch = "aarch64")]
+        Lane::Neon => unsafe { crate::neon::predict_run(buf, base, st, out) },
+        _ => scalar::predict_run(buf, base, st, out),
+    }
+}
+
+/// Fused predict + f64 reconstruct:
+/// `out[i] = predict(base + 2*i) + two_eb * codes[i]`. Bitwise equal to
+/// [`predict_run`] followed by [`recon_run_f64`], saving the prediction
+/// round-trip through a scratch buffer (the decode hot path).
+///
+/// # Panics
+/// If any stencil tap of any point falls outside `buf`, or
+/// `codes.len() != out.len()`.
+pub fn predict_recon_run_f64(
+    lane: Lane,
+    buf: &[f64],
+    base: usize,
+    st: &Stencil,
+    codes: &[f64],
+    two_eb: f64,
+    out: &mut [f64],
+) {
+    predict_recon_run(lane, buf, base, st, codes, two_eb, out, false)
+}
+
+/// [`predict_recon_run_f64`] rounded through `f32` (the `T = f32` mirror).
+pub fn predict_recon_run_f32(
+    lane: Lane,
+    buf: &[f64],
+    base: usize,
+    st: &Stencil,
+    codes: &[f64],
+    two_eb: f64,
+    out: &mut [f64],
+) {
+    predict_recon_run(lane, buf, base, st, codes, two_eb, out, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn predict_recon_run(
+    lane: Lane,
+    buf: &[f64],
+    base: usize,
+    st: &Stencil,
+    codes: &[f64],
+    two_eb: f64,
+    out: &mut [f64],
+    round32: bool,
+) {
+    if out.is_empty() {
+        return;
+    }
+    assert!(codes.len() == out.len());
+    let (lo, hi) = st.offset_range();
+    let last = base + 2 * (out.len() - 1);
+    assert!(base as isize + lo >= 0, "stencil underruns the grid");
+    assert!(
+        (last as isize + hi) >= 0 && ((last as isize + hi) as usize) < buf.len(),
+        "stencil overruns the grid"
+    );
+    match lane {
+        #[cfg(target_arch = "x86_64")]
+        Lane::Sse2 => unsafe {
+            crate::x86::predict_recon_run_sse2(buf, base, st, codes, two_eb, out, round32)
+        },
+        #[cfg(target_arch = "x86_64")]
+        Lane::Avx2 => unsafe {
+            crate::x86::predict_recon_run_avx2(buf, base, st, codes, two_eb, out, round32)
+        },
+        #[cfg(target_arch = "aarch64")]
+        Lane::Neon => unsafe {
+            crate::neon::predict_recon_run(buf, base, st, codes, two_eb, out, round32)
+        },
+        _ => {
+            if round32 {
+                scalar::predict_recon_run_f32(buf, base, st, codes, two_eb, out)
+            } else {
+                scalar::predict_recon_run_f64(buf, base, st, codes, two_eb, out)
+            }
+        }
+    }
+}
+
+/// Batch f64 reconstruction: `out[i] = preds[i] + two_eb * codes[i]`.
+pub fn recon_run_f64(lane: Lane, preds: &[f64], codes: &[f64], two_eb: f64, out: &mut [f64]) {
+    let n = out.len();
+    assert!(preds.len() == n && codes.len() == n);
+    match lane {
+        #[cfg(target_arch = "x86_64")]
+        Lane::Sse2 => unsafe { crate::x86::recon_run_sse2(preds, codes, two_eb, out, false) },
+        #[cfg(target_arch = "x86_64")]
+        Lane::Avx2 => unsafe { crate::x86::recon_run_avx2(preds, codes, two_eb, out, false) },
+        #[cfg(target_arch = "aarch64")]
+        Lane::Neon => unsafe { crate::neon::recon_run(preds, codes, two_eb, out, false) },
+        _ => scalar::recon_run_f64(preds, codes, two_eb, out),
+    }
+}
+
+/// Batch f32-rounded reconstruction (the `T = f32` mirror).
+pub fn recon_run_f32(lane: Lane, preds: &[f64], codes: &[f64], two_eb: f64, out: &mut [f64]) {
+    let n = out.len();
+    assert!(preds.len() == n && codes.len() == n);
+    match lane {
+        #[cfg(target_arch = "x86_64")]
+        Lane::Sse2 => unsafe { crate::x86::recon_run_sse2(preds, codes, two_eb, out, true) },
+        #[cfg(target_arch = "x86_64")]
+        Lane::Avx2 => unsafe { crate::x86::recon_run_avx2(preds, codes, two_eb, out, true) },
+        #[cfg(target_arch = "aarch64")]
+        Lane::Neon => unsafe { crate::neon::recon_run(preds, codes, two_eb, out, true) },
+        _ => scalar::recon_run_f32(preds, codes, two_eb, out),
+    }
+}
+
+/// Batch f64 quantization; see [`scalar::quantize_run_f64`].
+///
+/// SSE2 lacks exact packed round-away-from-zero, so it uses the scalar
+/// reference (the other kernels still vectorize under SSE2).
+#[allow(clippy::too_many_arguments)]
+pub fn quantize_run_f64(
+    lane: Lane,
+    actuals: &[f64],
+    preds: &[f64],
+    eb: f64,
+    two_eb: f64,
+    radius_f: f64,
+    q_out: &mut [f64],
+    recon_out: &mut [f64],
+    escape_out: &mut [u8],
+) {
+    let n = actuals.len();
+    assert!(preds.len() == n && q_out.len() == n && recon_out.len() == n && escape_out.len() == n);
+    match lane {
+        #[cfg(target_arch = "x86_64")]
+        Lane::Avx2 => unsafe {
+            crate::x86::quantize_run_avx2(
+                actuals, preds, eb, two_eb, radius_f, q_out, recon_out, escape_out, false,
+            )
+        },
+        #[cfg(target_arch = "aarch64")]
+        Lane::Neon => unsafe {
+            crate::neon::quantize_run(
+                actuals, preds, eb, two_eb, radius_f, q_out, recon_out, escape_out, false,
+            )
+        },
+        _ => scalar::quantize_run_f64(
+            actuals, preds, eb, two_eb, radius_f, q_out, recon_out, escape_out,
+        ),
+    }
+}
+
+/// Batch f32-rounded quantization; see [`scalar::quantize_run_f32`].
+#[allow(clippy::too_many_arguments)]
+pub fn quantize_run_f32(
+    lane: Lane,
+    actuals: &[f64],
+    preds: &[f64],
+    eb: f64,
+    two_eb: f64,
+    radius_f: f64,
+    q_out: &mut [f64],
+    recon_out: &mut [f64],
+    escape_out: &mut [u8],
+) {
+    let n = actuals.len();
+    assert!(preds.len() == n && q_out.len() == n && recon_out.len() == n && escape_out.len() == n);
+    match lane {
+        #[cfg(target_arch = "x86_64")]
+        Lane::Avx2 => unsafe {
+            crate::x86::quantize_run_avx2(
+                actuals, preds, eb, two_eb, radius_f, q_out, recon_out, escape_out, true,
+            )
+        },
+        #[cfg(target_arch = "aarch64")]
+        Lane::Neon => unsafe {
+            crate::neon::quantize_run(
+                actuals, preds, eb, two_eb, radius_f, q_out, recon_out, escape_out, true,
+            )
+        },
+        _ => scalar::quantize_run_f32(
+            actuals, preds, eb, two_eb, radius_f, q_out, recon_out, escape_out,
+        ),
+    }
+}
+
+/// Stride-2 gather: `out[i] = src[start + 2*i]`.
+///
+/// # Panics
+/// If `start + 2*(out.len()-1)` is out of bounds.
+pub fn gather2_f64(lane: Lane, src: &[f64], start: usize, out: &mut [f64]) {
+    if out.is_empty() {
+        return;
+    }
+    assert!(start + 2 * (out.len() - 1) < src.len(), "gather overruns the source");
+    match lane {
+        #[cfg(target_arch = "x86_64")]
+        Lane::Sse2 => unsafe { crate::x86::gather2_f64_sse2(src, start, out) },
+        #[cfg(target_arch = "x86_64")]
+        Lane::Avx2 => unsafe { crate::x86::gather2_f64_avx2(src, start, out) },
+        #[cfg(target_arch = "aarch64")]
+        Lane::Neon => unsafe { crate::neon::gather2_f64(src, start, out) },
+        _ => scalar::gather2_f64(src, start, out),
+    }
+}
+
+/// Stride-2 gather: `out[i] = src[start + 2*i]`.
+pub fn gather2_f32(lane: Lane, src: &[f32], start: usize, out: &mut [f32]) {
+    if out.is_empty() {
+        return;
+    }
+    assert!(start + 2 * (out.len() - 1) < src.len(), "gather overruns the source");
+    match lane {
+        #[cfg(target_arch = "x86_64")]
+        Lane::Sse2 => unsafe { crate::x86::gather2_f32_sse2(src, start, out) },
+        #[cfg(target_arch = "x86_64")]
+        Lane::Avx2 => unsafe { crate::x86::gather2_f32_avx2(src, start, out) },
+        #[cfg(target_arch = "aarch64")]
+        Lane::Neon => unsafe { crate::neon::gather2_f32(src, start, out) },
+        _ => scalar::gather2_f32(src, start, out),
+    }
+}
+
+/// Stride-2 scatter: `dst[start + 2*i] = src[i]`. Intermediate odd
+/// elements are left untouched (vector lanes may rewrite them with their
+/// current value, which requires the exclusive `&mut` borrow).
+pub fn scatter2_f64(lane: Lane, src: &[f64], dst: &mut [f64], start: usize) {
+    if src.is_empty() {
+        return;
+    }
+    assert!(start + 2 * (src.len() - 1) < dst.len(), "scatter overruns the destination");
+    match lane {
+        #[cfg(target_arch = "x86_64")]
+        Lane::Avx2 => unsafe { crate::x86::scatter2_f64_avx2(src, dst, start) },
+        #[cfg(target_arch = "aarch64")]
+        Lane::Neon => unsafe { crate::neon::scatter2_f64(src, dst, start) },
+        _ => scalar::scatter2_f64(src, dst, start),
+    }
+}
+
+/// Stride-2 scatter: `dst[start + 2*i] = src[i]`.
+pub fn scatter2_f32(lane: Lane, src: &[f32], dst: &mut [f32], start: usize) {
+    if src.is_empty() {
+        return;
+    }
+    assert!(start + 2 * (src.len() - 1) < dst.len(), "scatter overruns the destination");
+    match lane {
+        #[cfg(target_arch = "x86_64")]
+        Lane::Avx2 => unsafe { crate::x86::scatter2_f32_avx2(src, dst, start) },
+        #[cfg(target_arch = "aarch64")]
+        Lane::Neon => unsafe { crate::neon::scatter2_f32(src, dst, start) },
+        _ => scalar::scatter2_f32(src, dst, start),
+    }
+}
+
+/// Narrow f64 → f32 (`as` cast semantics, round-to-nearest-even).
+pub fn narrow_run(lane: Lane, src: &[f64], out: &mut [f32]) {
+    assert_eq!(src.len(), out.len());
+    match lane {
+        #[cfg(target_arch = "x86_64")]
+        Lane::Sse2 => unsafe { crate::x86::narrow_run_sse2(src, out) },
+        #[cfg(target_arch = "x86_64")]
+        Lane::Avx2 => unsafe { crate::x86::narrow_run_avx2(src, out) },
+        #[cfg(target_arch = "aarch64")]
+        Lane::Neon => unsafe { crate::neon::narrow_run(src, out) },
+        _ => scalar::narrow_run(src, out),
+    }
+}
+
+/// Widen f32 → f64 (exact).
+pub fn widen_run(lane: Lane, src: &[f32], out: &mut [f64]) {
+    assert_eq!(src.len(), out.len());
+    match lane {
+        #[cfg(target_arch = "x86_64")]
+        Lane::Sse2 => unsafe { crate::x86::widen_run_sse2(src, out) },
+        #[cfg(target_arch = "x86_64")]
+        Lane::Avx2 => unsafe { crate::x86::widen_run_avx2(src, out) },
+        #[cfg(target_arch = "aarch64")]
+        Lane::Neon => unsafe { crate::neon::widen_run(src, out) },
+        _ => scalar::widen_run(src, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::available_lanes;
+
+    /// Deterministic value stream with adversarial cases sprinkled in:
+    /// exact halves, -0.0, NaN, infinities, subnormals, huge magnitudes.
+    fn test_values(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        (0..n)
+            .map(|i| match i % 16 {
+                0 => 0.5 * (next() % 41) as f64 - 10.0, // exact halves incl. ±0.5
+                1 => -0.0,
+                2 if i % 64 == 2 => f64::NAN,
+                3 if i % 64 == 3 => f64::INFINITY,
+                4 if i % 64 == 4 => f64::NEG_INFINITY,
+                5 => f64::MIN_POSITIVE / 2.0, // subnormal
+                6 => 1e300,
+                7 => 0.49999999999999994, // nextafter(0.5, 0)
+                _ => {
+                    let u = next();
+                    ((u >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 8.0
+                }
+            })
+            .collect()
+    }
+
+    fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}[{i}]: {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn predict_matches_scalar_on_every_lane() {
+        // Largest synthetic stencil reach below is 3*(1+7+64) = 216 either
+        // side, so leave generous margin.
+        let buf = test_values(2048, 7);
+        for k in 1..=3usize {
+            for cubic in [false, true] {
+                let corners = 1usize << k;
+                let mut inner = [0isize; 8];
+                let mut outer = [0isize; 8];
+                // Synthetic diagonal stencil along x plus row strides.
+                for bits in 0..corners {
+                    let (mut di, mut do_) = (0isize, 0isize);
+                    for j in 0..k {
+                        let s = [1isize, 7, 64][j];
+                        let sign = if bits >> j & 1 == 1 { 1 } else { -1 };
+                        di += sign * s;
+                        do_ += sign * 3 * s;
+                    }
+                    inner[bits] = di;
+                    outer[bits] = do_;
+                }
+                let st = Stencil::new(cubic, corners, inner, outer, 9.0 / 16.0, -1.0 / 16.0);
+                let (lo, hi) = st.offset_range();
+                let base = (-lo) as usize + 1;
+                let n = (buf.len() - base - hi as usize - 2) / 2;
+                let mut want = vec![0.0; n];
+                crate::scalar::predict_run(&buf, base, &st, &mut want);
+                for lane in available_lanes() {
+                    let mut got = vec![1.0; n];
+                    predict_run(lane, &buf, base, &st, &mut got);
+                    assert_bits_eq(&got, &want, &format!("predict k={k} cubic={cubic} {lane}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_matches_scalar_on_every_lane() {
+        let n = 257;
+        let actuals = test_values(n, 11);
+        let preds = test_values(n, 23);
+        for (eb, radius) in [(1e-3, (1i64 << 15) as f64), (1e-9, 4.0), (0.25, 1e18)] {
+            let two_eb = 2.0 * eb;
+            let mut wq = vec![0.0; n];
+            let mut wr = vec![0.0; n];
+            let mut we = vec![0u8; n];
+            for f32_mode in [false, true] {
+                let runner = if f32_mode { quantize_run_f32 } else { quantize_run_f64 };
+                let sc = if f32_mode {
+                    crate::scalar::quantize_run_f32
+                } else {
+                    crate::scalar::quantize_run_f64
+                };
+                sc(&actuals, &preds, eb, two_eb, radius, &mut wq, &mut wr, &mut we);
+                for lane in available_lanes() {
+                    let mut gq = vec![9.0; n];
+                    let mut gr = vec![9.0; n];
+                    let mut ge = vec![7u8; n];
+                    runner(lane, &actuals, &preds, eb, two_eb, radius, &mut gq, &mut gr, &mut ge);
+                    for i in 0..n {
+                        assert_eq!(
+                            ge[i], we[i],
+                            "escape[{i}] lane={lane} f32={f32_mode} eb={eb} a={} p={}",
+                            actuals[i], preds[i]
+                        );
+                        if we[i] == 0 {
+                            assert_eq!(gq[i].to_bits(), wq[i].to_bits(), "q[{i}] lane={lane}");
+                            assert_eq!(gr[i].to_bits(), wr[i].to_bits(), "recon[{i}] lane={lane}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recon_matches_scalar_on_every_lane() {
+        let n = 131;
+        let preds = test_values(n, 3);
+        let codes: Vec<f64> = (0..n).map(|i| (i as i64 - 60) as f64).collect();
+        for two_eb in [2e-3, 0.5] {
+            for f32_mode in [false, true] {
+                let mut want = vec![0.0; n];
+                if f32_mode {
+                    crate::scalar::recon_run_f32(&preds, &codes, two_eb, &mut want);
+                } else {
+                    crate::scalar::recon_run_f64(&preds, &codes, two_eb, &mut want);
+                }
+                for lane in available_lanes() {
+                    let mut got = vec![1.0; n];
+                    if f32_mode {
+                        recon_run_f32(lane, &preds, &codes, two_eb, &mut got);
+                    } else {
+                        recon_run_f64(lane, &preds, &codes, two_eb, &mut got);
+                    }
+                    assert_bits_eq(&got, &want, &format!("recon f32={f32_mode} {lane}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_match_scalar_on_every_lane() {
+        // Exercise the tight-bound case: the last gathered even element is
+        // the final element of the source, so vector over-read must clip.
+        for n in [1usize, 2, 3, 7, 8, 9, 31, 64, 65] {
+            for start in [0usize, 1, 5] {
+                let src = test_values(start + 2 * n - 1, n as u64);
+                let mut want = vec![0.0; n];
+                crate::scalar::gather2_f64(&src, start, &mut want);
+                for lane in available_lanes() {
+                    let mut got = vec![1.0; n];
+                    gather2_f64(lane, &src, start, &mut got);
+                    assert_bits_eq(&got, &want, &format!("gather2_f64 n={n} start={start} {lane}"));
+                    let mut dst_w = src.clone();
+                    let mut dst_g = src.clone();
+                    crate::scalar::scatter2_f64(&want, &mut dst_w, start);
+                    scatter2_f64(lane, &want, &mut dst_g, start);
+                    assert_bits_eq(&dst_g, &dst_w, &format!("scatter2_f64 n={n} {lane}"));
+
+                    let src32: Vec<f32> = src.iter().map(|&v| v as f32).collect();
+                    let mut want32 = vec![0.0f32; n];
+                    crate::scalar::gather2_f32(&src32, start, &mut want32);
+                    let mut got32 = vec![1.0f32; n];
+                    gather2_f32(lane, &src32, start, &mut got32);
+                    for i in 0..n {
+                        assert_eq!(got32[i].to_bits(), want32[i].to_bits(), "gather2_f32[{i}]");
+                    }
+                    let mut d32w = src32.clone();
+                    let mut d32g = src32.clone();
+                    crate::scalar::scatter2_f32(&want32, &mut d32w, start);
+                    scatter2_f32(lane, &want32, &mut d32g, start);
+                    for i in 0..d32w.len() {
+                        assert_eq!(d32g[i].to_bits(), d32w[i].to_bits(), "scatter2_f32[{i}]");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_widen_match_scalar_on_every_lane() {
+        let n = 97;
+        let src = test_values(n, 31);
+        let mut want = vec![0.0f32; n];
+        crate::scalar::narrow_run(&src, &mut want);
+        for lane in available_lanes() {
+            let mut got = vec![1.0f32; n];
+            narrow_run(lane, &src, &mut got);
+            for i in 0..n {
+                assert_eq!(got[i].to_bits(), want[i].to_bits(), "narrow[{i}] {lane}");
+            }
+            let mut back_w = vec![0.0f64; n];
+            let mut back_g = vec![1.0f64; n];
+            crate::scalar::widen_run(&want, &mut back_w);
+            widen_run(lane, &want, &mut back_g);
+            assert_bits_eq(&back_g, &back_w, &format!("widen {lane}"));
+        }
+    }
+
+    #[test]
+    fn quantize_round_edge_cases_match_f64_round() {
+        // The vector round emulation must agree with f64::round via the
+        // quantizer: with two_eb = 1 and pred = 0, q == round(actual).
+        let edge = [
+            0.5,
+            -0.5,
+            1.5,
+            -1.5,
+            2.5,
+            -2.5,
+            0.49999999999999994,
+            -0.49999999999999994,
+            0.5000000000000001,
+            -0.3,
+            0.3,
+            4503599627370495.5,
+            4503599627370496.0,
+            -1e200,
+            0.0,
+            -0.0,
+            1e-320,
+        ];
+        let preds = vec![0.0; edge.len()];
+        // The production radius is an i64 cast to f64, so use one in range;
+        // codes beyond it escape instead of being compared.
+        let radius = 1e18;
+        for lane in available_lanes() {
+            let mut q = vec![0.0; edge.len()];
+            let mut r = vec![0.0; edge.len()];
+            let mut e = vec![0u8; edge.len()];
+            quantize_run_f64(lane, &edge, &preds, 0.5, 1.0, radius, &mut q, &mut r, &mut e);
+            for (i, &x) in edge.iter().enumerate() {
+                let rounded = x.round();
+                if rounded.abs() > radius {
+                    assert_eq!(e[i], 1, "expected radius escape at {x} on {lane}");
+                    continue;
+                }
+                assert_eq!(e[i], 0, "unexpected escape at {x} on {lane}");
+                let want = (rounded as i64) as f64;
+                assert_eq!(q[i].to_bits(), want.to_bits(), "round({x}) on {lane}");
+            }
+        }
+    }
+    #[test]
+    #[ignore]
+    fn microbench_predict_recon() {
+        // k=1 cubic along z in a 64^3 grid (typical finest-level block),
+        // rows of 29 interior points (scale-16-like) and 2048-point runs.
+        let n = 64usize;
+        let buf: Vec<f64> = (0..n * n * n).map(|i| ((i as f64) * 0.001).sin()).collect();
+        let stride = (n * n) as isize;
+        let st = Stencil::new(
+            true,
+            1,
+            [stride, 0, 0, 0, 0, 0, 0, 0],
+            [3 * stride, 0, 0, 0, 0, 0, 0, 0],
+            0.5625,
+            -0.0625,
+        );
+        let codes: Vec<f64> = (0..64).map(|i| (i % 7) as f64 - 3.0).collect();
+        let mut out = vec![0.0; 64];
+        for lane in crate::available_lanes() {
+            // rows of m points starting mid-grid
+            for m in [13usize, 29, 61] {
+                let reps = 2_000_000 / m;
+                let t = std::time::Instant::now();
+                for r in 0..reps {
+                    let base = 4 * n * n + ((r % 32) + 4) * n + 2;
+                    crate::predict_recon_run_f32(
+                        lane,
+                        &buf,
+                        base,
+                        &st,
+                        &codes[..m],
+                        2e-3,
+                        &mut out[..m],
+                    );
+                }
+                let el = t.elapsed().as_secs_f64();
+                let pts = (reps * m) as f64;
+                println!("{lane} m={m}: {:.2} ns/pt", el / pts * 1e9);
+                std::hint::black_box(&out);
+            }
+        }
+    }
+}

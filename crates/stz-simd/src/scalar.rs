@@ -1,0 +1,222 @@
+//! Portable reference implementation of every kernel.
+//!
+//! This module *defines* the semantics: each vector lane must reproduce
+//! these exact operations, in this exact order, per output element. The
+//! scalar kernels mirror the original per-point loops in `stz-core`
+//! (`StencilOffsets::predict_interior`), `stz-codec`
+//! (`LinearQuantizer::quantize`/`reconstruct`) and `stz-sz3`
+//! (`quantize_scalar`/`reconstruct_scalar`) operation for operation, so
+//! `STZ_SIMD=scalar` and the pre-SIMD code paths agree bit-for-bit too.
+
+use crate::Stencil;
+
+/// Predict the point at `buf[base + 2*i]` for each `i` in `0..out.len()`.
+///
+/// Mirrors `StencilOffsets::predict_interior`: corner sums in ascending
+/// bit order, then `wi*si + wo*so` (cubic) or `s / corners` (linear).
+/// The caller guarantees every stencil tap of every point is in bounds.
+pub fn predict_run(buf: &[f64], base: usize, st: &Stencil, out: &mut [f64]) {
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = predict_one(buf, base + 2 * i, st);
+    }
+}
+
+/// One point of [`predict_run`].
+#[inline(always)]
+pub fn predict_one(buf: &[f64], gidx: usize, st: &Stencil) -> f64 {
+    let base = gidx as isize;
+    if st.cubic {
+        let mut si = 0.0;
+        let mut so = 0.0;
+        for bits in 0..st.corners {
+            si += buf[(base + st.inner[bits]) as usize];
+            so += buf[(base + st.outer[bits]) as usize];
+        }
+        st.wi * si + st.wo * so
+    } else {
+        let mut s = 0.0;
+        for bits in 0..st.corners {
+            s += buf[(base + st.inner[bits]) as usize];
+        }
+        s / st.corners as f64
+    }
+}
+
+/// `out[i] = preds[i] + two_eb * codes[i]` — the f64 reconstruction of
+/// `LinearQuantizer::reconstruct` (the `T = f64` round-trip is identity).
+pub fn recon_run_f64(preds: &[f64], codes: &[f64], two_eb: f64, out: &mut [f64]) {
+    for i in 0..out.len() {
+        out[i] = preds[i] + two_eb * codes[i];
+    }
+}
+
+/// [`recon_run_f64`] rounded through `f32`, as `reconstruct_scalar::<f32>`
+/// does (`T::from_f64(..).to_f64()` = `as f32 as f64`).
+pub fn recon_run_f32(preds: &[f64], codes: &[f64], two_eb: f64, out: &mut [f64]) {
+    for i in 0..out.len() {
+        out[i] = (preds[i] + two_eb * codes[i]) as f32 as f64;
+    }
+}
+
+/// Fused predict + f64 reconstruct:
+/// `out[i] = predict_one(buf, base + 2*i) + two_eb * codes[i]`. Bitwise
+/// equal to [`predict_run`] followed by [`recon_run_f64`] — the prediction
+/// merely stays in a register instead of a scratch buffer.
+pub fn predict_recon_run_f64(
+    buf: &[f64],
+    base: usize,
+    st: &Stencil,
+    codes: &[f64],
+    two_eb: f64,
+    out: &mut [f64],
+) {
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = predict_one(buf, base + 2 * i, st) + two_eb * codes[i];
+    }
+}
+
+/// [`predict_recon_run_f64`] rounded through `f32`.
+pub fn predict_recon_run_f32(
+    buf: &[f64],
+    base: usize,
+    st: &Stencil,
+    codes: &[f64],
+    two_eb: f64,
+    out: &mut [f64],
+) {
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = (predict_one(buf, base + 2 * i, st) + two_eb * codes[i]) as f32 as f64;
+    }
+}
+
+/// One point of the f64 linear quantizer:
+/// `(q, reconstruction, escape)`. Mirrors `LinearQuantizer::quantize`
+/// exactly; `q + 0.0` reproduces the original's `q as i64 as f64`
+/// round-trip (which only normalizes `-0.0` for in-radius codes).
+#[inline(always)]
+pub fn quantize_one_f64(
+    actual: f64,
+    pred: f64,
+    eb: f64,
+    two_eb: f64,
+    radius_f: f64,
+) -> (f64, f64, bool) {
+    if !actual.is_finite() || !pred.is_finite() {
+        return (0.0, 0.0, true);
+    }
+    let diff = actual - pred;
+    let q = (diff / two_eb).round();
+    if q.abs() > radius_f {
+        return (0.0, 0.0, true);
+    }
+    let q = q + 0.0;
+    let reconstructed = pred + two_eb * q;
+    if (reconstructed - actual).abs() > eb {
+        return (q, reconstructed, true);
+    }
+    (q, reconstructed, false)
+}
+
+/// One point of the f32-rounded quantizer (`quantize_scalar::<f32>`): the
+/// f64 outcome, re-rounded through `f32` and re-checked against the bound.
+#[inline(always)]
+pub fn quantize_one_f32(
+    actual: f64,
+    pred: f64,
+    eb: f64,
+    two_eb: f64,
+    radius_f: f64,
+) -> (f64, f64, bool) {
+    let (q, reconstructed, escape) = quantize_one_f64(actual, pred, eb, two_eb, radius_f);
+    if escape {
+        return (q, reconstructed, true);
+    }
+    let rounded = reconstructed as f32 as f64;
+    if (rounded - actual).abs() > eb {
+        return (q, rounded, true);
+    }
+    (q, rounded, false)
+}
+
+/// Batch [`quantize_one_f64`]: fills `q_out`, `recon_out` and
+/// `escape_out` (0 = coded, 1 = escape) for each `actuals[i]`/`preds[i]`.
+#[allow(clippy::too_many_arguments)]
+pub fn quantize_run_f64(
+    actuals: &[f64],
+    preds: &[f64],
+    eb: f64,
+    two_eb: f64,
+    radius_f: f64,
+    q_out: &mut [f64],
+    recon_out: &mut [f64],
+    escape_out: &mut [u8],
+) {
+    for i in 0..actuals.len() {
+        let (q, r, e) = quantize_one_f64(actuals[i], preds[i], eb, two_eb, radius_f);
+        q_out[i] = q;
+        recon_out[i] = r;
+        escape_out[i] = e as u8;
+    }
+}
+
+/// Batch [`quantize_one_f32`].
+#[allow(clippy::too_many_arguments)]
+pub fn quantize_run_f32(
+    actuals: &[f64],
+    preds: &[f64],
+    eb: f64,
+    two_eb: f64,
+    radius_f: f64,
+    q_out: &mut [f64],
+    recon_out: &mut [f64],
+    escape_out: &mut [u8],
+) {
+    for i in 0..actuals.len() {
+        let (q, r, e) = quantize_one_f32(actuals[i], preds[i], eb, two_eb, radius_f);
+        q_out[i] = q;
+        recon_out[i] = r;
+        escape_out[i] = e as u8;
+    }
+}
+
+/// `out[i] = src[start + 2*i]` (stride-2 gather along x).
+pub fn gather2_f64(src: &[f64], start: usize, out: &mut [f64]) {
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = src[start + 2 * i];
+    }
+}
+
+/// `out[i] = src[start + 2*i]`.
+pub fn gather2_f32(src: &[f32], start: usize, out: &mut [f32]) {
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = src[start + 2 * i];
+    }
+}
+
+/// `dst[start + 2*i] = src[i]` (stride-2 scatter along x).
+pub fn scatter2_f64(src: &[f64], dst: &mut [f64], start: usize) {
+    for (i, &v) in src.iter().enumerate() {
+        dst[start + 2 * i] = v;
+    }
+}
+
+/// `dst[start + 2*i] = src[i]`.
+pub fn scatter2_f32(src: &[f32], dst: &mut [f32], start: usize) {
+    for (i, &v) in src.iter().enumerate() {
+        dst[start + 2 * i] = v;
+    }
+}
+
+/// `out[i] = src[i] as f32` (IEEE round-to-nearest-even narrowing).
+pub fn narrow_run(src: &[f64], out: &mut [f32]) {
+    for i in 0..src.len() {
+        out[i] = src[i] as f32;
+    }
+}
+
+/// `out[i] = src[i] as f64` (exact widening).
+pub fn widen_run(src: &[f32], out: &mut [f64]) {
+    for i in 0..src.len() {
+        out[i] = src[i] as f64;
+    }
+}

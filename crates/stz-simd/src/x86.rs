@@ -1,0 +1,594 @@
+//! x86_64 lanes: SSE2 (baseline) and AVX2 (runtime-detected).
+//!
+//! Byte-identity notes (see the crate docs for the general contract):
+//!
+//! * Packed `add/sub/mul/div/cmp` round exactly like their scalar
+//!   counterparts, and no FMA is ever emitted (`fma` is a separate target
+//!   feature and these functions only enable `avx2`).
+//! * `f64::round` (round half away from zero) has no packed instruction;
+//!   [`round_away_pd`] emulates it exactly from truncation: the fraction
+//!   `x - trunc(x)` is exact by Sterbenz's lemma, so comparing it against
+//!   0.5 reproduces the scalar tie-away decision bit-for-bit.
+//! * SSE2 has neither `roundpd` nor a packed f64 truncation, so the
+//!   quantizer and scatter stay scalar under SSE2; the remaining kernels
+//!   (predict, reconstruct, gather, narrow, widen) vectorize 2-wide.
+//! * `cvtpd2ps`/`cvtps2pd` are the packed forms of the same conversions
+//!   rustc emits for scalar `as` casts (`cvtsd2ss`/`cvtss2sd`).
+//!
+//! Stride-2 loads read *pairs* (evens and the odd elements between them),
+//! so a full-width vector may touch one element past the last even index;
+//! [`vec_points`] bounds the vector portion and the scalar reference
+//! finishes the run.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use crate::kernels::{vec_points, Stencil};
+use crate::scalar;
+use std::arch::x86_64::*;
+
+const TRUNC: i32 = _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC;
+
+/// Load `[p[0], p[2], p[4], p[6]]`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn load_evens_pd(p: *const f64) -> __m256d {
+    fix_evens_pd(load_evens_pd_mixed(p))
+}
+
+/// Load the four even elements at `p` in the mixed lane order
+/// `[e0, e2, e1, e3]` — one in-lane shuffle, no cross-lane permute.
+///
+/// Because [`fix_evens_pd`] is a pure element rearrangement, it commutes
+/// with elementwise add/mul: stencil kernels sum several of these mixed
+/// vectors, apply the weights, and permute **once** at the end instead of
+/// per tap (the cross-lane permute is the port-5 bottleneck of the
+/// stride-2 stencil loop). The deferred computation is bit-identical —
+/// each output element sees exactly the same scalar operations.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn load_evens_pd_mixed(p: *const f64) -> __m256d {
+    let v0 = _mm256_loadu_pd(p);
+    let v1 = _mm256_loadu_pd(p.add(4));
+    // [v0_0, v1_0, v0_2, v1_2] = [e0, e2, e1, e3].
+    _mm256_shuffle_pd::<0b0000>(v0, v1)
+}
+
+/// Swap the middle pair of a [`load_evens_pd_mixed`] vector:
+/// `[e0, e2, e1, e3]` -> `[e0, e1, e2, e3]`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn fix_evens_pd(v: __m256d) -> __m256d {
+    _mm256_permute4x64_pd::<0xD8>(v)
+}
+
+/// Load `[p[0], p[2]]`.
+#[inline]
+unsafe fn load_evens_sse(p: *const f64) -> __m128d {
+    _mm_shuffle_pd::<0b00>(_mm_loadu_pd(p), _mm_loadu_pd(p.add(2)))
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn predict_run_avx2(buf: &[f64], base: usize, st: &Stencil, out: &mut [f64]) {
+    const W: usize = 4;
+    let (_, hi) = st.offset_range();
+    let v = vec_points(base, hi, buf.len(), out.len(), W);
+    let p = buf.as_ptr();
+    let o = out.as_mut_ptr();
+    if st.cubic {
+        let wi = _mm256_set1_pd(st.wi);
+        let wo = _mm256_set1_pd(st.wo);
+        let mut i = 0;
+        while i < v {
+            let c = p.add(base + 2 * i);
+            let mut si = _mm256_setzero_pd();
+            let mut so = _mm256_setzero_pd();
+            for bits in 0..st.corners {
+                si = _mm256_add_pd(si, load_evens_pd_mixed(c.offset(st.inner[bits])));
+                so = _mm256_add_pd(so, load_evens_pd_mixed(c.offset(st.outer[bits])));
+            }
+            let r = _mm256_add_pd(_mm256_mul_pd(wi, si), _mm256_mul_pd(wo, so));
+            _mm256_storeu_pd(o.add(i), fix_evens_pd(r));
+            i += W;
+        }
+    } else {
+        let div = _mm256_set1_pd(st.corners as f64);
+        let mut i = 0;
+        while i < v {
+            let c = p.add(base + 2 * i);
+            let mut s = _mm256_setzero_pd();
+            for bits in 0..st.corners {
+                s = _mm256_add_pd(s, load_evens_pd_mixed(c.offset(st.inner[bits])));
+            }
+            _mm256_storeu_pd(o.add(i), fix_evens_pd(_mm256_div_pd(s, div)));
+            i += W;
+        }
+    }
+    scalar::predict_run(buf, base + 2 * v, st, &mut out[v..]);
+}
+
+pub(crate) unsafe fn predict_run_sse2(buf: &[f64], base: usize, st: &Stencil, out: &mut [f64]) {
+    const W: usize = 2;
+    let (_, hi) = st.offset_range();
+    let v = vec_points(base, hi, buf.len(), out.len(), W);
+    let p = buf.as_ptr();
+    let o = out.as_mut_ptr();
+    if st.cubic {
+        let wi = _mm_set1_pd(st.wi);
+        let wo = _mm_set1_pd(st.wo);
+        let mut i = 0;
+        while i < v {
+            let c = p.add(base + 2 * i);
+            let mut si = _mm_setzero_pd();
+            let mut so = _mm_setzero_pd();
+            for bits in 0..st.corners {
+                si = _mm_add_pd(si, load_evens_sse(c.offset(st.inner[bits])));
+                so = _mm_add_pd(so, load_evens_sse(c.offset(st.outer[bits])));
+            }
+            let r = _mm_add_pd(_mm_mul_pd(wi, si), _mm_mul_pd(wo, so));
+            _mm_storeu_pd(o.add(i), r);
+            i += W;
+        }
+    } else {
+        let div = _mm_set1_pd(st.corners as f64);
+        let mut i = 0;
+        while i < v {
+            let c = p.add(base + 2 * i);
+            let mut s = _mm_setzero_pd();
+            for bits in 0..st.corners {
+                s = _mm_add_pd(s, load_evens_sse(c.offset(st.inner[bits])));
+            }
+            _mm_storeu_pd(o.add(i), _mm_div_pd(s, div));
+            i += W;
+        }
+    }
+    scalar::predict_run(buf, base + 2 * v, st, &mut out[v..]);
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn predict_recon_run_avx2(
+    buf: &[f64],
+    base: usize,
+    st: &Stencil,
+    codes: &[f64],
+    two_eb: f64,
+    out: &mut [f64],
+    round32: bool,
+) {
+    const W: usize = 4;
+    let (_, hi) = st.offset_range();
+    let v = vec_points(base, hi, buf.len(), out.len(), W);
+    let p = buf.as_ptr();
+    let cp = codes.as_ptr();
+    let o = out.as_mut_ptr();
+    let v2eb = _mm256_set1_pd(two_eb);
+    if st.cubic {
+        let wi = _mm256_set1_pd(st.wi);
+        let wo = _mm256_set1_pd(st.wo);
+        let mut i = 0;
+        if st.corners == 2 {
+            // 1D cubic (the decode hot path): fixed trip count lets the
+            // compiler schedule the four tap loads together. The leading
+            // `0.0 +` of the accumulator is kept so the operation sequence
+            // (and signed zeros) match the generic loop exactly.
+            let z = _mm256_setzero_pd();
+            let (i0, i1) = (st.inner[0], st.inner[1]);
+            let (o0, o1) = (st.outer[0], st.outer[1]);
+            while i < v {
+                let c = p.add(base + 2 * i);
+                let si = _mm256_add_pd(
+                    _mm256_add_pd(z, load_evens_pd_mixed(c.offset(i0))),
+                    load_evens_pd_mixed(c.offset(i1)),
+                );
+                let so = _mm256_add_pd(
+                    _mm256_add_pd(z, load_evens_pd_mixed(c.offset(o0))),
+                    load_evens_pd_mixed(c.offset(o1)),
+                );
+                let pred =
+                    fix_evens_pd(_mm256_add_pd(_mm256_mul_pd(wi, si), _mm256_mul_pd(wo, so)));
+                let mut r = _mm256_add_pd(pred, _mm256_mul_pd(v2eb, _mm256_loadu_pd(cp.add(i))));
+                if round32 {
+                    r = _mm256_cvtps_pd(_mm256_cvtpd_ps(r));
+                }
+                _mm256_storeu_pd(o.add(i), r);
+                i += W;
+            }
+        }
+        while i < v {
+            let c = p.add(base + 2 * i);
+            let mut si = _mm256_setzero_pd();
+            let mut so = _mm256_setzero_pd();
+            for bits in 0..st.corners {
+                si = _mm256_add_pd(si, load_evens_pd_mixed(c.offset(st.inner[bits])));
+                so = _mm256_add_pd(so, load_evens_pd_mixed(c.offset(st.outer[bits])));
+            }
+            let pred = fix_evens_pd(_mm256_add_pd(_mm256_mul_pd(wi, si), _mm256_mul_pd(wo, so)));
+            let mut r = _mm256_add_pd(pred, _mm256_mul_pd(v2eb, _mm256_loadu_pd(cp.add(i))));
+            if round32 {
+                r = _mm256_cvtps_pd(_mm256_cvtpd_ps(r));
+            }
+            _mm256_storeu_pd(o.add(i), r);
+            i += W;
+        }
+    } else {
+        let div = _mm256_set1_pd(st.corners as f64);
+        let mut i = 0;
+        while i < v {
+            let c = p.add(base + 2 * i);
+            let mut s = _mm256_setzero_pd();
+            for bits in 0..st.corners {
+                s = _mm256_add_pd(s, load_evens_pd_mixed(c.offset(st.inner[bits])));
+            }
+            let pred = fix_evens_pd(_mm256_div_pd(s, div));
+            let mut r = _mm256_add_pd(pred, _mm256_mul_pd(v2eb, _mm256_loadu_pd(cp.add(i))));
+            if round32 {
+                r = _mm256_cvtps_pd(_mm256_cvtpd_ps(r));
+            }
+            _mm256_storeu_pd(o.add(i), r);
+            i += W;
+        }
+    }
+    if round32 {
+        scalar::predict_recon_run_f32(buf, base + 2 * v, st, &codes[v..], two_eb, &mut out[v..]);
+    } else {
+        scalar::predict_recon_run_f64(buf, base + 2 * v, st, &codes[v..], two_eb, &mut out[v..]);
+    }
+}
+
+pub(crate) unsafe fn predict_recon_run_sse2(
+    buf: &[f64],
+    base: usize,
+    st: &Stencil,
+    codes: &[f64],
+    two_eb: f64,
+    out: &mut [f64],
+    round32: bool,
+) {
+    const W: usize = 2;
+    let (_, hi) = st.offset_range();
+    let v = vec_points(base, hi, buf.len(), out.len(), W);
+    let p = buf.as_ptr();
+    let cp = codes.as_ptr();
+    let o = out.as_mut_ptr();
+    let v2eb = _mm_set1_pd(two_eb);
+    if st.cubic {
+        let wi = _mm_set1_pd(st.wi);
+        let wo = _mm_set1_pd(st.wo);
+        let mut i = 0;
+        while i < v {
+            let c = p.add(base + 2 * i);
+            let mut si = _mm_setzero_pd();
+            let mut so = _mm_setzero_pd();
+            for bits in 0..st.corners {
+                si = _mm_add_pd(si, load_evens_sse(c.offset(st.inner[bits])));
+                so = _mm_add_pd(so, load_evens_sse(c.offset(st.outer[bits])));
+            }
+            let pred = _mm_add_pd(_mm_mul_pd(wi, si), _mm_mul_pd(wo, so));
+            let mut r = _mm_add_pd(pred, _mm_mul_pd(v2eb, _mm_loadu_pd(cp.add(i))));
+            if round32 {
+                r = _mm_cvtps_pd(_mm_cvtpd_ps(r));
+            }
+            _mm_storeu_pd(o.add(i), r);
+            i += W;
+        }
+    } else {
+        let div = _mm_set1_pd(st.corners as f64);
+        let mut i = 0;
+        while i < v {
+            let c = p.add(base + 2 * i);
+            let mut s = _mm_setzero_pd();
+            for bits in 0..st.corners {
+                s = _mm_add_pd(s, load_evens_sse(c.offset(st.inner[bits])));
+            }
+            let pred = _mm_div_pd(s, div);
+            let mut r = _mm_add_pd(pred, _mm_mul_pd(v2eb, _mm_loadu_pd(cp.add(i))));
+            if round32 {
+                r = _mm_cvtps_pd(_mm_cvtpd_ps(r));
+            }
+            _mm_storeu_pd(o.add(i), r);
+            i += W;
+        }
+    }
+    if round32 {
+        scalar::predict_recon_run_f32(buf, base + 2 * v, st, &codes[v..], two_eb, &mut out[v..]);
+    } else {
+        scalar::predict_recon_run_f64(buf, base + 2 * v, st, &codes[v..], two_eb, &mut out[v..]);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn recon_run_avx2(
+    preds: &[f64],
+    codes: &[f64],
+    two_eb: f64,
+    out: &mut [f64],
+    round32: bool,
+) {
+    let n = out.len();
+    let v2eb = _mm256_set1_pd(two_eb);
+    let mut i = 0;
+    while i + 4 <= n {
+        let p = _mm256_loadu_pd(preds.as_ptr().add(i));
+        let c = _mm256_loadu_pd(codes.as_ptr().add(i));
+        let mut r = _mm256_add_pd(p, _mm256_mul_pd(v2eb, c));
+        if round32 {
+            r = _mm256_cvtps_pd(_mm256_cvtpd_ps(r));
+        }
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), r);
+        i += 4;
+    }
+    if round32 {
+        scalar::recon_run_f32(&preds[i..], &codes[i..], two_eb, &mut out[i..]);
+    } else {
+        scalar::recon_run_f64(&preds[i..], &codes[i..], two_eb, &mut out[i..]);
+    }
+}
+
+pub(crate) unsafe fn recon_run_sse2(
+    preds: &[f64],
+    codes: &[f64],
+    two_eb: f64,
+    out: &mut [f64],
+    round32: bool,
+) {
+    let n = out.len();
+    let v2eb = _mm_set1_pd(two_eb);
+    let mut i = 0;
+    while i + 2 <= n {
+        let p = _mm_loadu_pd(preds.as_ptr().add(i));
+        let c = _mm_loadu_pd(codes.as_ptr().add(i));
+        let mut r = _mm_add_pd(p, _mm_mul_pd(v2eb, c));
+        if round32 {
+            r = _mm_cvtps_pd(_mm_cvtpd_ps(r));
+        }
+        _mm_storeu_pd(out.as_mut_ptr().add(i), r);
+        i += 2;
+    }
+    if round32 {
+        scalar::recon_run_f32(&preds[i..], &codes[i..], two_eb, &mut out[i..]);
+    } else {
+        scalar::recon_run_f64(&preds[i..], &codes[i..], two_eb, &mut out[i..]);
+    }
+}
+
+/// Exact `f64::round` (half away from zero): `t = trunc(x)` and the
+/// fraction `x − t` is exact (Sterbenz), so `|fraction| ≥ 0.5` decides
+/// the away-step. Matches the scalar result for every input, including
+/// ±0.5, the nextafter(0.5) neighbors, values ≥ 2^52, ±0, NaN and ±inf.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn round_away_pd(x: __m256d) -> __m256d {
+    let sign = _mm256_set1_pd(-0.0);
+    let t = _mm256_round_pd::<TRUNC>(x);
+    let f = _mm256_sub_pd(x, t);
+    let absf = _mm256_andnot_pd(sign, f);
+    let away = _mm256_cmp_pd::<_CMP_GE_OQ>(absf, _mm256_set1_pd(0.5));
+    let one_signed = _mm256_or_pd(_mm256_and_pd(sign, x), _mm256_set1_pd(1.0));
+    _mm256_add_pd(t, _mm256_and_pd(away, one_signed))
+}
+
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn quantize_run_avx2(
+    actuals: &[f64],
+    preds: &[f64],
+    eb: f64,
+    two_eb: f64,
+    radius_f: f64,
+    q_out: &mut [f64],
+    recon_out: &mut [f64],
+    escape_out: &mut [u8],
+    round32: bool,
+) {
+    let n = actuals.len();
+    let sign = _mm256_set1_pd(-0.0);
+    let inf = _mm256_set1_pd(f64::INFINITY);
+    let veb = _mm256_set1_pd(eb);
+    let v2eb = _mm256_set1_pd(two_eb);
+    let vrad = _mm256_set1_pd(radius_f);
+    let zero = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= n {
+        let a = _mm256_loadu_pd(actuals.as_ptr().add(i));
+        let p = _mm256_loadu_pd(preds.as_ptr().add(i));
+        // Escape on non-finite input: |x| NLT inf is true for ±inf and NaN.
+        let nf_a = _mm256_cmp_pd::<_CMP_NLT_UQ>(_mm256_andnot_pd(sign, a), inf);
+        let nf_p = _mm256_cmp_pd::<_CMP_NLT_UQ>(_mm256_andnot_pd(sign, p), inf);
+        let mut esc = _mm256_or_pd(nf_a, nf_p);
+        let diff = _mm256_sub_pd(a, p);
+        let q = round_away_pd(_mm256_div_pd(diff, v2eb));
+        let absq = _mm256_andnot_pd(sign, q);
+        esc = _mm256_or_pd(esc, _mm256_cmp_pd::<_CMP_GT_OQ>(absq, vrad));
+        // q + 0.0 reproduces the scalar `q as i64 as f64` round-trip
+        // (normalizing -0.0); LLVM cannot fold it away without fast-math.
+        let qn = _mm256_add_pd(q, zero);
+        let recon = _mm256_add_pd(p, _mm256_mul_pd(v2eb, qn));
+        let err = _mm256_andnot_pd(sign, _mm256_sub_pd(recon, a));
+        esc = _mm256_or_pd(esc, _mm256_cmp_pd::<_CMP_GT_OQ>(err, veb));
+        let r = if round32 {
+            let r32 = _mm256_cvtps_pd(_mm256_cvtpd_ps(recon));
+            let err32 = _mm256_andnot_pd(sign, _mm256_sub_pd(r32, a));
+            esc = _mm256_or_pd(esc, _mm256_cmp_pd::<_CMP_GT_OQ>(err32, veb));
+            r32
+        } else {
+            recon
+        };
+        _mm256_storeu_pd(q_out.as_mut_ptr().add(i), qn);
+        _mm256_storeu_pd(recon_out.as_mut_ptr().add(i), r);
+        let m = _mm256_movemask_pd(esc) as u32;
+        for j in 0..4 {
+            *escape_out.get_unchecked_mut(i + j) = ((m >> j) & 1) as u8;
+        }
+        i += 4;
+    }
+    if round32 {
+        scalar::quantize_run_f32(
+            &actuals[i..],
+            &preds[i..],
+            eb,
+            two_eb,
+            radius_f,
+            &mut q_out[i..],
+            &mut recon_out[i..],
+            &mut escape_out[i..],
+        );
+    } else {
+        scalar::quantize_run_f64(
+            &actuals[i..],
+            &preds[i..],
+            eb,
+            two_eb,
+            radius_f,
+            &mut q_out[i..],
+            &mut recon_out[i..],
+            &mut escape_out[i..],
+        );
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn gather2_f64_avx2(src: &[f64], start: usize, out: &mut [f64]) {
+    const W: usize = 4;
+    let v = vec_points(start, 0, src.len(), out.len(), W);
+    let p = src.as_ptr();
+    let mut i = 0;
+    while i < v {
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), load_evens_pd(p.add(start + 2 * i)));
+        i += W;
+    }
+    scalar::gather2_f64(src, start + 2 * v, &mut out[v..]);
+}
+
+pub(crate) unsafe fn gather2_f64_sse2(src: &[f64], start: usize, out: &mut [f64]) {
+    const W: usize = 2;
+    let v = vec_points(start, 0, src.len(), out.len(), W);
+    let p = src.as_ptr();
+    let mut i = 0;
+    while i < v {
+        _mm_storeu_pd(out.as_mut_ptr().add(i), load_evens_sse(p.add(start + 2 * i)));
+        i += W;
+    }
+    scalar::gather2_f64(src, start + 2 * v, &mut out[v..]);
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn gather2_f32_avx2(src: &[f32], start: usize, out: &mut [f32]) {
+    const W: usize = 8;
+    let v = vec_points(start, 0, src.len(), out.len(), W);
+    let p = src.as_ptr();
+    let mut i = 0;
+    while i < v {
+        let v0 = _mm256_loadu_ps(p.add(start + 2 * i));
+        let v1 = _mm256_loadu_ps(p.add(start + 2 * i + 8));
+        // Per 128-bit half: evens of v0 then evens of v1 → pairs land as
+        // [e0 e1 e4 e5 | e2 e3 e6 e7]; permuting 64-bit pairs fixes order.
+        let s = _mm256_shuffle_ps::<0b10_00_10_00>(v0, v1);
+        let r = _mm256_castpd_ps(_mm256_permute4x64_pd::<0xD8>(_mm256_castps_pd(s)));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), r);
+        i += W;
+    }
+    scalar::gather2_f32(src, start + 2 * v, &mut out[v..]);
+}
+
+pub(crate) unsafe fn gather2_f32_sse2(src: &[f32], start: usize, out: &mut [f32]) {
+    const W: usize = 4;
+    let v = vec_points(start, 0, src.len(), out.len(), W);
+    let p = src.as_ptr();
+    let mut i = 0;
+    while i < v {
+        let v0 = _mm_loadu_ps(p.add(start + 2 * i));
+        let v1 = _mm_loadu_ps(p.add(start + 2 * i + 4));
+        _mm_storeu_ps(out.as_mut_ptr().add(i), _mm_shuffle_ps::<0b10_00_10_00>(v0, v1));
+        i += W;
+    }
+    scalar::gather2_f32(src, start + 2 * v, &mut out[v..]);
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn scatter2_f64_avx2(src: &[f64], dst: &mut [f64], start: usize) {
+    const W: usize = 4;
+    let v = vec_points(start, 0, dst.len(), src.len(), W);
+    let mut i = 0;
+    while i < v {
+        let s = _mm256_loadu_pd(src.as_ptr().add(i));
+        // [x0 x0 x1 x1] / [x2 x2 x3 x3]: the evens of the two dst vectors.
+        let lo = _mm256_permute4x64_pd::<0x50>(s);
+        let hi = _mm256_permute4x64_pd::<0xFA>(s);
+        let d = dst.as_mut_ptr().add(start + 2 * i);
+        let d0 = _mm256_loadu_pd(d);
+        let d1 = _mm256_loadu_pd(d.add(4));
+        // Rewrite the odd elements with their current values (exclusive
+        // &mut borrow makes the read-modify-write race-free).
+        _mm256_storeu_pd(d, _mm256_blend_pd::<0b0101>(d0, lo));
+        _mm256_storeu_pd(d.add(4), _mm256_blend_pd::<0b0101>(d1, hi));
+        i += W;
+    }
+    scalar::scatter2_f64(&src[v..], dst, start + 2 * v);
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn scatter2_f32_avx2(src: &[f32], dst: &mut [f32], start: usize) {
+    const W: usize = 8;
+    let v = vec_points(start, 0, dst.len(), src.len(), W);
+    let mut i = 0;
+    while i < v {
+        let s = _mm256_loadu_ps(src.as_ptr().add(i));
+        let dup_lo = _mm256_unpacklo_ps(s, s); // [x0 x0 x1 x1 | x4 x4 x5 x5]
+        let dup_hi = _mm256_unpackhi_ps(s, s); // [x2 x2 x3 x3 | x6 x6 x7 x7]
+        let lo = _mm256_permute2f128_ps::<0x20>(dup_lo, dup_hi);
+        let hi = _mm256_permute2f128_ps::<0x31>(dup_lo, dup_hi);
+        let d = dst.as_mut_ptr().add(start + 2 * i);
+        let d0 = _mm256_loadu_ps(d);
+        let d1 = _mm256_loadu_ps(d.add(8));
+        _mm256_storeu_ps(d, _mm256_blend_ps::<0b01010101>(d0, lo));
+        _mm256_storeu_ps(d.add(8), _mm256_blend_ps::<0b01010101>(d1, hi));
+        i += W;
+    }
+    scalar::scatter2_f32(&src[v..], dst, start + 2 * v);
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn narrow_run_avx2(src: &[f64], out: &mut [f32]) {
+    let n = src.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let x = _mm256_loadu_pd(src.as_ptr().add(i));
+        _mm_storeu_ps(out.as_mut_ptr().add(i), _mm256_cvtpd_ps(x));
+        i += 4;
+    }
+    scalar::narrow_run(&src[i..], &mut out[i..]);
+}
+
+pub(crate) unsafe fn narrow_run_sse2(src: &[f64], out: &mut [f32]) {
+    let n = src.len();
+    let mut i = 0;
+    while i + 2 <= n {
+        let x = _mm_loadu_pd(src.as_ptr().add(i));
+        // Two f32 results in the low 64 bits; movsd stores them unaligned.
+        _mm_store_sd(out.as_mut_ptr().add(i) as *mut f64, _mm_castps_pd(_mm_cvtpd_ps(x)));
+        i += 2;
+    }
+    scalar::narrow_run(&src[i..], &mut out[i..]);
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn widen_run_avx2(src: &[f32], out: &mut [f64]) {
+    let n = src.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let x = _mm_loadu_ps(src.as_ptr().add(i));
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_cvtps_pd(x));
+        i += 4;
+    }
+    scalar::widen_run(&src[i..], &mut out[i..]);
+}
+
+pub(crate) unsafe fn widen_run_sse2(src: &[f32], out: &mut [f64]) {
+    let n = src.len();
+    let mut i = 0;
+    while i + 2 <= n {
+        let x = _mm_load_sd(src.as_ptr().add(i) as *const f64);
+        _mm_storeu_pd(out.as_mut_ptr().add(i), _mm_cvtps_pd(_mm_castpd_ps(x)));
+        i += 2;
+    }
+    scalar::widen_run(&src[i..], &mut out[i..]);
+}

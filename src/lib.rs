@@ -34,6 +34,7 @@ pub use stz_data as data;
 pub use stz_field as field;
 pub use stz_mgard as mgard;
 pub use stz_serve as serve;
+pub use stz_simd as simd;
 pub use stz_sperr as sperr;
 pub use stz_stream as stream;
 pub use stz_sz3 as sz3;

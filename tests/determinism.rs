@@ -87,6 +87,125 @@ fn progressive_refinement_matches_serial_at_every_width() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Lane-width identity: the SIMD dispatch (ARCHITECTURE.md invariant 8).
+//
+// Every available `stz_simd` lane must produce byte-identical compressed
+// streams and decoded fields to the scalar reference — across all five
+// codecs, both element types, and full / progressive / ROI decode paths.
+// `override_lane` pins the lane; these helpers always restore the previous
+// override so the rest of the suite keeps its configured dispatch.
+// ---------------------------------------------------------------------------
+
+/// The lane override is process-global; serialize the lane tests so one
+/// test's scalar baseline can't be computed under another's vector pin.
+static LANE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn with_lane<R>(lane: stz::simd::Lane, op: impl FnOnce() -> R) -> R {
+    let prev = stz::simd::override_lane(Some(lane));
+    let r = op();
+    stz::simd::override_lane(prev);
+    r
+}
+
+fn vector_lanes() -> Vec<stz::simd::Lane> {
+    stz::simd::available_lanes().into_iter().filter(|&l| l != stz::simd::Lane::Scalar).collect()
+}
+
+#[test]
+fn all_codecs_byte_identical_across_lanes() {
+    use stz::backend::registry;
+    let _guard = LANE_LOCK.lock().unwrap();
+    let f32_field = f32_field(Dims::d3(20, 18, 22));
+    let f64_field = f64_field(Dims::d3(16, 20, 14));
+    for codec in registry().all() {
+        let (b32, b64) = with_lane(stz::simd::Lane::Scalar, || {
+            let b32 = codec.compress_f32(&f32_field, 1e-3).unwrap();
+            let b64 = codec.compress_f64(&f64_field, 0.5).unwrap();
+            (b32, b64)
+        });
+        let (d32, d64) = with_lane(stz::simd::Lane::Scalar, || {
+            let d32: Field<f32> = codec.decompress_f32(&b32).unwrap();
+            let d64: Field<f64> = codec.decompress_f64(&b64).unwrap();
+            (d32, d64)
+        });
+        for lane in vector_lanes() {
+            with_lane(lane, || {
+                assert_eq!(
+                    codec.compress_f32(&f32_field, 1e-3).unwrap(),
+                    b32,
+                    "{} f32 stream differs on {lane}",
+                    codec.name()
+                );
+                assert_eq!(
+                    codec.compress_f64(&f64_field, 0.5).unwrap(),
+                    b64,
+                    "{} f64 stream differs on {lane}",
+                    codec.name()
+                );
+                let r32: Field<f32> = codec.decompress_f32(&b32).unwrap();
+                let r64: Field<f64> = codec.decompress_f64(&b64).unwrap();
+                assert_eq!(r32, d32, "{} f32 field differs on {lane}", codec.name());
+                assert_eq!(r64, d64, "{} f64 field differs on {lane}", codec.name());
+            });
+        }
+    }
+}
+
+#[test]
+fn progressive_and_roi_byte_identical_across_lanes() {
+    let _guard = LANE_LOCK.lock().unwrap();
+    let field = f32_field(Dims::d3(28, 26, 30));
+    let compressor = StzCompressor::new(StzConfig::three_level(1e-3));
+    let archive = with_lane(stz::simd::Lane::Scalar, || compressor.compress(&field)).unwrap();
+    let region = Region::d3(3..17, 2..19, 5..21);
+    let (levels, roi) = with_lane(stz::simd::Lane::Scalar, || {
+        let mut p = archive.progressive();
+        let mut levels: Vec<Field<f32>> = Vec::new();
+        while let Some(l) = p.next_level().unwrap() {
+            levels.push(l);
+        }
+        let roi: Field<f32> = archive.decompress_region(&region).unwrap();
+        (levels, roi)
+    });
+    for lane in vector_lanes() {
+        with_lane(lane, || {
+            assert_eq!(compressor.compress(&field).unwrap().as_bytes(), archive.as_bytes());
+            let mut p = archive.progressive();
+            for (i, expect) in levels.iter().enumerate() {
+                let got = p.next_level().unwrap().unwrap();
+                assert_eq!(&got, expect, "progressive level {i} differs on {lane}");
+            }
+            assert!(p.next_level().unwrap().is_none());
+            let got: Field<f32> = archive.decompress_region(&region).unwrap();
+            assert_eq!(got, roi, "ROI decode differs on {lane}");
+        });
+    }
+}
+
+#[test]
+fn f64_progressive_and_roi_byte_identical_across_lanes() {
+    let _guard = LANE_LOCK.lock().unwrap();
+    let field = f64_field(Dims::d3(24, 22, 26));
+    let compressor = StzCompressor::new(StzConfig::three_level(0.25));
+    let archive = with_lane(stz::simd::Lane::Scalar, || compressor.compress(&field)).unwrap();
+    let region = Region::d3(0..15, 4..18, 3..20);
+    let (full, roi) = with_lane(stz::simd::Lane::Scalar, || {
+        let full: Field<f64> = archive.decompress().unwrap();
+        let roi: Field<f64> = archive.decompress_region(&region).unwrap();
+        (full, roi)
+    });
+    for lane in vector_lanes() {
+        with_lane(lane, || {
+            assert_eq!(compressor.compress(&field).unwrap().as_bytes(), archive.as_bytes());
+            let f: Field<f64> = archive.decompress().unwrap();
+            let r: Field<f64> = archive.decompress_region(&region).unwrap();
+            assert_eq!(f, full, "full decode differs on {lane}");
+            assert_eq!(r, roi, "ROI decode differs on {lane}");
+        });
+    }
+}
+
 #[test]
 fn pipelined_containers_byte_identical_across_thread_counts() {
     let compressor = StzCompressor::new(StzConfig::three_level(1e-3));
