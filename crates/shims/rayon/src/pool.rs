@@ -222,10 +222,30 @@ where
     let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     let abort = AtomicBool::new(false);
 
+    // Capture the caller's trace context so spans opened inside chunk
+    // closures parent correctly across the pool boundary. Observe-only:
+    // chunk layout and result order are unchanged whether or not a trace
+    // is active.
+    let trace_ctx = stz_telemetry::trace::current_context();
+    let seeded_at = trace_ctx.as_ref().map(|_| std::time::Instant::now());
+
     let worker_loop = |me: usize| {
         let _ctx = enter_context(Some(threads), true);
+        let _trace = stz_telemetry::trace::install_context(trace_ctx.clone());
+        let mut first_claim = true;
         while !abort.load(Ordering::Relaxed) {
             let Some(chunk) = pop_or_steal(&deques, me) else { break };
+            if let (true, Some(seeded)) = (first_claim, seeded_at) {
+                // One queue-wait span per worker (its first claim), not
+                // one per chunk — bounded span count at any input size.
+                first_claim = false;
+                stz_telemetry::trace::record_span(
+                    "queue_wait",
+                    seeded,
+                    std::time::Instant::now(),
+                    &[("worker", me.to_string())],
+                );
+            }
             match catch_unwind(AssertUnwindSafe(|| chunk_fn(chunk.items))) {
                 Ok(r) => lock_unpoisoned(&results).push((chunk.seq, r)),
                 Err(payload) => {

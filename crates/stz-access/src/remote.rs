@@ -103,10 +103,23 @@ impl Entry for RemoteEntry {
 
     fn fetch(&self, fetch: &Fetch) -> Result<FetchedField> {
         validate_fetch(fetch, &self.desc)?;
+        // Open a client-side trace root: the wrapped `Client` injects this
+        // trace's id into the fetch frame, so the server's span tree
+        // parents under the "roundtrip" span recorded here.
+        let mut trace = stz_telemetry::trace::collector().start("client", "fetch", None);
+        trace.attr("container", &self.container);
+        trace.attr("entry", self.desc.index);
         let started = std::time::Instant::now();
-        let fetched = self.fetch_remote(fetch)?;
-        crate::record_fetch("remote", fetched.data.len(), started);
-        Ok(fetched)
+        let result = {
+            let mut roundtrip = stz_telemetry::trace::span("roundtrip");
+            roundtrip.attr("addr", &self.addr);
+            self.fetch_remote(fetch)
+        };
+        match &result {
+            Ok(fetched) => crate::record_fetch("remote", fetched.data.len(), started),
+            Err(_) => trace.set_error(),
+        }
+        result
     }
 }
 
@@ -133,7 +146,7 @@ impl RemoteEntry {
             Fetch::Region(region) => RequestKind::roi(region),
             Fetch::RawSection(_) => unreachable!("handled above"),
         };
-        let req = FetchReq { container: self.container.clone(), entry, kind };
+        let req = FetchReq { container: self.container.clone(), entry, kind, trace: None };
         let fetched = with_client(&self.client, |c| c.fetch(&req))?;
         Ok(FetchedField {
             fetch: fetch.clone(),

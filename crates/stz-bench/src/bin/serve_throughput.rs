@@ -23,6 +23,13 @@
 //! the JSON, printing a client-vs-server p50 comparison (the two views
 //! agree within one log-2 histogram bucket).
 //!
+//! With `--traces`, the harness fetches the server's tail-sampled request
+//! traces over one `TRACE_GET` round-trip, embeds a per-kind summary
+//! (slowest trace, span count, dominant stage) as a `traces` section in
+//! the JSON, and writes the full span trees as Chrome trace-event JSON to
+//! `--trace-out` (default `BENCH_serve_trace.json`) — loadable in
+//! Perfetto or chrome://tracing as a CI artifact.
+//!
 //! With `--check`, the harness exits non-zero unless the
 //! repeated-request workload produced a nonzero cache hit rate, and —
 //! when `--baseline` points at a JSON file with a `serve.kinds.*.p50_ms`
@@ -53,7 +60,10 @@ fn main() {
     let opts = cli::from_env();
     let check = opts.rest.iter().any(|a| a == "--check");
     let want_metrics = opts.rest.iter().any(|a| a == "--metrics");
+    let want_traces = opts.rest.iter().any(|a| a == "--traces");
     let out_path = flag_value(&opts.rest, "--out").unwrap_or_else(|| "BENCH_serve.json".into());
+    let trace_out =
+        flag_value(&opts.rest, "--trace-out").unwrap_or_else(|| "BENCH_serve_trace.json".into());
     let baseline_path = flag_value(&opts.rest, "--baseline");
     let requests: usize =
         flag_value(&opts.rest, "--requests").and_then(|v| v.parse().ok()).unwrap_or(48);
@@ -150,6 +160,8 @@ fn main() {
         let text = client.metrics().expect("metrics round-trip");
         stz_telemetry::expo::parse(&text).expect("server exposition parses")
     });
+    // --traces: the tail-sampled span trees, also while the server lives.
+    let traces = want_traces.then(|| client.trace().expect("trace round-trip"));
     drop(client);
     handle.stop();
     let _ = std::fs::remove_dir_all(&dir);
@@ -237,6 +249,50 @@ fn main() {
         obj(per_kind)
     });
 
+    // --- Per-kind trace summary + Chrome-trace artifact (--traces). -----
+    let traces_json = traces.as_ref().map(|traces| {
+        let chrome = stz_telemetry::trace::render_chrome_trace(traces);
+        std::fs::write(&trace_out, format!("{chrome}\n")).expect("write trace artifact");
+        println!(
+            "# wrote {trace_out} ({} retained trace(s), Chrome trace-event JSON — load in \
+             Perfetto or chrome://tracing)",
+            traces.len()
+        );
+        // Slowest retained trace per kind, with its dominant stage (the
+        // longest non-root span — where that worst request spent its time).
+        let mut slowest: BTreeMap<&str, &stz_telemetry::trace::TraceRecord> = BTreeMap::new();
+        for t in traces {
+            let e = slowest.entry(t.kind.as_str()).or_insert(t);
+            if t.duration_ns > e.duration_ns {
+                *e = t;
+            }
+        }
+        let mut per_kind: Vec<(String, Json)> = Vec::new();
+        for (kind, t) in slowest {
+            let root_id = t.root().map(|r| r.id).unwrap_or(0);
+            let stage = t.spans.iter().filter(|s| s.id != root_id).max_by_key(|s| s.duration_ns);
+            let (stage_name, stage_ms) =
+                stage.map(|s| (s.name.as_str(), s.duration_ns as f64 / 1e6)).unwrap_or(("-", 0.0));
+            println!(
+                "# trace [{kind}]: slowest {:.3} ms over {} span(s), dominant stage {stage_name} \
+                 ({stage_ms:.3} ms)",
+                t.duration_ns as f64 / 1e6,
+                t.spans.len(),
+            );
+            per_kind.push((
+                kind.to_string(),
+                obj([
+                    ("slowest_ms", (t.duration_ns as f64 / 1e6).into()),
+                    ("spans", t.spans.len().into()),
+                    ("dominant_stage", stage_name.to_string().into()),
+                    ("dominant_stage_ms", stage_ms.into()),
+                    ("error", t.error.into()),
+                ]),
+            ));
+        }
+        Json::Obj(per_kind.into_iter().collect())
+    });
+
     let mut fields_json: Vec<(&'static str, Json)> = vec![
         ("schema", "stz-bench/serve/v1".into()),
         ("scale", opts.scale.into()),
@@ -265,6 +321,9 @@ fn main() {
     ];
     if let Some(server) = server_json {
         fields_json.push(("server", server));
+    }
+    if let Some(tj) = traces_json {
+        fields_json.push(("traces", tj));
     }
     let doc = obj(fields_json);
     std::fs::write(&out_path, format!("{doc}\n")).expect("write BENCH_serve.json");

@@ -24,6 +24,7 @@ USAGE:
   stz serve      -i <dir|container> [--addr <host:port>] [--cache-mb <MB>]
                  [--max-conns <N>] [--threads <N>]
   stz stats      --from <location> [--json]
+  stz trace      --from <location> [--json] [--entry <name>]
 
 Raw files are flat little-endian arrays in C order (x fastest).
 Containers (.stzc) hold one entry per input file, named by file stem; preview
@@ -53,7 +54,13 @@ machine-readable entry table, identical for every transport.
 stats renders the telemetry registry as a sorted table (histograms fold to
 count/p50/p99): for stz:// locations it fetches the server's live registry
 over one METRICS round-trip; for local paths it opens the store and shows
-the counters the read populated in this process.";
+the counters the read populated in this process.
+trace shows request span trees: for stz:// locations it fetches the
+server's tail-sampled traces (slowest + error requests per frame kind)
+over one TRACE_GET round-trip; for local paths it traces one full fetch
+of the selected entry in this process. The default rendering is a text
+waterfall; --json emits Chrome trace-event JSON, loadable in Perfetto
+(ui.perfetto.dev) or chrome://tracing.";
 
 /// Parsed command line: subcommand + flag map.
 #[derive(Debug)]

@@ -75,6 +75,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "inspect" => inspect(&p),
         "serve" => serve(&p),
         "stats" => stats(&p),
+        "trace" => trace(&p),
         // Hidden aliases (one release): the pre-URI remote twins
         // (remote_list / remote_inspect / remote_extract / remote_preview
         // as dedicated functions) are gone — each alias rewrites its
@@ -648,6 +649,45 @@ fn stats(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// `trace`: request span trees of a location. `stz://` locations fetch
+/// the server's tail-sampled traces (slowest + error requests per frame
+/// kind, full span tables) over one `TRACE_GET` round-trip; local paths
+/// trace one full fetch of the selected entry through this process's
+/// collector, so the decode-stage breakdown is visible without a server.
+/// Text waterfall by default; `--json` emits Chrome trace-event JSON for
+/// Perfetto / chrome://tracing.
+fn trace(p: &Parsed) -> Result<(), String> {
+    let from = resolve_from(p)?;
+    let traces = match Location::parse(&from).map_err(|e| e.to_string())? {
+        Location::Remote { addr, .. } => {
+            let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+            client.trace().map_err(|e| e.to_string())?
+        }
+        Location::Path(_) => {
+            let entry = open_entry(p, &from)?;
+            let result = {
+                let mut root = stz_telemetry::trace::collector().start("cli", "fetch", None);
+                root.attr("from", &from);
+                let result = entry.fetch(&Fetch::Full);
+                if result.is_err() {
+                    root.set_error();
+                }
+                result
+            };
+            result.map_err(|e| e.to_string())?;
+            stz_telemetry::trace::collector().snapshot()
+        }
+    };
+    if p.switch("--json") {
+        println!("{}", stz_telemetry::trace::render_chrome_trace(&traces));
+    } else if traces.is_empty() {
+        eprintln!("no traces retained at {from} (is STZ_TRACE=off set?)");
+    } else {
+        print!("{}", stz_telemetry::trace::render_waterfall(&traces));
+    }
+    Ok(())
+}
+
 /// Start the archive server (blocking; ^C to stop).
 fn serve(p: &Parsed) -> Result<(), String> {
     let root = Path::new(p.required("-i")?);
@@ -1177,6 +1217,13 @@ mod tests {
         run(&argv(&["stats".into(), "--from".into(), uri.clone()])).unwrap();
         run(&argv(&["stats".into(), "--from".into(), uri.clone(), "--json".into()])).unwrap();
         run(&argv(&["stats".into(), "--from".into(), container.display().to_string()])).unwrap();
+
+        // trace works against the live server (the extracts above left
+        // retained traces), in both renderings, and against the local
+        // container (tracing one in-process fetch).
+        run(&argv(&["trace".into(), "--from".into(), uri.clone()])).unwrap();
+        run(&argv(&["trace".into(), "--from".into(), uri.clone(), "--json".into()])).unwrap();
+        run(&argv(&["trace".into(), "--from".into(), container.display().to_string()])).unwrap();
 
         handle.stop();
         let _ = std::fs::remove_dir_all(&d);

@@ -689,8 +689,13 @@ pub(crate) fn decompress_impl<T: Scalar, S: SectionSource + ?Sized>(
         )));
     }
     let plan = source.plan();
-    let mut grid = decode_level1::<T, S>(source, &plan)?;
+    let mut grid = {
+        let _stage = stz_telemetry::trace::span("level1");
+        decode_level1::<T, S>(source, &plan)?
+    };
     for level in &plan.levels[1..upto as usize] {
+        let mut stage = stz_telemetry::trace::span("level_decode");
+        stage.attr("level", level.index);
         grid = decode_level_grid::<T, S>(source, &plan, level.index, &grid, parallel)?;
     }
     // Chunk by index range rather than par_iter over elements: the cast is
@@ -766,8 +771,19 @@ pub(crate) fn decode_level_grid<T: Scalar, S: SectionSource + ?Sized>(
 
     let decode_one = |(i, block): (usize, &BlockSpec)| -> Result<Field<f64>> {
         let bytes = source.block_bytes(level_index, i)?;
+        // Stage timestamps are taken only when a trace is active, so the
+        // untraced hot path pays one thread-local read per block.
+        let traced = stz_telemetry::trace::current_context().is_some();
+        let t0 = traced.then(std::time::Instant::now);
         let (symbols, outliers) = decode_block_payload::<T>(&bytes, block.lattice.len(), parallel)?;
-        Ok(reconstruct_block(&symbols, &outliers, &next, block, &quant, interp, parallel))
+        let t1 = traced.then(std::time::Instant::now);
+        let recon = reconstruct_block(&symbols, &outliers, &next, block, &quant, interp, parallel);
+        if let (Some(t0), Some(t1)) = (t0, t1) {
+            let attrs = [("block", i.to_string())];
+            stz_telemetry::trace::record_span("entropy", t0, t1, &attrs);
+            stz_telemetry::trace::record_span("reconstruct", t1, std::time::Instant::now(), &attrs);
+        }
+        Ok(recon)
     };
     let results: Vec<Result<Field<f64>>> = if parallel {
         level.blocks.par_iter().enumerate().map(decode_one).collect()

@@ -140,14 +140,70 @@ fn proto_cases() -> Vec<(&'static str, &'static str, Vec<u8>)> {
         frame(FrameType::MetricsOk, &trailing),
     ));
 
+    // Hostile TRACE_OK variants (valid frame CRC, hostile payload).
+    let trace_ok = proto::encode_trace_ok(&[stz_telemetry::trace::TraceRecord {
+        trace_id: 7,
+        kind: "full".into(),
+        error: false,
+        duration_ns: 1_000,
+        dropped_spans: 0,
+        spans: vec![stz_telemetry::trace::SpanRecord {
+            id: 1,
+            parent: 0,
+            name: "request".into(),
+            start_ns: 0,
+            duration_ns: 1_000,
+            attrs: vec![],
+        }],
+    }]);
+    let mut trace_bad_version = trace_ok.clone();
+    trace_bad_version[0] = 99;
+    cases.push((
+        "proto_trace_bad_version",
+        "TRACE_OK with wire version 99 must be refused",
+        frame(FrameType::TraceOk, &trace_bad_version),
+    ));
+    cases.push((
+        "proto_trace_truncated_span_table",
+        "TRACE_OK whose span table is cut short must fail the payload decode",
+        frame(FrameType::TraceOk, &trace_ok[..trace_ok.len() - 6]),
+    ));
+    let mut trace_lying = trace_ok.clone();
+    trace_lying[1..5].copy_from_slice(&1000u32.to_le_bytes());
+    cases.push((
+        "proto_trace_lying_count",
+        "TRACE_OK claiming 1000 traces in a one-trace payload must be rejected",
+        frame(FrameType::TraceOk, &trace_lying),
+    ));
+
+    // Fetch request whose trace-context extension lies about its version.
+    let traced_req = FetchReq {
+        container: "steps".into(),
+        entry: EntrySel::Index(0),
+        kind: RequestKind::Full,
+        trace: Some(proto::TraceContextExt { trace_id: 5, parent_span: 6 }),
+    };
+    let mut bad_ext = traced_req.encode();
+    let at = bad_ext.len() - 17;
+    bad_ext[at] = 99;
+    cases.push((
+        "proto_fetch_trace_ext_bad_version",
+        "fetch whose trace-context suffix claims version 99 must be a clean protocol error",
+        frame(FrameType::FetchFull, &bad_ext),
+    ));
+
     // Unknown frame kind with a valid header.
     let mut unknown = frame(FrameType::List, &[]);
     unknown[5] = 0x55;
     cases.push(("proto_unknown_kind", "kind byte 0x55 is not a known frame type", unknown));
 
     // Fetch request whose entry-selector tag is garbage.
-    let req =
-        FetchReq { container: "steps".into(), entry: EntrySel::Index(0), kind: RequestKind::Full };
+    let req = FetchReq {
+        container: "steps".into(),
+        entry: EntrySel::Index(0),
+        kind: RequestKind::Full,
+        trace: None,
+    };
     let mut payload = req.encode();
     // The selector follows the container string ("steps" = 1 length byte
     // + 5 bytes); smash everything after it to an invalid tag value.

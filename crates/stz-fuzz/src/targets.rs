@@ -15,7 +15,7 @@ use stz_core::{StzCompressor, StzConfig};
 use stz_field::{Dims, Field, Region};
 use stz_serve::proto::{
     self, write_frame, ContainerInfo, Enc, EntryInfo, EntrySel, FetchReq, FetchedField, FrameType,
-    RequestKind, ServerStats,
+    RequestKind, ServerStats, TraceContextExt,
 };
 use stz_serve::{Client, ServeError};
 use stz_stream::{ContainerWriter, ForeignArchive, MemorySource};
@@ -305,6 +305,16 @@ fn serve_side(input: &[u8]) -> (String, String) {
                     }
                 }
             }
+            Some(FrameType::TraceGet) => {
+                let d = proto::Dec::new(&f.payload);
+                match d.expect_end() {
+                    Ok(()) => ("req-trace".into(), String::new()),
+                    Err(e) => {
+                        let (c, s) = classify_serve(&e);
+                        (format!("req-{c}"), s)
+                    }
+                }
+            }
             Some(_) => ("req-other".into(), String::new()),
             None => ("req-unknown-kind".into(), String::new()),
         },
@@ -350,6 +360,10 @@ fn client_side(input: &[u8]) -> (String, String) {
                 Ok(_) => "metrics-ok".into(),
                 Err(e) => format!("metrics-{}", classify_serve(&e).0),
             });
+            classes.push(match client.trace() {
+                Ok(_) => "trace-ok".into(),
+                Err(e) => format!("trace-{}", classify_serve(&e).0),
+            });
         }
         Err(e) => classes.push(format!("peer-hs-{}", classify_serve(&e).0)),
     }
@@ -373,21 +387,33 @@ impl FuzzTarget for ProtoTarget {
                 container: "steps".into(),
                 entry: EntrySel::Name("t0".into()),
                 kind: RequestKind::Full,
+                trace: None,
             },
             FetchReq {
                 container: "steps".into(),
                 entry: EntrySel::Index(1),
                 kind: RequestKind::Level(1),
+                trace: None,
             },
             FetchReq {
                 container: "steps".into(),
                 entry: EntrySel::Name("t1".into()),
                 kind: RequestKind::roi(&Region::d3(0..4, 1..3, 2..6)),
+                trace: None,
             },
             FetchReq {
                 container: "steps".into(),
                 entry: EntrySel::Index(0),
                 kind: RequestKind::Raw,
+                trace: None,
+            },
+            // A fetch carrying the trace-context extension, so mutation
+            // explores the 17-byte suffix grammar too.
+            FetchReq {
+                container: "steps".into(),
+                entry: EntrySel::Index(2),
+                kind: RequestKind::Full,
+                trace: Some(TraceContextExt { trace_id: 0x1234_5678_9ABC_DEF0, parent_span: 77 }),
             },
         ];
 
@@ -430,6 +456,31 @@ impl FuzzTarget for ProtoTarget {
         .encode();
         let metrics = proto::encode_metrics_ok("stzp_requests_total{kind=\"full\"} 1\n");
         let err = proto::encode_err(proto::err_code::NOT_FOUND, "no such entry");
+        let trace_ok = proto::encode_trace_ok(&[stz_telemetry::trace::TraceRecord {
+            trace_id: 0xABCD,
+            kind: "full".into(),
+            error: false,
+            duration_ns: 1_500_000,
+            dropped_spans: 0,
+            spans: vec![
+                stz_telemetry::trace::SpanRecord {
+                    id: 1,
+                    parent: 0,
+                    name: "request".into(),
+                    start_ns: 0,
+                    duration_ns: 1_500_000,
+                    attrs: vec![("kind".into(), "full".into())],
+                },
+                stz_telemetry::trace::SpanRecord {
+                    id: 2,
+                    parent: 1,
+                    name: "decode".into(),
+                    start_ns: 100,
+                    duration_ns: 1_000_000,
+                    attrs: vec![],
+                },
+            ],
+        }]);
 
         let mut seeds = vec![
             frame(FrameType::Hello, &hello.finish()),
@@ -441,6 +492,8 @@ impl FuzzTarget for ProtoTarget {
             frame(FrameType::RawOk, &[0xAB; 64]),
             frame(FrameType::StatsOk, &stats),
             frame(FrameType::MetricsOk, &metrics),
+            frame(FrameType::TraceGet, &[]),
+            frame(FrameType::TraceOk, &trace_ok),
             frame(FrameType::Err, &err),
         ];
         for req in &reqs {

@@ -15,9 +15,9 @@
 
 use crate::error::{Result, ServeError};
 use crate::proto::{
-    decode_err, decode_inspect, decode_list, read_frame, write_frame, ContainerInfo, Enc,
-    EntryInfo, EntrySel, FetchReq, FetchedField, Frame, FrameType, RequestKind, ServerStats,
-    PROTO_VERSION,
+    decode_err, decode_inspect, decode_list, decode_trace_ok, read_frame, write_frame,
+    ContainerInfo, Enc, EntryInfo, EntrySel, FetchReq, FetchedField, Frame, FrameType, RequestKind,
+    ServerStats, TraceContextExt, PROTO_VERSION,
 };
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -135,14 +135,31 @@ impl<S: Read + Write> Client<S> {
         Ok(fetched)
     }
 
+    /// The server's retained request traces (tail-sampled slowest/error
+    /// traces per frame kind), full span tables included.
+    pub fn trace(&mut self) -> Result<Vec<stz_telemetry::trace::TraceRecord>> {
+        let reply = self.roundtrip(FrameType::TraceGet, &[])?;
+        decode_trace_ok(&expect(reply, FrameType::TraceOk)?)
+    }
+
     /// Full decode of one entry.
     pub fn fetch_full(&mut self, container: &str, entry: EntrySel) -> Result<FetchedField> {
-        self.fetch(&FetchReq { container: container.into(), entry, kind: RequestKind::Full })
+        self.fetch(&FetchReq {
+            container: container.into(),
+            entry,
+            kind: RequestKind::Full,
+            trace: None,
+        })
     }
 
     /// Progressive preview through level `k`.
     pub fn fetch_level(&mut self, container: &str, entry: EntrySel, k: u8) -> Result<FetchedField> {
-        self.fetch(&FetchReq { container: container.into(), entry, kind: RequestKind::Level(k) })
+        self.fetch(&FetchReq {
+            container: container.into(),
+            entry,
+            kind: RequestKind::Level(k),
+            trace: None,
+        })
     }
 
     /// Region decode.
@@ -152,22 +169,45 @@ impl<S: Read + Write> Client<S> {
         entry: EntrySel,
         region: &Region,
     ) -> Result<FetchedField> {
-        self.fetch(&FetchReq { container: container.into(), entry, kind: RequestKind::roi(region) })
+        self.fetch(&FetchReq {
+            container: container.into(),
+            entry,
+            kind: RequestKind::roi(region),
+            trace: None,
+        })
     }
 
     /// The compressed payload bytes of one entry, undecoded (CRC-verified
     /// by the server against the container index, and by this client
     /// against the frame checksum).
     pub fn fetch_raw(&mut self, container: &str, entry: EntrySel) -> Result<Vec<u8>> {
-        let req = FetchReq { container: container.into(), entry, kind: RequestKind::Raw };
+        let req =
+            FetchReq { container: container.into(), entry, kind: RequestKind::Raw, trace: None };
         let reply = self.roundtrip_reusing(&req)?;
         expect(reply, FrameType::RawOk)
     }
 
     /// Send a fetch request encoded into the recycled scratch buffer and
     /// read the response. The buffer survives errors, so a failed fetch
-    /// does not cost the next one its allocation.
+    /// does not cost the next one its allocation. When the calling thread
+    /// has an active trace and the request carries no explicit context,
+    /// the thread's trace id + current span are injected as the wire
+    /// extension — distributed tracing with zero caller changes.
     fn roundtrip_reusing(&mut self, req: &FetchReq) -> Result<Frame> {
+        let injected;
+        let req = match (&req.trace, stz_telemetry::trace::current_context()) {
+            (None, Some(ctx)) => {
+                injected = FetchReq {
+                    trace: Some(TraceContextExt {
+                        trace_id: ctx.trace_id(),
+                        parent_span: ctx.span_id(),
+                    }),
+                    ..req.clone()
+                };
+                &injected
+            }
+            _ => req,
+        };
         let payload = req.encode_reusing(std::mem::take(&mut self.scratch));
         let result = self.roundtrip(req.frame_type(), &payload);
         self.scratch = payload;

@@ -38,7 +38,15 @@
 //! | `FETCH_RAW_SECTION`  | `RAW_OK`     | the compressed payload bytes |
 //! | `STATS`              | `STATS_OK`   | request + cache counters |
 //! | `METRICS`            | `METRICS_OK` | versioned text exposition of the server's telemetry registry |
+//! | `TRACE_GET`          | `TRACE_OK`   | retained request traces from the server's tail sampler |
 //! | —                    | `ERR`        | any failure (code + message) |
+//!
+//! Fetch requests may additionally carry an optional **trace-context
+//! extension**: a 17-byte suffix (`u8` version, `u64` trace id, `u64`
+//! parent span id) appended after the request body. A request without the
+//! suffix encodes byte-identically to pre-extension builds, so old and
+//! new peers interoperate; a server that understands the extension parents
+//! its span tree under the client's ids (see [`TraceContextExt`]).
 //!
 //! `FETCH_OK` carries the decoded field as dims + element type + raw
 //! little-endian scalars — byte-identical to what a local
@@ -104,6 +112,8 @@ pub enum FrameType {
     StatsOk = 0x31,
     Metrics = 0x32,
     MetricsOk = 0x33,
+    TraceGet = 0x34,
+    TraceOk = 0x35,
     Err = 0x7F,
 }
 
@@ -128,6 +138,8 @@ impl FrameType {
             0x31 => StatsOk,
             0x32 => Metrics,
             0x33 => MetricsOk,
+            0x34 => TraceGet,
+            0x35 => TraceOk,
             0x7F => Err,
             _ => return None,
         })
@@ -349,6 +361,11 @@ impl<'a> Dec<'a> {
         &self.buf[self.pos..]
     }
 
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     /// Require that every byte has been consumed.
     pub fn expect_end(&self) -> Result<()> {
         if self.pos == self.buf.len() {
@@ -454,6 +471,22 @@ impl RequestKind {
     }
 }
 
+/// Version byte of the trace-context extension suffix on fetch frames.
+pub const TRACE_CONTEXT_VERSION: u8 = 1;
+
+/// The optional trace-context extension a fetch request may carry: the
+/// client's trace id plus the span that issued the fetch, so the server's
+/// span tree parents under the client's root. Ids are never zero (zero is
+/// the no-parent sentinel in span records), and a request without the
+/// extension encodes byte-identically to pre-extension builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContextExt {
+    /// Client-generated trace id (nonzero).
+    pub trace_id: u64,
+    /// The client span the server-side tree parents under (nonzero).
+    pub parent_span: u64,
+}
+
 /// A fetch request: container, entry, and what to decode.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FetchReq {
@@ -463,6 +496,8 @@ pub struct FetchReq {
     pub entry: EntrySel,
     /// What to decode.
     pub kind: RequestKind,
+    /// Optional trace-context extension (absent = no suffix on the wire).
+    pub trace: Option<TraceContextExt>,
 }
 
 impl FetchReq {
@@ -496,6 +531,11 @@ impl FetchReq {
                 }
             }
         }
+        if let Some(t) = self.trace {
+            e.u8(TRACE_CONTEXT_VERSION);
+            e.u64(t.trace_id);
+            e.u64(t.parent_span);
+        }
         e.finish()
     }
 
@@ -517,8 +557,25 @@ impl FetchReq {
             }
             other => return Err(ServeError::protocol(format!("{other:?} is not a fetch frame"))),
         };
+        let trace = if d.remaining() == 0 {
+            None
+        } else {
+            let version = d.u8()?;
+            if version != TRACE_CONTEXT_VERSION {
+                return Err(ServeError::protocol(format!(
+                    "trace-context extension version {version} is not the v{TRACE_CONTEXT_VERSION} \
+                     this build understands"
+                )));
+            }
+            let trace_id = d.u64()?;
+            let parent_span = d.u64()?;
+            if trace_id == 0 || parent_span == 0 {
+                return Err(ServeError::protocol("trace-context extension carries a zero id"));
+            }
+            Some(TraceContextExt { trace_id, parent_span })
+        };
         d.expect_end()?;
-        Ok(FetchReq { container, entry, kind })
+        Ok(FetchReq { container, entry, kind, trace })
     }
 }
 
@@ -878,6 +935,95 @@ pub fn decode_metrics_ok(payload: &[u8]) -> Result<String> {
     Ok(text)
 }
 
+/// Version byte of the `TRACE_OK` payload encoding.
+pub const TRACE_WIRE_VERSION: u8 = 1;
+
+/// Encode a `TRACE_OK` payload: one wire-version byte, then the retained
+/// traces with their full span tables. Per-span attributes are capped at
+/// 255 (the `u8` count); spans never carry more in practice.
+pub fn encode_trace_ok(traces: &[stz_telemetry::trace::TraceRecord]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(TRACE_WIRE_VERSION);
+    e.u32(traces.len() as u32);
+    for t in traces {
+        e.u64(t.trace_id);
+        e.string(&t.kind);
+        e.u8(u8::from(t.error));
+        e.u64(t.duration_ns);
+        e.u32(t.dropped_spans);
+        e.u32(t.spans.len() as u32);
+        for s in &t.spans {
+            e.u64(s.id);
+            e.u64(s.parent);
+            e.string(&s.name);
+            e.u64(s.start_ns);
+            e.u64(s.duration_ns);
+            let attrs = &s.attrs[..s.attrs.len().min(255)];
+            e.u8(attrs.len() as u8);
+            for (k, v) in attrs {
+                e.string(k);
+                e.string(v);
+            }
+        }
+    }
+    e.finish()
+}
+
+/// Decode a `TRACE_OK` payload. Rejects an unknown wire version, hostile
+/// count prefixes, truncated span tables, and trailing bytes.
+pub fn decode_trace_ok(payload: &[u8]) -> Result<Vec<stz_telemetry::trace::TraceRecord>> {
+    use stz_telemetry::trace::{SpanRecord, TraceRecord};
+    let mut d = Dec::new(payload);
+    let version = d.u8()?;
+    if version != TRACE_WIRE_VERSION {
+        return Err(ServeError::protocol(format!(
+            "TRACE_OK wire version {version} is not the v{TRACE_WIRE_VERSION} this build \
+             understands"
+        )));
+    }
+    let n = d.u32()?;
+    let mut out = Vec::with_capacity(bounded_count(n)?);
+    for _ in 0..n {
+        let trace_id = d.u64()?;
+        let kind = d.string()?;
+        let flags = d.u8()?;
+        let duration_ns = d.u64()?;
+        let dropped_spans = d.u32()?;
+        let span_count = d.u32()?;
+        let mut spans = Vec::with_capacity(bounded_count(span_count)?);
+        for _ in 0..span_count {
+            let id = d.u64()?;
+            let parent = d.u64()?;
+            let name = d.string()?;
+            let start_ns = d.u64()?;
+            let span_duration_ns = d.u64()?;
+            let attr_count = d.u8()?;
+            let mut attrs = Vec::with_capacity(attr_count as usize);
+            for _ in 0..attr_count {
+                attrs.push((d.string()?, d.string()?));
+            }
+            spans.push(SpanRecord {
+                id,
+                parent,
+                name,
+                start_ns,
+                duration_ns: span_duration_ns,
+                attrs,
+            });
+        }
+        out.push(TraceRecord {
+            trace_id,
+            kind,
+            error: flags & 1 != 0,
+            duration_ns,
+            dropped_spans,
+            spans,
+        });
+    }
+    d.expect_end()?;
+    Ok(out)
+}
+
 /// Encode an `ERR` payload.
 pub fn encode_err(code: u16, message: &str) -> Vec<u8> {
     let mut e = Enc::new();
@@ -997,33 +1143,159 @@ mod tests {
                 container: "steps".into(),
                 entry: EntrySel::Index(3),
                 kind: RequestKind::Full,
+                trace: None,
             },
             FetchReq {
                 container: "steps".into(),
                 entry: EntrySel::Name("t0".into()),
                 kind: RequestKind::Level(2),
+                trace: None,
             },
             FetchReq {
                 container: "runs/x".into(),
                 entry: EntrySel::Index(0),
                 kind: RequestKind::Roi([1, 4, 0, 16, 2, 8]),
+                trace: Some(TraceContextExt { trace_id: 0xDEAD_BEEF, parent_span: 7 }),
             },
             FetchReq {
                 container: "steps".into(),
                 entry: EntrySel::Name("t1".into()),
                 kind: RequestKind::Raw,
+                trace: Some(TraceContextExt { trace_id: u64::MAX, parent_span: 1 }),
             },
         ];
         for req in reqs {
             let back = FetchReq::decode(req.frame_type(), &req.encode()).unwrap();
             assert_eq!(back, req);
         }
-        // Trailing garbage is rejected.
-        let mut p =
-            FetchReq { container: "c".into(), entry: EntrySel::Index(0), kind: RequestKind::Full }
-                .encode();
+        // Trailing garbage that is not a valid extension is rejected.
+        let mut p = FetchReq {
+            container: "c".into(),
+            entry: EntrySel::Index(0),
+            kind: RequestKind::Full,
+            trace: None,
+        }
+        .encode();
         p.push(0);
         assert!(FetchReq::decode(FrameType::FetchFull, &p).is_err());
+    }
+
+    #[test]
+    fn trace_context_extension_is_backward_compatible() {
+        // Absent extension → byte-identical to the pre-extension encoding.
+        let bare = FetchReq {
+            container: "steps".into(),
+            entry: EntrySel::Index(3),
+            kind: RequestKind::Level(2),
+            trace: None,
+        };
+        let mut legacy = Enc::new();
+        legacy.string("steps");
+        legacy.u8(0);
+        legacy.u32(3);
+        legacy.u8(2);
+        assert_eq!(bare.encode(), legacy.finish());
+
+        // Present extension → exactly 17 extra bytes.
+        let traced = FetchReq {
+            trace: Some(TraceContextExt { trace_id: 42, parent_span: 9 }),
+            ..bare.clone()
+        };
+        assert_eq!(traced.encode().len(), bare.encode().len() + 17);
+    }
+
+    #[test]
+    fn hostile_trace_context_extension_rejected() {
+        let base = FetchReq {
+            container: "c".into(),
+            entry: EntrySel::Index(0),
+            kind: RequestKind::Full,
+            trace: Some(TraceContextExt { trace_id: 5, parent_span: 6 }),
+        };
+        let good = base.encode();
+        assert!(FetchReq::decode(FrameType::FetchFull, &good).is_ok());
+
+        // Unknown extension version byte.
+        let mut bad = good.clone();
+        let at = bad.len() - 17;
+        bad[at] = 99;
+        assert!(FetchReq::decode(FrameType::FetchFull, &bad).is_err());
+
+        // Truncated extension (version byte present, ids cut short).
+        assert!(FetchReq::decode(FrameType::FetchFull, &good[..good.len() - 3]).is_err());
+
+        // Zero trace id (zero is the no-parent sentinel, never a real id).
+        let zeroed = FetchReq {
+            trace: Some(TraceContextExt { trace_id: 0, parent_span: 6 }),
+            ..base.clone()
+        };
+        assert!(FetchReq::decode(FrameType::FetchFull, &zeroed.encode()).is_err());
+    }
+
+    #[test]
+    fn trace_ok_roundtrip_and_hostile_rejection() {
+        use stz_telemetry::trace::{SpanRecord, TraceRecord};
+        let traces = vec![
+            TraceRecord {
+                trace_id: 0xABCD,
+                kind: "full".into(),
+                error: false,
+                duration_ns: 1_500_000,
+                dropped_spans: 0,
+                spans: vec![
+                    SpanRecord {
+                        id: 1,
+                        parent: 0,
+                        name: "request".into(),
+                        start_ns: 0,
+                        duration_ns: 1_500_000,
+                        attrs: vec![("kind".into(), "full".into())],
+                    },
+                    SpanRecord {
+                        id: 2,
+                        parent: 1,
+                        name: "decode".into(),
+                        start_ns: 100,
+                        duration_ns: 1_000_000,
+                        attrs: vec![],
+                    },
+                ],
+            },
+            TraceRecord {
+                trace_id: 7,
+                kind: "roi".into(),
+                error: true,
+                duration_ns: 9,
+                dropped_spans: 3,
+                spans: vec![],
+            },
+        ];
+        let wire = encode_trace_ok(&traces);
+        assert_eq!(decode_trace_ok(&wire).unwrap(), traces);
+
+        // Unknown wire version.
+        let mut bad = wire.clone();
+        bad[0] = 99;
+        assert!(decode_trace_ok(&bad).is_err());
+
+        // Truncated span table.
+        assert!(decode_trace_ok(&wire[..wire.len() - 5]).is_err());
+
+        // Trailing byte after the last trace.
+        let mut bad = wire.clone();
+        bad.push(0xEE);
+        assert!(decode_trace_ok(&bad).is_err());
+
+        // Lying trace count (claims more than the payload carries).
+        let mut bad = wire.clone();
+        bad[1..5].copy_from_slice(&100u32.to_le_bytes());
+        assert!(decode_trace_ok(&bad).is_err());
+
+        // Hostile count prefix: rejected before preallocation.
+        let mut e = Enc::new();
+        e.u8(TRACE_WIRE_VERSION);
+        e.u32(u32::MAX);
+        assert!(decode_trace_ok(&e.finish()).is_err());
     }
 
     #[test]

@@ -12,9 +12,9 @@
 use crate::cache::{CacheKey, DecodedCache};
 use crate::error::{Result, ServeError};
 use crate::proto::{
-    encode_err, encode_inspect, encode_list, encode_metrics_ok, err_code, read_frame, write_frame,
-    ContainerInfo, EntryInfo, EntrySel, FetchReq, FetchedField, Frame, FrameType, RequestKind,
-    ServerStats, PROTO_VERSION,
+    encode_err, encode_inspect, encode_list, encode_metrics_ok, encode_trace_ok, err_code,
+    read_frame, write_frame, ContainerInfo, EntryInfo, EntrySel, FetchReq, FetchedField, Frame,
+    FrameType, RequestKind, ServerStats, PROTO_VERSION,
 };
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use stz_backend::BackendScalar;
 use stz_stream::{ByteSource, ContainerReader, FileSource, StreamError};
-use stz_telemetry::{log_debug, log_warn, Counter, Gauge, Histogram, Registry};
+use stz_telemetry::{log_debug, log_warn, trace, Counter, Gauge, Histogram, LogLimiter, Registry};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -70,8 +70,18 @@ struct Hosted {
 
 /// Request-kind labels used on the per-kind metrics; the last entry is
 /// the bucket for frame types this server does not recognize.
-const KIND_LABELS: [&str; 9] =
-    ["list", "inspect", "stats", "metrics", "full", "roi", "progressive", "raw", "unknown"];
+const KIND_LABELS: [&str; 10] = [
+    "list",
+    "inspect",
+    "stats",
+    "metrics",
+    "trace",
+    "full",
+    "roi",
+    "progressive",
+    "raw",
+    "unknown",
+];
 
 /// Telemetry handles for one request kind.
 #[derive(Debug)]
@@ -357,7 +367,13 @@ fn handle_connection(state: &ServerState, mut stream: TcpStream, busy: bool) {
                 return;
             }
         };
-        log_warn!("stz-serve", "rejecting connection: {msg}"; "peer" => peer_label(&stream));
+        // A misbehaving peer (or a port scanner) can produce these at
+        // line rate; collapse the flood into one line per interval.
+        static REJECT_LOGS: LogLimiter = LogLimiter::new(1_000);
+        if let Some(suppressed) = REJECT_LOGS.permit() {
+            log_warn!("stz-serve", "rejecting connection: {msg}";
+                "peer" => peer_label(&stream), "suppressed" => suppressed);
+        }
         let _ = write_frame(&mut stream, FrameType::Err, &encode_err(code, &msg));
     }
 }
@@ -382,9 +398,10 @@ fn serve_loop(state: &ServerState, stream: &mut TcpStream) -> Result<()> {
     hello_ok.string(concat!("stz-serve/", env!("CARGO_PKG_VERSION")));
     write_frame(stream, FrameType::HelloOk, &hello_ok.finish())?;
 
+    let peer = peer_label(stream);
     while let Some(frame) = read_frame(stream)? {
         state.requests.fetch_add(1, Ordering::Relaxed);
-        dispatch(state, stream, frame)?;
+        dispatch(state, stream, frame, &peer)?;
     }
     Ok(())
 }
@@ -411,6 +428,7 @@ fn frame_kind(frame: &Frame) -> &'static str {
         Some(FrameType::Inspect) => "inspect",
         Some(FrameType::Stats) => "stats",
         Some(FrameType::Metrics) => "metrics",
+        Some(FrameType::TraceGet) => "trace",
         Some(FrameType::FetchFull) => "full",
         Some(FrameType::FetchRoi) => "roi",
         Some(FrameType::FetchProgressive) => "progressive",
@@ -424,19 +442,74 @@ fn frame_kind(frame: &Frame) -> &'static str {
 /// propagate and tear it down. Every reply — `ERR` included — flows
 /// through this single write site, which records the request count,
 /// wall-clock latency, and response size under the frame's `kind` label.
-fn dispatch(state: &ServerState, stream: &mut TcpStream, frame: Frame) -> Result<()> {
-    let m = state.metrics.kind(frame_kind(&frame));
+///
+/// This is also where the request's trace root opens. Fetch payloads are
+/// decoded *before* the root so the client's trace-context extension (if
+/// any) can parent the server-side span tree under the client's ids; the
+/// parse interval itself is then recorded as a leaf span (clamped to the
+/// trace origin). `TRACE_GET` is served untraced — a trace of the trace
+/// fetch would never be complete when it is snapshotted.
+fn dispatch(state: &ServerState, stream: &mut TcpStream, frame: Frame, peer: &str) -> Result<()> {
+    let kind_label = frame_kind(&frame);
+    let m = state.metrics.kind(kind_label);
     m.requests.inc();
     let started = Instant::now();
-    let (reply, body) = respond(state, &frame)?;
+
+    let fetch_req = match frame.frame_type() {
+        Some(
+            ft @ (FrameType::FetchFull
+            | FrameType::FetchRoi
+            | FrameType::FetchProgressive
+            | FrameType::FetchRawSection),
+        ) => Some(FetchReq::decode(ft, &frame.payload)?),
+        _ => None,
+    };
+    let parsed = Instant::now();
+
+    let link = fetch_req.as_ref().and_then(|r| r.trace).map(|t| (t.trace_id, t.parent_span));
+    let mut guard = (frame.frame_type() != Some(FrameType::TraceGet))
+        .then(|| trace::collector().start(kind_label, "request", link));
+    if let Some(g) = guard.as_mut().filter(|g| g.is_active()) {
+        g.attr("kind", kind_label);
+        if let Some(req) = &fetch_req {
+            g.attr("container", &req.container);
+        }
+        trace::record_span("connection", started, started, &[("peer", peer.to_string())]);
+        trace::record_span(
+            "parse",
+            started,
+            parsed,
+            &[("payload_bytes", frame.payload.len().to_string())],
+        );
+    }
+
+    let (reply, body) = respond(state, &frame, fetch_req.as_ref())?;
+
+    let write_started = Instant::now();
     let result = write_frame(stream, reply, body.as_slice());
+    if let Some(g) = guard.as_mut().filter(|g| g.is_active()) {
+        trace::record_span(
+            "write",
+            write_started,
+            Instant::now(),
+            &[("bytes", body.as_slice().len().to_string())],
+        );
+        if reply == FrameType::Err || result.is_err() {
+            g.set_error();
+        }
+    }
     m.latency.record_duration(started.elapsed());
     m.bytes.record(body.as_slice().len() as u64);
     result
 }
 
-/// Build the reply to one request frame.
-fn respond(state: &ServerState, frame: &Frame) -> Result<(FrameType, Body)> {
+/// Build the reply to one request frame. Fetch requests arrive
+/// pre-decoded from [`dispatch`] (their payload carries the trace link).
+fn respond(
+    state: &ServerState,
+    frame: &Frame,
+    fetch_req: Option<&FetchReq>,
+) -> Result<(FrameType, Body)> {
     let err = |code: u16, msg: &str| Ok((FrameType::Err, Body::Owned(encode_err(code, msg))));
     match frame.frame_type() {
         Some(FrameType::List) => {
@@ -482,14 +555,20 @@ fn respond(state: &ServerState, frame: &Frame) -> Result<(FrameType, Body)> {
             let text = stz_telemetry::global().render();
             Ok((FrameType::MetricsOk, Body::Owned(encode_metrics_ok(&text))))
         }
+        Some(FrameType::TraceGet) => {
+            let d = crate::proto::Dec::new(&frame.payload);
+            d.expect_end()?;
+            let retained = trace::collector().snapshot();
+            Ok((FrameType::TraceOk, Body::Owned(encode_trace_ok(&retained))))
+        }
         Some(
-            ft @ (FrameType::FetchFull
+            FrameType::FetchFull
             | FrameType::FetchRoi
             | FrameType::FetchProgressive
-            | FrameType::FetchRawSection),
+            | FrameType::FetchRawSection,
         ) => {
-            let req = FetchReq::decode(ft, &frame.payload)?;
-            match handle_fetch(state, &req) {
+            let req = fetch_req.expect("dispatch decodes every fetch frame");
+            match handle_fetch(state, req) {
                 Ok(payload) => {
                     let reply = if req.kind == RequestKind::Raw {
                         FrameType::RawOk
@@ -590,12 +669,19 @@ fn handle_fetch(
     }
 
     let key = CacheKey { container: req.container.clone(), entry: index as u32, kind: req.kind };
-    if let Some(cached) = state.cache.get(&key) {
+    let cached = {
+        let mut cache_span = trace::span("cache");
+        let cached = state.cache.get(&key);
+        cache_span.attr("hit", cached.is_some());
+        cached
+    };
+    if let Some(cached) = cached {
         return Ok(cached);
     }
 
     let decoded = {
         let _decode = state.metrics.decode_ns.span();
+        let _decode_span = trace::span("decode");
         state.pool.install(|| match meta.type_tag() {
             0 => decode_block::<f32>(reader, index, &req.kind),
             _ => decode_block::<f64>(reader, index, &req.kind),
@@ -631,10 +717,12 @@ fn decode_block<T: BackendScalar>(
             entry.decompress_region(&region)?
         }
     };
+    let mut encode_span = trace::span("encode");
     let mut data = Vec::with_capacity(field.nbytes());
     for &v in field.as_slice() {
         v.write_exact(&mut data);
     }
+    encode_span.attr("bytes", data.len());
     Ok(FetchedField { kind_tag: kind.tag(), type_tag: T::TYPE_TAG, dims: field.dims(), data }
         .encode())
 }

@@ -12,7 +12,13 @@
 //!   resolves the histogram from the [`global`] registry by name + labels.
 //! * **Structured logging** — a leveled logger configured by the `STZ_LOG`
 //!   environment variable, emitting logfmt-style text or JSON lines to
-//!   stderr (see [`Level`] and the `log_warn!`-family macros).
+//!   stderr (see [`Level`] and the `log_warn!`-family macros), with a
+//!   [`LogLimiter`] that collapses hot-path floods into one line per
+//!   interval carrying a `suppressed=` count.
+//! * **Tracing** — request-scoped span trees with deterministic ids,
+//!   cross-thread and cross-process context propagation, a tail-sampling
+//!   [`trace::TraceCollector`], and waterfall / Chrome-trace exporters
+//!   (see the [`trace`] module).
 //!
 //! Metrics registered in a [`Registry`] are rendered as a versioned,
 //! Prometheus-style text exposition (`name{label="v"} value` lines, see
@@ -28,13 +34,14 @@ mod expo_mod;
 mod logging;
 mod metrics;
 mod registry;
+pub mod trace;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Span, HISTOGRAM_BUCKETS, LATENCY_FIRST_BOUND_NS,
 };
 pub use registry::{global, Metric, Registry};
 
-pub use logging::{log_enabled, log_record, Level};
+pub use logging::{log_enabled, log_record, Level, LogLimiter};
 
 /// Exposition text parsing (the inverse of [`Registry::render`]).
 pub mod expo {

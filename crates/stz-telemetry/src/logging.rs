@@ -21,8 +21,9 @@
 
 use std::fmt::Display;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Log severity, most severe first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -198,6 +199,75 @@ macro_rules! log_debug {
     ($target:expr, $($rest:tt)+) => { $crate::log_at!($crate::Level::Debug, $target, $($rest)+) };
 }
 
+/// A per-call-site rate limiter for hot-path logs: under a flood of
+/// identical events (e.g. connection rejections at the `--max-conns`
+/// cap), [`permit`](LogLimiter::permit) grants at most one emission per
+/// interval and counts the rest, so the log shows one line per interval
+/// with a `suppressed=` field instead of thousands of identical lines.
+///
+/// `const`-constructible, so the idiomatic use is a `static` next to the
+/// logging call:
+///
+/// ```
+/// static REJECTS: stz_telemetry::LogLimiter = stz_telemetry::LogLimiter::new(5_000);
+/// # let msg = "flood";
+/// if let Some(suppressed) = REJECTS.permit() {
+///     stz_telemetry::log_warn!("stz-serve", "{msg}"; "suppressed" => suppressed);
+/// }
+/// ```
+///
+/// Lock-free: a permit is one compare-exchange on the last-emission
+/// timestamp; a suppression is one relaxed increment.
+pub struct LogLimiter {
+    interval_ns: u64,
+    /// Nanoseconds since the process clock anchor of the last granted
+    /// emission; `u64::MAX` = never emitted.
+    last_emit: AtomicU64,
+    suppressed: AtomicU64,
+}
+
+/// Monotonic nanoseconds since the first limiter call in this process.
+fn limiter_now_ns() -> u64 {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    ANCHOR.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+impl LogLimiter {
+    /// A limiter granting one emission per `interval_ms` milliseconds.
+    /// An interval of 0 grants every call (suppression disabled).
+    pub const fn new(interval_ms: u64) -> LogLimiter {
+        LogLimiter {
+            interval_ns: interval_ms * 1_000_000,
+            last_emit: AtomicU64::new(u64::MAX),
+            suppressed: AtomicU64::new(0),
+        }
+    }
+
+    /// Ask to emit now. `Some(suppressed)` grants the emission and
+    /// reports how many calls were swallowed since the last grant;
+    /// `None` means stay silent.
+    pub fn permit(&self) -> Option<u64> {
+        self.permit_at(limiter_now_ns())
+    }
+
+    /// [`permit`](Self::permit) with an explicit clock, so tests can
+    /// drive the interval without sleeping.
+    pub fn permit_at(&self, now_ns: u64) -> Option<u64> {
+        let last = self.last_emit.load(Ordering::Relaxed);
+        let due = last == u64::MAX || now_ns.saturating_sub(last) >= self.interval_ns;
+        if due
+            && self
+                .last_emit
+                .compare_exchange(last, now_ns, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            return Some(self.suppressed.swap(0, Ordering::Relaxed));
+        }
+        self.suppressed.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,5 +317,46 @@ mod tests {
         crate::log_info!("test", "fields"; "peer" => peer, "n" => 3);
         crate::log_debug!("test", "args {} and fields", 7; "k" => "v");
         crate::log_at!(Level::Trace, "test", "explicit level");
+    }
+
+    #[test]
+    fn limiter_collapses_floods_into_one_line_per_interval() {
+        let lim = LogLimiter::new(10); // 10 ms = 10_000_000 ns
+                                       // First call always emits, with nothing suppressed yet.
+        assert_eq!(lim.permit_at(0), Some(0));
+        // A flood inside the interval is swallowed.
+        for t in 1..=100 {
+            assert_eq!(lim.permit_at(t), None);
+        }
+        // The next interval emits once, reporting the swallowed count.
+        assert_eq!(lim.permit_at(10_000_000), Some(100));
+        // Quiet period: the next grant reports zero suppressed.
+        assert_eq!(lim.permit_at(20_000_001), Some(0));
+    }
+
+    #[test]
+    fn limiter_interval_zero_always_emits() {
+        let lim = LogLimiter::new(0);
+        for t in 0..5 {
+            assert_eq!(lim.permit_at(t), Some(0));
+        }
+    }
+
+    #[test]
+    fn limiter_is_flood_safe_across_threads() {
+        // Concurrent permits: exactly one thread wins the first grant;
+        // every loser is counted. Grants + suppressed == total calls.
+        let lim: &'static LogLimiter = Box::leak(Box::new(LogLimiter::new(60_000)));
+        let grants: Vec<u64> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| s.spawn(|| (0..100).filter_map(|_| lim.permit()).sum::<u64>()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let granted_suppressed: u64 = grants.iter().sum();
+        let leftover = lim.suppressed.load(Ordering::Relaxed);
+        assert_eq!(granted_suppressed + leftover, 800 - 1, "one grant, the rest counted");
     }
 }

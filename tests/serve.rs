@@ -13,7 +13,14 @@
 //! * the `METRICS`/`METRICS_OK` pair round-trips the server's telemetry
 //!   registry (per-frame-kind request counters and latency histograms),
 //!   and hostile `METRICS_OK` replies (wrong exposition version,
-//!   truncated payload, trailing bytes) fail cleanly at the client.
+//!   truncated payload, trailing bytes) fail cleanly at the client;
+//! * the trace-context extension round-trips byte-exact ids: a fetch
+//!   carrying `TraceContextExt` yields a retained server trace under the
+//!   *client's* trace id, rooted at the client's parent span, with the
+//!   full `parse`/`cache`/`decode`/`write` span chain — and a
+//!   `RemoteStore` fetch links transparently without any explicit ids;
+//! * hostile `TRACE_OK` replies (wrong wire version, truncated span
+//!   table, trailing bytes) fail cleanly at the client.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -109,6 +116,7 @@ fn eight_concurrent_clients_mixed_fetches_are_byte_identical_and_cache_hits() {
                 container: "steps".into(),
                 entry: EntrySel::Index(i as u32),
                 kind: RequestKind::Full,
+                trace: None,
             },
             le_bytes(&entry.decompress().unwrap()),
         ));
@@ -117,6 +125,7 @@ fn eight_concurrent_clients_mixed_fetches_are_byte_identical_and_cache_hits() {
                 container: "steps".into(),
                 entry: EntrySel::Index(i as u32),
                 kind: RequestKind::roi(&roi),
+                trace: None,
             },
             le_bytes(&entry.decompress_region(&roi).unwrap()),
         ));
@@ -125,6 +134,7 @@ fn eight_concurrent_clients_mixed_fetches_are_byte_identical_and_cache_hits() {
                 container: "steps".into(),
                 entry: EntrySel::Index(i as u32),
                 kind: RequestKind::Level(1),
+                trace: None,
             },
             le_bytes(&entry.decompress_level(1).unwrap()),
         ));
@@ -135,6 +145,7 @@ fn eight_concurrent_clients_mixed_fetches_are_byte_identical_and_cache_hits() {
             container: "steps".into(),
             entry: EntrySel::Name("zfp0".into()),
             kind: RequestKind::Full,
+            trace: None,
         },
         le_bytes(&foreign.decompress().unwrap()),
     ));
@@ -143,6 +154,7 @@ fn eight_concurrent_clients_mixed_fetches_are_byte_identical_and_cache_hits() {
             container: "steps".into(),
             entry: EntrySel::Index(2),
             kind: RequestKind::roi(&roi),
+            trace: None,
         },
         le_bytes(&foreign.decompress_region(&roi).unwrap()),
     ));
@@ -221,6 +233,7 @@ fn metrics_round_trip_reports_request_counters() {
             container: "steps".into(),
             entry: EntrySel::Index(0),
             kind: RequestKind::roi(&roi),
+            trace: None,
         })
         .unwrap();
     client.fetch_level("steps", EntrySel::Index(0), 1).unwrap();
@@ -299,6 +312,7 @@ fn request_errors_answer_err_and_connection_survives() {
             container: "steps".into(),
             entry: EntrySel::Index(0),
             kind: RequestKind::Roi([0, 64, 0, 64, 0, 64]),
+            trace: None,
         })
         .unwrap_err();
     assert_eq!(remote_code(e), proto::err_code::BAD_REQUEST);
@@ -307,6 +321,7 @@ fn request_errors_answer_err_and_connection_survives() {
             container: "steps".into(),
             entry: EntrySel::Index(0),
             kind: RequestKind::Roi([4, 2, 0, 1, 0, 1]),
+            trace: None,
         })
         .unwrap_err();
     assert_eq!(remote_code(e), proto::err_code::BAD_REQUEST);
@@ -557,6 +572,201 @@ fn client_rejects_hostile_metrics_replies() {
     proto::write_frame(&mut wire, proto::FrameType::MetricsOk, &enc.finish()).unwrap();
     let text = metrics(fake_server(Some(wire))).expect("transport does not parse the text");
     assert!(stz::telemetry::expo::parse(&text).is_err(), "the parser must reject it");
+}
+
+// ---------------------------------------------------------------------------
+// Distributed tracing: trace-context propagation and TRACE_GET export.
+// ---------------------------------------------------------------------------
+
+/// Every non-root span must parent onto another span of the same trace.
+fn assert_causally_linked(t: &stz::telemetry::trace::TraceRecord) {
+    let ids: std::collections::HashSet<u64> = t.spans.iter().map(|s| s.id).collect();
+    let root = t.root().expect("trace has a root span");
+    for s in &t.spans {
+        if s.id != root.id {
+            assert!(
+                ids.contains(&s.parent),
+                "span {:?} dangles: parent {} unknown",
+                s.name,
+                s.parent
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_context_round_trips_byte_exact_ids() {
+    let rig = Rig::new("trace_ids");
+    let (handle, addr) = rig.serve();
+    let mut client = Client::connect(addr).unwrap();
+
+    // A fetch carrying explicit, recognizable trace ids. The collector is
+    // process-global and sibling tests flood the same per-kind retention
+    // rings, so retry until the fetch→TRACE_GET window wins the race.
+    let trace_id = 0xDEAD_BEEF_1234_5678u64;
+    let parent_span = 0x42u64;
+    let mut found = None;
+    for _ in 0..20 {
+        let fetched = client
+            .fetch(&FetchReq {
+                container: "steps".into(),
+                entry: EntrySel::Index(0),
+                kind: RequestKind::Full,
+                trace: Some(proto::TraceContextExt { trace_id, parent_span }),
+            })
+            .unwrap();
+        assert_eq!(fetched.dims, dims());
+        // TRACE_GET returns the tail-sampled snapshot; the server must
+        // have adopted the client's trace id verbatim and rooted its span
+        // tree under the client's parent span.
+        let traces = client.trace().unwrap();
+        if let Some(t) = traces.iter().find(|t| t.trace_id == trace_id) {
+            found = Some(t.clone());
+            break;
+        }
+    }
+    let t = &found.expect("server retained the trace under the client's id");
+    assert_eq!(t.kind, "full");
+    assert!(!t.error);
+    let root = t.root().expect("root span");
+    assert_eq!(root.name, "request");
+    assert_eq!(root.parent, parent_span, "root must parent under the client's span id");
+    assert_causally_linked(t);
+
+    // The instrumented request path shows up as named stages.
+    let names: std::collections::HashSet<&str> = t.spans.iter().map(|s| s.name.as_str()).collect();
+    for stage in ["request", "connection", "parse", "cache", "decode", "write"] {
+        assert!(names.contains(stage), "span {stage:?} missing from {names:?}");
+    }
+    assert!(t.spans.len() >= 5, "expected a real span tree, got {}", t.spans.len());
+    // Stage spans nest inside the trace window.
+    assert_eq!(root.duration_ns, t.duration_ns, "root span spans the whole trace");
+    for s in &t.spans {
+        assert!(
+            s.start_ns + s.duration_ns <= t.duration_ns,
+            "span {:?} escapes the trace window",
+            s.name
+        );
+    }
+    handle.stop();
+}
+
+#[test]
+fn remote_store_fetch_links_client_and_server_traces() {
+    let rig = Rig::new("trace_remote");
+    let (handle, addr) = rig.serve();
+
+    // A RemoteStore fetch opens a client-side trace root and injects its
+    // ids into the wire frame — no explicit trace plumbing in user code.
+    use stz::access::Store as _;
+    let store = stz::access::RemoteStore::connect(addr, "steps").unwrap();
+    let entry = store.open(&stz::access::EntrySel::Index(0)).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Both sides share this process's collector: the snapshot carries the
+    // client-kind trace and the server-kind trace under one id. Sibling
+    // tests contend on the "full" retention rings, so retry the
+    // fetch→TRACE_GET window until the pair survives sampling.
+    let mut pair = None;
+    for _ in 0..20 {
+        let fetched = entry.fetch(&stz::access::Fetch::Full).unwrap();
+        assert_eq!(fetched.dims, dims());
+        let traces = client.trace().unwrap();
+        pair = traces.iter().find_map(|server| {
+            if server.kind != "full" {
+                return None;
+            }
+            traces
+                .iter()
+                .find(|c| c.kind == "client" && c.trace_id == server.trace_id)
+                .map(|c| (c.clone(), server.clone()))
+        });
+        if pair.is_some() {
+            break;
+        }
+    }
+    let (client_t, server_t) = pair.expect("linked client/server trace pair retained");
+    let (client_t, server_t) = (&client_t, &server_t);
+    assert_causally_linked(server_t);
+    // The server root parents under the client's "roundtrip" span.
+    let roundtrip = client_t
+        .spans
+        .iter()
+        .find(|s| s.name == "roundtrip")
+        .expect("client trace records the roundtrip span");
+    assert_eq!(server_t.root().unwrap().parent, roundtrip.id);
+    let names: std::collections::HashSet<&str> =
+        server_t.spans.iter().map(|s| s.name.as_str()).collect();
+    for stage in ["parse", "cache", "decode", "write"] {
+        assert!(names.contains(stage), "span {stage:?} missing from {names:?}");
+    }
+    handle.stop();
+}
+
+#[test]
+fn client_rejects_hostile_trace_replies() {
+    use stz::telemetry::trace::{SpanRecord, TraceRecord};
+    let trace = |addr| Client::connect(addr).and_then(|mut c| c.trace());
+
+    // A well-formed TRACE_OK payload to corrupt in different ways.
+    let honest = proto::encode_trace_ok(&[TraceRecord {
+        trace_id: 7,
+        kind: "full".into(),
+        error: false,
+        duration_ns: 1_000,
+        dropped_spans: 0,
+        spans: vec![
+            SpanRecord {
+                id: 1,
+                parent: 0,
+                name: "request".into(),
+                start_ns: 0,
+                duration_ns: 1_000,
+                attrs: vec![("kind".into(), "full".into())],
+            },
+            SpanRecord {
+                id: 2,
+                parent: 1,
+                name: "decode".into(),
+                start_ns: 100,
+                duration_ns: 500,
+                attrs: Vec::new(),
+            },
+        ],
+    }]);
+    let framed = |payload: &[u8]| {
+        let mut wire = Vec::new();
+        proto::write_frame(&mut wire, proto::FrameType::TraceOk, payload).unwrap();
+        wire
+    };
+
+    // The honest payload decodes — the baseline for the corruptions.
+    let got = trace(fake_server(Some(framed(&honest)))).expect("honest TRACE_OK decodes");
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].trace_id, 7);
+    assert_eq!(got[0].spans.len(), 2);
+
+    // Unknown wire version.
+    let mut bad_version = honest.clone();
+    bad_version[0] = 99;
+    match trace(fake_server(Some(framed(&bad_version)))) {
+        Err(ServeError::Protocol(msg)) => assert!(msg.contains("version"), "{msg}"),
+        other => panic!("wrong trace wire version must fail, got {other:?}"),
+    }
+
+    // Truncated span table.
+    let truncated = &honest[..honest.len() - 6];
+    assert!(matches!(trace(fake_server(Some(framed(truncated)))), Err(ServeError::Protocol(_))));
+
+    // Trailing junk after a well-formed payload.
+    let mut trailing = honest.clone();
+    trailing.push(0xAA);
+    assert!(matches!(trace(fake_server(Some(framed(&trailing)))), Err(ServeError::Protocol(_))));
+
+    // A count prefix promising traces the payload does not carry.
+    let mut lying = honest.clone();
+    lying[1..5].copy_from_slice(&1_000u32.to_le_bytes());
+    assert!(matches!(trace(fake_server(Some(framed(&lying)))), Err(ServeError::Protocol(_))));
 }
 
 #[test]
