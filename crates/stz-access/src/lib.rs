@@ -67,6 +67,7 @@ pub mod file;
 pub mod mem;
 pub mod remote;
 pub mod uri;
+pub mod write;
 
 pub use desc::EntryDesc;
 pub use error::{AccessError, Result};
@@ -74,6 +75,9 @@ pub use file::FileStore;
 pub use mem::MemStore;
 pub use remote::{list_containers, ContainerDesc, RemoteStore};
 pub use uri::{is_container_path, list_location, open_store, Location};
+pub use write::{
+    open_store_mut, CompactReport, EntryMut, EntryPayload, FileStoreMut, MutStatus, StoreMut,
+};
 
 // One selector type across the whole stack: the access layer and the wire
 // protocol address entries identically.

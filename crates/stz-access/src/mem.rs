@@ -55,10 +55,21 @@ impl MemArchive {
 /// Descriptors (including the payload CRC, a full-payload hash) are
 /// computed once per [`add`](MemStore::add); `list`/`open` only clone
 /// them, honoring the "no payload reads" descriptor contract.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemStore {
     archives: Vec<MemArchive>,
     descs: Vec<EntryDesc>,
+    /// Mutation bookkeeping for the [`StoreMut`] surface: resident data
+    /// has no crash window, but the generation/staged contract still
+    /// holds so callers can treat every backend identically.
+    generation: u64,
+    staged: bool,
+}
+
+impl Default for MemStore {
+    fn default() -> MemStore {
+        MemStore { archives: Vec::new(), descs: Vec::new(), generation: 1, staged: false }
+    }
 }
 
 impl MemStore {
@@ -110,6 +121,96 @@ impl MemStore {
     /// Whether the store holds no entries.
     pub fn is_empty(&self) -> bool {
         self.archives.is_empty()
+    }
+}
+
+impl crate::write::StoreMut for MemStore {
+    fn locate(&self) -> String {
+        Store::locate(self)
+    }
+
+    fn list_staged(&self) -> Result<Vec<EntryDesc>> {
+        Store::list(self)
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn append(&mut self, name: &str, payload: crate::write::EntryPayload) -> Result<()> {
+        crate::write::ensure_absent(self.descs.iter().map(|d| d.name.as_str()), name)?;
+        self.add(name, payload);
+        self.staged = true;
+        Ok(())
+    }
+
+    fn replace(&mut self, name: &str, payload: crate::write::EntryPayload) -> Result<()> {
+        let locate = Store::locate(self);
+        crate::write::ensure_present(self.descs.iter().map(|d| d.name.as_str()), name, &locate)?;
+        let index = self.descs.iter().position(|d| d.name == name).expect("checked present");
+        let archive: MemArchive = payload.into();
+        self.descs[index] = archive.desc(index as u32, name);
+        self.archives[index] = archive;
+        self.staged = true;
+        Ok(())
+    }
+
+    fn delete(&mut self, name: &str) -> Result<()> {
+        let locate = Store::locate(self);
+        crate::write::ensure_present(self.descs.iter().map(|d| d.name.as_str()), name, &locate)?;
+        let index = self.descs.iter().position(|d| d.name == name).expect("checked present");
+        self.archives.remove(index);
+        self.descs.remove(index);
+        for (i, d) in self.descs.iter_mut().enumerate() {
+            d.index = i as u32;
+        }
+        self.staged = true;
+        Ok(())
+    }
+
+    fn open_mut<'s>(&'s mut self, sel: &EntrySel) -> Result<Box<dyn crate::write::EntryMut + 's>> {
+        crate::write::open_entry_mut(self, sel)
+    }
+
+    fn commit(&mut self) -> Result<u64> {
+        if self.staged {
+            self.generation += 1;
+            self.staged = false;
+        }
+        Ok(self.generation)
+    }
+
+    fn compact(&mut self) -> Result<crate::write::CompactReport> {
+        crate::write::StoreMut::commit(self)?;
+        // Resident archives have no dead bytes; compaction is the no-op
+        // that reports so.
+        let live: u64 = self.descs.iter().map(|d| d.compressed_len).sum();
+        Ok(crate::write::CompactReport {
+            generation: self.generation,
+            before_bytes: live,
+            after_bytes: live,
+            reclaimed_bytes: 0,
+        })
+    }
+
+    fn status(&self) -> crate::write::MutStatus {
+        crate::write::MutStatus {
+            generation: self.generation,
+            entries: self.descs.len(),
+            staged: self.staged,
+            live_bytes: self.descs.iter().map(|d| d.compressed_len).sum(),
+            dead_bytes: 0,
+        }
+    }
+}
+
+impl From<crate::write::EntryPayload> for MemArchive {
+    fn from(p: crate::write::EntryPayload) -> Self {
+        match p {
+            crate::write::EntryPayload::F32(a) => a.into(),
+            crate::write::EntryPayload::F64(a) => a.into(),
+            crate::write::EntryPayload::Foreign(f) => f.into(),
+        }
     }
 }
 

@@ -1,0 +1,427 @@
+//! Object-safe mutation surface: [`StoreMut`] / [`EntryMut`], the write
+//! twins of [`Store`](crate::Store) / [`Entry`](crate::Entry).
+//!
+//! The same contract philosophy as the read side: one vocabulary
+//! ([`EntryPayload`]), one error taxonomy (appending an existing name is
+//! `BadRequest`, replacing a missing one is `NotFound` — on every
+//! backend), and object safety so the CLI's `append`/`delete`/`compact`
+//! verbs hold a `Box<dyn StoreMut>` without caring where the bytes land.
+//!
+//! Two backends implement it:
+//!
+//! | store | wraps | commit means |
+//! |---|---|---|
+//! | [`FileStoreMut`] | [`stz_mutate::MutableContainer`] over a file | atomic generation flip (v3 shadow slots) |
+//! | [`MemStore`](crate::MemStore) | resident archives | bump the in-process generation counter |
+//!
+//! Remote stores are deliberately absent: STZP is a read protocol, and
+//! mutation happens where the bytes live — [`open_store_mut`] says so
+//! rather than pretending.
+
+use crate::desc::EntryDesc;
+use crate::error::{AccessError, Result};
+use crate::{resolve_sel, EntrySel};
+use std::path::Path;
+use stz_core::StzArchive;
+use stz_mutate::{FileBacking, MutableContainer};
+use stz_stream::{EntryMeta, ForeignArchive, PackEntry};
+
+/// One entry's payload, ready to be appended or replaced — the write-side
+/// counterpart of [`FetchedField`](crate::FetchedField), typed by value so
+/// the trait stays object-safe.
+#[derive(Debug, Clone)]
+pub enum EntryPayload {
+    /// A native STZ archive over `f32`.
+    F32(StzArchive<f32>),
+    /// A native STZ archive over `f64`.
+    F64(StzArchive<f64>),
+    /// A foreign codec's archive.
+    Foreign(ForeignArchive),
+}
+
+impl From<StzArchive<f32>> for EntryPayload {
+    fn from(a: StzArchive<f32>) -> Self {
+        EntryPayload::F32(a)
+    }
+}
+
+impl From<StzArchive<f64>> for EntryPayload {
+    fn from(a: StzArchive<f64>) -> Self {
+        EntryPayload::F64(a)
+    }
+}
+
+impl From<ForeignArchive> for EntryPayload {
+    fn from(a: ForeignArchive) -> Self {
+        EntryPayload::Foreign(a)
+    }
+}
+
+/// Mutation-side accounting of a store (see
+/// [`StoreMut::status`]). Byte fields are compressed payload bytes; a
+/// memory store has no dead bytes by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutStatus {
+    /// Committed generation number.
+    pub generation: u64,
+    /// Entries in the current (possibly uncommitted) index.
+    pub entries: usize,
+    /// Whether uncommitted mutations are staged.
+    pub staged: bool,
+    /// Payload bytes the current index references.
+    pub live_bytes: u64,
+    /// Committed payload bytes no longer referenced (reclaimable by
+    /// [`StoreMut::compact`]).
+    pub dead_bytes: u64,
+}
+
+/// Outcome of one [`StoreMut::compact`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Generation number of the compacted store.
+    pub generation: u64,
+    /// Committed bytes before compaction.
+    pub before_bytes: u64,
+    /// Committed bytes after compaction.
+    pub after_bytes: u64,
+    /// Dead bytes reclaimed.
+    pub reclaimed_bytes: u64,
+}
+
+/// A mutable collection of entries. Mutations *stage*; readers see them
+/// only after [`commit`](StoreMut::commit) — which is atomic on every
+/// backend that can crash (the file store's shadow-slot flip).
+pub trait StoreMut: Send {
+    /// Human-readable location for diagnostics.
+    fn locate(&self) -> String;
+
+    /// Describe every entry of the current — staged mutations included —
+    /// index, in store order. Named apart from [`Store::list`](crate::Store::list)
+    /// so types implementing both traits stay unambiguous to call.
+    fn list_staged(&self) -> Result<Vec<EntryDesc>>;
+
+    /// Committed generation number.
+    fn generation(&self) -> u64;
+
+    /// Stage a new entry. Appending a name that already exists is a
+    /// `BadRequest` (use [`replace`](StoreMut::replace)).
+    fn append(&mut self, name: &str, payload: EntryPayload) -> Result<()>;
+
+    /// Stage a replacement payload for the entry named `name`
+    /// (`NotFound` if absent).
+    fn replace(&mut self, name: &str, payload: EntryPayload) -> Result<()>;
+
+    /// Stage removal of the entry named `name` (`NotFound` if absent).
+    fn delete(&mut self, name: &str) -> Result<()>;
+
+    /// Open one entry as a mutation handle.
+    fn open_mut<'s>(&'s mut self, sel: &EntrySel) -> Result<Box<dyn EntryMut + 's>>;
+
+    /// Atomically publish all staged mutations as the next generation and
+    /// return its number (a no-op returning the current generation when
+    /// nothing is staged).
+    fn commit(&mut self) -> Result<u64>;
+
+    /// Commit, then reclaim dead bytes (rewrite live payloads; atomic
+    /// swap). Concurrent readers pinned to older generations are
+    /// unaffected.
+    fn compact(&mut self) -> Result<CompactReport>;
+
+    /// Point-in-time accounting.
+    fn status(&self) -> MutStatus;
+}
+
+/// One opened entry of a [`StoreMut`]: a mutation handle that borrows the
+/// store exclusively for its lifetime.
+pub trait EntryMut: Send {
+    /// The entry's descriptor as of open time.
+    fn desc(&self) -> &EntryDesc;
+
+    /// Stage a replacement payload for this entry.
+    fn replace(&mut self, payload: EntryPayload) -> Result<()>;
+
+    /// Stage removal of this entry, consuming the handle.
+    fn delete(self: Box<Self>) -> Result<()>;
+}
+
+/// The shared duplicate-name check, so every backend classifies it
+/// identically.
+pub(crate) fn ensure_absent(
+    names: impl Iterator<Item = impl AsRef<str>>,
+    name: &str,
+) -> Result<()> {
+    for n in names {
+        if n.as_ref() == name {
+            return Err(AccessError::bad_request(format!(
+                "entry {name:?} already exists; replace or delete it first"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The shared presence check for replace/delete.
+pub(crate) fn ensure_present(
+    mut names: impl Iterator<Item = impl AsRef<str>>,
+    name: &str,
+    locate: &str,
+) -> Result<()> {
+    if names.any(|n| n.as_ref() == name) {
+        Ok(())
+    } else {
+        Err(AccessError::not_found(format!("no entry named {name:?} in {locate}")))
+    }
+}
+
+/// The mutable on-disk store: a [`MutableContainer`] over a container
+/// file, committing through the v3 shadow-generation-slot protocol.
+/// Opening a missing path creates an empty container; opening a
+/// write-once (v1/v2) container upgrades it in place first (atomic
+/// rename; same payload bytes).
+#[derive(Debug)]
+pub struct FileStoreMut {
+    container: MutableContainer<FileBacking>,
+    label: String,
+}
+
+impl FileStoreMut {
+    /// Open (creating or upgrading as needed) the container at `path` for
+    /// mutation.
+    pub fn open_path(path: impl AsRef<Path>) -> Result<FileStoreMut> {
+        let path = path.as_ref();
+        let container = MutableContainer::open_path(path)?;
+        Ok(FileStoreMut { container, label: path.display().to_string() })
+    }
+
+    /// The underlying mutable container.
+    pub fn container(&self) -> &MutableContainer<FileBacking> {
+        &self.container
+    }
+
+    fn put(&mut self, name: &str, payload: EntryPayload, replacing: bool) -> Result<()> {
+        fn go<T: stz_field::Scalar>(
+            c: &mut MutableContainer<FileBacking>,
+            name: &str,
+            entry: PackEntry<T>,
+            replacing: bool,
+        ) -> Result<()> {
+            if replacing {
+                c.replace(name, &entry)?;
+            } else {
+                c.append(name, &entry)?;
+            }
+            Ok(())
+        }
+        match payload {
+            EntryPayload::F32(a) => go(&mut self.container, name, a.into(), replacing),
+            EntryPayload::F64(a) => go(&mut self.container, name, a.into(), replacing),
+            EntryPayload::Foreign(f) => {
+                go(&mut self.container, name, PackEntry::<f32>::Foreign(f), replacing)
+            }
+        }
+    }
+}
+
+impl StoreMut for FileStoreMut {
+    fn locate(&self) -> String {
+        self.label.clone()
+    }
+
+    fn list_staged(&self) -> Result<Vec<EntryDesc>> {
+        Ok(self
+            .container
+            .records()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| EntryDesc::from_meta(i as u32, &EntryMeta::from_record(r)))
+            .collect())
+    }
+
+    fn generation(&self) -> u64 {
+        self.container.generation()
+    }
+
+    fn append(&mut self, name: &str, payload: EntryPayload) -> Result<()> {
+        ensure_absent(self.container.names(), name)?;
+        self.put(name, payload, false)
+    }
+
+    fn replace(&mut self, name: &str, payload: EntryPayload) -> Result<()> {
+        ensure_present(self.container.names(), name, &self.label)?;
+        self.put(name, payload, true)
+    }
+
+    fn delete(&mut self, name: &str) -> Result<()> {
+        ensure_present(self.container.names(), name, &self.label)?;
+        self.container.delete(name)?;
+        Ok(())
+    }
+
+    fn open_mut<'s>(&'s mut self, sel: &EntrySel) -> Result<Box<dyn EntryMut + 's>> {
+        let descs = self.list_staged()?;
+        let desc = resolve_sel(&descs, sel, &self.label)?.clone();
+        Ok(Box::new(StoreEntryMut { store: self, desc }))
+    }
+
+    fn commit(&mut self) -> Result<u64> {
+        Ok(self.container.commit()?)
+    }
+
+    fn compact(&mut self) -> Result<CompactReport> {
+        let stats = self.container.compact()?;
+        Ok(CompactReport {
+            generation: stats.generation,
+            before_bytes: stats.before_bytes,
+            after_bytes: stats.after_bytes,
+            reclaimed_bytes: stats.reclaimed_bytes,
+        })
+    }
+
+    fn status(&self) -> MutStatus {
+        let s = self.container.stats();
+        MutStatus {
+            generation: s.generation,
+            entries: s.entries,
+            staged: self.container.is_dirty(),
+            live_bytes: s.live_payload_bytes,
+            dead_bytes: s.dead_payload_bytes,
+        }
+    }
+}
+
+/// The one [`EntryMut`] implementation: a name pinned at open time over
+/// any exclusively borrowed [`StoreMut`].
+struct StoreEntryMut<'s, S: StoreMut + ?Sized> {
+    store: &'s mut S,
+    desc: EntryDesc,
+}
+
+impl<S: StoreMut + ?Sized> EntryMut for StoreEntryMut<'_, S> {
+    fn desc(&self) -> &EntryDesc {
+        &self.desc
+    }
+
+    fn replace(&mut self, payload: EntryPayload) -> Result<()> {
+        let name = self.desc.name.clone();
+        self.store.replace(&name, payload)
+    }
+
+    fn delete(self: Box<Self>) -> Result<()> {
+        let name = self.desc.name.clone();
+        self.store.delete(&name)
+    }
+}
+
+/// Open one entry of `store` as a mutation handle — the shared
+/// implementation behind every backend's
+/// [`open_mut`](StoreMut::open_mut).
+pub(crate) fn open_entry_mut<'s, S: StoreMut>(
+    store: &'s mut S,
+    sel: &EntrySel,
+) -> Result<Box<dyn EntryMut + 's>> {
+    let descs = store.list_staged()?;
+    let desc = resolve_sel(&descs, sel, &store.locate())?.clone();
+    Ok(Box::new(StoreEntryMut { store, desc }))
+}
+
+/// Open the [`StoreMut`] a location names. Only local containers are
+/// writable: a remote URI is rejected with `Unsupported` (STZP is a read
+/// protocol — mutate on the serving host, the server picks up the new
+/// generation on its next open).
+pub fn open_store_mut(location: &str) -> Result<Box<dyn StoreMut>> {
+    match crate::uri::Location::parse(location)? {
+        crate::uri::Location::Remote { addr, .. } => Err(AccessError::unsupported(format!(
+            "stz://{addr} is read-only over the wire; run the mutation on the host serving it"
+        ))),
+        crate::uri::Location::Path(path) => {
+            if path.is_dir() {
+                return Err(AccessError::bad_uri(format!(
+                    "{} is a directory; name a container inside it",
+                    path.display()
+                )));
+            }
+            Ok(Box::new(FileStoreMut::open_path(&path)?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fetch, MemStore};
+    use stz_core::{StzCompressor, StzConfig};
+    use stz_field::{Dims, Field};
+
+    fn archive(seed: f32) -> StzArchive<f32> {
+        let f = Field::from_fn(Dims::d3(12, 12, 12), |z, y, x| {
+            ((z as f32) * 0.2 + seed).sin() + ((y as f32) * 0.1).cos() + x as f32 * 0.01
+        });
+        StzCompressor::new(StzConfig::three_level(1e-3)).compress(&f).unwrap()
+    }
+
+    fn drive(store: &mut dyn StoreMut) {
+        assert_eq!(store.list_staged().unwrap().len(), 0);
+        store.append("a", archive(0.0).into()).unwrap();
+        store.append("b", archive(1.0).into()).unwrap();
+        assert!(matches!(store.append("a", archive(9.0).into()), Err(AccessError::BadRequest(_))));
+        assert!(matches!(
+            store.replace("nope", archive(9.0).into()),
+            Err(AccessError::NotFound(_))
+        ));
+        assert!(matches!(store.delete("nope"), Err(AccessError::NotFound(_))));
+        let g0 = store.generation();
+        let g1 = store.commit().unwrap();
+        assert!(g1 > g0);
+        assert_eq!(store.commit().unwrap(), g1, "clean commit is a no-op");
+
+        // Entry-handle mutation.
+        let mut handle = store.open_mut(&EntrySel::Name("b".into())).unwrap();
+        assert_eq!(handle.desc().name, "b");
+        handle.replace(archive(2.0).into()).unwrap();
+        drop(handle);
+        store.open_mut(&EntrySel::Index(0)).unwrap().delete().unwrap();
+        store.commit().unwrap();
+
+        let names: Vec<String> = store.list_staged().unwrap().into_iter().map(|d| d.name).collect();
+        assert_eq!(names, ["b"]);
+        let report = store.compact().unwrap();
+        assert_eq!(report.before_bytes - report.reclaimed_bytes, report.after_bytes);
+        assert!(!store.status().staged);
+        assert_eq!(store.status().dead_bytes, 0);
+    }
+
+    #[test]
+    fn mem_store_mutation_contract() {
+        let mut store = MemStore::new();
+        drive(&mut store);
+    }
+
+    #[test]
+    fn file_store_mutation_contract_and_read_parity() {
+        let path = std::env::temp_dir().join(format!("stz_access_mut_{}.stzc", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = FileStoreMut::open_path(&path).unwrap();
+            drive(&mut store);
+        }
+        // What the write surface committed, the read surface serves.
+        let store = crate::open_store(&path.display().to_string()).unwrap();
+        let descs = store.list().unwrap();
+        assert_eq!(descs.len(), 1);
+        assert_eq!(descs[0].name, "b");
+        let entry = store.open(&EntrySel::Name("b".into())).unwrap();
+        let got = entry.fetch(&Fetch::Full).unwrap().into_field::<f32>().unwrap();
+        assert_eq!(got, archive(2.0).decompress().unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_store_mut_rejects_remote_and_dirs() {
+        assert!(matches!(
+            open_store_mut("stz://127.0.0.1:1/steps"),
+            Err(AccessError::Unsupported(_))
+        ));
+        let dir = std::env::temp_dir();
+        assert!(matches!(open_store_mut(&dir.display().to_string()), Err(AccessError::BadUri(_))));
+    }
+}

@@ -1,0 +1,325 @@
+//! Ingestion harness for mutable STZC containers.
+//!
+//! Grows a container on disk through the [`MutableContainer`] append path:
+//! `--entries` synthetic fields are compressed on `--threads` pipelined
+//! worker threads and staged in batches of `--batch`, with one durable
+//! commit (generation flip) per batch. A second phase appends
+//! pre-compressed entries one commit at a time to isolate the append+commit
+//! latency distribution from compression cost. The grown container is then
+//! compacted and every entry is decoded and byte-compared against a local
+//! decompression of the same archive, so the reported throughput is only
+//! ever that of *correct* ingestion. Results go to `BENCH_ingest.json`:
+//!
+//! ```text
+//! cargo run --release -p stz-bench --bin ingest_throughput \
+//!     [-- --scale 8 --threads 8 --entries 32 --batch 4 \
+//!      --out BENCH_ingest.json --baseline bench/baseline.json --check]
+//! ```
+//!
+//! With `--check`, the harness exits non-zero unless ingestion sustained
+//! the `ingest.entries_per_s_floor` from `--baseline` (an absolute floor
+//! committed far below healthy CI throughput, like the decode floors) and
+//! the per-commit append p50 stayed within 10% of the
+//! `ingest.append_p50_ms` budget. Byte identity and crash-safe generation
+//! accounting are asserted unconditionally.
+
+use std::time::Instant;
+use stz_bench::cli;
+use stz_bench::json::{arr, obj, Json};
+use stz_core::{StzArchive, StzCompressor, StzConfig};
+use stz_field::{Dims, Field};
+use stz_mutate::{FileBacking, MutableContainer};
+use stz_stream::{ContainerReader, PackEntry};
+
+/// Allowed relative p50 growth over the baseline budget.
+const P50_REGRESSION_MARGIN: f64 = 0.10;
+
+/// Entries appended one-commit-at-a-time in the latency phase.
+const LATENCY_APPENDS: usize = 24;
+
+fn main() {
+    let opts = cli::from_env();
+    let check = opts.rest.iter().any(|a| a == "--check");
+    let out_path = flag_value(&opts.rest, "--out").unwrap_or_else(|| "BENCH_ingest.json".into());
+    let baseline_path = flag_value(&opts.rest, "--baseline");
+    let entries: usize =
+        flag_value(&opts.rest, "--entries").and_then(|v| v.parse().ok()).unwrap_or(32).max(1);
+    let batch: usize =
+        flag_value(&opts.rest, "--batch").and_then(|v| v.parse().ok()).unwrap_or(4).max(1);
+    let threads = opts.threads.max(1);
+
+    let n = (256 / opts.scale).max(16);
+    let dims = Dims::d3(n, n, n);
+    let raw_bytes_per_entry = (n * n * n * std::mem::size_of::<f32>()) as f64;
+    let dir = std::env::temp_dir().join(format!("stz_ingest_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+
+    println!(
+        "# ingest_throughput: {dims} f32 x {entries} entries, {threads} writer thread(s), \
+         commit every {batch} append(s)"
+    );
+
+    // --- Phase 1: pipelined bulk ingestion, one generation per batch. ----
+    // The compression work rides the same pipelined engine as `stz pack`,
+    // so "writer threads" here means concurrent compressors feeding the
+    // single staging writer — the container's single-writer invariant holds.
+    let compressor = StzCompressor::new(StzConfig::three_level(1e-3));
+    let grown = dir.join("grown.stzc");
+    let mut container =
+        MutableContainer::create(FileBacking::create(&grown).expect("create backing"))
+            .expect("create container");
+    let mut commit_ms: Vec<f64> = Vec::new();
+    let wall = Instant::now();
+    for batch_start in (0..entries).step_by(batch) {
+        let jobs: Vec<usize> = (batch_start..(batch_start + batch).min(entries)).collect();
+        let t = Instant::now();
+        container
+            .append_pipelined(jobs, threads, |i| {
+                let field: Field<f32> = stz_data::synth::miranda_like(dims, opts.seed + i as u64);
+                let archive = compressor.compress(&field)?;
+                Ok((format!("e{i}"), PackEntry::from(archive)))
+            })
+            .expect("pipelined append");
+        container.commit().expect("commit batch");
+        commit_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    let entries_per_s = entries as f64 / wall_s;
+    let raw_mb_per_s = entries as f64 * raw_bytes_per_entry / wall_s / (1 << 20) as f64;
+    let generation_after_ingest = container.generation();
+    let expected_generation = 1 + commit_ms.len() as u64;
+    assert_eq!(
+        generation_after_ingest, expected_generation,
+        "each batch commit must advance the generation exactly once"
+    );
+
+    // --- Phase 2: per-commit append latency on pre-compressed entries. ---
+    // Compression is hoisted out of the timed region, so p50/p99 measure
+    // the mutation machinery itself: stage + footer write + slot flip +
+    // the fsyncs that make the commit crash-durable.
+    let lat_archives: Vec<StzArchive<f32>> = (0..LATENCY_APPENDS)
+        .map(|i| {
+            let field: Field<f32> =
+                stz_data::synth::miranda_like(dims, opts.seed + (entries + i) as u64);
+            compressor.compress(&field).expect("compress latency entry")
+        })
+        .collect();
+    let lat_path = dir.join("latency.stzc");
+    let mut lat_container =
+        MutableContainer::create(FileBacking::create(&lat_path).expect("create latency backing"))
+            .expect("create latency container");
+    let mut append_ms: Vec<f64> = Vec::with_capacity(LATENCY_APPENDS);
+    for (i, archive) in lat_archives.iter().enumerate() {
+        let entry = PackEntry::from(archive.clone());
+        let t = Instant::now();
+        lat_container.append(&format!("l{i}"), &entry).expect("append");
+        lat_container.commit().expect("commit");
+        append_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    drop(lat_container);
+
+    // --- Compaction of the grown container. ------------------------------
+    // Bulk ingestion orphans one footer per superseded generation, so
+    // compaction has real dead bytes to reclaim.
+    let stats_before = container.stats();
+    let t = Instant::now();
+    let compact = container.compact().expect("compact grown container");
+    let compact_ms = t.elapsed().as_secs_f64() * 1e3;
+    drop(container);
+
+    // --- Verify: every ingested entry decodes byte-identically. ----------
+    let reader = ContainerReader::open_path(&grown).expect("reopen grown container");
+    assert_eq!(reader.entry_count(), entries, "compaction must keep every live entry");
+    assert_eq!(reader.dead_payload_bytes(), 0, "compaction must leave no dead payload");
+    for i in 0..entries {
+        let meta = reader.entry_meta(i).expect("entry meta");
+        let idx: usize = meta.name().trim_start_matches('e').parse().expect("entry name e<i>");
+        let field: Field<f32> = stz_data::synth::miranda_like(dims, opts.seed + idx as u64);
+        let expect = compressor.compress(&field).expect("control compress");
+        let got = reader.entry::<f32>(i).expect("entry").decompress().expect("decode");
+        assert_eq!(
+            got.as_slice(),
+            expect.decompress().expect("control decode").as_slice(),
+            "entry {} must decode identically to a never-mutated control",
+            meta.name()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Aggregate. -------------------------------------------------------
+    append_ms.sort_by(|a, b| a.total_cmp(b));
+    commit_ms.sort_by(|a, b| a.total_cmp(b));
+    let (append_p50, append_p99) = (quantile(&append_ms, 0.50), quantile(&append_ms, 0.99));
+    let (commit_p50, commit_p99) = (quantile(&commit_ms, 0.50), quantile(&commit_ms, 0.99));
+    println!("{:<18} {:>8} {:>10} {:>10} {:>10}", "phase", "count", "p50_ms", "p99_ms", "max_ms");
+    println!(
+        "{:<18} {:>8} {:>10.3} {:>10.3} {:>10.3}",
+        "append+commit",
+        append_ms.len(),
+        append_p50,
+        append_p99,
+        append_ms.last().copied().unwrap_or(0.0)
+    );
+    println!(
+        "{:<18} {:>8} {:>10.3} {:>10.3} {:>10.3}",
+        "batch commit",
+        commit_ms.len(),
+        commit_p50,
+        commit_p99,
+        commit_ms.last().copied().unwrap_or(0.0)
+    );
+    println!(
+        "# {entries} entries in {wall_s:.3}s = {entries_per_s:.1} entries/s ({raw_mb_per_s:.1} \
+         raw MB/s); final generation {} -> {} after compaction, {} bytes reclaimed in \
+         {compact_ms:.3} ms",
+        generation_after_ingest, compact.generation, compact.reclaimed_bytes
+    );
+
+    let doc = obj([
+        ("schema", "stz-bench/ingest/v1".into()),
+        ("scale", opts.scale.into()),
+        ("seed", (opts.seed as usize).into()),
+        ("dims", vec![n, n, n].into()),
+        ("entries", entries.into()),
+        ("writer_threads", threads.into()),
+        ("batch", batch.into()),
+        ("batches", commit_ms.len().into()),
+        ("wall_s", wall_s.into()),
+        ("entries_per_s", entries_per_s.into()),
+        ("raw_mb_per_s", raw_mb_per_s.into()),
+        (
+            "append",
+            obj([
+                ("count", append_ms.len().into()),
+                ("p50_ms", append_p50.into()),
+                ("p99_ms", append_p99.into()),
+                ("max_ms", append_ms.last().copied().unwrap_or(0.0).into()),
+                ("histogram_ms", histogram(&append_ms)),
+            ]),
+        ),
+        (
+            "batch_commit",
+            obj([
+                ("count", commit_ms.len().into()),
+                ("p50_ms", commit_p50.into()),
+                ("p99_ms", commit_p99.into()),
+                ("max_ms", commit_ms.last().copied().unwrap_or(0.0).into()),
+            ]),
+        ),
+        (
+            "compaction",
+            obj([
+                ("before_bytes", compact.before_bytes.into()),
+                ("after_bytes", compact.after_bytes.into()),
+                ("reclaimed_bytes", compact.reclaimed_bytes.into()),
+                ("dead_payload_bytes_before", stats_before.dead_payload_bytes.into()),
+                ("duration_ms", compact_ms.into()),
+            ]),
+        ),
+        ("generation", compact.generation.into()),
+        ("byte_identity", true.into()),
+    ]);
+    std::fs::write(&out_path, format!("{doc}\n")).expect("write BENCH_ingest.json");
+    println!("# wrote {out_path}");
+
+    // --- Regression gates vs. the committed baseline. ---------------------
+    let mut failed = false;
+    if let Some(path) = &baseline_path {
+        match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|t| Json::parse(&t))
+        {
+            Ok(baseline) => {
+                match baseline.get_path(&["ingest", "entries_per_s_floor"]).and_then(Json::as_f64) {
+                    Some(floor) if entries_per_s < floor => {
+                        eprintln!(
+                            "ingest REGRESSION: {entries_per_s:.1} entries/s below the absolute \
+                             floor {floor:.1}"
+                        );
+                        failed = true;
+                    }
+                    Some(floor) => {
+                        println!("# entries/s {entries_per_s:.1} above floor {floor:.1}")
+                    }
+                    None => println!("# baseline {path} has no ingest.entries_per_s_floor"),
+                }
+                match baseline.get_path(&["ingest", "append_p50_ms"]).and_then(Json::as_f64) {
+                    Some(budget) => {
+                        let limit = budget * (1.0 + P50_REGRESSION_MARGIN);
+                        if append_p50 > limit {
+                            eprintln!(
+                                "append p50 REGRESSION: {append_p50:.3} ms > {limit:.3} ms \
+                                 (baseline budget {budget:.3} ms + {:.0}%)",
+                                100.0 * P50_REGRESSION_MARGIN
+                            );
+                            failed = true;
+                        } else {
+                            println!(
+                                "# append p50 {append_p50:.3} ms within budget {budget:.3} ms \
+                                 (+{:.0}%)",
+                                100.0 * P50_REGRESSION_MARGIN
+                            );
+                        }
+                    }
+                    None => println!("# baseline {path} has no ingest.append_p50_ms"),
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if check {
+        if compact.reclaimed_bytes == 0 {
+            eprintln!(
+                "--check FAILED: batched ingestion left nothing for compaction to reclaim \
+                 ({} commits)",
+                commit_ms.len()
+            );
+            std::process::exit(1);
+        }
+        if failed {
+            eprintln!("--check FAILED: ingestion regressed vs. {:?}", baseline_path);
+            std::process::exit(1);
+        }
+        println!(
+            "# --check: byte-identity held for all {entries} entries across {} generations, \
+             compaction reclaimed {} bytes",
+            compact.generation, compact.reclaimed_bytes
+        );
+    }
+}
+
+/// `--flag value` lookup in the leftover args.
+fn flag_value(rest: &[String], flag: &str) -> Option<String> {
+    rest.iter().position(|a| a == flag).and_then(|i| rest.get(i + 1)).cloned()
+}
+
+/// Quantile of an ascending-sorted slice (nearest-rank).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Log-bucketed latency histogram as `[upper_bound_ms, count]` pairs
+/// (geometric bounds from 0.05 ms, factor 2), trailing empty buckets
+/// dropped.
+fn histogram(sorted: &[f64]) -> Json {
+    let mut pairs: Vec<Json> = Vec::new();
+    let mut bound = 0.05;
+    let mut idx = 0;
+    while idx < sorted.len() {
+        let count = sorted[idx..].iter().take_while(|&&ms| ms <= bound).count();
+        pairs.push(arr([bound.into(), count.into()]));
+        idx += count;
+        bound *= 2.0;
+        if pairs.len() > 40 {
+            pairs.push(arr([f64::MAX.into(), (sorted.len() - idx).into()]));
+            break;
+        }
+    }
+    arr(pairs)
+}

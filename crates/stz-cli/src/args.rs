@@ -21,6 +21,12 @@ USAGE:
                  [--entry <name>]
   stz preview    --from <location> -o <raw> -l <level> [--entry <name>]
 
+  stz append     -i <raw>[,<raw>...] --to <container> -d <Z>x<Y>x<X> -t <f32|f64>
+                 -e <bound> [--backend <name>] [--rel] [--levels <2..4>]
+                 [--linear] [--no-adaptive] [--name <entry>] [--threads <N>]
+  stz delete     --to <container> --entry <name>
+  stz compact    --to <container>
+
   stz serve      -i <dir|container> [--addr <host:port>] [--cache-mb <MB>]
                  [--max-conns <N>] [--threads <N>]
   stz stats      --from <location> [--json]
@@ -48,6 +54,16 @@ needs stz entries, while decompress/extract work for every engine.
 identical at every thread count. pack parallelizes across entries, so its
 effective width is capped at the input count (one input parallelizes
 internally instead).
+append/delete/compact are the mutation verbs: they operate on a local
+mutable (v3) container named by --to and commit one new generation per
+invocation. append compresses its inputs exactly like pack and adds them to
+the container; delete drops one named entry; compact rewrites the live
+entries into a dense sibling file and atomically renames it into place,
+reclaiming the bytes dead generations left behind. A v2 container is
+upgraded to v3 in place the first time a mutation verb opens it. Readers
+(including a running stz-serve) always see a complete generation: a crash
+at any point leaves the previous generation intact. inspect shows the
+generation number and live/dead/reclaimable bytes for v3 containers.
 serve hosts every .stzc under a directory over the STZP binary protocol
 (port 0 picks an ephemeral port, printed on startup). --json prints the
 machine-readable entry table, identical for every transport.
@@ -82,6 +98,7 @@ const VALUED: &[&str] = &[
     "-c",
     "--levels",
     "--from",
+    "--to",
     "--entry",
     "--name",
     "--threads",

@@ -12,7 +12,9 @@
 use crate::args::{self, Parsed};
 use crate::fmt;
 use std::path::Path;
-use stz_access::{open_store, Entry, EntrySel, Fetch, Location, Store};
+use stz_access::{
+    open_store, open_store_mut, Entry, EntryPayload, EntrySel, Fetch, Location, Store, StoreMut,
+};
 use stz_backend::{registry, BackendScalar, Codec, ErrorBound};
 use stz_core::{InterpKind, StzArchive, StzCompressor, StzConfig};
 use stz_data::io::{read_raw, write_raw};
@@ -71,6 +73,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "roi" | "extract" => extract(&p),
         "info" => info(&p),
         "pack" => pack(&p),
+        "append" => append(&p),
+        "delete" => delete(&p),
+        "compact" => compact(&p),
         "list" => list(&p),
         "inspect" => inspect(&p),
         "serve" => serve(&p),
@@ -585,6 +590,154 @@ fn pack_typed<T: Scalar>(
     Ok(())
 }
 
+/// Open the mutable store a mutation verb targets (`--to <container>`),
+/// stringifying the error taxonomy. Remote locations are rejected by the
+/// access layer: mutation happens on the host that owns the file.
+fn store_mut_at(p: &Parsed) -> Result<Box<dyn StoreMut>, String> {
+    let to = p.required("--to")?;
+    open_store_mut(to).map_err(|e| e.to_string())
+}
+
+/// `append`: compress the inputs exactly like `pack` and add them to a
+/// mutable container as one committed generation. A v2 container is
+/// upgraded to v3 in place on open; a crash mid-append leaves the previous
+/// generation intact.
+fn append(p: &Parsed) -> Result<(), String> {
+    let dims = args::parse_dims(p.required("-d")?)?;
+    let backend = backend_choice(p)?;
+    let inputs: Vec<&str> = p.required("-i")?.split(',').filter(|s| !s.is_empty()).collect();
+    if inputs.is_empty() {
+        return Err("append needs at least one input file".into());
+    }
+    if p.optional("--name").is_some() && inputs.len() > 1 {
+        return Err("--name applies to a single input; multiple inputs are named by stem".into());
+    }
+    let jobs = entry_jobs(&inputs, p.optional("--name"))?;
+    let mut store = store_mut_at(p)?;
+    if backend.id() != stz_backend::id::STZ {
+        reject_stz_flags(p, backend)?;
+        let eb = error_bound(p)?;
+        return match p.required("-t")? {
+            "f32" => append_foreign::<f32>(store.as_mut(), backend, &jobs, dims, &eb),
+            "f64" => append_foreign::<f64>(store.as_mut(), backend, &jobs, dims, &eb),
+            t => Err(format!("unknown element type {t:?} (want f32 or f64)")),
+        };
+    }
+    let cfg = build_config(p)?;
+    let threads = p.threads()?;
+    match p.required("-t")? {
+        "f32" => append_typed::<f32>(store.as_mut(), &jobs, dims, cfg, threads),
+        "f64" => append_typed::<f64>(store.as_mut(), &jobs, dims, cfg, threads),
+        t => Err(format!("unknown element type {t:?} (want f32 or f64)")),
+    }
+}
+
+fn append_typed<T: Scalar>(
+    store: &mut dyn StoreMut,
+    jobs: &[(String, &Path)],
+    dims: stz_field::Dims,
+    cfg: StzConfig,
+    threads: usize,
+) -> Result<(), String>
+where
+    EntryPayload: From<StzArchive<T>>,
+{
+    let pool = thread_pool(threads)?;
+    let compressor = StzCompressor::new(cfg);
+    for (name, input) in jobs {
+        let field: Field<T> = read_raw(input, dims).map_err(|e| e.to_string())?;
+        let archive = if threads == 1 {
+            compressor.compress(&field)
+        } else {
+            pool.install(|| compressor.compress_parallel(&field))
+        }
+        .map_err(|e| e.to_string())?;
+        eprintln!(
+            "compressed {} as {name:?} ({} bytes, CR {:.1}x)",
+            input.display(),
+            archive.compressed_len(),
+            archive.compression_ratio()
+        );
+        store.append(name, archive.into()).map_err(|e| e.to_string())?;
+    }
+    commit_and_report(store, jobs.len(), "appended")
+}
+
+fn append_foreign<T: BackendScalar>(
+    store: &mut dyn StoreMut,
+    backend: &'static dyn Codec,
+    jobs: &[(String, &Path)],
+    dims: stz_field::Dims,
+    eb: &ErrorBound,
+) -> Result<(), String> {
+    for (name, input) in jobs {
+        let field: Field<T> = read_raw(input, dims).map_err(|e| e.to_string())?;
+        let abs = eb.absolute_for(&field);
+        let bytes = stz_backend::compress(backend, &field, &ErrorBound::Absolute(abs))
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "compressed {} as {name:?} [{}] ({} bytes, CR {:.1}x)",
+            input.display(),
+            backend.name(),
+            bytes.len(),
+            field.nbytes() as f64 / bytes.len() as f64
+        );
+        let foreign = ForeignArchive::new::<T>(backend.id(), dims, abs, bytes);
+        store.append(name, foreign.into()).map_err(|e| e.to_string())?;
+    }
+    commit_and_report(store, jobs.len(), "appended")
+}
+
+/// Commit staged mutations as one generation and report it.
+fn commit_and_report(store: &mut dyn StoreMut, n: usize, verb: &str) -> Result<(), String> {
+    let generation = store.commit().map_err(|e| e.to_string())?;
+    eprintln!(
+        "{verb} {n} entr{} in {} (generation {generation})",
+        if n == 1 { "y" } else { "ies" },
+        store.locate()
+    );
+    Ok(())
+}
+
+/// `delete`: drop one named entry and commit the next generation. The
+/// payload bytes stay in the file as dead space until `compact`.
+fn delete(p: &Parsed) -> Result<(), String> {
+    let name = p.required("--entry")?;
+    let mut store = store_mut_at(p)?;
+    store.delete(name).map_err(|e| e.to_string())?;
+    commit_and_report(store.as_mut(), 1, "deleted")
+}
+
+/// `compact`: rewrite the live entries into a dense sibling file and
+/// atomically rename it into place, reclaiming dead generations' bytes.
+/// Concurrent readers of the old file keep a complete generation.
+fn compact(p: &Parsed) -> Result<(), String> {
+    let mut store = store_mut_at(p)?;
+    let r = store.compact().map_err(|e| e.to_string())?;
+    eprintln!(
+        "compacted {}: {} -> {} bytes, reclaimed {} (generation {})",
+        store.locate(),
+        r.before_bytes,
+        r.after_bytes,
+        r.reclaimed_bytes,
+        r.generation
+    );
+    Ok(())
+}
+
+/// The mutable-container fields `inspect` shows for format-v3 containers
+/// (`None` for immutable v1/v2 containers, whose document shape is
+/// unchanged).
+fn mut_info_at(path: &Path) -> Option<fmt::MutInfo> {
+    let reader =
+        stz_stream::ContainerReader::open(stz_stream::FileSource::open(path).ok()?).ok()?;
+    (reader.version() >= 3).then(|| fmt::MutInfo {
+        generation: reader.generation(),
+        live_bytes: reader.live_payload_bytes(),
+        dead_bytes: reader.dead_payload_bytes(),
+    })
+}
+
 /// `inspect`: the full entry table of any location, through the unified
 /// store. Bare local archives keep their pre-URI behavior and fall
 /// through to `info`.
@@ -607,16 +760,25 @@ fn inspect(p: &Parsed) -> Result<(), String> {
         Ok(Location::Remote { container: Some(container), .. }) => container,
         _ => from.clone(),
     };
-    print_inspect(&source, &entries, p.switch("--json"));
+    let mutable = match Location::parse(&from) {
+        Ok(Location::Path(path)) if path.is_file() => mut_info_at(&path),
+        _ => None,
+    };
+    print_inspect(&source, &entries, mutable.as_ref(), p.switch("--json"));
     Ok(())
 }
 
 /// Render an entry table — the one formatter every transport shares.
-fn print_inspect(source: &str, entries: &[stz_access::EntryDesc], json: bool) {
+fn print_inspect(
+    source: &str,
+    entries: &[stz_access::EntryDesc],
+    mutable: Option<&fmt::MutInfo>,
+    json: bool,
+) {
     if json {
-        println!("{}", fmt::render_json(source, entries));
+        println!("{}", fmt::render_json(source, entries, mutable));
     } else {
-        print!("{}", fmt::render_text(source, entries));
+        print!("{}", fmt::render_text(source, entries, mutable));
     }
 }
 
@@ -896,6 +1058,132 @@ mod tests {
         .unwrap();
         let p: Field<f32> = read_raw(&prev, Dims::d3(4, 4, 4)).unwrap();
         assert_eq!(p.dims().as_array(), [4, 4, 4]);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn append_delete_compact_cycle() {
+        let d = dir().join("mutate_test");
+        std::fs::create_dir_all(&d).unwrap();
+        let dims = Dims::d3(16, 16, 16);
+        let fields: Vec<_> = (0..3).map(|i| stz_data::synth::miranda_like(dims, 40 + i)).collect();
+        for (i, f) in fields.iter().enumerate() {
+            write_raw(&d.join(format!("step{i}.f32")), f).unwrap();
+        }
+
+        // pack writes an immutable v2 container; the first mutation verb
+        // upgrades it to v3 in place.
+        let container = d.join("live.stzc");
+        run(&argv(&[
+            "pack".into(),
+            "-i".into(),
+            d.join("step0.f32").display().to_string(),
+            "-o".into(),
+            container.display().to_string(),
+            "-d".into(),
+            "16x16x16".into(),
+            "-t".into(),
+            "f32".into(),
+            "-e".into(),
+            "1e-3".into(),
+        ]))
+        .unwrap();
+        assert!(mut_info_at(&container).is_none(), "packed containers stay v2");
+
+        run(&argv(&[
+            "append".into(),
+            "-i".into(),
+            format!("{},{}", d.join("step1.f32").display(), d.join("step2.f32").display()),
+            "--to".into(),
+            container.display().to_string(),
+            "-d".into(),
+            "16x16x16".into(),
+            "-t".into(),
+            "f32".into(),
+            "-e".into(),
+            "1e-3".into(),
+        ]))
+        .unwrap();
+        let info = mut_info_at(&container).expect("append upgrades to v3");
+        assert_eq!(info.generation, 2, "upgrade is gen 1, the append commit gen 2");
+        // The superseded generation's footer stays behind as dead bytes.
+        let dead_after_append = info.dead_bytes;
+        run(&argv(&["inspect".into(), "--from".into(), container.display().to_string()])).unwrap();
+        run(&argv(&[
+            "inspect".into(),
+            "--from".into(),
+            container.display().to_string(),
+            "--json".into(),
+        ]))
+        .unwrap();
+
+        // Appended entries decode byte-identically to an in-memory pipeline.
+        let out = d.join("step1.out");
+        run(&argv(&[
+            "extract".into(),
+            "--from".into(),
+            container.display().to_string(),
+            "--entry".into(),
+            "step1".into(),
+            "-o".into(),
+            out.display().to_string(),
+        ]))
+        .unwrap();
+        let restored: Field<f32> = read_raw(&out, dims).unwrap();
+        let expect = StzCompressor::new(StzConfig::three_level(1e-3))
+            .compress(&fields[1])
+            .unwrap()
+            .decompress()
+            .unwrap();
+        assert_eq!(restored, expect, "appended entry must match in-memory decode");
+
+        // delete leaves dead bytes; compact reclaims them.
+        run(&argv(&[
+            "delete".into(),
+            "--to".into(),
+            container.display().to_string(),
+            "--entry".into(),
+            "step0".into(),
+        ]))
+        .unwrap();
+        let info = mut_info_at(&container).unwrap();
+        assert!(info.dead_bytes > dead_after_append, "deleted payload stays as dead bytes");
+        run(&argv(&["compact".into(), "--to".into(), container.display().to_string()])).unwrap();
+        let info = mut_info_at(&container).unwrap();
+        assert_eq!(info.dead_bytes, 0, "compaction reclaims dead bytes");
+
+        // The survivors still decode; the deleted entry errors cleanly.
+        run(&argv(&[
+            "extract".into(),
+            "--from".into(),
+            container.display().to_string(),
+            "--entry".into(),
+            "step2".into(),
+            "-o".into(),
+            d.join("step2.out").display().to_string(),
+        ]))
+        .unwrap();
+        assert!(run(&argv(&[
+            "extract".into(),
+            "--from".into(),
+            container.display().to_string(),
+            "--entry".into(),
+            "step0".into(),
+            "-o".into(),
+            d.join("gone.out").display().to_string(),
+        ]))
+        .is_err());
+
+        // Mutation over the wire is rejected with a clear diagnostic.
+        assert!(run(&argv(&[
+            "delete".into(),
+            "--to".into(),
+            "stz://127.0.0.1:4815/steps".into(),
+            "--entry".into(),
+            "step2".into(),
+        ]))
+        .unwrap_err()
+        .contains("read-only over the wire"));
         let _ = std::fs::remove_dir_all(&d);
     }
 

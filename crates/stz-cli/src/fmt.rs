@@ -11,11 +11,30 @@
 use stz_access::EntryDesc;
 use stz_telemetry::expo::{histogram_quantile, sample_value, Sample};
 
+/// Mutable-container (format v3) fields shown by `inspect`: which
+/// generation the footer commits, how many payload bytes that generation
+/// references, and how many dead bytes a `compact` would reclaim.
+#[derive(Debug, Clone, Copy)]
+pub struct MutInfo {
+    /// Committed generation number (starts at 1; each commit bumps it).
+    pub generation: u64,
+    /// Payload bytes the committed footer still references.
+    pub live_bytes: u64,
+    /// Payload bytes earlier generations left behind (== reclaimable).
+    pub dead_bytes: u64,
+}
+
 /// Render the human-readable entry table.
-pub fn render_text(source: &str, entries: &[EntryDesc]) -> String {
+pub fn render_text(source: &str, entries: &[EntryDesc], mutable: Option<&MutInfo>) -> String {
     let mut out = String::new();
     out.push_str(&format!("container:       {source}\n"));
     out.push_str(&format!("entries:         {}\n", entries.len()));
+    if let Some(m) = mutable {
+        out.push_str(&format!("generation:      {}\n", m.generation));
+        out.push_str(&format!("live payload:    {} bytes\n", m.live_bytes));
+        out.push_str(&format!("dead payload:    {} bytes\n", m.dead_bytes));
+        out.push_str(&format!("reclaimable:     {} bytes (via stz compact)\n", m.dead_bytes));
+    }
     for (i, e) in entries.iter().enumerate() {
         out.push_str(&format!("[{i}] {:?}\n", e.name));
         match e.codec_name() {
@@ -51,10 +70,16 @@ pub fn render_text(source: &str, entries: &[EntryDesc]) -> String {
 }
 
 /// Render the machine-readable entry table (one JSON document).
-pub fn render_json(source: &str, entries: &[EntryDesc]) -> String {
+pub fn render_json(source: &str, entries: &[EntryDesc], mutable: Option<&MutInfo>) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"container\": {},\n", json_str(source)));
+    if let Some(m) = mutable {
+        out.push_str(&format!("  \"generation\": {},\n", m.generation));
+        out.push_str(&format!("  \"live_bytes\": {},\n", m.live_bytes));
+        out.push_str(&format!("  \"dead_bytes\": {},\n", m.dead_bytes));
+        out.push_str(&format!("  \"reclaimable_bytes\": {},\n", m.dead_bytes));
+    }
     out.push_str("  \"entries\": [");
     for (i, e) in entries.iter().enumerate() {
         let [z, y, x] = e.dims.as_array();
@@ -305,7 +330,7 @@ mod tests {
 
     #[test]
     fn text_table_mentions_every_field() {
-        let text = render_text("steps.stzc", &[row()]);
+        let text = render_text("steps.stzc", &[row()], None);
         for needle in [
             "steps.stzc",
             "step \\\"0\\\"",
@@ -323,7 +348,7 @@ mod tests {
 
     #[test]
     fn json_is_parseable_and_escaped() {
-        let json = render_json("steps.stzc", &[row()]);
+        let json = render_json("steps.stzc", &[row()], None);
         // The bench json module is the closest thing to a reference
         // parser in-tree; keep the formatter honest against it.
         // (stz-cli cannot depend on stz-bench, so check structure by hand.)
@@ -343,9 +368,24 @@ mod tests {
 
     #[test]
     fn empty_table_renders() {
-        let json = render_json("empty", &[]);
+        let json = render_json("empty", &[], None);
         assert!(json.contains("\"entries\": []"));
-        assert!(render_text("empty", &[]).contains("entries:         0"));
+        assert!(render_text("empty", &[], None).contains("entries:         0"));
+    }
+
+    #[test]
+    fn mutable_info_renders_in_both_views() {
+        let m = MutInfo { generation: 7, live_bytes: 4000, dead_bytes: 1234 };
+        let text = render_text("live.stzc", &[row()], Some(&m));
+        for needle in ["generation:      7", "live payload:    4000", "reclaimable:     1234"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        let json = render_json("live.stzc", &[row()], Some(&m));
+        for needle in ["\"generation\": 7", "\"dead_bytes\": 1234", "\"reclaimable_bytes\": 1234"] {
+            assert!(json.contains(needle), "missing {needle:?} in:\n{json}");
+        }
+        // Immutable (v1/v2) containers keep the exact pre-v3 document shape.
+        assert!(!render_json("old.stzc", &[row()], None).contains("generation"));
     }
 
     fn metric_samples() -> Vec<Sample> {

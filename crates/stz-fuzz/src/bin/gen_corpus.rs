@@ -20,10 +20,11 @@ use stz_field::{Dims, Field};
 use stz_fuzz::corpus::Reproducer;
 use stz_fuzz::mutate::{refix_container, refix_frame};
 use stz_fuzz::targets::{CodecTarget, ContainerTarget, FuzzTarget, ProtoTarget};
+use stz_mutate::{upgrade_image, MemBacking, MutableContainer};
 use stz_serve::proto::{
     self, write_frame, Enc, EntrySel, FetchReq, FetchedField, FrameType, RequestKind,
 };
-use stz_stream::{ContainerWriter, ForeignArchive};
+use stz_stream::{ContainerWriter, ForeignArchive, PackEntry};
 
 fn frame(kind: FrameType, payload: &[u8]) -> Vec<u8> {
     let mut buf = Vec::new();
@@ -292,6 +293,70 @@ fn container_cases() -> Vec<(&'static str, &'static str, Vec<u8>)> {
         "container_foreign_damaged_deep_refix",
         "payload damage hidden behind restamped CRCs must still fail in the codec",
         refixed,
+    ));
+
+    // --- Mutable (v3) containers: generation slots, dead sections, torn
+    // tails. Built through the real commit protocol so the pinned bytes
+    // track the writer exactly.
+    let compressor = stz_core::StzCompressor::new(stz_core::StzConfig::three_level(1e-3));
+    let g0 = compressor
+        .compress(&stz_data::synth::miranda_like(Dims::d3(6, 5, 4), 8))
+        .expect("compress");
+    let g1 = compressor
+        .compress(&stz_data::synth::miranda_like(Dims::d3(6, 5, 4), 9))
+        .expect("compress");
+    let mut m = MutableContainer::create(MemBacking::empty()).expect("mem container");
+    m.append("g0", &PackEntry::from(g0)).expect("append");
+    m.append("g1", &PackEntry::from(g1.clone())).expect("append");
+    m.commit().expect("commit generation 2");
+    let len_gen2 = m.backing().as_bytes().len();
+    m.delete("g1").expect("delete");
+    m.append("g2", &PackEntry::from(g1)).expect("append");
+    m.commit().expect("commit generation 3");
+    let v3 = m.into_backing().into_bytes();
+
+    cases.push((
+        "container_v3_multi_generation_live",
+        "three-generation container with dead sections must read cleanly at its newest generation",
+        v3.clone(),
+    ));
+
+    // Cut mid-way through generation 3's staged bytes: the newest slot
+    // points past EOF, so the reader must fall back to generation 2.
+    let torn_tail = v3[..len_gen2 + (v3.len() - len_gen2) / 2].to_vec();
+    cases.push((
+        "container_v3_torn_tail_recovers_previous_generation",
+        "a tail torn mid-commit must fall back to the previous committed generation",
+        torn_tail,
+    ));
+
+    let mut both_torn = v3.clone();
+    for b in &mut both_torn[stz_stream::format::GEN_SLOT_OFFSETS[0] as usize
+        ..stz_stream::format::MUTABLE_DATA_START as usize]
+    {
+        *b ^= 0xFF;
+    }
+    cases.push((
+        "container_v3_both_slots_torn",
+        "both generation slots corrupted must be a clean torn-container error",
+        both_torn,
+    ));
+
+    // Damage confined to dead bytes — the orphaned generation-2 footer,
+    // whose last byte sits at len_gen2 - 1 — must not affect reads of the
+    // live generation.
+    let mut dead_damaged = v3.clone();
+    dead_damaged[len_gen2 - 10] ^= 0xFF;
+    cases.push((
+        "container_v3_dead_region_damaged",
+        "damage confined to the orphaned previous footer must not affect the live generation",
+        dead_damaged,
+    ));
+
+    cases.push((
+        "container_v3_upgraded_from_v2",
+        "a v2 container upgraded in place must read identically under the v3 slot protocol",
+        upgrade_image(&valid).expect("upgrade v2 image"),
     ));
 
     cases

@@ -13,12 +13,13 @@ use stz_access::{AccessError, Entry, EntrySel as AccessSel, Fetch, FileStore, St
 use stz_backend::{registry, ErrorBound};
 use stz_core::{StzCompressor, StzConfig};
 use stz_field::{Dims, Field, Region};
+use stz_mutate::{upgrade_image, MemBacking, MutableContainer};
 use stz_serve::proto::{
     self, write_frame, ContainerInfo, Enc, EntryInfo, EntrySel, FetchReq, FetchedField, FrameType,
     RequestKind, ServerStats, TraceContextExt,
 };
 use stz_serve::{Client, ServeError};
-use stz_stream::{ContainerWriter, ForeignArchive, MemorySource};
+use stz_stream::{ContainerWriter, ForeignArchive, MemorySource, PackEntry};
 
 /// Classification of one execution: the error-taxonomy class the input
 /// landed in and the failure site (error text; empty for success).
@@ -163,7 +164,28 @@ impl FuzzTarget for ContainerTarget {
         let archive = compressor.compress(&f64_field).expect("compress f64");
         let single = stz_stream::pack_to_vec(&[("p", &archive)]).expect("pack");
 
-        vec![mixed, single]
+        // Seed 3: a mutable (v3) container grown through three committed
+        // generations — replace + delete leave dead payload and an
+        // orphaned footer in the body, and the alternating generation
+        // slots sit in the header. Mutating this seed explores the slot
+        // plausibility/CRC checks and the dead-region skip logic, which
+        // the write-once seeds never reach.
+        let a0 = compressor.compress(&f32_fields[0]).expect("compress");
+        let a1 = compressor.compress(&f32_fields[1]).expect("compress");
+        let mut m = MutableContainer::create(MemBacking::empty()).expect("mem container");
+        m.append("m0", &PackEntry::from(a0)).expect("append");
+        m.append("m1", &PackEntry::from(a1.clone())).expect("append");
+        m.commit().expect("commit");
+        m.replace("m0", &PackEntry::from(a1)).expect("replace");
+        m.delete("m1").expect("delete");
+        m.commit().expect("commit");
+        let multi_generation = m.into_backing().into_bytes();
+
+        // Seed 4: the v2 seed upgraded in place to the v3 slot protocol,
+        // so mutation also covers a freshly-upgraded generation-1 image.
+        let upgraded = upgrade_image(&single).expect("upgrade v2 image");
+
+        vec![mixed, single, multi_generation, upgraded]
     }
 
     fn exec(&self, input: &[u8]) -> Outcome {

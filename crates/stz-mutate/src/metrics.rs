@@ -1,0 +1,30 @@
+//! Mutation telemetry, registered in the process-wide
+//! [`stz_telemetry::global`] registry (visible through `stz stats` and the
+//! server's METRICS frame).
+
+use std::sync::{Arc, OnceLock};
+use stz_telemetry::{Counter, Gauge, Histogram};
+
+pub(crate) struct MutMetrics {
+    /// `stz_mutate_appends_total` — entries staged by append.
+    pub appends: Arc<Counter>,
+    /// `stz_mutate_bytes_reclaimed` — dead bytes reclaimed by compaction.
+    pub reclaimed: Arc<Counter>,
+    /// `stz_mutate_generation` — latest committed generation number.
+    pub generation: Arc<Gauge>,
+    /// `stz_mutate_compact_ns` — compaction wall-clock latency.
+    pub compact: Arc<Histogram>,
+}
+
+pub(crate) fn metrics() -> &'static MutMetrics {
+    static M: OnceLock<MutMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let reg = stz_telemetry::global();
+        MutMetrics {
+            appends: reg.counter("stz_mutate_appends_total", &[]),
+            reclaimed: reg.counter("stz_mutate_bytes_reclaimed", &[]),
+            generation: reg.gauge("stz_mutate_generation", &[]),
+            compact: reg.latency("stz_mutate_compact_ns", &[]),
+        }
+    })
+}

@@ -33,14 +33,21 @@ use stz_telemetry::{Counter, Metric, Registry};
 
 use crate::proto::RequestKind;
 
-/// Cache key: one decoded block is identified by its container, entry
-/// index, and request kind (full / level-k / ROI box / raw payload).
-/// Name-addressed fetches resolve to the entry index *before* lookup, so
-/// `--entry t0` and entry index 0 share a slot.
+/// Cache key: one decoded block is identified by its container, the
+/// container *generation* the request pinned, entry index, and request
+/// kind (full / level-k / ROI box / raw payload). Name-addressed fetches
+/// resolve to the entry index *before* lookup, so `--entry t0` and entry
+/// index 0 share a slot. The generation keeps mutable (v3) containers
+/// honest: after an append/delete/compact flips the footer, stale blocks
+/// simply stop being addressed and age out of the LRU — no invalidation
+/// pass needed. Immutable v1/v2 containers always key generation 1.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Hosted container name.
     pub container: String,
+    /// Committed generation of the snapshot that served the request
+    /// (always 1 for immutable containers).
+    pub generation: u64,
     /// Entry index within the container.
     pub entry: u32,
     /// What was decoded.
@@ -209,7 +216,7 @@ mod tests {
     use super::*;
 
     fn key(container: &str, entry: u32, kind: RequestKind) -> CacheKey {
-        CacheKey { container: container.into(), entry, kind }
+        CacheKey { container: container.into(), generation: 0, entry, kind }
     }
 
     fn block(len: usize, fill: u8) -> Arc<Vec<u8>> {
@@ -231,6 +238,10 @@ mod tests {
         assert!(cache.get(&key("steps", 0, RequestKind::Level(1))).is_none());
         assert!(cache.get(&key("steps", 1, RequestKind::Full)).is_none());
         assert!(cache.get(&key("other", 0, RequestKind::Full)).is_none());
+        // So are different container generations: a footer flip re-keys
+        // every block instead of serving the superseded decode.
+        let flipped = CacheKey { generation: 1, ..k.clone() };
+        assert!(cache.get(&flipped).is_none());
     }
 
     #[test]

@@ -20,8 +20,8 @@ use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant, SystemTime};
 use stz_backend::BackendScalar;
 use stz_stream::{ByteSource, ContainerReader, FileSource, StreamError};
 use stz_telemetry::{log_debug, log_warn, trace, Counter, Gauge, Histogram, LogLimiter, Registry};
@@ -61,11 +61,85 @@ impl Default for ServeOptions {
     }
 }
 
-/// One hosted container.
+/// One hosted container: a path plus the currently pinned [`Snapshot`].
+///
+/// Requests **pin** a snapshot ([`Hosted::pin`]) for their whole
+/// lifetime, so a concurrent `stz append`/`compact` on the same file
+/// never changes what an in-flight request reads: the old generation's
+/// `FileSource` keeps its file descriptor (and, across a compaction
+/// rename, the old inode) alive until the last pin drops. New requests
+/// probe the file's length+mtime and reopen on change, picking up the
+/// freshly committed generation without a server restart.
 #[derive(Debug)]
 struct Hosted {
+    path: PathBuf,
+    current: RwLock<Arc<Snapshot>>,
+}
+
+/// One pinned view of a container: a complete committed generation.
+#[derive(Debug)]
+struct Snapshot {
     reader: ContainerReader<FileSource>,
     file_len: u64,
+    mtime: Option<SystemTime>,
+    /// Committed generation (always 1 for immutable v1/v2 containers) —
+    /// part of every [`CacheKey`], so a flip re-keys the decoded cache.
+    generation: u64,
+}
+
+impl Snapshot {
+    fn open(path: &Path) -> std::result::Result<Snapshot, StreamError> {
+        // Stat *before* opening: if the file changes between the stat and
+        // the open, the recorded stamp is stale and the next probe simply
+        // reopens again — converging, never serving a torn view (the
+        // reader itself only trusts committed generations).
+        let meta = std::fs::metadata(path)?;
+        let mtime = meta.modified().ok();
+        let reader = ContainerReader::open_path(path)?;
+        let file_len = reader.source().len();
+        let generation = reader.generation();
+        Ok(Snapshot { reader, file_len, mtime, generation })
+    }
+}
+
+impl Hosted {
+    fn open(path: PathBuf) -> std::result::Result<Hosted, StreamError> {
+        let snapshot = Snapshot::open(&path)?;
+        Ok(Hosted { path, current: RwLock::new(Arc::new(snapshot)) })
+    }
+
+    /// Pin the current generation, reopening first if the file changed on
+    /// disk (length or mtime — covering both in-place commits and the
+    /// compaction rename). If a reopen fails mid-mutation, the previous
+    /// snapshot keeps serving: readers never lose a committed generation.
+    fn pin(&self) -> Arc<Snapshot> {
+        let current = self.current.read().expect("snapshot lock poisoned").clone();
+        let Ok(meta) = std::fs::metadata(&self.path) else { return current };
+        let (len, mtime) = (meta.len(), meta.modified().ok());
+        if len == current.file_len && mtime == current.mtime {
+            return current;
+        }
+        let mut slot = self.current.write().expect("snapshot lock poisoned");
+        // Another request may have reopened while this one waited.
+        if len == slot.file_len && mtime == slot.mtime {
+            return slot.clone();
+        }
+        match Snapshot::open(&self.path) {
+            Ok(next) => {
+                log_debug!("stz-serve", "reopened changed container";
+                    "path" => self.path.display(), "generation" => next.generation);
+                *slot = Arc::new(next);
+            }
+            Err(e) => {
+                static REOPEN_LOGS: LogLimiter = LogLimiter::new(1_000);
+                if let Some(suppressed) = REOPEN_LOGS.permit() {
+                    log_warn!("stz-serve", "cannot reopen changed container, serving pinned generation: {e}";
+                        "path" => self.path.display(), "suppressed" => suppressed);
+                }
+            }
+        }
+        slot.clone()
+    }
 }
 
 /// Request-kind labels used on the per-kind metrics; the last entry is
@@ -313,10 +387,9 @@ fn scan_containers(root: &Path) -> Result<BTreeMap<String, Hosted>> {
         let Some(name) = path.file_stem().map(|s| s.to_string_lossy().into_owned()) else {
             continue;
         };
-        match ContainerReader::open_path(&path) {
-            Ok(reader) => {
-                let file_len = reader.source().len();
-                out.insert(name, Hosted { reader, file_len });
+        match Hosted::open(path.clone()) {
+            Ok(hosted) => {
+                out.insert(name, hosted);
             }
             Err(e) => {
                 log_warn!("stz-serve", "skipping unreadable container: {e}"; "path" => path.display())
@@ -516,10 +589,13 @@ fn respond(
             let list: Vec<ContainerInfo> = state
                 .containers
                 .iter()
-                .map(|(name, hosted)| ContainerInfo {
-                    name: name.clone(),
-                    entries: hosted.reader.entry_count() as u32,
-                    file_len: hosted.file_len,
+                .map(|(name, hosted)| {
+                    let snapshot = hosted.pin();
+                    ContainerInfo {
+                        name: name.clone(),
+                        entries: snapshot.reader.entry_count() as u32,
+                        file_len: snapshot.file_len,
+                    }
                 })
                 .collect();
             Ok((FrameType::ListOk, Body::Owned(encode_list(&list))))
@@ -530,8 +606,9 @@ fn respond(
             d.expect_end()?;
             match state.containers.get(&name) {
                 Some(hosted) => {
+                    let snapshot = hosted.pin();
                     let entries: Vec<EntryInfo> =
-                        hosted.reader.entries().map(|m| EntryInfo::from_meta(&m)).collect();
+                        snapshot.reader.entries().map(|m| EntryInfo::from_meta(&m)).collect();
                     Ok((FrameType::InspectOk, Body::Owned(encode_inspect(&entries))))
                 }
                 None => err(err_code::NOT_FOUND, &format!("no hosted container named {name:?}")),
@@ -597,7 +674,11 @@ fn handle_fetch(
     let hosted = state.containers.get(&req.container).ok_or_else(|| {
         (err_code::NOT_FOUND, format!("no hosted container named {:?}", req.container))
     })?;
-    let reader = &hosted.reader;
+    // Pin one generation for the whole request: resolve, cache lookup, and
+    // decode all read the same committed view even if a writer commits or
+    // compacts concurrently.
+    let snapshot = hosted.pin();
+    let reader = &snapshot.reader;
     let index = match &req.entry {
         EntrySel::Index(i) => {
             let i = *i as usize;
@@ -668,7 +749,12 @@ fn handle_fetch(
         RequestKind::Level(_) => {}
     }
 
-    let key = CacheKey { container: req.container.clone(), entry: index as u32, kind: req.kind };
+    let key = CacheKey {
+        container: req.container.clone(),
+        generation: snapshot.generation,
+        entry: index as u32,
+        kind: req.kind,
+    };
     let cached = {
         let mut cache_span = trace::span("cache");
         let cached = state.cache.get(&key);

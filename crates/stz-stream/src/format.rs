@@ -53,14 +53,28 @@ use stz_field::Dims;
 pub const CONTAINER_MAGIC: [u8; 4] = *b"STZC";
 /// Magic bytes closing the trailer.
 pub const TRAILER_MAGIC: [u8; 4] = *b"STZE";
-/// Current container format version (v2 added per-entry codec ids).
+/// Current *write-once* container format version (v2 added per-entry
+/// codec ids). `pack` keeps emitting v2; only the mutable-archive path
+/// produces [`MUTABLE_CONTAINER_VERSION`] files.
 pub const CONTAINER_VERSION: u8 = 2;
+/// Mutable container format version (v3): two shadow generation slots
+/// after the header replace the EOF trailer, so commits flip between
+/// slots instead of overwriting the only copy of the index pointer.
+pub const MUTABLE_CONTAINER_VERSION: u8 = 3;
 /// Oldest container format version this reader still parses.
 pub const MIN_CONTAINER_VERSION: u8 = 1;
 /// Size of the fixed file header.
 pub const HEADER_LEN: u64 = 8;
 /// Size of the fixed trailer at EOF.
 pub const TRAILER_LEN: u64 = 24;
+/// Magic bytes opening each v3 generation slot.
+pub const GEN_SLOT_MAGIC: [u8; 4] = *b"STZG";
+/// Size of one v3 generation slot.
+pub const GEN_SLOT_LEN: u64 = 48;
+/// Absolute offsets of the two alternating generation slots.
+pub const GEN_SLOT_OFFSETS: [u64; 2] = [HEADER_LEN, HEADER_LEN + GEN_SLOT_LEN];
+/// First payload byte of a v3 container (header + both slots).
+pub const MUTABLE_DATA_START: u64 = HEADER_LEN + 2 * GEN_SLOT_LEN;
 /// Upper bound on entries per container (index-bomb guard).
 pub const MAX_ENTRIES: u64 = 1 << 20;
 /// Upper bound on entry-name length in bytes.
@@ -193,6 +207,82 @@ impl EntryRecord {
     }
 }
 
+/// One committed generation of a mutable (v3) container: where its footer
+/// lives and how far the committed bytes extend.
+///
+/// Two 48-byte slots at [`GEN_SLOT_OFFSETS`] alternate: a commit writes
+/// the *inactive* slot and never touches the active one, so a crash at any
+/// byte offset leaves at least one valid slot — the previous generation —
+/// intact. Readers pick the valid slot with the highest generation number;
+/// a slot whose magic or CRC does not check out is *torn* and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenSlot {
+    /// Monotonic generation number (first commit = 1).
+    pub generation: u64,
+    /// Absolute offset of this generation's footer.
+    pub footer_off: u64,
+    /// Footer length in bytes.
+    pub footer_len: u64,
+    /// Total committed bytes: everything at or past this offset is
+    /// uncommitted staging and must be ignored by readers.
+    pub committed_len: u64,
+    /// CRC-32 of the footer bytes.
+    pub footer_crc: u32,
+}
+
+/// Serialize one 48-byte generation slot (magic · generation · footer
+/// off/len · committed_len · footer CRC · reserved · slot CRC over the
+/// preceding 44 bytes).
+pub fn encode_gen_slot(s: &GenSlot) -> [u8; GEN_SLOT_LEN as usize] {
+    let mut b = [0u8; GEN_SLOT_LEN as usize];
+    b[0..4].copy_from_slice(&GEN_SLOT_MAGIC);
+    b[4..12].copy_from_slice(&s.generation.to_le_bytes());
+    b[12..20].copy_from_slice(&s.footer_off.to_le_bytes());
+    b[20..28].copy_from_slice(&s.footer_len.to_le_bytes());
+    b[28..36].copy_from_slice(&s.committed_len.to_le_bytes());
+    b[36..40].copy_from_slice(&s.footer_crc.to_le_bytes());
+    // b[40..44] reserved, zero.
+    let crc = crate::crc::crc32(&b[0..44]);
+    b[44..48].copy_from_slice(&crc.to_le_bytes());
+    b
+}
+
+/// Parse one generation slot. `None` means the slot is torn or never
+/// written (bad magic or CRC) — not an error by itself, because the
+/// sibling slot may still hold a complete generation.
+pub fn parse_gen_slot(b: &[u8; GEN_SLOT_LEN as usize]) -> Option<GenSlot> {
+    if b[0..4] != GEN_SLOT_MAGIC {
+        return None;
+    }
+    let stored = u32::from_le_bytes(b[44..48].try_into().expect("4 bytes"));
+    if crate::crc::crc32(&b[0..44]) != stored {
+        return None;
+    }
+    Some(GenSlot {
+        generation: u64::from_le_bytes(b[4..12].try_into().expect("8 bytes")),
+        footer_off: u64::from_le_bytes(b[12..20].try_into().expect("8 bytes")),
+        footer_len: u64::from_le_bytes(b[20..28].try_into().expect("8 bytes")),
+        committed_len: u64::from_le_bytes(b[28..36].try_into().expect("8 bytes")),
+        footer_crc: u32::from_le_bytes(b[36..40].try_into().expect("4 bytes")),
+    })
+}
+
+impl GenSlot {
+    /// Whether the slot's ranges are self-consistent for a file of
+    /// `file_len` bytes: the footer must sit between the data start and
+    /// the committed tail, and the committed tail inside the file. A slot
+    /// that fails this is treated the same as a torn one.
+    pub fn plausible(&self, file_len: u64) -> bool {
+        let Some(footer_end) = self.footer_off.checked_add(self.footer_len) else {
+            return false;
+        };
+        self.generation > 0
+            && self.footer_off >= MUTABLE_DATA_START
+            && footer_end == self.committed_len
+            && self.committed_len <= file_len
+    }
+}
+
 fn interp_code(interp: InterpKind) -> u8 {
     match interp {
         InterpKind::Linear => 0,
@@ -309,8 +399,12 @@ fn get_dims(r: &mut ByteReader<'_>) -> Result<Dims> {
 }
 
 /// Parse the body of one native STZ entry record (everything after the
-/// codec id), shared by the v1 and v2 layouts.
-fn parse_stz_entry(r: &mut ByteReader<'_>, payload_end: u64) -> Result<(SectionLoc, StzDetail)> {
+/// codec id), shared by the v1, v2, and v3 layouts.
+fn parse_stz_entry(
+    r: &mut ByteReader<'_>,
+    payload_lo: u64,
+    payload_end: u64,
+) -> Result<(SectionLoc, StzDetail)> {
     let type_tag = get_type_tag(r)?;
     let dims = get_dims(r)?;
     let levels = r.get_u8()?;
@@ -352,7 +446,7 @@ fn parse_stz_entry(r: &mut ByteReader<'_>, payload_end: u64) -> Result<(SectionL
     };
 
     let payload = get_section(r)?;
-    check_bounds(&payload, HEADER_LEN, payload_end, "payload")?;
+    check_bounds(&payload, payload_lo, payload_end, "payload")?;
     let payload_hi = payload.off + payload.len;
     let l1 = get_section(r)?;
     check_bounds(&l1, payload.off, payload_hi, "level-1")?;
@@ -386,6 +480,7 @@ fn parse_stz_entry(r: &mut ByteReader<'_>, payload_end: u64) -> Result<(SectionL
 /// index cleanly; only decoding them fails.
 fn parse_foreign_entry(
     r: &mut ByteReader<'_>,
+    payload_lo: u64,
     payload_end: u64,
 ) -> Result<(SectionLoc, ForeignDetail)> {
     let type_tag = get_type_tag(r)?;
@@ -395,7 +490,7 @@ fn parse_foreign_entry(
         return Err(StreamError::corrupt(format!("invalid error bound {eb}")));
     }
     let payload = get_section(r)?;
-    check_bounds(&payload, HEADER_LEN, payload_end, "payload")?;
+    check_bounds(&payload, payload_lo, payload_end, "payload")?;
     Ok((payload, ForeignDetail { type_tag, dims, eb }))
 }
 
@@ -408,7 +503,22 @@ fn parse_foreign_entry(
 /// `dims` + `levels`, so a forged index can never direct reads outside the
 /// file or allocate disproportionately.
 pub fn parse_footer(bytes: &[u8], file_len: u64, version: u8) -> Result<Vec<EntryRecord>> {
-    let payload_end = file_len.saturating_sub(TRAILER_LEN);
+    parse_footer_bounded(bytes, HEADER_LEN, file_len.saturating_sub(TRAILER_LEN), version)
+}
+
+/// [`parse_footer`] with explicit payload bounds: every payload section
+/// must lie inside `[payload_lo, payload_hi)`. The trailer-based layouts
+/// (v1/v2) bound payloads by the footer's own start; the mutable layout
+/// (v3) bounds them by the committed generation's footer offset, so
+/// uncommitted staging bytes past the footer are unreachable by any
+/// indexed read.
+pub fn parse_footer_bounded(
+    bytes: &[u8],
+    payload_lo: u64,
+    payload_hi: u64,
+    version: u8,
+) -> Result<Vec<EntryRecord>> {
+    let payload_end = payload_hi;
     let mut r = ByteReader::new(bytes);
     let count = r.get_uvarint()?;
     if count > MAX_ENTRIES {
@@ -426,10 +536,10 @@ pub fn parse_footer(bytes: &[u8], file_len: u64, version: u8) -> Result<Vec<Entr
 
         let codec = if version >= 2 { r.get_u8()? } else { stz_backend::id::STZ };
         let (payload, detail) = if codec == stz_backend::id::STZ {
-            let (payload, d) = parse_stz_entry(&mut r, payload_end)?;
+            let (payload, d) = parse_stz_entry(&mut r, payload_lo, payload_end)?;
             (payload, EntryDetail::Stz(d))
         } else {
-            let (payload, d) = parse_foreign_entry(&mut r, payload_end)?;
+            let (payload, d) = parse_foreign_entry(&mut r, payload_lo, payload_end)?;
             (payload, EntryDetail::Foreign(d))
         };
         entries.push(EntryRecord { name, codec, payload, detail });

@@ -73,9 +73,12 @@ pub mod writer;
 
 pub use byte_source::{ByteSource, CountingSource, FileSource, MemorySource};
 pub use error::{Result, StreamError};
-pub use pipeline::pack_pipelined;
+pub use pipeline::{pack_pipelined, run_pipelined};
 pub use reader::{ContainerReader, EntryMeta, EntryReader, StzSections};
-pub use writer::{pack_to_file, pack_to_vec, ContainerWriter, ForeignArchive, PackEntry};
+pub use writer::{
+    index_foreign_archive, index_pack_entry, index_stz_archive, pack_to_file, pack_to_vec,
+    ContainerWriter, ForeignArchive, PackEntry,
+};
 
 /// Sniff whether `bytes` begin with the container magic (vs. a bare
 /// `StzArchive` stream or something else entirely).

@@ -79,13 +79,31 @@ where
     F: Fn(J) -> JobResult<T> + Sync,
 {
     let mut writer = ContainerWriter::new(out)?;
+    run_pipelined(jobs, threads, run, |name, entry| writer.add_entry(&name, &entry))?;
+    writer.finish()
+}
+
+/// The pipeline engine behind [`pack_pipelined`], decoupled from the
+/// container writer: compress `jobs` on `threads` workers, hand each
+/// finished entry to `emit` **in job order** on the calling thread. The
+/// mutable-archive append path reuses this to stage parallel ingestion
+/// into an existing container, with the same window backpressure and the
+/// same ordering guarantee (`emit` sees the exact sequence a serial run
+/// would produce).
+pub fn run_pipelined<T, J, F, E>(jobs: Vec<J>, threads: usize, run: F, mut emit: E) -> Result<()>
+where
+    T: Scalar,
+    J: Send,
+    F: Fn(J) -> JobResult<T> + Sync,
+    E: FnMut(String, PackEntry<T>) -> Result<()>,
+{
     let total = jobs.len();
     if threads <= 1 || total < 2 {
         for job in jobs {
             let (name, entry) = run(job)?;
-            writer.add_entry(&name, &entry)?;
+            emit(name, entry)?;
         }
-        return writer.finish();
+        return Ok(());
     }
 
     let workers = threads.min(total);
@@ -173,7 +191,7 @@ where
             };
             let outcome = match result {
                 None => break, // aborted by a worker panic
-                Some(Ok((name, entry))) => writer.add_entry(&name, &entry),
+                Some(Ok((name, entry))) => emit(name, entry),
                 Some(Err(e)) => Err(e),
             };
             match outcome {
@@ -203,7 +221,7 @@ where
     if let Some(e) = write_error {
         return Err(e);
     }
-    writer.finish()
+    Ok(())
 }
 
 #[cfg(test)]

@@ -4,8 +4,9 @@ use crate::byte_source::{ByteSource, FileSource};
 use crate::crc::crc32;
 use crate::error::{to_codec, Result, StreamError};
 use crate::format::{
-    parse_footer, parse_trailer, EntryRecord, SectionLoc, StzDetail, CONTAINER_MAGIC,
-    CONTAINER_VERSION, HEADER_LEN, MIN_CONTAINER_VERSION, TRAILER_LEN,
+    parse_footer_bounded, parse_gen_slot, parse_trailer, EntryRecord, GenSlot, SectionLoc,
+    StzDetail, CONTAINER_MAGIC, CONTAINER_VERSION, GEN_SLOT_LEN, GEN_SLOT_OFFSETS, HEADER_LEN,
+    MIN_CONTAINER_VERSION, MUTABLE_CONTAINER_VERSION, MUTABLE_DATA_START, TRAILER_LEN,
 };
 use std::borrow::Cow;
 use std::marker::PhantomData;
@@ -27,6 +28,19 @@ use stz_field::{Dims, Field, Region, Scalar};
 pub struct ContainerReader<S: ByteSource> {
     source: S,
     entries: Vec<EntryRecord>,
+    /// Container format version from the file header.
+    version: u8,
+    /// Committed generation number (always 1 for write-once v1/v2 files).
+    generation: u64,
+    /// First byte of the payload region ([`HEADER_LEN`] for v1/v2,
+    /// [`MUTABLE_DATA_START`] for v3).
+    data_start: u64,
+    /// Absolute offset of this generation's footer: the exclusive upper
+    /// bound of every payload section.
+    footer_off: u64,
+    /// Total committed bytes; anything past this is uncommitted staging
+    /// (v3) and invisible to the reader.
+    committed_len: u64,
 }
 
 impl ContainerReader<FileSource> {
@@ -38,8 +52,9 @@ impl ContainerReader<FileSource> {
 
 impl<S: ByteSource> ContainerReader<S> {
     /// Open a container over `source`: validate the header, locate and
-    /// verify the footer, and parse the entry index. Both the current
-    /// format version and v1 (pre-codec-id) containers are accepted.
+    /// verify the footer, and parse the entry index. All format versions
+    /// are accepted — write-once v1/v2 (trailer at EOF) and mutable v3
+    /// (alternating generation slots after the header).
     pub fn open(source: S) -> Result<Self> {
         let file_len = source.len();
         if file_len < HEADER_LEN + TRAILER_LEN {
@@ -53,6 +68,9 @@ impl<S: ByteSource> ContainerReader<S> {
             return Err(StreamError::corrupt("bad container magic"));
         }
         let version = header[4];
+        if version == MUTABLE_CONTAINER_VERSION {
+            return Self::open_mutable(source, file_len);
+        }
         if !(MIN_CONTAINER_VERSION..=CONTAINER_VERSION).contains(&version) {
             return Err(StreamError::unsupported(format!("container format version {version}")));
         }
@@ -64,13 +82,118 @@ impl<S: ByteSource> ContainerReader<S> {
         if crc32(&footer) != footer_crc {
             return Err(StreamError::corrupt("footer checksum mismatch"));
         }
-        let entries = parse_footer(&footer, file_len, version)?;
-        Ok(ContainerReader { source, entries })
+        let entries = parse_footer_bounded(&footer, HEADER_LEN, file_len - TRAILER_LEN, version)?;
+        Ok(ContainerReader {
+            source,
+            entries,
+            version,
+            generation: 1,
+            data_start: HEADER_LEN,
+            footer_off,
+            committed_len: file_len,
+        })
+    }
+
+    /// Open a mutable (v3) container: read both generation slots, pick the
+    /// valid one with the highest generation, and parse the footer it
+    /// points to. Both slots torn or implausible means no committed
+    /// generation survived — a cleanly detected torn container, reported
+    /// as corrupt rather than silently serving partial data.
+    fn open_mutable(source: S, file_len: u64) -> Result<Self> {
+        let slot = Self::read_gen_slots(&source, file_len)?.ok_or_else(|| {
+            StreamError::corrupt("torn mutable container: no valid generation slot")
+        })?;
+        let mut footer = vec![0u8; slot.footer_len as usize];
+        source.read_exact_at(slot.footer_off, &mut footer)?;
+        if crc32(&footer) != slot.footer_crc {
+            return Err(StreamError::corrupt("footer checksum mismatch"));
+        }
+        let entries = parse_footer_bounded(
+            &footer,
+            MUTABLE_DATA_START,
+            slot.footer_off,
+            MUTABLE_CONTAINER_VERSION,
+        )?;
+        Ok(ContainerReader {
+            source,
+            entries,
+            version: MUTABLE_CONTAINER_VERSION,
+            generation: slot.generation,
+            data_start: MUTABLE_DATA_START,
+            footer_off: slot.footer_off,
+            committed_len: slot.committed_len,
+        })
+    }
+
+    /// Read both v3 generation slots and return the plausible one with
+    /// the highest generation, or `None` when both are torn.
+    pub(crate) fn read_gen_slots(source: &S, file_len: u64) -> Result<Option<GenSlot>> {
+        if file_len < MUTABLE_DATA_START {
+            return Err(StreamError::corrupt(format!(
+                "file of {file_len} bytes is too short for a mutable container"
+            )));
+        }
+        let mut best: Option<GenSlot> = None;
+        for off in GEN_SLOT_OFFSETS {
+            let mut raw = [0u8; GEN_SLOT_LEN as usize];
+            source.read_exact_at(off, &mut raw)?;
+            if let Some(slot) = parse_gen_slot(&raw) {
+                if slot.plausible(file_len) && best.map_or(true, |b| slot.generation > b.generation)
+                {
+                    best = Some(slot);
+                }
+            }
+        }
+        Ok(best)
     }
 
     /// Number of entries.
     pub fn entry_count(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Container format version from the file header.
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Committed generation number this reader pinned at open. Write-once
+    /// (v1/v2) containers are always generation 1; a mutable container
+    /// advances by one per committed mutation batch.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total committed bytes of the pinned generation. For v3 this can be
+    /// less than the file length (uncommitted staging past the tail); for
+    /// v1/v2 it is the file length.
+    pub fn committed_len(&self) -> u64 {
+        self.committed_len
+    }
+
+    /// Payload bytes referenced by the pinned generation's index.
+    pub fn live_payload_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.payload.len).sum()
+    }
+
+    /// Committed payload-region bytes *not* referenced by the pinned
+    /// generation — superseded payloads and stale footers, reclaimable by
+    /// compaction. Always 0 for write-once containers.
+    pub fn dead_payload_bytes(&self) -> u64 {
+        (self.footer_off - self.data_start).saturating_sub(self.live_payload_bytes())
+    }
+
+    /// The raw footer records backing this reader's index, in container
+    /// order. The mutable-archive layer uses these to carry an open
+    /// container's index into an upgrade or compaction rewrite.
+    pub fn records(&self) -> &[EntryRecord] {
+        &self.entries
+    }
+
+    /// Absolute offset of the pinned generation's footer (the exclusive
+    /// upper bound of every payload section).
+    pub fn footer_off(&self) -> u64 {
+        self.footer_off
     }
 
     /// Metadata of every entry, in container order.
@@ -140,6 +263,13 @@ pub struct EntryMeta<'a> {
 
 impl<'a> EntryMeta<'a> {
     fn new(record: &'a EntryRecord) -> Self {
+        EntryMeta { record }
+    }
+
+    /// View a raw footer record as entry metadata — how the mutable
+    /// container's pending (not-yet-committed) index is described without
+    /// a reader.
+    pub fn from_record(record: &'a EntryRecord) -> Self {
         EntryMeta { record }
     }
 

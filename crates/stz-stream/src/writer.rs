@@ -1,6 +1,6 @@
 //! Incremental container writer.
 
-use crate::crc::{crc32, Crc32};
+use crate::crc::crc32;
 use crate::error::{Result, StreamError};
 use crate::format::{
     encode_footer, encode_trailer, EntryDetail, EntryRecord, ForeignDetail, SectionLoc, StzDetail,
@@ -85,6 +85,107 @@ impl<T: Scalar> PackEntry<T> {
     }
 }
 
+/// Build the footer index record for `entry` as if its payload bytes
+/// began at absolute file offset `base`, returning the record and the
+/// payload bytes to write there.
+///
+/// This is the single source of truth for entry indexing: the write-once
+/// [`ContainerWriter`] and the mutable-archive append path both call it,
+/// so an appended entry is indexed byte-identically to a packed one.
+/// Validates the same invariants the reader enforces (codec 0 must use
+/// the STZ layout, type tags ≤ 1, finite positive error bounds, the
+/// point cap), so a writer can never emit an entry its own reader
+/// rejects.
+pub fn index_pack_entry<'e, T: Scalar>(
+    name: &str,
+    entry: &'e PackEntry<T>,
+    base: u64,
+) -> Result<(EntryRecord, &'e [u8])> {
+    match entry {
+        PackEntry::Stz(archive) => Ok(index_stz_archive(name, archive, base)),
+        PackEntry::Foreign(foreign) => index_foreign_archive(name, foreign, base),
+    }
+}
+
+/// Index one native STZ archive's sections as if its bytes began at
+/// absolute offset `base`. See [`index_pack_entry`].
+pub fn index_stz_archive<'e, T: Scalar>(
+    name: &str,
+    archive: &'e StzArchive<T>,
+    base: u64,
+) -> (EntryRecord, &'e [u8]) {
+    let bytes = archive.as_bytes();
+    // Index every independently fetchable section, relative to `base`.
+    let abs = |r: std::ops::Range<usize>| -> SectionLoc {
+        SectionLoc {
+            off: base + r.start as u64,
+            len: (r.end - r.start) as u64,
+            crc: crc32(&bytes[r]),
+        }
+    };
+    let l1 = abs(archive.l1_range());
+    let plan = archive.plan();
+    let mut blocks = Vec::with_capacity(archive.num_levels() as usize - 1);
+    for level in &plan.levels[1..] {
+        let level_blocks: Vec<SectionLoc> =
+            (0..level.blocks.len()).map(|i| abs(archive.block_range(level.index, i))).collect();
+        blocks.push(level_blocks);
+    }
+    let payload = SectionLoc { off: base, len: bytes.len() as u64, crc: crc32(bytes) };
+    (
+        EntryRecord {
+            name: name.to_string(),
+            codec: stz_backend::id::STZ,
+            payload,
+            detail: EntryDetail::Stz(StzDetail { header: archive.header().clone(), l1, blocks }),
+        },
+        bytes,
+    )
+}
+
+/// Validate and index one foreign-codec archive as a single payload
+/// section at `base`. See [`index_pack_entry`].
+pub fn index_foreign_archive<'e>(
+    name: &str,
+    foreign: &'e ForeignArchive,
+    base: u64,
+) -> Result<(EntryRecord, &'e [u8])> {
+    if foreign.codec == stz_backend::id::STZ {
+        return Err(StreamError::unsupported(
+            "codec id 0 (stz) entries must be added as indexed archives, not foreign blobs",
+        ));
+    }
+    if foreign.type_tag > 1 {
+        return Err(StreamError::unsupported(format!("element type tag {}", foreign.type_tag)));
+    }
+    if !(foreign.eb > 0.0 && foreign.eb.is_finite()) {
+        return Err(StreamError::corrupt(format!("invalid error bound {}", foreign.eb)));
+    }
+    // Mirror the reader's dims cap so the writer can never emit a
+    // container its own reader rejects.
+    if foreign.dims.len() as u64 > stz_sz3::stream::MAX_POINTS {
+        return Err(StreamError::corrupt(format!(
+            "dims {:?} exceed the container point cap",
+            foreign.dims
+        )));
+    }
+    let payload =
+        SectionLoc { off: base, len: foreign.bytes.len() as u64, crc: crc32(&foreign.bytes) };
+    Ok((
+        EntryRecord {
+            name: name.to_string(),
+            codec: foreign.codec,
+            payload,
+            detail: EntryDetail::Foreign(ForeignDetail {
+                type_tag: foreign.type_tag,
+                dims: foreign.dims,
+                eb: foreign.eb,
+            }),
+        },
+        &foreign.bytes,
+    ))
+}
+
 /// Streams archives into a container with bounded memory.
 ///
 /// Entries are written strictly forward — payload bytes go to the sink in
@@ -124,95 +225,42 @@ impl<W: Write> ContainerWriter<W> {
         self.entries.len()
     }
 
-    /// Stream `bytes` to the sink in bounded chunks, returning the
-    /// payload's section record.
-    fn write_payload(&mut self, bytes: &[u8]) -> Result<SectionLoc> {
-        let base = self.pos;
-        let mut payload_crc = Crc32::new();
+    /// Stream `bytes` to the sink in bounded chunks (the index record
+    /// already carries their CRC).
+    fn write_payload(&mut self, bytes: &[u8]) -> Result<()> {
         for chunk in bytes.chunks(COPY_CHUNK) {
-            payload_crc.update(chunk);
             self.out.write_all(chunk)?;
         }
         self.pos += bytes.len() as u64;
-        Ok(SectionLoc { off: base, len: bytes.len() as u64, crc: payload_crc.finish() })
+        Ok(())
     }
 
     /// Append one native STZ archive as entry `name`.
     ///
     /// The archive's section layout (level-1 stream, per-level sub-block
     /// streams) is indexed and checksummed from its existing layout
-    /// accessors; the payload bytes are copied through verbatim, so a
-    /// container entry decompresses bit-identically to the archive it came
-    /// from.
+    /// accessors (via [`index_stz_archive`]); the payload bytes are copied
+    /// through verbatim, so a container entry decompresses bit-identically
+    /// to the archive it came from.
     pub fn add_archive<T: Scalar>(&mut self, name: &str, archive: &StzArchive<T>) -> Result<()> {
-        let bytes = archive.as_bytes();
-        let base = self.pos;
-
-        // Index every independently fetchable section, relative to `base`.
-        let abs = |r: std::ops::Range<usize>| -> SectionLoc {
-            SectionLoc {
-                off: base + r.start as u64,
-                len: (r.end - r.start) as u64,
-                crc: crc32(&bytes[r]),
-            }
-        };
-        let l1 = abs(archive.l1_range());
-        let plan = archive.plan();
-        let mut blocks = Vec::with_capacity(archive.num_levels() as usize - 1);
-        for level in &plan.levels[1..] {
-            let level_blocks: Vec<SectionLoc> =
-                (0..level.blocks.len()).map(|i| abs(archive.block_range(level.index, i))).collect();
-            blocks.push(level_blocks);
-        }
-
-        let payload = self.write_payload(bytes)?;
-        self.entries.push(EntryRecord {
-            name: name.to_string(),
-            codec: stz_backend::id::STZ,
-            payload,
-            detail: EntryDetail::Stz(StzDetail { header: archive.header().clone(), l1, blocks }),
-        });
+        let (record, bytes) = index_stz_archive(name, archive, self.pos);
+        self.write_payload(bytes)?;
+        self.entries.push(record);
         Ok(())
     }
 
     /// Append one foreign-codec archive as entry `name`.
     ///
     /// The payload is copied through verbatim and indexed as a single
-    /// section; metadata (`dims`, element type, error bound) is duplicated
-    /// into the footer. Native STZ archives must go through
+    /// section (via [`index_foreign_archive`]); metadata (`dims`, element
+    /// type, error bound) is duplicated into the footer. Native STZ
+    /// archives must go through
     /// [`add_archive`](ContainerWriter::add_archive) instead, which indexes
     /// their sections for streamed queries.
     pub fn add_foreign(&mut self, name: &str, foreign: &ForeignArchive) -> Result<()> {
-        if foreign.codec == stz_backend::id::STZ {
-            return Err(StreamError::unsupported(
-                "codec id 0 (stz) entries must be added as indexed archives, not foreign blobs",
-            ));
-        }
-        if foreign.type_tag > 1 {
-            return Err(StreamError::unsupported(format!("element type tag {}", foreign.type_tag)));
-        }
-        if !(foreign.eb > 0.0 && foreign.eb.is_finite()) {
-            return Err(StreamError::corrupt(format!("invalid error bound {}", foreign.eb)));
-        }
-        // Mirror the reader's dims cap so the writer can never emit a
-        // container its own reader rejects.
-        if foreign.dims.len() as u64 > stz_sz3::stream::MAX_POINTS {
-            return Err(StreamError::corrupt(format!(
-                "dims {:?} exceed the container point cap",
-                foreign.dims
-            )));
-        }
-        let payload = self.write_payload(&foreign.bytes)?;
-        self.entries.push(EntryRecord {
-            name: name.to_string(),
-            codec: foreign.codec,
-            payload,
-            detail: EntryDetail::Foreign(ForeignDetail {
-                type_tag: foreign.type_tag,
-                dims: foreign.dims,
-                eb: foreign.eb,
-            }),
-        });
+        let (record, bytes) = index_foreign_archive(name, foreign, self.pos)?;
+        self.write_payload(bytes)?;
+        self.entries.push(record);
         Ok(())
     }
 

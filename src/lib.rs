@@ -33,6 +33,7 @@ pub use stz_core as core;
 pub use stz_data as data;
 pub use stz_field as field;
 pub use stz_mgard as mgard;
+pub use stz_mutate as mutate;
 pub use stz_serve as serve;
 pub use stz_simd as simd;
 pub use stz_sperr as sperr;
@@ -44,8 +45,8 @@ pub use stz_zfp as zfp;
 /// The most common imports in one place.
 pub mod prelude {
     pub use stz_access::{
-        open_store, Entry, EntryDesc, EntrySel, Fetch, FetchedField, FileStore, MemStore,
-        RemoteStore, Store,
+        open_store, open_store_mut, Entry, EntryDesc, EntryMut, EntrySel, Fetch, FetchedField,
+        FileStore, MemStore, RemoteStore, Store, StoreMut,
     };
     pub use stz_backend::{registry, Codec};
     pub use stz_core::{ConfigError, SectionSource, StzArchive, StzCompressor, StzConfig};

@@ -837,3 +837,63 @@ fn connection_cap_answers_busy_and_recovers() {
     }
     handle.stop();
 }
+
+// ---------------------------------------------------------------------------
+// Read-consistent snapshots over mutable (v3) containers.
+// ---------------------------------------------------------------------------
+
+/// A running server reopens a container when a mutation commits a new
+/// generation: appended entries become fetchable, deleted entries answer
+/// NOT_FOUND, survivors stay byte-identical through a compaction rename —
+/// all over one long-lived client connection, with no server restart.
+#[test]
+fn server_follows_generation_flips_of_a_mutable_container() {
+    use stz::access::{open_store_mut, EntryPayload};
+
+    let rig = Rig::new("mutate");
+    let path = rig.dir.join("steps.stzc");
+    let compressor = StzCompressor::new(StzConfig::three_level(1e-3));
+    let (handle, addr) = rig.serve();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Generation 1 (the packed v2 container) serves normally and primes
+    // the decoded-block cache for entry t0.
+    let t0 = client.fetch_full("steps", EntrySel::Name("t0".into())).unwrap();
+    assert_eq!(t0.data, le_bytes(&rig.reader().entry::<f32>(0).unwrap().decompress().unwrap()));
+
+    // Mutate the live file through the write API: upgrade to v3, append a
+    // new entry, drop t0, commit one new generation.
+    let f3 = synth::miranda_like(dims(), 99);
+    let a3 = compressor.compress(&f3).unwrap();
+    {
+        let mut store = open_store_mut(path.to_str().unwrap()).unwrap();
+        store.append("t3", EntryPayload::F32(a3.clone())).unwrap();
+        store.delete("t0").unwrap();
+        let generation = store.commit().unwrap();
+        assert_eq!(generation, 2, "upgrade pins gen 1, the batch commits gen 2");
+    }
+
+    // The same connection sees the new generation on its next requests.
+    let t3 = client.fetch_full("steps", EntrySel::Name("t3".into())).unwrap();
+    assert_eq!(t3.data, le_bytes(&a3.decompress().unwrap()), "appended entry fetches");
+    match client.fetch_full("steps", EntrySel::Name("t0".into())) {
+        Err(ServeError::Remote { code, .. }) => assert_eq!(code, proto::err_code::NOT_FOUND),
+        other => panic!("deleted entry must answer NOT_FOUND, got {other:?}"),
+    }
+    let t1 = client.fetch_full("steps", EntrySel::Name("t1".into())).unwrap();
+
+    // Compaction rewrites the file and renames it into place; the server
+    // follows the flip and survivors stay byte-identical.
+    {
+        let mut store = open_store_mut(path.to_str().unwrap()).unwrap();
+        let report = store.compact().unwrap();
+        assert!(report.reclaimed_bytes > 0, "dead t0 bytes must be reclaimed");
+    }
+    let t1_after = client.fetch_full("steps", EntrySel::Name("t1".into())).unwrap();
+    assert_eq!(t1.data, t1_after.data, "compaction must not change surviving bytes");
+    let entries = client.inspect("steps").unwrap();
+    let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, ["t1", "zfp0", "t3"], "post-compaction entry table");
+
+    handle.stop();
+}
